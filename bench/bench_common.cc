@@ -1,0 +1,150 @@
+#include "bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "rdf/kb_io.h"
+
+namespace ksp {
+namespace bench {
+
+namespace {
+double EnvDouble(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  return value == nullptr ? fallback : std::atof(value);
+}
+}  // namespace
+
+BenchEnv BenchEnv::FromEnv() {
+  BenchEnv env;
+  env.scale = EnvDouble("KSP_SCALE", 1.0);
+  env.queries = static_cast<size_t>(EnvDouble("KSP_QUERIES", 25));
+  env.time_limit_ms = EnvDouble("KSP_TIME_LIMIT_MS", 2000.0);
+  if (env.scale <= 0) env.scale = 1.0;
+  if (env.queries == 0) env.queries = 1;
+  return env;
+}
+
+std::unique_ptr<KnowledgeBase> MakeDataset(bool dbpedia_like,
+                                           uint32_t num_vertices) {
+  // Generation is deterministic, so benches share cached snapshots.
+  char cache_path[128];
+  std::snprintf(cache_path, sizeof(cache_path),
+                "/tmp/ksp_bench_%s_%u.kbsnap",
+                dbpedia_like ? "dbpedia" : "yago", num_vertices);
+  if (auto cached = LoadKnowledgeBaseSnapshot(cache_path); cached.ok()) {
+    return std::move(*cached);
+  }
+  SyntheticProfile profile = dbpedia_like
+                                 ? SyntheticProfile::DBpediaLike(num_vertices)
+                                 : SyntheticProfile::YagoLike(num_vertices);
+  auto kb = GenerateKnowledgeBase(profile);
+  KSP_CHECK(kb.ok()) << kb.status().ToString();
+  if (Status st = SaveKnowledgeBase(**kb, cache_path); !st.ok()) {
+    KSP_LOG(kWarning) << "snapshot cache write failed: " << st.ToString();
+  }
+  return std::move(*kb);
+}
+
+std::unique_ptr<KspEngine> MakeEngine(const KnowledgeBase* kb,
+                                      const BenchEnv& env, uint32_t alpha,
+                                      KspEngineOptions options) {
+  options.time_limit_ms = env.time_limit_ms;
+  auto engine = std::make_unique<KspEngine>(kb, options);
+  engine->PrepareAll(alpha);
+  return engine;
+}
+
+const char* AlgoName(Algo algo) {
+  switch (algo) {
+    case Algo::kBsp:
+      return "BSP";
+    case Algo::kSpp:
+      return "SPP";
+    case Algo::kSp:
+      return "SP";
+    case Algo::kTa:
+      return "TA";
+    case Algo::kKeywordOnly:
+      return "KW";
+  }
+  return "?";
+}
+
+namespace {
+Result<KspResult> Dispatch(KspEngine* engine, Algo algo, const KspQuery& q,
+                           QueryStats* stats) {
+  switch (algo) {
+    case Algo::kBsp:
+      return engine->ExecuteBsp(q, stats);
+    case Algo::kSpp:
+      return engine->ExecuteSpp(q, stats);
+    case Algo::kSp:
+      return engine->ExecuteSp(q, stats);
+    case Algo::kTa:
+      return engine->ExecuteTa(q, stats);
+    case Algo::kKeywordOnly:
+      return engine->ExecuteKeywordOnly(q, stats);
+  }
+  return Status::InvalidArgument("unknown algorithm");
+}
+}  // namespace
+
+WorkloadStats RunWorkload(KspEngine* engine, Algo algo,
+                          const std::vector<KspQuery>& queries, uint32_t k) {
+  WorkloadStats out;
+  for (const KspQuery& query : queries) {
+    KspQuery q = query;
+    if (k > 0) q.k = k;
+    QueryStats stats;
+    auto result = Dispatch(engine, algo, q, &stats);
+    KSP_CHECK(result.ok()) << result.status().ToString();
+    out.sum.Accumulate(stats);
+    if (!stats.completed) ++out.timed_out;
+    ++out.num_queries;
+  }
+  return out;
+}
+
+std::vector<KspResult> RunWorkloadCollect(
+    KspEngine* engine, Algo algo, const std::vector<KspQuery>& queries,
+    uint32_t k) {
+  std::vector<KspResult> results;
+  results.reserve(queries.size());
+  for (const KspQuery& query : queries) {
+    KspQuery q = query;
+    if (k > 0) q.k = k;
+    auto result = Dispatch(engine, algo, q, nullptr);
+    KSP_CHECK(result.ok()) << result.status().ToString();
+    results.push_back(std::move(*result));
+  }
+  return results;
+}
+
+void PrintStatsHeader() {
+  std::printf(
+      "%-18s %-4s %12s %12s %12s %10s %10s %8s\n", "config", "algo",
+      "runtime_ms", "semantic_ms", "other_ms", "tqsp_cnt", "rtree_node",
+      "timeout");
+}
+
+void PrintStatsRow(const char* config, Algo algo,
+                   const WorkloadStats& stats) {
+  std::printf("%-18s %-4s %12.3f %12.3f %12.3f %10.1f %10.1f %5zu/%zu\n",
+              config, AlgoName(algo), stats.AvgTotalMs(),
+              stats.AvgSemanticMs(), stats.AvgOtherMs(), stats.AvgTqsp(),
+              stats.AvgRtreeNodes(), stats.timed_out, stats.num_queries);
+}
+
+void PrintDatasetSummary(const char* label, const KnowledgeBase& kb) {
+  std::printf(
+      "dataset %-14s vertices=%u edges=%llu places=%u terms=%u "
+      "kw_freq=%.2f\n",
+      label, kb.num_vertices(),
+      static_cast<unsigned long long>(kb.num_edges()), kb.num_places(),
+      kb.num_terms(), kb.inverted_index().AveragePostingLength());
+}
+
+}  // namespace bench
+}  // namespace ksp

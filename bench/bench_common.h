@@ -1,0 +1,98 @@
+#ifndef KSP_BENCH_BENCH_COMMON_H_
+#define KSP_BENCH_BENCH_COMMON_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "datagen/query_gen.h"
+#include "datagen/synthetic.h"
+#include "rdf/knowledge_base.h"
+
+namespace ksp {
+namespace bench {
+
+/// Environment-driven bench configuration:
+///   KSP_SCALE          dataset size multiplier (default 1.0)
+///   KSP_QUERIES        queries per configuration (default 25; paper: 100)
+///   KSP_TIME_LIMIT_MS  per-query abort limit (default 2000; paper: 120000
+///                      for BSP)
+struct BenchEnv {
+  double scale = 1.0;
+  size_t queries = 25;
+  double time_limit_ms = 2000.0;
+
+  static BenchEnv FromEnv();
+
+  uint32_t Scaled(uint32_t base) const {
+    return static_cast<uint32_t>(base * scale) < 100
+               ? 100
+               : static_cast<uint32_t>(base * scale);
+  }
+};
+
+/// Base dataset sizes standing in for the full DBpedia/Yago dumps.
+inline constexpr uint32_t kDBpediaBaseVertices = 40000;
+inline constexpr uint32_t kYagoBaseVertices = 40000;
+
+/// Builds the calibrated dataset (see DESIGN.md substitution 1).
+std::unique_ptr<KnowledgeBase> MakeDataset(bool dbpedia_like,
+                                           uint32_t num_vertices);
+
+/// Builds an engine with all indexes; time limit from `env`.
+std::unique_ptr<KspEngine> MakeEngine(const KnowledgeBase* kb,
+                                      const BenchEnv& env, uint32_t alpha,
+                                      KspEngineOptions options = {});
+
+enum class Algo { kBsp, kSpp, kSp, kTa, kKeywordOnly };
+const char* AlgoName(Algo algo);
+
+/// Aggregated workload metrics (averages over queries, like §6 reports).
+struct WorkloadStats {
+  QueryStats sum;
+  size_t num_queries = 0;
+  size_t timed_out = 0;
+
+  double AvgTotalMs() const { return Avg(sum.total_ms); }
+  double AvgSemanticMs() const { return Avg(sum.semantic_ms); }
+  double AvgOtherMs() const { return Avg(sum.total_ms - sum.semantic_ms); }
+  double AvgTqsp() const {
+    return Avg(static_cast<double>(sum.tqsp_computations));
+  }
+  double AvgRtreeNodes() const {
+    return Avg(static_cast<double>(sum.rtree_nodes_accessed));
+  }
+
+ private:
+  double Avg(double total) const {
+    return num_queries == 0 ? 0.0
+                            : total / static_cast<double>(num_queries);
+  }
+};
+
+/// Runs `queries` through one algorithm, with `k` overriding each query's
+/// requested result size (pass 0 to keep the generated k).
+WorkloadStats RunWorkload(KspEngine* engine, Algo algo,
+                          const std::vector<KspQuery>& queries, uint32_t k);
+
+/// Collects the per-query results as well (Figure 8 needs result
+/// statistics, not runtimes).
+std::vector<KspResult> RunWorkloadCollect(KspEngine* engine, Algo algo,
+                                          const std::vector<KspQuery>& queries,
+                                          uint32_t k);
+
+/// Prints the standard per-row metrics line.
+void PrintStatsRow(const char* config, Algo algo,
+                   const WorkloadStats& stats);
+
+/// Prints the standard header for PrintStatsRow tables.
+void PrintStatsHeader();
+
+/// Prints the dataset summary line (§6.1-style statistics).
+void PrintDatasetSummary(const char* label, const KnowledgeBase& kb);
+
+}  // namespace bench
+}  // namespace ksp
+
+#endif  // KSP_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,42 @@
+// Figure 10: the TA baseline (looseness stream + spatial stream, Fagin's
+// threshold algorithm) against BSP/SPP/SP while varying |q.ψ| on both
+// datasets. Expected shape: TA is competitive only for |q.ψ| = 1 and
+// degrades sharply with more keywords, because ranking places by
+// looseness requires expanding from every posting of every keyword.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace ksp::bench;
+  const BenchEnv env = BenchEnv::FromEnv();
+  std::printf("=== Figure 10: comparison with top-k aggregation (TA) ===\n");
+
+  for (bool dbpedia : {true, false}) {
+    auto kb = MakeDataset(dbpedia, env.Scaled(dbpedia ? kDBpediaBaseVertices
+                                                      : kYagoBaseVertices));
+    PrintDatasetSummary(dbpedia ? "dbpedia-like" : "yago-like", *kb);
+    auto engine = MakeEngine(kb.get(), env, /*alpha=*/3);
+
+    PrintStatsHeader();
+    for (uint32_t m : {1u, 3u, 5u, 8u, 10u}) {
+      ksp::QueryGenOptions qopt;
+      qopt.num_keywords = m;
+      qopt.k = 5;
+      qopt.seed = 1000 + m;
+      auto queries = ksp::GenerateQueries(
+          *kb, ksp::QueryClass::kOriginal, qopt, env.queries);
+      char config[32];
+      std::snprintf(config, sizeof(config), "|q.psi|=%u", m);
+      for (Algo algo :
+           {Algo::kTa, Algo::kKeywordOnly, Algo::kBsp, Algo::kSpp,
+            Algo::kSp}) {
+        PrintStatsRow(config, algo,
+                      RunWorkload(engine.get(), algo, queries, 5));
+      }
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

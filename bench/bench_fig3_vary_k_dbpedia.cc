@@ -1,0 +1,37 @@
+// Figure 3: BSP vs SPP vs SP on the DBpedia-like dataset while varying
+// k ∈ {1, 3, 5, 8, 10, 15, 20} (|q.ψ| = 5, α = 3). Reports the same three
+// metrics as the paper: runtime (split into semantic/other time), number
+// of TQSP computations, and number of R-tree nodes accessed.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace ksp::bench;
+  const BenchEnv env = BenchEnv::FromEnv();
+  std::printf("=== Figure 3: varying k on DBpedia(-like) ===\n");
+
+  auto kb = MakeDataset(/*dbpedia_like=*/true,
+                        env.Scaled(kDBpediaBaseVertices));
+  PrintDatasetSummary("dbpedia-like", *kb);
+  auto engine = MakeEngine(kb.get(), env, /*alpha=*/3);
+
+  ksp::QueryGenOptions qopt;
+  qopt.num_keywords = 5;
+  qopt.k = 5;
+  qopt.seed = 301;
+  auto queries = ksp::GenerateQueries(*kb, ksp::QueryClass::kOriginal, qopt,
+                                      env.queries);
+  std::printf("queries=%zu |q.psi|=5 alpha=3\n\n", queries.size());
+
+  PrintStatsHeader();
+  for (uint32_t k : {1u, 3u, 5u, 8u, 10u, 15u, 20u}) {
+    char config[32];
+    std::snprintf(config, sizeof(config), "k=%u", k);
+    for (Algo algo : {Algo::kBsp, Algo::kSpp, Algo::kSp}) {
+      PrintStatsRow(config, algo, RunWorkload(engine.get(), algo, queries, k));
+    }
+  }
+  return 0;
+}

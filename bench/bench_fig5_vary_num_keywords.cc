@@ -1,0 +1,37 @@
+// Figure 5: runtime of BSP/SPP/SP while varying the number of query
+// keywords |q.ψ| ∈ {1, 3, 5, 8, 10} on both datasets (k = 5, α = 3).
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace ksp::bench;
+  const BenchEnv env = BenchEnv::FromEnv();
+  std::printf("=== Figure 5: varying |q.psi| ===\n");
+
+  for (bool dbpedia : {true, false}) {
+    auto kb = MakeDataset(dbpedia, env.Scaled(dbpedia ? kDBpediaBaseVertices
+                                                      : kYagoBaseVertices));
+    PrintDatasetSummary(dbpedia ? "dbpedia-like" : "yago-like", *kb);
+    auto engine = MakeEngine(kb.get(), env, /*alpha=*/3);
+
+    PrintStatsHeader();
+    for (uint32_t m : {1u, 3u, 5u, 8u, 10u}) {
+      ksp::QueryGenOptions qopt;
+      qopt.num_keywords = m;
+      qopt.k = 5;
+      qopt.seed = 500 + m;
+      auto queries = ksp::GenerateQueries(
+          *kb, ksp::QueryClass::kOriginal, qopt, env.queries);
+      char config[32];
+      std::snprintf(config, sizeof(config), "|q.psi|=%u", m);
+      for (Algo algo : {Algo::kBsp, Algo::kSpp, Algo::kSp}) {
+        PrintStatsRow(config, algo,
+                      RunWorkload(engine.get(), algo, queries, 5));
+      }
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Figure 6: SP runtime as a function of α ∈ {1, 2, 3, 5} for
+// k ∈ {1, 3, 5, 8, 10, 15, 20} (|q.ψ| = 5) on both datasets. Larger α
+// tightens the bounds (less work per query) but inflates the index
+// (Table 6); on Yago-like data α = 5 can *hurt* because of the low
+// keyword frequency — the paper's reason to recommend α = 3.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace ksp::bench;
+  const BenchEnv env = BenchEnv::FromEnv();
+  std::printf("=== Figure 6: varying alpha (SP only) ===\n");
+
+  for (bool dbpedia : {true, false}) {
+    auto kb = MakeDataset(dbpedia, env.Scaled(dbpedia ? kDBpediaBaseVertices
+                                                      : kYagoBaseVertices));
+    PrintDatasetSummary(dbpedia ? "dbpedia-like" : "yago-like", *kb);
+
+    ksp::QueryGenOptions qopt;
+    qopt.num_keywords = 5;
+    qopt.k = 5;
+    qopt.seed = 601;
+    auto queries = ksp::GenerateQueries(*kb, ksp::QueryClass::kOriginal,
+                                        qopt, env.queries);
+
+    std::printf("%-10s", "alpha");
+    for (uint32_t k : {1u, 3u, 5u, 8u, 10u, 15u, 20u}) {
+      std::printf("  k=%-2u ms ", k);
+    }
+    std::printf("\n");
+    for (uint32_t alpha : {1u, 2u, 3u, 5u}) {
+      auto engine = MakeEngine(kb.get(), env, alpha);
+      std::printf("%-10u", alpha);
+      for (uint32_t k : {1u, 3u, 5u, 8u, 10u, 15u, 20u}) {
+        WorkloadStats stats =
+            RunWorkload(engine.get(), Algo::kSp, queries, k);
+        std::printf("  %8.3f", stats.AvgTotalMs());
+      }
+      std::printf("\n");
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Table 7 + Figure 7: scalability over random-jump samples (c = 0.15) of
+// the Yago-like dataset at 25/50/75/100% of its vertices. As in §6.2.4,
+// queries are generated once on the smallest sample (as keyword strings)
+// and replayed on every sample.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "datagen/sampler.h"
+
+int main() {
+  using namespace ksp::bench;
+  const BenchEnv env = BenchEnv::FromEnv();
+  std::printf("=== Table 7 + Figure 7: scalability (random jump, c=0.15) "
+              "===\n");
+
+  const uint32_t full = env.Scaled(2 * kYagoBaseVertices);
+  auto base = MakeDataset(/*dbpedia_like=*/false, full);
+
+  std::vector<std::unique_ptr<ksp::KnowledgeBase>> samples;
+  std::printf("%-10s %12s %12s %12s\n", "fraction", "vertices", "edges",
+              "places");
+  for (double fraction : {0.25, 0.5, 0.75, 1.0}) {
+    auto target = static_cast<uint32_t>(full * fraction);
+    auto sample = ksp::RandomJumpSample(*base, target, 0.15, 7001);
+    if (!sample.ok()) {
+      std::fprintf(stderr, "%s\n", sample.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%-10.2f %12u %12llu %12u\n", fraction,
+                (*sample)->num_vertices(),
+                static_cast<unsigned long long>((*sample)->num_edges()),
+                (*sample)->num_places());
+    samples.push_back(std::move(*sample));
+  }
+
+  // Queries from the smallest sample, replayed everywhere by keyword
+  // string (term ids differ across KBs).
+  ksp::QueryGenOptions qopt;
+  qopt.num_keywords = 5;
+  qopt.k = 5;
+  qopt.seed = 701;
+  auto seed_queries = ksp::GenerateQueries(
+      *samples.front(), ksp::QueryClass::kOriginal, qopt, env.queries);
+  std::vector<std::pair<ksp::Point, std::vector<std::string>>> replay;
+  for (const auto& q : seed_queries) {
+    std::vector<std::string> keywords;
+    for (ksp::TermId t : q.keywords) {
+      keywords.push_back(samples.front()->vocabulary().Term(t));
+    }
+    replay.emplace_back(q.location, std::move(keywords));
+  }
+  std::printf("\nqueries=%zu (generated on the smallest sample)\n\n",
+              replay.size());
+
+  PrintStatsHeader();
+  const double fractions[] = {0.25, 0.5, 0.75, 1.0};
+  for (size_t i = 0; i < samples.size(); ++i) {
+    auto engine = MakeEngine(samples[i].get(), env, /*alpha=*/3);
+    std::vector<ksp::KspQuery> queries;
+    for (const auto& [location, keywords] : replay) {
+      queries.push_back(engine->MakeQuery(location, keywords, 5));
+    }
+    char config[32];
+    std::snprintf(config, sizeof(config), "frac=%.2f", fractions[i]);
+    for (Algo algo : {Algo::kBsp, Algo::kSpp, Algo::kSp}) {
+      PrintStatsRow(config, algo,
+                    RunWorkload(engine.get(), algo, queries, 5));
+    }
+  }
+  return 0;
+}

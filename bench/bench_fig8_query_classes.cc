@@ -1,0 +1,60 @@
+// Figure 8: validation of the SDLL/LDLL query generators — average
+// spatial distance and average looseness of the top-k results for the
+// three query classes (SDLL, LDLL, O) as k varies. Expected shape (as in
+// the paper): S(SDLL) < S(O) < S(LDLL) while both SDLL and LDLL return
+// results of much larger looseness than O.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace ksp::bench;
+  const BenchEnv env = BenchEnv::FromEnv();
+  std::printf("=== Figure 8: result statistics per query class ===\n");
+
+  for (bool dbpedia : {true, false}) {
+    auto kb = MakeDataset(dbpedia, env.Scaled(dbpedia ? kDBpediaBaseVertices
+                                                      : kYagoBaseVertices));
+    PrintDatasetSummary(dbpedia ? "dbpedia-like" : "yago-like", *kb);
+    auto engine = MakeEngine(kb.get(), env, /*alpha=*/3);
+
+    struct ClassSpec {
+      const char* name;
+      ksp::QueryClass query_class;
+    };
+    const ClassSpec classes[] = {{"SDLL", ksp::QueryClass::kSDLL},
+                                 {"LDLL", ksp::QueryClass::kLDLL},
+                                 {"O", ksp::QueryClass::kOriginal}};
+
+    std::printf("%-6s %-6s %16s %16s %10s\n", "class", "k",
+                "avg_spatial_S", "avg_looseness_L", "results");
+    for (uint32_t k : {1u, 3u, 5u, 8u, 10u, 15u, 20u}) {
+      for (const ClassSpec& spec : classes) {
+        ksp::QueryGenOptions qopt;
+        qopt.num_keywords = 5;
+        qopt.k = k;
+        qopt.seed = 801;
+        auto queries = ksp::GenerateQueries(*kb, spec.query_class, qopt,
+                                            env.queries);
+        auto results =
+            RunWorkloadCollect(engine.get(), Algo::kSp, queries, k);
+        double sum_s = 0;
+        double sum_l = 0;
+        size_t count = 0;
+        for (const auto& result : results) {
+          for (const auto& entry : result.entries) {
+            sum_s += entry.spatial_distance;
+            sum_l += entry.looseness;
+            ++count;
+          }
+        }
+        std::printf("%-6s %-6u %16.3f %16.2f %10zu\n", spec.name, k,
+                    count ? sum_s / count : 0.0,
+                    count ? sum_l / count : 0.0, count);
+      }
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Figure 9: runtime of BSP/SPP/SP on the hard SDLL and LDLL query classes
+// (results with large looseness) while varying k, on the DBpedia-like
+// dataset. The paper's finding: the dominant cost factor is looseness,
+// not spatial distance — SDLL and LDLL cost similarly and both are much
+// harder than O queries, but SP stays fastest by orders of magnitude.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace ksp::bench;
+  const BenchEnv env = BenchEnv::FromEnv();
+  std::printf("=== Figure 9: large-looseness queries (DBpedia-like) ===\n");
+
+  auto kb = MakeDataset(/*dbpedia_like=*/true,
+                        env.Scaled(kDBpediaBaseVertices));
+  PrintDatasetSummary("dbpedia-like", *kb);
+  auto engine = MakeEngine(kb.get(), env, /*alpha=*/3);
+
+  for (auto [name, query_class] :
+       {std::pair{"SDLL", ksp::QueryClass::kSDLL},
+        std::pair{"LDLL", ksp::QueryClass::kLDLL}}) {
+    ksp::QueryGenOptions qopt;
+    qopt.num_keywords = 5;
+    qopt.k = 5;
+    qopt.seed = 901;
+    auto queries =
+        ksp::GenerateQueries(*kb, query_class, qopt, env.queries);
+    std::printf("\n%s queries: %zu\n", name, queries.size());
+    PrintStatsHeader();
+    for (uint32_t k : {1u, 3u, 5u, 8u, 10u, 15u, 20u}) {
+      char config[32];
+      std::snprintf(config, sizeof(config), "%s k=%u", name, k);
+      for (Algo algo : {Algo::kBsp, Algo::kSpp, Algo::kSp}) {
+        PrintStatsRow(config, algo,
+                      RunWorkload(engine.get(), algo, queries, k));
+      }
+    }
+  }
+  return 0;
+}

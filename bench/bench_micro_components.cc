@@ -1,0 +1,264 @@
+// Component micro-benchmarks (google-benchmark): per-operation costs of
+// the substrates the kSP engine is built on. These quantify the paper's
+// §6.2.6 observation that spatial operations are orders of magnitude
+// cheaper than graph-browsing operations.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "alpha/alpha_index.h"
+#include "bench_common.h"
+#include "common/rng.h"
+#include "core/engine.h"
+#include "datagen/query_gen.h"
+#include "common/logging.h"
+#include "reach/reachability_index.h"
+#include "spatial/rtree.h"
+#include "storage/disk_graph.h"
+#include "text/tokenizer.h"
+
+namespace {
+
+using ksp::bench::MakeDataset;
+
+/// Shared fixture state, built once (dataset generation is expensive).
+struct SharedState {
+  std::unique_ptr<ksp::KnowledgeBase> kb;
+  std::unique_ptr<ksp::KspEngine> engine;
+  std::vector<ksp::KspQuery> queries;
+
+  SharedState() {
+    kb = MakeDataset(/*dbpedia_like=*/true, 10000);
+    engine = std::make_unique<ksp::KspEngine>(kb.get());
+    engine->PrepareAll(3);
+    ksp::QueryGenOptions qopt;
+    qopt.num_keywords = 5;
+    qopt.k = 5;
+    queries = GenerateQueries(*kb, ksp::QueryClass::kOriginal, qopt, 8);
+  }
+};
+
+SharedState& State() {
+  static SharedState* state = new SharedState();
+  return *state;
+}
+
+void BM_RTreeInsert(benchmark::State& state) {
+  ksp::Rng rng(1);
+  for (auto _ : state) {
+    state.PauseTiming();
+    ksp::RTree tree;
+    state.ResumeTiming();
+    for (int i = 0; i < state.range(0); ++i) {
+      tree.Insert(ksp::Point{rng.NextDouble(0, 100), rng.NextDouble(0, 100)},
+                  i);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RTreeInsert)->Arg(1000)->Arg(10000);
+
+void BM_RTreeBulkLoad(benchmark::State& state) {
+  ksp::Rng rng(2);
+  std::vector<std::pair<ksp::Point, uint64_t>> points;
+  for (int i = 0; i < state.range(0); ++i) {
+    points.emplace_back(
+        ksp::Point{rng.NextDouble(0, 100), rng.NextDouble(0, 100)}, i);
+  }
+  for (auto _ : state) {
+    auto tree = ksp::RTree::BulkLoadStr(points);
+    benchmark::DoNotOptimize(tree);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RTreeBulkLoad)->Arg(10000)->Arg(100000);
+
+void BM_RTreeNearestNeighbor(benchmark::State& state) {
+  auto& shared = State();
+  ksp::Rng rng(3);
+  for (auto _ : state) {
+    ksp::Point q{rng.NextDouble(35, 60), rng.NextDouble(-10, 30)};
+    ksp::NearestIterator it(&shared.engine->rtree(), q);
+    ksp::NearestIterator::Item item;
+    for (int i = 0; i < state.range(0) && it.NextData(&item); ++i) {
+      benchmark::DoNotOptimize(item);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RTreeNearestNeighbor)->Arg(1)->Arg(10)->Arg(100);
+
+void BM_ReachabilityQuery(benchmark::State& state) {
+  auto& shared = State();
+  const auto* reach = shared.engine->reachability_index();
+  ksp::Rng rng(4);
+  const uint32_t n = shared.kb->num_vertices();
+  const uint32_t terms = shared.kb->num_terms();
+  for (auto _ : state) {
+    bool r = reach->Reaches(static_cast<ksp::VertexId>(rng.NextBounded(n)),
+                            static_cast<ksp::TermId>(rng.NextBounded(terms)));
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ReachabilityQuery);
+
+void BM_AlphaBoundLookup(benchmark::State& state) {
+  auto& shared = State();
+  const auto* alpha = shared.engine->alpha_index();
+  ksp::Rng rng(5);
+  const uint32_t entries = alpha->num_places() + alpha->num_nodes();
+  const uint32_t terms = shared.kb->num_terms();
+  for (auto _ : state) {
+    auto d = alpha->EntryTermDistance(
+        static_cast<uint32_t>(rng.NextBounded(entries)),
+        static_cast<ksp::TermId>(rng.NextBounded(terms)));
+    benchmark::DoNotOptimize(d);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AlphaBoundLookup);
+
+void BM_TqspConstruction(benchmark::State& state) {
+  auto& shared = State();
+  ksp::Rng rng(6);
+  const auto& query = shared.queries.front();
+  const uint32_t places = shared.kb->num_places();
+  for (auto _ : state) {
+    auto tree = shared.engine->ComputeTqspForPlace(
+        static_cast<ksp::PlaceId>(rng.NextBounded(places)), query);
+    benchmark::DoNotOptimize(tree);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TqspConstruction);
+
+void BM_QuerySp(benchmark::State& state) {
+  auto& shared = State();
+  size_t i = 0;
+  for (auto _ : state) {
+    auto result =
+        shared.engine->ExecuteSp(shared.queries[i % shared.queries.size()]);
+    benchmark::DoNotOptimize(result);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_QuerySp);
+
+void BM_QuerySpp(benchmark::State& state) {
+  auto& shared = State();
+  size_t i = 0;
+  for (auto _ : state) {
+    auto result = shared.engine->ExecuteSpp(
+        shared.queries[i % shared.queries.size()]);
+    benchmark::DoNotOptimize(result);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_QuerySpp);
+
+void BM_MemoryGraphBfs(benchmark::State& state) {
+  auto& shared = State();
+  const ksp::Graph& graph = shared.kb->graph();
+  ksp::Rng rng(7);
+  const uint32_t n = graph.num_vertices();
+  std::vector<uint32_t> seen(n, 0);
+  uint32_t epoch = 0;
+  std::vector<ksp::VertexId> queue;
+  for (auto _ : state) {
+    ++epoch;
+    queue.clear();
+    ksp::VertexId root = static_cast<ksp::VertexId>(rng.NextBounded(n));
+    queue.push_back(root);
+    seen[root] = epoch;
+    size_t visited = 0;
+    for (size_t qi = 0; qi < queue.size() && visited < 2000; ++qi) {
+      ++visited;
+      for (ksp::VertexId w : graph.OutNeighbors(queue[qi])) {
+        if (seen[w] != epoch) {
+          seen[w] = epoch;
+          queue.push_back(w);
+        }
+      }
+    }
+    benchmark::DoNotOptimize(visited);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MemoryGraphBfs);
+
+void BM_DiskGraphBfs(benchmark::State& state) {
+  // Same bounded BFS through the disk-resident graph (4 KB pages, LRU
+  // pool sized by the benchmark argument, in pages).
+  auto& shared = State();
+  static std::string path = [] {
+    std::string p = "/tmp/ksp_micro_disk_graph.bin";
+    KSP_CHECK(ksp::DiskGraph::Write(State().kb->graph(), p).ok());
+    return p;
+  }();
+  auto disk = ksp::DiskGraph::Open(path, state.range(0));
+  KSP_CHECK(disk.ok());
+  ksp::Rng rng(7);
+  const uint32_t n = (*disk)->num_vertices();
+  std::vector<uint32_t> seen(n, 0);
+  uint32_t epoch = 0;
+  std::vector<ksp::VertexId> queue;
+  std::vector<ksp::VertexId> neighbors;
+  for (auto _ : state) {
+    ++epoch;
+    queue.clear();
+    ksp::VertexId root = static_cast<ksp::VertexId>(rng.NextBounded(n));
+    queue.push_back(root);
+    seen[root] = epoch;
+    size_t visited = 0;
+    for (size_t qi = 0; qi < queue.size() && visited < 2000; ++qi) {
+      ++visited;
+      neighbors.clear();
+      KSP_CHECK((*disk)->OutNeighbors(queue[qi], &neighbors).ok());
+      for (ksp::VertexId w : neighbors) {
+        if (seen[w] != epoch) {
+          seen[w] = epoch;
+          queue.push_back(w);
+        }
+      }
+    }
+    benchmark::DoNotOptimize(visited);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["pool_hit_rate"] = (*disk)->buffer_pool().HitRate();
+}
+BENCHMARK(BM_DiskGraphBfs)->Arg(16)->Arg(1024);
+
+void BM_Tokenizer(benchmark::State& state) {
+  ksp::Tokenizer tokenizer;
+  const std::string text =
+      "Roman_Catholic_Diocese_of_Frejus_Toulon birthPlace "
+      "AncientHistoryOfTheMediterraneanWorld 1968";
+  for (auto _ : state) {
+    auto tokens = tokenizer.Tokenize(text);
+    benchmark::DoNotOptimize(tokens);
+  }
+  state.SetBytesProcessed(state.iterations() * text.size());
+}
+BENCHMARK(BM_Tokenizer);
+
+void BM_PostingsFetch(benchmark::State& state) {
+  auto& shared = State();
+  const auto& index = shared.kb->inverted_index();
+  ksp::Rng rng(8);
+  const uint32_t terms = shared.kb->num_terms();
+  std::vector<ksp::VertexId> out;
+  for (auto _ : state) {
+    out.clear();
+    (void)index.GetPostings(
+        static_cast<ksp::TermId>(rng.NextBounded(terms)), &out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PostingsFetch);
+
+}  // namespace

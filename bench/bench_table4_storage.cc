@@ -1,0 +1,47 @@
+// Table 4: storage cost of the R-tree, the native RDF graph, and the
+// inverted index, for both datasets. The disk-resident inverted index is
+// also materialized so its file size is reported alongside the in-memory
+// footprint.
+
+#include <cstdio>
+#include <filesystem>
+
+#include "bench_common.h"
+#include "common/strings.h"
+#include "text/inverted_index.h"
+
+int main() {
+  using namespace ksp::bench;
+  const BenchEnv env = BenchEnv::FromEnv();
+  std::printf("=== Table 4: storage cost ===\n");
+  std::printf("%-14s %14s %14s %16s %16s\n", "dataset", "R-tree",
+              "RDF graph", "inv-index(mem)", "inv-index(disk)");
+
+  for (bool dbpedia : {true, false}) {
+    auto kb = MakeDataset(dbpedia, env.Scaled(dbpedia ? kDBpediaBaseVertices
+                                                      : kYagoBaseVertices));
+    ksp::KspEngine engine(kb.get());
+    engine.BuildRTree();
+
+    std::string path = (std::filesystem::temp_directory_path() /
+                        "ksp_table4_index.idx")
+                           .string();
+    uint64_t disk_bytes = 0;
+    if (ksp::DiskInvertedIndex::Write(kb->inverted_index(), path).ok()) {
+      auto opened = ksp::DiskInvertedIndex::Open(path);
+      if (opened.ok()) disk_bytes = (*opened)->SizeBytes();
+      std::remove(path.c_str());
+    }
+
+    std::printf("%-14s %14s %14s %16s %16s\n",
+                dbpedia ? "dbpedia-like" : "yago-like",
+                ksp::HumanBytes(engine.rtree().MemoryUsageBytes()).c_str(),
+                ksp::HumanBytes(kb->GraphMemoryBytes()).c_str(),
+                ksp::HumanBytes(kb->InvertedIndexBytes()).c_str(),
+                ksp::HumanBytes(disk_bytes).c_str());
+  }
+  std::printf(
+      "\npaper (full-scale): DBpedia R-tree 50.54MB graph 607.95MB "
+      "inv 1307.98MB; Yago R-tree 273.17MB graph 454.81MB inv 231.91MB\n");
+  return 0;
+}

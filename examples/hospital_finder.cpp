@@ -1,0 +1,112 @@
+// §1's application example: "patients who want to find nearby hospitals
+// which offer treatment for specific conditions". Builds a small medical
+// knowledge base with the programmatic builder API (no RDF files needed)
+// and answers condition-aware nearest-hospital queries.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "rdf/knowledge_base.h"
+
+namespace {
+
+struct Hospital {
+  const char* name;
+  double lat;
+  double lon;
+  std::vector<const char*> departments;
+};
+
+}  // namespace
+
+int main() {
+  ksp::KnowledgeBaseBuilder builder;
+  auto entity = [&](const std::string& local) {
+    return builder.AddEntity("http://medkb.example/" + local);
+  };
+
+  // Departments and the conditions they treat: shared across hospitals.
+  struct Dept {
+    const char* name;
+    std::vector<const char*> conditions;
+  };
+  const std::vector<Dept> departments = {
+      {"Cardiology_Department", {"heart attack", "arrhythmia", "stroke"}},
+      {"Oncology_Department", {"cancer", "lymphoma", "chemotherapy"}},
+      {"Pediatrics_Department", {"children", "asthma", "vaccination"}},
+      {"Neurology_Department", {"stroke", "epilepsy", "migraine"}},
+      {"Orthopedics_Department", {"fracture", "joint replacement"}},
+  };
+
+  const std::vector<Hospital> hospitals = {
+      {"Riverside_General_Hospital", 40.71, -74.00,
+       {"Cardiology_Department", "Oncology_Department"}},
+      {"Hilltop_Medical_Center", 40.78, -73.95,
+       {"Neurology_Department", "Pediatrics_Department"}},
+      {"Lakeside_Clinic", 40.61, -74.08, {"Orthopedics_Department"}},
+      {"Northgate_University_Hospital", 40.85, -73.88,
+       {"Cardiology_Department", "Neurology_Department",
+        "Oncology_Department"}},
+  };
+
+  // One vertex per department type per hospital keeps treatments local to
+  // the hospital offering them (a department is a real entity).
+  for (const Hospital& h : hospitals) {
+    ksp::VertexId hv = entity(h.name);
+    builder.SetLocation(hv, ksp::Point{h.lat, h.lon});
+    for (const char* dept_name : h.departments) {
+      for (const Dept& dept : departments) {
+        if (std::string(dept.name) != dept_name) continue;
+        ksp::VertexId dv =
+            entity(std::string(h.name) + "/" + dept.name);
+        builder.AddRelation(hv, dv, "http://medkb.example/hasDepartment");
+        builder.AddDocumentText(dv, dept.name);
+        for (const char* condition : dept.conditions) {
+          builder.AddDocumentText(dv, condition);
+        }
+      }
+    }
+  }
+
+  auto kb = builder.Finish();
+  if (!kb.ok()) {
+    std::fprintf(stderr, "%s\n", kb.status().ToString().c_str());
+    return 1;
+  }
+
+  ksp::KspEngine engine(kb->get());
+  engine.PrepareAll(/*alpha=*/2);
+
+  // A patient downtown needs stroke and heart care nearby.
+  const ksp::Point patient{40.70, -74.01};
+  for (const auto& keywords :
+       std::vector<std::vector<std::string>>{{"stroke", "cardiology"},
+                                             {"children", "asthma"},
+                                             {"cancer", "stroke"}}) {
+    ksp::KspQuery query = engine.MakeQuery(patient, keywords, /*k=*/2);
+    auto result = engine.ExecuteSp(query);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("Patient at (%.2f, %.2f) searching for:", patient.x,
+                patient.y);
+    for (const auto& kw : keywords) std::printf(" %s", kw.c_str());
+    std::printf("\n");
+    if (result->entries.empty()) {
+      std::printf("  no hospital covers all keywords\n\n");
+      continue;
+    }
+    for (size_t i = 0; i < result->entries.size(); ++i) {
+      const auto& e = result->entries[i];
+      std::printf("  %zu. %-55s score=%.3f (L=%.0f, %.3f deg away)\n",
+                  i + 1,
+                  (*kb)->VertexIri((*kb)->place_vertex(e.place)).c_str(),
+                  e.score, e.looseness, e.spatial_distance);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,72 @@
+// The paper's motivation, executable: answering "what is near me that
+// relates to ancient/roman/catholic/history?" two ways.
+//
+//  1. The structured-query path (GeoSPARQL-style): the user must know the
+//     schema — which predicates exist, how entities connect — and write a
+//     basic graph pattern with a spatial FILTER.
+//  2. The kSP path: the user provides keywords and a location; the engine
+//     finds the tightest semantic places, schema-free.
+//
+// Both run over the same Figure 1 knowledge base and find Montmajour
+// Abbey — but the SPARQL query only works because we, the authors, knew
+// the <dedication> and <birthPlace> predicates to join on.
+
+#include <cstdio>
+
+#include "core/engine.h"
+#include "datagen/fixtures.h"
+#include "sparql/evaluator.h"
+
+int main() {
+  auto kb = ksp::BuildFigure1KnowledgeBase();
+  if (!kb.ok()) {
+    std::fprintf(stderr, "%s\n", kb.status().ToString().c_str());
+    return 1;
+  }
+
+  // --- Path 1: structured query (schema knowledge required). ---
+  ksp::sparql::SparqlEvaluator sparql(kb->get());
+  const char* query_text =
+      "SELECT ?place ?saint WHERE {\n"
+      "  ?place <http://example.org/dedication> ?saint .\n"
+      "  ?saint <http://example.org/birthPlace> "
+      "<http://example.org/Roman_Empire> .\n"
+      "  FILTER(distance(?place, POINT(43.51, 4.75)) < 1.0)\n"
+      "}";
+  std::printf("SPARQL way (requires knowing the schema):\n%s\n\n",
+              query_text);
+  auto rows = sparql.ExecuteText(query_text);
+  if (!rows.ok()) {
+    std::fprintf(stderr, "%s\n", rows.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", sparql.ToTable(*rows).c_str());
+
+  // --- Path 2: kSP (keywords + location, no schema). ---
+  ksp::KspEngine engine(kb->get());
+  engine.PrepareAll(/*alpha=*/3);
+  ksp::KspQuery query = engine.MakeQuery(
+      ksp::kQ1, {"ancient", "roman", "catholic", "history"}, 1);
+  auto top = engine.ExecuteSp(query);
+  if (!top.ok()) {
+    std::fprintf(stderr, "%s\n", top.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("kSP way (keywords + location only):\n");
+  std::printf("  keywords: ancient roman catholic history @ (%.2f, %.2f)\n",
+              ksp::kQ1.x, ksp::kQ1.y);
+  for (const auto& entry : top->entries) {
+    std::printf("  -> %s (score %.2f, looseness %.0f)\n",
+                (*kb)->VertexIri((*kb)->place_vertex(entry.place)).c_str(),
+                entry.score, entry.looseness);
+    for (const auto& match : entry.tree.matches) {
+      std::printf("     '%s' via %s\n",
+                  (*kb)->vocabulary().Term(match.term).c_str(),
+                  (*kb)->VertexIri(match.vertex).c_str());
+    }
+  }
+  std::printf(
+      "\nSame answer — but the kSP query needed no predicate names, no\n"
+      "graph shape, and adapts when the user moves (try location q2).\n");
+  return 0;
+}

@@ -1,0 +1,230 @@
+#include "alpha/alpha_index.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/io_util.h"
+#include "common/logging.h"
+
+namespace ksp {
+
+namespace {
+
+/// (term, distance) pair of one entry's word neighborhood, sorted by term.
+struct WordDist {
+  TermId term;
+  uint8_t distance;
+};
+
+/// Merges two sorted WNs taking the minimum distance per term.
+std::vector<WordDist> MergeMin(const std::vector<WordDist>& a,
+                               const std::vector<WordDist>& b) {
+  std::vector<WordDist> out;
+  out.reserve(a.size() + b.size());
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i].term == b[j].term) {
+      out.push_back(WordDist{a[i].term,
+                             std::min(a[i].distance, b[j].distance)});
+      ++i;
+      ++j;
+    } else if (a[i].term < b[j].term) {
+      out.push_back(a[i]);
+      ++i;
+    } else {
+      out.push_back(b[j]);
+      ++j;
+    }
+  }
+  out.insert(out.end(), a.begin() + i, a.end());
+  out.insert(out.end(), b.begin() + j, b.end());
+  return out;
+}
+
+}  // namespace
+
+AlphaIndex AlphaIndex::Build(const KnowledgeBase& kb, const RTree& rtree,
+                             uint32_t alpha, bool undirected_edges) {
+  KSP_CHECK(alpha >= 1) << "alpha must be positive";
+  AlphaIndex index;
+  index.alpha_ = alpha;
+  index.num_places_ = kb.num_places();
+  index.num_nodes_ = static_cast<uint32_t>(rtree.num_nodes());
+
+  const Graph& graph = kb.graph();
+  const DocumentStore& docs = kb.documents();
+  const VertexId n = graph.num_vertices();
+
+  // --- Per-place WNs: bounded BFS collecting first-seen terms. ---
+  std::vector<std::vector<WordDist>> wns(index.num_places_ +
+                                         index.num_nodes_);
+  std::vector<uint32_t> visit_epoch(n, 0xFFFFFFFFu);
+  std::vector<uint32_t> term_epoch(kb.num_terms(), 0xFFFFFFFFu);
+  std::vector<VertexId> frontier;
+  std::vector<VertexId> next_frontier;
+
+  for (PlaceId p = 0; p < index.num_places_; ++p) {
+    const VertexId root = kb.place_vertex(p);
+    std::vector<WordDist>& wn = wns[p];
+    frontier.clear();
+    frontier.push_back(root);
+    visit_epoch[root] = p;
+    for (uint32_t depth = 0; depth <= alpha && !frontier.empty(); ++depth) {
+      for (VertexId v : frontier) {
+        for (TermId t : docs.Terms(v)) {
+          if (term_epoch[t] != p) {
+            term_epoch[t] = p;
+            wn.push_back(WordDist{t, static_cast<uint8_t>(depth)});
+          }
+        }
+      }
+      if (depth == alpha) break;
+      next_frontier.clear();
+      for (VertexId v : frontier) {
+        for (VertexId w : graph.OutNeighbors(v)) {
+          if (visit_epoch[w] != p) {
+            visit_epoch[w] = p;
+            next_frontier.push_back(w);
+          }
+        }
+        if (undirected_edges) {
+          for (VertexId w : graph.InNeighbors(v)) {
+            if (visit_epoch[w] != p) {
+              visit_epoch[w] = p;
+              next_frontier.push_back(w);
+            }
+          }
+        }
+      }
+      frontier.swap(next_frontier);
+    }
+    std::sort(wn.begin(), wn.end(),
+              [](const WordDist& a, const WordDist& b) {
+                return a.term < b.term;
+              });
+  }
+
+  // --- Node WNs bottom-up (children before parents via post-order). ---
+  if (!rtree.empty()) {
+    std::vector<uint32_t> postorder;
+    postorder.reserve(rtree.num_nodes());
+    std::vector<std::pair<uint32_t, bool>> stack{{rtree.root(), false}};
+    while (!stack.empty()) {
+      auto [node_id, expanded] = stack.back();
+      stack.pop_back();
+      if (expanded) {
+        postorder.push_back(node_id);
+        continue;
+      }
+      stack.emplace_back(node_id, true);
+      const RTree::Node& node = rtree.node(node_id);
+      if (!node.is_leaf) {
+        for (const RTree::Entry& e : node.entries) {
+          stack.emplace_back(static_cast<uint32_t>(e.id), false);
+        }
+      }
+    }
+    for (uint32_t node_id : postorder) {
+      const RTree::Node& node = rtree.node(node_id);
+      std::vector<WordDist> merged;
+      for (const RTree::Entry& e : node.entries) {
+        const std::vector<WordDist>& child =
+            node.is_leaf ? wns[static_cast<PlaceId>(e.id)]
+                         : wns[index.num_places_ +
+                               static_cast<uint32_t>(e.id)];
+        merged = merged.empty() ? child : MergeMin(merged, child);
+      }
+      wns[index.num_places_ + node_id] = std::move(merged);
+    }
+  }
+
+  // --- Invert: term -> (entry, dist), entries ascending. ---
+  const TermId num_terms = kb.num_terms();
+  std::vector<uint64_t> counts(num_terms, 0);
+  for (const auto& wn : wns) {
+    for (const WordDist& wd : wn) ++counts[wd.term];
+  }
+  index.offsets_.assign(num_terms + 1, 0);
+  for (TermId t = 0; t < num_terms; ++t) {
+    index.offsets_[t + 1] = index.offsets_[t] + counts[t];
+  }
+  index.postings_.resize(index.offsets_[num_terms]);
+  std::vector<uint64_t> cursor(index.offsets_.begin(),
+                               index.offsets_.end() - 1);
+  for (uint32_t entry = 0; entry < wns.size(); ++entry) {
+    for (const WordDist& wd : wns[entry]) {
+      index.postings_[cursor[wd.term]++] = Posting{entry, wd.distance};
+    }
+  }
+  return index;
+}
+
+namespace {
+constexpr uint32_t kAlphaMagic = 0x4B535041u;  // "KSPA"
+}  // namespace
+
+Status AlphaIndex::Save(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("cannot open: " + path);
+  auto write_all = [&]() -> Status {
+    KSP_RETURN_NOT_OK(WritePod(f, kAlphaMagic));
+    KSP_RETURN_NOT_OK(WritePod(f, alpha_));
+    KSP_RETURN_NOT_OK(WritePod(f, num_places_));
+    KSP_RETURN_NOT_OK(WritePod(f, num_nodes_));
+    KSP_RETURN_NOT_OK(WritePodVector(f, offsets_));
+    KSP_RETURN_NOT_OK(WritePodVector(f, postings_));
+    KSP_RETURN_NOT_OK(WritePod(f, kAlphaMagic));
+    return Status::OK();
+  };
+  Status st = write_all();
+  if (std::fclose(f) != 0 && st.ok()) st = Status::IOError("close failed");
+  return st;
+}
+
+Result<AlphaIndex> AlphaIndex::Load(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open: " + path);
+  AlphaIndex index;
+  auto read_all = [&]() -> Status {
+    uint32_t magic = 0;
+    KSP_RETURN_NOT_OK(ReadPod(f, &magic));
+    if (magic != kAlphaMagic) {
+      return Status::Corruption("bad alpha-index magic: " + path);
+    }
+    KSP_RETURN_NOT_OK(ReadPod(f, &index.alpha_));
+    KSP_RETURN_NOT_OK(ReadPod(f, &index.num_places_));
+    KSP_RETURN_NOT_OK(ReadPod(f, &index.num_nodes_));
+    KSP_RETURN_NOT_OK(ReadPodVector(f, &index.offsets_));
+    KSP_RETURN_NOT_OK(ReadPodVector(f, &index.postings_));
+    KSP_RETURN_NOT_OK(ReadPod(f, &magic));
+    if (magic != kAlphaMagic) {
+      return Status::Corruption("bad alpha-index footer: " + path);
+    }
+    return Status::OK();
+  };
+  Status st = read_all();
+  std::fclose(f);
+  if (!st.ok()) return st;
+  return index;
+}
+
+std::span<const AlphaIndex::Posting> AlphaIndex::TermPostings(
+    TermId term) const {
+  if (term + 1 >= offsets_.size()) return {};
+  return {postings_.data() + offsets_[term],
+          postings_.data() + offsets_[term + 1]};
+}
+
+std::optional<uint32_t> AlphaIndex::EntryTermDistance(uint32_t entry,
+                                                      TermId term) const {
+  auto postings = TermPostings(term);
+  auto it = std::lower_bound(postings.begin(), postings.end(), entry,
+                             [](const Posting& p, uint32_t e) {
+                               return p.entry < e;
+                             });
+  if (it == postings.end() || it->entry != entry) return std::nullopt;
+  return it->distance;
+}
+
+}  // namespace ksp

@@ -1,0 +1,59 @@
+#ifndef KSP_COMMON_IO_UTIL_H_
+#define KSP_COMMON_IO_UTIL_H_
+
+#include <cstdio>
+#include <type_traits>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ksp {
+
+/// Raw binary IO helpers for trivially-copyable index payloads (the saved
+/// artifacts are machine-local caches, not interchange formats).
+
+template <typename T>
+Status WritePod(std::FILE* f, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if (std::fwrite(&value, sizeof(T), 1, f) != 1) {
+    return Status::IOError("short write");
+  }
+  return Status::OK();
+}
+
+template <typename T>
+Status ReadPod(std::FILE* f, T* value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if (std::fread(value, sizeof(T), 1, f) != 1) {
+    return Status::IOError("short read");
+  }
+  return Status::OK();
+}
+
+/// Length-prefixed vector of PODs.
+template <typename T>
+Status WritePodVector(std::FILE* f, const std::vector<T>& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  KSP_RETURN_NOT_OK(WritePod<uint64_t>(f, v.size()));
+  if (!v.empty() &&
+      std::fwrite(v.data(), sizeof(T), v.size(), f) != v.size()) {
+    return Status::IOError("short vector write");
+  }
+  return Status::OK();
+}
+
+template <typename T>
+Status ReadPodVector(std::FILE* f, std::vector<T>* v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  uint64_t size = 0;
+  KSP_RETURN_NOT_OK(ReadPod(f, &size));
+  v->resize(size);
+  if (size != 0 && std::fread(v->data(), sizeof(T), size, f) != size) {
+    return Status::IOError("short vector read");
+  }
+  return Status::OK();
+}
+
+}  // namespace ksp
+
+#endif  // KSP_COMMON_IO_UTIL_H_

@@ -1,0 +1,60 @@
+#ifndef KSP_COMMON_LOGGING_H_
+#define KSP_COMMON_LOGGING_H_
+
+#include <cassert>
+#include <sstream>
+#include <string>
+
+namespace ksp {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// Process-wide minimum level; messages below it are dropped. Default kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log sink that emits one line to stderr on destruction.
+/// kFatal aborts the process after emitting.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace ksp
+
+#define KSP_LOG(level)                                         \
+  ::ksp::internal_logging::LogMessage(::ksp::LogLevel::level, \
+                                      __FILE__, __LINE__)
+
+/// Always-on invariant check (independent of NDEBUG); aborts with a message.
+#define KSP_CHECK(cond)                                          \
+  if (!(cond))                                                   \
+  KSP_LOG(kFatal) << "Check failed: " #cond " "
+
+#define KSP_DCHECK(cond) assert(cond)
+
+#endif  // KSP_COMMON_LOGGING_H_

@@ -1,0 +1,69 @@
+#ifndef KSP_COMMON_RESULT_H_
+#define KSP_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace ksp {
+
+/// Value-or-error carrier (a small subset of absl::StatusOr / arrow::Result).
+/// Invariant: exactly one of {value, non-OK status} is present.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success) or Status (failure), so
+  /// `return value;` and `return Status::IOError(...);` both work.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Requires ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` if this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates the error of a Result expression, otherwise assigns its value:
+///   KSP_ASSIGN_OR_RETURN(auto graph, LoadGraph(path));
+#define KSP_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                              \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = std::move(tmp).value()
+#define KSP_ASSIGN_OR_RETURN(lhs, expr) \
+  KSP_ASSIGN_OR_RETURN_IMPL(KSP_CONCAT_(_result_, __LINE__), lhs, expr)
+#define KSP_CONCAT_(a, b) KSP_CONCAT_2_(a, b)
+#define KSP_CONCAT_2_(a, b) a##b
+
+}  // namespace ksp
+
+#endif  // KSP_COMMON_RESULT_H_

@@ -1,0 +1,74 @@
+#ifndef KSP_COMMON_RNG_H_
+#define KSP_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ksp {
+
+/// Deterministic, fast PRNG (xoshiro256**). Used everywhere randomness is
+/// needed so that data generation, query generation and property tests are
+/// reproducible from a single seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound) using Lemire's unbiased method.
+  /// Requires bound > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// Standard normal via Box-Muller.
+  double NextGaussian();
+
+  /// Bernoulli with probability p.
+  bool NextBool(double p = 0.5);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(NextBounded(i));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+ private:
+  uint64_t s_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+/// Zipf(s, n) sampler over ranks {0, ..., n-1}: rank r is drawn with
+/// probability proportional to 1/(r+1)^s. Precomputes the CDF; O(log n) per
+/// sample. Models the skewed keyword frequency of real RDF vocabularies.
+class ZipfSampler {
+ public:
+  /// Requires n >= 1, s >= 0 (s == 0 degenerates to uniform).
+  ZipfSampler(size_t n, double s);
+
+  size_t Sample(Rng* rng) const;
+
+  size_t size() const { return cdf_.size(); }
+  /// Probability mass of rank r.
+  double Probability(size_t r) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace ksp
+
+#endif  // KSP_COMMON_RNG_H_

@@ -1,0 +1,32 @@
+#ifndef KSP_COMMON_STRINGS_H_
+#define KSP_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ksp {
+
+/// Splits on any character in `delims`, dropping empty pieces.
+std::vector<std::string_view> SplitAny(std::string_view s,
+                                       std::string_view delims);
+
+/// ASCII lowercase copy.
+std::string AsciiToLower(std::string_view s);
+
+/// Trims ASCII whitespace from both ends.
+std::string_view TrimWhitespace(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Formats a byte count as a human string ("12.3 MB").
+std::string HumanBytes(uint64_t bytes);
+
+/// Joins pieces with a separator.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+
+}  // namespace ksp
+
+#endif  // KSP_COMMON_STRINGS_H_

@@ -1,0 +1,74 @@
+#ifndef KSP_COMMON_TIMER_H_
+#define KSP_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace ksp {
+
+/// Monotonic stopwatch measuring wall time. Start()/Stop() accumulate; a
+/// freshly constructed timer is stopped at zero.
+class Timer {
+ public:
+  Timer() = default;
+
+  void Start() {
+    if (!running_) {
+      start_ = Clock::now();
+      running_ = true;
+    }
+  }
+
+  void Stop() {
+    if (running_) {
+      accumulated_ += Clock::now() - start_;
+      running_ = false;
+    }
+  }
+
+  void Reset() {
+    accumulated_ = Duration::zero();
+    running_ = false;
+  }
+
+  /// Accumulated time including a currently running interval.
+  double ElapsedSeconds() const {
+    Duration d = accumulated_;
+    if (running_) d += Clock::now() - start_;
+    return std::chrono::duration<double>(d).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  int64_t ElapsedMicros() const {
+    return static_cast<int64_t>(ElapsedSeconds() * 1e6);
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  using Duration = Clock::duration;
+
+  Duration accumulated_ = Duration::zero();
+  Clock::time_point start_{};
+  bool running_ = false;
+};
+
+/// RAII helper adding the scope's wall time to an accumulator (in seconds).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double* accumulator_seconds)
+      : accumulator_(accumulator_seconds) {
+    timer_.Start();
+  }
+  ~ScopedTimer() { *accumulator_ += timer_.ElapsedSeconds(); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  double* accumulator_;
+  Timer timer_;
+};
+
+}  // namespace ksp
+
+#endif  // KSP_COMMON_TIMER_H_

@@ -1,0 +1,32 @@
+#ifndef KSP_COMMON_TYPES_H_
+#define KSP_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace ksp {
+
+/// Dense id of a vertex in the RDF graph (entities, types, literals that
+/// became vertices). Assigned contiguously from 0 by the KB builder.
+using VertexId = uint32_t;
+
+/// Dense id of a vocabulary term (keyword).
+using TermId = uint32_t;
+
+/// Dense id of a place vertex within the place registry (0..num_places).
+using PlaceId = uint32_t;
+
+inline constexpr VertexId kInvalidVertex =
+    std::numeric_limits<VertexId>::max();
+inline constexpr TermId kInvalidTerm = std::numeric_limits<TermId>::max();
+inline constexpr PlaceId kInvalidPlace =
+    std::numeric_limits<PlaceId>::max();
+
+/// Graph (hop) distances. kUnreachable marks "no path".
+using HopDistance = uint32_t;
+inline constexpr HopDistance kUnreachable =
+    std::numeric_limits<HopDistance>::max();
+
+}  // namespace ksp
+
+#endif  // KSP_COMMON_TYPES_H_

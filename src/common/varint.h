@@ -1,0 +1,35 @@
+#ifndef KSP_COMMON_VARINT_H_
+#define KSP_COMMON_VARINT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace ksp {
+
+/// LEB128-style unsigned varint codec used by the disk-resident inverted
+/// indexes (delta-encoded postings). Small values take one byte; a 64-bit
+/// value takes at most 10 bytes.
+void PutVarint64(std::string* dst, uint64_t value);
+
+/// Decodes one varint from `src` at `*offset`, advancing the offset.
+/// Fails with Corruption on truncated or over-long input.
+Status GetVarint64(std::string_view src, size_t* offset, uint64_t* value);
+
+/// Appends a fixed-width little-endian 64/32-bit value.
+void PutFixed64(std::string* dst, uint64_t value);
+void PutFixed32(std::string* dst, uint32_t value);
+
+Status GetFixed64(std::string_view src, size_t* offset, uint64_t* value);
+Status GetFixed32(std::string_view src, size_t* offset, uint32_t* value);
+
+/// Length-prefixed string (varint length + raw bytes).
+void PutLengthPrefixed(std::string* dst, std::string_view value);
+Status GetLengthPrefixed(std::string_view src, size_t* offset,
+                         std::string* value);
+
+}  // namespace ksp
+
+#endif  // KSP_COMMON_VARINT_H_

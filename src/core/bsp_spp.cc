@@ -1,0 +1,108 @@
+// BSP (Algorithm 1) and SPP (§4): spatial-first kSP evaluation. Both share
+// one loop skeleton — SPP is BSP plus Pruning Rule 1 (unqualified place
+// pruning via the reachability oracle) and Pruning Rule 2 (dynamic
+// looseness bound inside TQSP construction).
+
+#include <limits>
+
+#include "common/timer.h"
+#include "core/engine.h"
+
+namespace ksp {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+Result<KspResult> KspEngine::ExecuteBsp(const KspQuery& query,
+                                        QueryStats* stats) {
+  return ExecuteSpatialFirst(query, stats, /*use_rule1=*/false,
+                             /*use_rule2=*/false);
+}
+
+Result<KspResult> KspEngine::ExecuteSpp(const KspQuery& query,
+                                        QueryStats* stats) {
+  if (options_.use_unqualified_pruning && reach_ == nullptr) {
+    return Status::InvalidArgument(
+        "SPP with unqualified-place pruning requires "
+        "BuildReachabilityIndex()");
+  }
+  return ExecuteSpatialFirst(query, stats,
+                             options_.use_unqualified_pruning,
+                             options_.use_dynamic_bound_pruning);
+}
+
+Result<KspResult> KspEngine::ExecuteSpatialFirst(const KspQuery& query,
+                                                 QueryStats* stats,
+                                                 bool use_rule1,
+                                                 bool use_rule2) {
+  EnsureRTree();
+  Timer total_timer;
+  total_timer.Start();
+  QueryStats local_stats;
+  QueryStats* st = stats != nullptr ? stats : &local_stats;
+  *st = QueryStats();
+
+  QueryContext ctx;
+  KSP_RETURN_NOT_OK(PrepareContext(query, &ctx));
+
+  double semantic_seconds = 0.0;
+  TopKHeap heap(query.k);
+  if (ctx.answerable) {
+    NearestIterator iterator(rtree_.get(), query.location);
+    NearestIterator::Item item;
+    while (iterator.Next(&item)) {
+      if (total_timer.ElapsedMillis() > options_.time_limit_ms) {
+        st->completed = false;
+        break;
+      }
+      const double theta = heap.Threshold();
+      // Termination (Algorithm 1, line 7): entries arrive in ascending
+      // spatial distance and f(L, S) >= MinScore(S) for L >= 1.
+      if (options_.ranking.MinScoreGivenSpatialDistance(item.distance) >=
+          theta) {
+        break;
+      }
+      if (item.is_node) continue;  // Children already enqueued.
+
+      const PlaceId place = static_cast<PlaceId>(item.id);
+      const VertexId root = kb_->place_vertex(place);
+      const double spatial = item.distance;
+
+      if (use_rule1 && IsUnqualifiedPlace(root, ctx, st)) {
+        ++st->pruned_unqualified;  // Pruning Rule 1.
+        continue;
+      }
+
+      const double looseness_threshold =
+          use_rule2 ? options_.ranking.LoosenessThreshold(theta, spatial)
+                    : kInf;
+
+      ++st->tqsp_computations;
+      SemanticPlaceTree tree;
+      tree.place = place;
+      double looseness;
+      {
+        ScopedTimer semantic_timer(&semantic_seconds);
+        looseness = ComputeTqsp(root, ctx, looseness_threshold, use_rule2,
+                                &tree, st);
+      }
+      if (looseness == kInf) continue;  // Unqualified or Rule-2 pruned.
+
+      KspResultEntry entry;
+      entry.place = place;
+      entry.looseness = looseness;
+      entry.spatial_distance = spatial;
+      entry.score = options_.ranking.Score(looseness, spatial);
+      entry.tree = std::move(tree);
+      heap.Add(std::move(entry));
+    }
+    st->rtree_nodes_accessed = iterator.nodes_accessed();
+  }
+
+  st->semantic_ms = semantic_seconds * 1e3;
+  st->total_ms = total_timer.ElapsedMillis();
+  return std::move(heap).Finish();
+}
+
+}  // namespace ksp

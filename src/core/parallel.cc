@@ -1,0 +1,98 @@
+#include "core/parallel.h"
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+namespace ksp {
+
+const char* KspAlgorithmName(KspAlgorithm algorithm) {
+  switch (algorithm) {
+    case KspAlgorithm::kBsp:
+      return "BSP";
+    case KspAlgorithm::kSpp:
+      return "SPP";
+    case KspAlgorithm::kSp:
+      return "SP";
+    case KspAlgorithm::kTa:
+      return "TA";
+  }
+  return "?";
+}
+
+Result<KspResult> ExecuteWith(KspEngine* engine, KspAlgorithm algorithm,
+                              const KspQuery& query, QueryStats* stats) {
+  switch (algorithm) {
+    case KspAlgorithm::kBsp:
+      return engine->ExecuteBsp(query, stats);
+    case KspAlgorithm::kSpp:
+      return engine->ExecuteSpp(query, stats);
+    case KspAlgorithm::kSp:
+      return engine->ExecuteSp(query, stats);
+    case KspAlgorithm::kTa:
+      return engine->ExecuteTa(query, stats);
+  }
+  return Status::InvalidArgument("unknown algorithm");
+}
+
+Result<std::vector<KspResult>> RunQueryBatch(
+    KspEngine* engine, const std::vector<KspQuery>& queries,
+    const BatchRunOptions& options, QueryStats* total_stats) {
+  std::vector<KspResult> results(queries.size());
+  if (queries.empty()) return results;
+  // Execute* builds the R-tree lazily, which would race across clones:
+  // require preparation up front instead.
+  engine->BuildRTreeIfNeeded();
+
+  if (options.num_threads <= 1) {
+    QueryStats sum;
+    for (size_t i = 0; i < queries.size(); ++i) {
+      QueryStats stats;
+      KSP_ASSIGN_OR_RETURN(results[i],
+                           ExecuteWith(engine, options.algorithm,
+                                       queries[i], &stats));
+      sum.Accumulate(stats);
+    }
+    if (total_stats != nullptr) *total_stats = sum;
+    return results;
+  }
+
+  std::atomic<size_t> next{0};
+  std::mutex mu;
+  Status first_error;
+  QueryStats sum;
+
+  auto worker = [&](KspEngine* worker_engine) {
+    QueryStats local_sum;
+    while (true) {
+      size_t i = next.fetch_add(1);
+      if (i >= queries.size()) break;
+      QueryStats stats;
+      auto result =
+          ExecuteWith(worker_engine, options.algorithm, queries[i], &stats);
+      if (!result.ok()) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (first_error.ok()) first_error = result.status();
+        break;
+      }
+      results[i] = std::move(*result);
+      local_sum.Accumulate(stats);
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    sum.Accumulate(local_sum);
+  };
+
+  std::vector<std::unique_ptr<KspEngine>> clones;
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < options.num_threads; ++t) {
+    clones.push_back(engine->Clone());
+    threads.emplace_back(worker, clones.back().get());
+  }
+  for (auto& thread : threads) thread.join();
+
+  if (!first_error.ok()) return first_error;
+  if (total_stats != nullptr) *total_stats = sum;
+  return results;
+}
+
+}  // namespace ksp

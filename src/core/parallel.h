@@ -1,0 +1,38 @@
+#ifndef KSP_CORE_PARALLEL_H_
+#define KSP_CORE_PARALLEL_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/engine.h"
+
+namespace ksp {
+
+/// Which kSP algorithm a batch run uses.
+enum class KspAlgorithm { kBsp, kSpp, kSp, kTa };
+
+const char* KspAlgorithmName(KspAlgorithm algorithm);
+
+/// Dispatches one query on one engine.
+Result<KspResult> ExecuteWith(KspEngine* engine, KspAlgorithm algorithm,
+                              const KspQuery& query,
+                              QueryStats* stats = nullptr);
+
+struct BatchRunOptions {
+  KspAlgorithm algorithm = KspAlgorithm::kSp;
+  /// Worker threads; each gets an engine Clone() sharing the indexes.
+  /// 1 executes inline on the given engine.
+  size_t num_threads = 1;
+};
+
+/// Answers a batch of queries, optionally across threads. The engine's
+/// indexes must already be built (PrepareAll). Results are positionally
+/// aligned with `queries`; `total_stats`, if given, accumulates all
+/// per-query counters. Fails fast on the first query error.
+Result<std::vector<KspResult>> RunQueryBatch(
+    KspEngine* engine, const std::vector<KspQuery>& queries,
+    const BatchRunOptions& options, QueryStats* total_stats = nullptr);
+
+}  // namespace ksp
+
+#endif  // KSP_CORE_PARALLEL_H_

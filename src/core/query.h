@@ -1,0 +1,26 @@
+#ifndef KSP_CORE_QUERY_H_
+#define KSP_CORE_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "spatial/geometry.h"
+
+namespace ksp {
+
+/// A top-k relevant Semantic Place query q = (q.λ, q.ψ, k) (Definition 3).
+struct KspQuery {
+  /// q.λ — the query location.
+  Point location;
+  /// q.ψ — the query keywords as TermIds of the target KB's vocabulary.
+  /// A kInvalidTerm entry (keyword missing from the vocabulary) makes the
+  /// query unanswerable: no qualified semantic place exists.
+  std::vector<TermId> keywords;
+  /// Number of requested semantic places.
+  uint32_t k = 1;
+};
+
+}  // namespace ksp
+
+#endif  // KSP_CORE_QUERY_H_

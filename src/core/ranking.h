@@ -1,0 +1,70 @@
+#ifndef KSP_CORE_RANKING_H_
+#define KSP_CORE_RANKING_H_
+
+#include <limits>
+#include <string>
+
+namespace ksp {
+
+/// Monotone aggregate ranking function f(L(T_p), S(q, p)) of Definition 3.
+/// Two instances from the paper are provided:
+///   Product:     f = L × S              (Equation 2, the default)
+///   WeightedSum: f = β·L + (1-β)·S      (Equation 1)
+/// All kSP algorithms are parameterized by this class; the termination and
+/// pruning logic derives the required bounds from it instead of hardcoding
+/// Equation 2:
+///   - MinScoreGivenSpatialDistance(s): lower bound of f over places at
+///     spatial distance ≥ s, using L ≥ 1 (BSP's termination, line 7).
+///   - LoosenessThreshold(θ, s): the Lw of Definition 4 — the largest L
+///     for which a place at distance s could still beat score θ.
+class RankingFunction {
+ public:
+  /// f = L × S (parameterless; Equation 2).
+  static RankingFunction Product() { return RankingFunction(true, 0.0); }
+
+  /// f = β·L + (1-β)·S with β in (0, 1] (Equation 1).
+  static RankingFunction WeightedSum(double beta) {
+    return RankingFunction(false, beta);
+  }
+
+  double Score(double looseness, double spatial_distance) const {
+    if (product_) return looseness * spatial_distance;
+    return beta_ * looseness + (1.0 - beta_) * spatial_distance;
+  }
+
+  /// Lower bound of Score over all places with spatial distance ≥ s,
+  /// given L(T_p) ≥ 1.
+  double MinScoreGivenSpatialDistance(double s) const {
+    if (product_) return s;  // L ≥ 1 so f = L·S ≥ S.
+    return beta_ + (1.0 - beta_) * s;
+  }
+
+  /// Lw(T_p): a TQSP at spatial distance s with looseness ≥ Lw cannot
+  /// score below θ. Returns +inf when every looseness beats θ (s = 0 under
+  /// the product ranking).
+  double LoosenessThreshold(double theta, double s) const {
+    if (product_) {
+      if (s <= 0.0) return std::numeric_limits<double>::infinity();
+      return theta / s;
+    }
+    return (theta - (1.0 - beta_) * s) / beta_;
+  }
+
+  bool is_product() const { return product_; }
+  double beta() const { return beta_; }
+
+  std::string ToString() const {
+    return product_ ? "L*S" : "beta*L+(1-beta)*S";
+  }
+
+ private:
+  RankingFunction(bool product, double beta)
+      : product_(product), beta_(beta) {}
+
+  bool product_;
+  double beta_;
+};
+
+}  // namespace ksp
+
+#endif  // KSP_CORE_RANKING_H_

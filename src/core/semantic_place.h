@@ -1,0 +1,87 @@
+#ifndef KSP_CORE_SEMANTIC_PLACE_H_
+#define KSP_CORE_SEMANTIC_PLACE_H_
+
+#include <limits>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ksp {
+
+/// The Tightest Qualified Semantic Place (TQSP) rooted at one place: per
+/// query keyword, the nearest vertex containing it together with the
+/// shortest root-to-vertex path (the union of these paths is the tree
+/// ⟨p, (v1, v2, ...)⟩ of Definition 1).
+struct SemanticPlaceTree {
+  struct KeywordMatch {
+    TermId term = kInvalidTerm;
+    /// Vertex whose document covers the keyword.
+    VertexId vertex = kInvalidVertex;
+    /// dg(p, term) — hops from the root.
+    uint32_t distance = 0;
+    /// Shortest path root = path.front() .. path.back() = vertex.
+    std::vector<VertexId> path;
+  };
+
+  PlaceId place = kInvalidPlace;
+  VertexId root = kInvalidVertex;
+  /// L(T_p) = 1 + Σ dg(p, t_i); +inf when no qualified tree exists.
+  double looseness = std::numeric_limits<double>::infinity();
+  std::vector<KeywordMatch> matches;
+
+  bool IsQualified() const {
+    return looseness != std::numeric_limits<double>::infinity();
+  }
+
+  /// Distinct vertices of the tree (root, keyword vertices, and the path
+  /// vertices between them), sorted ascending.
+  std::vector<VertexId> TreeVertices() const;
+};
+
+/// Footnote 2, option (2): for a place, *all* tied minimum-looseness
+/// keyword matches. Every combination of one vertex per keyword yields a
+/// distinct qualified semantic place with the same (minimal) looseness.
+struct TiedSemanticPlace {
+  struct KeywordAlternatives {
+    TermId term = kInvalidTerm;
+    /// dg(p, term) — shared by all alternatives.
+    uint32_t distance = 0;
+    /// Every vertex containing `term` at exactly `distance` hops.
+    std::vector<VertexId> vertices;
+  };
+
+  PlaceId place = kInvalidPlace;
+  VertexId root = kInvalidVertex;
+  double looseness = std::numeric_limits<double>::infinity();
+  std::vector<KeywordAlternatives> keywords;
+
+  bool IsQualified() const {
+    return looseness != std::numeric_limits<double>::infinity();
+  }
+
+  /// Number of distinct tied TQSPs (product of per-keyword alternatives).
+  uint64_t NumDistinctTrees() const {
+    if (!IsQualified()) return 0;
+    uint64_t count = 1;
+    for (const auto& kw : keywords) count *= kw.vertices.size();
+    return count;
+  }
+};
+
+/// One kSP result entry.
+struct KspResultEntry {
+  PlaceId place = kInvalidPlace;
+  double score = 0.0;
+  double looseness = 0.0;
+  double spatial_distance = 0.0;
+  SemanticPlaceTree tree;
+};
+
+/// Final kSP result: at most k entries in ascending score order.
+struct KspResult {
+  std::vector<KspResultEntry> entries;
+};
+
+}  // namespace ksp
+
+#endif  // KSP_CORE_SEMANTIC_PLACE_H_

@@ -1,0 +1,171 @@
+// SP (Algorithm 4, §5): kSP evaluation ordered by α-radius ranking-score
+// bounds. R-tree entries (nodes and places) are visited in ascending
+// f_B^α order; Pruning Rules 3 and 4 discard entries whose bound cannot
+// beat the current k-th candidate, and Rules 1 and 2 are applied to the
+// surviving places exactly as in SPP.
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "common/timer.h"
+#include "core/engine.h"
+
+namespace ksp {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Priority-queue item: an R-tree node or a place, keyed by the α-bound on
+/// the ranking score (Lemmas 3 and 5).
+struct AlphaQueueItem {
+  double score_bound;
+  double spatial_lb;
+  bool is_node;
+  uint64_t id;  // Node id or PlaceId.
+};
+
+struct AlphaQueueOrder {
+  bool operator()(const AlphaQueueItem& a, const AlphaQueueItem& b) const {
+    return a.score_bound > b.score_bound;  // Min-heap.
+  }
+};
+
+}  // namespace
+
+Result<KspResult> KspEngine::ExecuteSp(const KspQuery& query,
+                                       QueryStats* stats) {
+  EnsureRTree();
+  if (options_.use_alpha_pruning && alpha_ == nullptr) {
+    return Status::InvalidArgument(
+        "SP requires BuildAlphaIndex() when alpha pruning is enabled");
+  }
+  if (!options_.use_alpha_pruning) {
+    // Ablation: SP without α-bounds degenerates to SPP.
+    return ExecuteSpp(query, stats);
+  }
+  if (options_.use_unqualified_pruning && reach_ == nullptr) {
+    return Status::InvalidArgument(
+        "SP with unqualified-place pruning requires "
+        "BuildReachabilityIndex()");
+  }
+
+  Timer total_timer;
+  total_timer.Start();
+  QueryStats local_stats;
+  QueryStats* st = stats != nullptr ? stats : &local_stats;
+  *st = QueryStats();
+
+  QueryContext ctx;
+  KSP_RETURN_NOT_OK(PrepareContext(query, &ctx));
+
+  const AlphaIndex& alpha = *alpha_;
+  const double alpha_plus_one = static_cast<double>(alpha.alpha() + 1);
+
+  // L_B^α(entry) = 1 + Σ_i dg(entry, t_i), with α+1 for keywords outside
+  // the entry's α-radius word neighborhood (Lemmas 2 and 4, including the
+  // +1 normalization of Definition 2 — see DESIGN.md).
+  auto alpha_looseness_bound = [&](uint32_t entry_id) {
+    double bound = 1.0;
+    for (TermId t : ctx.terms) {
+      auto d = alpha.EntryTermDistance(entry_id, t);
+      bound += d.has_value() ? static_cast<double>(*d) : alpha_plus_one;
+    }
+    return bound;
+  };
+
+  double semantic_seconds = 0.0;
+  TopKHeap heap(query.k);
+
+  if (ctx.answerable && !rtree_->empty()) {
+    std::priority_queue<AlphaQueueItem, std::vector<AlphaQueueItem>,
+                        AlphaQueueOrder>
+        pq;
+    {
+      const uint32_t root = rtree_->root();
+      const Rect root_rect = rtree_->node(root).BoundingRect();
+      const double s_lb = MinDist(query.location, root_rect);
+      const double l_b = alpha_looseness_bound(alpha.NodeEntry(root));
+      pq.push(AlphaQueueItem{options_.ranking.Score(l_b, s_lb), s_lb,
+                             /*is_node=*/true, root});
+    }
+
+    while (!pq.empty()) {
+      if (total_timer.ElapsedMillis() > options_.time_limit_ms) {
+        st->completed = false;
+        break;
+      }
+      AlphaQueueItem item = pq.top();
+      pq.pop();
+      const double theta = heap.Threshold();
+      // Termination (Algorithm 4, line 9): bounds pop in ascending order.
+      if (item.score_bound >= theta) break;
+
+      if (!item.is_node) {
+        const PlaceId place = static_cast<PlaceId>(item.id);
+        const VertexId root = kb_->place_vertex(place);
+        const double spatial = item.spatial_lb;  // Exact for places.
+
+        if (options_.use_unqualified_pruning &&
+            IsUnqualifiedPlace(root, ctx, st)) {
+          ++st->pruned_unqualified;  // Pruning Rule 1.
+          continue;
+        }
+        const double looseness_threshold =
+            options_.use_dynamic_bound_pruning
+                ? options_.ranking.LoosenessThreshold(theta, spatial)
+                : kInf;
+        ++st->tqsp_computations;
+        SemanticPlaceTree tree;
+        tree.place = place;
+        double looseness;
+        {
+          ScopedTimer semantic_timer(&semantic_seconds);
+          looseness =
+              ComputeTqsp(root, ctx, looseness_threshold,
+                          options_.use_dynamic_bound_pruning, &tree, st);
+        }
+        if (looseness == kInf) continue;
+
+        KspResultEntry entry;
+        entry.place = place;
+        entry.looseness = looseness;
+        entry.spatial_distance = spatial;
+        entry.score = options_.ranking.Score(looseness, spatial);
+        entry.tree = std::move(tree);
+        heap.Add(std::move(entry));
+        continue;
+      }
+
+      // Internal/leaf node: expand children with their α-bounds
+      // (Pruning Rules 3 and 4 gate the push).
+      ++st->rtree_nodes_accessed;
+      const RTree::Node& node =
+          rtree_->node(static_cast<uint32_t>(item.id));
+      for (const RTree::Entry& e : node.entries) {
+        const double s_lb = MinDist(query.location, e.rect);
+        const uint32_t entry_id =
+            node.is_leaf ? alpha.PlaceEntry(static_cast<PlaceId>(e.id))
+                         : alpha.NodeEntry(static_cast<uint32_t>(e.id));
+        const double l_b = alpha_looseness_bound(entry_id);
+        const double f_b = options_.ranking.Score(l_b, s_lb);
+        if (f_b >= heap.Threshold()) {
+          if (node.is_leaf) {
+            ++st->pruned_alpha_place;  // Pruning Rule 3.
+          } else {
+            ++st->pruned_alpha_node;  // Pruning Rule 4.
+          }
+          continue;
+        }
+        pq.push(AlphaQueueItem{f_b, s_lb, !node.is_leaf, e.id});
+      }
+    }
+  }
+
+  st->semantic_ms = semantic_seconds * 1e3;
+  st->total_ms = total_timer.ElapsedMillis();
+  return std::move(heap).Finish();
+}
+
+}  // namespace ksp

@@ -1,0 +1,54 @@
+#ifndef KSP_CORE_STATS_H_
+#define KSP_CORE_STATS_H_
+
+#include <cstdint>
+
+namespace ksp {
+
+/// Per-query execution counters matching the metrics of §6: runtime split
+/// into "semantic time" (TQSP construction) and "other time", the number
+/// of TQSP computations, and the number of R-tree nodes accessed; plus
+/// pruning-effectiveness counters for the ablation benches.
+struct QueryStats {
+  double total_ms = 0.0;
+  /// Time inside TQSP construction (GetSemanticPlace / GetSemanticPlaceP).
+  double semantic_ms = 0.0;
+  double other_ms() const { return total_ms - semantic_ms; }
+
+  uint64_t tqsp_computations = 0;
+  uint64_t rtree_nodes_accessed = 0;
+  /// BFS vertex pops across all TQSP constructions.
+  uint64_t vertices_visited = 0;
+
+  uint64_t reachability_queries = 0;
+  /// Places discarded by Pruning Rule 1 (unqualified place pruning).
+  uint64_t pruned_unqualified = 0;
+  /// TQSP constructions aborted by Pruning Rule 2 (dynamic bound).
+  uint64_t pruned_dynamic_bound = 0;
+  /// Places discarded by Pruning Rule 3 (α place bound).
+  uint64_t pruned_alpha_place = 0;
+  /// R-tree subtrees discarded by Pruning Rule 4 (α node bound).
+  uint64_t pruned_alpha_node = 0;
+
+  /// False when the run hit the configured time limit (the paper aborts
+  /// BSP queries at 120 s).
+  bool completed = true;
+
+  void Accumulate(const QueryStats& other) {
+    total_ms += other.total_ms;
+    semantic_ms += other.semantic_ms;
+    tqsp_computations += other.tqsp_computations;
+    rtree_nodes_accessed += other.rtree_nodes_accessed;
+    vertices_visited += other.vertices_visited;
+    reachability_queries += other.reachability_queries;
+    pruned_unqualified += other.pruned_unqualified;
+    pruned_dynamic_bound += other.pruned_dynamic_bound;
+    pruned_alpha_place += other.pruned_alpha_place;
+    pruned_alpha_node += other.pruned_alpha_node;
+    completed = completed && other.completed;
+  }
+};
+
+}  // namespace ksp
+
+#endif  // KSP_CORE_STATS_H_

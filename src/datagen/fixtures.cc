@@ -1,0 +1,86 @@
+#include "datagen/fixtures.h"
+
+namespace ksp {
+
+namespace {
+constexpr std::string_view kBase = "http://example.org/";
+}  // namespace
+
+std::vector<std::string> Figure1QueryKeywords() {
+  return {"ancient", "roman", "catholic", "history"};
+}
+
+Result<std::unique_ptr<KnowledgeBase>> BuildFigure1KnowledgeBase() {
+  KnowledgeBaseBuilder builder;
+
+  auto entity = [&](std::string_view local) {
+    return builder.AddEntity(std::string(kBase) + std::string(local));
+  };
+  auto predicate = [&](std::string_view local) {
+    return std::string(kBase) + std::string(local);
+  };
+
+  // Figure 1(a): squares p1/p2 are places, circles v1..v8 are entities.
+  VertexId p1 = entity("Montmajour_Abbey");
+  VertexId v1 = entity("Romanesque_architecture");
+  VertexId v2 = entity("Saint_Peter");
+  VertexId v3 = entity("Ancient_Diocese_of_Arles");
+  VertexId v4 = entity("Architectural_history");
+  VertexId v5 = entity("Roman_Empire");
+  VertexId p2 = entity("Roman_Catholic_Diocese_of_Frejus_Toulon");
+  VertexId v6 = entity("Mary_Magdalene");
+  VertexId v7 = entity("Catholic_Church");
+  VertexId v8 = entity("Anatolia");
+
+  // Edges (predicate tokens flow into the object documents).
+  builder.AddRelation(p1, v1, predicate("subject"));
+  builder.AddRelation(p1, v2, predicate("dedication"));
+  builder.AddRelation(p1, v3, predicate("diocese"));
+  builder.AddRelation(v1, v4, predicate("subject"));
+  builder.AddRelation(v2, v5, predicate("birthPlace"));
+  builder.AddRelation(p2, v6, predicate("patron"));
+  builder.AddRelation(p2, v7, predicate("denomination"));
+  builder.AddRelation(v6, v8, predicate("deathPlace"));
+
+  // Document top-ups so Figure 1(b)'s keyword coverage (and hence Table 2)
+  // holds: v2 ⊇ {catholic, roman}, v5 ⊇ {ancient}, v7 ⊇ {history},
+  // v8 ⊇ {ancient, history}.
+  builder.AddDocumentTerm(v2, "catholic");
+  builder.AddDocumentTerm(v2, "roman");
+  builder.AddDocumentTerm(v5, "ancient");
+  builder.AddDocumentTerm(v7, "history");
+  builder.AddDocumentTerm(v8, "ancient");
+  builder.AddDocumentTerm(v8, "history");
+
+  // Figure 2 coordinates.
+  builder.SetLocation(p1, Point{43.71, 4.66});
+  builder.SetLocation(p2, Point{43.13, 5.97});
+
+  return builder.Finish();
+}
+
+std::string_view MontmajourNTriples() {
+  // Same example expressed in N-Triples; literals carry the document
+  // top-ups and geo:lat/geo:long the coordinates.
+  static constexpr std::string_view kNt = R"(# Figure 1 of the kSP paper as N-Triples.
+<http://example.org/Montmajour_Abbey> <http://example.org/subject> <http://example.org/Romanesque_architecture> .
+<http://example.org/Montmajour_Abbey> <http://example.org/dedication> <http://example.org/Saint_Peter> .
+<http://example.org/Montmajour_Abbey> <http://example.org/diocese> <http://example.org/Ancient_Diocese_of_Arles> .
+<http://example.org/Romanesque_architecture> <http://example.org/subject> <http://example.org/Architectural_history> .
+<http://example.org/Saint_Peter> <http://example.org/birthPlace> <http://example.org/Roman_Empire> .
+<http://example.org/Roman_Catholic_Diocese_of_Frejus_Toulon> <http://example.org/patron> <http://example.org/Mary_Magdalene> .
+<http://example.org/Roman_Catholic_Diocese_of_Frejus_Toulon> <http://example.org/denomination> <http://example.org/Catholic_Church> .
+<http://example.org/Mary_Magdalene> <http://example.org/deathPlace> <http://example.org/Anatolia> .
+<http://example.org/Saint_Peter> <http://example.org/note> "Roman Catholic saint" .
+<http://example.org/Roman_Empire> <http://example.org/note> "Ancient empire" .
+<http://example.org/Catholic_Church> <http://example.org/note> "History of the church" .
+<http://example.org/Anatolia> <http://example.org/note> "Ancient history region" .
+<http://example.org/Montmajour_Abbey> <http://www.w3.org/2003/01/geo/wgs84_pos#lat> "43.71" .
+<http://example.org/Montmajour_Abbey> <http://www.w3.org/2003/01/geo/wgs84_pos#long> "4.66" .
+<http://example.org/Roman_Catholic_Diocese_of_Frejus_Toulon> <http://www.w3.org/2003/01/geo/wgs84_pos#lat> "43.13" .
+<http://example.org/Roman_Catholic_Diocese_of_Frejus_Toulon> <http://www.w3.org/2003/01/geo/wgs84_pos#long> "5.97" .
+)";
+  return kNt;
+}
+
+}  // namespace ksp

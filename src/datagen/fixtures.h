@@ -1,0 +1,36 @@
+#ifndef KSP_DATAGEN_FIXTURES_H_
+#define KSP_DATAGEN_FIXTURES_H_
+
+#include <memory>
+#include <string_view>
+
+#include "common/result.h"
+#include "core/query.h"
+#include "rdf/knowledge_base.h"
+
+namespace ksp {
+
+/// The running example of the paper (Figures 1 and 2): Montmajour Abbey
+/// (p1) and the Roman Catholic Diocese (p2) with vertices v1..v8, built so
+/// that the keyword-coverage map M_q.ψ of Table 2 and the worked numbers of
+/// Examples 4-8 hold exactly:
+///   q.ψ = {ancient, roman, catholic, history}
+///   L(T_p1) = 6, L(T_p2) = 4,
+///   f(T_p1, q1) = 1.32 (top-1 at q1), f(T_p2, q2) = 0.32 (top-1 at q2).
+Result<std::unique_ptr<KnowledgeBase>> BuildFigure1KnowledgeBase();
+
+/// Query locations of Figure 2.
+inline constexpr Point kQ1{43.51, 4.75};
+inline constexpr Point kQ2{43.17, 5.90};
+
+/// Keywords of Examples 4-8.
+std::vector<std::string> Figure1QueryKeywords();
+
+/// The same example as an N-Triples document (with geo:lat/geo:long
+/// coordinate triples), exercising the parser-driven ingestion path.
+/// Feed to LoadKnowledgeBaseFromString().
+std::string_view MontmajourNTriples();
+
+}  // namespace ksp
+
+#endif  // KSP_DATAGEN_FIXTURES_H_

@@ -1,0 +1,172 @@
+#include "datagen/query_gen.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/rng.h"
+
+namespace ksp {
+
+namespace {
+
+/// Bounded BFS from `root` over out-edges; returns (vertex, depth) pairs in
+/// visiting order, root included at depth 0.
+std::vector<std::pair<VertexId, uint32_t>> BoundedBfs(
+    const Graph& graph, VertexId root, uint32_t max_depth,
+    uint32_t max_vertices) {
+  std::vector<std::pair<VertexId, uint32_t>> visited;
+  std::unordered_set<VertexId> seen;
+  visited.emplace_back(root, 0);
+  seen.insert(root);
+  for (size_t qi = 0; qi < visited.size() && visited.size() < max_vertices;
+       ++qi) {
+    auto [v, d] = visited[qi];
+    if (d >= max_depth) continue;
+    for (VertexId w : graph.OutNeighbors(v)) {
+      if (seen.insert(w).second) {
+        visited.emplace_back(w, d + 1);
+        if (visited.size() >= max_vertices) break;
+      }
+    }
+  }
+  return visited;
+}
+
+/// Picks a random term of `v`'s document, or kInvalidTerm for empty docs.
+TermId RandomDocTerm(const DocumentStore& docs, VertexId v, Rng* rng) {
+  auto terms = docs.Terms(v);
+  if (terms.empty()) return kInvalidTerm;
+  return terms[rng->NextBounded(terms.size())];
+}
+
+/// §6.1 original generator: one attempt; false if the seed place is too
+/// isolated (fewer than |q.ψ|/2 reachable vertices).
+bool TryGenerateOriginal(const KnowledgeBase& kb,
+                         const QueryGenOptions& options, Rng* rng,
+                         KspQuery* query) {
+  const PlaceId place =
+      static_cast<PlaceId>(rng->NextBounded(kb.num_places()));
+  const VertexId root = kb.place_vertex(place);
+  const uint32_t m = options.num_keywords;
+
+  auto reachable = BoundedBfs(kb.graph(), root, options.max_bfs_depth,
+                              options.max_bfs_vertices);
+  const size_t min_vertices = std::max<size_t>(1, m / 2);
+  if (reachable.size() < min_vertices) return false;
+
+  // Select between m/2 and m*factor reachable vertices at random, then at
+  // most m of them contribute one keyword each.
+  const size_t hi = std::min<size_t>(
+      reachable.size(), static_cast<size_t>(m * options.factor));
+  const size_t lo = std::min<size_t>(min_vertices, hi);
+  const size_t num_selected =
+      lo + static_cast<size_t>(rng->NextBounded(hi - lo + 1));
+  std::vector<std::pair<VertexId, uint32_t>> pool = reachable;
+  rng->Shuffle(&pool);
+  pool.resize(num_selected);
+  rng->Shuffle(&pool);
+
+  query->keywords.clear();
+  const DocumentStore& docs = kb.documents();
+  for (size_t i = 0; i < pool.size() && query->keywords.size() < m; ++i) {
+    TermId t = RandomDocTerm(docs, pool[i].first, rng);
+    if (t != kInvalidTerm) query->keywords.push_back(t);
+  }
+  // Top up to m keywords by re-sampling selected vertices.
+  for (size_t guard = 0; query->keywords.size() < m && guard < 64; ++guard) {
+    TermId t = RandomDocTerm(
+        docs, pool[rng->NextBounded(pool.size())].first, rng);
+    if (t != kInvalidTerm) query->keywords.push_back(t);
+  }
+  if (query->keywords.empty()) return false;
+
+  const Point p = kb.place_location(place);
+  query->location =
+      Point{p.x + rng->NextDouble(-options.location_range,
+                                  options.location_range),
+            p.y + rng->NextDouble(-options.location_range,
+                                  options.location_range)};
+  query->k = options.k;
+  return true;
+}
+
+/// §6.2.5 SDLL/LDLL generator: infrequent keywords beyond min_hops.
+bool TryGenerateLargeLooseness(const KnowledgeBase& kb,
+                               const QueryGenOptions& options, bool distant,
+                               Rng* rng, KspQuery* query) {
+  const PlaceId place =
+      static_cast<PlaceId>(rng->NextBounded(kb.num_places()));
+  const VertexId root = kb.place_vertex(place);
+  const uint32_t m = options.num_keywords;
+
+  auto reachable = BoundedBfs(kb.graph(), root, options.max_bfs_depth,
+                              options.max_bfs_vertices);
+  // Candidate terms: infrequent, first seen beyond min_hops from the seed.
+  std::vector<TermId> candidates;
+  const DocumentStore& docs = kb.documents();
+  const MemoryInvertedIndex& index = kb.inverted_index();
+  for (const auto& [v, d] : reachable) {
+    if (d <= options.min_hops) continue;
+    for (TermId t : docs.Terms(v)) {
+      if (index.Postings(t).size() < options.infrequent_threshold) {
+        candidates.push_back(t);
+      }
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  if (candidates.size() < m) return false;
+
+  rng->Shuffle(&candidates);
+  query->keywords.assign(candidates.begin(), candidates.begin() + m);
+
+  const Point p = kb.place_location(place);
+  if (distant) {
+    // LDLL: shift longitude by +90 degrees.
+    query->location = Point{p.x, p.y + 90.0};
+  } else {
+    // SDLL: near the seed place.
+    query->location =
+        Point{p.x + rng->NextDouble(-options.sdll_offset,
+                                    options.sdll_offset),
+              p.y + rng->NextDouble(-options.sdll_offset,
+                                    options.sdll_offset)};
+  }
+  query->k = options.k;
+  return true;
+}
+
+}  // namespace
+
+std::vector<KspQuery> GenerateQueries(const KnowledgeBase& kb,
+                                      QueryClass query_class,
+                                      const QueryGenOptions& options,
+                                      size_t count) {
+  std::vector<KspQuery> queries;
+  if (kb.num_places() == 0) return queries;
+  Rng rng(options.seed);
+  // Bounded retries: a sparse KB may not support the requested class.
+  size_t attempts_left = count * 200 + 1000;
+  while (queries.size() < count && attempts_left-- > 0) {
+    KspQuery query;
+    bool ok = false;
+    switch (query_class) {
+      case QueryClass::kOriginal:
+        ok = TryGenerateOriginal(kb, options, &rng, &query);
+        break;
+      case QueryClass::kSDLL:
+        ok = TryGenerateLargeLooseness(kb, options, /*distant=*/false, &rng,
+                                       &query);
+        break;
+      case QueryClass::kLDLL:
+        ok = TryGenerateLargeLooseness(kb, options, /*distant=*/true, &rng,
+                                       &query);
+        break;
+    }
+    if (ok) queries.push_back(std::move(query));
+  }
+  return queries;
+}
+
+}  // namespace ksp

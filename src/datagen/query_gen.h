@@ -1,0 +1,49 @@
+#ifndef KSP_DATAGEN_QUERY_GEN_H_
+#define KSP_DATAGEN_QUERY_GEN_H_
+
+#include <vector>
+
+#include "core/query.h"
+#include "rdf/knowledge_base.h"
+
+namespace ksp {
+
+/// The three query workloads of the evaluation:
+///  - kOriginal (§6.1): keywords drawn from documents of vertices reachable
+///    from a random place, location a large range around that place.
+///  - kSDLL / kLDLL (§6.2.5): infrequent keywords (posting length < 100)
+///    beyond 4 hops from the seed place; location near the place (SDLL) or
+///    shifted by +90 longitude degrees (LDLL). Results then have large
+///    looseness, with small/large spatial distance respectively.
+enum class QueryClass { kOriginal, kSDLL, kLDLL };
+
+struct QueryGenOptions {
+  uint32_t num_keywords = 5;  // |q.ψ|
+  uint32_t k = 5;
+  /// §6.1: between |q.ψ|/2 and |q.ψ|·factor candidate vertices are picked.
+  double factor = 2.0;
+  /// kOriginal: query location uniform in a box of this half-width (in
+  /// coordinate degrees) around the seed place.
+  double location_range = 2.0;
+  /// kSDLL: location offset magnitude from the seed place.
+  double sdll_offset = 0.1;
+  /// Keywords for SDLL/LDLL must have posting length below this.
+  uint32_t infrequent_threshold = 100;
+  /// SDLL/LDLL keywords must come from vertices strictly beyond this depth.
+  uint32_t min_hops = 4;
+  /// BFS exploration caps (keeps generation cheap on large graphs).
+  uint32_t max_bfs_depth = 8;
+  uint32_t max_bfs_vertices = 20000;
+  uint64_t seed = 7;
+};
+
+/// Generates `count` queries of the given class. Returns fewer than
+/// `count` only if the KB is too small to seed them (e.g., no places).
+std::vector<KspQuery> GenerateQueries(const KnowledgeBase& kb,
+                                      QueryClass query_class,
+                                      const QueryGenOptions& options,
+                                      size_t count);
+
+}  // namespace ksp
+
+#endif  // KSP_DATAGEN_QUERY_GEN_H_

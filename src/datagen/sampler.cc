@@ -1,0 +1,87 @@
+#include "datagen/sampler.h"
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ksp {
+
+Result<std::unique_ptr<KnowledgeBase>> RandomJumpSample(
+    const KnowledgeBase& kb, uint32_t target_vertices,
+    double jump_probability, uint64_t seed) {
+  const VertexId n = kb.num_vertices();
+  if (n == 0) return Status::InvalidArgument("empty knowledge base");
+  target_vertices = std::min<uint32_t>(target_vertices, n);
+
+  Rng rng(seed);
+  std::vector<bool> sampled(n, false);
+  uint32_t num_sampled = 0;
+  const Graph& graph = kb.graph();
+
+  VertexId current = static_cast<VertexId>(rng.NextBounded(n));
+  // Guard: at most ~50 steps per target vertex before we fall back to
+  // uniform filling (degenerate graphs).
+  uint64_t steps_left = static_cast<uint64_t>(target_vertices) * 50 + 1000;
+  while (num_sampled < target_vertices && steps_left-- > 0) {
+    if (!sampled[current]) {
+      sampled[current] = true;
+      ++num_sampled;
+    }
+    auto out = graph.OutNeighbors(current);
+    if (out.empty() || rng.NextBool(jump_probability)) {
+      current = static_cast<VertexId>(rng.NextBounded(n));
+    } else {
+      current = out[rng.NextBounded(out.size())];
+    }
+  }
+  // Fill any remainder uniformly (keeps the requested size exact).
+  while (num_sampled < target_vertices) {
+    VertexId v = static_cast<VertexId>(rng.NextBounded(n));
+    if (!sampled[v]) {
+      sampled[v] = true;
+      ++num_sampled;
+    }
+  }
+
+  // Rebuild the induced subgraph through the standard builder. Documents
+  // are copied verbatim; AddRelation re-adds predicate tokens to object
+  // documents, which the document builder de-duplicates.
+  KnowledgeBaseOptions options;
+  options.tokenizer.split_camel_case = false;
+  options.tokenizer.min_token_length = 1;
+  options.tokenizer.drop_stopwords = false;
+  KnowledgeBaseBuilder builder(options);
+
+  std::vector<VertexId> new_id(n, kInvalidVertex);
+  for (VertexId v = 0; v < n; ++v) {
+    if (!sampled[v]) continue;
+    new_id[v] = builder.AddEntity(kb.VertexIri(v));
+  }
+  const DocumentStore& docs = kb.documents();
+  const Vocabulary& vocab = kb.vocabulary();
+  for (VertexId v = 0; v < n; ++v) {
+    if (!sampled[v]) continue;
+    const VertexId nv = new_id[v];
+    for (TermId t : docs.Terms(v)) {
+      builder.AddDocumentTerm(nv, vocab.Term(t));
+    }
+    PlaceId p = kb.place_of(v);
+    if (p != kInvalidPlace) {
+      builder.SetLocation(nv, kb.place_location(p));
+    }
+  }
+  const Vocabulary& predicates = kb.predicate_dictionary();
+  for (VertexId v = 0; v < n; ++v) {
+    if (!sampled[v]) continue;
+    auto neighbors = graph.OutNeighbors(v);
+    auto preds = graph.OutPredicates(v);
+    for (size_t i = 0; i < neighbors.size(); ++i) {
+      if (!sampled[neighbors[i]]) continue;
+      builder.AddRelation(new_id[v], new_id[neighbors[i]],
+                          predicates.Term(preds[i]));
+    }
+  }
+  return builder.Finish();
+}
+
+}  // namespace ksp

@@ -1,0 +1,22 @@
+#ifndef KSP_DATAGEN_SAMPLER_H_
+#define KSP_DATAGEN_SAMPLER_H_
+
+#include <memory>
+
+#include "common/result.h"
+#include "rdf/knowledge_base.h"
+
+namespace ksp {
+
+/// Random-jump graph sampling (Leskovec & Faloutsos [44], §6.2.4): a random
+/// walk over out-edges that restarts at a uniformly random vertex with
+/// probability `jump_probability` (the paper uses c = 0.15), collecting
+/// distinct vertices until `target_vertices` are sampled. The returned KB
+/// is the induced subgraph with documents and place coordinates preserved.
+Result<std::unique_ptr<KnowledgeBase>> RandomJumpSample(
+    const KnowledgeBase& kb, uint32_t target_vertices,
+    double jump_probability, uint64_t seed);
+
+}  // namespace ksp
+
+#endif  // KSP_DATAGEN_SAMPLER_H_

@@ -1,0 +1,58 @@
+#ifndef KSP_DATAGEN_SYNTHETIC_H_
+#define KSP_DATAGEN_SYNTHETIC_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "rdf/knowledge_base.h"
+
+namespace ksp {
+
+/// Statistical profile of a synthetic spatial RDF knowledge base. The two
+/// factory profiles are calibrated to the per-vertex statistics the paper
+/// reports for DBpedia and Yago (§6.1); absolute sizes are scaled by the
+/// caller so experiments run on one machine (see DESIGN.md, substitution 1).
+struct SyntheticProfile {
+  std::string name = "synthetic";
+  uint32_t num_vertices = 100000;
+  /// Mean out-degree (DBpedia 72.2M/8.1M ≈ 8.9; Yago 50.4M/8.1M ≈ 6.2).
+  double avg_out_degree = 8.0;
+  /// Fraction of vertices that are places (DBpedia 0.109; Yago 0.59).
+  double place_fraction = 0.1;
+  /// Shared keyword vocabulary size as a fraction of num_vertices
+  /// (DBpedia 2.93M/8.1M ≈ 0.36; Yago 3.78M/8.1M ≈ 0.47).
+  double vocabulary_fraction = 0.36;
+  /// Mean number of shared-vocabulary terms per document. Together with
+  /// vocabulary_fraction this controls the paper's "keyword frequency"
+  /// (mean posting length): kw_freq ≈ avg_doc_terms / vocabulary_fraction.
+  double avg_doc_terms = 20.0;
+  /// Zipf skew of term usage.
+  double zipf_skew = 1.0;
+  /// Fraction of edge targets drawn preferentially (hub bias).
+  double hub_bias = 0.3;
+  /// Spatial model: places cluster around Gaussian centers, giving the
+  /// collocation of similar places the paper relies on in §6.2.5 [17,18].
+  uint32_t num_clusters = 64;
+  double cluster_stddev = 0.35;
+  /// World bounding box in coordinate degrees (x = lat, y = lon).
+  double min_x = 35.0, max_x = 60.0, min_y = -10.0, max_y = 30.0;
+  /// Couples place documents to their spatial cluster so nearby places
+  /// share topical terms.
+  bool correlate_terms_with_space = true;
+  uint64_t seed = 42;
+
+  /// DBpedia-like: text-rich (high keyword frequency), few places.
+  static SyntheticProfile DBpediaLike(uint32_t num_vertices);
+  /// Yago-like: sparse text (low keyword frequency), places dominate.
+  static SyntheticProfile YagoLike(uint32_t num_vertices);
+};
+
+/// Generates a knowledge base through the standard builder (the same code
+/// path N-Triples ingestion uses).
+Result<std::unique_ptr<KnowledgeBase>> GenerateKnowledgeBase(
+    const SyntheticProfile& profile);
+
+}  // namespace ksp
+
+#endif  // KSP_DATAGEN_SYNTHETIC_H_

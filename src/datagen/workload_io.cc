@@ -1,0 +1,66 @@
+#include "datagen/workload_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace ksp {
+
+Status SaveWorkload(const KnowledgeBase& kb,
+                    const std::vector<KspQuery>& queries,
+                    const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  out << "# kSP workload: lat lon k keyword...\n";
+  for (const KspQuery& q : queries) {
+    char head[96];
+    std::snprintf(head, sizeof(head), "%.17g %.17g %u", q.location.x,
+                  q.location.y, q.k);
+    out << head;
+    for (TermId t : q.keywords) {
+      if (t == kInvalidTerm) {
+        return Status::InvalidArgument(
+            "workload contains an unresolvable keyword");
+      }
+      out << ' ' << kb.vocabulary().Term(t);
+    }
+    out << '\n';
+  }
+  out.flush();
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<std::vector<KspQuery>> LoadWorkload(const KnowledgeBase& kb,
+                                           const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open: " + path);
+  std::vector<KspQuery> queries;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view trimmed = TrimWhitespace(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    std::istringstream fields{std::string(trimmed)};
+    KspQuery q;
+    if (!(fields >> q.location.x >> q.location.y >> q.k)) {
+      return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
+                                     ": malformed query header");
+    }
+    std::vector<std::string> keywords;
+    std::string keyword;
+    while (fields >> keyword) keywords.push_back(keyword);
+    if (keywords.empty()) {
+      return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
+                                     ": query has no keywords");
+    }
+    q.keywords = kb.LookupTerms(keywords);
+    queries.push_back(std::move(q));
+  }
+  return queries;
+}
+
+}  // namespace ksp

@@ -1,0 +1,31 @@
+#ifndef KSP_DATAGEN_WORKLOAD_IO_H_
+#define KSP_DATAGEN_WORKLOAD_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/query.h"
+#include "rdf/knowledge_base.h"
+
+namespace ksp {
+
+/// Text serialization of a query workload, portable across KBs that share
+/// keyword strings (e.g., the random-jump samples of §6.2.4, where the
+/// paper generates queries on the smallest dataset and replays them on
+/// all). Format, one query per line:
+///   <lat> <lon> <k> <keyword> [<keyword>...]
+/// '#' lines are comments.
+Status SaveWorkload(const KnowledgeBase& kb,
+                    const std::vector<KspQuery>& queries,
+                    const std::string& path);
+
+/// Loads a workload, resolving keywords against `kb`'s vocabulary
+/// (unknown keywords map to kInvalidTerm, making that query empty-result,
+/// mirroring MakeQuery semantics).
+Result<std::vector<KspQuery>> LoadWorkload(const KnowledgeBase& kb,
+                                           const std::string& path);
+
+}  // namespace ksp
+
+#endif  // KSP_DATAGEN_WORKLOAD_IO_H_

@@ -1,0 +1,110 @@
+#include "rdf/graph.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace ksp {
+
+void GraphBuilder::AddEdge(VertexId src, VertexId dst,
+                           PredicateId predicate) {
+  edges_.push_back(Edge{src, dst, predicate});
+}
+
+Graph GraphBuilder::Finish(VertexId num_vertices) {
+  // Sort by (src, dst, predicate) and drop duplicates.
+  std::sort(edges_.begin(), edges_.end(), [](const Edge& a, const Edge& b) {
+    if (a.src != b.src) return a.src < b.src;
+    if (a.dst != b.dst) return a.dst < b.dst;
+    return a.predicate < b.predicate;
+  });
+  edges_.erase(std::unique(edges_.begin(), edges_.end(),
+                           [](const Edge& a, const Edge& b) {
+                             return a.src == b.src && a.dst == b.dst &&
+                                    a.predicate == b.predicate;
+                           }),
+               edges_.end());
+
+  Graph g;
+  g.out_offsets_.assign(num_vertices + 1, 0);
+  for (const Edge& e : edges_) {
+    KSP_CHECK(e.src < num_vertices && e.dst < num_vertices)
+        << "edge endpoint out of range";
+    ++g.out_offsets_[e.src + 1];
+  }
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    g.out_offsets_[v + 1] += g.out_offsets_[v];
+  }
+  g.out_targets_.resize(edges_.size());
+  g.out_predicates_.resize(edges_.size());
+  {
+    std::vector<uint64_t> cursor(g.out_offsets_.begin(),
+                                 g.out_offsets_.end() - 1);
+    for (const Edge& e : edges_) {
+      uint64_t slot = cursor[e.src]++;
+      g.out_targets_[slot] = e.dst;
+      g.out_predicates_[slot] = e.predicate;
+    }
+  }
+
+  g.in_offsets_.assign(num_vertices + 1, 0);
+  for (const Edge& e : edges_) ++g.in_offsets_[e.dst + 1];
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    g.in_offsets_[v + 1] += g.in_offsets_[v];
+  }
+  g.in_sources_.resize(edges_.size());
+  {
+    std::vector<uint64_t> cursor(g.in_offsets_.begin(),
+                                 g.in_offsets_.end() - 1);
+    for (const Edge& e : edges_) {
+      g.in_sources_[cursor[e.dst]++] = e.src;
+    }
+  }
+
+  edges_.clear();
+  edges_.shrink_to_fit();
+  return g;
+}
+
+uint64_t Graph::MemoryUsageBytes() const {
+  return out_offsets_.capacity() * sizeof(uint64_t) +
+         out_targets_.capacity() * sizeof(VertexId) +
+         out_predicates_.capacity() * sizeof(PredicateId) +
+         in_offsets_.capacity() * sizeof(uint64_t) +
+         in_sources_.capacity() * sizeof(VertexId);
+}
+
+std::vector<uint64_t> Graph::WeaklyConnectedComponentSizes() const {
+  const VertexId n = num_vertices();
+  std::vector<VertexId> parent(n);
+  for (VertexId v = 0; v < n; ++v) parent[v] = v;
+
+  // Union-find with path halving.
+  auto find = [&](VertexId v) {
+    while (parent[v] != v) {
+      parent[v] = parent[parent[v]];
+      v = parent[v];
+    }
+    return v;
+  };
+  auto unite = [&](VertexId a, VertexId b) {
+    a = find(a);
+    b = find(b);
+    if (a != b) parent[a] = b;
+  };
+
+  for (VertexId v = 0; v < n; ++v) {
+    for (VertexId u : OutNeighbors(v)) unite(v, u);
+  }
+
+  std::vector<uint64_t> counts(n, 0);
+  for (VertexId v = 0; v < n; ++v) ++counts[find(v)];
+  std::vector<uint64_t> sizes;
+  for (uint64_t c : counts) {
+    if (c > 0) sizes.push_back(c);
+  }
+  std::sort(sizes.rbegin(), sizes.rend());
+  return sizes;
+}
+
+}  // namespace ksp

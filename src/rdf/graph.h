@@ -1,0 +1,87 @@
+#ifndef KSP_RDF_GRAPH_H_
+#define KSP_RDF_GRAPH_H_
+
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ksp {
+
+class Graph;
+
+/// Id of a predicate string in the KB's predicate dictionary.
+using PredicateId = uint32_t;
+
+/// Collects directed edges, then freezes them into a CSR Graph.
+/// Duplicate (src, dst, predicate) edges are removed at Finish().
+class GraphBuilder {
+ public:
+  void AddEdge(VertexId src, VertexId dst, PredicateId predicate);
+
+  /// Number of edges added so far (before dedup).
+  uint64_t num_pending_edges() const { return edges_.size(); }
+
+  Graph Finish(VertexId num_vertices);
+
+ private:
+  struct Edge {
+    VertexId src;
+    VertexId dst;
+    PredicateId predicate;
+  };
+  std::vector<Edge> edges_;
+};
+
+/// Immutable directed graph in native adjacency (CSR) form, with both
+/// out- and in-adjacency, as required for forward BFS (TQSP construction)
+/// and backward expansion (the TA baseline). Edge predicates are kept in
+/// arrays parallel to the out-neighbour lists.
+class Graph {
+ public:
+  Graph() = default;
+
+  VertexId num_vertices() const {
+    return static_cast<VertexId>(
+        out_offsets_.empty() ? 0 : out_offsets_.size() - 1);
+  }
+  uint64_t num_edges() const { return out_targets_.size(); }
+
+  std::span<const VertexId> OutNeighbors(VertexId v) const {
+    return {out_targets_.data() + out_offsets_[v],
+            out_targets_.data() + out_offsets_[v + 1]};
+  }
+  std::span<const PredicateId> OutPredicates(VertexId v) const {
+    return {out_predicates_.data() + out_offsets_[v],
+            out_predicates_.data() + out_offsets_[v + 1]};
+  }
+  std::span<const VertexId> InNeighbors(VertexId v) const {
+    return {in_sources_.data() + in_offsets_[v],
+            in_sources_.data() + in_offsets_[v + 1]};
+  }
+
+  uint32_t OutDegree(VertexId v) const {
+    return static_cast<uint32_t>(out_offsets_[v + 1] - out_offsets_[v]);
+  }
+  uint32_t InDegree(VertexId v) const {
+    return static_cast<uint32_t>(in_offsets_[v + 1] - in_offsets_[v]);
+  }
+
+  uint64_t MemoryUsageBytes() const;
+
+  /// Weakly-connected-component sizes in decreasing order (the dataset
+  /// statistic reported in §6.1).
+  std::vector<uint64_t> WeaklyConnectedComponentSizes() const;
+
+ private:
+  friend class GraphBuilder;
+  std::vector<uint64_t> out_offsets_;  // size n+1
+  std::vector<VertexId> out_targets_;
+  std::vector<PredicateId> out_predicates_;
+  std::vector<uint64_t> in_offsets_;  // size n+1
+  std::vector<VertexId> in_sources_;
+};
+
+}  // namespace ksp
+
+#endif  // KSP_RDF_GRAPH_H_

@@ -1,0 +1,34 @@
+#ifndef KSP_RDF_KB_IO_H_
+#define KSP_RDF_KB_IO_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "rdf/knowledge_base.h"
+
+namespace ksp {
+
+/// Binary snapshot of a KnowledgeBase — the "disk-based representation"
+/// escape hatch the paper mentions for data that outgrows RAM-friendly
+/// rebuild times. Saving then loading reproduces vertex ids, term ids,
+/// documents, edges (with predicates), and the place registry exactly,
+/// so indexes built on a loaded KB behave identically.
+///
+/// Format (little-endian, varint-packed, CRC-free but magic-framed):
+///   header:  magic u32, version u32
+///   section: vocabulary (term strings)
+///   section: predicate dictionary
+///   section: vertex IRIs
+///   section: documents CSR
+///   section: out-edge CSR with predicate ids
+///   section: places (vertex id, lat, lon)
+///   footer:  magic u32
+Status SaveKnowledgeBase(const KnowledgeBase& kb, const std::string& path);
+
+Result<std::unique_ptr<KnowledgeBase>> LoadKnowledgeBaseSnapshot(
+    const std::string& path);
+
+}  // namespace ksp
+
+#endif  // KSP_RDF_KB_IO_H_

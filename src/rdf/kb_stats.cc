@@ -1,0 +1,53 @@
+#include "rdf/kb_stats.h"
+
+#include <cstdio>
+
+namespace ksp {
+
+KnowledgeBaseStats ComputeKnowledgeBaseStats(const KnowledgeBase& kb) {
+  KnowledgeBaseStats stats;
+  stats.num_vertices = kb.num_vertices();
+  stats.num_edges = kb.num_edges();
+  stats.num_places = kb.num_places();
+  stats.num_terms = kb.num_terms();
+  stats.total_postings = kb.inverted_index().NumPostings();
+  stats.keyword_frequency = kb.inverted_index().AveragePostingLength();
+  stats.avg_document_length = kb.documents().AverageDocumentLength();
+  stats.avg_out_degree =
+      stats.num_vertices == 0
+          ? 0.0
+          : static_cast<double>(stats.num_edges) /
+                static_cast<double>(stats.num_vertices);
+  stats.place_fraction =
+      stats.num_vertices == 0
+          ? 0.0
+          : static_cast<double>(stats.num_places) /
+                static_cast<double>(stats.num_vertices);
+  stats.wcc_sizes = kb.graph().WeaklyConnectedComponentSizes();
+  return stats;
+}
+
+std::string KnowledgeBaseStats::ToString() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "vertices=%llu edges=%llu (avg out-degree %.2f)\n"
+      "places=%llu (%.1f%% of vertices)\n"
+      "terms=%llu postings=%llu keyword-frequency=%.2f "
+      "avg-doc-length=%.2f\n"
+      "WCCs=%llu largest=%llu (%.1f%% of vertices)",
+      static_cast<unsigned long long>(num_vertices),
+      static_cast<unsigned long long>(num_edges), avg_out_degree,
+      static_cast<unsigned long long>(num_places), place_fraction * 100.0,
+      static_cast<unsigned long long>(num_terms),
+      static_cast<unsigned long long>(total_postings), keyword_frequency,
+      avg_document_length, static_cast<unsigned long long>(NumWccs()),
+      static_cast<unsigned long long>(LargestWcc()),
+      num_vertices == 0
+          ? 0.0
+          : 100.0 * static_cast<double>(LargestWcc()) /
+                static_cast<double>(num_vertices));
+  return buf;
+}
+
+}  // namespace ksp

@@ -1,0 +1,42 @@
+#ifndef KSP_RDF_KB_STATS_H_
+#define KSP_RDF_KB_STATS_H_
+
+#include <string>
+#include <vector>
+
+#include "rdf/knowledge_base.h"
+
+namespace ksp {
+
+/// The dataset statistics §6.1 reports for DBpedia and Yago: sizes, place
+/// counts, vocabulary, keyword frequency (mean posting length), and the
+/// weakly-connected-component structure.
+struct KnowledgeBaseStats {
+  uint64_t num_vertices = 0;
+  uint64_t num_edges = 0;
+  uint64_t num_places = 0;
+  uint64_t num_terms = 0;
+  uint64_t total_postings = 0;
+  /// Mean posting-list length over non-empty terms.
+  double keyword_frequency = 0.0;
+  double avg_document_length = 0.0;
+  double avg_out_degree = 0.0;
+  double place_fraction = 0.0;
+  /// WCC sizes, descending.
+  std::vector<uint64_t> wcc_sizes;
+
+  uint64_t LargestWcc() const {
+    return wcc_sizes.empty() ? 0 : wcc_sizes.front();
+  }
+  uint64_t NumWccs() const { return wcc_sizes.size(); }
+
+  /// Multi-line human-readable summary in the style of §6.1.
+  std::string ToString() const;
+};
+
+/// Computes all statistics (runs a union-find pass for the WCCs).
+KnowledgeBaseStats ComputeKnowledgeBaseStats(const KnowledgeBase& kb);
+
+}  // namespace ksp
+
+#endif  // KSP_RDF_KB_STATS_H_

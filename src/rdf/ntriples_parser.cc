@@ -1,0 +1,324 @@
+#include "rdf/ntriples_parser.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/strings.h"
+
+namespace ksp {
+
+namespace {
+
+/// Cursor over one line with error reporting helpers.
+class LineCursor {
+ public:
+  explicit LineCursor(std::string_view line) : line_(line) {}
+
+  void SkipWhitespace() {
+    while (pos_ < line_.size() &&
+           (line_[pos_] == ' ' || line_[pos_] == '\t')) {
+      ++pos_;
+    }
+  }
+
+  bool AtEnd() const { return pos_ >= line_.size(); }
+  char Peek() const { return line_[pos_]; }
+  void Advance() { ++pos_; }
+  size_t pos() const { return pos_; }
+  std::string_view Remaining() const { return line_.substr(pos_); }
+
+  /// Consumes "<...>" and returns the IRI body.
+  Result<std::string> ReadIri() {
+    if (AtEnd() || Peek() != '<') {
+      return Status::InvalidArgument("expected '<' at column " +
+                                     std::to_string(pos_));
+    }
+    Advance();
+    size_t start = pos_;
+    while (!AtEnd() && Peek() != '>') Advance();
+    if (AtEnd()) {
+      return Status::InvalidArgument("unterminated IRI");
+    }
+    std::string iri(line_.substr(start, pos_ - start));
+    Advance();  // consume '>'
+    return iri;
+  }
+
+  /// Consumes a blank-node label "_:name".
+  Result<std::string> ReadBlankNode() {
+    size_t start = pos_;
+    pos_ += 2;  // "_:"
+    while (!AtEnd() && Peek() != ' ' && Peek() != '\t') Advance();
+    return std::string(line_.substr(start, pos_ - start));
+  }
+
+  /// Consumes a quoted literal with escape decoding.
+  Result<std::string> ReadLiteralBody() {
+    Advance();  // consume opening quote
+    std::string out;
+    while (!AtEnd()) {
+      char c = Peek();
+      if (c == '"') {
+        Advance();
+        return out;
+      }
+      if (c == '\\') {
+        Advance();
+        if (AtEnd()) return Status::InvalidArgument("dangling escape");
+        char e = Peek();
+        Advance();
+        switch (e) {
+          case 't':
+            out.push_back('\t');
+            break;
+          case 'n':
+            out.push_back('\n');
+            break;
+          case 'r':
+            out.push_back('\r');
+            break;
+          case '"':
+            out.push_back('"');
+            break;
+          case '\\':
+            out.push_back('\\');
+            break;
+          case 'u':
+          case 'U': {
+            size_t digits = (e == 'u') ? 4 : 8;
+            if (pos_ + digits > line_.size()) {
+              return Status::InvalidArgument("truncated \\u escape");
+            }
+            uint32_t cp = 0;
+            for (size_t i = 0; i < digits; ++i) {
+              char h = line_[pos_ + i];
+              cp <<= 4;
+              if (h >= '0' && h <= '9') {
+                cp |= static_cast<uint32_t>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                cp |= static_cast<uint32_t>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                cp |= static_cast<uint32_t>(h - 'A' + 10);
+              } else {
+                return Status::InvalidArgument("bad hex digit in escape");
+              }
+            }
+            pos_ += digits;
+            AppendUtf8(cp, &out);
+            break;
+          }
+          default:
+            return Status::InvalidArgument(std::string("unknown escape \\") +
+                                           e);
+        }
+        continue;
+      }
+      out.push_back(c);
+      Advance();
+    }
+    return Status::InvalidArgument("unterminated literal");
+  }
+
+ private:
+  static void AppendUtf8(uint32_t cp, std::string* out) {
+    if (cp <= 0x7F) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp <= 0x7FF) {
+      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp <= 0xFFFF) {
+      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  std::string_view line_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+NTriplesParser::NTriplesParser(Options options) : options_(options) {}
+
+bool NTriplesParser::IsBlankOrComment(std::string_view line) {
+  std::string_view trimmed = TrimWhitespace(line);
+  return trimmed.empty() || trimmed.front() == '#';
+}
+
+Result<Triple> NTriplesParser::ParseLine(std::string_view line) const {
+  LineCursor cursor(line);
+  Triple triple;
+
+  cursor.SkipWhitespace();
+  if (cursor.AtEnd()) return Status::InvalidArgument("empty line");
+  if (cursor.Peek() == '_') {
+    KSP_ASSIGN_OR_RETURN(triple.subject, cursor.ReadBlankNode());
+  } else {
+    KSP_ASSIGN_OR_RETURN(triple.subject, cursor.ReadIri());
+  }
+
+  cursor.SkipWhitespace();
+  KSP_ASSIGN_OR_RETURN(triple.predicate, cursor.ReadIri());
+
+  cursor.SkipWhitespace();
+  if (cursor.AtEnd()) return Status::InvalidArgument("missing object");
+  char first = cursor.Peek();
+  if (first == '<') {
+    KSP_ASSIGN_OR_RETURN(triple.object, cursor.ReadIri());
+    triple.object_kind = ObjectKind::kIri;
+  } else if (first == '_') {
+    KSP_ASSIGN_OR_RETURN(triple.object, cursor.ReadBlankNode());
+    triple.object_kind = ObjectKind::kIri;
+  } else if (first == '"') {
+    KSP_ASSIGN_OR_RETURN(triple.object, cursor.ReadLiteralBody());
+    triple.object_kind = ObjectKind::kLiteral;
+    if (!cursor.AtEnd() && cursor.Peek() == '@') {
+      cursor.Advance();
+      size_t start = cursor.pos();
+      while (!cursor.AtEnd() && cursor.Peek() != ' ' &&
+             cursor.Peek() != '\t') {
+        cursor.Advance();
+      }
+      triple.language = std::string(line.substr(start, cursor.pos() - start));
+    } else if (cursor.Remaining().size() >= 2 &&
+               cursor.Remaining().substr(0, 2) == "^^") {
+      cursor.Advance();
+      cursor.Advance();
+      KSP_ASSIGN_OR_RETURN(triple.datatype, cursor.ReadIri());
+    }
+  } else {
+    return Status::InvalidArgument("unexpected object start '" +
+                                   std::string(1, first) + "'");
+  }
+
+  cursor.SkipWhitespace();
+  if (cursor.AtEnd() || cursor.Peek() != '.') {
+    return Status::InvalidArgument("missing terminating '.'");
+  }
+  cursor.Advance();
+  cursor.SkipWhitespace();
+  if (!cursor.AtEnd()) {
+    return Status::InvalidArgument("trailing garbage after '.'");
+  }
+  return triple;
+}
+
+Result<uint64_t> NTriplesParser::ParseString(
+    std::string_view text, const std::function<void(const Triple&)>& sink,
+    uint64_t* malformed_lines) const {
+  uint64_t parsed = 0;
+  uint64_t malformed = 0;
+  size_t line_no = 0;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = text.substr(start, end - start);
+    ++line_no;
+    if (!IsBlankOrComment(line)) {
+      auto result = ParseLine(line);
+      if (result.ok()) {
+        sink(result.value());
+        ++parsed;
+      } else if (options_.strict) {
+        return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                       ": " + result.status().message());
+      } else {
+        ++malformed;
+      }
+    }
+    if (end == text.size()) break;
+    start = end + 1;
+  }
+  if (malformed_lines != nullptr) *malformed_lines = malformed;
+  return parsed;
+}
+
+Result<uint64_t> NTriplesParser::ParseFile(
+    const std::string& path, const std::function<void(const Triple&)>& sink,
+    uint64_t* malformed_lines) const {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open: " + path);
+  uint64_t parsed = 0;
+  uint64_t malformed = 0;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (IsBlankOrComment(line)) continue;
+    auto result = ParseLine(line);
+    if (result.ok()) {
+      sink(result.value());
+      ++parsed;
+    } else if (options_.strict) {
+      return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
+                                     ": " + result.status().message());
+    } else {
+      ++malformed;
+    }
+  }
+  if (malformed_lines != nullptr) *malformed_lines = malformed;
+  return parsed;
+}
+
+std::string ToNTriplesLine(const Triple& triple) {
+  auto escape = [](const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      switch (c) {
+        case '"':
+          out += "\\\"";
+          break;
+        case '\\':
+          out += "\\\\";
+          break;
+        case '\n':
+          out += "\\n";
+          break;
+        case '\r':
+          out += "\\r";
+          break;
+        case '\t':
+          out += "\\t";
+          break;
+        default:
+          out.push_back(c);
+      }
+    }
+    return out;
+  };
+
+  std::string line;
+  auto append_term = [&](const std::string& term) {
+    if (StartsWith(term, "_:")) {
+      line += term;
+    } else {
+      line += "<" + term + ">";
+    }
+  };
+  append_term(triple.subject);
+  line += " ";
+  line += "<" + triple.predicate + ">";
+  line += " ";
+  if (triple.object_kind == ObjectKind::kIri) {
+    append_term(triple.object);
+  } else {
+    line += "\"" + escape(triple.object) + "\"";
+    if (!triple.language.empty()) {
+      line += "@" + triple.language;
+    } else if (!triple.datatype.empty()) {
+      line += "^^<" + triple.datatype + ">";
+    }
+  }
+  line += " .";
+  return line;
+}
+
+}  // namespace ksp

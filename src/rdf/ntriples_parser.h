@@ -1,0 +1,62 @@
+#ifndef KSP_RDF_NTRIPLES_PARSER_H_
+#define KSP_RDF_NTRIPLES_PARSER_H_
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "rdf/triple.h"
+
+namespace ksp {
+
+/// Streaming parser for the N-Triples subset used by DBpedia/Yago dumps:
+///   <subj> <pred> <obj> .
+///   <subj> <pred> "literal" .
+///   <subj> <pred> "literal"@lang .
+///   <subj> <pred> "literal"^^<datatype> .
+/// Blank lines and '#' comment lines are skipped. Literal escapes
+/// (\" \\ \n \r \t \uXXXX \UXXXXXXXX) are decoded. Blank nodes (_:x) are
+/// accepted and treated as IRIs with the "_:" prefix retained.
+class NTriplesParser {
+ public:
+  struct Options {
+    /// If true, a malformed line aborts parsing with a Status carrying the
+    /// line number; if false, malformed lines are counted and skipped.
+    bool strict = true;
+  };
+
+  NTriplesParser() : NTriplesParser(Options()) {}
+  explicit NTriplesParser(Options options);
+
+  /// Parses a single logical line. Returns InvalidArgument with context on
+  /// syntax errors. The line must not contain the trailing newline.
+  Result<Triple> ParseLine(std::string_view line) const;
+
+  /// True if the line holds no triple (blank or comment).
+  static bool IsBlankOrComment(std::string_view line);
+
+  /// Parses a whole file, invoking `sink` per triple. Returns the number of
+  /// triples parsed; in non-strict mode malformed lines are skipped and
+  /// counted in `*malformed_lines` (optional).
+  Result<uint64_t> ParseFile(
+      const std::string& path,
+      const std::function<void(const Triple&)>& sink,
+      uint64_t* malformed_lines = nullptr) const;
+
+  /// Parses an in-memory document of newline-separated triples.
+  Result<uint64_t> ParseString(
+      std::string_view text, const std::function<void(const Triple&)>& sink,
+      uint64_t* malformed_lines = nullptr) const;
+
+ private:
+  Options options_;
+};
+
+/// Serializes a triple back to one N-Triples line (escaping literals).
+std::string ToNTriplesLine(const Triple& triple);
+
+}  // namespace ksp
+
+#endif  // KSP_RDF_NTRIPLES_PARSER_H_

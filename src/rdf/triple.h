@@ -1,0 +1,36 @@
+#ifndef KSP_RDF_TRIPLE_H_
+#define KSP_RDF_TRIPLE_H_
+
+#include <string>
+
+namespace ksp {
+
+/// Kind of a triple's object term.
+enum class ObjectKind {
+  kIri,      // <http://...> — another entity.
+  kLiteral,  // "value", "value"@lang, or "value"^^<datatype>.
+};
+
+/// One parsed RDF triple. Subject and predicate are IRIs (without angle
+/// brackets); the object is an IRI or a literal with optional language tag
+/// or datatype IRI.
+struct Triple {
+  std::string subject;
+  std::string predicate;
+  std::string object;
+  ObjectKind object_kind = ObjectKind::kIri;
+  /// Language tag (without '@') if the object is a tagged literal.
+  std::string language;
+  /// Datatype IRI (without brackets) if the object is a typed literal.
+  std::string datatype;
+
+  friend bool operator==(const Triple& a, const Triple& b) {
+    return a.subject == b.subject && a.predicate == b.predicate &&
+           a.object == b.object && a.object_kind == b.object_kind &&
+           a.language == b.language && a.datatype == b.datatype;
+  }
+};
+
+}  // namespace ksp
+
+#endif  // KSP_RDF_TRIPLE_H_

@@ -1,0 +1,45 @@
+#include "reach/csr.h"
+
+#include <algorithm>
+
+namespace ksp {
+
+Csr Csr::FromEdges(uint32_t n,
+                   std::vector<std::pair<uint32_t, uint32_t>> edges,
+                   bool dedup) {
+  if (dedup) {
+    std::sort(edges.begin(), edges.end());
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  }
+  Csr csr;
+  csr.offsets.assign(n + 1, 0);
+  for (const auto& [src, dst] : edges) {
+    (void)dst;
+    ++csr.offsets[src + 1];
+  }
+  for (uint32_t v = 0; v < n; ++v) csr.offsets[v + 1] += csr.offsets[v];
+  csr.targets.resize(edges.size());
+  std::vector<uint64_t> cursor(csr.offsets.begin(), csr.offsets.end() - 1);
+  for (const auto& [src, dst] : edges) {
+    csr.targets[cursor[src]++] = dst;
+  }
+  return csr;
+}
+
+Csr Csr::Reversed() const {
+  const uint32_t n = num_vertices();
+  Csr rev;
+  rev.offsets.assign(n + 1, 0);
+  for (uint32_t t : targets) ++rev.offsets[t + 1];
+  for (uint32_t v = 0; v < n; ++v) rev.offsets[v + 1] += rev.offsets[v];
+  rev.targets.resize(targets.size());
+  std::vector<uint64_t> cursor(rev.offsets.begin(), rev.offsets.end() - 1);
+  for (uint32_t v = 0; v < n; ++v) {
+    for (uint32_t t : Neighbors(v)) {
+      rev.targets[cursor[t]++] = v;
+    }
+  }
+  return rev;
+}
+
+}  // namespace ksp

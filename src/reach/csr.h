@@ -1,0 +1,42 @@
+#ifndef KSP_REACH_CSR_H_
+#define KSP_REACH_CSR_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ksp {
+
+/// Minimal CSR adjacency used internally by the reachability machinery
+/// (augmented graphs, condensed DAGs). Vertex ids are dense uint32.
+struct Csr {
+  std::vector<uint64_t> offsets;  // size n+1
+  std::vector<uint32_t> targets;
+
+  uint32_t num_vertices() const {
+    return static_cast<uint32_t>(offsets.empty() ? 0 : offsets.size() - 1);
+  }
+  uint64_t num_edges() const { return targets.size(); }
+
+  std::span<const uint32_t> Neighbors(uint32_t v) const {
+    return {targets.data() + offsets[v], targets.data() + offsets[v + 1]};
+  }
+
+  /// Builds a CSR from an edge list (pairs may contain duplicates; they are
+  /// kept unless `dedup`).
+  static Csr FromEdges(uint32_t n,
+                       std::vector<std::pair<uint32_t, uint32_t>> edges,
+                       bool dedup);
+
+  /// Edge-reversed copy.
+  Csr Reversed() const;
+
+  uint64_t MemoryUsageBytes() const {
+    return offsets.capacity() * sizeof(uint64_t) +
+           targets.capacity() * sizeof(uint32_t);
+  }
+};
+
+}  // namespace ksp
+
+#endif  // KSP_REACH_CSR_H_

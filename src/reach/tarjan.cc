@@ -1,0 +1,83 @@
+#include "reach/tarjan.h"
+
+#include <algorithm>
+
+namespace ksp {
+
+SccDecomposition ComputeScc(const Csr& graph) {
+  const uint32_t n = graph.num_vertices();
+  constexpr uint32_t kUnvisited = 0xFFFFFFFFu;
+
+  SccDecomposition out;
+  out.component_of.assign(n, kUnvisited);
+
+  std::vector<uint32_t> index(n, kUnvisited);
+  std::vector<uint32_t> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<uint32_t> stack;
+
+  // Explicit DFS frame: vertex + position in its adjacency list.
+  struct Frame {
+    uint32_t vertex;
+    uint64_t edge_pos;
+  };
+  std::vector<Frame> dfs;
+  uint32_t next_index = 0;
+
+  for (uint32_t root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    dfs.push_back(Frame{root, graph.offsets[root]});
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+
+    while (!dfs.empty()) {
+      Frame& frame = dfs.back();
+      uint32_t v = frame.vertex;
+      if (frame.edge_pos < graph.offsets[v + 1]) {
+        uint32_t w = graph.targets[frame.edge_pos++];
+        if (index[w] == kUnvisited) {
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          dfs.push_back(Frame{w, graph.offsets[w]});
+        } else if (on_stack[w]) {
+          lowlink[v] = std::min(lowlink[v], index[w]);
+        }
+        continue;
+      }
+      // v is finished.
+      if (lowlink[v] == index[v]) {
+        uint32_t comp = out.num_components++;
+        while (true) {
+          uint32_t w = stack.back();
+          stack.pop_back();
+          on_stack[w] = false;
+          out.component_of[w] = comp;
+          if (w == v) break;
+        }
+      }
+      dfs.pop_back();
+      if (!dfs.empty()) {
+        uint32_t parent = dfs.back().vertex;
+        lowlink[parent] = std::min(lowlink[parent], lowlink[v]);
+      }
+    }
+  }
+  return out;
+}
+
+Csr CondenseDag(const Csr& graph, const SccDecomposition& scc) {
+  std::vector<std::pair<uint32_t, uint32_t>> edges;
+  const uint32_t n = graph.num_vertices();
+  for (uint32_t v = 0; v < n; ++v) {
+    uint32_t cv = scc.component_of[v];
+    for (uint32_t w : graph.Neighbors(v)) {
+      uint32_t cw = scc.component_of[w];
+      if (cv != cw) edges.emplace_back(cv, cw);
+    }
+  }
+  return Csr::FromEdges(scc.num_components, std::move(edges), /*dedup=*/true);
+}
+
+}  // namespace ksp

@@ -1,0 +1,30 @@
+#ifndef KSP_REACH_TARJAN_H_
+#define KSP_REACH_TARJAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "reach/csr.h"
+
+namespace ksp {
+
+/// Result of strongly-connected-component decomposition.
+struct SccDecomposition {
+  /// Component id per vertex. Ids are assigned in *reverse topological*
+  /// completion order by Tarjan, i.e., if u's component can reach v's
+  /// component (u ≠ v), then component_of[u] > component_of[v].
+  std::vector<uint32_t> component_of;
+  uint32_t num_components = 0;
+};
+
+/// Iterative Tarjan SCC over a CSR graph (no recursion: safe on deep
+/// chains, which RDF category hierarchies produce).
+SccDecomposition ComputeScc(const Csr& graph);
+
+/// Builds the condensed DAG: one vertex per SCC, deduplicated edges
+/// between distinct components.
+Csr CondenseDag(const Csr& graph, const SccDecomposition& scc);
+
+}  // namespace ksp
+
+#endif  // KSP_REACH_TARJAN_H_

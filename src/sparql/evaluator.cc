@@ -1,0 +1,272 @@
+#include "sparql/evaluator.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/strings.h"
+#include "sparql/parser.h"
+
+namespace ksp {
+namespace sparql {
+
+namespace {
+
+/// Current variable assignment during the backtracking join.
+using Bindings = std::unordered_map<std::string, VertexId>;
+
+/// Resolves a term under the current bindings; kInvalidVertex if it is an
+/// unbound variable, nullopt if it is an IRI absent from the KB (the
+/// pattern can never match).
+std::optional<VertexId> ResolveTerm(const KnowledgeBase& kb,
+                                    const Bindings& bindings,
+                                    const Term& term) {
+  if (term.is_variable()) {
+    auto it = bindings.find(term.value);
+    return it == bindings.end() ? kInvalidVertex : it->second;
+  }
+  auto vertex = kb.FindVertex(term.value);
+  if (!vertex.has_value()) return std::nullopt;
+  return *vertex;
+}
+
+/// Number of positions a pattern has bound under `bindings` (predicate
+/// constants count: they restrict candidates sharply).
+int BoundScore(const KnowledgeBase& kb, const Bindings& bindings,
+               const TriplePattern& pattern) {
+  int score = 0;
+  auto bound = [&](const Term& term) {
+    if (!term.is_variable()) return true;
+    return bindings.find(term.value) != bindings.end();
+  };
+  if (bound(pattern.subject)) score += 4;  // Subject access is cheapest.
+  if (bound(pattern.object)) score += 3;
+  if (bound(pattern.predicate)) score += 2;
+  (void)kb;
+  return score;
+}
+
+}  // namespace
+
+SparqlEvaluator::SparqlEvaluator(const KnowledgeBase* kb) : kb_(kb) {
+  // Predicate index: one pass over the out-adjacency.
+  const Graph& graph = kb_->graph();
+  const Vocabulary& predicates = kb_->predicate_dictionary();
+  for (VertexId s = 0; s < graph.num_vertices(); ++s) {
+    auto targets = graph.OutNeighbors(s);
+    auto preds = graph.OutPredicates(s);
+    for (size_t i = 0; i < targets.size(); ++i) {
+      predicate_edges_[predicates.Term(preds[i])].push_back(
+          Edge{s, targets[i]});
+    }
+  }
+  for (auto& [iri, edges] : predicate_edges_) {
+    (void)iri;
+    std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+      if (a.subject != b.subject) return a.subject < b.subject;
+      return a.object < b.object;
+    });
+  }
+}
+
+const std::vector<SparqlEvaluator::Edge>* SparqlEvaluator::EdgesOfPredicate(
+    std::string_view iri) const {
+  auto it = predicate_edges_.find(std::string(iri));
+  return it == predicate_edges_.end() ? nullptr : &it->second;
+}
+
+Result<SparqlResult> SparqlEvaluator::Execute(
+    const SelectQuery& query) const {
+  // Collect variables in first-occurrence order (for SELECT *) and check
+  // that projected/filtered variables exist.
+  std::vector<std::string> all_variables;
+  auto note_variable = [&](const Term& term) {
+    if (term.is_variable() &&
+        std::find(all_variables.begin(), all_variables.end(), term.value) ==
+            all_variables.end()) {
+      all_variables.push_back(term.value);
+    }
+  };
+  for (const TriplePattern& pattern : query.patterns) {
+    note_variable(pattern.subject);
+    note_variable(pattern.predicate);
+    note_variable(pattern.object);
+  }
+  SparqlResult result;
+  result.variables =
+      query.select.empty() ? all_variables : query.select;
+  for (const std::string& name : result.variables) {
+    if (std::find(all_variables.begin(), all_variables.end(), name) ==
+        all_variables.end()) {
+      return Status::InvalidArgument("SELECT variable ?" + name +
+                                     " does not occur in WHERE");
+    }
+  }
+  for (const DistanceFilter& filter : query.filters) {
+    if (std::find(all_variables.begin(), all_variables.end(),
+                  filter.variable) == all_variables.end()) {
+      return Status::InvalidArgument("FILTER variable ?" + filter.variable +
+                                     " does not occur in WHERE");
+    }
+  }
+
+  const Graph& graph = kb_->graph();
+  const Vocabulary& predicates = kb_->predicate_dictionary();
+  Bindings bindings;
+  std::vector<bool> used(query.patterns.size(), false);
+
+  // Spatial filters fire the moment their variable binds.
+  auto passes_filters = [&](const std::string& variable,
+                            VertexId vertex) {
+    for (const DistanceFilter& filter : query.filters) {
+      if (filter.variable != variable) continue;
+      PlaceId place = kb_->place_of(vertex);
+      if (place == kInvalidPlace) return false;
+      if (Distance(kb_->place_location(place), filter.center) >
+          filter.radius) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  /// Binds term := vertex (if a variable); false if inconsistent.
+  /// `undo` collects variables bound at this step.
+  auto bind = [&](const Term& term, VertexId vertex,
+                  std::vector<std::string>* undo) {
+    if (!term.is_variable()) return true;
+    auto it = bindings.find(term.value);
+    if (it != bindings.end()) return it->second == vertex;
+    if (!passes_filters(term.value, vertex)) return false;
+    bindings.emplace(term.value, vertex);
+    undo->push_back(term.value);
+    return true;
+  };
+
+  bool limit_hit = false;
+  std::function<void()> recurse = [&]() {
+    if (limit_hit) return;
+    // Pick the most-bound unused pattern.
+    int best = -1;
+    int best_score = -1;
+    for (size_t i = 0; i < query.patterns.size(); ++i) {
+      if (used[i]) continue;
+      int score = BoundScore(*kb_, bindings, query.patterns[i]);
+      if (score > best_score) {
+        best_score = score;
+        best = static_cast<int>(i);
+      }
+    }
+    if (best < 0) {
+      // All patterns satisfied: emit a row.
+      ResultRow row;
+      row.values.reserve(result.variables.size());
+      for (const std::string& name : result.variables) {
+        row.values.push_back(bindings.at(name));
+      }
+      result.rows.push_back(std::move(row));
+      if (query.limit != 0 && result.rows.size() >= query.limit) {
+        limit_hit = true;
+      }
+      return;
+    }
+
+    const TriplePattern& pattern = query.patterns[best];
+    used[best] = true;
+
+    auto subject = ResolveTerm(*kb_, bindings, pattern.subject);
+    auto object = ResolveTerm(*kb_, bindings, pattern.object);
+    // A constant IRI absent from the KB: no matches.
+    if (subject.has_value() && object.has_value()) {
+      const bool predicate_known =
+          pattern.predicate.is_variable() ||
+          kb_->predicate_dictionary().Lookup(pattern.predicate.value)
+              .has_value();
+
+      // Variable predicates were rejected up front, so the pattern's
+      // predicate is a constant IRI here.
+      auto try_edge = [&](VertexId s, VertexId o) {
+        std::vector<std::string> undo;
+        bool ok = bind(pattern.subject, s, &undo) &&
+                  bind(pattern.object, o, &undo);
+        if (ok) recurse();
+        for (const std::string& name : undo) bindings.erase(name);
+      };
+
+      if (predicate_known) {
+        if (*subject != kInvalidVertex) {
+          // Bound subject: scan its out-edges.
+          auto targets = graph.OutNeighbors(*subject);
+          auto preds = graph.OutPredicates(*subject);
+          for (size_t i = 0; i < targets.size() && !limit_hit; ++i) {
+            if (predicates.Term(preds[i]) != pattern.predicate.value) {
+              continue;
+            }
+            if (*object != kInvalidVertex && targets[i] != *object) continue;
+            try_edge(*subject, targets[i]);
+          }
+        } else if (*object != kInvalidVertex) {
+          // Bound object: candidates from the in-adjacency, verified
+          // against the out-edge predicates.
+          for (VertexId s : graph.InNeighbors(*object)) {
+            if (limit_hit) break;
+            auto targets = graph.OutNeighbors(s);
+            auto preds = graph.OutPredicates(s);
+            for (size_t i = 0; i < targets.size() && !limit_hit; ++i) {
+              if (targets[i] != *object) continue;
+              if (predicates.Term(preds[i]) != pattern.predicate.value) {
+                continue;
+              }
+              try_edge(s, *object);
+            }
+          }
+        } else {
+          // Neither endpoint bound: use the predicate index.
+          if (const auto* edges = EdgesOfPredicate(pattern.predicate.value)) {
+            for (const Edge& e : *edges) {
+              if (limit_hit) break;
+              try_edge(e.subject, e.object);
+            }
+          }
+        }
+      }
+    }
+    used[best] = false;
+  };
+
+  // Predicate variables are parsed but not evaluable (predicates are not
+  // vertices in the simplified graph).
+  for (const TriplePattern& pattern : query.patterns) {
+    if (pattern.predicate.is_variable()) {
+      return Status::Unimplemented(
+          "variable predicates are not supported over the simplified "
+          "entity graph");
+    }
+  }
+
+  recurse();
+  return result;
+}
+
+Result<SparqlResult> SparqlEvaluator::ExecuteText(
+    std::string_view text) const {
+  KSP_ASSIGN_OR_RETURN(SelectQuery query, ParseSelectQuery(text));
+  return Execute(query);
+}
+
+std::string SparqlEvaluator::ToTable(const SparqlResult& result) const {
+  std::string out;
+  for (const std::string& name : result.variables) {
+    out += "?" + name + "\t";
+  }
+  out += "\n";
+  for (const ResultRow& row : result.rows) {
+    for (VertexId v : row.values) {
+      out += kb_->VertexIri(v) + "\t";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace sparql
+}  // namespace ksp

@@ -1,0 +1,70 @@
+#ifndef KSP_SPARQL_EVALUATOR_H_
+#define KSP_SPARQL_EVALUATOR_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "rdf/knowledge_base.h"
+#include "sparql/query.h"
+
+namespace ksp {
+namespace sparql {
+
+/// One result row: vertex ids aligned with SparqlResult::variables.
+struct ResultRow {
+  std::vector<VertexId> values;
+};
+
+struct SparqlResult {
+  std::vector<std::string> variables;
+  std::vector<ResultRow> rows;
+};
+
+/// Basic-graph-pattern evaluator over the KnowledgeBase's entity graph:
+/// the structured-query path (GeoSPARQL-style, [14]) that kSP queries
+/// replace for non-expert users. Variables range over entity vertices
+/// (literals and rdf:type objects are folded into documents during KB
+/// construction, per the paper's §2 simplification — patterns against
+/// them are rejected at parse time).
+///
+/// Evaluation: backtracking join. At each step the pattern with the most
+/// bound positions is chosen; candidates come from the out-adjacency
+/// (bound subject), the in-adjacency (bound object), or a predicate index
+/// built once at construction (only the predicate bound). Distance
+/// filters are applied as soon as their variable binds.
+class SparqlEvaluator {
+ public:
+  explicit SparqlEvaluator(const KnowledgeBase* kb);
+
+  SparqlEvaluator(const SparqlEvaluator&) = delete;
+  SparqlEvaluator& operator=(const SparqlEvaluator&) = delete;
+
+  /// Evaluates a parsed query.
+  Result<SparqlResult> Execute(const SelectQuery& query) const;
+
+  /// Parses (see sparql/parser.h) and evaluates.
+  Result<SparqlResult> ExecuteText(std::string_view text) const;
+
+  /// Renders a result as an aligned text table of IRIs (for the CLI and
+  /// examples).
+  std::string ToTable(const SparqlResult& result) const;
+
+ private:
+  struct Edge {
+    VertexId subject;
+    VertexId object;
+  };
+
+  /// Edges of one predicate, sorted by (subject, object).
+  const std::vector<Edge>* EdgesOfPredicate(std::string_view iri) const;
+
+  const KnowledgeBase* kb_;
+  std::unordered_map<std::string, std::vector<Edge>> predicate_edges_;
+};
+
+}  // namespace sparql
+}  // namespace ksp
+
+#endif  // KSP_SPARQL_EVALUATOR_H_

@@ -1,0 +1,257 @@
+#include "sparql/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace ksp {
+namespace sparql {
+
+namespace {
+
+/// Character-level tokenizer for the SPARQL subset.
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool AtEnd() {
+    SkipWhitespace();
+    return pos_ >= text_.size();
+  }
+
+  char Peek() {
+    SkipWhitespace();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  /// Consumes `keyword` case-insensitively; false (no movement) otherwise.
+  bool TryKeyword(std::string_view keyword) {
+    SkipWhitespace();
+    if (pos_ + keyword.size() > text_.size()) return false;
+    for (size_t i = 0; i < keyword.size(); ++i) {
+      if (std::tolower(static_cast<unsigned char>(text_[pos_ + i])) !=
+          std::tolower(static_cast<unsigned char>(keyword[i]))) {
+        return false;
+      }
+    }
+    // Word boundary for alphabetic keywords.
+    if (std::isalpha(static_cast<unsigned char>(keyword.back())) &&
+        pos_ + keyword.size() < text_.size() &&
+        std::isalnum(static_cast<unsigned char>(
+            text_[pos_ + keyword.size()]))) {
+      return false;
+    }
+    pos_ += keyword.size();
+    return true;
+  }
+
+  bool TryChar(char c) {
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  /// ?name
+  Result<std::string> ReadVariable() {
+    SkipWhitespace();
+    if (pos_ >= text_.size() || text_[pos_] != '?') {
+      return Status::InvalidArgument(Where("expected '?variable'"));
+    }
+    ++pos_;
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Status::InvalidArgument(Where("empty variable name"));
+    }
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  /// <iri>
+  Result<std::string> ReadIri() {
+    SkipWhitespace();
+    if (pos_ >= text_.size() || text_[pos_] != '<') {
+      return Status::InvalidArgument(Where("expected '<iri>'"));
+    }
+    ++pos_;
+    size_t start = pos_;
+    while (pos_ < text_.size() && text_[pos_] != '>') ++pos_;
+    if (pos_ >= text_.size()) {
+      return Status::InvalidArgument(Where("unterminated IRI"));
+    }
+    std::string iri(text_.substr(start, pos_ - start));
+    ++pos_;
+    return iri;
+  }
+
+  Result<double> ReadNumber() {
+    SkipWhitespace();
+    size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            ((text_[pos_] == '-' || text_[pos_] == '+') && pos_ > start &&
+             (text_[pos_ - 1] == 'e' || text_[pos_ - 1] == 'E')))) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Status::InvalidArgument(Where("expected a number"));
+    }
+    return std::strtod(std::string(text_.substr(start, pos_ - start)).c_str(),
+                       nullptr);
+  }
+
+  std::string Where(std::string_view message) const {
+    return std::string(message) + " at offset " + std::to_string(pos_);
+  }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+Result<Term> ReadTerm(Lexer* lexer) {
+  if (lexer->Peek() == '?') {
+    KSP_ASSIGN_OR_RETURN(std::string name, lexer->ReadVariable());
+    return Term::Variable(std::move(name));
+  }
+  if (lexer->Peek() == '<') {
+    KSP_ASSIGN_OR_RETURN(std::string iri, lexer->ReadIri());
+    return Term::Iri(std::move(iri));
+  }
+  if (lexer->Peek() == '"') {
+    return Status::InvalidArgument(
+        "literals are not supported in patterns: the KB folds literals "
+        "into vertex documents (use kSP keyword search instead)");
+  }
+  return Status::InvalidArgument(
+      lexer->Where("expected a variable or an IRI"));
+}
+
+Result<DistanceFilter> ReadFilter(Lexer* lexer) {
+  // FILTER(distance(?v, POINT(lat, lon)) < r)
+  DistanceFilter filter;
+  if (!lexer->TryChar('(')) {
+    return Status::InvalidArgument(lexer->Where("expected '(' after FILTER"));
+  }
+  if (!lexer->TryKeyword("distance")) {
+    return Status::InvalidArgument(
+        lexer->Where("only distance(...) filters are supported"));
+  }
+  if (!lexer->TryChar('(')) {
+    return Status::InvalidArgument(
+        lexer->Where("expected '(' after distance"));
+  }
+  KSP_ASSIGN_OR_RETURN(filter.variable, lexer->ReadVariable());
+  if (!lexer->TryChar(',')) {
+    return Status::InvalidArgument(lexer->Where("expected ','"));
+  }
+  if (!lexer->TryKeyword("POINT")) {
+    return Status::InvalidArgument(lexer->Where("expected POINT(lat, lon)"));
+  }
+  if (!lexer->TryChar('(')) {
+    return Status::InvalidArgument(lexer->Where("expected '('"));
+  }
+  KSP_ASSIGN_OR_RETURN(filter.center.x, lexer->ReadNumber());
+  if (!lexer->TryChar(',')) {
+    return Status::InvalidArgument(lexer->Where("expected ','"));
+  }
+  KSP_ASSIGN_OR_RETURN(filter.center.y, lexer->ReadNumber());
+  if (!lexer->TryChar(')')) {
+    return Status::InvalidArgument(lexer->Where("expected ')'"));
+  }
+  if (!lexer->TryChar(')')) {
+    return Status::InvalidArgument(lexer->Where("expected ')'"));
+  }
+  if (!lexer->TryChar('<')) {
+    return Status::InvalidArgument(
+        lexer->Where("expected '<' (distance upper bound)"));
+  }
+  KSP_ASSIGN_OR_RETURN(filter.radius, lexer->ReadNumber());
+  if (!lexer->TryChar(')')) {
+    return Status::InvalidArgument(lexer->Where("expected ')'"));
+  }
+  return filter;
+}
+
+}  // namespace
+
+Result<SelectQuery> ParseSelectQuery(std::string_view text) {
+  Lexer lexer(text);
+  SelectQuery query;
+
+  if (!lexer.TryKeyword("SELECT")) {
+    return Status::InvalidArgument("query must start with SELECT");
+  }
+  if (lexer.TryChar('*')) {
+    // SELECT *: projection filled by the evaluator.
+  } else {
+    while (lexer.Peek() == '?') {
+      KSP_ASSIGN_OR_RETURN(std::string name, lexer.ReadVariable());
+      query.select.push_back(std::move(name));
+    }
+    if (query.select.empty()) {
+      return Status::InvalidArgument("SELECT needs '*' or variables");
+    }
+  }
+
+  if (!lexer.TryKeyword("WHERE")) {
+    return Status::InvalidArgument(lexer.Where("expected WHERE"));
+  }
+  if (!lexer.TryChar('{')) {
+    return Status::InvalidArgument(lexer.Where("expected '{'"));
+  }
+
+  while (!lexer.TryChar('}')) {
+    if (lexer.AtEnd()) {
+      return Status::InvalidArgument("unterminated WHERE block");
+    }
+    if (lexer.TryKeyword("FILTER")) {
+      KSP_ASSIGN_OR_RETURN(DistanceFilter filter, ReadFilter(&lexer));
+      query.filters.push_back(std::move(filter));
+      lexer.TryChar('.');  // Optional separator.
+      continue;
+    }
+    if (lexer.TryKeyword("OPTIONAL") || lexer.TryKeyword("UNION")) {
+      return Status::InvalidArgument(
+          "OPTIONAL/UNION are not supported by this subset");
+    }
+    TriplePattern pattern;
+    KSP_ASSIGN_OR_RETURN(pattern.subject, ReadTerm(&lexer));
+    KSP_ASSIGN_OR_RETURN(pattern.predicate, ReadTerm(&lexer));
+    KSP_ASSIGN_OR_RETURN(pattern.object, ReadTerm(&lexer));
+    query.patterns.push_back(std::move(pattern));
+    lexer.TryChar('.');  // Optional after the last pattern.
+  }
+
+  if (lexer.TryKeyword("LIMIT")) {
+    KSP_ASSIGN_OR_RETURN(double limit, lexer.ReadNumber());
+    if (limit < 0) return Status::InvalidArgument("negative LIMIT");
+    query.limit = static_cast<uint64_t>(limit);
+  }
+  if (!lexer.AtEnd()) {
+    return Status::InvalidArgument(lexer.Where("trailing input"));
+  }
+  if (query.patterns.empty()) {
+    return Status::InvalidArgument("WHERE block has no triple patterns");
+  }
+  return query;
+}
+
+}  // namespace sparql
+}  // namespace ksp

@@ -1,0 +1,29 @@
+#ifndef KSP_SPARQL_PARSER_H_
+#define KSP_SPARQL_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "sparql/query.h"
+
+namespace ksp {
+namespace sparql {
+
+/// Parses the SPARQL subset this library evaluates:
+///
+///   SELECT ?a ?b WHERE {
+///     ?a <http://example.org/dedication> ?b .
+///     ?b <http://example.org/birthPlace> <http://example.org/Roman_Empire> .
+///     FILTER(distance(?a, POINT(43.5, 4.7)) < 2.0)
+///   } LIMIT 10
+///
+/// Also accepted: `SELECT *`. Keywords are case-insensitive; the trailing
+/// '.' of the last pattern is optional; whitespace is free-form.
+/// Unsupported SPARQL (OPTIONAL, UNION, literals in patterns, prefixes)
+/// is rejected with an explanatory InvalidArgument.
+Result<SelectQuery> ParseSelectQuery(std::string_view text);
+
+}  // namespace sparql
+}  // namespace ksp
+
+#endif  // KSP_SPARQL_PARSER_H_

@@ -1,0 +1,65 @@
+#ifndef KSP_SPARQL_QUERY_H_
+#define KSP_SPARQL_QUERY_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "spatial/geometry.h"
+
+namespace ksp {
+namespace sparql {
+
+/// One term of a triple pattern: a variable ("?x") or an IRI constant.
+struct Term {
+  enum class Kind { kVariable, kIri };
+  Kind kind = Kind::kIri;
+  /// Variable name without '?', or the IRI without angle brackets.
+  std::string value;
+
+  static Term Variable(std::string name) {
+    return Term{Kind::kVariable, std::move(name)};
+  }
+  static Term Iri(std::string iri) {
+    return Term{Kind::kIri, std::move(iri)};
+  }
+  bool is_variable() const { return kind == Kind::kVariable; }
+
+  friend bool operator==(const Term& a, const Term& b) {
+    return a.kind == b.kind && a.value == b.value;
+  }
+};
+
+/// ⟨subject, predicate, object⟩ with variables allowed in the subject and
+/// object positions and in the predicate position.
+struct TriplePattern {
+  Term subject;
+  Term predicate;
+  Term object;
+};
+
+/// FILTER(distance(?var, POINT(lat, lon)) < radius): the GeoSPARQL-style
+/// spatial restriction [14] — the variable must bind to a place vertex
+/// within `radius` of `center`.
+struct DistanceFilter {
+  std::string variable;
+  Point center;
+  double radius = 0.0;
+};
+
+/// A SELECT query over basic graph patterns, the structured-language
+/// counterpart the paper's introduction argues against for end users.
+struct SelectQuery {
+  /// Projected variables, in order. Empty means SELECT * (all variables
+  /// in pattern order of first occurrence).
+  std::vector<std::string> select;
+  std::vector<TriplePattern> patterns;
+  std::vector<DistanceFilter> filters;
+  /// 0 = unlimited.
+  uint64_t limit = 0;
+};
+
+}  // namespace sparql
+}  // namespace ksp
+
+#endif  // KSP_SPARQL_QUERY_H_

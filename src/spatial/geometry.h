@@ -1,0 +1,107 @@
+#ifndef KSP_SPATIAL_GEOMETRY_H_
+#define KSP_SPATIAL_GEOMETRY_H_
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace ksp {
+
+/// 2-D point. For geographic data, x = latitude and y = longitude; the
+/// paper uses plain Euclidean distance over coordinate degrees
+/// (e.g., S(q1, p1) = 0.22 in Example 5), so no great-circle math.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point& a, const Point& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+/// Squared Euclidean distance (cheap comparisons).
+inline double DistanceSq(const Point& a, const Point& b) {
+  double dx = a.x - b.x;
+  double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+/// Euclidean distance — the paper's S(q, p).
+inline double Distance(const Point& a, const Point& b) {
+  return std::sqrt(DistanceSq(a, b));
+}
+
+/// Axis-aligned rectangle (MBR). An empty rectangle has inverted bounds.
+struct Rect {
+  double min_x = std::numeric_limits<double>::infinity();
+  double min_y = std::numeric_limits<double>::infinity();
+  double max_x = -std::numeric_limits<double>::infinity();
+  double max_y = -std::numeric_limits<double>::infinity();
+
+  static Rect Empty() { return Rect(); }
+
+  static Rect FromPoint(const Point& p) { return Rect{p.x, p.y, p.x, p.y}; }
+
+  bool IsEmpty() const { return min_x > max_x || min_y > max_y; }
+
+  void ExpandToInclude(const Point& p) {
+    min_x = std::min(min_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_x = std::max(max_x, p.x);
+    max_y = std::max(max_y, p.y);
+  }
+
+  void ExpandToInclude(const Rect& r) {
+    if (r.IsEmpty()) return;
+    min_x = std::min(min_x, r.min_x);
+    min_y = std::min(min_y, r.min_y);
+    max_x = std::max(max_x, r.max_x);
+    max_y = std::max(max_y, r.max_y);
+  }
+
+  double Area() const {
+    if (IsEmpty()) return 0.0;
+    return (max_x - min_x) * (max_y - min_y);
+  }
+
+  /// Area of the MBR of this rect and `r`.
+  double EnlargedArea(const Rect& r) const {
+    Rect u = *this;
+    u.ExpandToInclude(r);
+    return u.Area();
+  }
+
+  bool Contains(const Point& p) const {
+    return p.x >= min_x && p.x <= max_x && p.y >= min_y && p.y <= max_y;
+  }
+
+  bool Intersects(const Rect& r) const {
+    return !(r.min_x > max_x || r.max_x < min_x || r.min_y > max_y ||
+             r.max_y < min_y);
+  }
+
+  Point Center() const {
+    return Point{(min_x + max_x) / 2.0, (min_y + max_y) / 2.0};
+  }
+
+  friend bool operator==(const Rect& a, const Rect& b) {
+    return a.min_x == b.min_x && a.min_y == b.min_y && a.max_x == b.max_x &&
+           a.max_y == b.max_y;
+  }
+};
+
+/// MINDIST(q, R): minimum distance from a point to a rectangle
+/// (0 if inside) — the lower bound used by best-first R-tree search.
+inline double MinDistSq(const Point& q, const Rect& r) {
+  double dx = std::max({r.min_x - q.x, 0.0, q.x - r.max_x});
+  double dy = std::max({r.min_y - q.y, 0.0, q.y - r.max_y});
+  return dx * dx + dy * dy;
+}
+
+inline double MinDist(const Point& q, const Rect& r) {
+  return std::sqrt(MinDistSq(q, r));
+}
+
+}  // namespace ksp
+
+#endif  // KSP_SPATIAL_GEOMETRY_H_

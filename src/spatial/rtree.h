@@ -1,0 +1,179 @@
+#ifndef KSP_SPATIAL_RTREE_H_
+#define KSP_SPATIAL_RTREE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "spatial/geometry.h"
+
+namespace ksp {
+
+/// Node-splitting strategy for one-by-one insertion (Guttman §3.5).
+enum class RTreeSplitStrategy {
+  /// Quadratic cost: PickSeeds maximizes wasted area (better trees).
+  kQuadratic,
+  /// Linear cost: seeds with the greatest normalized separation
+  /// (faster builds, slightly worse trees).
+  kLinear,
+};
+
+struct RTreeOptions {
+  /// Maximum entries per node (fan-out). 64 entries ≈ a 4 KB page of
+  /// (rect, child) pairs, matching a disk-page-sized node.
+  uint32_t max_entries = 64;
+  /// Minimum fill after a split. Guttman recommends ~40%.
+  uint32_t min_entries = 26;
+  RTreeSplitStrategy split = RTreeSplitStrategy::kQuadratic;
+};
+
+/// Guttman R-tree [29] over 2-D points, with quadratic- or linear-cost
+/// node splitting for one-by-one insertion (the construction the paper
+/// uses) and an STR packing bulk loader [45] as the fast alternative
+/// Table 5 mentions.
+///
+/// Node ids are stable once construction is finished; the α-radius
+/// machinery of §5 attaches a word neighborhood to every node id. Data
+/// payloads are opaque 64-bit values (the kSP engine stores PlaceIds).
+class RTree {
+ public:
+  using Options = RTreeOptions;
+
+  /// One child of an internal node or one data point of a leaf.
+  struct Entry {
+    Rect rect;
+    /// Child node id for internal nodes; opaque payload for leaves.
+    uint64_t id = 0;
+  };
+
+  struct Node {
+    bool is_leaf = true;
+    uint32_t parent = kNoNode;
+    std::vector<Entry> entries;
+
+    /// MBR of all entries; empty for an empty node.
+    Rect BoundingRect() const {
+      Rect r = Rect::Empty();
+      for (const auto& e : entries) r.ExpandToInclude(e.rect);
+      return r;
+    }
+  };
+
+  static constexpr uint32_t kNoNode = 0xFFFFFFFFu;
+
+  RTree() : RTree(Options()) {}
+  explicit RTree(Options options);
+
+  RTree(const RTree&) = delete;
+  RTree& operator=(const RTree&) = delete;
+  RTree(RTree&&) = default;
+  RTree& operator=(RTree&&) = default;
+
+  /// Inserts one point (Guttman ChooseLeaf + quadratic split).
+  void Insert(const Point& p, uint64_t data);
+
+  /// Builds a packed tree with Sort-Tile-Recursive loading.
+  static RTree BulkLoadStr(std::vector<std::pair<Point, uint64_t>> points,
+                           Options options = Options());
+
+  size_t size() const { return size_; }
+  uint32_t root() const { return root_; }
+  bool empty() const { return size_ == 0; }
+  const Node& node(uint32_t id) const { return nodes_[id]; }
+  size_t num_nodes() const { return nodes_.size(); }
+
+  /// Tree height (1 for a single leaf root; 0 for an empty tree).
+  uint32_t Height() const;
+
+  uint64_t MemoryUsageBytes() const;
+
+  /// Collects all (point-rect, data) leaf entries under node `id` —
+  /// used by tests and by the α-WN bottom-up construction.
+  void CollectLeafEntries(uint32_t id, std::vector<Entry>* out) const;
+
+  /// Range query: appends the payloads of all points inside `range`
+  /// (boundary inclusive). Returns the number of nodes visited.
+  uint64_t RangeQuery(const Rect& range, std::vector<uint64_t>* out) const;
+
+  /// k nearest neighbours of `query` in ascending distance order.
+  std::vector<std::pair<double, uint64_t>> KnnQuery(const Point& query,
+                                                    size_t k) const;
+
+  /// Persists / restores the exact tree structure (node ids included, so
+  /// an α-radius index built against this tree stays valid).
+  Status Save(const std::string& path) const;
+  static Result<RTree> Load(const std::string& path);
+
+ private:
+  uint32_t NewNode(bool is_leaf);
+  uint32_t ChooseLeaf(const Rect& rect) const;
+  /// PickSeeds for the configured strategy: indexes of the two entries
+  /// that seed the split groups.
+  std::pair<size_t, size_t> PickSeeds(
+      const std::vector<Entry>& entries) const;
+  /// Splits `node_id` (which has overflowed) in place; returns the id of
+  /// the new sibling node.
+  uint32_t SplitNode(uint32_t node_id);
+  void AdjustTree(uint32_t node_id, uint32_t split_id);
+  Rect NodeRect(uint32_t id) const { return nodes_[id].BoundingRect(); }
+
+  Options options_;
+  std::vector<Node> nodes_;
+  uint32_t root_ = kNoNode;
+  size_t size_ = 0;
+};
+
+/// Best-first incremental nearest-neighbour iterator (Hjaltason & Samet
+/// [33]): pops R-tree entries in non-decreasing MINDIST order. Both node
+/// and data entries are reported, because BSP's termination test (line 7
+/// of Algorithm 1) applies to either kind; callers expand node entries by
+/// default but may stop early.
+class NearestIterator {
+ public:
+  struct Item {
+    double distance = 0.0;
+    bool is_node = false;
+    /// Node id when is_node, else the opaque data payload.
+    uint64_t id = 0;
+    Rect rect;
+  };
+
+  NearestIterator(const RTree* tree, const Point& query);
+
+  /// Pops the next entry in distance order; node entries are expanded
+  /// automatically (children pushed) before being returned. Returns false
+  /// when the tree is exhausted.
+  bool Next(Item* out);
+
+  /// Like Next() but skips node items, returning only data entries — the
+  /// classic incremental kNN stream (used by the TA baseline).
+  bool NextData(Item* out);
+
+  /// Number of R-tree nodes popped so far (the paper's "R-tree nodes
+  /// accessed" metric).
+  uint64_t nodes_accessed() const { return nodes_accessed_; }
+
+ private:
+  struct HeapItem {
+    double distance;
+    bool is_node;
+    uint64_t id;
+    Rect rect;
+    bool operator>(const HeapItem& o) const { return distance > o.distance; }
+  };
+
+  const RTree* tree_;
+  Point query_;
+  std::vector<HeapItem> heap_;  // min-heap via std::push_heap with greater
+  uint64_t nodes_accessed_ = 0;
+
+  void Push(const HeapItem& item);
+  bool Pop(HeapItem* out);
+};
+
+}  // namespace ksp
+
+#endif  // KSP_SPATIAL_RTREE_H_

@@ -1,0 +1,43 @@
+#include "storage/buffer_pool.h"
+
+#include "common/logging.h"
+
+namespace ksp {
+
+BufferPool::BufferPool(const PagedFile* file, size_t capacity_pages)
+    : file_(file), capacity_(capacity_pages) {
+  KSP_CHECK(capacity_ >= 1) << "buffer pool needs at least one frame";
+}
+
+Result<std::string_view> BufferPool::Fetch(uint64_t page_id) {
+  auto it = index_.find(page_id);
+  if (it != index_.end()) {
+    ++hits_;
+    // Move to MRU position; iterators (and Frame storage) stay valid.
+    frames_.splice(frames_.begin(), frames_, it->second);
+    return std::string_view(it->second->data);
+  }
+
+  ++misses_;
+  if (frames_.size() >= capacity_) {
+    // Evict LRU (back).
+    index_.erase(frames_.back().page_id);
+    frames_.pop_back();
+    ++evictions_;
+  }
+  frames_.emplace_front(Frame{page_id, std::string()});
+  Status st = file_->ReadPage(page_id, &frames_.front().data);
+  if (!st.ok()) {
+    frames_.pop_front();
+    return st;
+  }
+  index_[page_id] = frames_.begin();
+  return std::string_view(frames_.front().data);
+}
+
+void BufferPool::Clear() {
+  frames_.clear();
+  index_.clear();
+}
+
+}  // namespace ksp

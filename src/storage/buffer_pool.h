@@ -1,0 +1,61 @@
+#ifndef KSP_STORAGE_BUFFER_POOL_H_
+#define KSP_STORAGE_BUFFER_POOL_H_
+
+#include <list>
+#include <string>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "storage/paged_file.h"
+
+namespace ksp {
+
+/// LRU page cache in front of a PagedFile. Single-threaded (one pool per
+/// query thread, matching the engine's threading model). Returned page
+/// views stay valid until the next Fetch() — callers copy what they keep.
+class BufferPool {
+ public:
+  /// `capacity_pages` must be >= 1.
+  BufferPool(const PagedFile* file, size_t capacity_pages);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Returns a view of the page's bytes, reading it from disk on a miss
+  /// (evicting the least recently used page when full).
+  Result<std::string_view> Fetch(uint64_t page_id);
+
+  /// Drops every cached page (simulates a cold cache).
+  void Clear();
+
+  size_t capacity() const { return capacity_; }
+  size_t cached_pages() const { return frames_.size(); }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t evictions() const { return evictions_; }
+  double HitRate() const {
+    uint64_t total = hits_ + misses_;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits_) /
+                            static_cast<double>(total);
+  }
+
+ private:
+  struct Frame {
+    uint64_t page_id;
+    std::string data;
+  };
+
+  const PagedFile* file_;
+  size_t capacity_;
+  /// MRU at front. A list keeps Frame addresses stable across splices.
+  std::list<Frame> frames_;
+  std::unordered_map<uint64_t, std::list<Frame>::iterator> index_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace ksp
+
+#endif  // KSP_STORAGE_BUFFER_POOL_H_

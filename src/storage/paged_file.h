@@ -1,0 +1,81 @@
+#ifndef KSP_STORAGE_PAGED_FILE_H_
+#define KSP_STORAGE_PAGED_FILE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace ksp {
+
+/// Fixed-size-page read-only file, the unit of IO for the disk-resident
+/// graph (§3 footnote 1 / §8 of the paper). Pages are addressed by id;
+/// the last page may be short.
+class PagedFile {
+ public:
+  static constexpr uint32_t kDefaultPageSize = 4096;
+
+  ~PagedFile();
+
+  PagedFile(const PagedFile&) = delete;
+  PagedFile& operator=(const PagedFile&) = delete;
+
+  /// Opens an existing file for page reads.
+  static Result<std::unique_ptr<PagedFile>> Open(
+      const std::string& path, uint32_t page_size = kDefaultPageSize);
+
+  /// Reads page `page_id` into `buffer` (resized to the page's length,
+  /// which is page_size except possibly for the last page).
+  Status ReadPage(uint64_t page_id, std::string* buffer) const;
+
+  uint32_t page_size() const { return page_size_; }
+  uint64_t num_pages() const {
+    return (file_size_ + page_size_ - 1) / page_size_;
+  }
+  uint64_t file_size() const { return file_size_; }
+
+  /// Total ReadPage calls (the physical-IO counter).
+  uint64_t reads() const { return reads_; }
+
+ private:
+  PagedFile() = default;
+
+  std::FILE* file_ = nullptr;
+  uint32_t page_size_ = kDefaultPageSize;
+  uint64_t file_size_ = 0;
+  mutable uint64_t reads_ = 0;
+};
+
+/// Sequentially writes a paged file.
+class PagedFileWriter {
+ public:
+  static Result<std::unique_ptr<PagedFileWriter>> Create(
+      const std::string& path);
+
+  ~PagedFileWriter();
+
+  PagedFileWriter(const PagedFileWriter&) = delete;
+  PagedFileWriter& operator=(const PagedFileWriter&) = delete;
+
+  /// Appends raw bytes (page boundaries are the reader's concern).
+  Status Append(std::string_view data);
+
+  /// Current byte offset (== bytes appended).
+  uint64_t offset() const { return offset_; }
+
+  Status Close();
+
+ private:
+  PagedFileWriter() = default;
+
+  std::FILE* file_ = nullptr;
+  uint64_t offset_ = 0;
+};
+
+}  // namespace ksp
+
+#endif  // KSP_STORAGE_PAGED_FILE_H_

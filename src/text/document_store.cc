@@ -1,0 +1,46 @@
+#include "text/document_store.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace ksp {
+
+void DocumentStoreBuilder::AddTerm(VertexId vertex, TermId term) {
+  if (docs_.size() <= vertex) docs_.resize(vertex + 1);
+  docs_[vertex].push_back(term);
+}
+
+DocumentStore DocumentStoreBuilder::Finish(VertexId num_vertices) {
+  KSP_CHECK(docs_.size() <= num_vertices)
+      << "terms recorded for vertex beyond num_vertices";
+  DocumentStore store;
+  store.offsets_.reserve(num_vertices + 1);
+  store.offsets_.push_back(0);
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    if (v < docs_.size()) {
+      auto& doc = docs_[v];
+      std::sort(doc.begin(), doc.end());
+      doc.erase(std::unique(doc.begin(), doc.end()), doc.end());
+      store.terms_.insert(store.terms_.end(), doc.begin(), doc.end());
+      doc.clear();
+      doc.shrink_to_fit();
+    }
+    store.offsets_.push_back(store.terms_.size());
+  }
+  docs_.clear();
+  return store;
+}
+
+bool DocumentStore::Contains(VertexId vertex, TermId term) const {
+  auto terms = Terms(vertex);
+  return std::binary_search(terms.begin(), terms.end(), term);
+}
+
+double DocumentStore::AverageDocumentLength() const {
+  VertexId n = num_vertices();
+  if (n == 0) return 0.0;
+  return static_cast<double>(terms_.size()) / static_cast<double>(n);
+}
+
+}  // namespace ksp

@@ -1,0 +1,68 @@
+#ifndef KSP_TEXT_DOCUMENT_STORE_H_
+#define KSP_TEXT_DOCUMENT_STORE_H_
+
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ksp {
+
+class DocumentStore;
+
+/// Accumulates the per-vertex documents ψ while the KB is being built.
+/// Duplicated terms are de-duplicated at Finish().
+class DocumentStoreBuilder {
+ public:
+  /// Records that `term` appears in the document of `vertex`.
+  void AddTerm(VertexId vertex, TermId term);
+
+  /// Finalizes into an immutable store covering vertices [0, num_vertices).
+  /// Vertices never touched get empty documents.
+  DocumentStore Finish(VertexId num_vertices);
+
+ private:
+  friend class DocumentStore;
+  std::vector<std::vector<TermId>> docs_;
+};
+
+/// Immutable CSR table of vertex documents: the "table which helps to
+/// look-up fast the associated data for each vertex" of §3. Each document
+/// is a sorted, de-duplicated list of TermIds.
+class DocumentStore {
+ public:
+  DocumentStore() = default;
+
+  VertexId num_vertices() const {
+    return static_cast<VertexId>(offsets_.empty() ? 0 : offsets_.size() - 1);
+  }
+
+  /// Sorted unique terms of the document of `vertex`.
+  std::span<const TermId> Terms(VertexId vertex) const {
+    return {terms_.data() + offsets_[vertex],
+            terms_.data() + offsets_[vertex + 1]};
+  }
+
+  /// Whether `term` occurs in the document of `vertex` (binary search).
+  bool Contains(VertexId vertex, TermId term) const;
+
+  /// Total number of (vertex, term) postings.
+  uint64_t TotalPostings() const { return terms_.size(); }
+
+  /// Mean document length; 0 for an empty store.
+  double AverageDocumentLength() const;
+
+  uint64_t MemoryUsageBytes() const {
+    return offsets_.capacity() * sizeof(uint64_t) +
+           terms_.capacity() * sizeof(TermId);
+  }
+
+ private:
+  friend class DocumentStoreBuilder;
+  std::vector<uint64_t> offsets_;  // size num_vertices + 1
+  std::vector<TermId> terms_;
+};
+
+}  // namespace ksp
+
+#endif  // KSP_TEXT_DOCUMENT_STORE_H_

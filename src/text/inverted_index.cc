@@ -1,0 +1,214 @@
+#include "text/inverted_index.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/varint.h"
+
+namespace ksp {
+
+namespace {
+constexpr uint32_t kMagic = 0x4B535049;  // "KSPI"
+
+Status WriteAll(std::FILE* f, std::string_view data) {
+  if (std::fwrite(data.data(), 1, data.size(), f) != data.size()) {
+    return Status::IOError("short write");
+  }
+  return Status::OK();
+}
+}  // namespace
+
+MemoryInvertedIndex MemoryInvertedIndex::Build(const DocumentStore& docs,
+                                               TermId num_terms) {
+  MemoryInvertedIndex index;
+  // Counting pass, then fill: stable O(postings) without per-term vectors.
+  std::vector<uint64_t> counts(num_terms, 0);
+  const VertexId n = docs.num_vertices();
+  for (VertexId v = 0; v < n; ++v) {
+    for (TermId t : docs.Terms(v)) ++counts[t];
+  }
+  index.offsets_.assign(num_terms + 1, 0);
+  for (TermId t = 0; t < num_terms; ++t) {
+    index.offsets_[t + 1] = index.offsets_[t] + counts[t];
+  }
+  index.postings_.resize(index.offsets_[num_terms]);
+  std::vector<uint64_t> cursor(index.offsets_.begin(),
+                               index.offsets_.end() - 1);
+  for (VertexId v = 0; v < n; ++v) {
+    for (TermId t : docs.Terms(v)) {
+      index.postings_[cursor[t]++] = v;
+    }
+  }
+  // Vertices are visited in ascending order, so lists are already sorted.
+  return index;
+}
+
+Status MemoryInvertedIndex::GetPostings(TermId term,
+                                        std::vector<VertexId>* out) const {
+  auto span = Postings(term);
+  out->insert(out->end(), span.begin(), span.end());
+  return Status::OK();
+}
+
+uint64_t MemoryInvertedIndex::NumTerms() const {
+  uint64_t n = 0;
+  for (size_t t = 0; t + 1 < offsets_.size(); ++t) {
+    if (offsets_[t + 1] > offsets_[t]) ++n;
+  }
+  return n;
+}
+
+uint64_t MemoryInvertedIndex::SizeBytes() const {
+  return offsets_.capacity() * sizeof(uint64_t) +
+         postings_.capacity() * sizeof(VertexId);
+}
+
+DiskInvertedIndex::~DiskInvertedIndex() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status DiskInvertedIndex::Write(const MemoryInvertedIndex& index,
+                                const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open for write: " + path);
+  }
+  Status st;
+  const TermId num_terms = index.TermCount();
+
+  std::string header;
+  PutFixed32(&header, kMagic);
+  PutFixed32(&header, num_terms);
+  st = WriteAll(f, header);
+
+  std::vector<uint64_t> offsets(num_terms, 0);
+  uint64_t pos = header.size();
+  std::string buf;
+  for (TermId t = 0; t < num_terms && st.ok(); ++t) {
+    offsets[t] = pos;
+    buf.clear();
+    auto postings = index.Postings(t);
+    PutVarint64(&buf, postings.size());
+    uint64_t prev = 0;
+    for (size_t i = 0; i < postings.size(); ++i) {
+      uint64_t value = postings[i];
+      PutVarint64(&buf, i == 0 ? value : value - prev);
+      prev = value;
+    }
+    st = WriteAll(f, buf);
+    pos += buf.size();
+  }
+
+  if (st.ok()) {
+    std::string table;
+    table.reserve(num_terms * 8 + 12);
+    for (uint64_t off : offsets) PutFixed64(&table, off);
+    PutFixed64(&table, pos);  // Offset of the table itself.
+    PutFixed32(&table, kMagic);
+    st = WriteAll(f, table);
+  }
+  if (std::fclose(f) != 0 && st.ok()) {
+    st = Status::IOError("close failed: " + path);
+  }
+  return st;
+}
+
+Result<std::unique_ptr<DiskInvertedIndex>> DiskInvertedIndex::Open(
+    const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open: " + path);
+  }
+  auto index = std::unique_ptr<DiskInvertedIndex>(new DiskInvertedIndex());
+  index->file_ = f;
+
+  if (std::fseek(f, 0, SEEK_END) != 0) {
+    return Status::IOError("seek failed: " + path);
+  }
+  long end = std::ftell(f);
+  if (end < 20) return Status::Corruption("index file too small: " + path);
+  index->file_size_ = static_cast<uint64_t>(end);
+
+  // Footer: [table_offset fixed64][magic fixed32].
+  std::string footer(12, '\0');
+  if (std::fseek(f, end - 12, SEEK_SET) != 0 ||
+      std::fread(footer.data(), 1, 12, f) != 12) {
+    return Status::IOError("cannot read footer: " + path);
+  }
+  size_t fpos = 0;
+  uint64_t table_offset = 0;
+  uint32_t magic = 0;
+  KSP_RETURN_NOT_OK(GetFixed64(footer, &fpos, &table_offset));
+  KSP_RETURN_NOT_OK(GetFixed32(footer, &fpos, &magic));
+  if (magic != kMagic) return Status::Corruption("bad footer magic: " + path);
+
+  // Header: [magic fixed32][num_terms fixed32].
+  std::string header(8, '\0');
+  if (std::fseek(f, 0, SEEK_SET) != 0 ||
+      std::fread(header.data(), 1, 8, f) != 8) {
+    return Status::IOError("cannot read header: " + path);
+  }
+  size_t hpos = 0;
+  uint32_t hmagic = 0;
+  uint32_t num_terms = 0;
+  KSP_RETURN_NOT_OK(GetFixed32(header, &hpos, &hmagic));
+  KSP_RETURN_NOT_OK(GetFixed32(header, &hpos, &num_terms));
+  if (hmagic != kMagic) return Status::Corruption("bad header magic: " + path);
+
+  std::string table(num_terms * 8ULL, '\0');
+  if (std::fseek(f, static_cast<long>(table_offset), SEEK_SET) != 0 ||
+      std::fread(table.data(), 1, table.size(), f) != table.size()) {
+    return Status::IOError("cannot read offset table: " + path);
+  }
+  index->offsets_.resize(num_terms);
+  size_t tpos = 0;
+  for (uint32_t t = 0; t < num_terms; ++t) {
+    KSP_RETURN_NOT_OK(GetFixed64(table, &tpos, &index->offsets_[t]));
+  }
+
+  // Count postings once for stats (streaming pass over the lists).
+  uint64_t total = 0;
+  std::vector<VertexId> scratch;
+  for (uint32_t t = 0; t < num_terms; ++t) {
+    scratch.clear();
+    KSP_RETURN_NOT_OK(index->GetPostings(t, &scratch));
+    total += scratch.size();
+  }
+  index->num_postings_ = total;
+  return index;
+}
+
+Status DiskInvertedIndex::GetPostings(TermId term,
+                                      std::vector<VertexId>* out) const {
+  if (term >= offsets_.size()) return Status::OK();
+  if (std::fseek(file_, static_cast<long>(offsets_[term]), SEEK_SET) != 0) {
+    return Status::IOError("seek failed");
+  }
+  // Read the count (at most 10 bytes), then exactly the remaining deltas.
+  std::string buf(10, '\0');
+  size_t got = std::fread(buf.data(), 1, buf.size(), file_);
+  buf.resize(got);
+  size_t pos = 0;
+  uint64_t count = 0;
+  KSP_RETURN_NOT_OK(GetVarint64(buf, &pos, &count));
+
+  std::string body;
+  body.resize(count * 5 + 16);  // Worst case 5 bytes per 32-bit delta.
+  size_t have = got - pos;
+  std::memcpy(body.data(), buf.data() + pos, have);
+  size_t more = std::fread(body.data() + have, 1, body.size() - have, file_);
+  body.resize(have + more);
+
+  size_t bpos = 0;
+  uint64_t prev = 0;
+  out->reserve(out->size() + count);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t delta = 0;
+    KSP_RETURN_NOT_OK(GetVarint64(body, &bpos, &delta));
+    prev = (i == 0) ? delta : prev + delta;
+    out->push_back(static_cast<VertexId>(prev));
+  }
+  return Status::OK();
+}
+
+}  // namespace ksp

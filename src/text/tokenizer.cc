@@ -1,0 +1,96 @@
+#include "text/tokenizer.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+
+namespace ksp {
+
+namespace {
+
+// Small stopword set: common English function words plus RDF/URI
+// boilerplate that would otherwise dominate every document.
+constexpr std::array<std::string_view, 32> kStopwords = {
+    "a",    "an",   "and",  "are",  "as",   "at",   "be",       "by",
+    "for",  "from", "in",   "is",   "it",   "of",   "on",       "or",
+    "that", "the",  "to",   "was",  "with", "http", "https",    "www",
+    "org",  "com",  "net",  "wiki", "page", "html", "resource", "ontology"};
+
+inline bool IsAlnum(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0;
+}
+inline bool IsUpper(char c) {
+  return std::isupper(static_cast<unsigned char>(c)) != 0;
+}
+inline bool IsLower(char c) {
+  return std::islower(static_cast<unsigned char>(c)) != 0;
+}
+inline bool IsDigit(char c) {
+  return std::isdigit(static_cast<unsigned char>(c)) != 0;
+}
+
+}  // namespace
+
+Tokenizer::Tokenizer(TokenizerOptions options) : options_(options) {}
+
+bool Tokenizer::IsStopword(std::string_view token) const {
+  return std::find(kStopwords.begin(), kStopwords.end(), token) !=
+         kStopwords.end();
+}
+
+std::vector<std::string> Tokenizer::Tokenize(std::string_view text) const {
+  std::vector<std::string> tokens;
+  std::string current;
+  auto flush = [&]() {
+    if (current.size() >= options_.min_token_length &&
+        (!options_.drop_stopwords || !IsStopword(current))) {
+      tokens.push_back(current);
+    }
+    current.clear();
+  };
+
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (!IsAlnum(c)) {
+      flush();
+      continue;
+    }
+    if (options_.split_camel_case && !current.empty()) {
+      char prev = text[i - 1];
+      // Boundary: aB ("camelCase"), 1a/a1 (letter<->digit), and ABc
+      // ("HTTPServer" -> "http", "server").
+      bool lower_to_upper = IsLower(prev) && IsUpper(c);
+      bool alpha_digit_switch = IsDigit(prev) != IsDigit(c);
+      bool acronym_end = IsUpper(prev) && IsUpper(c) && i + 1 < text.size() &&
+                         IsLower(text[i + 1]);
+      if (lower_to_upper || alpha_digit_switch || acronym_end) flush();
+    }
+    current.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  flush();
+  return tokens;
+}
+
+std::vector<std::string> Tokenizer::TokenizeUriLocalName(
+    std::string_view uri) const {
+  return Tokenize(UriLocalName(uri));
+}
+
+std::string_view StripAngleBrackets(std::string_view iri) {
+  if (iri.size() >= 2 && iri.front() == '<' && iri.back() == '>') {
+    return iri.substr(1, iri.size() - 2);
+  }
+  return iri;
+}
+
+std::string_view UriLocalName(std::string_view iri) {
+  std::string_view s = StripAngleBrackets(iri);
+  size_t pos = s.find_last_of("#/");
+  if (pos != std::string_view::npos && pos + 1 < s.size()) {
+    return s.substr(pos + 1);
+  }
+  return s;
+}
+
+}  // namespace ksp

@@ -1,0 +1,54 @@
+#ifndef KSP_TEXT_TOKENIZER_H_
+#define KSP_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ksp {
+
+/// Options controlling keyword extraction from URIs and literals.
+struct TokenizerOptions {
+  /// Split "CamelCase" into {"camel", "case"}. URIs in DBpedia/Yago use
+  /// CamelCase local names heavily.
+  bool split_camel_case = true;
+  /// Drop tokens shorter than this many characters.
+  size_t min_token_length = 2;
+  /// Drop a small set of English stopwords and RDF boilerplate ("the",
+  /// "of", "http", "resource", ...).
+  bool drop_stopwords = true;
+};
+
+/// Extracts lowercase keyword tokens from free text, splitting on
+/// non-alphanumeric characters (and CamelCase boundaries if enabled).
+/// Numbers-only tokens are kept: entity names often include years.
+class Tokenizer {
+ public:
+  explicit Tokenizer(TokenizerOptions options = {});
+
+  /// Tokenizes arbitrary text (a literal value or a URI local name).
+  std::vector<std::string> Tokenize(std::string_view text) const;
+
+  /// Tokenizes the local name of a URI: the fragment after the last '#',
+  /// '/' or ':'. "<http://dbpedia.org/resource/Montmajour_Abbey>" yields
+  /// {"montmajour", "abbey"}.
+  std::vector<std::string> TokenizeUriLocalName(std::string_view uri) const;
+
+  const TokenizerOptions& options() const { return options_; }
+
+ private:
+  bool IsStopword(std::string_view token) const;
+
+  TokenizerOptions options_;
+};
+
+/// Strips surrounding angle brackets from an IRI token if present.
+std::string_view StripAngleBrackets(std::string_view iri);
+
+/// Returns the local name of an IRI: the suffix after the last '#' or '/'
+/// (after stripping angle brackets). Falls back to the whole IRI.
+std::string_view UriLocalName(std::string_view iri);
+
+}  // namespace ksp
+
+#endif  // KSP_TEXT_TOKENIZER_H_

@@ -1,0 +1,32 @@
+#include "text/vocabulary.h"
+
+namespace ksp {
+
+TermId Vocabulary::Intern(std::string_view term) {
+  auto it = index_.find(term);
+  if (it != index_.end()) return it->second;
+  TermId id = static_cast<TermId>(terms_.size());
+  terms_.emplace_back(term);
+  index_.emplace(std::string_view(terms_.back()), id);
+  return id;
+}
+
+std::optional<TermId> Vocabulary::Lookup(std::string_view term) const {
+  auto it = index_.find(term);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+uint64_t Vocabulary::MemoryUsageBytes() const {
+  uint64_t bytes = 0;
+  for (const auto& t : terms_) {
+    bytes += sizeof(std::string) + t.capacity();
+  }
+  // Hash table: bucket array + node per entry (approximate).
+  bytes += index_.bucket_count() * sizeof(void*);
+  bytes += index_.size() *
+           (sizeof(std::pair<std::string_view, TermId>) + 2 * sizeof(void*));
+  return bytes;
+}
+
+}  // namespace ksp

@@ -1,0 +1,47 @@
+#ifndef KSP_TEXT_VOCABULARY_H_
+#define KSP_TEXT_VOCABULARY_H_
+
+#include <deque>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/types.h"
+
+namespace ksp {
+
+/// Bidirectional term dictionary: interns keyword strings to dense TermIds
+/// and back. Ids are assigned in first-seen order and are stable.
+class Vocabulary {
+ public:
+  Vocabulary() = default;
+
+  Vocabulary(const Vocabulary&) = delete;
+  Vocabulary& operator=(const Vocabulary&) = delete;
+  Vocabulary(Vocabulary&&) = default;
+  Vocabulary& operator=(Vocabulary&&) = default;
+
+  /// Returns the id of `term`, adding it if absent.
+  TermId Intern(std::string_view term);
+
+  /// Returns the id of `term` or nullopt if it was never interned.
+  std::optional<TermId> Lookup(std::string_view term) const;
+
+  /// Returns the string of an id. Requires id < size().
+  const std::string& Term(TermId id) const { return terms_[id]; }
+
+  size_t size() const { return terms_.size(); }
+
+  /// Approximate heap footprint, for the storage-cost table.
+  uint64_t MemoryUsageBytes() const;
+
+ private:
+  // deque keeps element addresses stable so index_ may hold views into it.
+  std::deque<std::string> terms_;
+  std::unordered_map<std::string_view, TermId> index_;
+};
+
+}  // namespace ksp
+
+#endif  // KSP_TEXT_VOCABULARY_H_

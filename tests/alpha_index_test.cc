@@ -1,0 +1,149 @@
+#include "alpha/alpha_index.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/engine.h"
+#include "datagen/fixtures.h"
+#include "datagen/synthetic.h"
+
+namespace ksp {
+namespace {
+
+TEST(AlphaIndexTest, Figure1Table3Neighborhoods) {
+  // Table 3 (α = 1): dg(p1, ancient) = 1, dg(p1, catholic) = 1,
+  // dg(p1, roman) = 1, history not within radius 1 of p1;
+  // dg(p2, catholic) = 0, dg(p2, roman) = 0, dg(p2, history) = 1,
+  // ancient not within radius 1 of p2. Node N over {p1, p2} takes the
+  // term-wise minima.
+  auto kb = BuildFigure1KnowledgeBase();
+  ASSERT_TRUE(kb.ok());
+  KspEngine engine(kb->get());
+  engine.BuildRTree();
+  AlphaIndex alpha = AlphaIndex::Build(**kb, engine.rtree(), 1);
+
+  auto terms = (*kb)->LookupTerms(Figure1QueryKeywords());
+  const TermId ancient = terms[0];
+  const TermId roman = terms[1];
+  const TermId catholic = terms[2];
+  const TermId history = terms[3];
+
+  const PlaceId p1 =
+      (*kb)->place_of(*(*kb)->FindVertex("http://example.org/Montmajour_Abbey"));
+  const PlaceId p2 = (*kb)->place_of(*(*kb)->FindVertex(
+      "http://example.org/Roman_Catholic_Diocese_of_Frejus_Toulon"));
+
+  EXPECT_EQ(alpha.EntryTermDistance(alpha.PlaceEntry(p1), ancient), 1u);
+  EXPECT_EQ(alpha.EntryTermDistance(alpha.PlaceEntry(p1), catholic), 1u);
+  EXPECT_EQ(alpha.EntryTermDistance(alpha.PlaceEntry(p1), roman), 1u);
+  EXPECT_FALSE(
+      alpha.EntryTermDistance(alpha.PlaceEntry(p1), history).has_value());
+
+  EXPECT_EQ(alpha.EntryTermDistance(alpha.PlaceEntry(p2), catholic), 0u);
+  EXPECT_EQ(alpha.EntryTermDistance(alpha.PlaceEntry(p2), roman), 0u);
+  EXPECT_EQ(alpha.EntryTermDistance(alpha.PlaceEntry(p2), history), 1u);
+  EXPECT_FALSE(
+      alpha.EntryTermDistance(alpha.PlaceEntry(p2), ancient).has_value());
+
+  // Root node word neighborhood = min over both places ("abbey" at 0 via
+  // p1, catholic/roman at 0 via p2, history at 1, ancient at 1).
+  const uint32_t root_entry = alpha.NodeEntry(engine.rtree().root());
+  EXPECT_EQ(alpha.EntryTermDistance(root_entry, ancient), 1u);
+  EXPECT_EQ(alpha.EntryTermDistance(root_entry, catholic), 0u);
+  EXPECT_EQ(alpha.EntryTermDistance(root_entry, roman), 0u);
+  EXPECT_EQ(alpha.EntryTermDistance(root_entry, history), 1u);
+  TermId abbey = (*kb)->LookupTerms({"abbey"})[0];
+  EXPECT_EQ(alpha.EntryTermDistance(root_entry, abbey), 0u);
+}
+
+TEST(AlphaIndexTest, LargerAlphaCoversHistoryAtP1) {
+  auto kb = BuildFigure1KnowledgeBase();
+  ASSERT_TRUE(kb.ok());
+  KspEngine engine(kb->get());
+  engine.BuildRTree();
+  AlphaIndex alpha = AlphaIndex::Build(**kb, engine.rtree(), 2);
+  TermId history = (*kb)->LookupTerms({"history"})[0];
+  const PlaceId p1 =
+      (*kb)->place_of(*(*kb)->FindVertex("http://example.org/Montmajour_Abbey"));
+  EXPECT_EQ(alpha.EntryTermDistance(alpha.PlaceEntry(p1), history), 2u);
+}
+
+TEST(AlphaIndexTest, SizeGrowsWithAlpha) {
+  // Table 6's trend: the WN inverted file grows with α.
+  auto profile = SyntheticProfile::DBpediaLike(2000);
+  auto kb = GenerateKnowledgeBase(profile);
+  ASSERT_TRUE(kb.ok());
+  KspEngine engine(kb->get());
+  engine.BuildRTree();
+  uint64_t last = 0;
+  for (uint32_t a : {1u, 2u, 3u}) {
+    AlphaIndex alpha = AlphaIndex::Build(**kb, engine.rtree(), a);
+    EXPECT_GE(alpha.TotalEntries(), last) << "alpha " << a;
+    last = alpha.TotalEntries();
+    EXPECT_GT(alpha.SizeBytes(), 0u);
+  }
+}
+
+TEST(AlphaIndexTest, BoundsAreValidLowerBounds) {
+  // Property (Lemmas 2 and 4): for random queries, the α-bound of a place
+  // never exceeds its true TQSP looseness, and a node's bound never
+  // exceeds any enclosed place's bound.
+  auto profile = SyntheticProfile::YagoLike(1500);
+  auto kb = GenerateKnowledgeBase(profile);
+  ASSERT_TRUE(kb.ok());
+  KspEngine engine(kb->get());
+  engine.BuildRTree();
+  const uint32_t a = 2;
+  AlphaIndex alpha = AlphaIndex::Build(**kb, engine.rtree(), a);
+
+  // A fixed handful of frequent terms as the query.
+  std::vector<TermId> terms = {0, 1, 2};
+  auto bound_of = [&](uint32_t entry) {
+    double b = 1.0;
+    for (TermId t : terms) {
+      auto d = alpha.EntryTermDistance(entry, t);
+      b += d.has_value() ? static_cast<double>(*d)
+                         : static_cast<double>(a + 1);
+    }
+    return b;
+  };
+
+  KspQuery query;
+  query.keywords = terms;
+  query.k = 1;
+  const uint32_t num_places = (*kb)->num_places();
+  for (PlaceId p = 0; p < std::min<uint32_t>(num_places, 200); ++p) {
+    SemanticPlaceTree tree = engine.ComputeTqspForPlace(p, query);
+    if (tree.IsQualified()) {
+      EXPECT_LE(bound_of(alpha.PlaceEntry(p)), tree.looseness)
+          << "place " << p;
+    }
+  }
+
+  // Node bound <= min over children bounds.
+  const RTree& rtree = engine.rtree();
+  for (uint32_t node_id = 0; node_id < rtree.num_nodes(); ++node_id) {
+    const RTree::Node& node = rtree.node(node_id);
+    double node_bound = bound_of(alpha.NodeEntry(node_id));
+    for (const RTree::Entry& e : node.entries) {
+      uint32_t child_entry =
+          node.is_leaf ? alpha.PlaceEntry(static_cast<PlaceId>(e.id))
+                       : alpha.NodeEntry(static_cast<uint32_t>(e.id));
+      EXPECT_LE(node_bound, bound_of(child_entry) + 1e-12);
+    }
+  }
+}
+
+TEST(AlphaIndexTest, EmptyPostingsForUnknownTerm) {
+  auto kb = BuildFigure1KnowledgeBase();
+  ASSERT_TRUE(kb.ok());
+  KspEngine engine(kb->get());
+  engine.BuildRTree();
+  AlphaIndex alpha = AlphaIndex::Build(**kb, engine.rtree(), 1);
+  EXPECT_TRUE(alpha.TermPostings(999999).empty());
+  EXPECT_FALSE(alpha.EntryTermDistance(0, 999999).has_value());
+}
+
+}  // namespace
+}  // namespace ksp

@@ -1,0 +1,66 @@
+#include "text/document_store.h"
+
+#include <gtest/gtest.h>
+
+namespace ksp {
+namespace {
+
+TEST(DocumentStoreTest, BuildsSortedUniqueDocs) {
+  DocumentStoreBuilder builder;
+  builder.AddTerm(0, 5);
+  builder.AddTerm(0, 2);
+  builder.AddTerm(0, 5);  // Duplicate.
+  builder.AddTerm(2, 1);
+  DocumentStore store = builder.Finish(3);
+
+  EXPECT_EQ(store.num_vertices(), 3u);
+  auto d0 = store.Terms(0);
+  ASSERT_EQ(d0.size(), 2u);
+  EXPECT_EQ(d0[0], 2u);
+  EXPECT_EQ(d0[1], 5u);
+  EXPECT_TRUE(store.Terms(1).empty());
+  ASSERT_EQ(store.Terms(2).size(), 1u);
+  EXPECT_EQ(store.TotalPostings(), 3u);
+}
+
+TEST(DocumentStoreTest, Contains) {
+  DocumentStoreBuilder builder;
+  for (TermId t : {3u, 1u, 4u, 1u, 5u, 9u, 2u, 6u}) builder.AddTerm(0, t);
+  DocumentStore store = builder.Finish(1);
+  for (TermId t : {1u, 2u, 3u, 4u, 5u, 6u, 9u}) {
+    EXPECT_TRUE(store.Contains(0, t)) << t;
+  }
+  EXPECT_FALSE(store.Contains(0, 7));
+  EXPECT_FALSE(store.Contains(0, 0));
+  EXPECT_FALSE(store.Contains(0, 100));
+}
+
+TEST(DocumentStoreTest, EmptyStore) {
+  DocumentStoreBuilder builder;
+  DocumentStore store = builder.Finish(0);
+  EXPECT_EQ(store.num_vertices(), 0u);
+  EXPECT_EQ(store.TotalPostings(), 0u);
+  EXPECT_EQ(store.AverageDocumentLength(), 0.0);
+}
+
+TEST(DocumentStoreTest, AverageDocumentLength) {
+  DocumentStoreBuilder builder;
+  builder.AddTerm(0, 1);
+  builder.AddTerm(0, 2);
+  builder.AddTerm(1, 3);
+  DocumentStore store = builder.Finish(4);
+  EXPECT_DOUBLE_EQ(store.AverageDocumentLength(), 3.0 / 4.0);
+  EXPECT_GT(store.MemoryUsageBytes(), 0u);
+}
+
+TEST(DocumentStoreTest, UntouchedTrailingVerticesGetEmptyDocs) {
+  DocumentStoreBuilder builder;
+  builder.AddTerm(1, 7);
+  DocumentStore store = builder.Finish(5);
+  EXPECT_TRUE(store.Terms(0).empty());
+  EXPECT_FALSE(store.Terms(1).empty());
+  for (VertexId v = 2; v < 5; ++v) EXPECT_TRUE(store.Terms(v).empty());
+}
+
+}  // namespace
+}  // namespace ksp

@@ -1,0 +1,114 @@
+// Engine-level index persistence: PrepareAll -> SaveIndexes ->
+// LoadIndexes must answer every query identically with no rebuild.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/engine.h"
+#include "datagen/query_gen.h"
+#include "datagen/synthetic.h"
+
+namespace ksp {
+namespace {
+
+class EnginePersistenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto kb = GenerateKnowledgeBase(SyntheticProfile::DBpediaLike(1500));
+    ASSERT_TRUE(kb.ok());
+    kb_ = std::move(*kb);
+    dir_ = (std::filesystem::temp_directory_path() / "ksp_engine_idx")
+               .string();
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::unique_ptr<KnowledgeBase> kb_;
+  std::string dir_;
+};
+
+TEST_F(EnginePersistenceTest, SaveLoadRoundTripAnswersIdentically) {
+  KspEngine original(kb_.get());
+  original.PrepareAll(2);
+  ASSERT_TRUE(original.SaveIndexes(dir_).ok());
+
+  KspEngine restored(kb_.get());
+  ASSERT_TRUE(restored.LoadIndexes(dir_).ok());
+  ASSERT_NE(restored.alpha_index(), nullptr);
+  ASSERT_NE(restored.reachability_index(), nullptr);
+  EXPECT_EQ(restored.rtree().size(), kb_->num_places());
+  EXPECT_EQ(restored.alpha_index()->alpha(), 2u);
+
+  QueryGenOptions qopt;
+  qopt.num_keywords = 4;
+  qopt.k = 5;
+  auto queries = GenerateQueries(*kb_, QueryClass::kOriginal, qopt, 5);
+  ASSERT_FALSE(queries.empty());
+  for (const auto& q : queries) {
+    for (auto exec : {&KspEngine::ExecuteBsp, &KspEngine::ExecuteSpp,
+                      &KspEngine::ExecuteSp, &KspEngine::ExecuteTa}) {
+      auto a = (original.*exec)(q, nullptr);
+      auto b = (restored.*exec)(q, nullptr);
+      ASSERT_TRUE(a.ok() && b.ok());
+      ASSERT_EQ(a->entries.size(), b->entries.size());
+      for (size_t i = 0; i < a->entries.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a->entries[i].score, b->entries[i].score);
+        EXPECT_EQ(a->entries[i].place, b->entries[i].place);
+      }
+    }
+  }
+}
+
+TEST_F(EnginePersistenceTest, MissingFilesLeaveIndexesUnbuilt) {
+  KspEngine engine(kb_.get());
+  ASSERT_TRUE(engine.LoadIndexes(dir_).ok());  // Empty dir: no-op.
+  EXPECT_EQ(engine.reachability_index(), nullptr);
+  EXPECT_EQ(engine.alpha_index(), nullptr);
+}
+
+TEST_F(EnginePersistenceTest, PartialSaveLoads) {
+  KspEngine original(kb_.get());
+  original.BuildRTree();
+  original.BuildReachabilityIndex();  // No alpha index.
+  ASSERT_TRUE(original.SaveIndexes(dir_).ok());
+
+  KspEngine restored(kb_.get());
+  ASSERT_TRUE(restored.LoadIndexes(dir_).ok());
+  EXPECT_NE(restored.reachability_index(), nullptr);
+  EXPECT_EQ(restored.alpha_index(), nullptr);
+  // SPP works (needs reach), SP correctly demands the alpha index.
+  QueryGenOptions qopt;
+  qopt.num_keywords = 3;
+  auto queries = GenerateQueries(*kb_, QueryClass::kOriginal, qopt, 1);
+  ASSERT_FALSE(queries.empty());
+  EXPECT_TRUE(restored.ExecuteSpp(queries[0]).ok());
+  EXPECT_FALSE(restored.ExecuteSp(queries[0]).ok());
+}
+
+TEST_F(EnginePersistenceTest, AlphaWithoutItsRTreeRejected) {
+  // α entries are keyed by R-tree node ids; loading the α file without
+  // the tree it was built against must fail loudly, not misalign.
+  KspEngine original(kb_.get());
+  original.PrepareAll(2);
+  ASSERT_TRUE(original.SaveIndexes(dir_).ok());
+  std::filesystem::remove(dir_ + "/rtree.bin");
+  KspEngine restored(kb_.get());
+  auto status = restored.LoadIndexes(dir_);
+  EXPECT_FALSE(status.ok());
+  EXPECT_TRUE(status.IsInvalidArgument());
+}
+
+TEST_F(EnginePersistenceTest, MismatchedKbRejected) {
+  KspEngine original(kb_.get());
+  original.PrepareAll(2);
+  ASSERT_TRUE(original.SaveIndexes(dir_).ok());
+
+  auto other = GenerateKnowledgeBase(SyntheticProfile::YagoLike(900));
+  ASSERT_TRUE(other.ok());
+  KspEngine mismatched(other->get());
+  EXPECT_FALSE(mismatched.LoadIndexes(dir_).ok());
+}
+
+}  // namespace
+}  // namespace ksp

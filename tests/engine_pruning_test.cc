@@ -1,0 +1,167 @@
+// Focused tests for the four pruning rules and the termination logic:
+// monotone bound behaviour, pruning-counter plausibility, and the
+// work-reduction guarantees across k/|q.ψ| sweeps.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/engine.h"
+#include "datagen/query_gen.h"
+#include "datagen/synthetic.h"
+
+namespace ksp {
+namespace {
+
+class PruningTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto kb = GenerateKnowledgeBase(SyntheticProfile::DBpediaLike(2500));
+    ASSERT_TRUE(kb.ok());
+    kb_ = std::move(*kb);
+    engine_ = std::make_unique<KspEngine>(kb_.get());
+    engine_->PrepareAll(3);
+    QueryGenOptions qopt;
+    qopt.num_keywords = 5;
+    qopt.k = 5;
+    qopt.seed = 31;
+    queries_ = GenerateQueries(*kb_, QueryClass::kOriginal, qopt, 8);
+    ASSERT_FALSE(queries_.empty());
+  }
+
+  std::unique_ptr<KnowledgeBase> kb_;
+  std::unique_ptr<KspEngine> engine_;
+  std::vector<KspQuery> queries_;
+};
+
+TEST_F(PruningTest, SpDoesStrictlyLessWorkThanSpp) {
+  uint64_t spp_tqsp = 0;
+  uint64_t sp_tqsp = 0;
+  uint64_t spp_nodes = 0;
+  uint64_t sp_nodes = 0;
+  for (const auto& q : queries_) {
+    QueryStats spp_stats;
+    QueryStats sp_stats;
+    ASSERT_TRUE(engine_->ExecuteSpp(q, &spp_stats).ok());
+    ASSERT_TRUE(engine_->ExecuteSp(q, &sp_stats).ok());
+    spp_tqsp += spp_stats.tqsp_computations;
+    sp_tqsp += sp_stats.tqsp_computations;
+    spp_nodes += spp_stats.rtree_nodes_accessed;
+    sp_nodes += sp_stats.rtree_nodes_accessed;
+  }
+  EXPECT_LT(sp_tqsp, spp_tqsp);
+  EXPECT_LE(sp_nodes, spp_nodes);
+}
+
+TEST_F(PruningTest, DynamicBoundReducesVisitedVertices) {
+  // SPP visits strictly fewer BFS vertices than BSP whenever Rule 2 fires.
+  uint64_t bsp_visits = 0;
+  uint64_t spp_visits = 0;
+  uint64_t fired = 0;
+  for (const auto& q : queries_) {
+    QueryStats bsp_stats;
+    QueryStats spp_stats;
+    ASSERT_TRUE(engine_->ExecuteBsp(q, &bsp_stats).ok());
+    ASSERT_TRUE(engine_->ExecuteSpp(q, &spp_stats).ok());
+    if (!bsp_stats.completed) continue;  // Timed-out runs not comparable.
+    bsp_visits += bsp_stats.vertices_visited;
+    spp_visits += spp_stats.vertices_visited;
+    fired += spp_stats.pruned_dynamic_bound;
+  }
+  if (fired > 0) {
+    EXPECT_LT(spp_visits, bsp_visits);
+  }
+}
+
+TEST_F(PruningTest, ReachabilityQueriesBoundedByKeywordsPerPlace) {
+  for (const auto& q : queries_) {
+    QueryStats stats;
+    ASSERT_TRUE(engine_->ExecuteSpp(q, &stats).ok());
+    // Per candidate place, at most |q.ψ| reachability queries are issued.
+    uint64_t candidates = stats.tqsp_computations + stats.pruned_unqualified;
+    EXPECT_LE(stats.reachability_queries, candidates * q.keywords.size());
+  }
+}
+
+TEST_F(PruningTest, BspNeverReportsPruning) {
+  for (const auto& q : queries_) {
+    QueryStats stats;
+    ASSERT_TRUE(engine_->ExecuteBsp(q, &stats).ok());
+    EXPECT_EQ(stats.pruned_unqualified, 0u);
+    EXPECT_EQ(stats.pruned_dynamic_bound, 0u);
+    EXPECT_EQ(stats.pruned_alpha_place, 0u);
+    EXPECT_EQ(stats.pruned_alpha_node, 0u);
+    EXPECT_EQ(stats.reachability_queries, 0u);
+  }
+}
+
+TEST_F(PruningTest, WorkGrowsWithK) {
+  // More requested results -> monotonically more TQSP computations for SP
+  // (within noise; we check the endpoints).
+  const KspQuery& base = queries_.front();
+  KspQuery q1 = base;
+  q1.k = 1;
+  KspQuery q20 = base;
+  q20.k = 20;
+  QueryStats s1;
+  QueryStats s20;
+  ASSERT_TRUE(engine_->ExecuteSp(q1, &s1).ok());
+  ASSERT_TRUE(engine_->ExecuteSp(q20, &s20).ok());
+  EXPECT_LE(s1.tqsp_computations, s20.tqsp_computations);
+  EXPECT_LE(s1.rtree_nodes_accessed, s20.rtree_nodes_accessed);
+}
+
+TEST_F(PruningTest, SemanticTimeWithinTotal) {
+  for (const auto& q : queries_) {
+    for (auto exec : {&KspEngine::ExecuteBsp, &KspEngine::ExecuteSpp,
+                      &KspEngine::ExecuteSp, &KspEngine::ExecuteTa}) {
+      QueryStats stats;
+      ASSERT_TRUE(((*engine_).*exec)(q, &stats).ok());
+      EXPECT_GE(stats.total_ms, 0.0);
+      EXPECT_GE(stats.semantic_ms, 0.0);
+      EXPECT_LE(stats.semantic_ms, stats.total_ms + 0.5);
+    }
+  }
+}
+
+TEST_F(PruningTest, AlphaCountersOnlyFromSp) {
+  for (const auto& q : queries_) {
+    QueryStats spp_stats;
+    QueryStats sp_stats;
+    ASSERT_TRUE(engine_->ExecuteSpp(q, &spp_stats).ok());
+    ASSERT_TRUE(engine_->ExecuteSp(q, &sp_stats).ok());
+    EXPECT_EQ(spp_stats.pruned_alpha_place, 0u);
+    EXPECT_EQ(spp_stats.pruned_alpha_node, 0u);
+  }
+}
+
+TEST_F(PruningTest, LargerAlphaNeverIncreasesTqspCount) {
+  // Tighter bounds with larger α can only prune more (same ordering
+  // heuristics, same data).
+  auto engine1 = std::make_unique<KspEngine>(kb_.get());
+  engine1->PrepareAll(1);
+  auto engine3 = std::make_unique<KspEngine>(kb_.get());
+  engine3->PrepareAll(3);
+  uint64_t tqsp1 = 0;
+  uint64_t tqsp3 = 0;
+  for (const auto& q : queries_) {
+    QueryStats s1;
+    QueryStats s3;
+    ASSERT_TRUE(engine1->ExecuteSp(q, &s1).ok());
+    ASSERT_TRUE(engine3->ExecuteSp(q, &s3).ok());
+    tqsp1 += s1.tqsp_computations;
+    tqsp3 += s3.tqsp_computations;
+    // Identical answers regardless of α.
+    auto r1 = engine1->ExecuteSp(q);
+    auto r3 = engine3->ExecuteSp(q);
+    ASSERT_TRUE(r1.ok() && r3.ok());
+    ASSERT_EQ(r1->entries.size(), r3->entries.size());
+    for (size_t i = 0; i < r1->entries.size(); ++i) {
+      EXPECT_DOUBLE_EQ(r1->entries[i].score, r3->entries[i].score);
+    }
+  }
+  EXPECT_LE(tqsp3, tqsp1);
+}
+
+}  // namespace
+}  // namespace ksp

@@ -1,0 +1,88 @@
+#include "spatial/geometry.h"
+
+#include <gtest/gtest.h>
+
+namespace ksp {
+namespace {
+
+TEST(GeometryTest, Distance) {
+  EXPECT_DOUBLE_EQ(Distance(Point{0, 0}, Point{3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(DistanceSq(Point{0, 0}, Point{3, 4}), 25.0);
+  EXPECT_DOUBLE_EQ(Distance(Point{1, 1}, Point{1, 1}), 0.0);
+}
+
+TEST(GeometryTest, PaperExample5Distances) {
+  // Figure 2: S(q1, p1) ≈ 0.22, S(q1, p2) ≈ 1.28, S(q2, p2) ≈ 0.08.
+  Point p1{43.71, 4.66};
+  Point p2{43.13, 5.97};
+  Point q1{43.51, 4.75};
+  Point q2{43.17, 5.90};
+  EXPECT_NEAR(Distance(q1, p1), 0.22, 0.005);
+  EXPECT_NEAR(Distance(q1, p2), 1.28, 0.005);
+  EXPECT_NEAR(Distance(q2, p2), 0.08, 0.005);
+  EXPECT_NEAR(Distance(q2, p1), 1.35, 0.005);
+}
+
+TEST(RectTest, EmptyRect) {
+  Rect r = Rect::Empty();
+  EXPECT_TRUE(r.IsEmpty());
+  EXPECT_DOUBLE_EQ(r.Area(), 0.0);
+  r.ExpandToInclude(Point{1, 2});
+  EXPECT_FALSE(r.IsEmpty());
+  EXPECT_DOUBLE_EQ(r.Area(), 0.0);  // Degenerate point rect.
+  EXPECT_TRUE(r.Contains(Point{1, 2}));
+}
+
+TEST(RectTest, ExpandAndArea) {
+  Rect r = Rect::FromPoint(Point{0, 0});
+  r.ExpandToInclude(Point{2, 3});
+  EXPECT_DOUBLE_EQ(r.Area(), 6.0);
+  EXPECT_TRUE(r.Contains(Point{1, 1}));
+  EXPECT_FALSE(r.Contains(Point{3, 1}));
+  EXPECT_EQ(r.Center(), (Point{1.0, 1.5}));
+}
+
+TEST(RectTest, ExpandWithEmptyRectIsNoOp) {
+  Rect r = Rect::FromPoint(Point{1, 1});
+  Rect copy = r;
+  r.ExpandToInclude(Rect::Empty());
+  EXPECT_EQ(r, copy);
+}
+
+TEST(RectTest, EnlargedArea) {
+  Rect r{0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(r.EnlargedArea(Rect{0, 0, 2, 2}), 4.0);
+  EXPECT_DOUBLE_EQ(r.EnlargedArea(Rect{0.2, 0.2, 0.5, 0.5}), 1.0);
+}
+
+TEST(RectTest, Intersects) {
+  Rect a{0, 0, 2, 2};
+  EXPECT_TRUE(a.Intersects(Rect{1, 1, 3, 3}));
+  EXPECT_TRUE(a.Intersects(Rect{2, 2, 3, 3}));  // Touching counts.
+  EXPECT_FALSE(a.Intersects(Rect{2.1, 0, 3, 1}));
+}
+
+TEST(MinDistTest, InsideIsZero) {
+  Rect r{0, 0, 2, 2};
+  EXPECT_DOUBLE_EQ(MinDist(Point{1, 1}, r), 0.0);
+  EXPECT_DOUBLE_EQ(MinDist(Point{0, 0}, r), 0.0);  // Boundary.
+}
+
+TEST(MinDistTest, OutsideDistances) {
+  Rect r{0, 0, 2, 2};
+  EXPECT_DOUBLE_EQ(MinDist(Point{3, 1}, r), 1.0);   // Right side.
+  EXPECT_DOUBLE_EQ(MinDist(Point{-1, 1}, r), 1.0);  // Left side.
+  EXPECT_DOUBLE_EQ(MinDist(Point{5, 6}, r), 5.0);   // Corner: 3-4-5.
+  EXPECT_DOUBLE_EQ(MinDistSq(Point{5, 6}, r), 25.0);
+}
+
+TEST(MinDistTest, LowerBoundsTrueDistanceToAnyContainedPoint) {
+  Rect r{1, 1, 4, 5};
+  Point q{-2, 7};
+  for (Point p : {Point{1, 1}, Point{4, 5}, Point{2.5, 3.0}, Point{1, 5}}) {
+    EXPECT_LE(MinDist(q, r), Distance(q, p));
+  }
+}
+
+}  // namespace
+}  // namespace ksp

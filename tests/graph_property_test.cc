@@ -1,0 +1,78 @@
+// Property tests over random graphs: in-adjacency is the exact transpose
+// of out-adjacency, degrees are consistent, and the WCC decomposition
+// partitions the vertex set.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <numeric>
+
+#include "common/rng.h"
+#include "rdf/graph.h"
+
+namespace ksp {
+namespace {
+
+class GraphProperty
+    : public ::testing::TestWithParam<std::pair<uint32_t, int>> {};
+
+TEST_P(GraphProperty, InAdjacencyIsTransposeOfOut) {
+  auto [n, density] = GetParam();
+  Rng rng(n * 31 + density);
+  GraphBuilder builder;
+  std::map<std::pair<VertexId, VertexId>, int> expected;
+  for (int i = 0; i < density; ++i) {
+    VertexId s = static_cast<VertexId>(rng.NextBounded(n));
+    VertexId t = static_cast<VertexId>(rng.NextBounded(n));
+    PredicateId p = static_cast<PredicateId>(rng.NextBounded(3));
+    builder.AddEdge(s, t, p);
+    expected[{s, t}] = 1;  // Dedup tracks presence, not multiplicity.
+  }
+  Graph g = builder.Finish(n);
+
+  // Forward edges match the deduplicated expectation per (s,t) pair
+  // modulo predicate multiplicity.
+  uint64_t total_out = 0;
+  uint64_t total_in = 0;
+  std::map<std::pair<VertexId, VertexId>, int> out_pairs;
+  std::map<std::pair<VertexId, VertexId>, int> in_pairs;
+  for (VertexId v = 0; v < n; ++v) {
+    total_out += g.OutDegree(v);
+    total_in += g.InDegree(v);
+    for (VertexId w : g.OutNeighbors(v)) ++out_pairs[{v, w}];
+    for (VertexId u : g.InNeighbors(v)) ++in_pairs[{u, v}];
+  }
+  EXPECT_EQ(total_out, g.num_edges());
+  EXPECT_EQ(total_in, g.num_edges());
+  EXPECT_EQ(out_pairs, in_pairs);
+  for (const auto& [pair, count] : out_pairs) {
+    (void)count;
+    EXPECT_EQ(expected.count(pair), 1u);
+  }
+}
+
+TEST_P(GraphProperty, WccSizesPartitionVertices) {
+  auto [n, density] = GetParam();
+  Rng rng(n * 17 + density);
+  GraphBuilder builder;
+  for (int i = 0; i < density; ++i) {
+    builder.AddEdge(static_cast<VertexId>(rng.NextBounded(n)),
+                    static_cast<VertexId>(rng.NextBounded(n)), 0);
+  }
+  Graph g = builder.Finish(n);
+  auto wcc = g.WeaklyConnectedComponentSizes();
+  uint64_t total = std::accumulate(wcc.begin(), wcc.end(), uint64_t{0});
+  EXPECT_EQ(total, n);
+  for (size_t i = 1; i < wcc.size(); ++i) {
+    EXPECT_GE(wcc[i - 1], wcc[i]);  // Sorted descending.
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweeps, GraphProperty,
+                         ::testing::Values(std::pair{10u, 5},
+                                           std::pair{50u, 100},
+                                           std::pair{200u, 50},
+                                           std::pair{500u, 2000}));
+
+}  // namespace
+}  // namespace ksp

@@ -1,0 +1,105 @@
+#include "rdf/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace ksp {
+namespace {
+
+TEST(GraphTest, CsrAdjacency) {
+  GraphBuilder builder;
+  builder.AddEdge(0, 1, 0);
+  builder.AddEdge(0, 2, 1);
+  builder.AddEdge(2, 1, 0);
+  Graph g = builder.Finish(3);
+
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+
+  auto out0 = g.OutNeighbors(0);
+  ASSERT_EQ(out0.size(), 2u);
+  EXPECT_EQ(out0[0], 1u);
+  EXPECT_EQ(out0[1], 2u);
+  EXPECT_EQ(g.OutDegree(0), 2u);
+  EXPECT_TRUE(g.OutNeighbors(1).empty());
+
+  auto in1 = g.InNeighbors(1);
+  ASSERT_EQ(in1.size(), 2u);
+  EXPECT_EQ(g.InDegree(1), 2u);
+  EXPECT_TRUE(g.InNeighbors(0).empty());
+}
+
+TEST(GraphTest, PredicatesAlignedWithTargets) {
+  GraphBuilder builder;
+  builder.AddEdge(0, 2, 7);
+  builder.AddEdge(0, 1, 3);
+  Graph g = builder.Finish(3);
+  auto targets = g.OutNeighbors(0);
+  auto preds = g.OutPredicates(0);
+  ASSERT_EQ(targets.size(), preds.size());
+  for (size_t i = 0; i < targets.size(); ++i) {
+    if (targets[i] == 1) EXPECT_EQ(preds[i], 3u);
+    if (targets[i] == 2) EXPECT_EQ(preds[i], 7u);
+  }
+}
+
+TEST(GraphTest, DuplicateEdgesRemoved) {
+  GraphBuilder builder;
+  builder.AddEdge(0, 1, 0);
+  builder.AddEdge(0, 1, 0);
+  builder.AddEdge(0, 1, 1);  // Different predicate: kept.
+  Graph g = builder.Finish(2);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(GraphTest, EmptyGraph) {
+  GraphBuilder builder;
+  Graph g = builder.Finish(0);
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_TRUE(g.WeaklyConnectedComponentSizes().empty());
+}
+
+TEST(GraphTest, IsolatedVertices) {
+  GraphBuilder builder;
+  builder.AddEdge(0, 1, 0);
+  Graph g = builder.Finish(4);
+  auto wcc = g.WeaklyConnectedComponentSizes();
+  ASSERT_EQ(wcc.size(), 3u);  // {0,1}, {2}, {3}.
+  EXPECT_EQ(wcc[0], 2u);
+  EXPECT_EQ(wcc[1], 1u);
+  EXPECT_EQ(wcc[2], 1u);
+}
+
+TEST(GraphTest, WccIgnoresDirection) {
+  GraphBuilder builder;
+  builder.AddEdge(0, 1, 0);
+  builder.AddEdge(2, 1, 0);  // 2 -> 1: weakly connects 2 with {0, 1}.
+  builder.AddEdge(3, 4, 0);
+  Graph g = builder.Finish(5);
+  auto wcc = g.WeaklyConnectedComponentSizes();
+  ASSERT_EQ(wcc.size(), 2u);
+  EXPECT_EQ(wcc[0], 3u);
+  EXPECT_EQ(wcc[1], 2u);
+}
+
+TEST(GraphTest, SelfLoop) {
+  GraphBuilder builder;
+  builder.AddEdge(0, 0, 0);
+  Graph g = builder.Finish(1);
+  EXPECT_EQ(g.num_edges(), 1u);
+  ASSERT_EQ(g.OutNeighbors(0).size(), 1u);
+  EXPECT_EQ(g.OutNeighbors(0)[0], 0u);
+  EXPECT_EQ(g.InNeighbors(0).size(), 1u);
+}
+
+TEST(GraphTest, MemoryUsageNonZero) {
+  GraphBuilder builder;
+  builder.AddEdge(0, 1, 0);
+  Graph g = builder.Finish(2);
+  EXPECT_GT(g.MemoryUsageBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace ksp

@@ -1,0 +1,101 @@
+// Persistence of the expensive preprocessing artifacts: reachability
+// labels and the α-radius inverted file round-trip exactly.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "alpha/alpha_index.h"
+#include "core/engine.h"
+#include "datagen/synthetic.h"
+#include "reach/reachability_index.h"
+
+namespace ksp {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+class IndexIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto kb = GenerateKnowledgeBase(SyntheticProfile::YagoLike(1500));
+    ASSERT_TRUE(kb.ok());
+    kb_ = std::move(*kb);
+  }
+  std::unique_ptr<KnowledgeBase> kb_;
+};
+
+TEST_F(IndexIoTest, ReachabilityRoundTrip) {
+  auto index = ReachabilityIndex::Build(kb_->graph(), kb_->documents(),
+                                        kb_->num_terms());
+  std::string path = TempPath("ksp_reach.idx");
+  ASSERT_TRUE(index.Save(path).ok());
+  auto loaded = ReachabilityIndex::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->NumLabelEntries(), index.NumLabelEntries());
+  EXPECT_EQ(loaded->num_base_vertices(), index.num_base_vertices());
+  // Every query agrees on a sample grid.
+  for (VertexId v = 0; v < kb_->num_vertices(); v += 37) {
+    for (TermId t = 0; t < kb_->num_terms(); t += 211) {
+      EXPECT_EQ(loaded->Reaches(v, t), index.Reaches(v, t))
+          << v << " " << t;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(IndexIoTest, ReachabilityBadFileRejected) {
+  std::string path = TempPath("ksp_reach_bad.idx");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    std::fputs("nonsense", f);
+    std::fclose(f);
+  }
+  auto loaded = ReachabilityIndex::Load(path);
+  EXPECT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+  EXPECT_TRUE(ReachabilityIndex::Load(path).status().IsIOError());
+}
+
+TEST_F(IndexIoTest, AlphaIndexRoundTrip) {
+  KspEngine engine(kb_.get());
+  engine.BuildRTree();
+  AlphaIndex index = AlphaIndex::Build(*kb_, engine.rtree(), 2);
+  std::string path = TempPath("ksp_alpha.idx");
+  ASSERT_TRUE(index.Save(path).ok());
+  auto loaded = AlphaIndex::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->alpha(), index.alpha());
+  EXPECT_EQ(loaded->num_places(), index.num_places());
+  EXPECT_EQ(loaded->num_nodes(), index.num_nodes());
+  EXPECT_EQ(loaded->TotalEntries(), index.TotalEntries());
+  for (TermId t = 0; t < kb_->num_terms(); t += 101) {
+    auto a = index.TermPostings(t);
+    auto b = loaded->TermPostings(t);
+    ASSERT_EQ(a.size(), b.size()) << t;
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].entry, b[i].entry);
+      EXPECT_EQ(a[i].distance, b[i].distance);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(IndexIoTest, AlphaIndexTruncatedRejected) {
+  KspEngine engine(kb_.get());
+  engine.BuildRTree();
+  AlphaIndex index = AlphaIndex::Build(*kb_, engine.rtree(), 1);
+  std::string path = TempPath("ksp_alpha_trunc.idx");
+  ASSERT_TRUE(index.Save(path).ok());
+  std::filesystem::resize_file(path,
+                               std::filesystem::file_size(path) / 2);
+  auto loaded = AlphaIndex::Load(path);
+  EXPECT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ksp

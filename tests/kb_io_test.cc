@@ -1,0 +1,132 @@
+#include "rdf/kb_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "core/engine.h"
+#include "datagen/fixtures.h"
+#include "datagen/synthetic.h"
+
+namespace ksp {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+void ExpectEquivalent(const KnowledgeBase& a, const KnowledgeBase& b) {
+  ASSERT_EQ(a.num_vertices(), b.num_vertices());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  ASSERT_EQ(a.num_terms(), b.num_terms());
+  ASSERT_EQ(a.num_places(), b.num_places());
+  for (VertexId v = 0; v < a.num_vertices(); ++v) {
+    EXPECT_EQ(a.VertexIri(v), b.VertexIri(v));
+    auto da = a.documents().Terms(v);
+    auto db = b.documents().Terms(v);
+    ASSERT_EQ(da.size(), db.size()) << v;
+    for (size_t i = 0; i < da.size(); ++i) {
+      EXPECT_EQ(da[i], db[i]);
+      EXPECT_EQ(a.vocabulary().Term(da[i]), b.vocabulary().Term(db[i]));
+    }
+    auto na = a.graph().OutNeighbors(v);
+    auto nb = b.graph().OutNeighbors(v);
+    ASSERT_EQ(na.size(), nb.size()) << v;
+    for (size_t i = 0; i < na.size(); ++i) EXPECT_EQ(na[i], nb[i]);
+    EXPECT_EQ(a.graph().InDegree(v), b.graph().InDegree(v));
+  }
+  for (PlaceId p = 0; p < a.num_places(); ++p) {
+    EXPECT_EQ(a.place_vertex(p), b.place_vertex(p));
+    EXPECT_EQ(a.place_location(p), b.place_location(p));
+  }
+}
+
+TEST(KbIoTest, Figure1RoundTrip) {
+  auto kb = BuildFigure1KnowledgeBase();
+  ASSERT_TRUE(kb.ok());
+  std::string path = TempPath("ksp_snapshot_fig1.kbsnap");
+  ASSERT_TRUE(SaveKnowledgeBase(**kb, path).ok());
+  auto loaded = LoadKnowledgeBaseSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectEquivalent(**kb, **loaded);
+  std::remove(path.c_str());
+}
+
+TEST(KbIoTest, SyntheticRoundTripAndIdenticalQueryResults) {
+  auto kb = GenerateKnowledgeBase(SyntheticProfile::YagoLike(1500));
+  ASSERT_TRUE(kb.ok());
+  std::string path = TempPath("ksp_snapshot_syn.kbsnap");
+  ASSERT_TRUE(SaveKnowledgeBase(**kb, path).ok());
+  auto loaded = LoadKnowledgeBaseSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectEquivalent(**kb, **loaded);
+
+  // Queries over the loaded KB return identical answers.
+  KspEngine engine_a(kb->get());
+  engine_a.PrepareAll(2);
+  KspEngine engine_b(loaded->get());
+  engine_b.PrepareAll(2);
+  KspQuery q;
+  q.location = Point{45, 10};
+  q.keywords = {0, 1, 2};
+  q.k = 5;
+  auto ra = engine_a.ExecuteSp(q);
+  auto rb = engine_b.ExecuteSp(q);
+  ASSERT_TRUE(ra.ok() && rb.ok());
+  ASSERT_EQ(ra->entries.size(), rb->entries.size());
+  for (size_t i = 0; i < ra->entries.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ra->entries[i].score, rb->entries[i].score);
+    EXPECT_EQ(ra->entries[i].place, rb->entries[i].place);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(KbIoTest, EmptyKbRoundTrips) {
+  KnowledgeBaseBuilder builder;
+  auto kb = builder.Finish();
+  ASSERT_TRUE(kb.ok());
+  std::string path = TempPath("ksp_snapshot_empty.kbsnap");
+  ASSERT_TRUE(SaveKnowledgeBase(**kb, path).ok());
+  auto loaded = LoadKnowledgeBaseSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ((*loaded)->num_vertices(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(KbIoTest, MissingFileIsIOError) {
+  auto loaded = LoadKnowledgeBaseSnapshot(TempPath("nope.kbsnap"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsIOError());
+}
+
+TEST(KbIoTest, TruncatedFileIsRejected) {
+  auto kb = BuildFigure1KnowledgeBase();
+  ASSERT_TRUE(kb.ok());
+  std::string path = TempPath("ksp_snapshot_trunc.kbsnap");
+  ASSERT_TRUE(SaveKnowledgeBase(**kb, path).ok());
+  // Truncate the last 8 bytes.
+  std::filesystem::resize_file(
+      path, std::filesystem::file_size(path) - 8);
+  auto loaded = LoadKnowledgeBaseSnapshot(path);
+  EXPECT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+TEST(KbIoTest, BadMagicIsCorruption) {
+  std::string path = TempPath("ksp_snapshot_badmagic.kbsnap");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    const char garbage[16] = "notasnapshot!!!";
+    std::fwrite(garbage, 1, sizeof(garbage), f);
+    std::fclose(f);
+  }
+  auto loaded = LoadKnowledgeBaseSnapshot(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsCorruption());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ksp

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "datagen/fixtures.h"
+#include "datagen/query_gen.h"
+#include "datagen/synthetic.h"
+#include "datagen/workload_io.h"
+#include "rdf/kb_stats.h"
+
+namespace ksp {
+namespace {
+
+TEST(KbStatsTest, Figure1Statistics) {
+  auto kb = BuildFigure1KnowledgeBase();
+  ASSERT_TRUE(kb.ok());
+  KnowledgeBaseStats stats = ComputeKnowledgeBaseStats(**kb);
+  EXPECT_EQ(stats.num_vertices, 10u);
+  EXPECT_EQ(stats.num_edges, 8u);
+  EXPECT_EQ(stats.num_places, 2u);
+  EXPECT_DOUBLE_EQ(stats.place_fraction, 0.2);
+  EXPECT_DOUBLE_EQ(stats.avg_out_degree, 0.8);
+  EXPECT_GT(stats.keyword_frequency, 0.0);
+  // Figure 1 is weakly connected except the two separate stars:
+  // {p1, v1..v5} and {p2, v6..v8}.
+  EXPECT_EQ(stats.NumWccs(), 2u);
+  EXPECT_EQ(stats.LargestWcc(), 6u);
+  EXPECT_FALSE(stats.ToString().empty());
+}
+
+TEST(KbStatsTest, EmptyKb) {
+  KnowledgeBaseBuilder builder;
+  auto kb = builder.Finish();
+  ASSERT_TRUE(kb.ok());
+  KnowledgeBaseStats stats = ComputeKnowledgeBaseStats(**kb);
+  EXPECT_EQ(stats.num_vertices, 0u);
+  EXPECT_DOUBLE_EQ(stats.avg_out_degree, 0.0);
+  EXPECT_EQ(stats.LargestWcc(), 0u);
+  EXPECT_FALSE(stats.ToString().empty());
+}
+
+TEST(WorkloadIoTest, RoundTripOnSameKb) {
+  auto kb = GenerateKnowledgeBase(SyntheticProfile::DBpediaLike(1200));
+  ASSERT_TRUE(kb.ok());
+  QueryGenOptions qopt;
+  qopt.num_keywords = 4;
+  qopt.k = 7;
+  auto queries = GenerateQueries(**kb, QueryClass::kOriginal, qopt, 6);
+  ASSERT_FALSE(queries.empty());
+
+  std::string path = (std::filesystem::temp_directory_path() /
+                      "ksp_workload_test.txt")
+                         .string();
+  ASSERT_TRUE(SaveWorkload(**kb, queries, path).ok());
+  auto loaded = LoadWorkload(**kb, path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ((*loaded)[i].location, queries[i].location);
+    EXPECT_EQ((*loaded)[i].k, queries[i].k);
+    EXPECT_EQ((*loaded)[i].keywords, queries[i].keywords);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(WorkloadIoTest, PortableAcrossKbsSharingVocabulary) {
+  // Queries saved against one KB resolve on another KB with the same
+  // keyword strings (different term ids).
+  auto a = GenerateKnowledgeBase(SyntheticProfile::YagoLike(1000));
+  auto b = GenerateKnowledgeBase(SyntheticProfile::YagoLike(2000));
+  ASSERT_TRUE(a.ok() && b.ok());
+  QueryGenOptions qopt;
+  qopt.num_keywords = 3;
+  auto queries = GenerateQueries(**a, QueryClass::kOriginal, qopt, 4);
+  ASSERT_FALSE(queries.empty());
+  std::string path = (std::filesystem::temp_directory_path() /
+                      "ksp_workload_portable.txt")
+                         .string();
+  ASSERT_TRUE(SaveWorkload(**a, queries, path).ok());
+  auto loaded = LoadWorkload(**b, path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    // Keyword strings must match, term id by term id.
+    ASSERT_EQ((*loaded)[i].keywords.size(), queries[i].keywords.size());
+    for (size_t j = 0; j < queries[i].keywords.size(); ++j) {
+      TermId original = queries[i].keywords[j];
+      TermId mapped = (*loaded)[i].keywords[j];
+      if (mapped != kInvalidTerm) {
+        EXPECT_EQ((*b)->vocabulary().Term(mapped),
+                  (*a)->vocabulary().Term(original));
+      }
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(WorkloadIoTest, MalformedLinesRejected) {
+  auto kb = BuildFigure1KnowledgeBase();
+  ASSERT_TRUE(kb.ok());
+  std::string path = (std::filesystem::temp_directory_path() /
+                      "ksp_workload_bad.txt")
+                         .string();
+  {
+    std::ofstream out(path);
+    out << "1.0 2.0\n";  // Missing k and keywords.
+  }
+  auto loaded = LoadWorkload(**kb, path);
+  EXPECT_FALSE(loaded.ok());
+  {
+    std::ofstream out(path);
+    out << "1.0 2.0 5\n";  // No keywords.
+  }
+  loaded = LoadWorkload(**kb, path);
+  EXPECT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+TEST(WorkloadIoTest, MissingFileIsIOError) {
+  auto kb = BuildFigure1KnowledgeBase();
+  ASSERT_TRUE(kb.ok());
+  auto loaded = LoadWorkload(**kb, "/nonexistent/workload.txt");
+  EXPECT_TRUE(loaded.status().IsIOError());
+}
+
+}  // namespace
+}  // namespace ksp

@@ -1,0 +1,91 @@
+// Location-free keyword search (looseness-only ranking): validated
+// against a brute-force per-place TQSP oracle.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/engine.h"
+#include "datagen/fixtures.h"
+#include "datagen/query_gen.h"
+#include "datagen/synthetic.h"
+
+namespace ksp {
+namespace {
+
+PlaceId kb_place(const std::unique_ptr<KnowledgeBase>& kb,
+                 const std::string& local) {
+  auto v = kb->FindVertex("http://example.org/" + local);
+  EXPECT_TRUE(v.has_value());
+  return kb->place_of(*v);
+}
+
+TEST(KeywordOnlyTest, Figure1RanksByLoosenessNotDistance) {
+  auto kb = BuildFigure1KnowledgeBase();
+  ASSERT_TRUE(kb.ok());
+  KspEngine engine(kb->get());
+  engine.BuildRTree();
+  // From q1, p1 is much closer — but p2 has the lower looseness (4 vs 6)
+  // and must win a location-free ranking.
+  KspQuery query = engine.MakeQuery(kQ1, Figure1QueryKeywords(), 2);
+  auto result = engine.ExecuteKeywordOnly(query);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->entries.size(), 2u);
+  EXPECT_DOUBLE_EQ(result->entries[0].score, 4.0);
+  EXPECT_DOUBLE_EQ(result->entries[0].looseness, 4.0);
+  EXPECT_DOUBLE_EQ(result->entries[1].looseness, 6.0);
+  EXPECT_EQ(result->entries[0].place,
+            kb_place(*kb, "Roman_Catholic_Diocese_of_Frejus_Toulon"));
+
+  // Trees are materialized.
+  EXPECT_FALSE(result->entries[0].tree.matches.empty());
+}
+
+TEST(KeywordOnlyTest, MatchesBruteForceOracle) {
+  auto kb = GenerateKnowledgeBase(SyntheticProfile::DBpediaLike(1200));
+  ASSERT_TRUE(kb.ok());
+  KspEngine engine(kb->get());
+  engine.BuildRTree();
+  QueryGenOptions qopt;
+  qopt.num_keywords = 4;
+  qopt.k = 6;
+  auto queries = GenerateQueries(**kb, QueryClass::kOriginal, qopt, 4);
+  ASSERT_FALSE(queries.empty());
+
+  for (const auto& q : queries) {
+    std::vector<std::pair<double, PlaceId>> oracle;
+    for (PlaceId p = 0; p < (*kb)->num_places(); ++p) {
+      auto tree = engine.ComputeTqspForPlace(p, q);
+      if (tree.IsQualified()) oracle.emplace_back(tree.looseness, p);
+    }
+    std::sort(oracle.begin(), oracle.end());
+    if (oracle.size() > q.k) oracle.resize(q.k);
+
+    auto result = engine.ExecuteKeywordOnly(q);
+    ASSERT_TRUE(result.ok());
+    ASSERT_EQ(result->entries.size(), oracle.size());
+    for (size_t i = 0; i < oracle.size(); ++i) {
+      // Looseness values must match positionally (ties may permute ids).
+      EXPECT_DOUBLE_EQ(result->entries[i].looseness, oracle[i].first) << i;
+    }
+  }
+}
+
+TEST(KeywordOnlyTest, UnansweredAndEmptyQueries) {
+  auto kb = BuildFigure1KnowledgeBase();
+  ASSERT_TRUE(kb.ok());
+  KspEngine engine(kb->get());
+  engine.BuildRTree();
+  auto r1 = engine.ExecuteKeywordOnly(engine.MakeQuery(kQ1, {"zzz"}, 3));
+  ASSERT_TRUE(r1.ok());
+  EXPECT_TRUE(r1->entries.empty());
+  KspQuery no_keywords;
+  no_keywords.location = kQ1;
+  no_keywords.k = 3;
+  auto r2 = engine.ExecuteKeywordOnly(no_keywords);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(r2->entries.empty());
+}
+
+}  // namespace
+}  // namespace ksp

@@ -1,0 +1,201 @@
+#include "rdf/knowledge_base.h"
+
+#include <gtest/gtest.h>
+
+namespace ksp {
+namespace {
+
+TEST(KnowledgeBaseBuilderTest, ProgrammaticConstruction) {
+  KnowledgeBaseBuilder builder;
+  VertexId a = builder.AddEntity("http://x.org/Cathedral_Tower");
+  VertexId b = builder.AddEntity("http://x.org/Old_Town");
+  builder.AddRelation(a, b, "http://x.org/locatedIn");
+  builder.SetLocation(a, Point{10.0, 20.0});
+
+  auto kb = builder.Finish();
+  ASSERT_TRUE(kb.ok());
+  EXPECT_EQ((*kb)->num_vertices(), 2u);
+  EXPECT_EQ((*kb)->num_edges(), 1u);
+  EXPECT_EQ((*kb)->num_places(), 1u);
+  EXPECT_EQ((*kb)->place_vertex(0), a);
+  EXPECT_EQ((*kb)->place_location(0), (Point{10.0, 20.0}));
+  EXPECT_EQ((*kb)->place_of(a), 0u);
+  EXPECT_EQ((*kb)->place_of(b), kInvalidPlace);
+  EXPECT_TRUE((*kb)->IsPlace(a));
+  EXPECT_FALSE((*kb)->IsPlace(b));
+
+  // URI local-name tokens form the documents; predicate tokens enrich the
+  // object's document.
+  auto terms = (*kb)->LookupTerms({"cathedral", "tower", "town", "located"});
+  const DocumentStore& docs = (*kb)->documents();
+  EXPECT_TRUE(docs.Contains(a, terms[0]));
+  EXPECT_TRUE(docs.Contains(a, terms[1]));
+  EXPECT_TRUE(docs.Contains(b, terms[2]));
+  EXPECT_TRUE(docs.Contains(b, terms[3]));  // From the predicate.
+  EXPECT_FALSE(docs.Contains(a, terms[3]));
+}
+
+TEST(KnowledgeBaseBuilderTest, AddEntityIsIdempotent) {
+  KnowledgeBaseBuilder builder;
+  VertexId a1 = builder.AddEntity("http://x.org/A");
+  VertexId a2 = builder.AddEntity("<http://x.org/A>");  // Brackets stripped.
+  EXPECT_EQ(a1, a2);
+  EXPECT_EQ(builder.num_vertices(), 1u);
+}
+
+TEST(KnowledgeBaseBuilderTest, LiteralTriplesFoldIntoSubjectDocument) {
+  KnowledgeBaseBuilder builder;
+  Triple t;
+  t.subject = "http://x.org/Abbey";
+  t.predicate = "http://x.org/description";
+  t.object = "romanesque monastery";
+  t.object_kind = ObjectKind::kLiteral;
+  builder.AddTriple(t);
+  auto kb = builder.Finish();
+  ASSERT_TRUE(kb.ok());
+  EXPECT_EQ((*kb)->num_vertices(), 1u);  // Literal creates no vertex.
+  EXPECT_EQ((*kb)->num_edges(), 0u);
+  auto v = (*kb)->FindVertex("http://x.org/Abbey");
+  ASSERT_TRUE(v.has_value());
+  auto terms =
+      (*kb)->LookupTerms({"romanesque", "monastery", "description"});
+  for (TermId t2 : terms) {
+    EXPECT_TRUE((*kb)->documents().Contains(*v, t2));
+  }
+}
+
+TEST(KnowledgeBaseBuilderTest, TypeTriplesFoldObjectTokens) {
+  KnowledgeBaseBuilder builder;
+  Triple t;
+  t.subject = "http://x.org/Abbey";
+  t.predicate = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+  t.object = "http://x.org/ReligiousBuilding";
+  t.object_kind = ObjectKind::kIri;
+  builder.AddTriple(t);
+  auto kb = builder.Finish();
+  ASSERT_TRUE(kb.ok());
+  // The type IRI does not become a vertex.
+  EXPECT_EQ((*kb)->num_vertices(), 1u);
+  auto v = (*kb)->FindVertex("http://x.org/Abbey");
+  auto terms = (*kb)->LookupTerms({"religious", "building"});
+  EXPECT_TRUE((*kb)->documents().Contains(*v, terms[0]));
+  EXPECT_TRUE((*kb)->documents().Contains(*v, terms[1]));
+}
+
+TEST(KnowledgeBaseBuilderTest, IgnoredPredicatesDropped) {
+  KnowledgeBaseBuilder builder;
+  Triple t;
+  t.subject = "http://x.org/A";
+  t.predicate = "http://www.w3.org/2002/07/owl#sameAs";
+  t.object = "http://y.org/A";
+  t.object_kind = ObjectKind::kIri;
+  builder.AddTriple(t);
+  auto kb = builder.Finish();
+  ASSERT_TRUE(kb.ok());
+  EXPECT_EQ((*kb)->num_vertices(), 0u);
+  EXPECT_EQ((*kb)->num_edges(), 0u);
+}
+
+TEST(KnowledgeBaseBuilderTest, LatLongPairBecomesPlace) {
+  KnowledgeBaseBuilder builder;
+  Triple lat;
+  lat.subject = "http://x.org/A";
+  lat.predicate = "http://www.w3.org/2003/01/geo/wgs84_pos#lat";
+  lat.object = "43.71";
+  lat.object_kind = ObjectKind::kLiteral;
+  Triple lon = lat;
+  lon.predicate = "http://www.w3.org/2003/01/geo/wgs84_pos#long";
+  lon.object = "4.66";
+  builder.AddTriple(lat);
+  builder.AddTriple(lon);
+  auto kb = builder.Finish();
+  ASSERT_TRUE(kb.ok());
+  ASSERT_EQ((*kb)->num_places(), 1u);
+  EXPECT_NEAR((*kb)->place_location(0).x, 43.71, 1e-9);
+  EXPECT_NEAR((*kb)->place_location(0).y, 4.66, 1e-9);
+}
+
+TEST(KnowledgeBaseBuilderTest, LatOnlyIsNotAPlace) {
+  KnowledgeBaseBuilder builder;
+  Triple lat;
+  lat.subject = "http://x.org/A";
+  lat.predicate = "http://x.org/lat";
+  lat.object = "43.71";
+  lat.object_kind = ObjectKind::kLiteral;
+  builder.AddTriple(lat);
+  auto kb = builder.Finish();
+  ASSERT_TRUE(kb.ok());
+  EXPECT_EQ((*kb)->num_places(), 0u);
+}
+
+TEST(KnowledgeBaseBuilderTest, GeorssPointBecomesPlace) {
+  KnowledgeBaseBuilder builder;
+  Triple t;
+  t.subject = "http://x.org/A";
+  t.predicate = "http://www.georss.org/georss/point";
+  t.object = "43.13 5.97";
+  t.object_kind = ObjectKind::kLiteral;
+  builder.AddTriple(t);
+  auto kb = builder.Finish();
+  ASSERT_TRUE(kb.ok());
+  ASSERT_EQ((*kb)->num_places(), 1u);
+  EXPECT_NEAR((*kb)->place_location(0).x, 43.13, 1e-9);
+  EXPECT_NEAR((*kb)->place_location(0).y, 5.97, 1e-9);
+}
+
+TEST(KnowledgeBaseBuilderTest, WktPointBecomesPlace) {
+  KnowledgeBaseBuilder builder;
+  Triple t;
+  t.subject = "http://x.org/A";
+  t.predicate = "http://www.opengis.net/ont/geosparql#asWKT";
+  t.object = "POINT(4.66 43.71)";  // WKT is (lon lat).
+  t.object_kind = ObjectKind::kLiteral;
+  builder.AddTriple(t);
+  auto kb = builder.Finish();
+  ASSERT_TRUE(kb.ok());
+  ASSERT_EQ((*kb)->num_places(), 1u);
+  EXPECT_NEAR((*kb)->place_location(0).x, 43.71, 1e-9);
+  EXPECT_NEAR((*kb)->place_location(0).y, 4.66, 1e-9);
+}
+
+TEST(KnowledgeBaseBuilderTest, MalformedCoordinateIsKeptAsText) {
+  KnowledgeBaseBuilder builder;
+  Triple t;
+  t.subject = "http://x.org/A";
+  t.predicate = "http://x.org/lat";
+  t.object = "not a number";
+  t.object_kind = ObjectKind::kLiteral;
+  builder.AddTriple(t);
+  auto kb = builder.Finish();
+  ASSERT_TRUE(kb.ok());
+  EXPECT_EQ((*kb)->num_places(), 0u);
+  auto v = (*kb)->FindVertex("http://x.org/A");
+  auto terms = (*kb)->LookupTerms({"number"});
+  EXPECT_TRUE((*kb)->documents().Contains(*v, terms[0]));
+}
+
+TEST(KnowledgeBaseTest, LookupTermsMapsUnknownToInvalid) {
+  KnowledgeBaseBuilder builder;
+  builder.AddEntity("http://x.org/Alpha_Beta");
+  auto kb = builder.Finish();
+  ASSERT_TRUE(kb.ok());
+  auto terms = (*kb)->LookupTerms({"alpha", "MISSING", "Beta"});
+  EXPECT_NE(terms[0], kInvalidTerm);
+  EXPECT_EQ(terms[1], kInvalidTerm);
+  EXPECT_NE(terms[2], kInvalidTerm);  // Case-insensitive.
+}
+
+TEST(KnowledgeBaseTest, LoadFromStringEndToEnd) {
+  auto kb = LoadKnowledgeBaseFromString(
+      "<http://x.org/A_Place> <http://x.org/linksTo> <http://x.org/B> .\n"
+      "<http://x.org/A_Place> <http://x.org/near> <http://x.org/B> .\n"
+      "<http://x.org/A_Place> <http://x.org/lat> \"1.0\" .\n"
+      "<http://x.org/A_Place> <http://x.org/long> \"2.0\" .\n");
+  ASSERT_TRUE(kb.ok()) << kb.status().ToString();
+  EXPECT_EQ((*kb)->num_vertices(), 2u);
+  EXPECT_EQ((*kb)->num_edges(), 1u);  // linksTo ignored.
+  EXPECT_EQ((*kb)->num_places(), 1u);
+}
+
+}  // namespace
+}  // namespace ksp

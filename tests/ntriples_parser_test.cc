@@ -1,0 +1,196 @@
+#include "rdf/ntriples_parser.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace ksp {
+namespace {
+
+TEST(NTriplesParserTest, IriTriple) {
+  NTriplesParser parser;
+  auto r = parser.ParseLine(
+      "<http://a.org/s> <http://a.org/p> <http://a.org/o> .");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->subject, "http://a.org/s");
+  EXPECT_EQ(r->predicate, "http://a.org/p");
+  EXPECT_EQ(r->object, "http://a.org/o");
+  EXPECT_EQ(r->object_kind, ObjectKind::kIri);
+}
+
+TEST(NTriplesParserTest, PlainLiteral) {
+  NTriplesParser parser;
+  auto r = parser.ParseLine("<http://a/s> <http://a/p> \"hello world\" .");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->object, "hello world");
+  EXPECT_EQ(r->object_kind, ObjectKind::kLiteral);
+  EXPECT_TRUE(r->language.empty());
+  EXPECT_TRUE(r->datatype.empty());
+}
+
+TEST(NTriplesParserTest, LanguageTaggedLiteral) {
+  NTriplesParser parser;
+  auto r = parser.ParseLine("<http://a/s> <http://a/p> \"bonjour\"@fr .");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->object, "bonjour");
+  EXPECT_EQ(r->language, "fr");
+}
+
+TEST(NTriplesParserTest, TypedLiteral) {
+  NTriplesParser parser;
+  auto r = parser.ParseLine(
+      "<http://a/s> <http://a/p> "
+      "\"42\"^^<http://www.w3.org/2001/XMLSchema#integer> .");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->object, "42");
+  EXPECT_EQ(r->datatype, "http://www.w3.org/2001/XMLSchema#integer");
+}
+
+TEST(NTriplesParserTest, EscapesDecoded) {
+  NTriplesParser parser;
+  auto r = parser.ParseLine(
+      R"(<http://a/s> <http://a/p> "tab\there\nquote\"back\\slash" .)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->object, "tab\there\nquote\"back\\slash");
+}
+
+TEST(NTriplesParserTest, UnicodeEscapes) {
+  NTriplesParser parser;
+  auto r = parser.ParseLine(
+      R"(<http://a/s> <http://a/p> "café \U0001F600" .)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->object, "caf\xC3\xA9 \xF0\x9F\x98\x80");
+}
+
+TEST(NTriplesParserTest, BlankNodes) {
+  NTriplesParser parser;
+  auto r = parser.ParseLine("_:b1 <http://a/p> _:b2 .");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->subject, "_:b1");
+  EXPECT_EQ(r->object, "_:b2");
+  EXPECT_EQ(r->object_kind, ObjectKind::kIri);
+}
+
+TEST(NTriplesParserTest, ExtraWhitespaceTolerated) {
+  NTriplesParser parser;
+  auto r = parser.ParseLine("  <http://a/s>\t<http://a/p>   <http://a/o> . ");
+  ASSERT_TRUE(r.ok());
+}
+
+TEST(NTriplesParserTest, MalformedLines) {
+  NTriplesParser parser;
+  const char* bad_lines[] = {
+      "",                                          // empty
+      "<s> <p>",                                   // missing object
+      "<s> <p> <o>",                               // missing dot
+      "<s <p> <o> .",                              // unterminated IRI
+      "<s> <p> \"unterminated .",                  // unterminated literal
+      "<s> <p> \"x\" . trailing",                  // garbage after dot
+      "<s> <p> \"bad\\q\" .",                      // unknown escape
+      "<s> <p> \"bad\\u00G9\" .",                  // bad hex
+      "plain text",                                // no IRI
+  };
+  for (const char* line : bad_lines) {
+    auto r = parser.ParseLine(line);
+    EXPECT_FALSE(r.ok()) << "should reject: " << line;
+  }
+}
+
+TEST(NTriplesParserTest, IsBlankOrComment) {
+  EXPECT_TRUE(NTriplesParser::IsBlankOrComment(""));
+  EXPECT_TRUE(NTriplesParser::IsBlankOrComment("   "));
+  EXPECT_TRUE(NTriplesParser::IsBlankOrComment("# a comment"));
+  EXPECT_FALSE(NTriplesParser::IsBlankOrComment("<s> <p> <o> ."));
+}
+
+TEST(NTriplesParserTest, ParseStringCountsAndSkipsComments) {
+  NTriplesParser parser;
+  std::string doc =
+      "# header\n"
+      "<http://a/s> <http://a/p> <http://a/o> .\n"
+      "\n"
+      "<http://a/s> <http://a/p> \"x\" .\n";
+  int count = 0;
+  auto r = parser.ParseString(doc, [&](const Triple&) { ++count; });
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 2u);
+  EXPECT_EQ(count, 2);
+}
+
+TEST(NTriplesParserTest, StrictModeReportsLineNumber) {
+  NTriplesParser parser;
+  std::string doc = "<http://a/s> <http://a/p> <http://a/o> .\nbroken\n";
+  auto r = parser.ParseString(doc, [](const Triple&) {});
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(NTriplesParserTest, LenientModeSkipsMalformed) {
+  NTriplesParser::Options options;
+  options.strict = false;
+  NTriplesParser parser(options);
+  std::string doc =
+      "<http://a/s> <http://a/p> <http://a/o> .\n"
+      "broken line\n"
+      "<http://a/s2> <http://a/p> <http://a/o> .\n";
+  uint64_t malformed = 0;
+  auto r = parser.ParseString(doc, [](const Triple&) {}, &malformed);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 2u);
+  EXPECT_EQ(malformed, 1u);
+}
+
+TEST(NTriplesParserTest, ParseFileRoundTrip) {
+  namespace fs = std::filesystem;
+  std::string path = (fs::temp_directory_path() / "ksp_parser_test.nt")
+                         .string();
+  Triple original;
+  original.subject = "http://a/s";
+  original.predicate = "http://a/p";
+  original.object = "line1\nline2 with \"quotes\"";
+  original.object_kind = ObjectKind::kLiteral;
+  {
+    std::ofstream out(path);
+    out << "# comment\r\n";
+    out << ToNTriplesLine(original) << "\n";
+  }
+  NTriplesParser parser;
+  std::vector<Triple> parsed;
+  auto r = parser.ParseFile(path, [&](const Triple& t) {
+    parsed.push_back(t);
+  });
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0], original);
+  std::remove(path.c_str());
+}
+
+TEST(NTriplesParserTest, ParseMissingFileIsIOError) {
+  NTriplesParser parser;
+  auto r = parser.ParseFile("/nonexistent/path.nt", [](const Triple&) {});
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsIOError());
+}
+
+TEST(ToNTriplesLineTest, SerializesAllShapes) {
+  Triple t;
+  t.subject = "http://a/s";
+  t.predicate = "http://a/p";
+  t.object = "http://a/o";
+  EXPECT_EQ(ToNTriplesLine(t), "<http://a/s> <http://a/p> <http://a/o> .");
+
+  t.object = "hi";
+  t.object_kind = ObjectKind::kLiteral;
+  t.language = "en";
+  EXPECT_EQ(ToNTriplesLine(t), "<http://a/s> <http://a/p> \"hi\"@en .");
+
+  t.language.clear();
+  t.datatype = "http://t";
+  EXPECT_EQ(ToNTriplesLine(t),
+            "<http://a/s> <http://a/p> \"hi\"^^<http://t> .");
+}
+
+}  // namespace
+}  // namespace ksp

@@ -1,0 +1,111 @@
+// Property test: serialize -> parse round-trips arbitrary triples,
+// including hostile literal content.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/rng.h"
+#include "rdf/ntriples_parser.h"
+
+namespace ksp {
+namespace {
+
+std::string RandomIri(Rng* rng) {
+  static const char* kHosts[] = {"http://a.org/", "http://b.net/x#",
+                                 "https://kb.example/r/"};
+  std::string iri = kHosts[rng->NextBounded(3)];
+  size_t len = 1 + rng->NextBounded(12);
+  for (size_t i = 0; i < len; ++i) {
+    iri.push_back(static_cast<char>('a' + rng->NextBounded(26)));
+  }
+  return iri;
+}
+
+std::string RandomLiteral(Rng* rng) {
+  // Includes characters that must be escaped.
+  static const char kAlphabet[] =
+      "abc XYZ 123 \"quote\" \\back\nnew\ttab\rcr";
+  std::string out;
+  size_t len = rng->NextBounded(30);
+  for (size_t i = 0; i < len; ++i) {
+    out.push_back(kAlphabet[rng->NextBounded(sizeof(kAlphabet) - 1)]);
+  }
+  return out;
+}
+
+TEST(NTriplesRoundTripTest, RandomTriplesSurviveSerialization) {
+  Rng rng(2024);
+  NTriplesParser parser;
+  for (int trial = 0; trial < 500; ++trial) {
+    Triple original;
+    original.subject = RandomIri(&rng);
+    original.predicate = RandomIri(&rng);
+    switch (rng.NextBounded(4)) {
+      case 0:
+        original.object = RandomIri(&rng);
+        original.object_kind = ObjectKind::kIri;
+        break;
+      case 1:
+        original.object = RandomLiteral(&rng);
+        original.object_kind = ObjectKind::kLiteral;
+        break;
+      case 2:
+        original.object = RandomLiteral(&rng);
+        original.object_kind = ObjectKind::kLiteral;
+        original.language = "en";
+        break;
+      default:
+        original.object = RandomLiteral(&rng);
+        original.object_kind = ObjectKind::kLiteral;
+        original.datatype = RandomIri(&rng);
+        break;
+    }
+    std::string line = ToNTriplesLine(original);
+    auto parsed = parser.ParseLine(line);
+    ASSERT_TRUE(parsed.ok())
+        << parsed.status().ToString() << "\nline: " << line;
+    EXPECT_EQ(*parsed, original) << "line: " << line;
+  }
+}
+
+TEST(NTriplesRoundTripTest, BlankNodeRoundTrip) {
+  NTriplesParser parser;
+  Triple t;
+  t.subject = "_:node1";
+  t.predicate = "http://p";
+  t.object = "_:node2";
+  auto parsed = parser.ParseLine(ToNTriplesLine(t));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, t);
+}
+
+TEST(NTriplesRoundTripTest, DocumentRoundTrip) {
+  // A multi-line document round-trips through ParseString.
+  Rng rng(7);
+  NTriplesParser parser;
+  std::vector<Triple> originals;
+  std::string doc;
+  for (int i = 0; i < 100; ++i) {
+    Triple t;
+    t.subject = RandomIri(&rng);
+    t.predicate = RandomIri(&rng);
+    t.object = RandomLiteral(&rng);
+    t.object_kind = ObjectKind::kLiteral;
+    originals.push_back(t);
+    doc += ToNTriplesLine(t);
+    doc += "\n";
+  }
+  std::vector<Triple> parsed;
+  auto count = parser.ParseString(doc, [&](const Triple& t) {
+    parsed.push_back(t);
+  });
+  ASSERT_TRUE(count.ok()) << count.status().ToString();
+  ASSERT_EQ(parsed.size(), originals.size());
+  for (size_t i = 0; i < parsed.size(); ++i) {
+    EXPECT_EQ(parsed[i], originals[i]) << i;
+  }
+}
+
+}  // namespace
+}  // namespace ksp

@@ -1,0 +1,129 @@
+// Batch and multi-threaded query execution through engine clones sharing
+// the immutable indexes.
+
+#include "core/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "datagen/query_gen.h"
+#include "datagen/synthetic.h"
+
+namespace ksp {
+namespace {
+
+class ParallelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto kb = GenerateKnowledgeBase(SyntheticProfile::DBpediaLike(2000));
+    ASSERT_TRUE(kb.ok());
+    kb_ = std::move(*kb);
+    engine_ = std::make_unique<KspEngine>(kb_.get());
+    engine_->PrepareAll(3);
+    QueryGenOptions qopt;
+    qopt.num_keywords = 4;
+    qopt.k = 5;
+    qopt.seed = 77;
+    queries_ = GenerateQueries(*kb_, QueryClass::kOriginal, qopt, 12);
+    ASSERT_FALSE(queries_.empty());
+  }
+
+  std::unique_ptr<KnowledgeBase> kb_;
+  std::unique_ptr<KspEngine> engine_;
+  std::vector<KspQuery> queries_;
+};
+
+TEST_F(ParallelTest, SerialBatchMatchesIndividualExecution) {
+  BatchRunOptions options;
+  options.algorithm = KspAlgorithm::kSp;
+  options.num_threads = 1;
+  QueryStats total;
+  auto batch = RunQueryBatch(engine_.get(), queries_, options, &total);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  ASSERT_EQ(batch->size(), queries_.size());
+  for (size_t i = 0; i < queries_.size(); ++i) {
+    auto single = engine_->ExecuteSp(queries_[i]);
+    ASSERT_TRUE(single.ok());
+    ASSERT_EQ((*batch)[i].entries.size(), single->entries.size()) << i;
+    for (size_t j = 0; j < single->entries.size(); ++j) {
+      EXPECT_DOUBLE_EQ((*batch)[i].entries[j].score,
+                       single->entries[j].score);
+      EXPECT_EQ((*batch)[i].entries[j].place, single->entries[j].place);
+    }
+  }
+  EXPECT_GT(total.total_ms, 0.0);
+}
+
+TEST_F(ParallelTest, MultiThreadedMatchesSerial) {
+  for (KspAlgorithm algorithm :
+       {KspAlgorithm::kBsp, KspAlgorithm::kSpp, KspAlgorithm::kSp,
+        KspAlgorithm::kTa}) {
+    BatchRunOptions serial;
+    serial.algorithm = algorithm;
+    serial.num_threads = 1;
+    auto expected = RunQueryBatch(engine_.get(), queries_, serial);
+    ASSERT_TRUE(expected.ok());
+
+    BatchRunOptions parallel;
+    parallel.algorithm = algorithm;
+    parallel.num_threads = 4;
+    auto got = RunQueryBatch(engine_.get(), queries_, parallel);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    ASSERT_EQ(got->size(), expected->size());
+    for (size_t i = 0; i < expected->size(); ++i) {
+      ASSERT_EQ((*got)[i].entries.size(), (*expected)[i].entries.size())
+          << KspAlgorithmName(algorithm) << " query " << i;
+      for (size_t j = 0; j < (*expected)[i].entries.size(); ++j) {
+        EXPECT_DOUBLE_EQ((*got)[i].entries[j].score,
+                         (*expected)[i].entries[j].score);
+        EXPECT_EQ((*got)[i].entries[j].place,
+                  (*expected)[i].entries[j].place);
+      }
+    }
+  }
+}
+
+TEST_F(ParallelTest, CloneSharesIndexes) {
+  auto clone = engine_->Clone();
+  EXPECT_EQ(&clone->rtree(), &engine_->rtree());
+  EXPECT_EQ(clone->reachability_index(), engine_->reachability_index());
+  EXPECT_EQ(clone->alpha_index(), engine_->alpha_index());
+  // Clone answers queries identically.
+  auto a = engine_->ExecuteSp(queries_[0]);
+  auto b = clone->ExecuteSp(queries_[0]);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->entries.size(), b->entries.size());
+  for (size_t i = 0; i < a->entries.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a->entries[i].score, b->entries[i].score);
+  }
+}
+
+TEST_F(ParallelTest, EmptyBatch) {
+  BatchRunOptions options;
+  auto batch = RunQueryBatch(engine_.get(), {}, options);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_TRUE(batch->empty());
+}
+
+TEST_F(ParallelTest, ErrorPropagates) {
+  // SPP without a reachability index fails; the batch must surface it.
+  KspEngine bare(kb_.get());
+  bare.BuildRTree();
+  BatchRunOptions options;
+  options.algorithm = KspAlgorithm::kSpp;
+  options.num_threads = 2;
+  auto batch = RunQueryBatch(&bare, queries_, options);
+  EXPECT_FALSE(batch.ok());
+  EXPECT_TRUE(batch.status().IsInvalidArgument());
+}
+
+TEST(KspAlgorithmTest, Names) {
+  EXPECT_STREQ(KspAlgorithmName(KspAlgorithm::kBsp), "BSP");
+  EXPECT_STREQ(KspAlgorithmName(KspAlgorithm::kSpp), "SPP");
+  EXPECT_STREQ(KspAlgorithmName(KspAlgorithm::kSp), "SP");
+  EXPECT_STREQ(KspAlgorithmName(KspAlgorithm::kTa), "TA");
+}
+
+}  // namespace
+}  // namespace ksp

@@ -1,0 +1,121 @@
+#include "datagen/query_gen.h"
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "datagen/synthetic.h"
+
+namespace ksp {
+namespace {
+
+class QueryGenTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto kb = GenerateKnowledgeBase(SyntheticProfile::DBpediaLike(3000));
+    ASSERT_TRUE(kb.ok());
+    kb_ = std::move(*kb);
+  }
+  std::unique_ptr<KnowledgeBase> kb_;
+};
+
+TEST_F(QueryGenTest, OriginalQueriesAreWellFormed) {
+  QueryGenOptions options;
+  options.num_keywords = 5;
+  options.k = 3;
+  auto queries = GenerateQueries(*kb_, QueryClass::kOriginal, options, 20);
+  ASSERT_EQ(queries.size(), 20u);
+  for (const auto& q : queries) {
+    EXPECT_EQ(q.k, 3u);
+    EXPECT_LE(q.keywords.size(), 5u);
+    EXPECT_FALSE(q.keywords.empty());
+    for (TermId t : q.keywords) {
+      EXPECT_NE(t, kInvalidTerm);
+      EXPECT_LT(t, kb_->num_terms());
+    }
+  }
+}
+
+TEST_F(QueryGenTest, OriginalQueriesUsuallyHaveResults) {
+  // Keywords are drawn from vertices reachable from a place, so most
+  // queries must return at least one qualified semantic place.
+  QueryGenOptions options;
+  options.num_keywords = 4;
+  options.k = 1;
+  auto queries = GenerateQueries(*kb_, QueryClass::kOriginal, options, 15);
+  ASSERT_FALSE(queries.empty());
+  KspEngine engine(kb_.get());
+  engine.BuildRTree();
+  size_t with_results = 0;
+  for (const auto& q : queries) {
+    auto result = engine.ExecuteBsp(q);
+    ASSERT_TRUE(result.ok());
+    if (!result->entries.empty()) ++with_results;
+  }
+  EXPECT_GE(with_results, queries.size() / 2);
+}
+
+TEST_F(QueryGenTest, DeterministicForSeed) {
+  QueryGenOptions options;
+  options.seed = 123;
+  auto a = GenerateQueries(*kb_, QueryClass::kOriginal, options, 5);
+  auto b = GenerateQueries(*kb_, QueryClass::kOriginal, options, 5);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].keywords, b[i].keywords);
+    EXPECT_EQ(a[i].location, b[i].location);
+  }
+}
+
+TEST_F(QueryGenTest, SdllKeywordsAreInfrequent) {
+  QueryGenOptions options;
+  options.num_keywords = 3;
+  options.infrequent_threshold = 100;
+  auto queries = GenerateQueries(*kb_, QueryClass::kSDLL, options, 10);
+  for (const auto& q : queries) {
+    EXPECT_EQ(q.keywords.size(), 3u);
+    for (TermId t : q.keywords) {
+      EXPECT_LT(kb_->inverted_index().Postings(t).size(), 100u);
+    }
+  }
+}
+
+TEST_F(QueryGenTest, LdllLocationsAreFar) {
+  QueryGenOptions options;
+  options.num_keywords = 3;
+  auto sdll = GenerateQueries(*kb_, QueryClass::kSDLL, options, 8);
+  auto ldll = GenerateQueries(*kb_, QueryClass::kLDLL, options, 8);
+  if (sdll.empty() || ldll.empty()) {
+    GTEST_SKIP() << "KB too sparse for large-looseness queries";
+  }
+  // LDLL queries sit ~90 longitude degrees away from every place cluster;
+  // their nearest-place distance must dominate SDLL's.
+  auto nearest_place_distance = [&](const KspQuery& q) {
+    double best = 1e18;
+    for (PlaceId p = 0; p < kb_->num_places(); ++p) {
+      best = std::min(best, Distance(q.location, kb_->place_location(p)));
+    }
+    return best;
+  };
+  double sdll_max = 0;
+  double ldll_min = 1e18;
+  for (const auto& q : sdll) {
+    sdll_max = std::max(sdll_max, nearest_place_distance(q));
+  }
+  for (const auto& q : ldll) {
+    ldll_min = std::min(ldll_min, nearest_place_distance(q));
+  }
+  EXPECT_LT(sdll_max, ldll_min);
+}
+
+TEST_F(QueryGenTest, EmptyKbYieldsNoQueries) {
+  KnowledgeBaseBuilder builder;
+  builder.AddEntity("http://x.org/NoPlaces");
+  auto kb = builder.Finish();
+  ASSERT_TRUE(kb.ok());
+  QueryGenOptions options;
+  EXPECT_TRUE(
+      GenerateQueries(**kb, QueryClass::kOriginal, options, 5).empty());
+}
+
+}  // namespace
+}  // namespace ksp

@@ -1,0 +1,76 @@
+#include "core/ranking.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace ksp {
+namespace {
+
+TEST(RankingTest, ProductScore) {
+  auto f = RankingFunction::Product();
+  EXPECT_TRUE(f.is_product());
+  EXPECT_DOUBLE_EQ(f.Score(6.0, 0.22), 1.32);
+  EXPECT_DOUBLE_EQ(f.Score(4.0, 1.28), 5.12);
+}
+
+TEST(RankingTest, WeightedSumScore) {
+  auto f = RankingFunction::WeightedSum(0.5);
+  EXPECT_FALSE(f.is_product());
+  EXPECT_DOUBLE_EQ(f.Score(6.0, 2.0), 4.0);
+}
+
+TEST(RankingTest, ProductMinScoreGivenSpatial) {
+  auto f = RankingFunction::Product();
+  // L >= 1 so f >= S.
+  EXPECT_DOUBLE_EQ(f.MinScoreGivenSpatialDistance(3.5), 3.5);
+  for (double l : {1.0, 2.0, 10.0}) {
+    for (double s : {0.0, 0.5, 9.0}) {
+      EXPECT_LE(f.MinScoreGivenSpatialDistance(s), f.Score(l, s));
+    }
+  }
+}
+
+TEST(RankingTest, WeightedSumMinScoreGivenSpatial) {
+  auto f = RankingFunction::WeightedSum(0.25);
+  for (double l : {1.0, 2.0, 10.0}) {
+    for (double s : {0.0, 0.5, 9.0}) {
+      EXPECT_LE(f.MinScoreGivenSpatialDistance(s), f.Score(l, s) + 1e-12);
+    }
+  }
+  EXPECT_DOUBLE_EQ(f.MinScoreGivenSpatialDistance(0.0), 0.25);
+}
+
+TEST(RankingTest, LoosenessThresholdIsExactBoundary) {
+  // Lw is the exact L at which score reaches θ: Score(Lw, s) == θ.
+  auto product = RankingFunction::Product();
+  double lw = product.LoosenessThreshold(1.32, 1.28);
+  EXPECT_NEAR(product.Score(lw, 1.28), 1.32, 1e-12);
+
+  auto wsum = RankingFunction::WeightedSum(0.7);
+  double lw2 = wsum.LoosenessThreshold(5.0, 2.0);
+  EXPECT_NEAR(wsum.Score(lw2, 2.0), 5.0, 1e-12);
+}
+
+TEST(RankingTest, ProductThresholdAtZeroDistanceIsInfinite) {
+  auto f = RankingFunction::Product();
+  EXPECT_EQ(f.LoosenessThreshold(3.0, 0.0),
+            std::numeric_limits<double>::infinity());
+}
+
+TEST(RankingTest, Monotonicity) {
+  for (auto f :
+       {RankingFunction::Product(), RankingFunction::WeightedSum(0.4)}) {
+    EXPECT_LE(f.Score(2.0, 1.0), f.Score(3.0, 1.0));
+    EXPECT_LE(f.Score(2.0, 1.0), f.Score(2.0, 2.0));
+  }
+}
+
+TEST(RankingTest, ToString) {
+  EXPECT_EQ(RankingFunction::Product().ToString(), "L*S");
+  EXPECT_FALSE(RankingFunction::WeightedSum(0.3).ToString().empty());
+  EXPECT_DOUBLE_EQ(RankingFunction::WeightedSum(0.3).beta(), 0.3);
+}
+
+}  // namespace
+}  // namespace ksp

@@ -1,0 +1,144 @@
+#include "reach/reachability_index.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "rdf/graph.h"
+#include "text/document_store.h"
+
+namespace ksp {
+namespace {
+
+struct TestGraph {
+  Graph graph;
+  DocumentStore docs;
+  TermId num_terms;
+};
+
+TestGraph Make(uint32_t n, std::vector<std::pair<uint32_t, uint32_t>> edges,
+               std::vector<std::vector<TermId>> docs_by_vertex,
+               TermId num_terms) {
+  GraphBuilder gb;
+  for (auto& [s, t] : edges) gb.AddEdge(s, t, 0);
+  DocumentStoreBuilder db;
+  for (VertexId v = 0; v < docs_by_vertex.size(); ++v) {
+    for (TermId t : docs_by_vertex[v]) db.AddTerm(v, t);
+  }
+  return TestGraph{gb.Finish(n), db.Finish(n), num_terms};
+}
+
+/// BFS oracle for "v reaches some vertex containing t".
+bool OracleReaches(const TestGraph& tg, VertexId from, TermId term,
+                   bool undirected = false) {
+  const VertexId n = tg.graph.num_vertices();
+  std::vector<bool> seen(n, false);
+  std::vector<VertexId> queue{from};
+  seen[from] = true;
+  for (size_t qi = 0; qi < queue.size(); ++qi) {
+    VertexId v = queue[qi];
+    if (tg.docs.Contains(v, term)) return true;
+    for (VertexId w : tg.graph.OutNeighbors(v)) {
+      if (!seen[w]) {
+        seen[w] = true;
+        queue.push_back(w);
+      }
+    }
+    if (undirected) {
+      for (VertexId w : tg.graph.InNeighbors(v)) {
+        if (!seen[w]) {
+          seen[w] = true;
+          queue.push_back(w);
+        }
+      }
+    }
+  }
+  return false;
+}
+
+TEST(ReachabilityIndexTest, ChainGraph) {
+  // 0 -> 1 -> 2, term 0 at vertex 2, term 1 at vertex 0.
+  auto tg = Make(3, {{0, 1}, {1, 2}}, {{1}, {}, {0}}, 2);
+  auto index = ReachabilityIndex::Build(tg.graph, tg.docs, tg.num_terms);
+  EXPECT_TRUE(index.Reaches(0, 0));
+  EXPECT_TRUE(index.Reaches(1, 0));
+  EXPECT_TRUE(index.Reaches(2, 0));
+  EXPECT_TRUE(index.Reaches(0, 1));   // Own document counts.
+  EXPECT_FALSE(index.Reaches(1, 1));  // Edges are directed.
+  EXPECT_FALSE(index.Reaches(2, 1));
+}
+
+TEST(ReachabilityIndexTest, VertexToVertex) {
+  auto tg = Make(4, {{0, 1}, {1, 2}}, {{}, {}, {}, {}}, 0);
+  auto index = ReachabilityIndex::Build(tg.graph, tg.docs, 0);
+  EXPECT_TRUE(index.ReachesVertex(0, 2));
+  EXPECT_TRUE(index.ReachesVertex(1, 1));  // Reflexive.
+  EXPECT_FALSE(index.ReachesVertex(2, 0));
+  EXPECT_FALSE(index.ReachesVertex(0, 3));
+}
+
+TEST(ReachabilityIndexTest, CyclesCollapse) {
+  // 0 <-> 1, term at 0; 2 reaches the cycle.
+  auto tg = Make(3, {{0, 1}, {1, 0}, {2, 0}}, {{0}, {}, {}}, 1);
+  auto index = ReachabilityIndex::Build(tg.graph, tg.docs, 1);
+  EXPECT_TRUE(index.Reaches(0, 0));
+  EXPECT_TRUE(index.Reaches(1, 0));
+  EXPECT_TRUE(index.Reaches(2, 0));
+}
+
+TEST(ReachabilityIndexTest, UnknownTermIsFalse) {
+  auto tg = Make(2, {{0, 1}}, {{0}, {}}, 1);
+  auto index = ReachabilityIndex::Build(tg.graph, tg.docs, 1);
+  EXPECT_FALSE(index.Reaches(0, 57));
+}
+
+TEST(ReachabilityIndexTest, UndirectedMode) {
+  // 0 -> 1, term at 0: under undirected edges, 1 reaches it too.
+  auto tg = Make(2, {{0, 1}}, {{0}, {}}, 1);
+  auto directed = ReachabilityIndex::Build(tg.graph, tg.docs, 1, false);
+  auto undirected = ReachabilityIndex::Build(tg.graph, tg.docs, 1, true);
+  EXPECT_FALSE(directed.Reaches(1, 0));
+  EXPECT_TRUE(undirected.Reaches(1, 0));
+}
+
+class ReachabilityProperty
+    : public ::testing::TestWithParam<std::tuple<uint64_t, int, bool>> {};
+
+TEST_P(ReachabilityProperty, MatchesBfsOracleOnRandomGraphs) {
+  auto [seed, density, undirected] = GetParam();
+  Rng rng(seed);
+  const uint32_t n = 80;
+  const TermId num_terms = 12;
+  std::vector<std::pair<uint32_t, uint32_t>> edges;
+  for (int i = 0; i < density; ++i) {
+    edges.emplace_back(static_cast<uint32_t>(rng.NextBounded(n)),
+                       static_cast<uint32_t>(rng.NextBounded(n)));
+  }
+  std::vector<std::vector<TermId>> docs(n);
+  for (auto& d : docs) {
+    size_t len = rng.NextBounded(3);
+    for (size_t i = 0; i < len; ++i) {
+      d.push_back(static_cast<TermId>(rng.NextBounded(num_terms)));
+    }
+  }
+  auto tg = Make(n, edges, docs, num_terms);
+  auto index =
+      ReachabilityIndex::Build(tg.graph, tg.docs, num_terms, undirected);
+  EXPECT_GT(index.NumLabelEntries(), 0u);
+  EXPECT_GT(index.MemoryUsageBytes(), 0u);
+
+  for (VertexId v = 0; v < n; ++v) {
+    for (TermId t = 0; t < num_terms; ++t) {
+      EXPECT_EQ(index.Reaches(v, t), OracleReaches(tg, v, t, undirected))
+          << "v=" << v << " t=" << t;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweeps, ReachabilityProperty,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u, 4u),
+                       ::testing::Values(40, 120, 400),
+                       ::testing::Bool()));
+
+}  // namespace
+}  // namespace ksp

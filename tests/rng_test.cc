@@ -1,0 +1,132 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace ksp {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextBoundedStaysInRange) {
+  Rng rng(9);
+  for (uint64_t bound : {1ull, 2ull, 7ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextBoundedIsRoughlyUniform) {
+  Rng rng(11);
+  const uint64_t bound = 10;
+  std::vector<int> counts(bound, 0);
+  const int samples = 100000;
+  for (int i = 0; i < samples; ++i) ++counts[rng.NextBounded(bound)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, samples / bound, samples / bound * 0.15);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(13);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, NextIntInclusiveRange) {
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+  // Degenerate range.
+  EXPECT_EQ(rng.NextInt(5, 5), 5);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(19);
+  const int n = 50000;
+  double sum = 0;
+  double sq = 0;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.NextGaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(23);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto original = v;
+  rng.Shuffle(&v);
+  EXPECT_NE(v, original);  // Astronomically unlikely to be identity.
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(ZipfSamplerTest, UniformWhenSkewZero) {
+  ZipfSampler zipf(4, 0.0);
+  for (size_t r = 0; r < 4; ++r) {
+    EXPECT_NEAR(zipf.Probability(r), 0.25, 1e-12);
+  }
+}
+
+TEST(ZipfSamplerTest, ProbabilitiesDecreaseWithRank) {
+  ZipfSampler zipf(100, 1.0);
+  for (size_t r = 1; r < 100; ++r) {
+    EXPECT_GT(zipf.Probability(r - 1), zipf.Probability(r));
+  }
+  double total = 0;
+  for (size_t r = 0; r < 100; ++r) total += zipf.Probability(r);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfSamplerTest, EmpiricalMatchesTheoretical) {
+  ZipfSampler zipf(8, 1.2);
+  Rng rng(29);
+  std::vector<int> counts(8, 0);
+  const int samples = 200000;
+  for (int i = 0; i < samples; ++i) ++counts[zipf.Sample(&rng)];
+  for (size_t r = 0; r < 8; ++r) {
+    double expected = zipf.Probability(r) * samples;
+    EXPECT_NEAR(counts[r], expected, expected * 0.1 + 30);
+  }
+}
+
+TEST(ZipfSamplerTest, SingleElement) {
+  ZipfSampler zipf(1, 2.0);
+  Rng rng(31);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(zipf.Sample(&rng), 0u);
+}
+
+}  // namespace
+}  // namespace ksp

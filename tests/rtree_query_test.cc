@@ -1,0 +1,102 @@
+// Range and kNN convenience queries on the R-tree, validated against
+// linear-scan oracles over random point sets.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "spatial/rtree.h"
+
+namespace ksp {
+namespace {
+
+std::vector<std::pair<Point, uint64_t>> RandomPoints(size_t n,
+                                                     uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::pair<Point, uint64_t>> points;
+  for (size_t i = 0; i < n; ++i) {
+    points.emplace_back(
+        Point{rng.NextDouble(-50, 50), rng.NextDouble(-50, 50)}, i);
+  }
+  return points;
+}
+
+TEST(RTreeRangeQueryTest, MatchesLinearScan) {
+  auto points = RandomPoints(800, 11);
+  RTree tree = RTree::BulkLoadStr(points);
+  Rng rng(12);
+  for (int trial = 0; trial < 20; ++trial) {
+    Point a{rng.NextDouble(-60, 60), rng.NextDouble(-60, 60)};
+    Point b{rng.NextDouble(-60, 60), rng.NextDouble(-60, 60)};
+    Rect range{std::min(a.x, b.x), std::min(a.y, b.y), std::max(a.x, b.x),
+               std::max(a.y, b.y)};
+    std::vector<uint64_t> got;
+    uint64_t visited = tree.RangeQuery(range, &got);
+    EXPECT_GE(visited, 1u);
+    std::vector<uint64_t> expected;
+    for (const auto& [p, id] : points) {
+      if (range.Contains(p)) expected.push_back(id);
+    }
+    std::sort(got.begin(), got.end());
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(got, expected);
+  }
+}
+
+TEST(RTreeRangeQueryTest, EmptyRangeAndEmptyTree) {
+  RTree empty_tree;
+  std::vector<uint64_t> out;
+  EXPECT_EQ(empty_tree.RangeQuery(Rect{0, 0, 1, 1}, &out), 0u);
+  EXPECT_TRUE(out.empty());
+
+  auto points = RandomPoints(50, 13);
+  RTree tree = RTree::BulkLoadStr(points);
+  tree.RangeQuery(Rect{1000, 1000, 1001, 1001}, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(RTreeRangeQueryTest, BoundaryInclusive) {
+  RTree tree;
+  tree.Insert(Point{1, 1}, 7);
+  std::vector<uint64_t> out;
+  tree.RangeQuery(Rect{1, 1, 2, 2}, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 7u);
+}
+
+TEST(RTreeKnnQueryTest, MatchesSortedOracle) {
+  auto points = RandomPoints(400, 17);
+  RTree::Options options;
+  options.max_entries = 8;
+  options.min_entries = 3;
+  RTree tree(options);
+  for (const auto& [p, id] : points) tree.Insert(p, id);
+
+  Rng rng(18);
+  for (int trial = 0; trial < 10; ++trial) {
+    Point q{rng.NextDouble(-60, 60), rng.NextDouble(-60, 60)};
+    for (size_t k : {1u, 5u, 50u, 1000u}) {
+      auto got = tree.KnnQuery(q, k);
+      std::vector<std::pair<double, uint64_t>> expected;
+      for (const auto& [p, id] : points) {
+        expected.emplace_back(Distance(q, p), id);
+      }
+      std::sort(expected.begin(), expected.end());
+      expected.resize(std::min(k, expected.size()));
+      ASSERT_EQ(got.size(), expected.size());
+      for (size_t i = 0; i < got.size(); ++i) {
+        EXPECT_NEAR(got[i].first, expected[i].first, 1e-9);
+      }
+    }
+  }
+}
+
+TEST(RTreeKnnQueryTest, KZero) {
+  auto points = RandomPoints(10, 19);
+  RTree tree = RTree::BulkLoadStr(points);
+  EXPECT_TRUE(tree.KnnQuery(Point{0, 0}, 0).empty());
+}
+
+}  // namespace
+}  // namespace ksp

@@ -1,0 +1,106 @@
+// Construction-strategy invariance: quadratic split, linear split, and
+// STR bulk loading build different trees but must answer every spatial
+// query identically — and the kSP engine's answers must not depend on
+// how the R-tree was built.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "core/engine.h"
+#include "datagen/query_gen.h"
+#include "datagen/synthetic.h"
+#include "spatial/rtree.h"
+
+namespace ksp {
+namespace {
+
+std::vector<std::pair<Point, uint64_t>> RandomPoints(size_t n,
+                                                     uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::pair<Point, uint64_t>> points;
+  for (size_t i = 0; i < n; ++i) {
+    points.emplace_back(
+        Point{rng.NextDouble(-40, 40), rng.NextDouble(-40, 40)}, i);
+  }
+  return points;
+}
+
+TEST(RTreeStrategyTest, LinearSplitMaintainsInvariantsAndAnswers) {
+  auto points = RandomPoints(600, 5);
+  RTree::Options linear_options;
+  linear_options.max_entries = 8;
+  linear_options.min_entries = 3;
+  linear_options.split = RTreeSplitStrategy::kLinear;
+  RTree linear(linear_options);
+  RTree::Options quad_options = linear_options;
+  quad_options.split = RTreeSplitStrategy::kQuadratic;
+  RTree quadratic(quad_options);
+  for (auto& [p, id] : points) {
+    linear.Insert(p, id);
+    quadratic.Insert(p, id);
+  }
+  EXPECT_EQ(linear.size(), points.size());
+
+  Rng rng(6);
+  for (int trial = 0; trial < 8; ++trial) {
+    Point q{rng.NextDouble(-50, 50), rng.NextDouble(-50, 50)};
+    auto a = linear.KnnQuery(q, 10);
+    auto b = quadratic.KnnQuery(q, 10);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_NEAR(a[i].first, b[i].first, 1e-9);
+    }
+  }
+}
+
+TEST(RTreeStrategyTest, EngineAnswersIndependentOfConstruction) {
+  auto kb = GenerateKnowledgeBase(SyntheticProfile::YagoLike(1200));
+  ASSERT_TRUE(kb.ok());
+  QueryGenOptions qopt;
+  qopt.num_keywords = 4;
+  qopt.k = 5;
+  auto queries = GenerateQueries(**kb, QueryClass::kOriginal, qopt, 4);
+  ASSERT_FALSE(queries.empty());
+
+  struct Variant {
+    bool bulk;
+    RTreeSplitStrategy split;
+  };
+  std::vector<KspResult> reference;
+  bool have_reference = false;
+  for (const Variant& variant :
+       {Variant{false, RTreeSplitStrategy::kQuadratic},
+        Variant{false, RTreeSplitStrategy::kLinear},
+        Variant{true, RTreeSplitStrategy::kQuadratic}}) {
+    KspEngineOptions options;
+    options.bulk_load_rtree = variant.bulk;
+    options.rtree_options.split = variant.split;
+    KspEngine engine(kb->get(), options);
+    engine.PrepareAll(2);
+    std::vector<KspResult> results;
+    for (const auto& q : queries) {
+      auto r = engine.ExecuteSp(q);
+      ASSERT_TRUE(r.ok());
+      results.push_back(std::move(*r));
+    }
+    if (!have_reference) {
+      reference = std::move(results);
+      have_reference = true;
+      continue;
+    }
+    for (size_t i = 0; i < queries.size(); ++i) {
+      ASSERT_EQ(results[i].entries.size(), reference[i].entries.size());
+      for (size_t j = 0; j < reference[i].entries.size(); ++j) {
+        EXPECT_DOUBLE_EQ(results[i].entries[j].score,
+                         reference[i].entries[j].score);
+        EXPECT_EQ(results[i].entries[j].place,
+                  reference[i].entries[j].place);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ksp

@@ -1,0 +1,182 @@
+#include "spatial/rtree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace ksp {
+namespace {
+
+std::vector<std::pair<Point, uint64_t>> RandomPoints(size_t n,
+                                                     uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::pair<Point, uint64_t>> points;
+  points.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    points.emplace_back(
+        Point{rng.NextDouble(-100, 100), rng.NextDouble(-100, 100)}, i);
+  }
+  return points;
+}
+
+/// Checks structural invariants: MBR containment, fan-out limits, parent
+/// pointers, and that every data entry appears exactly once.
+void CheckInvariants(const RTree& tree, size_t expected_size,
+                     uint32_t max_entries) {
+  if (tree.empty()) {
+    EXPECT_EQ(expected_size, 0u);
+    return;
+  }
+  std::vector<uint64_t> data;
+  std::vector<uint32_t> stack{tree.root()};
+  while (!stack.empty()) {
+    uint32_t id = stack.back();
+    stack.pop_back();
+    const RTree::Node& node = tree.node(id);
+    EXPECT_LE(node.entries.size(), max_entries);
+    if (node.is_leaf) {
+      for (const auto& e : node.entries) data.push_back(e.id);
+    } else {
+      EXPECT_GE(node.entries.size(), 1u);
+      for (const auto& e : node.entries) {
+        uint32_t child = static_cast<uint32_t>(e.id);
+        EXPECT_EQ(tree.node(child).parent, id);
+        // Parent entry MBR must tightly contain the child's MBR.
+        EXPECT_EQ(e.rect, tree.node(child).BoundingRect());
+        stack.push_back(child);
+      }
+    }
+  }
+  std::sort(data.begin(), data.end());
+  ASSERT_EQ(data.size(), expected_size);
+  for (size_t i = 0; i < data.size(); ++i) EXPECT_EQ(data[i], i);
+}
+
+TEST(RTreeTest, InsertMaintainsInvariants) {
+  RTree::Options options;
+  options.max_entries = 8;
+  options.min_entries = 3;
+  RTree tree(options);
+  auto points = RandomPoints(500, 1);
+  for (auto& [p, id] : points) tree.Insert(p, id);
+  EXPECT_EQ(tree.size(), 500u);
+  CheckInvariants(tree, 500, options.max_entries);
+  EXPECT_GE(tree.Height(), 2u);
+  EXPECT_GT(tree.MemoryUsageBytes(), 0u);
+}
+
+TEST(RTreeTest, BulkLoadMaintainsInvariants) {
+  RTree::Options options;
+  options.max_entries = 16;
+  options.min_entries = 4;
+  RTree tree = RTree::BulkLoadStr(RandomPoints(3000, 2), options);
+  EXPECT_EQ(tree.size(), 3000u);
+  CheckInvariants(tree, 3000, options.max_entries);
+}
+
+TEST(RTreeTest, EmptyTree) {
+  RTree tree;
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.Height(), 0u);
+  NearestIterator it(&tree, Point{0, 0});
+  NearestIterator::Item item;
+  EXPECT_FALSE(it.Next(&item));
+}
+
+TEST(RTreeTest, SingleEntry) {
+  RTree tree;
+  tree.Insert(Point{1, 2}, 42);
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(tree.Height(), 1u);
+  NearestIterator it(&tree, Point{0, 0});
+  NearestIterator::Item item;
+  ASSERT_TRUE(it.NextData(&item));
+  EXPECT_EQ(item.id, 42u);
+  EXPECT_DOUBLE_EQ(item.distance, Distance(Point{0, 0}, Point{1, 2}));
+  EXPECT_FALSE(it.NextData(&item));
+}
+
+TEST(RTreeTest, DuplicatePointsAllRetained) {
+  RTree tree;
+  for (uint64_t i = 0; i < 100; ++i) tree.Insert(Point{5, 5}, i);
+  EXPECT_EQ(tree.size(), 100u);
+  NearestIterator it(&tree, Point{5, 5});
+  NearestIterator::Item item;
+  std::vector<uint64_t> seen;
+  while (it.NextData(&item)) seen.push_back(item.id);
+  EXPECT_EQ(seen.size(), 100u);
+}
+
+class RTreeNnProperty : public ::testing::TestWithParam<
+                            std::tuple<bool, size_t, uint64_t>> {};
+
+TEST_P(RTreeNnProperty, IncrementalNnMatchesLinearScan) {
+  auto [bulk, n, seed] = GetParam();
+  auto points = RandomPoints(n, seed);
+  RTree::Options options;
+  options.max_entries = 8;
+  options.min_entries = 3;
+  RTree tree(options);
+  if (bulk) {
+    tree = RTree::BulkLoadStr(points, options);
+  } else {
+    for (auto& [p, id] : points) tree.Insert(p, id);
+  }
+
+  Rng rng(seed ^ 0xABCDEF);
+  for (int trial = 0; trial < 5; ++trial) {
+    Point q{rng.NextDouble(-120, 120), rng.NextDouble(-120, 120)};
+    // Oracle: sort by distance.
+    std::vector<std::pair<double, uint64_t>> expected;
+    for (auto& [p, id] : points) expected.emplace_back(Distance(q, p), id);
+    std::sort(expected.begin(), expected.end());
+
+    NearestIterator it(&tree, q);
+    NearestIterator::Item item;
+    size_t i = 0;
+    double last = 0.0;
+    while (it.NextData(&item)) {
+      ASSERT_LT(i, expected.size());
+      // Distances must match the oracle and be non-decreasing.
+      EXPECT_NEAR(item.distance, expected[i].first, 1e-9);
+      EXPECT_GE(item.distance + 1e-12, last);
+      last = item.distance;
+      ++i;
+    }
+    EXPECT_EQ(i, expected.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweeps, RTreeNnProperty,
+    ::testing::Combine(::testing::Bool(), ::testing::Values(1, 7, 64, 500),
+                       ::testing::Values(3u, 4u, 5u)));
+
+TEST(RTreeTest, NodeItemsReportedInDistanceOrder) {
+  auto points = RandomPoints(300, 9);
+  RTree tree = RTree::BulkLoadStr(points);
+  NearestIterator it(&tree, Point{0, 0});
+  NearestIterator::Item item;
+  double last = 0.0;
+  uint64_t nodes = 0;
+  while (it.Next(&item)) {
+    EXPECT_GE(item.distance + 1e-12, last);
+    last = item.distance;
+    if (item.is_node) ++nodes;
+  }
+  EXPECT_EQ(nodes, it.nodes_accessed());
+  EXPECT_GE(nodes, 1u);
+}
+
+TEST(RTreeTest, CollectLeafEntries) {
+  auto points = RandomPoints(200, 10);
+  RTree tree = RTree::BulkLoadStr(points);
+  std::vector<RTree::Entry> entries;
+  tree.CollectLeafEntries(tree.root(), &entries);
+  EXPECT_EQ(entries.size(), 200u);
+}
+
+}  // namespace
+}  // namespace ksp

@@ -1,0 +1,84 @@
+#include "datagen/sampler.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/synthetic.h"
+
+namespace ksp {
+namespace {
+
+TEST(SamplerTest, SampleHasRequestedSize) {
+  auto kb = GenerateKnowledgeBase(SyntheticProfile::YagoLike(4000));
+  ASSERT_TRUE(kb.ok());
+  auto sample = RandomJumpSample(**kb, 1000, 0.15, 7);
+  ASSERT_TRUE(sample.ok()) << sample.status().ToString();
+  EXPECT_EQ((*sample)->num_vertices(), 1000u);
+  // Induced subgraph has no more edges than the original.
+  EXPECT_LE((*sample)->num_edges(), (*kb)->num_edges());
+  EXPECT_GT((*sample)->num_edges(), 0u);
+}
+
+TEST(SamplerTest, PlacesAndCoordinatesPreserved) {
+  auto kb = GenerateKnowledgeBase(SyntheticProfile::YagoLike(3000));
+  ASSERT_TRUE(kb.ok());
+  auto sample = RandomJumpSample(**kb, 800, 0.15, 11);
+  ASSERT_TRUE(sample.ok());
+  EXPECT_GT((*sample)->num_places(), 0u);
+  // Every sampled place keeps its original coordinates.
+  for (PlaceId p = 0; p < (*sample)->num_places(); ++p) {
+    VertexId v = (*sample)->place_vertex(p);
+    auto original = (*kb)->FindVertex((*sample)->VertexIri(v));
+    ASSERT_TRUE(original.has_value());
+    PlaceId op = (*kb)->place_of(*original);
+    ASSERT_NE(op, kInvalidPlace);
+    EXPECT_EQ((*sample)->place_location(p), (*kb)->place_location(op));
+  }
+}
+
+TEST(SamplerTest, DocumentsPreserved) {
+  auto kb = GenerateKnowledgeBase(SyntheticProfile::DBpediaLike(2000));
+  ASSERT_TRUE(kb.ok());
+  auto sample = RandomJumpSample(**kb, 500, 0.15, 13);
+  ASSERT_TRUE(sample.ok());
+  // Every original document term string survives in the sampled vertex.
+  const auto& skb = **sample;
+  for (VertexId v = 0; v < std::min<VertexId>(skb.num_vertices(), 50); ++v) {
+    auto original = (*kb)->FindVertex(skb.VertexIri(v));
+    ASSERT_TRUE(original.has_value());
+    for (TermId t : (*kb)->documents().Terms(*original)) {
+      auto mapped = skb.vocabulary().Lookup((*kb)->vocabulary().Term(t));
+      ASSERT_TRUE(mapped.has_value());
+      EXPECT_TRUE(skb.documents().Contains(v, *mapped));
+    }
+  }
+}
+
+TEST(SamplerTest, RequestLargerThanGraphClamps) {
+  auto kb = GenerateKnowledgeBase(SyntheticProfile::YagoLike(300));
+  ASSERT_TRUE(kb.ok());
+  auto sample = RandomJumpSample(**kb, 5000, 0.15, 17);
+  ASSERT_TRUE(sample.ok());
+  EXPECT_EQ((*sample)->num_vertices(), (*kb)->num_vertices());
+}
+
+TEST(SamplerTest, EmptyKbRejected) {
+  KnowledgeBaseBuilder builder;
+  auto kb = builder.Finish();
+  ASSERT_TRUE(kb.ok());
+  auto sample = RandomJumpSample(**kb, 10, 0.15, 19);
+  EXPECT_FALSE(sample.ok());
+}
+
+TEST(SamplerTest, DeterministicForSeed) {
+  auto kb = GenerateKnowledgeBase(SyntheticProfile::YagoLike(1000));
+  ASSERT_TRUE(kb.ok());
+  auto a = RandomJumpSample(**kb, 300, 0.15, 23);
+  auto b = RandomJumpSample(**kb, 300, 0.15, 23);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ((*a)->num_vertices(), (*b)->num_vertices());
+  EXPECT_EQ((*a)->num_edges(), (*b)->num_edges());
+  EXPECT_EQ((*a)->num_places(), (*b)->num_places());
+}
+
+}  // namespace
+}  // namespace ksp

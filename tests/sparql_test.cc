@@ -1,0 +1,204 @@
+// The mini-SPARQL layer (parser + BGP evaluator + spatial filter) over
+// the Figure 1 knowledge base.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "datagen/fixtures.h"
+#include "sparql/evaluator.h"
+#include "sparql/parser.h"
+
+namespace ksp {
+namespace sparql {
+namespace {
+
+constexpr const char* kE = "http://example.org/";
+
+class SparqlTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto kb = BuildFigure1KnowledgeBase();
+    ASSERT_TRUE(kb.ok());
+    kb_ = std::move(*kb);
+    evaluator_ = std::make_unique<SparqlEvaluator>(kb_.get());
+  }
+
+  VertexId Vertex(const std::string& local) {
+    auto v = kb_->FindVertex(kE + local);
+    EXPECT_TRUE(v.has_value()) << local;
+    return *v;
+  }
+
+  std::unique_ptr<KnowledgeBase> kb_;
+  std::unique_ptr<SparqlEvaluator> evaluator_;
+};
+
+TEST_F(SparqlTest, ParserBasics) {
+  auto q = ParseSelectQuery(
+      "SELECT ?a ?b WHERE { ?a <http://e/p> ?b . } LIMIT 5");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->select, (std::vector<std::string>{"a", "b"}));
+  ASSERT_EQ(q->patterns.size(), 1u);
+  EXPECT_TRUE(q->patterns[0].subject.is_variable());
+  EXPECT_EQ(q->patterns[0].predicate.value, "http://e/p");
+  EXPECT_EQ(q->limit, 5u);
+}
+
+TEST_F(SparqlTest, ParserSelectStarAndFilter) {
+  auto q = ParseSelectQuery(
+      "select * where { ?x <http://e/p> <http://e/O> "
+      "FILTER(distance(?x, POINT(43.5, 4.7)) < 2.5) }");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_TRUE(q->select.empty());
+  ASSERT_EQ(q->filters.size(), 1u);
+  EXPECT_EQ(q->filters[0].variable, "x");
+  EXPECT_DOUBLE_EQ(q->filters[0].center.x, 43.5);
+  EXPECT_DOUBLE_EQ(q->filters[0].radius, 2.5);
+}
+
+TEST_F(SparqlTest, ParserRejectsBadInput) {
+  const char* bad[] = {
+      "",
+      "WHERE { ?a <p> ?b }",
+      "SELECT WHERE { ?a <http://e/p> ?b }",
+      "SELECT ?a { ?a <http://e/p> ?b }",          // Missing WHERE.
+      "SELECT ?a WHERE { ?a <http://e/p> ?b",      // Unterminated.
+      "SELECT ?a WHERE { }",                       // No patterns.
+      "SELECT ?a WHERE { ?a <http://e/p> \"x\" }",  // Literal object.
+      "SELECT ?a WHERE { OPTIONAL { ?a <http://e/p> ?b } }",
+      "SELECT ?a WHERE { ?a <http://e/p> ?b } LIMIT -3",
+      "SELECT ?a WHERE { ?a <http://e/p> ?b } trailing",
+  };
+  for (const char* text : bad) {
+    EXPECT_FALSE(ParseSelectQuery(text).ok()) << text;
+  }
+}
+
+TEST_F(SparqlTest, BoundSubjectLookup) {
+  auto result = evaluator_->ExecuteText(
+      "SELECT ?who WHERE { <http://example.org/Montmajour_Abbey> "
+      "<http://example.org/dedication> ?who }");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_EQ(result->rows[0].values[0], Vertex("Saint_Peter"));
+}
+
+TEST_F(SparqlTest, BoundObjectLookup) {
+  auto result = evaluator_->ExecuteText(
+      "SELECT ?s WHERE { ?s <http://example.org/birthPlace> "
+      "<http://example.org/Roman_Empire> }");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_EQ(result->rows[0].values[0], Vertex("Saint_Peter"));
+}
+
+TEST_F(SparqlTest, PredicateOnlyScan) {
+  auto result = evaluator_->ExecuteText(
+      "SELECT ?s ?o WHERE { ?s <http://example.org/subject> ?o }");
+  ASSERT_TRUE(result.ok());
+  // Two subject-edges: p1 -> v1 and v1 -> v4.
+  EXPECT_EQ(result->rows.size(), 2u);
+}
+
+TEST_F(SparqlTest, TwoPatternJoin) {
+  // Places dedicated to someone born in the Roman Empire.
+  auto result = evaluator_->ExecuteText(
+      "SELECT ?place ?saint WHERE { "
+      "  ?place <http://example.org/dedication> ?saint . "
+      "  ?saint <http://example.org/birthPlace> "
+      "<http://example.org/Roman_Empire> . }");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_EQ(result->rows[0].values[0], Vertex("Montmajour_Abbey"));
+  EXPECT_EQ(result->rows[0].values[1], Vertex("Saint_Peter"));
+}
+
+TEST_F(SparqlTest, SpatialFilterSelectsNearbyPlace) {
+  // Entities with a patron, restricted to places near q2 (the diocese).
+  auto result = evaluator_->ExecuteText(
+      "SELECT ?p WHERE { ?p <http://example.org/patron> ?x "
+      "FILTER(distance(?p, POINT(43.17, 5.90)) < 1.0) }");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_EQ(result->rows[0].values[0],
+            Vertex("Roman_Catholic_Diocese_of_Frejus_Toulon"));
+
+  // Shrinking the radius below the distance empties the result.
+  auto empty = evaluator_->ExecuteText(
+      "SELECT ?p WHERE { ?p <http://example.org/patron> ?x "
+      "FILTER(distance(?p, POINT(43.17, 5.90)) < 0.01) }");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->rows.empty());
+}
+
+TEST_F(SparqlTest, FilterOnNonPlaceVariableEmpties) {
+  auto result = evaluator_->ExecuteText(
+      "SELECT ?x WHERE { <http://example.org/Montmajour_Abbey> "
+      "<http://example.org/dedication> ?x "
+      "FILTER(distance(?x, POINT(0, 0)) < 10000) }");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->rows.empty());  // Saint_Peter has no coordinates.
+}
+
+TEST_F(SparqlTest, LimitStopsEnumeration) {
+  auto result = evaluator_->ExecuteText(
+      "SELECT ?s ?o WHERE { ?s <http://example.org/subject> ?o } LIMIT 1");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows.size(), 1u);
+}
+
+TEST_F(SparqlTest, UnknownIriYieldsEmpty) {
+  auto result = evaluator_->ExecuteText(
+      "SELECT ?o WHERE { <http://example.org/Nowhere> "
+      "<http://example.org/dedication> ?o }");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->rows.empty());
+}
+
+TEST_F(SparqlTest, UnknownPredicateYieldsEmpty) {
+  auto result = evaluator_->ExecuteText(
+      "SELECT ?s WHERE { ?s <http://example.org/noSuchPredicate> ?o }");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->rows.empty());
+}
+
+TEST_F(SparqlTest, VariablePredicateRejected) {
+  auto result = evaluator_->ExecuteText(
+      "SELECT ?s WHERE { ?s ?p ?o }");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST_F(SparqlTest, SelectVariableMustOccur) {
+  auto result = evaluator_->ExecuteText(
+      "SELECT ?ghost WHERE { ?s <http://example.org/subject> ?o }");
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+TEST_F(SparqlTest, SharedVariableAcrossPatterns) {
+  // ?x is both object and subject (path of length 2 from p1).
+  auto result = evaluator_->ExecuteText(
+      "SELECT ?x ?y WHERE { "
+      "<http://example.org/Montmajour_Abbey> <http://example.org/subject> "
+      "?x . ?x <http://example.org/subject> ?y }");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_EQ(result->rows[0].values[0], Vertex("Romanesque_architecture"));
+  EXPECT_EQ(result->rows[0].values[1], Vertex("Architectural_history"));
+}
+
+TEST_F(SparqlTest, ToTableRendersIris) {
+  auto result = evaluator_->ExecuteText(
+      "SELECT ?who WHERE { <http://example.org/Montmajour_Abbey> "
+      "<http://example.org/dedication> ?who }");
+  ASSERT_TRUE(result.ok());
+  std::string table = evaluator_->ToTable(*result);
+  EXPECT_NE(table.find("?who"), std::string::npos);
+  EXPECT_NE(table.find("Saint_Peter"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sparql
+}  // namespace ksp

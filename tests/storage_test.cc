@@ -1,0 +1,232 @@
+// Disk-resident graph substrate: paged file, LRU buffer pool, and the
+// varint-encoded adjacency store, validated against the in-memory Graph.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/rng.h"
+#include "datagen/synthetic.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_graph.h"
+#include "storage/paged_file.h"
+
+namespace ksp {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+class PagedFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = TempPath("ksp_paged_file_test.bin");
+    auto writer = PagedFileWriter::Create(path_);
+    ASSERT_TRUE(writer.ok());
+    // 2.5 pages of recognizable content at page_size 64.
+    std::string data;
+    for (int i = 0; i < 160; ++i) data.push_back(static_cast<char>(i));
+    ASSERT_TRUE((*writer)->Append(data).ok());
+    EXPECT_EQ((*writer)->offset(), 160u);
+    ASSERT_TRUE((*writer)->Close().ok());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string path_;
+};
+
+TEST_F(PagedFileTest, ReadsPagesIncludingShortLast) {
+  auto file = PagedFile::Open(path_, 64);
+  ASSERT_TRUE(file.ok());
+  EXPECT_EQ((*file)->num_pages(), 3u);
+  EXPECT_EQ((*file)->file_size(), 160u);
+  std::string page;
+  ASSERT_TRUE((*file)->ReadPage(0, &page).ok());
+  EXPECT_EQ(page.size(), 64u);
+  EXPECT_EQ(page[1], 1);
+  ASSERT_TRUE((*file)->ReadPage(2, &page).ok());
+  EXPECT_EQ(page.size(), 32u);  // Short tail.
+  EXPECT_EQ(static_cast<unsigned char>(page[0]), 128u);
+  EXPECT_EQ((*file)->reads(), 2u);
+}
+
+TEST_F(PagedFileTest, PageBeyondEndIsOutOfRange) {
+  auto file = PagedFile::Open(path_, 64);
+  ASSERT_TRUE(file.ok());
+  std::string page;
+  EXPECT_TRUE((*file)->ReadPage(3, &page).IsOutOfRange());
+}
+
+TEST_F(PagedFileTest, MissingFileIsIOError) {
+  auto file = PagedFile::Open(TempPath("missing.bin"), 64);
+  EXPECT_TRUE(file.status().IsIOError());
+}
+
+TEST_F(PagedFileTest, ZeroPageSizeRejected) {
+  auto file = PagedFile::Open(path_, 0);
+  EXPECT_TRUE(file.status().IsInvalidArgument());
+}
+
+TEST_F(PagedFileTest, BufferPoolCachesAndEvicts) {
+  auto file = PagedFile::Open(path_, 64);
+  ASSERT_TRUE(file.ok());
+  BufferPool pool(file->get(), 2);
+
+  ASSERT_TRUE(pool.Fetch(0).ok());
+  ASSERT_TRUE(pool.Fetch(0).ok());  // Hit.
+  EXPECT_EQ(pool.hits(), 1u);
+  EXPECT_EQ(pool.misses(), 1u);
+
+  ASSERT_TRUE(pool.Fetch(1).ok());
+  ASSERT_TRUE(pool.Fetch(2).ok());  // Evicts page 0 (LRU).
+  EXPECT_EQ(pool.evictions(), 1u);
+  ASSERT_TRUE(pool.Fetch(0).ok());  // Miss again.
+  EXPECT_EQ(pool.misses(), 4u);
+  EXPECT_GT(pool.HitRate(), 0.0);
+  EXPECT_EQ((*file)->reads(), pool.misses());
+
+  pool.Clear();
+  EXPECT_EQ(pool.cached_pages(), 0u);
+}
+
+TEST_F(PagedFileTest, BufferPoolLruOrderOnHit) {
+  auto file = PagedFile::Open(path_, 64);
+  ASSERT_TRUE(file.ok());
+  BufferPool pool(file->get(), 2);
+  ASSERT_TRUE(pool.Fetch(0).ok());
+  ASSERT_TRUE(pool.Fetch(1).ok());
+  ASSERT_TRUE(pool.Fetch(0).ok());  // Refresh 0 to MRU.
+  ASSERT_TRUE(pool.Fetch(2).ok());  // Must evict 1, not 0.
+  uint64_t misses_before = pool.misses();
+  ASSERT_TRUE(pool.Fetch(0).ok());
+  EXPECT_EQ(pool.misses(), misses_before);  // Still cached.
+}
+
+Graph MakeRandomGraph(uint32_t n, int edges, uint64_t seed) {
+  Rng rng(seed);
+  GraphBuilder builder;
+  for (int i = 0; i < edges; ++i) {
+    builder.AddEdge(static_cast<VertexId>(rng.NextBounded(n)),
+                    static_cast<VertexId>(rng.NextBounded(n)), 0);
+  }
+  return builder.Finish(n);
+}
+
+TEST(DiskGraphTest, AdjacencyMatchesMemoryGraph) {
+  Graph graph = MakeRandomGraph(500, 3000, 99);
+  std::string path = TempPath("ksp_disk_graph.bin");
+  ASSERT_TRUE(DiskGraph::Write(graph, path, /*page_size=*/256).ok());
+  auto disk = DiskGraph::Open(path, /*pool_pages=*/4, /*page_size=*/256);
+  ASSERT_TRUE(disk.ok()) << disk.status().ToString();
+  EXPECT_EQ((*disk)->num_vertices(), graph.num_vertices());
+  EXPECT_EQ((*disk)->num_edges(), graph.num_edges());
+
+  std::vector<VertexId> neighbors;
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    neighbors.clear();
+    ASSERT_TRUE((*disk)->OutNeighbors(v, &neighbors).ok());
+    auto expected = graph.OutNeighbors(v);
+    ASSERT_EQ(neighbors.size(), expected.size()) << v;
+    for (size_t i = 0; i < neighbors.size(); ++i) {
+      EXPECT_EQ(neighbors[i], expected[i]);
+    }
+    EXPECT_EQ((*disk)->OutDegree(v), graph.OutDegree(v));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DiskGraphTest, BfsMatchesMemoryBfs) {
+  Graph graph = MakeRandomGraph(300, 1200, 17);
+  std::string path = TempPath("ksp_disk_graph_bfs.bin");
+  ASSERT_TRUE(DiskGraph::Write(graph, path, 128).ok());
+  auto disk = DiskGraph::Open(path, 8, 128);
+  ASSERT_TRUE(disk.ok());
+
+  // Memory BFS oracle.
+  auto memory_bfs = [&](VertexId root) {
+    std::vector<std::pair<VertexId, uint32_t>> visited{{root, 0}};
+    std::vector<bool> seen(graph.num_vertices(), false);
+    seen[root] = true;
+    for (size_t qi = 0; qi < visited.size(); ++qi) {
+      auto [v, d] = visited[qi];
+      for (VertexId w : graph.OutNeighbors(v)) {
+        if (!seen[w]) {
+          seen[w] = true;
+          visited.emplace_back(w, d + 1);
+        }
+      }
+    }
+    return visited;
+  };
+
+  for (VertexId root : {0u, 7u, 299u}) {
+    std::vector<std::pair<VertexId, uint32_t>> visited;
+    ASSERT_TRUE((*disk)->Bfs(root, &visited).ok());
+    EXPECT_EQ(visited, memory_bfs(root));
+  }
+  // With a pool that fits the whole file, a repeated BFS is IO-free.
+  auto warm = DiskGraph::Open(path, (*disk)->file().num_pages() + 1, 128);
+  ASSERT_TRUE(warm.ok());
+  std::vector<std::pair<VertexId, uint32_t>> visited;
+  ASSERT_TRUE((*warm)->Bfs(0, &visited).ok());
+  uint64_t misses_before = (*warm)->buffer_pool().misses();
+  ASSERT_TRUE((*warm)->Bfs(0, &visited).ok());
+  EXPECT_EQ((*warm)->buffer_pool().misses(), misses_before);
+}
+
+TEST(DiskGraphTest, EmptyGraph) {
+  GraphBuilder builder;
+  Graph graph = builder.Finish(0);
+  std::string path = TempPath("ksp_disk_graph_empty.bin");
+  ASSERT_TRUE(DiskGraph::Write(graph, path, 64).ok());
+  auto disk = DiskGraph::Open(path, 2, 64);
+  ASSERT_TRUE(disk.ok()) << disk.status().ToString();
+  EXPECT_EQ((*disk)->num_vertices(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(DiskGraphTest, PageSizeMismatchRejected) {
+  Graph graph = MakeRandomGraph(10, 20, 3);
+  std::string path = TempPath("ksp_disk_graph_ps.bin");
+  ASSERT_TRUE(DiskGraph::Write(graph, path, 128).ok());
+  auto disk = DiskGraph::Open(path, 2, 256);
+  EXPECT_FALSE(disk.ok());
+  EXPECT_TRUE(disk.status().IsInvalidArgument());
+  std::remove(path.c_str());
+}
+
+TEST(DiskGraphTest, CorruptHeaderRejected) {
+  std::string path = TempPath("ksp_disk_graph_corrupt.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "garbage garbage garbage garbage!";
+  }
+  auto disk = DiskGraph::Open(path, 2, 64);
+  EXPECT_FALSE(disk.ok());
+  std::remove(path.c_str());
+}
+
+TEST(DiskGraphTest, SyntheticKbGraphRoundTrip) {
+  auto kb = GenerateKnowledgeBase(SyntheticProfile::YagoLike(2000));
+  ASSERT_TRUE(kb.ok());
+  std::string path = TempPath("ksp_disk_graph_kb.bin");
+  ASSERT_TRUE(DiskGraph::Write((*kb)->graph(), path).ok());
+  auto disk = DiskGraph::Open(path);
+  ASSERT_TRUE(disk.ok());
+  EXPECT_EQ((*disk)->num_edges(), (*kb)->num_edges());
+  // Spot check a few vertices.
+  std::vector<VertexId> neighbors;
+  for (VertexId v = 0; v < 50; ++v) {
+    neighbors.clear();
+    ASSERT_TRUE((*disk)->OutNeighbors(v, &neighbors).ok());
+    auto expected = (*kb)->graph().OutNeighbors(v);
+    ASSERT_EQ(neighbors.size(), expected.size());
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ksp

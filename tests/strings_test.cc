@@ -1,0 +1,68 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace ksp {
+namespace {
+
+TEST(SplitAnyTest, BasicSplit) {
+  auto parts = SplitAny("a,b;c", ",;");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(SplitAnyTest, DropsEmptyPieces) {
+  auto parts = SplitAny(",,a,,b,", ",");
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+}
+
+TEST(SplitAnyTest, EmptyInput) {
+  EXPECT_TRUE(SplitAny("", ",").empty());
+  EXPECT_TRUE(SplitAny(",,,", ",").empty());
+}
+
+TEST(SplitAnyTest, NoDelimiterReturnsWhole) {
+  auto parts = SplitAny("whole", ",");
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "whole");
+}
+
+TEST(AsciiToLowerTest, MixedCase) {
+  EXPECT_EQ(AsciiToLower("MiXeD123!"), "mixed123!");
+  EXPECT_EQ(AsciiToLower(""), "");
+}
+
+TEST(TrimWhitespaceTest, Trims) {
+  EXPECT_EQ(TrimWhitespace("  x \t"), "x");
+  EXPECT_EQ(TrimWhitespace("x"), "x");
+  EXPECT_EQ(TrimWhitespace(" \t\n "), "");
+}
+
+TEST(StartsEndsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("http://x", "http://"));
+  EXPECT_FALSE(StartsWith("x", "http://"));
+  EXPECT_TRUE(EndsWith("file.nt", ".nt"));
+  EXPECT_FALSE(EndsWith("nt", ".nt"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+  EXPECT_TRUE(EndsWith("abc", ""));
+}
+
+TEST(HumanBytesTest, Units) {
+  EXPECT_EQ(HumanBytes(512), "512 B");
+  EXPECT_EQ(HumanBytes(2048), "2.00 KB");
+  EXPECT_EQ(HumanBytes(50ull * 1024 * 1024), "50.00 MB");
+  EXPECT_EQ(HumanBytes(3ull << 30), "3.00 GB");
+}
+
+TEST(JoinTest, Basics) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+}  // namespace
+}  // namespace ksp

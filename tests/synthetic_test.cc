@@ -1,0 +1,95 @@
+#include "datagen/synthetic.h"
+
+#include <gtest/gtest.h>
+
+namespace ksp {
+namespace {
+
+TEST(SyntheticTest, GeneratesRequestedShape) {
+  auto profile = SyntheticProfile::DBpediaLike(5000);
+  auto kb = GenerateKnowledgeBase(profile);
+  ASSERT_TRUE(kb.ok());
+  EXPECT_EQ((*kb)->num_vertices(), 5000u);
+  // Dedup trims a little off the nominal edge count.
+  EXPECT_NEAR(static_cast<double>((*kb)->num_edges()),
+              5000 * profile.avg_out_degree,
+              5000 * profile.avg_out_degree * 0.15);
+}
+
+TEST(SyntheticTest, PlaceFractionMatchesProfile) {
+  for (bool dbpedia : {true, false}) {
+    auto profile = dbpedia ? SyntheticProfile::DBpediaLike(8000)
+                           : SyntheticProfile::YagoLike(8000);
+    auto kb = GenerateKnowledgeBase(profile);
+    ASSERT_TRUE(kb.ok());
+    double fraction =
+        static_cast<double>((*kb)->num_places()) / (*kb)->num_vertices();
+    EXPECT_NEAR(fraction, profile.place_fraction,
+                profile.place_fraction * 0.15)
+        << profile.name;
+  }
+}
+
+TEST(SyntheticTest, KeywordFrequencyContrastBetweenProfiles) {
+  // The defining contrast of §6.1: DBpedia's mean posting length (56.46)
+  // vastly exceeds Yago's (7.83). The synthetic profiles must preserve the
+  // direction and rough magnitude of that gap.
+  auto dbpedia = GenerateKnowledgeBase(SyntheticProfile::DBpediaLike(20000));
+  auto yago = GenerateKnowledgeBase(SyntheticProfile::YagoLike(20000));
+  ASSERT_TRUE(dbpedia.ok() && yago.ok());
+  double f_dbpedia = (*dbpedia)->inverted_index().AveragePostingLength();
+  double f_yago = (*yago)->inverted_index().AveragePostingLength();
+  EXPECT_GT(f_dbpedia, 3.0 * f_yago);
+}
+
+TEST(SyntheticTest, PlacesHaveInBoundsClusteredLocations) {
+  auto profile = SyntheticProfile::YagoLike(3000);
+  auto kb = GenerateKnowledgeBase(profile);
+  ASSERT_TRUE(kb.ok());
+  ASSERT_GT((*kb)->num_places(), 0u);
+  // Gaussian tails may slightly exceed the box; allow 5 stddev slack.
+  const double slack = 5 * profile.cluster_stddev;
+  for (PlaceId p = 0; p < (*kb)->num_places(); ++p) {
+    Point loc = (*kb)->place_location(p);
+    EXPECT_GE(loc.x, profile.min_x - slack);
+    EXPECT_LE(loc.x, profile.max_x + slack);
+    EXPECT_GE(loc.y, profile.min_y - slack);
+    EXPECT_LE(loc.y, profile.max_y + slack);
+  }
+}
+
+TEST(SyntheticTest, DeterministicForSeed) {
+  auto a = GenerateKnowledgeBase(SyntheticProfile::DBpediaLike(1000));
+  auto b = GenerateKnowledgeBase(SyntheticProfile::DBpediaLike(1000));
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ((*a)->num_edges(), (*b)->num_edges());
+  EXPECT_EQ((*a)->num_places(), (*b)->num_places());
+  EXPECT_EQ((*a)->num_terms(), (*b)->num_terms());
+}
+
+TEST(SyntheticTest, DifferentSeedsDiffer) {
+  auto profile = SyntheticProfile::DBpediaLike(1000);
+  auto a = GenerateKnowledgeBase(profile);
+  profile.seed = 777;
+  auto b = GenerateKnowledgeBase(profile);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE((*a)->num_edges(), (*b)->num_edges());
+}
+
+TEST(SyntheticTest, ZeroVerticesRejected) {
+  SyntheticProfile profile;
+  profile.num_vertices = 0;
+  EXPECT_FALSE(GenerateKnowledgeBase(profile).ok());
+}
+
+TEST(SyntheticTest, GraphIsLargelyConnected) {
+  auto kb = GenerateKnowledgeBase(SyntheticProfile::DBpediaLike(5000));
+  ASSERT_TRUE(kb.ok());
+  auto wcc = (*kb)->graph().WeaklyConnectedComponentSizes();
+  ASSERT_FALSE(wcc.empty());
+  // Like the real datasets: one huge WCC dominating the graph.
+  EXPECT_GT(wcc[0], 0.9 * (*kb)->num_vertices());
+}
+
+}  // namespace
+}  // namespace ksp

@@ -1,0 +1,100 @@
+// Footnote 2, option (2): enumeration of all tied minimum-looseness
+// semantic places rooted at one place.
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "datagen/fixtures.h"
+
+namespace ksp {
+namespace {
+
+TEST(TiedTqspTest, EnumeratesAllMinimumDistanceMatches) {
+  KnowledgeBaseBuilder builder;
+  VertexId root = builder.AddEntity("http://x.org/Root_Place");
+  VertexId a = builder.AddEntity("http://x.org/Alpha_Widget");
+  VertexId b = builder.AddEntity("http://x.org/Beta_Widget");
+  VertexId c = builder.AddEntity("http://x.org/Far_Widget");
+  builder.AddRelation(root, a, "http://x.org/rel");
+  builder.AddRelation(root, b, "http://x.org/rel");
+  builder.AddRelation(a, c, "http://x.org/rel");
+  builder.SetLocation(root, Point{0, 0});
+  auto kb = builder.Finish();
+  ASSERT_TRUE(kb.ok());
+
+  KspEngine engine(kb->get());
+  engine.BuildRTree();
+  // "widget" occurs at distance 1 twice (a, b) and distance 2 once (c):
+  // two tied TQSPs of looseness 2; c is not a minimum match.
+  KspQuery query = engine.MakeQuery(Point{0, 0}, {"widget"}, 1);
+  TiedSemanticPlace tied = engine.ComputeTqspAlternatives(0, query);
+  ASSERT_TRUE(tied.IsQualified());
+  EXPECT_DOUBLE_EQ(tied.looseness, 2.0);
+  ASSERT_EQ(tied.keywords.size(), 1u);
+  EXPECT_EQ(tied.keywords[0].distance, 1u);
+  EXPECT_EQ(tied.keywords[0].vertices.size(), 2u);
+  EXPECT_EQ(tied.NumDistinctTrees(), 2u);
+
+  // Two keywords -> product of alternatives.
+  KspQuery q2 = engine.MakeQuery(Point{0, 0}, {"widget", "alpha"}, 1);
+  TiedSemanticPlace tied2 = engine.ComputeTqspAlternatives(0, q2);
+  ASSERT_TRUE(tied2.IsQualified());
+  EXPECT_DOUBLE_EQ(tied2.looseness, 3.0);  // 1 + 1 + 1.
+  EXPECT_EQ(tied2.NumDistinctTrees(), 2u);  // {a,b} x {a}.
+}
+
+TEST(TiedTqspTest, AgreesWithSingleTqspLooseness) {
+  auto kb = BuildFigure1KnowledgeBase();
+  ASSERT_TRUE(kb.ok());
+  KspEngine engine(kb->get());
+  engine.BuildRTree();
+  KspQuery query = engine.MakeQuery(kQ1, Figure1QueryKeywords(), 1);
+  for (PlaceId p = 0; p < (*kb)->num_places(); ++p) {
+    SemanticPlaceTree single = engine.ComputeTqspForPlace(p, query);
+    TiedSemanticPlace tied = engine.ComputeTqspAlternatives(p, query);
+    ASSERT_EQ(single.IsQualified(), tied.IsQualified());
+    if (single.IsQualified()) {
+      EXPECT_DOUBLE_EQ(single.looseness, tied.looseness);
+      // The single tree's choice per keyword is among the alternatives.
+      for (const auto& match : single.matches) {
+        bool found = false;
+        for (const auto& kw : tied.keywords) {
+          if (kw.term != match.term) continue;
+          EXPECT_EQ(kw.distance, match.distance);
+          for (VertexId v : kw.vertices) {
+            if (v == match.vertex) found = true;
+          }
+        }
+        EXPECT_TRUE(found);
+      }
+      EXPECT_GE(tied.NumDistinctTrees(), 1u);
+    }
+  }
+}
+
+TEST(TiedTqspTest, UnqualifiedPlace) {
+  auto kb = BuildFigure1KnowledgeBase();
+  ASSERT_TRUE(kb.ok());
+  KspEngine engine(kb->get());
+  engine.BuildRTree();
+  // p1 (place 0) never reaches "church".
+  KspQuery query = engine.MakeQuery(kQ1, {"church"}, 1);
+  PlaceId p1 =
+      (*kb)->place_of(*(*kb)->FindVertex("http://example.org/Montmajour_Abbey"));
+  TiedSemanticPlace tied = engine.ComputeTqspAlternatives(p1, query);
+  EXPECT_FALSE(tied.IsQualified());
+  EXPECT_EQ(tied.NumDistinctTrees(), 0u);
+}
+
+TEST(TiedTqspTest, UnknownKeywordUnqualified) {
+  auto kb = BuildFigure1KnowledgeBase();
+  ASSERT_TRUE(kb.ok());
+  KspEngine engine(kb->get());
+  engine.BuildRTree();
+  KspQuery query = engine.MakeQuery(kQ1, {"nonexistentterm"}, 1);
+  TiedSemanticPlace tied = engine.ComputeTqspAlternatives(0, query);
+  EXPECT_FALSE(tied.IsQualified());
+}
+
+}  // namespace
+}  // namespace ksp

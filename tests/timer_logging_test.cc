@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/logging.h"
+#include "common/timer.h"
+
+namespace ksp {
+namespace {
+
+TEST(TimerTest, StartsStopped) {
+  Timer t;
+  EXPECT_DOUBLE_EQ(t.ElapsedSeconds(), 0.0);
+}
+
+TEST(TimerTest, AccumulatesAcrossIntervals) {
+  Timer t;
+  t.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  t.Stop();
+  double first = t.ElapsedSeconds();
+  EXPECT_GT(first, 0.0);
+  t.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  t.Stop();
+  EXPECT_GT(t.ElapsedSeconds(), first);
+}
+
+TEST(TimerTest, ElapsedWhileRunning) {
+  Timer t;
+  t.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_GT(t.ElapsedMillis(), 0.0);
+  EXPECT_GE(t.ElapsedMicros(), 1000);
+}
+
+TEST(TimerTest, ResetClears) {
+  Timer t;
+  t.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  t.Reset();
+  EXPECT_DOUBLE_EQ(t.ElapsedSeconds(), 0.0);
+}
+
+TEST(TimerTest, DoubleStartIsIdempotent) {
+  Timer t;
+  t.Start();
+  t.Start();
+  t.Stop();
+  t.Stop();
+  EXPECT_GE(t.ElapsedSeconds(), 0.0);
+}
+
+TEST(ScopedTimerTest, AddsToAccumulator) {
+  double acc = 0.0;
+  {
+    ScopedTimer st(&acc);
+    std::this_thread::sleep_for(std::chrono::milliseconds(3));
+  }
+  EXPECT_GT(acc, 0.0);
+  double prev = acc;
+  {
+    ScopedTimer st(&acc);
+  }
+  EXPECT_GE(acc, prev);
+}
+
+TEST(LoggingTest, LevelFiltering) {
+  LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  // Below-threshold messages must not crash and are dropped silently.
+  KSP_LOG(kDebug) << "dropped " << 42;
+  KSP_LOG(kInfo) << "dropped too";
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, CheckPassesOnTrue) {
+  KSP_CHECK(1 + 1 == 2) << "never shown";
+  SUCCEED();
+}
+
+TEST(LoggingDeathTest, CheckAbortsOnFalse) {
+  EXPECT_DEATH({ KSP_CHECK(false) << "boom"; }, "Check failed");
+}
+
+TEST(LoggingDeathTest, FatalAborts) {
+  EXPECT_DEATH({ KSP_LOG(kFatal) << "fatal path"; }, "fatal path");
+}
+
+}  // namespace
+}  // namespace ksp

@@ -1,0 +1,112 @@
+#include "text/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace ksp {
+namespace {
+
+using ::testing::Test;
+
+TEST(TokenizerTest, SplitsOnPunctuationAndLowercases) {
+  Tokenizer tokenizer;
+  auto tokens = tokenizer.Tokenize("Montmajour_Abbey");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "montmajour");
+  EXPECT_EQ(tokens[1], "abbey");
+}
+
+TEST(TokenizerTest, CamelCaseSplit) {
+  Tokenizer tokenizer;
+  auto tokens = tokenizer.Tokenize("birthPlace");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "birth");
+  EXPECT_EQ(tokens[1], "place");
+}
+
+TEST(TokenizerTest, AcronymBoundary) {
+  Tokenizer tokenizer;
+  auto tokens = tokenizer.Tokenize("XMLParser");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "xml");
+  EXPECT_EQ(tokens[1], "parser");
+}
+
+TEST(TokenizerTest, LetterDigitBoundary) {
+  Tokenizer tokenizer;
+  auto tokens = tokenizer.Tokenize("Area51zone");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0], "area");
+  EXPECT_EQ(tokens[1], "51");
+  EXPECT_EQ(tokens[2], "zone");
+}
+
+TEST(TokenizerTest, CamelSplitDisabled) {
+  TokenizerOptions options;
+  options.split_camel_case = false;
+  Tokenizer tokenizer(options);
+  auto tokens = tokenizer.Tokenize("birthPlace");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0], "birthplace");
+}
+
+TEST(TokenizerTest, DropsStopwordsAndShortTokens) {
+  Tokenizer tokenizer;
+  auto tokens = tokenizer.Tokenize("The_Lord_of_the_Rings a b");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "lord");
+  EXPECT_EQ(tokens[1], "rings");
+}
+
+TEST(TokenizerTest, KeepsStopwordsWhenDisabled) {
+  TokenizerOptions options;
+  options.drop_stopwords = false;
+  options.min_token_length = 1;
+  Tokenizer tokenizer(options);
+  auto tokens = tokenizer.Tokenize("of a");
+  ASSERT_EQ(tokens.size(), 2u);
+}
+
+TEST(TokenizerTest, EmptyAndPunctuationOnly) {
+  Tokenizer tokenizer;
+  EXPECT_TRUE(tokenizer.Tokenize("").empty());
+  EXPECT_TRUE(tokenizer.Tokenize("--- ... !!!").empty());
+}
+
+TEST(UriLocalNameTest, ExtractsAfterHashOrSlash) {
+  EXPECT_EQ(UriLocalName("<http://dbpedia.org/resource/Saint_Peter>"),
+            "Saint_Peter");
+  EXPECT_EQ(UriLocalName("http://www.w3.org/2003/01/geo/wgs84_pos#lat"),
+            "lat");
+  EXPECT_EQ(UriLocalName("no_separators"), "no_separators");
+}
+
+TEST(UriLocalNameTest, TrailingSlashFallsBack) {
+  // A URI ending in '/' has no local name; the whole IRI is returned.
+  EXPECT_EQ(UriLocalName("http://x.org/"), "http://x.org/");
+}
+
+TEST(StripAngleBracketsTest, Basics) {
+  EXPECT_EQ(StripAngleBrackets("<http://x>"), "http://x");
+  EXPECT_EQ(StripAngleBrackets("http://x"), "http://x");
+  EXPECT_EQ(StripAngleBrackets("<>"), "");
+}
+
+TEST(TokenizerTest, TokenizeUriLocalName) {
+  Tokenizer tokenizer;
+  auto tokens = tokenizer.TokenizeUriLocalName(
+      "<http://dbpedia.org/resource/Ancient_Diocese_of_Arles>");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0], "ancient");
+  EXPECT_EQ(tokens[1], "diocese");
+  EXPECT_EQ(tokens[2], "arles");
+}
+
+TEST(TokenizerTest, NumbersKept) {
+  Tokenizer tokenizer;
+  auto tokens = tokenizer.Tokenize("Paris_1968");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[1], "1968");
+}
+
+}  // namespace
+}  // namespace ksp

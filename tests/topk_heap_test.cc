@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/rng.h"
+#include "core/engine.h"
+
+namespace ksp {
+namespace {
+
+KspResultEntry Entry(PlaceId place, double score) {
+  KspResultEntry e;
+  e.place = place;
+  e.score = score;
+  return e;
+}
+
+TEST(TopKHeapTest, KeepsBestK) {
+  TopKHeap heap(3);
+  for (double s : {5.0, 1.0, 4.0, 2.0, 3.0}) {
+    heap.Add(Entry(static_cast<PlaceId>(s), s));
+  }
+  KspResult result = std::move(heap).Finish();
+  ASSERT_EQ(result.entries.size(), 3u);
+  EXPECT_DOUBLE_EQ(result.entries[0].score, 1.0);
+  EXPECT_DOUBLE_EQ(result.entries[1].score, 2.0);
+  EXPECT_DOUBLE_EQ(result.entries[2].score, 3.0);
+}
+
+TEST(TopKHeapTest, ThresholdEvolution) {
+  TopKHeap heap(2);
+  EXPECT_EQ(heap.Threshold(), std::numeric_limits<double>::infinity());
+  heap.Add(Entry(0, 10.0));
+  EXPECT_EQ(heap.Threshold(), std::numeric_limits<double>::infinity());
+  heap.Add(Entry(1, 5.0));
+  EXPECT_DOUBLE_EQ(heap.Threshold(), 10.0);
+  heap.Add(Entry(2, 1.0));
+  EXPECT_DOUBLE_EQ(heap.Threshold(), 5.0);
+  heap.Add(Entry(3, 100.0));  // Worse: ignored.
+  EXPECT_DOUBLE_EQ(heap.Threshold(), 5.0);
+}
+
+TEST(TopKHeapTest, ZeroKIsAlwaysEmpty) {
+  TopKHeap heap(0);
+  EXPECT_EQ(heap.Threshold(), -std::numeric_limits<double>::infinity());
+  heap.Add(Entry(0, 1.0));
+  EXPECT_TRUE(std::move(heap).Finish().entries.empty());
+}
+
+TEST(TopKHeapTest, TieBreakByPlaceId) {
+  TopKHeap heap(1);
+  heap.Add(Entry(7, 2.0));
+  heap.Add(Entry(3, 2.0));  // Same score, smaller id wins.
+  KspResult result = std::move(heap).Finish();
+  ASSERT_EQ(result.entries.size(), 1u);
+  EXPECT_EQ(result.entries[0].place, 3u);
+}
+
+TEST(TopKHeapTest, FewerEntriesThanK) {
+  TopKHeap heap(10);
+  heap.Add(Entry(0, 3.0));
+  heap.Add(Entry(1, 1.0));
+  KspResult result = std::move(heap).Finish();
+  ASSERT_EQ(result.entries.size(), 2u);
+  EXPECT_DOUBLE_EQ(result.entries[0].score, 1.0);
+}
+
+TEST(TopKHeapTest, RandomizedMatchesSort) {
+  Rng rng(55);
+  for (int trial = 0; trial < 20; ++trial) {
+    uint32_t k = 1 + static_cast<uint32_t>(rng.NextBounded(10));
+    TopKHeap heap(k);
+    std::vector<std::pair<double, PlaceId>> all;
+    size_t n = rng.NextBounded(100);
+    for (size_t i = 0; i < n; ++i) {
+      double score = rng.NextDouble(0, 10);
+      all.emplace_back(score, static_cast<PlaceId>(i));
+      heap.Add(Entry(static_cast<PlaceId>(i), score));
+    }
+    std::sort(all.begin(), all.end());
+    if (all.size() > k) all.resize(k);
+    KspResult result = std::move(heap).Finish();
+    ASSERT_EQ(result.entries.size(), all.size());
+    for (size_t i = 0; i < all.size(); ++i) {
+      EXPECT_DOUBLE_EQ(result.entries[i].score, all[i].first);
+      EXPECT_EQ(result.entries[i].place, all[i].second);
+    }
+  }
+}
+
+TEST(SemanticPlaceTreeTest, TreeVerticesDeduplicated) {
+  SemanticPlaceTree tree;
+  tree.root = 10;
+  SemanticPlaceTree::KeywordMatch m1;
+  m1.path = {10, 4, 7};
+  SemanticPlaceTree::KeywordMatch m2;
+  m2.path = {10, 4, 2};
+  tree.matches = {m1, m2};
+  auto vertices = tree.TreeVertices();
+  EXPECT_EQ(vertices, (std::vector<VertexId>{2, 4, 7, 10}));
+}
+
+TEST(SemanticPlaceTreeTest, DefaultIsUnqualified) {
+  SemanticPlaceTree tree;
+  EXPECT_FALSE(tree.IsQualified());
+  tree.looseness = 3.0;
+  EXPECT_TRUE(tree.IsQualified());
+}
+
+}  // namespace
+}  // namespace ksp

@@ -1,0 +1,56 @@
+#include "text/vocabulary.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace ksp {
+namespace {
+
+TEST(VocabularyTest, InternAssignsDenseIds) {
+  Vocabulary vocab;
+  EXPECT_EQ(vocab.Intern("alpha"), 0u);
+  EXPECT_EQ(vocab.Intern("beta"), 1u);
+  EXPECT_EQ(vocab.Intern("alpha"), 0u);  // Idempotent.
+  EXPECT_EQ(vocab.size(), 2u);
+}
+
+TEST(VocabularyTest, LookupMissesUnknown) {
+  Vocabulary vocab;
+  vocab.Intern("known");
+  EXPECT_TRUE(vocab.Lookup("known").has_value());
+  EXPECT_FALSE(vocab.Lookup("unknown").has_value());
+}
+
+TEST(VocabularyTest, TermRoundTrip) {
+  Vocabulary vocab;
+  TermId id = vocab.Intern("roundtrip");
+  EXPECT_EQ(vocab.Term(id), "roundtrip");
+}
+
+TEST(VocabularyTest, StableUnderGrowth) {
+  // Guards the deque-based storage: interned string_views must remain
+  // valid as the vocabulary grows (SSO strings would break with vector).
+  Vocabulary vocab;
+  std::vector<TermId> ids;
+  for (int i = 0; i < 10000; ++i) {
+    ids.push_back(vocab.Intern("t" + std::to_string(i)));
+  }
+  for (int i = 0; i < 10000; ++i) {
+    auto found = vocab.Lookup("t" + std::to_string(i));
+    ASSERT_TRUE(found.has_value()) << i;
+    EXPECT_EQ(*found, ids[i]);
+    EXPECT_EQ(vocab.Term(ids[i]), "t" + std::to_string(i));
+  }
+  EXPECT_GT(vocab.MemoryUsageBytes(), 0u);
+}
+
+TEST(VocabularyTest, EmptyStringIsValidTerm) {
+  Vocabulary vocab;
+  TermId id = vocab.Intern("");
+  EXPECT_EQ(vocab.Term(id), "");
+  EXPECT_EQ(vocab.Intern(""), id);
+}
+
+}  // namespace
+}  // namespace ksp
