@@ -15,13 +15,13 @@ using ksp::bench::PrintStatsRow;
 using ksp::bench::RunWorkload;
 
 void RunConfig(const char* label, const ksp::KnowledgeBase& kb,
-               const BenchEnv& env, ksp::KspEngineOptions options,
+               const BenchEnv& env, ksp::KspOptions options,
                Algo algo, uint32_t alpha,
                const std::vector<ksp::KspQuery>& queries) {
   options.time_limit_ms = env.time_limit_ms;
-  ksp::KspEngine engine(&kb, options);
-  engine.PrepareAll(alpha);
-  PrintStatsRow(label, algo, RunWorkload(&engine, algo, queries, 5));
+  ksp::KspDatabase db(&kb, options);
+  db.PrepareAll(alpha);
+  PrintStatsRow(label, algo, RunWorkload(db, algo, queries, 5));
 }
 
 }  // namespace
@@ -45,24 +45,24 @@ int main() {
   std::printf("queries=%zu\n\n", queries.size());
   PrintStatsHeader();
 
-  ksp::KspEngineOptions base;
+  ksp::KspOptions base;
 
   // Pruning ladder: BSP -> +rule1 -> +rule2 -> +rules1+2 -> SP (all).
   RunConfig("baseline", *kb, env, base, Algo::kBsp, 3, queries);
   {
-    ksp::KspEngineOptions o = base;
+    ksp::KspOptions o = base;
     o.use_dynamic_bound_pruning = false;
     RunConfig("rule1-only", *kb, env, o, Algo::kSpp, 3, queries);
   }
   {
-    ksp::KspEngineOptions o = base;
+    ksp::KspOptions o = base;
     o.use_unqualified_pruning = false;
     RunConfig("rule2-only", *kb, env, o, Algo::kSpp, 3, queries);
   }
   RunConfig("rules1+2", *kb, env, base, Algo::kSpp, 3, queries);
   RunConfig("sp-full", *kb, env, base, Algo::kSp, 3, queries);
   {
-    ksp::KspEngineOptions o = base;
+    ksp::KspOptions o = base;
     o.use_unqualified_pruning = false;
     o.use_dynamic_bound_pruning = false;
     RunConfig("alpha-only", *kb, env, o, Algo::kSp, 3, queries);
@@ -70,7 +70,7 @@ int main() {
 
   // Ranking function: Equation 1 (weighted sum) vs Equation 2 (product).
   {
-    ksp::KspEngineOptions o = base;
+    ksp::KspOptions o = base;
     o.ranking = ksp::RankingFunction::WeightedSum(0.5);
     RunConfig("wsum-sp", *kb, env, o, Algo::kSp, 3, queries);
   }
@@ -78,14 +78,14 @@ int main() {
   // R-tree construction mode only affects preprocessing; query side shown
   // for completeness.
   {
-    ksp::KspEngineOptions o = base;
+    ksp::KspOptions o = base;
     o.bulk_load_rtree = true;
     RunConfig("str-rtree-sp", *kb, env, o, Algo::kSp, 3, queries);
   }
 
   // R-tree linear-split construction (Guttman's cheaper alternative).
   {
-    ksp::KspEngineOptions o = base;
+    ksp::KspOptions o = base;
     o.rtree_options.split = ksp::RTreeSplitStrategy::kLinear;
     RunConfig("linsplit-sp", *kb, env, o, Algo::kSp, 3, queries);
   }
@@ -93,7 +93,7 @@ int main() {
   // §8 future work: undirected edges (keywords may be covered through
   // incoming paths as well).
   {
-    ksp::KspEngineOptions o = base;
+    ksp::KspOptions o = base;
     o.undirected_edges = true;
     RunConfig("undirected-sp", *kb, env, o, Algo::kSp, 3, queries);
   }

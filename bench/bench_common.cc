@@ -47,58 +47,24 @@ std::unique_ptr<KnowledgeBase> MakeDataset(bool dbpedia_like,
   return std::move(*kb);
 }
 
-std::unique_ptr<KspEngine> MakeEngine(const KnowledgeBase* kb,
-                                      const BenchEnv& env, uint32_t alpha,
-                                      KspEngineOptions options) {
+std::unique_ptr<KspDatabase> MakeDatabase(const KnowledgeBase* kb,
+                                          const BenchEnv& env, uint32_t alpha,
+                                          KspOptions options) {
   options.time_limit_ms = env.time_limit_ms;
-  auto engine = std::make_unique<KspEngine>(kb, options);
-  engine->PrepareAll(alpha);
-  return engine;
+  auto db = std::make_unique<KspDatabase>(kb, options);
+  db->PrepareAll(alpha);
+  return db;
 }
 
-const char* AlgoName(Algo algo) {
-  switch (algo) {
-    case Algo::kBsp:
-      return "BSP";
-    case Algo::kSpp:
-      return "SPP";
-    case Algo::kSp:
-      return "SP";
-    case Algo::kTa:
-      return "TA";
-    case Algo::kKeywordOnly:
-      return "KW";
-  }
-  return "?";
-}
-
-namespace {
-Result<KspResult> Dispatch(KspEngine* engine, Algo algo, const KspQuery& q,
-                           QueryStats* stats) {
-  switch (algo) {
-    case Algo::kBsp:
-      return engine->ExecuteBsp(q, stats);
-    case Algo::kSpp:
-      return engine->ExecuteSpp(q, stats);
-    case Algo::kSp:
-      return engine->ExecuteSp(q, stats);
-    case Algo::kTa:
-      return engine->ExecuteTa(q, stats);
-    case Algo::kKeywordOnly:
-      return engine->ExecuteKeywordOnly(q, stats);
-  }
-  return Status::InvalidArgument("unknown algorithm");
-}
-}  // namespace
-
-WorkloadStats RunWorkload(KspEngine* engine, Algo algo,
+WorkloadStats RunWorkload(const KspDatabase& db, Algo algo,
                           const std::vector<KspQuery>& queries, uint32_t k) {
   WorkloadStats out;
+  QueryExecutor executor(&db);
   for (const KspQuery& query : queries) {
     KspQuery q = query;
     if (k > 0) q.k = k;
     QueryStats stats;
-    auto result = Dispatch(engine, algo, q, &stats);
+    auto result = ExecuteWith(&executor, algo, q, &stats);
     KSP_CHECK(result.ok()) << result.status().ToString();
     out.sum.Accumulate(stats);
     if (!stats.completed) ++out.timed_out;
@@ -108,14 +74,15 @@ WorkloadStats RunWorkload(KspEngine* engine, Algo algo,
 }
 
 std::vector<KspResult> RunWorkloadCollect(
-    KspEngine* engine, Algo algo, const std::vector<KspQuery>& queries,
+    const KspDatabase& db, Algo algo, const std::vector<KspQuery>& queries,
     uint32_t k) {
   std::vector<KspResult> results;
   results.reserve(queries.size());
+  QueryExecutor executor(&db);
   for (const KspQuery& query : queries) {
     KspQuery q = query;
     if (k > 0) q.k = k;
-    auto result = Dispatch(engine, algo, q, nullptr);
+    auto result = ExecuteWith(&executor, algo, q, nullptr);
     KSP_CHECK(result.ok()) << result.status().ToString();
     results.push_back(std::move(*result));
   }

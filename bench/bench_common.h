@@ -5,7 +5,9 @@
 #include <string>
 #include <vector>
 
-#include "core/engine.h"
+#include "core/database.h"
+#include "core/executor.h"
+#include "core/parallel.h"
 #include "datagen/query_gen.h"
 #include "datagen/synthetic.h"
 #include "rdf/knowledge_base.h"
@@ -40,13 +42,14 @@ inline constexpr uint32_t kYagoBaseVertices = 40000;
 std::unique_ptr<KnowledgeBase> MakeDataset(bool dbpedia_like,
                                            uint32_t num_vertices);
 
-/// Builds an engine with all indexes; time limit from `env`.
-std::unique_ptr<KspEngine> MakeEngine(const KnowledgeBase* kb,
-                                      const BenchEnv& env, uint32_t alpha,
-                                      KspEngineOptions options = {});
+/// Builds a fully prepared database; time limit from `env`.
+std::unique_ptr<KspDatabase> MakeDatabase(const KnowledgeBase* kb,
+                                          const BenchEnv& env, uint32_t alpha,
+                                          KspOptions options = {});
 
-enum class Algo { kBsp, kSpp, kSp, kTa, kKeywordOnly };
-const char* AlgoName(Algo algo);
+/// Benches dispatch through the shared algorithm enum (KW included).
+using Algo = KspAlgorithm;
+inline const char* AlgoName(Algo algo) { return KspAlgorithmName(algo); }
 
 /// Aggregated workload metrics (averages over queries, like §6 reports).
 struct WorkloadStats {
@@ -71,14 +74,15 @@ struct WorkloadStats {
   }
 };
 
-/// Runs `queries` through one algorithm, with `k` overriding each query's
-/// requested result size (pass 0 to keep the generated k).
-WorkloadStats RunWorkload(KspEngine* engine, Algo algo,
+/// Runs `queries` through one algorithm on a fresh QueryExecutor, with
+/// `k` overriding each query's requested result size (pass 0 to keep the
+/// generated k).
+WorkloadStats RunWorkload(const KspDatabase& db, Algo algo,
                           const std::vector<KspQuery>& queries, uint32_t k);
 
 /// Collects the per-query results as well (Figure 8 needs result
 /// statistics, not runtimes).
-std::vector<KspResult> RunWorkloadCollect(KspEngine* engine, Algo algo,
+std::vector<KspResult> RunWorkloadCollect(const KspDatabase& db, Algo algo,
                                           const std::vector<KspQuery>& queries,
                                           uint32_t k);
 

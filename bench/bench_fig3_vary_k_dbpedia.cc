@@ -15,7 +15,7 @@ int main() {
   auto kb = MakeDataset(/*dbpedia_like=*/true,
                         env.Scaled(kDBpediaBaseVertices));
   PrintDatasetSummary("dbpedia-like", *kb);
-  auto engine = MakeEngine(kb.get(), env, /*alpha=*/3);
+  auto db = MakeDatabase(kb.get(), env, /*alpha=*/3);
 
   ksp::QueryGenOptions qopt;
   qopt.num_keywords = 5;
@@ -30,7 +30,7 @@ int main() {
     char config[32];
     std::snprintf(config, sizeof(config), "k=%u", k);
     for (Algo algo : {Algo::kBsp, Algo::kSpp, Algo::kSp}) {
-      PrintStatsRow(config, algo, RunWorkload(engine.get(), algo, queries, k));
+      PrintStatsRow(config, algo, RunWorkload(*db, algo, queries, k));
     }
   }
   return 0;

@@ -14,7 +14,7 @@ int main() {
     auto kb = MakeDataset(dbpedia, env.Scaled(dbpedia ? kDBpediaBaseVertices
                                                       : kYagoBaseVertices));
     PrintDatasetSummary(dbpedia ? "dbpedia-like" : "yago-like", *kb);
-    auto engine = MakeEngine(kb.get(), env, /*alpha=*/3);
+    auto db = MakeDatabase(kb.get(), env, /*alpha=*/3);
 
     PrintStatsHeader();
     for (uint32_t m : {1u, 3u, 5u, 8u, 10u}) {
@@ -28,7 +28,7 @@ int main() {
       std::snprintf(config, sizeof(config), "|q.psi|=%u", m);
       for (Algo algo : {Algo::kBsp, Algo::kSpp, Algo::kSp}) {
         PrintStatsRow(config, algo,
-                      RunWorkload(engine.get(), algo, queries, 5));
+                      RunWorkload(*db, algo, queries, 5));
       }
     }
     std::printf("\n");

@@ -31,11 +31,11 @@ int main() {
     }
     std::printf("\n");
     for (uint32_t alpha : {1u, 2u, 3u, 5u}) {
-      auto engine = MakeEngine(kb.get(), env, alpha);
+      auto db = MakeDatabase(kb.get(), env, alpha);
       std::printf("%-10u", alpha);
       for (uint32_t k : {1u, 3u, 5u, 8u, 10u, 15u, 20u}) {
         WorkloadStats stats =
-            RunWorkload(engine.get(), Algo::kSp, queries, k);
+            RunWorkload(*db, Algo::kSp, queries, k);
         std::printf("  %8.3f", stats.AvgTotalMs());
       }
       std::printf("\n");

@@ -58,16 +58,16 @@ int main() {
   PrintStatsHeader();
   const double fractions[] = {0.25, 0.5, 0.75, 1.0};
   for (size_t i = 0; i < samples.size(); ++i) {
-    auto engine = MakeEngine(samples[i].get(), env, /*alpha=*/3);
+    auto db = MakeDatabase(samples[i].get(), env, /*alpha=*/3);
     std::vector<ksp::KspQuery> queries;
     for (const auto& [location, keywords] : replay) {
-      queries.push_back(engine->MakeQuery(location, keywords, 5));
+      queries.push_back(db->MakeQuery(location, keywords, 5));
     }
     char config[32];
     std::snprintf(config, sizeof(config), "frac=%.2f", fractions[i]);
     for (Algo algo : {Algo::kBsp, Algo::kSpp, Algo::kSp}) {
       PrintStatsRow(config, algo,
-                    RunWorkload(engine.get(), algo, queries, 5));
+                    RunWorkload(*db, algo, queries, 5));
     }
   }
   return 0;

@@ -17,7 +17,7 @@ int main() {
     auto kb = MakeDataset(dbpedia, env.Scaled(dbpedia ? kDBpediaBaseVertices
                                                       : kYagoBaseVertices));
     PrintDatasetSummary(dbpedia ? "dbpedia-like" : "yago-like", *kb);
-    auto engine = MakeEngine(kb.get(), env, /*alpha=*/3);
+    auto db = MakeDatabase(kb.get(), env, /*alpha=*/3);
 
     struct ClassSpec {
       const char* name;
@@ -38,7 +38,7 @@ int main() {
         auto queries = ksp::GenerateQueries(*kb, spec.query_class, qopt,
                                             env.queries);
         auto results =
-            RunWorkloadCollect(engine.get(), Algo::kSp, queries, k);
+            RunWorkloadCollect(*db, Algo::kSp, queries, k);
         double sum_s = 0;
         double sum_l = 0;
         size_t count = 0;

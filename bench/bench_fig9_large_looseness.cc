@@ -16,7 +16,7 @@ int main() {
   auto kb = MakeDataset(/*dbpedia_like=*/true,
                         env.Scaled(kDBpediaBaseVertices));
   PrintDatasetSummary("dbpedia-like", *kb);
-  auto engine = MakeEngine(kb.get(), env, /*alpha=*/3);
+  auto db = MakeDatabase(kb.get(), env, /*alpha=*/3);
 
   for (auto [name, query_class] :
        {std::pair{"SDLL", ksp::QueryClass::kSDLL},
@@ -34,7 +34,7 @@ int main() {
       std::snprintf(config, sizeof(config), "%s k=%u", name, k);
       for (Algo algo : {Algo::kBsp, Algo::kSpp, Algo::kSp}) {
         PrintStatsRow(config, algo,
-                      RunWorkload(engine.get(), algo, queries, k));
+                      RunWorkload(*db, algo, queries, k));
       }
     }
   }

@@ -10,7 +10,8 @@
 #include "alpha/alpha_index.h"
 #include "bench_common.h"
 #include "common/rng.h"
-#include "core/engine.h"
+#include "core/database.h"
+#include "core/executor.h"
 #include "datagen/query_gen.h"
 #include "common/logging.h"
 #include "reach/reachability_index.h"
@@ -25,13 +26,15 @@ using ksp::bench::MakeDataset;
 /// Shared fixture state, built once (dataset generation is expensive).
 struct SharedState {
   std::unique_ptr<ksp::KnowledgeBase> kb;
-  std::unique_ptr<ksp::KspEngine> engine;
+  std::unique_ptr<ksp::KspDatabase> db;
+  std::unique_ptr<ksp::QueryExecutor> exec;
   std::vector<ksp::KspQuery> queries;
 
   SharedState() {
     kb = MakeDataset(/*dbpedia_like=*/true, 10000);
-    engine = std::make_unique<ksp::KspEngine>(kb.get());
-    engine->PrepareAll(3);
+    db = std::make_unique<ksp::KspDatabase>(kb.get());
+    db->PrepareAll(3);
+    exec = std::make_unique<ksp::QueryExecutor>(db.get());
     ksp::QueryGenOptions qopt;
     qopt.num_keywords = 5;
     qopt.k = 5;
@@ -79,7 +82,7 @@ void BM_RTreeNearestNeighbor(benchmark::State& state) {
   ksp::Rng rng(3);
   for (auto _ : state) {
     ksp::Point q{rng.NextDouble(35, 60), rng.NextDouble(-10, 30)};
-    ksp::NearestIterator it(&shared.engine->rtree(), q);
+    ksp::NearestIterator it(&shared.db->rtree(), q);
     ksp::NearestIterator::Item item;
     for (int i = 0; i < state.range(0) && it.NextData(&item); ++i) {
       benchmark::DoNotOptimize(item);
@@ -91,7 +94,7 @@ BENCHMARK(BM_RTreeNearestNeighbor)->Arg(1)->Arg(10)->Arg(100);
 
 void BM_ReachabilityQuery(benchmark::State& state) {
   auto& shared = State();
-  const auto* reach = shared.engine->reachability_index();
+  const auto* reach = shared.db->reachability_index();
   ksp::Rng rng(4);
   const uint32_t n = shared.kb->num_vertices();
   const uint32_t terms = shared.kb->num_terms();
@@ -106,7 +109,7 @@ BENCHMARK(BM_ReachabilityQuery);
 
 void BM_AlphaBoundLookup(benchmark::State& state) {
   auto& shared = State();
-  const auto* alpha = shared.engine->alpha_index();
+  const auto* alpha = shared.db->alpha_index();
   ksp::Rng rng(5);
   const uint32_t entries = alpha->num_places() + alpha->num_nodes();
   const uint32_t terms = shared.kb->num_terms();
@@ -126,7 +129,7 @@ void BM_TqspConstruction(benchmark::State& state) {
   const auto& query = shared.queries.front();
   const uint32_t places = shared.kb->num_places();
   for (auto _ : state) {
-    auto tree = shared.engine->ComputeTqspForPlace(
+    auto tree = shared.exec->ComputeTqspForPlace(
         static_cast<ksp::PlaceId>(rng.NextBounded(places)), query);
     benchmark::DoNotOptimize(tree);
   }
@@ -139,7 +142,7 @@ void BM_QuerySp(benchmark::State& state) {
   size_t i = 0;
   for (auto _ : state) {
     auto result =
-        shared.engine->ExecuteSp(shared.queries[i % shared.queries.size()]);
+        shared.exec->ExecuteSp(shared.queries[i % shared.queries.size()]);
     benchmark::DoNotOptimize(result);
     ++i;
   }
@@ -151,7 +154,7 @@ void BM_QuerySpp(benchmark::State& state) {
   auto& shared = State();
   size_t i = 0;
   for (auto _ : state) {
-    auto result = shared.engine->ExecuteSpp(
+    auto result = shared.exec->ExecuteSpp(
         shared.queries[i % shared.queries.size()]);
     benchmark::DoNotOptimize(result);
     ++i;
@@ -193,7 +196,6 @@ BENCHMARK(BM_MemoryGraphBfs);
 void BM_DiskGraphBfs(benchmark::State& state) {
   // Same bounded BFS through the disk-resident graph (4 KB pages, LRU
   // pool sized by the benchmark argument, in pages).
-  auto& shared = State();
   static std::string path = [] {
     std::string p = "/tmp/ksp_micro_disk_graph.bin";
     KSP_CHECK(ksp::DiskGraph::Write(State().kb->graph(), p).ok());

@@ -20,8 +20,8 @@ int main() {
   for (bool dbpedia : {true, false}) {
     auto kb = MakeDataset(dbpedia, env.Scaled(dbpedia ? kDBpediaBaseVertices
                                                       : kYagoBaseVertices));
-    ksp::KspEngine engine(kb.get());
-    engine.BuildRTree();
+    ksp::KspDatabase db(kb.get());
+    db.BuildRTree();
 
     std::string path = (std::filesystem::temp_directory_path() /
                         "ksp_table4_index.idx")
@@ -35,7 +35,7 @@ int main() {
 
     std::printf("%-14s %14s %14s %16s %16s\n",
                 dbpedia ? "dbpedia-like" : "yago-like",
-                ksp::HumanBytes(engine.rtree().MemoryUsageBytes()).c_str(),
+                ksp::HumanBytes(db.rtree().MemoryUsageBytes()).c_str(),
                 ksp::HumanBytes(kb->GraphMemoryBytes()).c_str(),
                 ksp::HumanBytes(kb->InvertedIndexBytes()).c_str(),
                 ksp::HumanBytes(disk_bytes).c_str());

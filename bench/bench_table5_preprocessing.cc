@@ -23,15 +23,15 @@ int main() {
                                                       : kYagoBaseVertices));
 
     // R-tree: insertion vs bulk loading.
-    ksp::KspEngineOptions insert_options;
+    ksp::KspOptions insert_options;
     insert_options.bulk_load_rtree = false;
-    ksp::KspEngine insert_engine(kb.get(), insert_options);
-    insert_engine.BuildRTree();
+    ksp::KspDatabase insert_db(kb.get(), insert_options);
+    insert_db.BuildRTree();
 
-    ksp::KspEngineOptions bulk_options;
+    ksp::KspOptions bulk_options;
     bulk_options.bulk_load_rtree = true;
-    ksp::KspEngine engine(kb.get(), bulk_options);
-    engine.BuildRTree();
+    ksp::KspDatabase db(kb.get(), bulk_options);
+    db.BuildRTree();
 
     // Inverted index: rebuild + serialize to disk.
     ksp::Timer inv_timer;
@@ -45,16 +45,16 @@ int main() {
     inv_timer.Stop();
     std::remove(path.c_str());
 
-    engine.BuildReachabilityIndex();
-    engine.BuildAlphaIndex(3);
+    db.BuildReachabilityIndex();
+    db.BuildAlphaIndex(3);
 
     std::printf("%-14s %10.2f %10.2f %10.2f %10.2f %10.2f\n",
                 dbpedia ? "dbpedia-like" : "yago-like",
-                insert_engine.preprocessing_times().rtree_s,
-                engine.preprocessing_times().rtree_s,
+                insert_db.preprocessing_times().rtree_s,
+                db.preprocessing_times().rtree_s,
                 inv_timer.ElapsedSeconds(),
-                engine.preprocessing_times().reachability_s,
-                engine.preprocessing_times().alpha_s);
+                db.preprocessing_times().reachability_s,
+                db.preprocessing_times().alpha_s);
   }
   std::printf(
       "\npaper (minutes, full scale): DBpedia rtree 3.17 inv 4.61 "

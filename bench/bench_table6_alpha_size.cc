@@ -20,11 +20,11 @@ int main() {
   for (bool dbpedia : {true, false}) {
     auto kb = MakeDataset(dbpedia, env.Scaled(dbpedia ? kDBpediaBaseVertices
                                                       : kYagoBaseVertices));
-    ksp::KspEngine engine(kb.get());
-    engine.BuildRTree();
+    ksp::KspDatabase db(kb.get());
+    db.BuildRTree();
     for (uint32_t alpha : {1u, 2u, 3u, 5u}) {
       ksp::AlphaIndex index =
-          ksp::AlphaIndex::Build(*kb, engine.rtree(), alpha);
+          ksp::AlphaIndex::Build(*kb, db.rtree(), alpha);
       std::printf("%-14s %12u %12llu %16s\n",
                   dbpedia ? "dbpedia-like" : "yago-like", alpha,
                   static_cast<unsigned long long>(index.TotalEntries()),

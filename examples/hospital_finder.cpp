@@ -7,7 +7,8 @@
 #include <string>
 #include <vector>
 
-#include "core/engine.h"
+#include "core/database.h"
+#include "core/executor.h"
 #include "rdf/knowledge_base.h"
 
 namespace {
@@ -76,8 +77,9 @@ int main() {
     return 1;
   }
 
-  ksp::KspEngine engine(kb->get());
-  engine.PrepareAll(/*alpha=*/2);
+  ksp::KspDatabase db(kb->get());
+  db.PrepareAll(/*alpha=*/2);
+  ksp::QueryExecutor executor(&db);
 
   // A patient downtown needs stroke and heart care nearby.
   const ksp::Point patient{40.70, -74.01};
@@ -85,8 +87,8 @@ int main() {
        std::vector<std::vector<std::string>>{{"stroke", "cardiology"},
                                              {"children", "asthma"},
                                              {"cancer", "stroke"}}) {
-    ksp::KspQuery query = engine.MakeQuery(patient, keywords, /*k=*/2);
-    auto result = engine.ExecuteSp(query);
+    ksp::KspQuery query = db.MakeQuery(patient, keywords, /*k=*/2);
+    auto result = executor.ExecuteSp(query);
     if (!result.ok()) {
       std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
       return 1;

@@ -21,7 +21,8 @@
 #include <string>
 #include <vector>
 
-#include "core/engine.h"
+#include "core/database.h"
+#include "core/executor.h"
 #include "core/parallel.h"
 #include "datagen/fixtures.h"
 #include "rdf/kb_stats.h"
@@ -38,12 +39,13 @@ struct ToolOptions {
   std::string index_dir;
 };
 
-int RunQuery(const ksp::KnowledgeBase& kb, ksp::KspEngine* engine,
+int RunQuery(const ksp::KnowledgeBase& kb, const ksp::KspDatabase& db,
              const ToolOptions& options, ksp::Point location,
              const std::vector<std::string>& keywords) {
-  ksp::KspQuery query = engine->MakeQuery(location, keywords, options.k);
+  ksp::QueryExecutor executor(&db);
+  ksp::KspQuery query = db.MakeQuery(location, keywords, options.k);
   ksp::QueryStats stats;
-  auto result = ExecuteWith(engine, options.algorithm, query, &stats);
+  auto result = ExecuteWith(&executor, options.algorithm, query, &stats);
   if (!result.ok()) {
     std::fprintf(stderr, "query failed: %s\n",
                  result.status().ToString().c_str());
@@ -78,20 +80,20 @@ int RunQuery(const ksp::KnowledgeBase& kb, ksp::KspEngine* engine,
   return 0;
 }
 
-void PrepareEngine(ksp::KspEngine* engine, const ToolOptions& options) {
+void PrepareDatabase(ksp::KspDatabase* db, const ToolOptions& options) {
   if (!options.index_dir.empty()) {
-    if (engine->LoadIndexes(options.index_dir).ok() &&
-        engine->alpha_index() != nullptr &&
-        engine->reachability_index() != nullptr &&
-        engine->alpha_index()->alpha() == options.alpha) {
+    if (db->LoadIndexes(options.index_dir).ok() &&
+        db->alpha_index() != nullptr &&
+        db->reachability_index() != nullptr &&
+        db->alpha_index()->alpha() == options.alpha) {
       std::printf("(indexes loaded from %s)\n",
                   options.index_dir.c_str());
       return;
     }
   }
-  engine->PrepareAll(options.alpha);
+  db->PrepareAll(options.alpha);
   if (!options.index_dir.empty()) {
-    if (engine->SaveIndexes(options.index_dir).ok()) {
+    if (db->SaveIndexes(options.index_dir).ok()) {
       std::printf("(indexes cached in %s)\n", options.index_dir.c_str());
     }
   }
@@ -159,10 +161,10 @@ int main(int argc, char** argv) {
         argv[0]);
     auto kb = ksp::LoadKnowledgeBaseFromString(ksp::MontmajourNTriples());
     if (!kb.ok()) return 1;
-    ksp::KspEngine engine(kb->get());
-    engine.PrepareAll(3);
+    ksp::KspDatabase db(kb->get());
+    db.PrepareAll(3);
     options.k = 2;
-    return RunQuery(**kb, &engine, options, ksp::kQ1,
+    return RunQuery(**kb, db, options, ksp::kQ1,
                     {"ancient", "roman", "catholic", "history"});
   }
   if (positional.size() < 4) {
@@ -195,9 +197,9 @@ int main(int argc, char** argv) {
     keywords.push_back(positional[i]);
   }
 
-  ksp::KspEngineOptions engine_options;
-  engine_options.undirected_edges = options.undirected;
-  ksp::KspEngine engine(kb->get(), engine_options);
-  PrepareEngine(&engine, options);
-  return RunQuery(**kb, &engine, options, location, keywords);
+  ksp::KspOptions db_options;
+  db_options.undirected_edges = options.undirected;
+  ksp::KspDatabase db(kb->get(), db_options);
+  PrepareDatabase(&db, options);
+  return RunQuery(**kb, db, options, location, keywords);
 }

@@ -18,7 +18,8 @@
 #include <vector>
 
 #include "common/strings.h"
-#include "core/engine.h"
+#include "core/database.h"
+#include "core/executor.h"
 #include "datagen/fixtures.h"
 #include "rdf/kb_stats.h"
 #include "rdf/knowledge_base.h"
@@ -116,9 +117,10 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>((*kb)->num_edges()),
               (*kb)->num_places());
 
-  ksp::KspEngine engine(kb->get());
+  ksp::KspDatabase db(kb->get());
   std::printf("building indexes (alpha=3)...\n");
-  engine.PrepareAll(3);
+  db.PrepareAll(3);
+  ksp::QueryExecutor executor(&db);
   ksp::sparql::SparqlEvaluator sparql(kb->get());
   PrintHelp();
 
@@ -176,11 +178,11 @@ int main(int argc, char** argv) {
         std::printf("need at least one keyword\n");
         continue;
       }
-      ksp::KspQuery query = engine.MakeQuery(
+      ksp::KspQuery query = db.MakeQuery(
           ksp::Point{lat, lon}, keywords, static_cast<uint32_t>(k));
       ksp::QueryStats stats;
-      auto result = spatial ? engine.ExecuteSp(query, &stats)
-                            : engine.ExecuteKeywordOnly(query, &stats);
+      auto result = spatial ? executor.ExecuteSp(query, &stats)
+                            : executor.ExecuteKeywordOnly(query, &stats);
       if (!result.ok()) {
         std::printf("error: %s\n", result.status().ToString().c_str());
       } else {

@@ -1,5 +1,6 @@
-// Quickstart: load a small spatial RDF dataset from N-Triples, build the
-// kSP engine, and answer one top-k relevant semantic place query.
+// Quickstart: load a small spatial RDF dataset from N-Triples, prepare
+// the kSP database, and answer one top-k relevant semantic place query
+// through a QueryExecutor session.
 //
 // This is the running example of the paper (Montmajour Abbey, Figure 1):
 // a tourist at location q1 searches for places related to
@@ -7,7 +8,8 @@
 
 #include <cstdio>
 
-#include "core/engine.h"
+#include "core/database.h"
+#include "core/executor.h"
 #include "datagen/fixtures.h"
 #include "rdf/knowledge_base.h"
 
@@ -25,15 +27,18 @@ int main() {
               static_cast<unsigned long long>((*kb)->num_edges()),
               (*kb)->num_places(), (*kb)->num_terms());
 
-  // 2. Build the engine and its indexes (R-tree over places, keyword
-  //    reachability labels, alpha-radius word neighborhoods).
-  ksp::KspEngine engine(kb->get());
-  engine.PrepareAll(/*alpha=*/3);
+  // 2. Build the shared database and its indexes (R-tree over places,
+  //    keyword reachability labels, alpha-radius word neighborhoods).
+  //    The database must be prepared before any query runs.
+  ksp::KspDatabase db(kb->get());
+  db.PrepareAll(/*alpha=*/3);
 
-  // 3. Ask: top-2 semantic places near q1 for four keywords.
-  ksp::KspQuery query = engine.MakeQuery(
+  // 3. Open a query session (cheap; one per thread) and ask: top-2
+  //    semantic places near q1 for four keywords.
+  ksp::QueryExecutor executor(&db);
+  ksp::KspQuery query = db.MakeQuery(
       ksp::kQ1, {"ancient", "roman", "catholic", "history"}, /*k=*/2);
-  auto result = engine.ExecuteSp(query);
+  auto result = executor.ExecuteSp(query);
   if (!result.ok()) {
     std::fprintf(stderr, "query failed: %s\n",
                  result.status().ToString().c_str());

@@ -13,7 +13,8 @@
 
 #include <cstdio>
 
-#include "core/engine.h"
+#include "core/database.h"
+#include "core/executor.h"
 #include "datagen/fixtures.h"
 #include "sparql/evaluator.h"
 
@@ -43,11 +44,12 @@ int main() {
   std::printf("%s\n", sparql.ToTable(*rows).c_str());
 
   // --- Path 2: kSP (keywords + location, no schema). ---
-  ksp::KspEngine engine(kb->get());
-  engine.PrepareAll(/*alpha=*/3);
-  ksp::KspQuery query = engine.MakeQuery(
+  ksp::KspDatabase db(kb->get());
+  db.PrepareAll(/*alpha=*/3);
+  ksp::QueryExecutor executor(&db);
+  ksp::KspQuery query = db.MakeQuery(
       ksp::kQ1, {"ancient", "roman", "catholic", "history"}, 1);
-  auto top = engine.ExecuteSp(query);
+  auto top = executor.ExecuteSp(query);
   if (!top.ok()) {
     std::fprintf(stderr, "%s\n", top.status().ToString().c_str());
     return 1;

@@ -7,7 +7,8 @@
 #include <cstdio>
 
 #include "common/timer.h"
-#include "core/engine.h"
+#include "core/database.h"
+#include "core/executor.h"
 #include "datagen/query_gen.h"
 #include "datagen/synthetic.h"
 
@@ -39,15 +40,16 @@ int main() {
               static_cast<unsigned long long>((*kb)->num_edges()),
               (*kb)->num_places());
 
-  ksp::KspEngine engine(kb->get());
+  ksp::KspDatabase db(kb->get());
   ksp::Timer prep;
   prep.Start();
-  engine.PrepareAll(/*alpha=*/3);
+  db.PrepareAll(/*alpha=*/3);
+  ksp::QueryExecutor executor(&db);
   std::printf("  indexes built in %.2f s (R-tree %.2fs, reach %.2fs, "
               "alpha %.2fs)\n\n",
-              prep.ElapsedSeconds(), engine.preprocessing_times().rtree_s,
-              engine.preprocessing_times().reachability_s,
-              engine.preprocessing_times().alpha_s);
+              prep.ElapsedSeconds(), db.preprocessing_times().rtree_s,
+              db.preprocessing_times().reachability_s,
+              db.preprocessing_times().alpha_s);
 
   // A generated query plays the tourist's keyword set; we then move the
   // tourist and show that the ranking is location-aware.
@@ -67,7 +69,7 @@ int main() {
   }
   std::printf("\n\n");
 
-  auto here = engine.ExecuteSp(query);
+  auto here = executor.ExecuteSp(query);
   if (!here.ok()) {
     std::fprintf(stderr, "%s\n", here.status().ToString().c_str());
     return 1;
@@ -76,7 +78,7 @@ int main() {
 
   ksp::KspQuery moved = query;
   moved.location.x += 5.0;  // The tourist travels ~5 degrees north.
-  auto there = engine.ExecuteSp(moved);
+  auto there = executor.ExecuteSp(moved);
   if (!there.ok()) return 1;
   PrintResult(**kb, "\nTop-3 after moving 5 degrees away:", *there);
 
@@ -84,14 +86,14 @@ int main() {
   std::printf("\nAlgorithm comparison on this query:\n");
   struct Row {
     const char* name;
-    ksp::Result<ksp::KspResult> (ksp::KspEngine::*run)(const ksp::KspQuery&,
-                                                       ksp::QueryStats*);
+    ksp::Result<ksp::KspResult> (ksp::QueryExecutor::*run)(
+        const ksp::KspQuery&, ksp::QueryStats*);
   };
-  for (const Row& row : {Row{"BSP", &ksp::KspEngine::ExecuteBsp},
-                         Row{"SPP", &ksp::KspEngine::ExecuteSpp},
-                         Row{"SP ", &ksp::KspEngine::ExecuteSp}}) {
+  for (const Row& row : {Row{"BSP", &ksp::QueryExecutor::ExecuteBsp},
+                         Row{"SPP", &ksp::QueryExecutor::ExecuteSpp},
+                         Row{"SP ", &ksp::QueryExecutor::ExecuteSp}}) {
     ksp::QueryStats stats;
-    auto result = (engine.*row.run)(query, &stats);
+    auto result = (executor.*row.run)(query, &stats);
     if (!result.ok()) return 1;
     std::printf("  %s  %8.2f ms  (%llu TQSP computations, %llu R-tree "
                 "nodes)\n",

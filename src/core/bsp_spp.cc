@@ -6,7 +6,7 @@
 #include <limits>
 
 #include "common/timer.h"
-#include "core/engine.h"
+#include "core/executor.h"
 
 namespace ksp {
 
@@ -14,29 +14,33 @@ namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
 }  // namespace
 
-Result<KspResult> KspEngine::ExecuteBsp(const KspQuery& query,
-                                        QueryStats* stats) {
+Result<KspResult> QueryExecutor::ExecuteBsp(const KspQuery& query,
+                                            QueryStats* stats) {
   return ExecuteSpatialFirst(query, stats, /*use_rule1=*/false,
                              /*use_rule2=*/false);
 }
 
-Result<KspResult> KspEngine::ExecuteSpp(const KspQuery& query,
-                                        QueryStats* stats) {
-  if (options_.use_unqualified_pruning && reach_ == nullptr) {
+Result<KspResult> QueryExecutor::ExecuteSpp(const KspQuery& query,
+                                            QueryStats* stats) {
+  KSP_RETURN_NOT_OK(CheckPrepared());
+  const KspOptions& options = db_->options();
+  if (options.use_unqualified_pruning &&
+      db_->reachability_index() == nullptr) {
     return Status::InvalidArgument(
         "SPP with unqualified-place pruning requires "
         "BuildReachabilityIndex()");
   }
   return ExecuteSpatialFirst(query, stats,
-                             options_.use_unqualified_pruning,
-                             options_.use_dynamic_bound_pruning);
+                             options.use_unqualified_pruning,
+                             options.use_dynamic_bound_pruning);
 }
 
-Result<KspResult> KspEngine::ExecuteSpatialFirst(const KspQuery& query,
-                                                 QueryStats* stats,
-                                                 bool use_rule1,
-                                                 bool use_rule2) {
-  EnsureRTree();
+Result<KspResult> QueryExecutor::ExecuteSpatialFirst(const KspQuery& query,
+                                                     QueryStats* stats,
+                                                     bool use_rule1,
+                                                     bool use_rule2) {
+  KSP_RETURN_NOT_OK(CheckPrepared());
+  const KspOptions& options = db_->options();
   Timer total_timer;
   total_timer.Start();
   QueryStats local_stats;
@@ -49,24 +53,24 @@ Result<KspResult> KspEngine::ExecuteSpatialFirst(const KspQuery& query,
   double semantic_seconds = 0.0;
   TopKHeap heap(query.k);
   if (ctx.answerable) {
-    NearestIterator iterator(rtree_.get(), query.location);
+    NearestIterator iterator(db_->rtree_ptr(), query.location);
     NearestIterator::Item item;
     while (iterator.Next(&item)) {
-      if (total_timer.ElapsedMillis() > options_.time_limit_ms) {
+      if (total_timer.ElapsedMillis() > options.time_limit_ms) {
         st->completed = false;
         break;
       }
       const double theta = heap.Threshold();
       // Termination (Algorithm 1, line 7): entries arrive in ascending
       // spatial distance and f(L, S) >= MinScore(S) for L >= 1.
-      if (options_.ranking.MinScoreGivenSpatialDistance(item.distance) >=
+      if (options.ranking.MinScoreGivenSpatialDistance(item.distance) >=
           theta) {
         break;
       }
       if (item.is_node) continue;  // Children already enqueued.
 
       const PlaceId place = static_cast<PlaceId>(item.id);
-      const VertexId root = kb_->place_vertex(place);
+      const VertexId root = db_->kb().place_vertex(place);
       const double spatial = item.distance;
 
       if (use_rule1 && IsUnqualifiedPlace(root, ctx, st)) {
@@ -75,7 +79,7 @@ Result<KspResult> KspEngine::ExecuteSpatialFirst(const KspQuery& query,
       }
 
       const double looseness_threshold =
-          use_rule2 ? options_.ranking.LoosenessThreshold(theta, spatial)
+          use_rule2 ? options.ranking.LoosenessThreshold(theta, spatial)
                     : kInf;
 
       ++st->tqsp_computations;
@@ -93,7 +97,7 @@ Result<KspResult> KspEngine::ExecuteSpatialFirst(const KspQuery& query,
       entry.place = place;
       entry.looseness = looseness;
       entry.spatial_distance = spatial;
-      entry.score = options_.ranking.Score(looseness, spatial);
+      entry.score = options.ranking.Score(looseness, spatial);
       entry.tree = std::move(tree);
       heap.Add(std::move(entry));
     }

@@ -1,0 +1,128 @@
+#include "core/database.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "common/timer.h"
+
+namespace ksp {
+
+KspDatabase::KspDatabase(const KnowledgeBase* kb, KspOptions options)
+    : kb_(kb),
+      options_(options),
+      inverted_(options.inverted_index != nullptr
+                    ? options.inverted_index
+                    : &kb->inverted_index()) {
+  KSP_CHECK(kb_ != nullptr);
+}
+
+void KspDatabase::BuildRTree() {
+  Timer timer;
+  timer.Start();
+  const uint32_t num_places = kb_->num_places();
+  if (options_.bulk_load_rtree) {
+    std::vector<std::pair<Point, uint64_t>> points;
+    points.reserve(num_places);
+    for (PlaceId p = 0; p < num_places; ++p) {
+      points.emplace_back(kb_->place_location(p), p);
+    }
+    rtree_ = std::make_shared<const RTree>(
+        RTree::BulkLoadStr(std::move(points), options_.rtree_options));
+  } else {
+    RTree tree(options_.rtree_options);
+    for (PlaceId p = 0; p < num_places; ++p) {
+      tree.Insert(kb_->place_location(p), p);
+    }
+    rtree_ = std::make_shared<const RTree>(std::move(tree));
+  }
+  prep_times_.rtree_s = timer.ElapsedSeconds();
+}
+
+void KspDatabase::BuildReachabilityIndex() {
+  Timer timer;
+  timer.Start();
+  reach_ = std::make_shared<const ReachabilityIndex>(
+      ReachabilityIndex::Build(kb_->graph(), kb_->documents(),
+                               kb_->num_terms(),
+                               options_.undirected_edges));
+  prep_times_.reachability_s = timer.ElapsedSeconds();
+}
+
+void KspDatabase::BuildAlphaIndex(uint32_t alpha) {
+  BuildRTreeIfNeeded();
+  Timer timer;
+  timer.Start();
+  alpha_ = std::make_shared<const AlphaIndex>(
+      AlphaIndex::Build(*kb_, *rtree_, alpha, options_.undirected_edges));
+  prep_times_.alpha_s = timer.ElapsedSeconds();
+}
+
+void KspDatabase::PrepareAll(uint32_t alpha) {
+  BuildRTree();
+  BuildReachabilityIndex();
+  BuildAlphaIndex(alpha);
+}
+
+Status KspDatabase::SaveIndexes(const std::string& directory) const {
+  if (rtree_ != nullptr) {
+    KSP_RETURN_NOT_OK(rtree_->Save(directory + "/rtree.bin"));
+  }
+  if (reach_ != nullptr) {
+    KSP_RETURN_NOT_OK(reach_->Save(directory + "/reach.bin"));
+  }
+  if (alpha_ != nullptr) {
+    KSP_RETURN_NOT_OK(alpha_->Save(directory + "/alpha.bin"));
+  }
+  return Status::OK();
+}
+
+Status KspDatabase::LoadIndexes(const std::string& directory) {
+  if (auto rtree = RTree::Load(directory + "/rtree.bin"); rtree.ok()) {
+    if (rtree->size() != kb_->num_places()) {
+      return Status::InvalidArgument(
+          "saved R-tree does not match the KB's place count");
+    }
+    rtree_ = std::make_shared<const RTree>(std::move(*rtree));
+  } else if (!rtree.status().IsIOError()) {
+    return rtree.status();  // Corruption is an error; absence is not.
+  }
+  if (auto reach = ReachabilityIndex::Load(directory + "/reach.bin");
+      reach.ok()) {
+    if (reach->num_base_vertices() != kb_->num_vertices()) {
+      return Status::InvalidArgument(
+          "saved reachability index does not match the KB");
+    }
+    reach_ = std::make_shared<const ReachabilityIndex>(std::move(*reach));
+  } else if (!reach.status().IsIOError()) {
+    return reach.status();
+  }
+  if (auto alpha = AlphaIndex::Load(directory + "/alpha.bin"); alpha.ok()) {
+    // The α entries are keyed by R-tree node ids: the index is only valid
+    // together with the R-tree it was built against.
+    if (rtree_ == nullptr) {
+      return Status::InvalidArgument(
+          "alpha.bin present without its matching rtree.bin");
+    }
+    if (alpha->num_places() != kb_->num_places() ||
+        alpha->num_nodes() != rtree_->num_nodes()) {
+      return Status::InvalidArgument(
+          "saved alpha index does not match the KB / R-tree");
+    }
+    alpha_ = std::make_shared<const AlphaIndex>(std::move(*alpha));
+  } else if (!alpha.status().IsIOError()) {
+    return alpha.status();
+  }
+  return Status::OK();
+}
+
+KspQuery KspDatabase::MakeQuery(const Point& location,
+                                const std::vector<std::string>& keywords,
+                                uint32_t k) const {
+  KspQuery query;
+  query.location = location;
+  query.keywords = kb_->LookupTerms(keywords);
+  query.k = k;
+  return query;
+}
+
+}  // namespace ksp

@@ -1,0 +1,152 @@
+#ifndef KSP_CORE_DATABASE_H_
+#define KSP_CORE_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "alpha/alpha_index.h"
+#include "common/result.h"
+#include "common/types.h"
+#include "core/query.h"
+#include "core/ranking.h"
+#include "rdf/knowledge_base.h"
+#include "reach/reachability_index.h"
+#include "spatial/rtree.h"
+#include "text/inverted_index.h"
+
+namespace ksp {
+
+/// Configuration shared by every query on one KspDatabase. The pruning
+/// toggles exist for the ablation study; the shipped defaults reproduce
+/// the paper's SP setup.
+struct KspOptions {
+  /// Ranking function f(L, S); Equation 2 (product) by default.
+  RankingFunction ranking = RankingFunction::Product();
+
+  /// Follow edges in both directions during TQSP construction and
+  /// preprocessing — the paper's §8 future-work variant.
+  bool undirected_edges = false;
+
+  /// Pruning Rule 1 (requires BuildReachabilityIndex). Used by SPP and SP.
+  bool use_unqualified_pruning = true;
+  /// Pruning Rule 2 (dynamic looseness bound). Used by SPP and SP.
+  bool use_dynamic_bound_pruning = true;
+  /// Pruning Rules 3 and 4 (requires BuildAlphaIndex). Used by SP.
+  bool use_alpha_pruning = true;
+
+  /// Per-query wall-clock limit; the paper aborts BSP at 120 s. A run that
+  /// hits the limit returns the best places found so far with
+  /// stats.completed = false.
+  double time_limit_ms = 120000.0;
+
+  /// R-tree construction: STR bulk loading or one-by-one insertion (the
+  /// paper inserts one-by-one "for better quality"; Table 5 notes bulk
+  /// loading would drastically cut the cost).
+  bool bulk_load_rtree = false;
+  RTreeOptions rtree_options;
+
+  /// Inverted index over vertex documents used to build M_q.ψ. Defaults to
+  /// the KB's in-memory index; point it at a DiskInvertedIndex to mirror
+  /// the paper's disk-resident setting. Must outlive the database.
+  const InvertedIndex* inverted_index = nullptr;
+};
+
+/// Deprecated name kept for the KspEngine facade era.
+using KspEngineOptions = KspOptions;
+
+/// Wall-clock cost of each preprocessing step (Table 5).
+struct PreprocessingTimes {
+  double rtree_s = 0.0;
+  double reachability_s = 0.0;
+  double alpha_s = 0.0;
+};
+
+/// The shared, read-only side of the kSP system: one KnowledgeBase plus
+/// every built index over it (R-tree, keyword-reachability labels,
+/// α-radius word neighborhoods) and the options all queries use.
+///
+/// Lifecycle: construct, then prepare (Build* / PrepareAll / LoadIndexes),
+/// then query through any number of QueryExecutors. Preparation mutates
+/// the database and must happen-before (and never concurrently with)
+/// query execution; once prepared, every accessor is const and the
+/// database is safe to share across threads without synchronization —
+/// executors never write to it. Queries on an unprepared database fail
+/// with an error instead of building indexes implicitly.
+class KspDatabase {
+ public:
+  explicit KspDatabase(const KnowledgeBase* kb)
+      : KspDatabase(kb, KspOptions()) {}
+  KspDatabase(const KnowledgeBase* kb, KspOptions options);
+
+  KspDatabase(const KspDatabase&) = delete;
+  KspDatabase& operator=(const KspDatabase&) = delete;
+
+  /// ---- Index preparation (individually timed; see Table 5) ----
+
+  /// Builds the R-tree over all place vertices. Required by every
+  /// query algorithm.
+  void BuildRTree();
+
+  /// Builds the R-tree only if absent (safe to call repeatedly).
+  void BuildRTreeIfNeeded() {
+    if (!has_rtree()) BuildRTree();
+  }
+
+  /// Builds the keyword-reachability oracle (Pruning Rule 1).
+  void BuildReachabilityIndex();
+
+  /// Builds the α-radius word neighborhoods and their inverted file.
+  /// Requires the R-tree (builds it first if absent).
+  void BuildAlphaIndex(uint32_t alpha);
+
+  /// Convenience: all of the above.
+  void PrepareAll(uint32_t alpha);
+
+  /// Persists every built index into `directory` (rtree.bin, reach.bin,
+  /// alpha.bin). Unbuilt indexes are skipped.
+  Status SaveIndexes(const std::string& directory) const;
+
+  /// Restores previously saved indexes, replacing any built ones. Files
+  /// absent from `directory` leave the corresponding index unbuilt; a
+  /// places-count mismatch with the KB is rejected.
+  Status LoadIndexes(const std::string& directory);
+
+  /// ---- Read-only access (thread-safe once prepared) ----
+
+  /// True once the R-tree exists — the minimum preparation every query
+  /// algorithm requires.
+  bool has_rtree() const { return rtree_ != nullptr; }
+  /// Requires has_rtree().
+  const RTree& rtree() const { return *rtree_; }
+  const RTree* rtree_ptr() const { return rtree_.get(); }
+  const ReachabilityIndex* reachability_index() const {
+    return reach_.get();
+  }
+  const AlphaIndex* alpha_index() const { return alpha_.get(); }
+  PreprocessingTimes preprocessing_times() const { return prep_times_; }
+  const KnowledgeBase& kb() const { return *kb_; }
+  const KspOptions& options() const { return options_; }
+  const InvertedIndex& inverted_index() const { return *inverted_; }
+
+  /// Resolves keyword strings against the KB vocabulary and builds a
+  /// query. Unknown keywords map to kInvalidTerm (the query then has an
+  /// empty result, matching Definition 1).
+  KspQuery MakeQuery(const Point& location,
+                     const std::vector<std::string>& keywords,
+                     uint32_t k) const;
+
+ private:
+  const KnowledgeBase* kb_;
+  KspOptions options_;
+  const InvertedIndex* inverted_;
+
+  std::shared_ptr<const RTree> rtree_;
+  std::shared_ptr<const ReachabilityIndex> reach_;
+  std::shared_ptr<const AlphaIndex> alpha_;
+  PreprocessingTimes prep_times_;
+};
+
+}  // namespace ksp
+
+#endif  // KSP_CORE_DATABASE_H_

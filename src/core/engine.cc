@@ -1,443 +1,61 @@
 #include "core/engine.h"
 
-#include <algorithm>
-#include <bit>
-
 #include "common/logging.h"
-#include "common/timer.h"
 
 namespace ksp {
 
-namespace {
-constexpr double kInf = std::numeric_limits<double>::infinity();
-
-/// Ordering used by the top-k heap: ascending (score, place).
-bool EntryBetter(const KspResultEntry& a, const KspResultEntry& b) {
-  if (a.score != b.score) return a.score < b.score;
-  return a.place < b.place;
-}
-}  // namespace
-
-std::vector<VertexId> SemanticPlaceTree::TreeVertices() const {
-  std::vector<VertexId> vertices;
-  vertices.push_back(root);
-  for (const auto& match : matches) {
-    vertices.insert(vertices.end(), match.path.begin(), match.path.end());
-  }
-  std::sort(vertices.begin(), vertices.end());
-  vertices.erase(std::unique(vertices.begin(), vertices.end()),
-                 vertices.end());
-  return vertices;
-}
-
-double TopKHeap::Threshold() const {
-  if (k_ == 0) return -kInf;  // Nothing can enter a k = 0 result.
-  return Full() ? entries_.front().score : kInf;
-}
-
-void TopKHeap::Add(KspResultEntry entry) {
-  if (k_ == 0) return;
-  auto worse = [](const KspResultEntry& a, const KspResultEntry& b) {
-    return EntryBetter(a, b);  // max-heap on (score, place)
-  };
-  if (!Full()) {
-    entries_.push_back(std::move(entry));
-    std::push_heap(entries_.begin(), entries_.end(), worse);
-    return;
-  }
-  if (EntryBetter(entry, entries_.front())) {
-    std::pop_heap(entries_.begin(), entries_.end(), worse);
-    entries_.back() = std::move(entry);
-    std::push_heap(entries_.begin(), entries_.end(), worse);
-  }
-}
-
-KspResult TopKHeap::Finish() && {
-  KspResult result;
-  result.entries = std::move(entries_);
-  std::sort(result.entries.begin(), result.entries.end(), EntryBetter);
-  return result;
-}
-
 KspEngine::KspEngine(const KnowledgeBase* kb, KspEngineOptions options)
-    : kb_(kb),
-      options_(options),
-      inverted_(options.inverted_index != nullptr
-                    ? options.inverted_index
-                    : &kb->inverted_index()) {
-  KSP_CHECK(kb_ != nullptr);
-  visit_epoch_.assign(kb_->num_vertices(), 0);
-  bfs_parent_.assign(kb_->num_vertices(), kInvalidVertex);
-}
+    : db_(std::make_shared<KspDatabase>(kb, options)), exec_(db_.get()) {}
+
+KspEngine::KspEngine(std::shared_ptr<KspDatabase> db)
+    : db_(std::move(db)), exec_(db_.get()) {}
 
 std::unique_ptr<KspEngine> KspEngine::Clone() const {
-  auto clone = std::make_unique<KspEngine>(kb_, options_);
-  clone->rtree_ = rtree_;
-  clone->reach_ = reach_;
-  clone->alpha_ = alpha_;
-  clone->prep_times_ = prep_times_;
-  return clone;
+  return std::unique_ptr<KspEngine>(new KspEngine(db_));
 }
 
-void KspEngine::BuildRTree() {
-  Timer timer;
-  timer.Start();
-  const uint32_t num_places = kb_->num_places();
-  if (options_.bulk_load_rtree) {
-    std::vector<std::pair<Point, uint64_t>> points;
-    points.reserve(num_places);
-    for (PlaceId p = 0; p < num_places; ++p) {
-      points.emplace_back(kb_->place_location(p), p);
-    }
-    rtree_ = std::make_shared<const RTree>(
-        RTree::BulkLoadStr(std::move(points), options_.rtree_options));
-  } else {
-    RTree tree(options_.rtree_options);
-    for (PlaceId p = 0; p < num_places; ++p) {
-      tree.Insert(kb_->place_location(p), p);
-    }
-    rtree_ = std::make_shared<const RTree>(std::move(tree));
-  }
-  prep_times_.rtree_s = timer.ElapsedSeconds();
+Result<KspResult> KspEngine::ExecuteBsp(const KspQuery& query,
+                                        QueryStats* stats) {
+  db_->BuildRTreeIfNeeded();
+  return exec_.ExecuteBsp(query, stats);
 }
 
-void KspEngine::EnsureRTree() {
-  if (rtree_ == nullptr) BuildRTree();
+Result<KspResult> KspEngine::ExecuteSpp(const KspQuery& query,
+                                        QueryStats* stats) {
+  db_->BuildRTreeIfNeeded();
+  return exec_.ExecuteSpp(query, stats);
 }
 
-void KspEngine::BuildReachabilityIndex() {
-  Timer timer;
-  timer.Start();
-  reach_ = std::make_shared<const ReachabilityIndex>(
-      ReachabilityIndex::Build(kb_->graph(), kb_->documents(),
-                               kb_->num_terms(),
-                               options_.undirected_edges));
-  prep_times_.reachability_s = timer.ElapsedSeconds();
+Result<KspResult> KspEngine::ExecuteSp(const KspQuery& query,
+                                       QueryStats* stats) {
+  db_->BuildRTreeIfNeeded();
+  return exec_.ExecuteSp(query, stats);
 }
 
-void KspEngine::BuildAlphaIndex(uint32_t alpha) {
-  EnsureRTree();
-  Timer timer;
-  timer.Start();
-  alpha_ = std::make_shared<const AlphaIndex>(
-      AlphaIndex::Build(*kb_, *rtree_, alpha, options_.undirected_edges));
-  prep_times_.alpha_s = timer.ElapsedSeconds();
+Result<KspResult> KspEngine::ExecuteTa(const KspQuery& query,
+                                       QueryStats* stats) {
+  db_->BuildRTreeIfNeeded();
+  return exec_.ExecuteTa(query, stats);
 }
 
-Status KspEngine::SaveIndexes(const std::string& directory) const {
-  if (rtree_ != nullptr) {
-    KSP_RETURN_NOT_OK(rtree_->Save(directory + "/rtree.bin"));
-  }
-  if (reach_ != nullptr) {
-    KSP_RETURN_NOT_OK(reach_->Save(directory + "/reach.bin"));
-  }
-  if (alpha_ != nullptr) {
-    KSP_RETURN_NOT_OK(alpha_->Save(directory + "/alpha.bin"));
-  }
-  return Status::OK();
-}
-
-Status KspEngine::LoadIndexes(const std::string& directory) {
-  if (auto rtree = RTree::Load(directory + "/rtree.bin"); rtree.ok()) {
-    if (rtree->size() != kb_->num_places()) {
-      return Status::InvalidArgument(
-          "saved R-tree does not match the KB's place count");
-    }
-    rtree_ = std::make_shared<const RTree>(std::move(*rtree));
-  } else if (!rtree.status().IsIOError()) {
-    return rtree.status();  // Corruption is an error; absence is not.
-  }
-  if (auto reach = ReachabilityIndex::Load(directory + "/reach.bin");
-      reach.ok()) {
-    if (reach->num_base_vertices() != kb_->num_vertices()) {
-      return Status::InvalidArgument(
-          "saved reachability index does not match the KB");
-    }
-    reach_ = std::make_shared<const ReachabilityIndex>(std::move(*reach));
-  } else if (!reach.status().IsIOError()) {
-    return reach.status();
-  }
-  if (auto alpha = AlphaIndex::Load(directory + "/alpha.bin"); alpha.ok()) {
-    // The α entries are keyed by R-tree node ids: the index is only valid
-    // together with the R-tree it was built against.
-    if (rtree_ == nullptr) {
-      return Status::InvalidArgument(
-          "alpha.bin present without its matching rtree.bin");
-    }
-    if (alpha->num_places() != kb_->num_places() ||
-        alpha->num_nodes() != rtree_->num_nodes()) {
-      return Status::InvalidArgument(
-          "saved alpha index does not match the KB / R-tree");
-    }
-    alpha_ = std::make_shared<const AlphaIndex>(std::move(*alpha));
-  } else if (!alpha.status().IsIOError()) {
-    return alpha.status();
-  }
-  return Status::OK();
-}
-
-void KspEngine::PrepareAll(uint32_t alpha) {
-  BuildRTree();
-  BuildReachabilityIndex();
-  BuildAlphaIndex(alpha);
-}
-
-KspQuery KspEngine::MakeQuery(const Point& location,
-                              const std::vector<std::string>& keywords,
-                              uint32_t k) const {
-  KspQuery query;
-  query.location = location;
-  query.keywords = kb_->LookupTerms(keywords);
-  query.k = k;
-  return query;
-}
-
-Status KspEngine::PrepareContext(const KspQuery& query,
-                                 QueryContext* ctx) const {
-  ctx->query = &query;
-  ctx->terms.clear();
-  ctx->vertex_mask.clear();
-  ctx->postings.clear();
-  ctx->rarest_first.clear();
-  ctx->answerable = true;
-
-  // Deduplicate keywords, preserving query order.
-  for (TermId t : query.keywords) {
-    if (t == kInvalidTerm) {
-      ctx->answerable = false;  // Unknown keyword: nothing can cover it.
-      continue;
-    }
-    if (std::find(ctx->terms.begin(), ctx->terms.end(), t) ==
-        ctx->terms.end()) {
-      ctx->terms.push_back(t);
-    }
-  }
-  if (ctx->terms.size() > 64) {
-    return Status::InvalidArgument(
-        "at most 64 distinct query keywords are supported");
-  }
-  const size_t m = ctx->terms.size();
-  ctx->full_mask = (m == 64) ? ~uint64_t{0} : ((uint64_t{1} << m) - 1);
-
-  // Load posting lists and build M_q.ψ (vertex -> covered-keyword mask).
-  ctx->postings.resize(m);
-  for (size_t i = 0; i < m; ++i) {
-    KSP_RETURN_NOT_OK(inverted_->GetPostings(ctx->terms[i],
-                                             &ctx->postings[i]));
-    if (ctx->postings[i].empty()) ctx->answerable = false;
-    for (VertexId v : ctx->postings[i]) {
-      ctx->vertex_mask[v] |= uint64_t{1} << i;
-    }
-  }
-
-  ctx->rarest_first.resize(m);
-  for (size_t i = 0; i < m; ++i) ctx->rarest_first[i] = i;
-  std::sort(ctx->rarest_first.begin(), ctx->rarest_first.end(),
-            [&](uint32_t a, uint32_t b) {
-              return ctx->postings[a].size() < ctx->postings[b].size();
-            });
-  return Status::OK();
-}
-
-double KspEngine::ComputeTqsp(VertexId root, const QueryContext& ctx,
-                              double looseness_threshold,
-                              bool use_dynamic_bound,
-                              SemanticPlaceTree* tree, QueryStats* stats) {
-  const uint32_t num_keywords =
-      static_cast<uint32_t>(std::popcount(ctx.full_mask));
-  uint64_t remaining = ctx.full_mask;
-  double covered_sum = 0.0;
-
-  struct Match {
-    uint32_t keyword_index;
-    VertexId vertex;
-    uint32_t distance;
-  };
-  std::vector<Match> matches;
-  matches.reserve(num_keywords);
-
-  // Epoch-tagged BFS with parent tracking for path reconstruction.
-  ++epoch_;
-  const uint32_t epoch = epoch_;
-  visit_epoch_[root] = epoch;
-  bfs_parent_[root] = kInvalidVertex;
-
-  // Queue of (vertex, distance); BFS pops in non-decreasing distance.
-  std::vector<std::pair<VertexId, uint32_t>> queue;
-  queue.emplace_back(root, 0);
-  const Graph& graph = kb_->graph();
-
-  bool pruned = false;
-  for (size_t qi = 0; qi < queue.size() && remaining != 0; ++qi) {
-    auto [v, dist] = queue[qi];
-    if (stats != nullptr) ++stats->vertices_visited;
-
-    if (use_dynamic_bound) {
-      // Lemma 1: every undiscovered keyword lies at distance >= dist.
-      double lower_bound =
-          1.0 + covered_sum +
-          static_cast<double>(dist) *
-              static_cast<double>(std::popcount(remaining));
-      if (lower_bound >= looseness_threshold) {
-        pruned = true;  // Pruning Rule 2.
-        break;
-      }
-    }
-
-    uint64_t mask = ctx.MaskOf(v) & remaining;
-    if (mask != 0) {
-      covered_sum +=
-          static_cast<double>(dist) *
-          static_cast<double>(std::popcount(mask));
-      uint64_t bits = mask;
-      while (bits != 0) {
-        uint32_t i = static_cast<uint32_t>(std::countr_zero(bits));
-        bits &= bits - 1;
-        matches.push_back(Match{i, v, dist});
-      }
-      remaining &= ~mask;
-      if (remaining == 0) break;
-    }
-
-    for (VertexId w : graph.OutNeighbors(v)) {
-      if (visit_epoch_[w] != epoch) {
-        visit_epoch_[w] = epoch;
-        bfs_parent_[w] = v;
-        queue.emplace_back(w, dist + 1);
-      }
-    }
-    if (options_.undirected_edges) {
-      for (VertexId w : graph.InNeighbors(v)) {
-        if (visit_epoch_[w] != epoch) {
-          visit_epoch_[w] = epoch;
-          bfs_parent_[w] = v;
-          queue.emplace_back(w, dist + 1);
-        }
-      }
-    }
-  }
-
-  if (pruned && stats != nullptr) ++stats->pruned_dynamic_bound;
-  if (remaining != 0) return kInf;  // Pruned or unqualified.
-
-  const double looseness = 1.0 + covered_sum;
-  if (tree != nullptr) {
-    tree->root = root;
-    tree->looseness = looseness;
-    tree->matches.clear();
-    tree->matches.reserve(matches.size());
-    for (const Match& m : matches) {
-      SemanticPlaceTree::KeywordMatch km;
-      km.term = ctx.terms[m.keyword_index];
-      km.vertex = m.vertex;
-      km.distance = m.distance;
-      // Reconstruct the root-to-vertex path via BFS parents.
-      std::vector<VertexId> reversed;
-      for (VertexId v = m.vertex; v != kInvalidVertex; v = bfs_parent_[v]) {
-        reversed.push_back(v);
-        if (v == root) break;
-      }
-      km.path.assign(reversed.rbegin(), reversed.rend());
-      tree->matches.push_back(std::move(km));
-    }
-  }
-  return looseness;
-}
-
-bool KspEngine::IsUnqualifiedPlace(VertexId root, const QueryContext& ctx,
-                                   QueryStats* stats) const {
-  KSP_DCHECK(reach_ != nullptr);
-  // Infrequent keywords are the most selective: test them first (§4.1).
-  for (uint32_t i : ctx.rarest_first) {
-    if (stats != nullptr) ++stats->reachability_queries;
-    if (!reach_->Reaches(root, ctx.terms[i])) return true;
-  }
-  return false;
-}
-
-TiedSemanticPlace KspEngine::ComputeTqspAlternatives(PlaceId place,
-                                                     const KspQuery& query) {
-  TiedSemanticPlace out;
-  out.place = place;
-  out.root = kb_->place_vertex(place);
-  QueryContext ctx;
-  Status st = PrepareContext(query, &ctx);
-  KSP_CHECK(st.ok()) << st.ToString();
-  if (!ctx.answerable) return out;
-
-  const size_t m = ctx.terms.size();
-  // min_dist[i] = dg(p, t_i) once discovered.
-  std::vector<uint32_t> min_dist(m, kUnreachable);
-  std::vector<std::vector<VertexId>> alternatives(m);
-  size_t found = 0;
-
-  ++epoch_;
-  const uint32_t epoch = epoch_;
-  visit_epoch_[out.root] = epoch;
-  std::vector<std::pair<VertexId, uint32_t>> queue;
-  queue.emplace_back(out.root, 0);
-  const Graph& graph = kb_->graph();
-
-  for (size_t qi = 0; qi < queue.size(); ++qi) {
-    auto [v, dist] = queue[qi];
-    // Stop once all keywords are found and BFS has moved past the last
-    // minimum distance (no further ties possible).
-    if (found == m) {
-      uint32_t max_min = 0;
-      for (uint32_t d : min_dist) max_min = std::max(max_min, d);
-      if (dist > max_min) break;
-    }
-    uint64_t mask = ctx.MaskOf(v);
-    while (mask != 0) {
-      uint32_t i = static_cast<uint32_t>(std::countr_zero(mask));
-      mask &= mask - 1;
-      if (min_dist[i] == kUnreachable) {
-        min_dist[i] = dist;
-        ++found;
-      }
-      if (dist == min_dist[i]) alternatives[i].push_back(v);
-    }
-    for (VertexId w : graph.OutNeighbors(v)) {
-      if (visit_epoch_[w] != epoch) {
-        visit_epoch_[w] = epoch;
-        queue.emplace_back(w, dist + 1);
-      }
-    }
-    if (options_.undirected_edges) {
-      for (VertexId w : graph.InNeighbors(v)) {
-        if (visit_epoch_[w] != epoch) {
-          visit_epoch_[w] = epoch;
-          queue.emplace_back(w, dist + 1);
-        }
-      }
-    }
-  }
-
-  if (found != m) return out;  // Unqualified.
-  out.looseness = 1.0;
-  out.keywords.resize(m);
-  for (size_t i = 0; i < m; ++i) {
-    out.looseness += min_dist[i];
-    out.keywords[i].term = ctx.terms[i];
-    out.keywords[i].distance = min_dist[i];
-    out.keywords[i].vertices = std::move(alternatives[i]);
-  }
-  return out;
+Result<KspResult> KspEngine::ExecuteKeywordOnly(const KspQuery& query,
+                                                QueryStats* stats) {
+  db_->BuildRTreeIfNeeded();
+  return exec_.ExecuteKeywordOnly(query, stats);
 }
 
 SemanticPlaceTree KspEngine::ComputeTqspForPlace(PlaceId place,
                                                  const KspQuery& query) {
-  SemanticPlaceTree tree;
-  tree.place = place;
-  tree.root = kb_->place_vertex(place);
-  QueryContext ctx;
-  Status st = PrepareContext(query, &ctx);
-  KSP_CHECK(st.ok()) << st.ToString();
-  if (!ctx.answerable) return tree;
-  ComputeTqsp(tree.root, ctx, kInf, /*use_dynamic_bound=*/false, &tree,
-              nullptr);
-  tree.place = place;
-  return tree;
+  auto tree = exec_.ComputeTqspForPlace(place, query);
+  KSP_CHECK(tree.ok()) << tree.status().ToString();
+  return std::move(*tree);
+}
+
+TiedSemanticPlace KspEngine::ComputeTqspAlternatives(PlaceId place,
+                                                     const KspQuery& query) {
+  auto tied = exec_.ComputeTqspAlternatives(place, query);
+  KSP_CHECK(tied.ok()) << tied.status().ToString();
+  return std::move(*tied);
 }
 
 }  // namespace ksp

@@ -2,70 +2,24 @@
 #define KSP_CORE_ENGINE_H_
 
 #include <memory>
-#include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
-#include "alpha/alpha_index.h"
 #include "common/result.h"
-#include "common/types.h"
+#include "core/database.h"
+#include "core/executor.h"
 #include "core/query.h"
-#include "core/ranking.h"
 #include "core/semantic_place.h"
 #include "core/stats.h"
-#include "rdf/knowledge_base.h"
-#include "reach/reachability_index.h"
-#include "spatial/rtree.h"
-#include "text/inverted_index.h"
 
 namespace ksp {
 
-/// Configuration of the kSP engine. The pruning toggles exist for the
-/// ablation study; the shipped defaults reproduce the paper's SP setup.
-struct KspEngineOptions {
-  /// Ranking function f(L, S); Equation 2 (product) by default.
-  RankingFunction ranking = RankingFunction::Product();
-
-  /// Follow edges in both directions during TQSP construction and
-  /// preprocessing — the paper's §8 future-work variant.
-  bool undirected_edges = false;
-
-  /// Pruning Rule 1 (requires BuildReachabilityIndex). Used by SPP and SP.
-  bool use_unqualified_pruning = true;
-  /// Pruning Rule 2 (dynamic looseness bound). Used by SPP and SP.
-  bool use_dynamic_bound_pruning = true;
-  /// Pruning Rules 3 and 4 (requires BuildAlphaIndex). Used by SP.
-  bool use_alpha_pruning = true;
-
-  /// Per-query wall-clock limit; the paper aborts BSP at 120 s. A run that
-  /// hits the limit returns the best places found so far with
-  /// stats.completed = false.
-  double time_limit_ms = 120000.0;
-
-  /// R-tree construction: STR bulk loading or one-by-one insertion (the
-  /// paper inserts one-by-one "for better quality"; Table 5 notes bulk
-  /// loading would drastically cut the cost).
-  bool bulk_load_rtree = false;
-  RTreeOptions rtree_options;
-
-  /// Inverted index over vertex documents used to build M_q.ψ. Defaults to
-  /// the KB's in-memory index; point it at a DiskInvertedIndex to mirror
-  /// the paper's disk-resident setting. Must outlive the engine.
-  const InvertedIndex* inverted_index = nullptr;
-};
-
-/// Wall-clock cost of each preprocessing step (Table 5).
-struct PreprocessingTimes {
-  double rtree_s = 0.0;
-  double reachability_s = 0.0;
-  double alpha_s = 0.0;
-};
-
-/// The kSP query engine: owns the spatial, reachability and α-radius
-/// indexes over one KnowledgeBase and evaluates kSP queries with the
-/// paper's three algorithms (BSP §3, SPP §4, SP §5) plus the TA baseline
-/// (§6.2.6). Not thread-safe: per-query scratch state is reused.
+/// DEPRECATED facade over the KspDatabase / QueryExecutor split, kept so
+/// existing callers compile for one release. It bundles one database and
+/// one executor behind the old monolithic API, including the legacy
+/// lazy R-tree build on the query path. New code should hold a
+/// KspDatabase (prepared up front) and construct QueryExecutors per
+/// thread or per query; see DESIGN.md.
 class KspEngine {
  public:
   explicit KspEngine(const KnowledgeBase* kb)
@@ -75,172 +29,75 @@ class KspEngine {
   KspEngine(const KspEngine&) = delete;
   KspEngine& operator=(const KspEngine&) = delete;
 
-  /// Creates an engine over the same KB *sharing* the immutable indexes
-  /// (R-tree, reachability labels, α-radius file) but with its own
-  /// per-query scratch state. Clones are safe to use concurrently with
-  /// this engine and with each other, as long as no further Build* call
-  /// is made on any of them.
+  /// DEPRECATED: share the KspDatabase and construct one QueryExecutor
+  /// per thread instead. Creates an engine whose executor runs against
+  /// this engine's database (indexes shared, scratch private), safe to
+  /// use concurrently with this engine as long as no further Build* call
+  /// is made on either.
   std::unique_ptr<KspEngine> Clone() const;
 
-  /// ---- Index preparation (individually timed; see Table 5) ----
+  /// The database this facade wraps — the migration path off KspEngine.
+  const KspDatabase& database() const { return *db_; }
 
-  /// Builds the R-tree over all place vertices. Required by every
-  /// algorithm; called lazily by Execute* if omitted.
-  void BuildRTree();
+  /// ---- Index preparation (forwarded to the database) ----
 
-  /// Builds the keyword-reachability oracle (Pruning Rule 1).
-  void BuildReachabilityIndex();
-
-  /// Builds the α-radius word neighborhoods and their inverted file.
-  void BuildAlphaIndex(uint32_t alpha);
-
-  /// Convenience: all of the above.
-  void PrepareAll(uint32_t alpha);
-
-  /// Builds the R-tree only if absent (safe to call repeatedly). Required
-  /// before sharing indexes through Clone().
-  void BuildRTreeIfNeeded() { EnsureRTree(); }
-
-  /// Persists every built index into `directory` (rtree.bin, reach.bin,
-  /// alpha.bin). Unbuilt indexes are skipped.
-  Status SaveIndexes(const std::string& directory) const;
-
-  /// Restores previously saved indexes, replacing any built ones. Files
-  /// absent from `directory` leave the corresponding index unbuilt; a
-  /// places-count mismatch with the KB is rejected.
-  Status LoadIndexes(const std::string& directory);
+  void BuildRTree() { db_->BuildRTree(); }
+  void BuildReachabilityIndex() { db_->BuildReachabilityIndex(); }
+  void BuildAlphaIndex(uint32_t alpha) { db_->BuildAlphaIndex(alpha); }
+  void PrepareAll(uint32_t alpha) { db_->PrepareAll(alpha); }
+  void BuildRTreeIfNeeded() { db_->BuildRTreeIfNeeded(); }
+  Status SaveIndexes(const std::string& directory) const {
+    return db_->SaveIndexes(directory);
+  }
+  Status LoadIndexes(const std::string& directory) {
+    return db_->LoadIndexes(directory);
+  }
 
   /// Requires BuildRTree() (or any Execute*, which builds it lazily).
-  const RTree& rtree() const { return *rtree_; }
+  const RTree& rtree() const { return db_->rtree(); }
   const ReachabilityIndex* reachability_index() const {
-    return reach_.get();
+    return db_->reachability_index();
   }
-  const AlphaIndex* alpha_index() const { return alpha_.get(); }
-  PreprocessingTimes preprocessing_times() const { return prep_times_; }
-  const KnowledgeBase& kb() const { return *kb_; }
-  const KspEngineOptions& options() const { return options_; }
+  const AlphaIndex* alpha_index() const { return db_->alpha_index(); }
+  PreprocessingTimes preprocessing_times() const {
+    return db_->preprocessing_times();
+  }
+  const KnowledgeBase& kb() const { return db_->kb(); }
+  const KspEngineOptions& options() const { return db_->options(); }
 
-  /// Resolves keyword strings against the KB vocabulary and builds a
-  /// query. Unknown keywords map to kInvalidTerm (the query then has an
-  /// empty result, matching Definition 1).
   KspQuery MakeQuery(const Point& location,
                      const std::vector<std::string>& keywords,
-                     uint32_t k) const;
+                     uint32_t k) const {
+    return db_->MakeQuery(location, keywords, k);
+  }
 
-  /// ---- Query algorithms ----
+  /// ---- Query algorithms (legacy lazy R-tree build preserved) ----
 
-  /// Basic Semantic Place retrieval (Algorithm 1).
   Result<KspResult> ExecuteBsp(const KspQuery& query,
                                QueryStats* stats = nullptr);
-
-  /// Semantic Place retrieval with Pruning Rules 1 and 2 (§4).
   Result<KspResult> ExecuteSpp(const KspQuery& query,
                                QueryStats* stats = nullptr);
-
-  /// Semantic Place retrieval with α-radius bounds (Algorithm 4, §5).
   Result<KspResult> ExecuteSp(const KspQuery& query,
                               QueryStats* stats = nullptr);
-
-  /// Threshold Algorithm baseline combining a looseness-ordered keyword
-  /// stream with the spatial NN stream (§6.2.6).
   Result<KspResult> ExecuteTa(const KspQuery& query,
                               QueryStats* stats = nullptr);
-
-  /// Location-free RDF keyword search ([43]/BLINKS restricted to place
-  /// roots): the top-k places by looseness alone. query.location is
-  /// ignored for ranking (entry.score == looseness); spatial distance is
-  /// still reported per entry.
   Result<KspResult> ExecuteKeywordOnly(const KspQuery& query,
                                        QueryStats* stats = nullptr);
 
-  /// Computes the TQSP of one place for a query (Algorithm 2), with the
-  /// full tree (matched vertices and root paths) materialized.
+  /// DEPRECATED: crashes on an invalid query (e.g. more than 64 distinct
+  /// keywords); QueryExecutor::ComputeTqspForPlace returns Status instead.
   SemanticPlaceTree ComputeTqspForPlace(PlaceId place, const KspQuery& query);
 
-  /// Footnote 2, option (2): like ComputeTqspForPlace but collecting, per
-  /// keyword, *every* vertex at the minimum distance — i.e., the full set
-  /// of tied minimum-looseness semantic places rooted at `place`.
+  /// DEPRECATED: see ComputeTqspForPlace.
   TiedSemanticPlace ComputeTqspAlternatives(PlaceId place,
                                             const KspQuery& query);
 
  private:
-  friend class TaSearch;
+  /// Clone(): wraps a fresh executor around an existing shared database.
+  explicit KspEngine(std::shared_ptr<KspDatabase> db);
 
-  /// Per-query derived state: deduplicated keywords, their posting lists,
-  /// and the vertex -> keyword-bitmask map M_q.ψ of §3.
-  struct QueryContext {
-    const KspQuery* query = nullptr;
-    std::vector<TermId> terms;  // deduplicated, query order
-    uint64_t full_mask = 0;
-    bool answerable = true;
-    std::unordered_map<VertexId, uint64_t> vertex_mask;  // M_q.ψ
-    std::vector<std::vector<VertexId>> postings;  // aligned with terms
-    std::vector<uint32_t> rarest_first;  // keyword idxs by posting length
-
-    uint64_t MaskOf(VertexId v) const {
-      auto it = vertex_mask.find(v);
-      return it == vertex_mask.end() ? 0 : it->second;
-    }
-  };
-
-  Status PrepareContext(const KspQuery& query, QueryContext* ctx) const;
-
-  /// Shared loop of BSP and SPP: places in ascending spatial distance,
-  /// optional Pruning Rules 1 and 2.
-  Result<KspResult> ExecuteSpatialFirst(const KspQuery& query,
-                                        QueryStats* stats, bool use_rule1,
-                                        bool use_rule2);
-
-  /// GetSemanticPlace / GetSemanticPlaceP: BFS TQSP construction. Returns
-  /// L(T_p) or +inf (unqualified, or aborted by the dynamic bound when
-  /// `looseness_threshold` < +inf and dynamic pruning is on). If `tree` is
-  /// non-null, matches and root paths are materialized on success.
-  double ComputeTqsp(VertexId root, const QueryContext& ctx,
-                     double looseness_threshold, bool use_dynamic_bound,
-                     SemanticPlaceTree* tree, QueryStats* stats);
-
-  /// Pruning Rule 1: true if some query keyword is unreachable from root.
-  bool IsUnqualifiedPlace(VertexId root, const QueryContext& ctx,
-                          QueryStats* stats) const;
-
-  void EnsureRTree();
-
-  const KnowledgeBase* kb_;
-  KspEngineOptions options_;
-  const InvertedIndex* inverted_;
-
-  std::shared_ptr<const RTree> rtree_;
-  std::shared_ptr<const ReachabilityIndex> reach_;
-  std::shared_ptr<const AlphaIndex> alpha_;
-  PreprocessingTimes prep_times_;
-
-  /// BFS scratch (epoch-tagged to avoid per-query clears).
-  std::vector<uint32_t> visit_epoch_;
-  std::vector<VertexId> bfs_parent_;
-  uint32_t epoch_ = 0;
-};
-
-/// Bounded top-k accumulator ordered by (score, place) with the threshold
-/// θ used by all algorithms' pruning rules.
-class TopKHeap {
- public:
-  explicit TopKHeap(uint32_t k) : k_(k) {}
-
-  /// θ: score of the current k-th candidate; +inf while not full.
-  double Threshold() const;
-
-  /// Inserts if the entry beats the current k-th candidate.
-  void Add(KspResultEntry entry);
-
-  bool Full() const { return entries_.size() >= k_; }
-
-  /// Entries in ascending (score, place) order.
-  KspResult Finish() &&;
-
- private:
-  uint32_t k_;
-  /// Max-heap on (score, place): worst candidate at front.
-  std::vector<KspResultEntry> entries_;
+  std::shared_ptr<KspDatabase> db_;
+  QueryExecutor exec_;
 };
 
 }  // namespace ksp

@@ -1,0 +1,337 @@
+#include "core/executor.h"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace ksp {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Ordering used by the top-k heap: ascending (score, place).
+bool EntryBetter(const KspResultEntry& a, const KspResultEntry& b) {
+  if (a.score != b.score) return a.score < b.score;
+  return a.place < b.place;
+}
+}  // namespace
+
+std::vector<VertexId> SemanticPlaceTree::TreeVertices() const {
+  std::vector<VertexId> vertices;
+  vertices.push_back(root);
+  for (const auto& match : matches) {
+    vertices.insert(vertices.end(), match.path.begin(), match.path.end());
+  }
+  std::sort(vertices.begin(), vertices.end());
+  vertices.erase(std::unique(vertices.begin(), vertices.end()),
+                 vertices.end());
+  return vertices;
+}
+
+double TopKHeap::Threshold() const {
+  if (k_ == 0) return -kInf;  // Nothing can enter a k = 0 result.
+  return Full() ? entries_.front().score : kInf;
+}
+
+void TopKHeap::Add(KspResultEntry entry) {
+  if (k_ == 0) return;
+  auto worse = [](const KspResultEntry& a, const KspResultEntry& b) {
+    return EntryBetter(a, b);  // max-heap on (score, place)
+  };
+  if (!Full()) {
+    entries_.push_back(std::move(entry));
+    std::push_heap(entries_.begin(), entries_.end(), worse);
+    return;
+  }
+  if (EntryBetter(entry, entries_.front())) {
+    std::pop_heap(entries_.begin(), entries_.end(), worse);
+    entries_.back() = std::move(entry);
+    std::push_heap(entries_.begin(), entries_.end(), worse);
+  }
+}
+
+KspResult TopKHeap::Finish() && {
+  KspResult result;
+  result.entries = std::move(entries_);
+  std::sort(result.entries.begin(), result.entries.end(), EntryBetter);
+  return result;
+}
+
+QueryExecutor::QueryExecutor(const KspDatabase* db) : db_(db) {
+  KSP_CHECK(db_ != nullptr);
+  visit_epoch_.assign(db_->kb().num_vertices(), 0);
+  bfs_parent_.assign(db_->kb().num_vertices(), kInvalidVertex);
+}
+
+Status QueryExecutor::CheckPrepared() const {
+  if (!db_->has_rtree()) {
+    return Status::InvalidArgument(
+        "database is not prepared: call KspDatabase::BuildRTree() / "
+        "PrepareAll() / LoadIndexes() before executing queries");
+  }
+  return Status::OK();
+}
+
+uint32_t QueryExecutor::BeginBfsEpoch() {
+  if (++epoch_ == 0) {
+    // uint32_t wraparound: every stored mark now collides with some future
+    // epoch. Reset to a clean slate (0 is never handed out as an epoch).
+    std::fill(visit_epoch_.begin(), visit_epoch_.end(), 0u);
+    epoch_ = 1;
+  }
+  return epoch_;
+}
+
+Status QueryExecutor::PrepareContext(const KspQuery& query,
+                                     QueryContext* ctx) const {
+  ctx->query = &query;
+  ctx->terms.clear();
+  ctx->vertex_mask.clear();
+  ctx->postings.clear();
+  ctx->rarest_first.clear();
+  ctx->answerable = true;
+
+  // Deduplicate keywords, preserving query order.
+  for (TermId t : query.keywords) {
+    if (t == kInvalidTerm) {
+      ctx->answerable = false;  // Unknown keyword: nothing can cover it.
+      continue;
+    }
+    if (std::find(ctx->terms.begin(), ctx->terms.end(), t) ==
+        ctx->terms.end()) {
+      ctx->terms.push_back(t);
+    }
+  }
+  if (ctx->terms.size() > 64) {
+    return Status::InvalidArgument(
+        "at most 64 distinct query keywords are supported");
+  }
+  const size_t m = ctx->terms.size();
+  ctx->full_mask = (m == 64) ? ~uint64_t{0} : ((uint64_t{1} << m) - 1);
+
+  // Load posting lists and build M_q.ψ (vertex -> covered-keyword mask).
+  const InvertedIndex& inverted = db_->inverted_index();
+  ctx->postings.resize(m);
+  for (size_t i = 0; i < m; ++i) {
+    KSP_RETURN_NOT_OK(inverted.GetPostings(ctx->terms[i],
+                                           &ctx->postings[i]));
+    if (ctx->postings[i].empty()) ctx->answerable = false;
+    for (VertexId v : ctx->postings[i]) {
+      ctx->vertex_mask[v] |= uint64_t{1} << i;
+    }
+  }
+
+  ctx->rarest_first.resize(m);
+  for (size_t i = 0; i < m; ++i) ctx->rarest_first[i] = i;
+  std::sort(ctx->rarest_first.begin(), ctx->rarest_first.end(),
+            [&](uint32_t a, uint32_t b) {
+              return ctx->postings[a].size() < ctx->postings[b].size();
+            });
+  return Status::OK();
+}
+
+double QueryExecutor::ComputeTqsp(VertexId root, const QueryContext& ctx,
+                                  double looseness_threshold,
+                                  bool use_dynamic_bound,
+                                  SemanticPlaceTree* tree,
+                                  QueryStats* stats) {
+  const uint32_t num_keywords =
+      static_cast<uint32_t>(std::popcount(ctx.full_mask));
+  uint64_t remaining = ctx.full_mask;
+  double covered_sum = 0.0;
+
+  struct Match {
+    uint32_t keyword_index;
+    VertexId vertex;
+    uint32_t distance;
+  };
+  std::vector<Match> matches;
+  matches.reserve(num_keywords);
+
+  // Epoch-tagged BFS with parent tracking for path reconstruction.
+  const uint32_t epoch = BeginBfsEpoch();
+  visit_epoch_[root] = epoch;
+  bfs_parent_[root] = kInvalidVertex;
+
+  // Queue of (vertex, distance); BFS pops in non-decreasing distance.
+  std::vector<std::pair<VertexId, uint32_t>> queue;
+  queue.emplace_back(root, 0);
+  const Graph& graph = db_->kb().graph();
+  const bool undirected = db_->options().undirected_edges;
+
+  bool pruned = false;
+  for (size_t qi = 0; qi < queue.size() && remaining != 0; ++qi) {
+    auto [v, dist] = queue[qi];
+    if (stats != nullptr) ++stats->vertices_visited;
+
+    if (use_dynamic_bound) {
+      // Lemma 1: every undiscovered keyword lies at distance >= dist.
+      double lower_bound =
+          1.0 + covered_sum +
+          static_cast<double>(dist) *
+              static_cast<double>(std::popcount(remaining));
+      if (lower_bound >= looseness_threshold) {
+        pruned = true;  // Pruning Rule 2.
+        break;
+      }
+    }
+
+    uint64_t mask = ctx.MaskOf(v) & remaining;
+    if (mask != 0) {
+      covered_sum +=
+          static_cast<double>(dist) *
+          static_cast<double>(std::popcount(mask));
+      uint64_t bits = mask;
+      while (bits != 0) {
+        uint32_t i = static_cast<uint32_t>(std::countr_zero(bits));
+        bits &= bits - 1;
+        matches.push_back(Match{i, v, dist});
+      }
+      remaining &= ~mask;
+      if (remaining == 0) break;
+    }
+
+    for (VertexId w : graph.OutNeighbors(v)) {
+      if (visit_epoch_[w] != epoch) {
+        visit_epoch_[w] = epoch;
+        bfs_parent_[w] = v;
+        queue.emplace_back(w, dist + 1);
+      }
+    }
+    if (undirected) {
+      for (VertexId w : graph.InNeighbors(v)) {
+        if (visit_epoch_[w] != epoch) {
+          visit_epoch_[w] = epoch;
+          bfs_parent_[w] = v;
+          queue.emplace_back(w, dist + 1);
+        }
+      }
+    }
+  }
+
+  if (pruned && stats != nullptr) ++stats->pruned_dynamic_bound;
+  if (remaining != 0) return kInf;  // Pruned or unqualified.
+
+  const double looseness = 1.0 + covered_sum;
+  if (tree != nullptr) {
+    tree->root = root;
+    tree->looseness = looseness;
+    tree->matches.clear();
+    tree->matches.reserve(matches.size());
+    for (const Match& m : matches) {
+      SemanticPlaceTree::KeywordMatch km;
+      km.term = ctx.terms[m.keyword_index];
+      km.vertex = m.vertex;
+      km.distance = m.distance;
+      // Reconstruct the root-to-vertex path via BFS parents.
+      std::vector<VertexId> reversed;
+      for (VertexId v = m.vertex; v != kInvalidVertex; v = bfs_parent_[v]) {
+        reversed.push_back(v);
+        if (v == root) break;
+      }
+      km.path.assign(reversed.rbegin(), reversed.rend());
+      tree->matches.push_back(std::move(km));
+    }
+  }
+  return looseness;
+}
+
+bool QueryExecutor::IsUnqualifiedPlace(VertexId root,
+                                       const QueryContext& ctx,
+                                       QueryStats* stats) const {
+  const ReachabilityIndex* reach = db_->reachability_index();
+  KSP_DCHECK(reach != nullptr);
+  // Infrequent keywords are the most selective: test them first (§4.1).
+  for (uint32_t i : ctx.rarest_first) {
+    if (stats != nullptr) ++stats->reachability_queries;
+    if (!reach->Reaches(root, ctx.terms[i])) return true;
+  }
+  return false;
+}
+
+Result<TiedSemanticPlace> QueryExecutor::ComputeTqspAlternatives(
+    PlaceId place, const KspQuery& query) {
+  TiedSemanticPlace out;
+  out.place = place;
+  out.root = db_->kb().place_vertex(place);
+  QueryContext ctx;
+  KSP_RETURN_NOT_OK(PrepareContext(query, &ctx));
+  if (!ctx.answerable) return out;
+
+  const size_t m = ctx.terms.size();
+  // min_dist[i] = dg(p, t_i) once discovered.
+  std::vector<uint32_t> min_dist(m, kUnreachable);
+  std::vector<std::vector<VertexId>> alternatives(m);
+  size_t found = 0;
+
+  const uint32_t epoch = BeginBfsEpoch();
+  visit_epoch_[out.root] = epoch;
+  std::vector<std::pair<VertexId, uint32_t>> queue;
+  queue.emplace_back(out.root, 0);
+  const Graph& graph = db_->kb().graph();
+  const bool undirected = db_->options().undirected_edges;
+
+  for (size_t qi = 0; qi < queue.size(); ++qi) {
+    auto [v, dist] = queue[qi];
+    // Stop once all keywords are found and BFS has moved past the last
+    // minimum distance (no further ties possible).
+    if (found == m) {
+      uint32_t max_min = 0;
+      for (uint32_t d : min_dist) max_min = std::max(max_min, d);
+      if (dist > max_min) break;
+    }
+    uint64_t mask = ctx.MaskOf(v);
+    while (mask != 0) {
+      uint32_t i = static_cast<uint32_t>(std::countr_zero(mask));
+      mask &= mask - 1;
+      if (min_dist[i] == kUnreachable) {
+        min_dist[i] = dist;
+        ++found;
+      }
+      if (dist == min_dist[i]) alternatives[i].push_back(v);
+    }
+    for (VertexId w : graph.OutNeighbors(v)) {
+      if (visit_epoch_[w] != epoch) {
+        visit_epoch_[w] = epoch;
+        queue.emplace_back(w, dist + 1);
+      }
+    }
+    if (undirected) {
+      for (VertexId w : graph.InNeighbors(v)) {
+        if (visit_epoch_[w] != epoch) {
+          visit_epoch_[w] = epoch;
+          queue.emplace_back(w, dist + 1);
+        }
+      }
+    }
+  }
+
+  if (found != m) return out;  // Unqualified.
+  out.looseness = 1.0;
+  out.keywords.resize(m);
+  for (size_t i = 0; i < m; ++i) {
+    out.looseness += min_dist[i];
+    out.keywords[i].term = ctx.terms[i];
+    out.keywords[i].distance = min_dist[i];
+    out.keywords[i].vertices = std::move(alternatives[i]);
+  }
+  return out;
+}
+
+Result<SemanticPlaceTree> QueryExecutor::ComputeTqspForPlace(
+    PlaceId place, const KspQuery& query) {
+  SemanticPlaceTree tree;
+  tree.place = place;
+  tree.root = db_->kb().place_vertex(place);
+  QueryContext ctx;
+  KSP_RETURN_NOT_OK(PrepareContext(query, &ctx));
+  if (!ctx.answerable) return tree;
+  ComputeTqsp(tree.root, ctx, kInf, /*use_dynamic_bound=*/false, &tree,
+              nullptr);
+  tree.place = place;
+  return tree;
+}
+
+}  // namespace ksp

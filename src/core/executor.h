@@ -1,0 +1,164 @@
+#ifndef KSP_CORE_EXECUTOR_H_
+#define KSP_CORE_EXECUTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+#include "core/database.h"
+#include "core/query.h"
+#include "core/semantic_place.h"
+#include "core/stats.h"
+
+namespace ksp {
+
+/// Bounded top-k accumulator ordered by (score, place) with the threshold
+/// θ used by all algorithms' pruning rules.
+class TopKHeap {
+ public:
+  explicit TopKHeap(uint32_t k) : k_(k) {}
+
+  /// θ: score of the current k-th candidate; +inf while not full.
+  double Threshold() const;
+
+  /// Inserts if the entry beats the current k-th candidate.
+  void Add(KspResultEntry entry);
+
+  bool Full() const { return entries_.size() >= k_; }
+
+  /// Entries in ascending (score, place) order.
+  KspResult Finish() &&;
+
+ private:
+  uint32_t k_;
+  /// Max-heap on (score, place): worst candidate at front.
+  std::vector<KspResultEntry> entries_;
+};
+
+/// A per-query (or per-thread) execution session over one prepared
+/// KspDatabase. Holds only mutable scratch state — epoch-tagged BFS
+/// arrays, the per-query keyword context, the top-k heap — so it is cheap
+/// to construct on the stack and any number of executors can run
+/// concurrently against the same database.
+///
+/// Evaluates kSP queries with the paper's three algorithms (BSP §3,
+/// SPP §4, SP §5) plus the TA baseline (§6.2.6). The database must be
+/// prepared before querying: every Execute* fails with
+/// Status::InvalidArgument if the R-tree has not been built — executors
+/// never build indexes.
+///
+/// One executor is NOT thread-safe (its scratch is reused across calls);
+/// use one executor per thread.
+class QueryExecutor {
+ public:
+  explicit QueryExecutor(const KspDatabase* db);
+
+  QueryExecutor(const QueryExecutor&) = delete;
+  QueryExecutor& operator=(const QueryExecutor&) = delete;
+
+  const KspDatabase& db() const { return *db_; }
+
+  /// ---- Query algorithms ----
+
+  /// Basic Semantic Place retrieval (Algorithm 1).
+  Result<KspResult> ExecuteBsp(const KspQuery& query,
+                               QueryStats* stats = nullptr);
+
+  /// Semantic Place retrieval with Pruning Rules 1 and 2 (§4).
+  Result<KspResult> ExecuteSpp(const KspQuery& query,
+                               QueryStats* stats = nullptr);
+
+  /// Semantic Place retrieval with α-radius bounds (Algorithm 4, §5).
+  Result<KspResult> ExecuteSp(const KspQuery& query,
+                              QueryStats* stats = nullptr);
+
+  /// Threshold Algorithm baseline combining a looseness-ordered keyword
+  /// stream with the spatial NN stream (§6.2.6).
+  Result<KspResult> ExecuteTa(const KspQuery& query,
+                              QueryStats* stats = nullptr);
+
+  /// Location-free RDF keyword search ([43]/BLINKS restricted to place
+  /// roots): the top-k places by looseness alone. query.location is
+  /// ignored for ranking (entry.score == looseness); spatial distance is
+  /// still reported per entry.
+  Result<KspResult> ExecuteKeywordOnly(const KspQuery& query,
+                                       QueryStats* stats = nullptr);
+
+  /// Computes the TQSP of one place for a query (Algorithm 2), with the
+  /// full tree (matched vertices and root paths) materialized. Fails on
+  /// an invalid query (e.g. more than 64 distinct keywords).
+  Result<SemanticPlaceTree> ComputeTqspForPlace(PlaceId place,
+                                                const KspQuery& query);
+
+  /// Footnote 2, option (2): like ComputeTqspForPlace but collecting, per
+  /// keyword, *every* vertex at the minimum distance — i.e., the full set
+  /// of tied minimum-looseness semantic places rooted at `place`.
+  Result<TiedSemanticPlace> ComputeTqspAlternatives(PlaceId place,
+                                                    const KspQuery& query);
+
+  /// Forces the BFS epoch counter, so tests can exercise the uint32_t
+  /// wraparound path without 2^32 warm-up queries.
+  void set_bfs_epoch_for_testing(uint32_t epoch) { epoch_ = epoch; }
+
+ private:
+  friend class TaSearch;
+
+  /// Per-query derived state: deduplicated keywords, their posting lists,
+  /// and the vertex -> keyword-bitmask map M_q.ψ of §3.
+  struct QueryContext {
+    const KspQuery* query = nullptr;
+    std::vector<TermId> terms;  // deduplicated, query order
+    uint64_t full_mask = 0;
+    bool answerable = true;
+    std::unordered_map<VertexId, uint64_t> vertex_mask;  // M_q.ψ
+    std::vector<std::vector<VertexId>> postings;  // aligned with terms
+    std::vector<uint32_t> rarest_first;  // keyword idxs by posting length
+
+    uint64_t MaskOf(VertexId v) const {
+      auto it = vertex_mask.find(v);
+      return it == vertex_mask.end() ? 0 : it->second;
+    }
+  };
+
+  Status PrepareContext(const KspQuery& query, QueryContext* ctx) const;
+
+  /// The prepared-before-query contract: every Execute* calls this first.
+  Status CheckPrepared() const;
+
+  /// Shared loop of BSP and SPP: places in ascending spatial distance,
+  /// optional Pruning Rules 1 and 2.
+  Result<KspResult> ExecuteSpatialFirst(const KspQuery& query,
+                                        QueryStats* stats, bool use_rule1,
+                                        bool use_rule2);
+
+  /// GetSemanticPlace / GetSemanticPlaceP: BFS TQSP construction. Returns
+  /// L(T_p) or +inf (unqualified, or aborted by the dynamic bound when
+  /// `looseness_threshold` < +inf and dynamic pruning is on). If `tree` is
+  /// non-null, matches and root paths are materialized on success.
+  double ComputeTqsp(VertexId root, const QueryContext& ctx,
+                     double looseness_threshold, bool use_dynamic_bound,
+                     SemanticPlaceTree* tree, QueryStats* stats);
+
+  /// Pruning Rule 1: true if some query keyword is unreachable from root.
+  bool IsUnqualifiedPlace(VertexId root, const QueryContext& ctx,
+                          QueryStats* stats) const;
+
+  /// Advances the BFS epoch, zero-filling the visit array when the
+  /// uint32_t counter wraps (stale marks would otherwise alias the fresh
+  /// epoch and corrupt TQSP construction).
+  uint32_t BeginBfsEpoch();
+
+  const KspDatabase* db_;
+
+  /// BFS scratch (epoch-tagged to avoid per-query clears).
+  std::vector<uint32_t> visit_epoch_;
+  std::vector<VertexId> bfs_parent_;
+  uint32_t epoch_ = 0;
+};
+
+}  // namespace ksp
+
+#endif  // KSP_CORE_EXECUTOR_H_

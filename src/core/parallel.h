@@ -1,34 +1,122 @@
 #ifndef KSP_CORE_PARALLEL_H_
 #define KSP_CORE_PARALLEL_H_
 
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "common/result.h"
+#include "core/database.h"
 #include "core/engine.h"
+#include "core/executor.h"
 
 namespace ksp {
 
 /// Which kSP algorithm a batch run uses.
-enum class KspAlgorithm { kBsp, kSpp, kSp, kTa };
+enum class KspAlgorithm { kBsp, kSpp, kSp, kTa, kKeywordOnly };
 
 const char* KspAlgorithmName(KspAlgorithm algorithm);
 
-/// Dispatches one query on one engine.
+/// Dispatches one query on one executor.
+Result<KspResult> ExecuteWith(QueryExecutor* executor,
+                              KspAlgorithm algorithm, const KspQuery& query,
+                              QueryStats* stats = nullptr);
+
+/// DEPRECATED: dispatches through the KspEngine facade.
 Result<KspResult> ExecuteWith(KspEngine* engine, KspAlgorithm algorithm,
                               const KspQuery& query,
                               QueryStats* stats = nullptr);
 
 struct BatchRunOptions {
   KspAlgorithm algorithm = KspAlgorithm::kSp;
-  /// Worker threads; each gets an engine Clone() sharing the indexes.
-  /// 1 executes inline on the given engine.
+  /// Worker threads; each runs its own QueryExecutor against the shared
+  /// database. 1 executes inline on the calling thread.
   size_t num_threads = 1;
 };
 
-/// Answers a batch of queries, optionally across threads. The engine's
-/// indexes must already be built (PrepareAll). Results are positionally
-/// aligned with `queries`; `total_stats`, if given, accumulates all
-/// per-query counters. Fails fast on the first query error.
+/// Per-batch aggregate instrumentation. Per-query counters are summed
+/// worker-locally and merged once per batch, so accumulation never
+/// contends across threads.
+struct BatchRunStats {
+  /// Sum of every query's QueryStats (QueryStats::Accumulate semantics).
+  QueryStats totals;
+  /// Wall-clock spent inside each worker's query loop, indexed by worker.
+  /// Single-threaded runs report one entry. The spread between entries
+  /// shows batch load imbalance.
+  std::vector<double> worker_wall_ms;
+};
+
+/// A persistent pool of worker threads, each owning one QueryExecutor
+/// over the same shared KspDatabase — the serving-path replacement for
+/// the old clone-an-engine-per-thread pattern. Workers are started once
+/// and reused across Run() calls; executor scratch (BFS epochs) stays
+/// warm between batches.
+///
+/// The database must be prepared before Run() (Execute* errors
+/// otherwise). Run() is not itself thread-safe: one batch at a time.
+class QueryExecutorPool {
+ public:
+  QueryExecutorPool(const KspDatabase* db, size_t num_threads);
+  ~QueryExecutorPool();
+
+  QueryExecutorPool(const QueryExecutorPool&) = delete;
+  QueryExecutorPool& operator=(const QueryExecutorPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Answers `queries` across the pool. Results are positionally aligned
+  /// with `queries`; fails fast on the first query error (remaining
+  /// queries are skipped). `stats`, if given, receives merged per-query
+  /// totals and per-worker wall-clock.
+  Result<std::vector<KspResult>> Run(const std::vector<KspQuery>& queries,
+                                     KspAlgorithm algorithm,
+                                     BatchRunStats* stats = nullptr);
+
+ private:
+  struct Worker {
+    std::thread thread;
+    std::unique_ptr<QueryExecutor> executor;
+    QueryStats sum;          // Merged into the batch total by Run().
+    double wall_ms = 0.0;    // Time inside this worker's query loop.
+  };
+
+  void WorkerLoop(Worker* worker);
+
+  const KspDatabase* db_;
+  std::vector<Worker> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+  /// Incremented per batch; workers run when their seen count lags.
+  uint64_t generation_ = 0;
+  size_t active_workers_ = 0;
+  bool shutdown_ = false;
+
+  /// Current batch (valid while active_workers_ > 0).
+  const std::vector<KspQuery>* queries_ = nullptr;
+  std::vector<KspResult>* results_ = nullptr;
+  KspAlgorithm algorithm_ = KspAlgorithm::kSp;
+  std::atomic<size_t> next_{0};
+  std::atomic<bool> failed_{false};
+  Status first_error_;
+};
+
+/// Answers a batch of queries against one shared prepared database,
+/// optionally across threads (a transient QueryExecutorPool for
+/// num_threads > 1; construct a pool directly to amortize thread startup
+/// across batches). Results are positionally aligned with `queries`.
+/// Fails fast on the first query error.
+Result<std::vector<KspResult>> RunQueryBatch(
+    const KspDatabase& db, const std::vector<KspQuery>& queries,
+    const BatchRunOptions& options, BatchRunStats* stats = nullptr);
+
+/// DEPRECATED: engine-facade overload; prepares the R-tree lazily, then
+/// delegates to the database overload.
 Result<std::vector<KspResult>> RunQueryBatch(
     KspEngine* engine, const std::vector<KspQuery>& queries,
     const BatchRunOptions& options, QueryStats* total_stats = nullptr);

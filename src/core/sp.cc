@@ -9,7 +9,7 @@
 #include <queue>
 
 #include "common/timer.h"
-#include "core/engine.h"
+#include "core/executor.h"
 
 namespace ksp {
 
@@ -34,18 +34,20 @@ struct AlphaQueueOrder {
 
 }  // namespace
 
-Result<KspResult> KspEngine::ExecuteSp(const KspQuery& query,
-                                       QueryStats* stats) {
-  EnsureRTree();
-  if (options_.use_alpha_pruning && alpha_ == nullptr) {
+Result<KspResult> QueryExecutor::ExecuteSp(const KspQuery& query,
+                                           QueryStats* stats) {
+  KSP_RETURN_NOT_OK(CheckPrepared());
+  const KspOptions& options = db_->options();
+  if (options.use_alpha_pruning && db_->alpha_index() == nullptr) {
     return Status::InvalidArgument(
         "SP requires BuildAlphaIndex() when alpha pruning is enabled");
   }
-  if (!options_.use_alpha_pruning) {
+  if (!options.use_alpha_pruning) {
     // Ablation: SP without α-bounds degenerates to SPP.
     return ExecuteSpp(query, stats);
   }
-  if (options_.use_unqualified_pruning && reach_ == nullptr) {
+  if (options.use_unqualified_pruning &&
+      db_->reachability_index() == nullptr) {
     return Status::InvalidArgument(
         "SP with unqualified-place pruning requires "
         "BuildReachabilityIndex()");
@@ -60,7 +62,8 @@ Result<KspResult> KspEngine::ExecuteSp(const KspQuery& query,
   QueryContext ctx;
   KSP_RETURN_NOT_OK(PrepareContext(query, &ctx));
 
-  const AlphaIndex& alpha = *alpha_;
+  const RTree& rtree = db_->rtree();
+  const AlphaIndex& alpha = *db_->alpha_index();
   const double alpha_plus_one = static_cast<double>(alpha.alpha() + 1);
 
   // L_B^α(entry) = 1 + Σ_i dg(entry, t_i), with α+1 for keywords outside
@@ -78,21 +81,21 @@ Result<KspResult> KspEngine::ExecuteSp(const KspQuery& query,
   double semantic_seconds = 0.0;
   TopKHeap heap(query.k);
 
-  if (ctx.answerable && !rtree_->empty()) {
+  if (ctx.answerable && !rtree.empty()) {
     std::priority_queue<AlphaQueueItem, std::vector<AlphaQueueItem>,
                         AlphaQueueOrder>
         pq;
     {
-      const uint32_t root = rtree_->root();
-      const Rect root_rect = rtree_->node(root).BoundingRect();
+      const uint32_t root = rtree.root();
+      const Rect root_rect = rtree.node(root).BoundingRect();
       const double s_lb = MinDist(query.location, root_rect);
       const double l_b = alpha_looseness_bound(alpha.NodeEntry(root));
-      pq.push(AlphaQueueItem{options_.ranking.Score(l_b, s_lb), s_lb,
+      pq.push(AlphaQueueItem{options.ranking.Score(l_b, s_lb), s_lb,
                              /*is_node=*/true, root});
     }
 
     while (!pq.empty()) {
-      if (total_timer.ElapsedMillis() > options_.time_limit_ms) {
+      if (total_timer.ElapsedMillis() > options.time_limit_ms) {
         st->completed = false;
         break;
       }
@@ -104,17 +107,17 @@ Result<KspResult> KspEngine::ExecuteSp(const KspQuery& query,
 
       if (!item.is_node) {
         const PlaceId place = static_cast<PlaceId>(item.id);
-        const VertexId root = kb_->place_vertex(place);
+        const VertexId root = db_->kb().place_vertex(place);
         const double spatial = item.spatial_lb;  // Exact for places.
 
-        if (options_.use_unqualified_pruning &&
+        if (options.use_unqualified_pruning &&
             IsUnqualifiedPlace(root, ctx, st)) {
           ++st->pruned_unqualified;  // Pruning Rule 1.
           continue;
         }
         const double looseness_threshold =
-            options_.use_dynamic_bound_pruning
-                ? options_.ranking.LoosenessThreshold(theta, spatial)
+            options.use_dynamic_bound_pruning
+                ? options.ranking.LoosenessThreshold(theta, spatial)
                 : kInf;
         ++st->tqsp_computations;
         SemanticPlaceTree tree;
@@ -124,7 +127,7 @@ Result<KspResult> KspEngine::ExecuteSp(const KspQuery& query,
           ScopedTimer semantic_timer(&semantic_seconds);
           looseness =
               ComputeTqsp(root, ctx, looseness_threshold,
-                          options_.use_dynamic_bound_pruning, &tree, st);
+                          options.use_dynamic_bound_pruning, &tree, st);
         }
         if (looseness == kInf) continue;
 
@@ -132,7 +135,7 @@ Result<KspResult> KspEngine::ExecuteSp(const KspQuery& query,
         entry.place = place;
         entry.looseness = looseness;
         entry.spatial_distance = spatial;
-        entry.score = options_.ranking.Score(looseness, spatial);
+        entry.score = options.ranking.Score(looseness, spatial);
         entry.tree = std::move(tree);
         heap.Add(std::move(entry));
         continue;
@@ -141,15 +144,14 @@ Result<KspResult> KspEngine::ExecuteSp(const KspQuery& query,
       // Internal/leaf node: expand children with their α-bounds
       // (Pruning Rules 3 and 4 gate the push).
       ++st->rtree_nodes_accessed;
-      const RTree::Node& node =
-          rtree_->node(static_cast<uint32_t>(item.id));
+      const RTree::Node& node = rtree.node(static_cast<uint32_t>(item.id));
       for (const RTree::Entry& e : node.entries) {
         const double s_lb = MinDist(query.location, e.rect);
         const uint32_t entry_id =
             node.is_leaf ? alpha.PlaceEntry(static_cast<PlaceId>(e.id))
                          : alpha.NodeEntry(static_cast<uint32_t>(e.id));
         const double l_b = alpha_looseness_bound(entry_id);
-        const double f_b = options_.ranking.Score(l_b, s_lb);
+        const double f_b = options.ranking.Score(l_b, s_lb);
         if (f_b >= heap.Threshold()) {
           if (node.is_leaf) {
             ++st->pruned_alpha_place;  // Pruning Rule 3.

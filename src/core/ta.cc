@@ -10,7 +10,7 @@
 #include <queue>
 
 #include "common/timer.h"
-#include "core/engine.h"
+#include "core/executor.h"
 
 namespace ksp {
 
@@ -28,16 +28,17 @@ constexpr uint16_t kUnknownDist = 0xFFFF;
 /// round).
 class TaSearch {
  public:
-  TaSearch(KspEngine* engine, const KspEngine::QueryContext& ctx,
+  TaSearch(QueryExecutor* exec, const QueryExecutor::QueryContext& ctx,
            QueryStats* stats)
-      : engine_(engine),
+      : exec_(exec),
+        db_(exec->db()),
         ctx_(ctx),
         stats_(stats),
-        graph_(engine->kb().graph()),
+        graph_(db_.kb().graph()),
         n_(graph_.num_vertices()),
         m_(ctx.terms.size()),
         dist_(static_cast<size_t>(n_) * m_, kUnknownDist),
-        found_count_(engine->kb().num_places(), 0),
+        found_count_(db_.kb().num_places(), 0),
         frontiers_(m_) {}
 
   Result<KspResult> Run(const KspQuery& query);
@@ -72,7 +73,7 @@ class TaSearch {
   void Discover(size_t keyword, VertexId v, uint16_t d) {
     DistOf(keyword, v) = d;
     frontiers_[keyword].push_back(v);
-    const PlaceId place = engine_->kb().place_of(v);
+    const PlaceId place = db_.kb().place_of(v);
     if (place == kInvalidPlace) return;
     if (++found_count_[place] == m_) {
       double looseness = 1.0;
@@ -93,7 +94,7 @@ class TaSearch {
 
   /// Expands every keyword frontier by one hop (round depth_ + 1).
   void ExpandRound() {
-    const bool undirected = engine_->options().undirected_edges;
+    const bool undirected = db_.options().undirected_edges;
     for (size_t i = 0; i < m_; ++i) {
       std::vector<VertexId> current;
       current.swap(frontiers_[i]);
@@ -132,8 +133,9 @@ class TaSearch {
     }
   }
 
-  KspEngine* engine_;
-  const KspEngine::QueryContext& ctx_;
+  QueryExecutor* exec_;
+  const KspDatabase& db_;
+  const QueryExecutor::QueryContext& ctx_;
   QueryStats* stats_;
   const Graph& graph_;
   const VertexId n_;
@@ -153,19 +155,19 @@ Result<KspResult> TaSearch::Run(const KspQuery& query) {
   total_timer.Start();
   double semantic_seconds = 0.0;
 
-  const KnowledgeBase& kb = engine_->kb();
-  const RankingFunction& ranking = engine_->options().ranking;
+  const KnowledgeBase& kb = db_.kb();
+  const RankingFunction& ranking = db_.options().ranking;
   TopKHeap topk(query.k);
   std::vector<bool> seen(kb.num_places(), false);
 
-  NearestIterator spatial(engine_->rtree_.get(), query.location);
+  NearestIterator spatial(db_.rtree_ptr(), query.location);
   bool spatial_done = false;
   bool loose_done = false;
   double last_looseness = 1.0;
   double last_spatial = 0.0;
 
   while (!spatial_done || !loose_done) {
-    if (total_timer.ElapsedMillis() > engine_->options().time_limit_ms) {
+    if (total_timer.ElapsedMillis() > db_.options().time_limit_ms) {
       stats_->completed = false;
       break;
     }
@@ -212,9 +214,9 @@ Result<KspResult> TaSearch::Run(const KspQuery& query) {
         double looseness;
         {
           ScopedTimer semantic_timer(&semantic_seconds);
-          looseness = engine_->ComputeTqsp(kb.place_vertex(place), ctx_,
-                                           kInf, /*use_dynamic_bound=*/false,
-                                           nullptr, stats_);
+          looseness = exec_->ComputeTqsp(kb.place_vertex(place), ctx_,
+                                         kInf, /*use_dynamic_bound=*/false,
+                                         nullptr, stats_);
         }
         if (looseness != kInf) {
           KspResultEntry entry;
@@ -238,8 +240,8 @@ Result<KspResult> TaSearch::Run(const KspQuery& query) {
   for (KspResultEntry& entry : result.entries) {
     ScopedTimer semantic_timer(&semantic_seconds);
     entry.tree.place = entry.place;
-    engine_->ComputeTqsp(kb.place_vertex(entry.place), ctx_, kInf,
-                         /*use_dynamic_bound=*/false, &entry.tree, nullptr);
+    exec_->ComputeTqsp(kb.place_vertex(entry.place), ctx_, kInf,
+                       /*use_dynamic_bound=*/false, &entry.tree, nullptr);
   }
   stats_->semantic_ms = semantic_seconds * 1e3;
   stats_->total_ms = total_timer.ElapsedMillis();
@@ -250,12 +252,12 @@ Result<KspResult> TaSearch::RunKeywordOnly(const KspQuery& query) {
   Timer total_timer;
   total_timer.Start();
   double semantic_seconds = 0.0;
-  const KnowledgeBase& kb = engine_->kb();
+  const KnowledgeBase& kb = db_.kb();
 
   KspResult result;
   Candidate candidate{};
   while (result.entries.size() < query.k) {
-    if (total_timer.ElapsedMillis() > engine_->options().time_limit_ms) {
+    if (total_timer.ElapsedMillis() > db_.options().time_limit_ms) {
       stats_->completed = false;
       break;
     }
@@ -274,9 +276,9 @@ Result<KspResult> TaSearch::RunKeywordOnly(const KspQuery& query) {
     entry.tree.place = candidate.place;
     {
       ScopedTimer semantic_timer(&semantic_seconds);
-      engine_->ComputeTqsp(kb.place_vertex(candidate.place), ctx_, kInf,
-                           /*use_dynamic_bound=*/false, &entry.tree,
-                           nullptr);
+      exec_->ComputeTqsp(kb.place_vertex(candidate.place), ctx_, kInf,
+                         /*use_dynamic_bound=*/false, &entry.tree,
+                         nullptr);
     }
     result.entries.push_back(std::move(entry));
   }
@@ -285,9 +287,9 @@ Result<KspResult> TaSearch::RunKeywordOnly(const KspQuery& query) {
   return result;
 }
 
-Result<KspResult> KspEngine::ExecuteKeywordOnly(const KspQuery& query,
-                                                QueryStats* stats) {
-  EnsureRTree();
+Result<KspResult> QueryExecutor::ExecuteKeywordOnly(const KspQuery& query,
+                                                    QueryStats* stats) {
+  KSP_RETURN_NOT_OK(CheckPrepared());
   QueryStats local_stats;
   QueryStats* st = stats != nullptr ? stats : &local_stats;
   *st = QueryStats();
@@ -300,9 +302,9 @@ Result<KspResult> KspEngine::ExecuteKeywordOnly(const KspQuery& query,
   return search.RunKeywordOnly(query);
 }
 
-Result<KspResult> KspEngine::ExecuteTa(const KspQuery& query,
-                                       QueryStats* stats) {
-  EnsureRTree();
+Result<KspResult> QueryExecutor::ExecuteTa(const KspQuery& query,
+                                           QueryStats* stats) {
+  KSP_RETURN_NOT_OK(CheckPrepared());
   QueryStats local_stats;
   QueryStats* st = stats != nullptr ? stats : &local_stats;
   *st = QueryStats();

@@ -4,7 +4,8 @@
 
 #include <memory>
 
-#include "core/engine.h"
+#include "core/database.h"
+#include "core/executor.h"
 #include "datagen/fixtures.h"
 #include "datagen/synthetic.h"
 
@@ -19,9 +20,9 @@ TEST(AlphaIndexTest, Figure1Table3Neighborhoods) {
   // term-wise minima.
   auto kb = BuildFigure1KnowledgeBase();
   ASSERT_TRUE(kb.ok());
-  KspEngine engine(kb->get());
-  engine.BuildRTree();
-  AlphaIndex alpha = AlphaIndex::Build(**kb, engine.rtree(), 1);
+  KspDatabase db(kb->get());
+  db.BuildRTree();
+  AlphaIndex alpha = AlphaIndex::Build(**kb, db.rtree(), 1);
 
   auto terms = (*kb)->LookupTerms(Figure1QueryKeywords());
   const TermId ancient = terms[0];
@@ -48,7 +49,7 @@ TEST(AlphaIndexTest, Figure1Table3Neighborhoods) {
 
   // Root node word neighborhood = min over both places ("abbey" at 0 via
   // p1, catholic/roman at 0 via p2, history at 1, ancient at 1).
-  const uint32_t root_entry = alpha.NodeEntry(engine.rtree().root());
+  const uint32_t root_entry = alpha.NodeEntry(db.rtree().root());
   EXPECT_EQ(alpha.EntryTermDistance(root_entry, ancient), 1u);
   EXPECT_EQ(alpha.EntryTermDistance(root_entry, catholic), 0u);
   EXPECT_EQ(alpha.EntryTermDistance(root_entry, roman), 0u);
@@ -60,9 +61,9 @@ TEST(AlphaIndexTest, Figure1Table3Neighborhoods) {
 TEST(AlphaIndexTest, LargerAlphaCoversHistoryAtP1) {
   auto kb = BuildFigure1KnowledgeBase();
   ASSERT_TRUE(kb.ok());
-  KspEngine engine(kb->get());
-  engine.BuildRTree();
-  AlphaIndex alpha = AlphaIndex::Build(**kb, engine.rtree(), 2);
+  KspDatabase db(kb->get());
+  db.BuildRTree();
+  AlphaIndex alpha = AlphaIndex::Build(**kb, db.rtree(), 2);
   TermId history = (*kb)->LookupTerms({"history"})[0];
   const PlaceId p1 =
       (*kb)->place_of(*(*kb)->FindVertex("http://example.org/Montmajour_Abbey"));
@@ -74,11 +75,11 @@ TEST(AlphaIndexTest, SizeGrowsWithAlpha) {
   auto profile = SyntheticProfile::DBpediaLike(2000);
   auto kb = GenerateKnowledgeBase(profile);
   ASSERT_TRUE(kb.ok());
-  KspEngine engine(kb->get());
-  engine.BuildRTree();
+  KspDatabase db(kb->get());
+  db.BuildRTree();
   uint64_t last = 0;
   for (uint32_t a : {1u, 2u, 3u}) {
-    AlphaIndex alpha = AlphaIndex::Build(**kb, engine.rtree(), a);
+    AlphaIndex alpha = AlphaIndex::Build(**kb, db.rtree(), a);
     EXPECT_GE(alpha.TotalEntries(), last) << "alpha " << a;
     last = alpha.TotalEntries();
     EXPECT_GT(alpha.SizeBytes(), 0u);
@@ -92,10 +93,11 @@ TEST(AlphaIndexTest, BoundsAreValidLowerBounds) {
   auto profile = SyntheticProfile::YagoLike(1500);
   auto kb = GenerateKnowledgeBase(profile);
   ASSERT_TRUE(kb.ok());
-  KspEngine engine(kb->get());
-  engine.BuildRTree();
+  KspDatabase db(kb->get());
+  db.BuildRTree();
+  QueryExecutor executor(&db);
   const uint32_t a = 2;
-  AlphaIndex alpha = AlphaIndex::Build(**kb, engine.rtree(), a);
+  AlphaIndex alpha = AlphaIndex::Build(**kb, db.rtree(), a);
 
   // A fixed handful of frequent terms as the query.
   std::vector<TermId> terms = {0, 1, 2};
@@ -114,15 +116,16 @@ TEST(AlphaIndexTest, BoundsAreValidLowerBounds) {
   query.k = 1;
   const uint32_t num_places = (*kb)->num_places();
   for (PlaceId p = 0; p < std::min<uint32_t>(num_places, 200); ++p) {
-    SemanticPlaceTree tree = engine.ComputeTqspForPlace(p, query);
-    if (tree.IsQualified()) {
-      EXPECT_LE(bound_of(alpha.PlaceEntry(p)), tree.looseness)
+    auto tree = executor.ComputeTqspForPlace(p, query);
+    ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+    if (tree->IsQualified()) {
+      EXPECT_LE(bound_of(alpha.PlaceEntry(p)), tree->looseness)
           << "place " << p;
     }
   }
 
   // Node bound <= min over children bounds.
-  const RTree& rtree = engine.rtree();
+  const RTree& rtree = db.rtree();
   for (uint32_t node_id = 0; node_id < rtree.num_nodes(); ++node_id) {
     const RTree::Node& node = rtree.node(node_id);
     double node_bound = bound_of(alpha.NodeEntry(node_id));
@@ -138,9 +141,9 @@ TEST(AlphaIndexTest, BoundsAreValidLowerBounds) {
 TEST(AlphaIndexTest, EmptyPostingsForUnknownTerm) {
   auto kb = BuildFigure1KnowledgeBase();
   ASSERT_TRUE(kb.ok());
-  KspEngine engine(kb->get());
-  engine.BuildRTree();
-  AlphaIndex alpha = AlphaIndex::Build(**kb, engine.rtree(), 1);
+  KspDatabase db(kb->get());
+  db.BuildRTree();
+  AlphaIndex alpha = AlphaIndex::Build(**kb, db.rtree(), 1);
   EXPECT_TRUE(alpha.TermPostings(999999).empty());
   EXPECT_FALSE(alpha.EntryTermDistance(0, 999999).has_value());
 }

@@ -1,13 +1,22 @@
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <memory>
 
-#include "core/engine.h"
+#include "core/database.h"
+#include "core/executor.h"
 #include "datagen/fixtures.h"
 #include "datagen/synthetic.h"
 
 namespace ksp {
 namespace {
+
+using ExecuteFn = Result<KspResult> (QueryExecutor::*)(const KspQuery&,
+                                                       QueryStats*);
+
+constexpr ExecuteFn kCoreAlgorithms[] = {
+    &QueryExecutor::ExecuteBsp, &QueryExecutor::ExecuteSpp,
+    &QueryExecutor::ExecuteSp, &QueryExecutor::ExecuteTa};
 
 std::unique_ptr<KnowledgeBase> SmallKb() {
   auto kb = BuildFigure1KnowledgeBase();
@@ -17,14 +26,14 @@ std::unique_ptr<KnowledgeBase> SmallKb() {
 
 TEST(EngineEdgeCasesTest, EmptyKeywordListRanksByDistanceOnly) {
   auto kb = SmallKb();
-  KspEngine engine(kb.get());
-  engine.PrepareAll(2);
+  KspDatabase db(kb.get());
+  db.PrepareAll(2);
+  QueryExecutor executor(&db);
   KspQuery query;
   query.location = kQ2;  // Nearest place is p2.
   query.k = 2;
-  for (auto exec : {&KspEngine::ExecuteBsp, &KspEngine::ExecuteSpp,
-                    &KspEngine::ExecuteSp, &KspEngine::ExecuteTa}) {
-    auto result = (engine.*exec)(query, nullptr);
+  for (ExecuteFn fn : kCoreAlgorithms) {
+    auto result = (executor.*fn)(query, nullptr);
     ASSERT_TRUE(result.ok()) << result.status().ToString();
     ASSERT_EQ(result->entries.size(), 2u);
     // Every place qualifies with L = 1; ranking degenerates to distance.
@@ -36,10 +45,11 @@ TEST(EngineEdgeCasesTest, EmptyKeywordListRanksByDistanceOnly) {
 
 TEST(EngineEdgeCasesTest, KGreaterThanNumPlaces) {
   auto kb = SmallKb();
-  KspEngine engine(kb.get());
-  engine.PrepareAll(2);
-  KspQuery query = engine.MakeQuery(kQ1, {"roman"}, 50);
-  auto result = engine.ExecuteSp(query);
+  KspDatabase db(kb.get());
+  db.PrepareAll(2);
+  QueryExecutor executor(&db);
+  KspQuery query = db.MakeQuery(kQ1, {"roman"}, 50);
+  auto result = executor.ExecuteSp(query);
   ASSERT_TRUE(result.ok());
   EXPECT_LE(result->entries.size(), kb->num_places());
   EXPECT_FALSE(result->entries.empty());
@@ -47,12 +57,12 @@ TEST(EngineEdgeCasesTest, KGreaterThanNumPlaces) {
 
 TEST(EngineEdgeCasesTest, KZeroReturnsEmpty) {
   auto kb = SmallKb();
-  KspEngine engine(kb.get());
-  engine.PrepareAll(2);
-  KspQuery query = engine.MakeQuery(kQ1, {"roman"}, 0);
-  for (auto exec : {&KspEngine::ExecuteBsp, &KspEngine::ExecuteSpp,
-                    &KspEngine::ExecuteSp, &KspEngine::ExecuteTa}) {
-    auto result = (engine.*exec)(query, nullptr);
+  KspDatabase db(kb.get());
+  db.PrepareAll(2);
+  QueryExecutor executor(&db);
+  KspQuery query = db.MakeQuery(kQ1, {"roman"}, 0);
+  for (ExecuteFn fn : kCoreAlgorithms) {
+    auto result = (executor.*fn)(query, nullptr);
     ASSERT_TRUE(result.ok());
     EXPECT_TRUE(result->entries.empty());
   }
@@ -60,12 +70,13 @@ TEST(EngineEdgeCasesTest, KZeroReturnsEmpty) {
 
 TEST(EngineEdgeCasesTest, DuplicateKeywordsCollapse) {
   auto kb = SmallKb();
-  KspEngine engine(kb.get());
-  engine.PrepareAll(2);
-  KspQuery once = engine.MakeQuery(kQ1, {"roman"}, 2);
-  KspQuery thrice = engine.MakeQuery(kQ1, {"roman", "roman", "roman"}, 2);
-  auto a = engine.ExecuteSp(once);
-  auto b = engine.ExecuteSp(thrice);
+  KspDatabase db(kb.get());
+  db.PrepareAll(2);
+  QueryExecutor executor(&db);
+  KspQuery once = db.MakeQuery(kQ1, {"roman"}, 2);
+  KspQuery thrice = db.MakeQuery(kQ1, {"roman", "roman", "roman"}, 2);
+  auto a = executor.ExecuteSp(once);
+  auto b = executor.ExecuteSp(thrice);
   ASSERT_TRUE(a.ok() && b.ok());
   ASSERT_EQ(a->entries.size(), b->entries.size());
   for (size_t i = 0; i < a->entries.size(); ++i) {
@@ -75,49 +86,53 @@ TEST(EngineEdgeCasesTest, DuplicateKeywordsCollapse) {
 
 TEST(EngineEdgeCasesTest, TooManyKeywordsRejected) {
   auto kb = SmallKb();
-  KspEngine engine(kb.get());
-  engine.PrepareAll(2);
+  KspDatabase db(kb.get());
+  db.PrepareAll(2);
+  QueryExecutor executor(&db);
   KspQuery query;
   query.location = kQ1;
   query.k = 1;
   for (TermId t = 0; t < 70; ++t) query.keywords.push_back(t % 5);
   // 5 distinct keywords: fine.
-  EXPECT_TRUE(engine.ExecuteSp(query).ok());
+  EXPECT_TRUE(executor.ExecuteSp(query).ok());
   for (TermId t = 0; t < 70; ++t) query.keywords.push_back(t);
-  auto result = engine.ExecuteSp(query);
+  auto result = executor.ExecuteSp(query);
   EXPECT_FALSE(result.ok());
   EXPECT_TRUE(result.status().IsInvalidArgument());
 }
 
 TEST(EngineEdgeCasesTest, SppWithoutReachabilityIndexFails) {
   auto kb = SmallKb();
-  KspEngine engine(kb.get());
-  engine.BuildRTree();
-  KspQuery query = engine.MakeQuery(kQ1, {"roman"}, 1);
-  auto result = engine.ExecuteSpp(query);
+  KspDatabase db(kb.get());
+  db.BuildRTree();
+  QueryExecutor executor(&db);
+  KspQuery query = db.MakeQuery(kQ1, {"roman"}, 1);
+  auto result = executor.ExecuteSpp(query);
   EXPECT_FALSE(result.ok());
   EXPECT_TRUE(result.status().IsInvalidArgument());
 }
 
 TEST(EngineEdgeCasesTest, SpWithoutAlphaIndexFails) {
   auto kb = SmallKb();
-  KspEngine engine(kb.get());
-  engine.BuildRTree();
-  engine.BuildReachabilityIndex();
-  KspQuery query = engine.MakeQuery(kQ1, {"roman"}, 1);
-  auto result = engine.ExecuteSp(query);
+  KspDatabase db(kb.get());
+  db.BuildRTree();
+  db.BuildReachabilityIndex();
+  QueryExecutor executor(&db);
+  KspQuery query = db.MakeQuery(kQ1, {"roman"}, 1);
+  auto result = executor.ExecuteSp(query);
   EXPECT_FALSE(result.ok());
 }
 
 TEST(EngineEdgeCasesTest, PruningDisabledStillCorrect) {
   auto kb = SmallKb();
-  KspEngineOptions options;
+  KspOptions options;
   options.use_unqualified_pruning = false;
   options.use_dynamic_bound_pruning = false;
-  KspEngine engine(kb.get(), options);
-  engine.BuildRTree();
-  KspQuery query = engine.MakeQuery(kQ1, Figure1QueryKeywords(), 2);
-  auto result = engine.ExecuteSpp(query);  // No reach index needed now.
+  KspDatabase db(kb.get(), options);
+  db.BuildRTree();
+  QueryExecutor executor(&db);
+  KspQuery query = db.MakeQuery(kQ1, Figure1QueryKeywords(), 2);
+  auto result = executor.ExecuteSpp(query);  // No reach index needed now.
   ASSERT_TRUE(result.ok());
   ASSERT_EQ(result->entries.size(), 2u);
   EXPECT_NEAR(result->entries[0].score, 1.32, 0.01);
@@ -125,13 +140,14 @@ TEST(EngineEdgeCasesTest, PruningDisabledStillCorrect) {
 
 TEST(EngineEdgeCasesTest, AlphaPruningDisabledFallsBackToSpp) {
   auto kb = SmallKb();
-  KspEngineOptions options;
+  KspOptions options;
   options.use_alpha_pruning = false;
-  KspEngine engine(kb.get(), options);
-  engine.BuildRTree();
-  engine.BuildReachabilityIndex();
-  KspQuery query = engine.MakeQuery(kQ1, Figure1QueryKeywords(), 1);
-  auto result = engine.ExecuteSp(query);
+  KspDatabase db(kb.get(), options);
+  db.BuildRTree();
+  db.BuildReachabilityIndex();
+  QueryExecutor executor(&db);
+  KspQuery query = db.MakeQuery(kQ1, Figure1QueryKeywords(), 1);
+  auto result = executor.ExecuteSp(query);
   ASSERT_TRUE(result.ok());
   ASSERT_EQ(result->entries.size(), 1u);
 }
@@ -143,12 +159,12 @@ TEST(EngineEdgeCasesTest, KbWithNoPlaces) {
   builder.AddRelation(a, b, "http://x.org/knows");
   auto kb = builder.Finish();
   ASSERT_TRUE(kb.ok());
-  KspEngine engine(kb->get());
-  engine.PrepareAll(2);
-  KspQuery query = engine.MakeQuery(Point{0, 0}, {"friend"}, 3);
-  for (auto exec : {&KspEngine::ExecuteBsp, &KspEngine::ExecuteSpp,
-                    &KspEngine::ExecuteSp, &KspEngine::ExecuteTa}) {
-    auto result = (engine.*exec)(query, nullptr);
+  KspDatabase db(kb->get());
+  db.PrepareAll(2);
+  QueryExecutor executor(&db);
+  KspQuery query = db.MakeQuery(Point{0, 0}, {"friend"}, 3);
+  for (ExecuteFn fn : kCoreAlgorithms) {
+    auto result = (executor.*fn)(query, nullptr);
     ASSERT_TRUE(result.ok());
     EXPECT_TRUE(result->entries.empty());
   }
@@ -158,16 +174,17 @@ TEST(EngineEdgeCasesTest, TimeLimitMarksIncomplete) {
   auto profile = SyntheticProfile::DBpediaLike(3000);
   auto kb = GenerateKnowledgeBase(profile);
   ASSERT_TRUE(kb.ok());
-  KspEngineOptions options;
+  KspOptions options;
   options.time_limit_ms = 0.0;  // Everything times out instantly.
-  KspEngine engine(kb->get(), options);
-  engine.BuildRTree();
+  KspDatabase db(kb->get(), options);
+  db.BuildRTree();
+  QueryExecutor executor(&db);
   KspQuery query;
   query.location = Point{45, 10};
   query.keywords = {0, 1};
   query.k = 5;
   QueryStats stats;
-  auto result = engine.ExecuteBsp(query, &stats);
+  auto result = executor.ExecuteBsp(query, &stats);
   ASSERT_TRUE(result.ok());
   EXPECT_FALSE(stats.completed);
 }
@@ -179,12 +196,13 @@ TEST(EngineEdgeCasesTest, DiskInvertedIndexBackendGivesSameAnswers) {
   auto disk = DiskInvertedIndex::Open(path);
   ASSERT_TRUE(disk.ok());
 
-  KspEngineOptions options;
+  KspOptions options;
   options.inverted_index = disk->get();
-  KspEngine engine(kb.get(), options);
-  engine.PrepareAll(2);
-  KspQuery query = engine.MakeQuery(kQ1, Figure1QueryKeywords(), 2);
-  auto result = engine.ExecuteSp(query);
+  KspDatabase db(kb.get(), options);
+  db.PrepareAll(2);
+  QueryExecutor executor(&db);
+  KspQuery query = db.MakeQuery(kQ1, Figure1QueryKeywords(), 2);
+  auto result = executor.ExecuteSp(query);
   ASSERT_TRUE(result.ok());
   ASSERT_EQ(result->entries.size(), 2u);
   EXPECT_NEAR(result->entries[0].score, 1.32, 0.01);

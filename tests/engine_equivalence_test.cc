@@ -8,7 +8,8 @@
 #include <cmath>
 #include <memory>
 
-#include "core/engine.h"
+#include "core/database.h"
+#include "core/executor.h"
 #include "datagen/query_gen.h"
 #include "datagen/synthetic.h"
 
@@ -16,16 +17,17 @@ namespace ksp {
 namespace {
 
 /// Brute force: score all places, take the best k by (score, place).
-std::vector<std::pair<double, PlaceId>> BruteForceTopK(KspEngine* engine,
-                                                       const KspQuery& q) {
-  const KnowledgeBase& kb = engine->kb();
+std::vector<std::pair<double, PlaceId>> BruteForceTopK(
+    QueryExecutor* executor, const KspQuery& q) {
+  const KspDatabase& db = executor->db();
+  const KnowledgeBase& kb = db.kb();
   std::vector<std::pair<double, PlaceId>> scored;
   for (PlaceId p = 0; p < kb.num_places(); ++p) {
-    SemanticPlaceTree tree = engine->ComputeTqspForPlace(p, q);
-    if (!tree.IsQualified()) continue;
+    auto tree = executor->ComputeTqspForPlace(p, q);
+    EXPECT_TRUE(tree.ok()) << tree.status().ToString();
+    if (!tree.ok() || !tree->IsQualified()) continue;
     double s = Distance(q.location, kb.place_location(p));
-    scored.emplace_back(engine->options().ranking.Score(tree.looseness, s),
-                        p);
+    scored.emplace_back(db.options().ranking.Score(tree->looseness, s), p);
   }
   std::sort(scored.begin(), scored.end());
   if (scored.size() > q.k) scored.resize(q.k);
@@ -63,8 +65,9 @@ TEST_P(EquivalenceTest, AllAlgorithmsMatchBruteForce) {
   profile.seed += config.num_keywords * 17 + config.k;
   auto kb = GenerateKnowledgeBase(profile);
   ASSERT_TRUE(kb.ok());
-  KspEngine engine(kb->get());
-  engine.PrepareAll(config.alpha);
+  KspDatabase db(kb->get());
+  db.PrepareAll(config.alpha);
+  QueryExecutor executor(&db);
 
   QueryGenOptions qopt;
   qopt.num_keywords = config.num_keywords;
@@ -75,15 +78,15 @@ TEST_P(EquivalenceTest, AllAlgorithmsMatchBruteForce) {
   ASSERT_FALSE(queries.empty());
 
   for (const KspQuery& q : queries) {
-    auto oracle = BruteForceTopK(&engine, q);
+    auto oracle = BruteForceTopK(&executor, q);
     QueryStats bsp_stats;
     QueryStats spp_stats;
     QueryStats sp_stats;
     QueryStats ta_stats;
-    auto bsp = engine.ExecuteBsp(q, &bsp_stats);
-    auto spp = engine.ExecuteSpp(q, &spp_stats);
-    auto sp = engine.ExecuteSp(q, &sp_stats);
-    auto ta = engine.ExecuteTa(q, &ta_stats);
+    auto bsp = executor.ExecuteBsp(q, &bsp_stats);
+    auto spp = executor.ExecuteSpp(q, &spp_stats);
+    auto sp = executor.ExecuteSp(q, &sp_stats);
+    auto ta = executor.ExecuteTa(q, &ta_stats);
     ASSERT_TRUE(bsp.ok()) << bsp.status().ToString();
     ASSERT_TRUE(spp.ok()) << spp.status().ToString();
     ASSERT_TRUE(sp.ok()) << sp.status().ToString();
@@ -115,10 +118,11 @@ TEST(EquivalenceWeightedSumTest, AlgorithmsAgreeUnderEquation1) {
   auto profile = SyntheticProfile::DBpediaLike(800);
   auto kb = GenerateKnowledgeBase(profile);
   ASSERT_TRUE(kb.ok());
-  KspEngineOptions options;
+  KspOptions options;
   options.ranking = RankingFunction::WeightedSum(0.6);
-  KspEngine engine(kb->get(), options);
-  engine.PrepareAll(2);
+  KspDatabase db(kb->get(), options);
+  db.PrepareAll(2);
+  QueryExecutor executor(&db);
 
   QueryGenOptions qopt;
   qopt.num_keywords = 4;
@@ -126,10 +130,10 @@ TEST(EquivalenceWeightedSumTest, AlgorithmsAgreeUnderEquation1) {
   auto queries = GenerateQueries(**kb, QueryClass::kOriginal, qopt, 3);
   ASSERT_FALSE(queries.empty());
   for (const KspQuery& q : queries) {
-    auto oracle = BruteForceTopK(&engine, q);
-    for (auto exec : {&KspEngine::ExecuteBsp, &KspEngine::ExecuteSpp,
-                      &KspEngine::ExecuteSp, &KspEngine::ExecuteTa}) {
-      auto result = (engine.*exec)(q, nullptr);
+    auto oracle = BruteForceTopK(&executor, q);
+    for (auto exec : {&QueryExecutor::ExecuteBsp, &QueryExecutor::ExecuteSpp,
+                      &QueryExecutor::ExecuteSp, &QueryExecutor::ExecuteTa}) {
+      auto result = (executor.*exec)(q, nullptr);
       ASSERT_TRUE(result.ok());
       ASSERT_EQ(result->entries.size(), oracle.size());
       for (size_t i = 0; i < oracle.size(); ++i) {
@@ -143,10 +147,11 @@ TEST(EquivalenceUndirectedTest, FutureWorkEdgeModeAgrees) {
   auto profile = SyntheticProfile::YagoLike(800);
   auto kb = GenerateKnowledgeBase(profile);
   ASSERT_TRUE(kb.ok());
-  KspEngineOptions options;
+  KspOptions options;
   options.undirected_edges = true;
-  KspEngine engine(kb->get(), options);
-  engine.PrepareAll(2);
+  KspDatabase db(kb->get(), options);
+  db.PrepareAll(2);
+  QueryExecutor executor(&db);
 
   QueryGenOptions qopt;
   qopt.num_keywords = 4;
@@ -154,10 +159,10 @@ TEST(EquivalenceUndirectedTest, FutureWorkEdgeModeAgrees) {
   auto queries = GenerateQueries(**kb, QueryClass::kOriginal, qopt, 3);
   ASSERT_FALSE(queries.empty());
   for (const KspQuery& q : queries) {
-    auto oracle = BruteForceTopK(&engine, q);
-    for (auto exec : {&KspEngine::ExecuteBsp, &KspEngine::ExecuteSpp,
-                      &KspEngine::ExecuteSp, &KspEngine::ExecuteTa}) {
-      auto result = (engine.*exec)(q, nullptr);
+    auto oracle = BruteForceTopK(&executor, q);
+    for (auto exec : {&QueryExecutor::ExecuteBsp, &QueryExecutor::ExecuteSpp,
+                      &QueryExecutor::ExecuteSp, &QueryExecutor::ExecuteTa}) {
+      auto result = (executor.*exec)(q, nullptr);
       ASSERT_TRUE(result.ok());
       ASSERT_EQ(result->entries.size(), oracle.size());
       for (size_t i = 0; i < oracle.size(); ++i) {
@@ -174,8 +179,9 @@ TEST(TqspPropertyTest, LoosenessMatchesPerKeywordBfsOracle) {
   auto profile = SyntheticProfile::DBpediaLike(600);
   auto kb = GenerateKnowledgeBase(profile);
   ASSERT_TRUE(kb.ok());
-  KspEngine engine(kb->get());
-  engine.BuildRTree();
+  KspDatabase db(kb->get());
+  db.BuildRTree();
+  QueryExecutor executor(&db);
 
   QueryGenOptions qopt;
   qopt.num_keywords = 4;
@@ -204,7 +210,9 @@ TEST(TqspPropertyTest, LoosenessMatchesPerKeywordBfsOracle) {
   for (const KspQuery& q : queries) {
     for (PlaceId p = 0; p < std::min<uint32_t>((*kb)->num_places(), 30);
          ++p) {
-      SemanticPlaceTree tree = engine.ComputeTqspForPlace(p, q);
+      auto tree_or = executor.ComputeTqspForPlace(p, q);
+      ASSERT_TRUE(tree_or.ok()) << tree_or.status().ToString();
+      const SemanticPlaceTree& tree = *tree_or;
       // Oracle over deduplicated keywords.
       std::vector<TermId> terms;
       for (TermId t : q.keywords) {

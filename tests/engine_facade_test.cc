@@ -1,0 +1,141 @@
+// The deprecated KspEngine facade: one release of compatibility for code
+// written against the pre-split monolith. It must keep the old behaviours
+// — lazy R-tree construction on first query, Clone() sharing the
+// underlying database, the engine-based batch overload — while answering
+// exactly like the KspDatabase/QueryExecutor pair it wraps.
+
+#include "core/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/parallel.h"
+#include "datagen/fixtures.h"
+#include "datagen/query_gen.h"
+#include "datagen/synthetic.h"
+
+namespace ksp {
+namespace {
+
+class EngineFacadeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto kb = GenerateKnowledgeBase(SyntheticProfile::DBpediaLike(1500));
+    ASSERT_TRUE(kb.ok());
+    kb_ = std::move(*kb);
+    QueryGenOptions qopt;
+    qopt.num_keywords = 4;
+    qopt.k = 5;
+    qopt.seed = 17;
+    queries_ = GenerateQueries(*kb_, QueryClass::kOriginal, qopt, 6);
+    ASSERT_FALSE(queries_.empty());
+  }
+
+  std::unique_ptr<KnowledgeBase> kb_;
+  std::vector<KspQuery> queries_;
+};
+
+TEST_F(EngineFacadeTest, LazilyBuildsRTreeOnFirstQuery) {
+  // The old contract: querying a bare engine works because the facade
+  // builds the R-tree on demand (the new QueryExecutor would error).
+  KspEngine engine(kb_.get());
+  EXPECT_FALSE(engine.database().has_rtree());
+  auto result = engine.ExecuteBsp(queries_[0]);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(engine.database().has_rtree());
+}
+
+TEST_F(EngineFacadeTest, MatchesDirectExecutor) {
+  KspEngine engine(kb_.get());
+  engine.PrepareAll(3);
+  QueryExecutor executor(&engine.database());
+  for (const KspQuery& q : queries_) {
+    auto facade = engine.ExecuteSp(q);
+    auto direct = executor.ExecuteSp(q);
+    ASSERT_TRUE(facade.ok() && direct.ok());
+    ASSERT_EQ(facade->entries.size(), direct->entries.size());
+    for (size_t i = 0; i < facade->entries.size(); ++i) {
+      EXPECT_DOUBLE_EQ(facade->entries[i].score, direct->entries[i].score);
+      EXPECT_EQ(facade->entries[i].place, direct->entries[i].place);
+    }
+  }
+}
+
+TEST_F(EngineFacadeTest, CloneSharesIndexes) {
+  KspEngine engine(kb_.get());
+  engine.PrepareAll(3);
+  auto clone = engine.Clone();
+  EXPECT_EQ(&clone->database(), &engine.database());
+  EXPECT_EQ(&clone->rtree(), &engine.rtree());
+  EXPECT_EQ(clone->reachability_index(), engine.reachability_index());
+  EXPECT_EQ(clone->alpha_index(), engine.alpha_index());
+  // Clone answers queries identically.
+  auto a = engine.ExecuteSp(queries_[0]);
+  auto b = clone->ExecuteSp(queries_[0]);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->entries.size(), b->entries.size());
+  for (size_t i = 0; i < a->entries.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a->entries[i].score, b->entries[i].score);
+  }
+}
+
+TEST_F(EngineFacadeTest, CloneOutlivesOriginal) {
+  // The shared database is refcounted: dropping the original engine must
+  // not invalidate a clone's indexes.
+  auto engine = std::make_unique<KspEngine>(kb_.get());
+  engine->PrepareAll(3);
+  auto expected = engine->ExecuteSp(queries_[0]);
+  ASSERT_TRUE(expected.ok());
+  auto clone = engine->Clone();
+  engine.reset();
+  auto got = clone->ExecuteSp(queries_[0]);
+  ASSERT_TRUE(got.ok());
+  ASSERT_EQ(got->entries.size(), expected->entries.size());
+  for (size_t i = 0; i < expected->entries.size(); ++i) {
+    EXPECT_DOUBLE_EQ(got->entries[i].score, expected->entries[i].score);
+    EXPECT_EQ(got->entries[i].place, expected->entries[i].place);
+  }
+}
+
+TEST_F(EngineFacadeTest, DeprecatedBatchOverloadDelegates) {
+  KspEngine engine(kb_.get());
+  engine.PrepareAll(3);
+  BatchRunOptions options;
+  options.algorithm = KspAlgorithm::kSp;
+  options.num_threads = 2;
+  QueryStats totals;
+  auto old_api = RunQueryBatch(&engine, queries_, options, &totals);
+  ASSERT_TRUE(old_api.ok()) << old_api.status().ToString();
+  EXPECT_GT(totals.total_ms, 0.0);
+
+  auto new_api = RunQueryBatch(engine.database(), queries_, options);
+  ASSERT_TRUE(new_api.ok());
+  ASSERT_EQ(old_api->size(), new_api->size());
+  for (size_t i = 0; i < new_api->size(); ++i) {
+    ASSERT_EQ((*old_api)[i].entries.size(), (*new_api)[i].entries.size());
+    for (size_t j = 0; j < (*new_api)[i].entries.size(); ++j) {
+      EXPECT_DOUBLE_EQ((*old_api)[i].entries[j].score,
+                       (*new_api)[i].entries[j].score);
+      EXPECT_EQ((*old_api)[i].entries[j].place,
+                (*new_api)[i].entries[j].place);
+    }
+  }
+}
+
+TEST_F(EngineFacadeTest, Figure1TqspStillReturnsByValue) {
+  // The deprecated crash-on-error TQSP accessors keep their signatures.
+  auto kb = BuildFigure1KnowledgeBase();
+  ASSERT_TRUE(kb.ok());
+  KspEngine engine(kb->get());
+  engine.BuildRTree();
+  KspQuery query = engine.MakeQuery(kQ1, Figure1QueryKeywords(), 1);
+  SemanticPlaceTree tree = engine.ComputeTqspForPlace(0, query);
+  EXPECT_TRUE(tree.IsQualified());
+  TiedSemanticPlace tied = engine.ComputeTqspAlternatives(0, query);
+  EXPECT_TRUE(tied.IsQualified());
+  EXPECT_DOUBLE_EQ(tree.looseness, tied.looseness);
+}
+
+}  // namespace
+}  // namespace ksp

@@ -1,14 +1,15 @@
-// Validates the engine against the paper's worked examples (Figures 1-2,
-// Table 2, Examples 4-8): exact looseness values, exact ranking scores,
-// identical answers from BSP, SPP, SP and TA, and the documented behaviour
-// of the pruning rules on this instance.
+// Validates the query engine against the paper's worked examples
+// (Figures 1-2, Table 2, Examples 4-8): exact looseness values, exact
+// ranking scores, identical answers from BSP, SPP, SP and TA, and the
+// documented behaviour of the pruning rules on this instance.
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <memory>
 
-#include "core/engine.h"
+#include "core/database.h"
+#include "core/executor.h"
 #include "datagen/fixtures.h"
 
 namespace ksp {
@@ -20,8 +21,9 @@ class Figure1Test : public ::testing::Test {
     auto kb = BuildFigure1KnowledgeBase();
     ASSERT_TRUE(kb.ok()) << kb.status().ToString();
     kb_ = std::move(kb).value();
-    engine_ = std::make_unique<KspEngine>(kb_.get());
-    engine_->PrepareAll(/*alpha=*/3);
+    db_ = std::make_unique<KspDatabase>(kb_.get());
+    db_->PrepareAll(/*alpha=*/3);
+    exec_ = std::make_unique<QueryExecutor>(db_.get());
   }
 
   VertexId Vertex(std::string_view local) {
@@ -34,8 +36,15 @@ class Figure1Test : public ::testing::Test {
     return kb_->place_of(Vertex(local));
   }
 
+  SemanticPlaceTree Tqsp(PlaceId place, const KspQuery& query) {
+    auto tree = exec_->ComputeTqspForPlace(place, query);
+    EXPECT_TRUE(tree.ok()) << tree.status().ToString();
+    return tree.ok() ? std::move(*tree) : SemanticPlaceTree{};
+  }
+
   std::unique_ptr<KnowledgeBase> kb_;
-  std::unique_ptr<KspEngine> engine_;
+  std::unique_ptr<KspDatabase> db_;
+  std::unique_ptr<QueryExecutor> exec_;
 };
 
 TEST_F(Figure1Test, DatasetShape) {
@@ -87,14 +96,13 @@ TEST_F(Figure1Test, Table2KeywordCoverage) {
 }
 
 TEST_F(Figure1Test, Example4Looseness) {
-  KspQuery query = engine_->MakeQuery(kQ1, Figure1QueryKeywords(), 1);
+  KspQuery query = db_->MakeQuery(kQ1, Figure1QueryKeywords(), 1);
 
-  SemanticPlaceTree t1 =
-      engine_->ComputeTqspForPlace(PlaceOf("Montmajour_Abbey"), query);
+  SemanticPlaceTree t1 = Tqsp(PlaceOf("Montmajour_Abbey"), query);
   EXPECT_DOUBLE_EQ(t1.looseness, 6.0);  // 1 + 1 + 1 + 1 + 2.
 
-  SemanticPlaceTree t2 = engine_->ComputeTqspForPlace(
-      PlaceOf("Roman_Catholic_Diocese_of_Frejus_Toulon"), query);
+  SemanticPlaceTree t2 =
+      Tqsp(PlaceOf("Roman_Catholic_Diocese_of_Frejus_Toulon"), query);
   EXPECT_DOUBLE_EQ(t2.looseness, 4.0);  // 1 + 0 + 0 + 1 + 2.
 
   // The TQSP at p2 matches ⟨p2, (v6, v7, v8)⟩: ancient at distance 2 via
@@ -115,10 +123,9 @@ TEST_F(Figure1Test, Example4Looseness) {
 
 TEST_F(Figure1Test, TqspTreeVertexSetsMatchPaperNotation) {
   // Example 4's trees: ⟨p1, (v1, v2, v3, v4)⟩ and ⟨p2, (v6, v7, v8)⟩.
-  KspQuery query = engine_->MakeQuery(kQ1, Figure1QueryKeywords(), 1);
+  KspQuery query = db_->MakeQuery(kQ1, Figure1QueryKeywords(), 1);
 
-  SemanticPlaceTree t1 =
-      engine_->ComputeTqspForPlace(PlaceOf("Montmajour_Abbey"), query);
+  SemanticPlaceTree t1 = Tqsp(PlaceOf("Montmajour_Abbey"), query);
   std::vector<VertexId> expected1 = {
       Vertex("Montmajour_Abbey"), Vertex("Romanesque_architecture"),
       Vertex("Saint_Peter"), Vertex("Ancient_Diocese_of_Arles"),
@@ -126,8 +133,8 @@ TEST_F(Figure1Test, TqspTreeVertexSetsMatchPaperNotation) {
   std::sort(expected1.begin(), expected1.end());
   EXPECT_EQ(t1.TreeVertices(), expected1);
 
-  SemanticPlaceTree t2 = engine_->ComputeTqspForPlace(
-      PlaceOf("Roman_Catholic_Diocese_of_Frejus_Toulon"), query);
+  SemanticPlaceTree t2 =
+      Tqsp(PlaceOf("Roman_Catholic_Diocese_of_Frejus_Toulon"), query);
   std::vector<VertexId> expected2 = {
       Vertex("Roman_Catholic_Diocese_of_Frejus_Toulon"),
       Vertex("Mary_Magdalene"), Vertex("Catholic_Church"),
@@ -137,8 +144,8 @@ TEST_F(Figure1Test, TqspTreeVertexSetsMatchPaperNotation) {
 }
 
 TEST_F(Figure1Test, Example5ScoresAtQ1) {
-  KspQuery query = engine_->MakeQuery(kQ1, Figure1QueryKeywords(), 2);
-  auto result = engine_->ExecuteBsp(query);
+  KspQuery query = db_->MakeQuery(kQ1, Figure1QueryKeywords(), 2);
+  auto result = exec_->ExecuteBsp(query);
   ASSERT_TRUE(result.ok());
   ASSERT_EQ(result->entries.size(), 2u);
 
@@ -156,8 +163,8 @@ TEST_F(Figure1Test, Example5ScoresAtQ1) {
 }
 
 TEST_F(Figure1Test, Example5ScoresAtQ2) {
-  KspQuery query = engine_->MakeQuery(kQ2, Figure1QueryKeywords(), 2);
-  auto result = engine_->ExecuteBsp(query);
+  KspQuery query = db_->MakeQuery(kQ2, Figure1QueryKeywords(), 2);
+  auto result = exec_->ExecuteBsp(query);
   ASSERT_TRUE(result.ok());
   ASSERT_EQ(result->entries.size(), 2u);
 
@@ -172,11 +179,11 @@ TEST_F(Figure1Test, Example5ScoresAtQ2) {
 TEST_F(Figure1Test, AllAlgorithmsAgree) {
   for (const Point& q : {kQ1, kQ2}) {
     for (uint32_t k : {1u, 2u, 5u}) {
-      KspQuery query = engine_->MakeQuery(q, Figure1QueryKeywords(), k);
-      auto bsp = engine_->ExecuteBsp(query);
-      auto spp = engine_->ExecuteSpp(query);
-      auto sp = engine_->ExecuteSp(query);
-      auto ta = engine_->ExecuteTa(query);
+      KspQuery query = db_->MakeQuery(q, Figure1QueryKeywords(), k);
+      auto bsp = exec_->ExecuteBsp(query);
+      auto spp = exec_->ExecuteSpp(query);
+      auto sp = exec_->ExecuteSp(query);
+      auto ta = exec_->ExecuteTa(query);
       ASSERT_TRUE(bsp.ok() && spp.ok() && sp.ok() && ta.ok());
       ASSERT_EQ(bsp->entries.size(), spp->entries.size());
       ASSERT_EQ(bsp->entries.size(), sp->entries.size());
@@ -197,9 +204,9 @@ TEST_F(Figure1Test, Example8DynamicBoundPrunesSecondPlace) {
   // With k = 1 at q1, SPP finds p1 (θ = 1.32) and then aborts p2's TQSP:
   // Lw(T_p2) = 1.32 / 1.28 ≈ 1.03 and the bound reaches 3 > 1.03 after
   // Mary_Magdalene is visited.
-  KspQuery query = engine_->MakeQuery(kQ1, Figure1QueryKeywords(), 1);
+  KspQuery query = db_->MakeQuery(kQ1, Figure1QueryKeywords(), 1);
   QueryStats stats;
-  auto result = engine_->ExecuteSpp(query, &stats);
+  auto result = exec_->ExecuteSpp(query, &stats);
   ASSERT_TRUE(result.ok());
   ASSERT_EQ(result->entries.size(), 1u);
   EXPECT_EQ(result->entries[0].place, PlaceOf("Montmajour_Abbey"));
@@ -210,18 +217,18 @@ TEST_F(Figure1Test, PruningRule1DiscardsUnreachableKeywordPlaces) {
   // {church, architecture}: p2 never reaches "architecture" (§4.1's
   // example) and p1 never reaches "church", so Pruning Rule 1 discards
   // both places and no TQSP is ever constructed.
-  KspQuery query = engine_->MakeQuery(kQ2, {"church", "architecture"}, 2);
+  KspQuery query = db_->MakeQuery(kQ2, {"church", "architecture"}, 2);
   QueryStats stats;
-  auto result = engine_->ExecuteSpp(query, &stats);
+  auto result = exec_->ExecuteSpp(query, &stats);
   ASSERT_TRUE(result.ok());
   EXPECT_TRUE(result->entries.empty());
   EXPECT_EQ(stats.pruned_unqualified, 2u);
   EXPECT_EQ(stats.tqsp_computations, 0u);
 
   // {church, ancient}: both reachable from p2 only.
-  KspQuery q2 = engine_->MakeQuery(kQ2, {"church", "ancient"}, 2);
+  KspQuery q2 = db_->MakeQuery(kQ2, {"church", "ancient"}, 2);
   QueryStats stats2;
-  auto result2 = engine_->ExecuteSpp(q2, &stats2);
+  auto result2 = exec_->ExecuteSpp(q2, &stats2);
   ASSERT_TRUE(result2.ok());
   ASSERT_EQ(result2->entries.size(), 1u);
   EXPECT_EQ(result2->entries[0].place,
@@ -230,10 +237,10 @@ TEST_F(Figure1Test, PruningRule1DiscardsUnreachableKeywordPlaces) {
 }
 
 TEST_F(Figure1Test, UnknownKeywordYieldsEmptyResult) {
-  KspQuery query = engine_->MakeQuery(kQ1, {"zeppelin"}, 3);
-  for (auto exec : {&KspEngine::ExecuteBsp, &KspEngine::ExecuteSpp,
-                    &KspEngine::ExecuteSp, &KspEngine::ExecuteTa}) {
-    auto result = (engine_.get()->*exec)(query, nullptr);
+  KspQuery query = db_->MakeQuery(kQ1, {"zeppelin"}, 3);
+  for (auto exec : {&QueryExecutor::ExecuteBsp, &QueryExecutor::ExecuteSpp,
+                    &QueryExecutor::ExecuteSp, &QueryExecutor::ExecuteTa}) {
+    auto result = (exec_.get()->*exec)(query, nullptr);
     ASSERT_TRUE(result.ok());
     EXPECT_TRUE(result->entries.empty());
   }
@@ -242,10 +249,11 @@ TEST_F(Figure1Test, UnknownKeywordYieldsEmptyResult) {
 TEST_F(Figure1Test, NTriplesFixtureGivesSameAnswers) {
   auto kb2 = LoadKnowledgeBaseFromString(MontmajourNTriples());
   ASSERT_TRUE(kb2.ok()) << kb2.status().ToString();
-  KspEngine engine2(kb2->get());
-  engine2.PrepareAll(3);
-  KspQuery query = engine2.MakeQuery(kQ1, Figure1QueryKeywords(), 2);
-  auto result = engine2.ExecuteSp(query);
+  KspDatabase db2(kb2->get());
+  db2.PrepareAll(3);
+  QueryExecutor exec2(&db2);
+  KspQuery query = db2.MakeQuery(kQ1, Figure1QueryKeywords(), 2);
+  auto result = exec2.ExecuteSp(query);
   ASSERT_TRUE(result.ok());
   ASSERT_EQ(result->entries.size(), 2u);
   EXPECT_DOUBLE_EQ(result->entries[0].looseness, 6.0);

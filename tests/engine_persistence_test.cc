@@ -1,11 +1,12 @@
-// Engine-level index persistence: PrepareAll -> SaveIndexes ->
+// Database-level index persistence: PrepareAll -> SaveIndexes ->
 // LoadIndexes must answer every query identically with no rebuild.
 
 #include <gtest/gtest.h>
 
 #include <filesystem>
 
-#include "core/engine.h"
+#include "core/database.h"
+#include "core/executor.h"
 #include "datagen/query_gen.h"
 #include "datagen/synthetic.h"
 
@@ -29,11 +30,11 @@ class EnginePersistenceTest : public ::testing::Test {
 };
 
 TEST_F(EnginePersistenceTest, SaveLoadRoundTripAnswersIdentically) {
-  KspEngine original(kb_.get());
+  KspDatabase original(kb_.get());
   original.PrepareAll(2);
   ASSERT_TRUE(original.SaveIndexes(dir_).ok());
 
-  KspEngine restored(kb_.get());
+  KspDatabase restored(kb_.get());
   ASSERT_TRUE(restored.LoadIndexes(dir_).ok());
   ASSERT_NE(restored.alpha_index(), nullptr);
   ASSERT_NE(restored.reachability_index(), nullptr);
@@ -45,11 +46,13 @@ TEST_F(EnginePersistenceTest, SaveLoadRoundTripAnswersIdentically) {
   qopt.k = 5;
   auto queries = GenerateQueries(*kb_, QueryClass::kOriginal, qopt, 5);
   ASSERT_FALSE(queries.empty());
+  QueryExecutor original_exec(&original);
+  QueryExecutor restored_exec(&restored);
   for (const auto& q : queries) {
-    for (auto exec : {&KspEngine::ExecuteBsp, &KspEngine::ExecuteSpp,
-                      &KspEngine::ExecuteSp, &KspEngine::ExecuteTa}) {
-      auto a = (original.*exec)(q, nullptr);
-      auto b = (restored.*exec)(q, nullptr);
+    for (auto exec : {&QueryExecutor::ExecuteBsp, &QueryExecutor::ExecuteSpp,
+                      &QueryExecutor::ExecuteSp, &QueryExecutor::ExecuteTa}) {
+      auto a = (original_exec.*exec)(q, nullptr);
+      auto b = (restored_exec.*exec)(q, nullptr);
       ASSERT_TRUE(a.ok() && b.ok());
       ASSERT_EQ(a->entries.size(), b->entries.size());
       for (size_t i = 0; i < a->entries.size(); ++i) {
@@ -61,19 +64,19 @@ TEST_F(EnginePersistenceTest, SaveLoadRoundTripAnswersIdentically) {
 }
 
 TEST_F(EnginePersistenceTest, MissingFilesLeaveIndexesUnbuilt) {
-  KspEngine engine(kb_.get());
-  ASSERT_TRUE(engine.LoadIndexes(dir_).ok());  // Empty dir: no-op.
-  EXPECT_EQ(engine.reachability_index(), nullptr);
-  EXPECT_EQ(engine.alpha_index(), nullptr);
+  KspDatabase db(kb_.get());
+  ASSERT_TRUE(db.LoadIndexes(dir_).ok());  // Empty dir: no-op.
+  EXPECT_EQ(db.reachability_index(), nullptr);
+  EXPECT_EQ(db.alpha_index(), nullptr);
 }
 
 TEST_F(EnginePersistenceTest, PartialSaveLoads) {
-  KspEngine original(kb_.get());
+  KspDatabase original(kb_.get());
   original.BuildRTree();
   original.BuildReachabilityIndex();  // No alpha index.
   ASSERT_TRUE(original.SaveIndexes(dir_).ok());
 
-  KspEngine restored(kb_.get());
+  KspDatabase restored(kb_.get());
   ASSERT_TRUE(restored.LoadIndexes(dir_).ok());
   EXPECT_NE(restored.reachability_index(), nullptr);
   EXPECT_EQ(restored.alpha_index(), nullptr);
@@ -82,31 +85,32 @@ TEST_F(EnginePersistenceTest, PartialSaveLoads) {
   qopt.num_keywords = 3;
   auto queries = GenerateQueries(*kb_, QueryClass::kOriginal, qopt, 1);
   ASSERT_FALSE(queries.empty());
-  EXPECT_TRUE(restored.ExecuteSpp(queries[0]).ok());
-  EXPECT_FALSE(restored.ExecuteSp(queries[0]).ok());
+  QueryExecutor executor(&restored);
+  EXPECT_TRUE(executor.ExecuteSpp(queries[0]).ok());
+  EXPECT_FALSE(executor.ExecuteSp(queries[0]).ok());
 }
 
 TEST_F(EnginePersistenceTest, AlphaWithoutItsRTreeRejected) {
   // α entries are keyed by R-tree node ids; loading the α file without
   // the tree it was built against must fail loudly, not misalign.
-  KspEngine original(kb_.get());
+  KspDatabase original(kb_.get());
   original.PrepareAll(2);
   ASSERT_TRUE(original.SaveIndexes(dir_).ok());
   std::filesystem::remove(dir_ + "/rtree.bin");
-  KspEngine restored(kb_.get());
+  KspDatabase restored(kb_.get());
   auto status = restored.LoadIndexes(dir_);
   EXPECT_FALSE(status.ok());
   EXPECT_TRUE(status.IsInvalidArgument());
 }
 
 TEST_F(EnginePersistenceTest, MismatchedKbRejected) {
-  KspEngine original(kb_.get());
+  KspDatabase original(kb_.get());
   original.PrepareAll(2);
   ASSERT_TRUE(original.SaveIndexes(dir_).ok());
 
   auto other = GenerateKnowledgeBase(SyntheticProfile::YagoLike(900));
   ASSERT_TRUE(other.ok());
-  KspEngine mismatched(other->get());
+  KspDatabase mismatched(other->get());
   EXPECT_FALSE(mismatched.LoadIndexes(dir_).ok());
 }
 

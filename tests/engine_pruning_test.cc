@@ -6,7 +6,8 @@
 
 #include <memory>
 
-#include "core/engine.h"
+#include "core/database.h"
+#include "core/executor.h"
 #include "datagen/query_gen.h"
 #include "datagen/synthetic.h"
 
@@ -19,8 +20,9 @@ class PruningTest : public ::testing::Test {
     auto kb = GenerateKnowledgeBase(SyntheticProfile::DBpediaLike(2500));
     ASSERT_TRUE(kb.ok());
     kb_ = std::move(*kb);
-    engine_ = std::make_unique<KspEngine>(kb_.get());
-    engine_->PrepareAll(3);
+    db_ = std::make_unique<KspDatabase>(kb_.get());
+    db_->PrepareAll(3);
+    exec_ = std::make_unique<QueryExecutor>(db_.get());
     QueryGenOptions qopt;
     qopt.num_keywords = 5;
     qopt.k = 5;
@@ -30,7 +32,8 @@ class PruningTest : public ::testing::Test {
   }
 
   std::unique_ptr<KnowledgeBase> kb_;
-  std::unique_ptr<KspEngine> engine_;
+  std::unique_ptr<KspDatabase> db_;
+  std::unique_ptr<QueryExecutor> exec_;
   std::vector<KspQuery> queries_;
 };
 
@@ -42,8 +45,8 @@ TEST_F(PruningTest, SpDoesStrictlyLessWorkThanSpp) {
   for (const auto& q : queries_) {
     QueryStats spp_stats;
     QueryStats sp_stats;
-    ASSERT_TRUE(engine_->ExecuteSpp(q, &spp_stats).ok());
-    ASSERT_TRUE(engine_->ExecuteSp(q, &sp_stats).ok());
+    ASSERT_TRUE(exec_->ExecuteSpp(q, &spp_stats).ok());
+    ASSERT_TRUE(exec_->ExecuteSp(q, &sp_stats).ok());
     spp_tqsp += spp_stats.tqsp_computations;
     sp_tqsp += sp_stats.tqsp_computations;
     spp_nodes += spp_stats.rtree_nodes_accessed;
@@ -61,8 +64,8 @@ TEST_F(PruningTest, DynamicBoundReducesVisitedVertices) {
   for (const auto& q : queries_) {
     QueryStats bsp_stats;
     QueryStats spp_stats;
-    ASSERT_TRUE(engine_->ExecuteBsp(q, &bsp_stats).ok());
-    ASSERT_TRUE(engine_->ExecuteSpp(q, &spp_stats).ok());
+    ASSERT_TRUE(exec_->ExecuteBsp(q, &bsp_stats).ok());
+    ASSERT_TRUE(exec_->ExecuteSpp(q, &spp_stats).ok());
     if (!bsp_stats.completed) continue;  // Timed-out runs not comparable.
     bsp_visits += bsp_stats.vertices_visited;
     spp_visits += spp_stats.vertices_visited;
@@ -76,7 +79,7 @@ TEST_F(PruningTest, DynamicBoundReducesVisitedVertices) {
 TEST_F(PruningTest, ReachabilityQueriesBoundedByKeywordsPerPlace) {
   for (const auto& q : queries_) {
     QueryStats stats;
-    ASSERT_TRUE(engine_->ExecuteSpp(q, &stats).ok());
+    ASSERT_TRUE(exec_->ExecuteSpp(q, &stats).ok());
     // Per candidate place, at most |q.ψ| reachability queries are issued.
     uint64_t candidates = stats.tqsp_computations + stats.pruned_unqualified;
     EXPECT_LE(stats.reachability_queries, candidates * q.keywords.size());
@@ -86,7 +89,7 @@ TEST_F(PruningTest, ReachabilityQueriesBoundedByKeywordsPerPlace) {
 TEST_F(PruningTest, BspNeverReportsPruning) {
   for (const auto& q : queries_) {
     QueryStats stats;
-    ASSERT_TRUE(engine_->ExecuteBsp(q, &stats).ok());
+    ASSERT_TRUE(exec_->ExecuteBsp(q, &stats).ok());
     EXPECT_EQ(stats.pruned_unqualified, 0u);
     EXPECT_EQ(stats.pruned_dynamic_bound, 0u);
     EXPECT_EQ(stats.pruned_alpha_place, 0u);
@@ -105,18 +108,18 @@ TEST_F(PruningTest, WorkGrowsWithK) {
   q20.k = 20;
   QueryStats s1;
   QueryStats s20;
-  ASSERT_TRUE(engine_->ExecuteSp(q1, &s1).ok());
-  ASSERT_TRUE(engine_->ExecuteSp(q20, &s20).ok());
+  ASSERT_TRUE(exec_->ExecuteSp(q1, &s1).ok());
+  ASSERT_TRUE(exec_->ExecuteSp(q20, &s20).ok());
   EXPECT_LE(s1.tqsp_computations, s20.tqsp_computations);
   EXPECT_LE(s1.rtree_nodes_accessed, s20.rtree_nodes_accessed);
 }
 
 TEST_F(PruningTest, SemanticTimeWithinTotal) {
   for (const auto& q : queries_) {
-    for (auto exec : {&KspEngine::ExecuteBsp, &KspEngine::ExecuteSpp,
-                      &KspEngine::ExecuteSp, &KspEngine::ExecuteTa}) {
+    for (auto exec : {&QueryExecutor::ExecuteBsp, &QueryExecutor::ExecuteSpp,
+                      &QueryExecutor::ExecuteSp, &QueryExecutor::ExecuteTa}) {
       QueryStats stats;
-      ASSERT_TRUE(((*engine_).*exec)(q, &stats).ok());
+      ASSERT_TRUE(((*exec_).*exec)(q, &stats).ok());
       EXPECT_GE(stats.total_ms, 0.0);
       EXPECT_GE(stats.semantic_ms, 0.0);
       EXPECT_LE(stats.semantic_ms, stats.total_ms + 0.5);
@@ -128,8 +131,8 @@ TEST_F(PruningTest, AlphaCountersOnlyFromSp) {
   for (const auto& q : queries_) {
     QueryStats spp_stats;
     QueryStats sp_stats;
-    ASSERT_TRUE(engine_->ExecuteSpp(q, &spp_stats).ok());
-    ASSERT_TRUE(engine_->ExecuteSp(q, &sp_stats).ok());
+    ASSERT_TRUE(exec_->ExecuteSpp(q, &spp_stats).ok());
+    ASSERT_TRUE(exec_->ExecuteSp(q, &sp_stats).ok());
     EXPECT_EQ(spp_stats.pruned_alpha_place, 0u);
     EXPECT_EQ(spp_stats.pruned_alpha_node, 0u);
   }
@@ -138,22 +141,24 @@ TEST_F(PruningTest, AlphaCountersOnlyFromSp) {
 TEST_F(PruningTest, LargerAlphaNeverIncreasesTqspCount) {
   // Tighter bounds with larger α can only prune more (same ordering
   // heuristics, same data).
-  auto engine1 = std::make_unique<KspEngine>(kb_.get());
-  engine1->PrepareAll(1);
-  auto engine3 = std::make_unique<KspEngine>(kb_.get());
-  engine3->PrepareAll(3);
+  KspDatabase db1(kb_.get());
+  db1.PrepareAll(1);
+  QueryExecutor exec1(&db1);
+  KspDatabase db3(kb_.get());
+  db3.PrepareAll(3);
+  QueryExecutor exec3(&db3);
   uint64_t tqsp1 = 0;
   uint64_t tqsp3 = 0;
   for (const auto& q : queries_) {
     QueryStats s1;
     QueryStats s3;
-    ASSERT_TRUE(engine1->ExecuteSp(q, &s1).ok());
-    ASSERT_TRUE(engine3->ExecuteSp(q, &s3).ok());
+    ASSERT_TRUE(exec1.ExecuteSp(q, &s1).ok());
+    ASSERT_TRUE(exec3.ExecuteSp(q, &s3).ok());
     tqsp1 += s1.tqsp_computations;
     tqsp3 += s3.tqsp_computations;
     // Identical answers regardless of α.
-    auto r1 = engine1->ExecuteSp(q);
-    auto r3 = engine3->ExecuteSp(q);
+    auto r1 = exec1.ExecuteSp(q);
+    auto r3 = exec3.ExecuteSp(q);
     ASSERT_TRUE(r1.ok() && r3.ok());
     ASSERT_EQ(r1->entries.size(), r3->entries.size());
     for (size_t i = 0; i < r1->entries.size(); ++i) {

@@ -1,0 +1,161 @@
+// Concurrency contract of the database/executor split: eight
+// QueryExecutors sharing one immutable KspDatabase must produce
+// bit-identical results to a single executor, and batch stats must merge
+// exactly. This is the primary TSan target (build with
+// -DKSP_SANITIZE=thread).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/database.h"
+#include "core/executor.h"
+#include "core/parallel.h"
+#include "datagen/query_gen.h"
+#include "datagen/synthetic.h"
+
+namespace ksp {
+namespace {
+
+constexpr size_t kThreads = 8;
+
+void ExpectSameResults(const std::vector<KspResult>& a,
+                       const std::vector<KspResult>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].entries.size(), b[i].entries.size()) << "query " << i;
+    for (size_t j = 0; j < a[i].entries.size(); ++j) {
+      // Bit-identical, not approximately equal: the same deterministic
+      // float operations must run regardless of which thread runs them.
+      EXPECT_EQ(a[i].entries[j].score, b[i].entries[j].score);
+      EXPECT_EQ(a[i].entries[j].looseness, b[i].entries[j].looseness);
+      EXPECT_EQ(a[i].entries[j].spatial_distance,
+                b[i].entries[j].spatial_distance);
+      EXPECT_EQ(a[i].entries[j].place, b[i].entries[j].place);
+    }
+  }
+}
+
+class ExecutorConcurrencyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto kb = GenerateKnowledgeBase(SyntheticProfile::DBpediaLike(2500));
+    ASSERT_TRUE(kb.ok());
+    kb_ = std::move(*kb);
+    db_ = std::make_unique<KspDatabase>(kb_.get());
+    db_->PrepareAll(3);
+    QueryGenOptions qopt;
+    qopt.num_keywords = 4;
+    qopt.k = 5;
+    qopt.seed = 4242;
+    queries_ = GenerateQueries(*kb_, QueryClass::kOriginal, qopt, 24);
+    ASSERT_FALSE(queries_.empty());
+  }
+
+  std::unique_ptr<KnowledgeBase> kb_;
+  std::unique_ptr<KspDatabase> db_;
+  std::vector<KspQuery> queries_;
+};
+
+TEST_F(ExecutorConcurrencyTest, EightWorkersMatchOneForEveryAlgorithm) {
+  for (KspAlgorithm algorithm :
+       {KspAlgorithm::kBsp, KspAlgorithm::kSpp, KspAlgorithm::kSp,
+        KspAlgorithm::kTa, KspAlgorithm::kKeywordOnly}) {
+    BatchRunOptions serial;
+    serial.algorithm = algorithm;
+    serial.num_threads = 1;
+    BatchRunStats serial_stats;
+    auto expected = RunQueryBatch(*db_, queries_, serial, &serial_stats);
+    ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+
+    BatchRunOptions parallel;
+    parallel.algorithm = algorithm;
+    parallel.num_threads = kThreads;
+    BatchRunStats parallel_stats;
+    auto got = RunQueryBatch(*db_, queries_, parallel, &parallel_stats);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    ExpectSameResults(*expected, *got);
+
+    // Work counters are per-query deterministic, so the merged totals
+    // must agree exactly however queries were distributed over workers.
+    const QueryStats& s = serial_stats.totals;
+    const QueryStats& p = parallel_stats.totals;
+    EXPECT_EQ(p.tqsp_computations, s.tqsp_computations)
+        << KspAlgorithmName(algorithm);
+    EXPECT_EQ(p.rtree_nodes_accessed, s.rtree_nodes_accessed)
+        << KspAlgorithmName(algorithm);
+    EXPECT_EQ(p.vertices_visited, s.vertices_visited)
+        << KspAlgorithmName(algorithm);
+    EXPECT_EQ(p.reachability_queries, s.reachability_queries)
+        << KspAlgorithmName(algorithm);
+    EXPECT_EQ(p.pruned_unqualified, s.pruned_unqualified);
+    EXPECT_EQ(p.pruned_dynamic_bound, s.pruned_dynamic_bound);
+    EXPECT_EQ(p.pruned_alpha_place, s.pruned_alpha_place);
+    EXPECT_EQ(p.pruned_alpha_node, s.pruned_alpha_node);
+    EXPECT_EQ(p.completed, s.completed);
+
+    // One wall-clock lane per worker, each non-negative.
+    ASSERT_EQ(parallel_stats.worker_wall_ms.size(), kThreads);
+    for (double wall : parallel_stats.worker_wall_ms) {
+      EXPECT_GE(wall, 0.0);
+    }
+  }
+}
+
+TEST_F(ExecutorConcurrencyTest, RawExecutorsShareOneDatabaseSafely) {
+  // Bypass the pool: eight plain threads, each with its own stack
+  // QueryExecutor, all hammering the same database over the full batch.
+  // Every thread must reproduce the reference answers exactly.
+  QueryExecutor reference(db_.get());
+  std::vector<KspResult> expected;
+  for (const KspQuery& q : queries_) {
+    auto r = reference.ExecuteSp(q);
+    ASSERT_TRUE(r.ok());
+    expected.push_back(std::move(*r));
+  }
+
+  std::vector<std::vector<KspResult>> per_thread(kThreads);
+  std::vector<Status> errors(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      QueryExecutor executor(db_.get());
+      for (const KspQuery& q : queries_) {
+        auto r = executor.ExecuteSp(q);
+        if (!r.ok()) {
+          errors[t] = r.status();
+          return;
+        }
+        per_thread[t].push_back(std::move(*r));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  for (size_t t = 0; t < kThreads; ++t) {
+    ASSERT_TRUE(errors[t].ok()) << "thread " << t << ": "
+                                << errors[t].ToString();
+    ExpectSameResults(expected, per_thread[t]);
+  }
+}
+
+TEST_F(ExecutorConcurrencyTest, PoolSurvivesManySmallBatches) {
+  // Regression against pool dispatch races: many generations of tiny
+  // batches on a persistent pool (TSan exercises the handoff protocol).
+  QueryExecutorPool pool(db_.get(), kThreads);
+  BatchRunOptions serial;
+  serial.algorithm = KspAlgorithm::kSpp;
+  auto expected = RunQueryBatch(*db_, queries_, serial);
+  ASSERT_TRUE(expected.ok());
+  for (int round = 0; round < 10; ++round) {
+    auto got = pool.Run(queries_, KspAlgorithm::kSpp);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    ExpectSameResults(*expected, *got);
+  }
+}
+
+}  // namespace
+}  // namespace ksp

@@ -1,0 +1,156 @@
+// QueryExecutor session behaviour: the prepared-before-query contract,
+// the >64-distinct-keyword limit on the Result-returning TQSP API, and
+// the BFS-epoch uint32_t wraparound path.
+
+#include "core/executor.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+
+#include "datagen/fixtures.h"
+#include "datagen/query_gen.h"
+#include "datagen/synthetic.h"
+
+namespace ksp {
+namespace {
+
+using ExecuteFn = Result<KspResult> (QueryExecutor::*)(const KspQuery&,
+                                                       QueryStats*);
+
+constexpr ExecuteFn kAllAlgorithms[] = {
+    &QueryExecutor::ExecuteBsp, &QueryExecutor::ExecuteSpp,
+    &QueryExecutor::ExecuteSp, &QueryExecutor::ExecuteTa,
+    &QueryExecutor::ExecuteKeywordOnly};
+
+TEST(ExecutorContractTest, UnpreparedDatabaseRejectedByEveryAlgorithm) {
+  auto kb = BuildFigure1KnowledgeBase();
+  ASSERT_TRUE(kb.ok());
+  KspDatabase db(kb->get());  // No BuildRTree / PrepareAll.
+  ASSERT_FALSE(db.has_rtree());
+  QueryExecutor executor(&db);
+  KspQuery query = db.MakeQuery(kQ1, {"roman"}, 1);
+  for (ExecuteFn fn : kAllAlgorithms) {
+    auto result = (executor.*fn)(query, nullptr);
+    ASSERT_FALSE(result.ok());
+    EXPECT_TRUE(result.status().IsInvalidArgument());
+  }
+}
+
+TEST(ExecutorContractTest, SameExecutorWorksOncePrepared) {
+  auto kb = BuildFigure1KnowledgeBase();
+  ASSERT_TRUE(kb.ok());
+  KspDatabase db(kb->get());
+  QueryExecutor executor(&db);
+  KspQuery query = db.MakeQuery(kQ1, {"roman"}, 1);
+  ASSERT_FALSE(executor.ExecuteBsp(query).ok());
+  // Preparing the database unblocks executors constructed before it.
+  db.PrepareAll(2);
+  for (ExecuteFn fn : kAllAlgorithms) {
+    auto result = (executor.*fn)(query, nullptr);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+  }
+}
+
+TEST(ExecutorContractTest, TooManyDistinctKeywordsRejected) {
+  auto kb = BuildFigure1KnowledgeBase();
+  ASSERT_TRUE(kb.ok());
+  KspDatabase db(kb->get());
+  db.PrepareAll(2);
+  QueryExecutor executor(&db);
+
+  KspQuery query;
+  query.location = kQ1;
+  query.k = 1;
+  for (TermId t = 0; t < 70; ++t) query.keywords.push_back(t % 5);
+  // 70 keywords but only 5 distinct: fine everywhere.
+  EXPECT_TRUE(executor.ExecuteSp(query).ok());
+  EXPECT_TRUE(executor.ComputeTqspForPlace(0, query).ok());
+  EXPECT_TRUE(executor.ComputeTqspAlternatives(0, query).ok());
+
+  for (TermId t = 0; t < 70; ++t) query.keywords.push_back(t);
+  for (ExecuteFn fn : kAllAlgorithms) {
+    auto result = (executor.*fn)(query, nullptr);
+    ASSERT_FALSE(result.ok());
+    EXPECT_TRUE(result.status().IsInvalidArgument());
+  }
+  // The direct TQSP entry points report the error instead of crashing.
+  auto tree = executor.ComputeTqspForPlace(0, query);
+  ASSERT_FALSE(tree.ok());
+  EXPECT_TRUE(tree.status().IsInvalidArgument());
+  auto tied = executor.ComputeTqspAlternatives(0, query);
+  ASSERT_FALSE(tied.ok());
+  EXPECT_TRUE(tied.status().IsInvalidArgument());
+}
+
+class EpochWrapTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto kb = GenerateKnowledgeBase(SyntheticProfile::DBpediaLike(1000));
+    ASSERT_TRUE(kb.ok());
+    kb_ = std::move(*kb);
+    db_ = std::make_unique<KspDatabase>(kb_.get());
+    db_->PrepareAll(2);
+    QueryGenOptions qopt;
+    qopt.num_keywords = 4;
+    qopt.k = 5;
+    qopt.seed = 9;
+    queries_ = GenerateQueries(*kb_, QueryClass::kOriginal, qopt, 6);
+    ASSERT_FALSE(queries_.empty());
+  }
+
+  std::unique_ptr<KnowledgeBase> kb_;
+  std::unique_ptr<KspDatabase> db_;
+  std::vector<KspQuery> queries_;
+};
+
+TEST_F(EpochWrapTest, ResultsUnchangedAcrossCounterWraparound) {
+  // Reference: a fresh executor far away from the wrap.
+  QueryExecutor reference(db_.get());
+  // Victim: dirty its visit array with normal queries first so stale marks
+  // exist, then park the epoch counter right below UINT32_MAX. The batch
+  // below crosses the wrap (each TQSP computation advances the epoch);
+  // without the zero-fill on wrap, stale marks alias the restarted epochs
+  // and corrupt BFS visitation.
+  QueryExecutor victim(db_.get());
+  for (const KspQuery& q : queries_) {
+    ASSERT_TRUE(victim.ExecuteBsp(q).ok());
+  }
+  victim.set_bfs_epoch_for_testing(std::numeric_limits<uint32_t>::max() - 2);
+
+  for (const KspQuery& q : queries_) {
+    auto expected = reference.ExecuteBsp(q);
+    auto got = victim.ExecuteBsp(q);
+    ASSERT_TRUE(expected.ok() && got.ok());
+    ASSERT_EQ(got->entries.size(), expected->entries.size());
+    for (size_t i = 0; i < expected->entries.size(); ++i) {
+      EXPECT_DOUBLE_EQ(got->entries[i].score, expected->entries[i].score);
+      EXPECT_DOUBLE_EQ(got->entries[i].looseness,
+                       expected->entries[i].looseness);
+      EXPECT_EQ(got->entries[i].place, expected->entries[i].place);
+    }
+  }
+}
+
+TEST_F(EpochWrapTest, TqspIdenticalRightAtTheWrapBoundary) {
+  QueryExecutor reference(db_.get());
+  QueryExecutor victim(db_.get());
+  const KspQuery& q = queries_.front();
+  // Pin the counter so the very next BFS triggers the wrap.
+  victim.set_bfs_epoch_for_testing(std::numeric_limits<uint32_t>::max());
+  const uint32_t places = std::min<uint32_t>(kb_->num_places(), 50);
+  for (PlaceId p = 0; p < places; ++p) {
+    auto expected = reference.ComputeTqspForPlace(p, q);
+    auto got = victim.ComputeTqspForPlace(p, q);
+    ASSERT_TRUE(expected.ok() && got.ok());
+    EXPECT_EQ(got->IsQualified(), expected->IsQualified()) << "place " << p;
+    if (expected->IsQualified()) {
+      EXPECT_DOUBLE_EQ(got->looseness, expected->looseness) << "place " << p;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ksp

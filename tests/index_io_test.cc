@@ -7,7 +7,7 @@
 #include <filesystem>
 
 #include "alpha/alpha_index.h"
-#include "core/engine.h"
+#include "core/database.h"
 #include "datagen/synthetic.h"
 #include "reach/reachability_index.h"
 
@@ -61,9 +61,9 @@ TEST_F(IndexIoTest, ReachabilityBadFileRejected) {
 }
 
 TEST_F(IndexIoTest, AlphaIndexRoundTrip) {
-  KspEngine engine(kb_.get());
-  engine.BuildRTree();
-  AlphaIndex index = AlphaIndex::Build(*kb_, engine.rtree(), 2);
+  KspDatabase db(kb_.get());
+  db.BuildRTree();
+  AlphaIndex index = AlphaIndex::Build(*kb_, db.rtree(), 2);
   std::string path = TempPath("ksp_alpha.idx");
   ASSERT_TRUE(index.Save(path).ok());
   auto loaded = AlphaIndex::Load(path);
@@ -85,9 +85,9 @@ TEST_F(IndexIoTest, AlphaIndexRoundTrip) {
 }
 
 TEST_F(IndexIoTest, AlphaIndexTruncatedRejected) {
-  KspEngine engine(kb_.get());
-  engine.BuildRTree();
-  AlphaIndex index = AlphaIndex::Build(*kb_, engine.rtree(), 1);
+  KspDatabase db(kb_.get());
+  db.BuildRTree();
+  AlphaIndex index = AlphaIndex::Build(*kb_, db.rtree(), 1);
   std::string path = TempPath("ksp_alpha_trunc.idx");
   ASSERT_TRUE(index.Save(path).ok());
   std::filesystem::resize_file(path,

@@ -5,7 +5,8 @@
 #include <cstdio>
 #include <filesystem>
 
-#include "core/engine.h"
+#include "core/database.h"
+#include "core/executor.h"
 #include "datagen/fixtures.h"
 #include "datagen/synthetic.h"
 
@@ -63,16 +64,18 @@ TEST(KbIoTest, SyntheticRoundTripAndIdenticalQueryResults) {
   ExpectEquivalent(**kb, **loaded);
 
   // Queries over the loaded KB return identical answers.
-  KspEngine engine_a(kb->get());
-  engine_a.PrepareAll(2);
-  KspEngine engine_b(loaded->get());
-  engine_b.PrepareAll(2);
+  KspDatabase db_a(kb->get());
+  db_a.PrepareAll(2);
+  QueryExecutor exec_a(&db_a);
+  KspDatabase db_b(loaded->get());
+  db_b.PrepareAll(2);
+  QueryExecutor exec_b(&db_b);
   KspQuery q;
   q.location = Point{45, 10};
   q.keywords = {0, 1, 2};
   q.k = 5;
-  auto ra = engine_a.ExecuteSp(q);
-  auto rb = engine_b.ExecuteSp(q);
+  auto ra = exec_a.ExecuteSp(q);
+  auto rb = exec_b.ExecuteSp(q);
   ASSERT_TRUE(ra.ok() && rb.ok());
   ASSERT_EQ(ra->entries.size(), rb->entries.size());
   for (size_t i = 0; i < ra->entries.size(); ++i) {

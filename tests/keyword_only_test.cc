@@ -5,7 +5,8 @@
 
 #include <algorithm>
 
-#include "core/engine.h"
+#include "core/database.h"
+#include "core/executor.h"
 #include "datagen/fixtures.h"
 #include "datagen/query_gen.h"
 #include "datagen/synthetic.h"
@@ -23,12 +24,13 @@ PlaceId kb_place(const std::unique_ptr<KnowledgeBase>& kb,
 TEST(KeywordOnlyTest, Figure1RanksByLoosenessNotDistance) {
   auto kb = BuildFigure1KnowledgeBase();
   ASSERT_TRUE(kb.ok());
-  KspEngine engine(kb->get());
-  engine.BuildRTree();
+  KspDatabase db(kb->get());
+  db.BuildRTree();
+  QueryExecutor executor(&db);
   // From q1, p1 is much closer — but p2 has the lower looseness (4 vs 6)
   // and must win a location-free ranking.
-  KspQuery query = engine.MakeQuery(kQ1, Figure1QueryKeywords(), 2);
-  auto result = engine.ExecuteKeywordOnly(query);
+  KspQuery query = db.MakeQuery(kQ1, Figure1QueryKeywords(), 2);
+  auto result = executor.ExecuteKeywordOnly(query);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   ASSERT_EQ(result->entries.size(), 2u);
   EXPECT_DOUBLE_EQ(result->entries[0].score, 4.0);
@@ -44,8 +46,9 @@ TEST(KeywordOnlyTest, Figure1RanksByLoosenessNotDistance) {
 TEST(KeywordOnlyTest, MatchesBruteForceOracle) {
   auto kb = GenerateKnowledgeBase(SyntheticProfile::DBpediaLike(1200));
   ASSERT_TRUE(kb.ok());
-  KspEngine engine(kb->get());
-  engine.BuildRTree();
+  KspDatabase db(kb->get());
+  db.BuildRTree();
+  QueryExecutor executor(&db);
   QueryGenOptions qopt;
   qopt.num_keywords = 4;
   qopt.k = 6;
@@ -55,13 +58,14 @@ TEST(KeywordOnlyTest, MatchesBruteForceOracle) {
   for (const auto& q : queries) {
     std::vector<std::pair<double, PlaceId>> oracle;
     for (PlaceId p = 0; p < (*kb)->num_places(); ++p) {
-      auto tree = engine.ComputeTqspForPlace(p, q);
-      if (tree.IsQualified()) oracle.emplace_back(tree.looseness, p);
+      auto tree = executor.ComputeTqspForPlace(p, q);
+      ASSERT_TRUE(tree.ok());
+      if (tree->IsQualified()) oracle.emplace_back(tree->looseness, p);
     }
     std::sort(oracle.begin(), oracle.end());
     if (oracle.size() > q.k) oracle.resize(q.k);
 
-    auto result = engine.ExecuteKeywordOnly(q);
+    auto result = executor.ExecuteKeywordOnly(q);
     ASSERT_TRUE(result.ok());
     ASSERT_EQ(result->entries.size(), oracle.size());
     for (size_t i = 0; i < oracle.size(); ++i) {
@@ -74,15 +78,16 @@ TEST(KeywordOnlyTest, MatchesBruteForceOracle) {
 TEST(KeywordOnlyTest, UnansweredAndEmptyQueries) {
   auto kb = BuildFigure1KnowledgeBase();
   ASSERT_TRUE(kb.ok());
-  KspEngine engine(kb->get());
-  engine.BuildRTree();
-  auto r1 = engine.ExecuteKeywordOnly(engine.MakeQuery(kQ1, {"zzz"}, 3));
+  KspDatabase db(kb->get());
+  db.BuildRTree();
+  QueryExecutor executor(&db);
+  auto r1 = executor.ExecuteKeywordOnly(db.MakeQuery(kQ1, {"zzz"}, 3));
   ASSERT_TRUE(r1.ok());
   EXPECT_TRUE(r1->entries.empty());
   KspQuery no_keywords;
   no_keywords.location = kQ1;
   no_keywords.k = 3;
-  auto r2 = engine.ExecuteKeywordOnly(no_keywords);
+  auto r2 = executor.ExecuteKeywordOnly(no_keywords);
   ASSERT_TRUE(r2.ok());
   EXPECT_TRUE(r2->entries.empty());
 }

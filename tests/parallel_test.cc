@@ -1,5 +1,5 @@
-// Batch and multi-threaded query execution through engine clones sharing
-// the immutable indexes.
+// Batch and multi-threaded query execution: QueryExecutor pools over one
+// shared immutable KspDatabase.
 
 #include "core/parallel.h"
 
@@ -19,8 +19,8 @@ class ParallelTest : public ::testing::Test {
     auto kb = GenerateKnowledgeBase(SyntheticProfile::DBpediaLike(2000));
     ASSERT_TRUE(kb.ok());
     kb_ = std::move(*kb);
-    engine_ = std::make_unique<KspEngine>(kb_.get());
-    engine_->PrepareAll(3);
+    db_ = std::make_unique<KspDatabase>(kb_.get());
+    db_->PrepareAll(3);
     QueryGenOptions qopt;
     qopt.num_keywords = 4;
     qopt.k = 5;
@@ -30,7 +30,7 @@ class ParallelTest : public ::testing::Test {
   }
 
   std::unique_ptr<KnowledgeBase> kb_;
-  std::unique_ptr<KspEngine> engine_;
+  std::unique_ptr<KspDatabase> db_;
   std::vector<KspQuery> queries_;
 };
 
@@ -38,13 +38,17 @@ TEST_F(ParallelTest, SerialBatchMatchesIndividualExecution) {
   BatchRunOptions options;
   options.algorithm = KspAlgorithm::kSp;
   options.num_threads = 1;
-  QueryStats total;
-  auto batch = RunQueryBatch(engine_.get(), queries_, options, &total);
+  BatchRunStats stats;
+  auto batch = RunQueryBatch(*db_, queries_, options, &stats);
   ASSERT_TRUE(batch.ok()) << batch.status().ToString();
   ASSERT_EQ(batch->size(), queries_.size());
+  QueryExecutor executor(db_.get());
+  QueryStats manual_totals;
   for (size_t i = 0; i < queries_.size(); ++i) {
-    auto single = engine_->ExecuteSp(queries_[i]);
+    QueryStats single_stats;
+    auto single = executor.ExecuteSp(queries_[i], &single_stats);
     ASSERT_TRUE(single.ok());
+    manual_totals.Accumulate(single_stats);
     ASSERT_EQ((*batch)[i].entries.size(), single->entries.size()) << i;
     for (size_t j = 0; j < single->entries.size(); ++j) {
       EXPECT_DOUBLE_EQ((*batch)[i].entries[j].score,
@@ -52,7 +56,14 @@ TEST_F(ParallelTest, SerialBatchMatchesIndividualExecution) {
       EXPECT_EQ((*batch)[i].entries[j].place, single->entries[j].place);
     }
   }
-  EXPECT_GT(total.total_ms, 0.0);
+  EXPECT_GT(stats.totals.total_ms, 0.0);
+  // Per-query counters merge exactly, independent of who accumulates.
+  EXPECT_EQ(stats.totals.tqsp_computations, manual_totals.tqsp_computations);
+  EXPECT_EQ(stats.totals.rtree_nodes_accessed,
+            manual_totals.rtree_nodes_accessed);
+  // Single-threaded batches report exactly one worker lane.
+  ASSERT_EQ(stats.worker_wall_ms.size(), 1u);
+  EXPECT_GE(stats.worker_wall_ms[0], 0.0);
 }
 
 TEST_F(ParallelTest, MultiThreadedMatchesSerial) {
@@ -62,15 +73,17 @@ TEST_F(ParallelTest, MultiThreadedMatchesSerial) {
     BatchRunOptions serial;
     serial.algorithm = algorithm;
     serial.num_threads = 1;
-    auto expected = RunQueryBatch(engine_.get(), queries_, serial);
+    auto expected = RunQueryBatch(*db_, queries_, serial);
     ASSERT_TRUE(expected.ok());
 
     BatchRunOptions parallel;
     parallel.algorithm = algorithm;
     parallel.num_threads = 4;
-    auto got = RunQueryBatch(engine_.get(), queries_, parallel);
+    BatchRunStats stats;
+    auto got = RunQueryBatch(*db_, queries_, parallel, &stats);
     ASSERT_TRUE(got.ok()) << got.status().ToString();
     ASSERT_EQ(got->size(), expected->size());
+    EXPECT_EQ(stats.worker_wall_ms.size(), 4u);
     for (size_t i = 0; i < expected->size(); ++i) {
       ASSERT_EQ((*got)[i].entries.size(), (*expected)[i].entries.size())
           << KspAlgorithmName(algorithm) << " query " << i;
@@ -84,36 +97,53 @@ TEST_F(ParallelTest, MultiThreadedMatchesSerial) {
   }
 }
 
-TEST_F(ParallelTest, CloneSharesIndexes) {
-  auto clone = engine_->Clone();
-  EXPECT_EQ(&clone->rtree(), &engine_->rtree());
-  EXPECT_EQ(clone->reachability_index(), engine_->reachability_index());
-  EXPECT_EQ(clone->alpha_index(), engine_->alpha_index());
-  // Clone answers queries identically.
-  auto a = engine_->ExecuteSp(queries_[0]);
-  auto b = clone->ExecuteSp(queries_[0]);
-  ASSERT_TRUE(a.ok() && b.ok());
-  ASSERT_EQ(a->entries.size(), b->entries.size());
-  for (size_t i = 0; i < a->entries.size(); ++i) {
-    EXPECT_DOUBLE_EQ(a->entries[i].score, b->entries[i].score);
+TEST_F(ParallelTest, PoolIsReusableAcrossBatches) {
+  QueryExecutorPool pool(db_.get(), 3);
+  EXPECT_EQ(pool.num_threads(), 3u);
+  auto first = pool.Run(queries_, KspAlgorithm::kSp);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  // Same batch again on the warm pool: identical answers.
+  auto second = pool.Run(queries_, KspAlgorithm::kSp);
+  ASSERT_TRUE(second.ok());
+  ASSERT_EQ(first->size(), second->size());
+  for (size_t i = 0; i < first->size(); ++i) {
+    ASSERT_EQ((*first)[i].entries.size(), (*second)[i].entries.size());
+    for (size_t j = 0; j < (*first)[i].entries.size(); ++j) {
+      EXPECT_DOUBLE_EQ((*first)[i].entries[j].score,
+                       (*second)[i].entries[j].score);
+      EXPECT_EQ((*first)[i].entries[j].place, (*second)[i].entries[j].place);
+    }
   }
+  // A different algorithm on the same pool also works.
+  auto ta = pool.Run(queries_, KspAlgorithm::kTa);
+  ASSERT_TRUE(ta.ok());
+  EXPECT_EQ(ta->size(), queries_.size());
 }
 
 TEST_F(ParallelTest, EmptyBatch) {
   BatchRunOptions options;
-  auto batch = RunQueryBatch(engine_.get(), {}, options);
+  auto batch = RunQueryBatch(*db_, {}, options);
   ASSERT_TRUE(batch.ok());
   EXPECT_TRUE(batch->empty());
 }
 
+TEST_F(ParallelTest, UnpreparedDatabaseRejected) {
+  KspDatabase bare(kb_.get());
+  BatchRunOptions options;
+  options.num_threads = 2;
+  auto batch = RunQueryBatch(bare, queries_, options);
+  EXPECT_FALSE(batch.ok());
+  EXPECT_TRUE(batch.status().IsInvalidArgument());
+}
+
 TEST_F(ParallelTest, ErrorPropagates) {
   // SPP without a reachability index fails; the batch must surface it.
-  KspEngine bare(kb_.get());
+  KspDatabase bare(kb_.get());
   bare.BuildRTree();
   BatchRunOptions options;
   options.algorithm = KspAlgorithm::kSpp;
   options.num_threads = 2;
-  auto batch = RunQueryBatch(&bare, queries_, options);
+  auto batch = RunQueryBatch(bare, queries_, options);
   EXPECT_FALSE(batch.ok());
   EXPECT_TRUE(batch.status().IsInvalidArgument());
 }
@@ -123,6 +153,7 @@ TEST(KspAlgorithmTest, Names) {
   EXPECT_STREQ(KspAlgorithmName(KspAlgorithm::kSpp), "SPP");
   EXPECT_STREQ(KspAlgorithmName(KspAlgorithm::kSp), "SP");
   EXPECT_STREQ(KspAlgorithmName(KspAlgorithm::kTa), "TA");
+  EXPECT_STREQ(KspAlgorithmName(KspAlgorithm::kKeywordOnly), "KW");
 }
 
 }  // namespace

@@ -2,7 +2,8 @@
 
 #include <gtest/gtest.h>
 
-#include "core/engine.h"
+#include "core/database.h"
+#include "core/executor.h"
 #include "datagen/synthetic.h"
 
 namespace ksp {
@@ -43,11 +44,12 @@ TEST_F(QueryGenTest, OriginalQueriesUsuallyHaveResults) {
   options.k = 1;
   auto queries = GenerateQueries(*kb_, QueryClass::kOriginal, options, 15);
   ASSERT_FALSE(queries.empty());
-  KspEngine engine(kb_.get());
-  engine.BuildRTree();
+  KspDatabase db(kb_.get());
+  db.BuildRTree();
+  QueryExecutor executor(&db);
   size_t with_results = 0;
   for (const auto& q : queries) {
-    auto result = engine.ExecuteBsp(q);
+    auto result = executor.ExecuteBsp(q);
     ASSERT_TRUE(result.ok());
     if (!result->entries.empty()) ++with_results;
   }

@@ -8,7 +8,8 @@
 #include <algorithm>
 
 #include "common/rng.h"
-#include "core/engine.h"
+#include "core/database.h"
+#include "core/executor.h"
 #include "datagen/query_gen.h"
 #include "datagen/synthetic.h"
 #include "spatial/rtree.h"
@@ -74,14 +75,15 @@ TEST(RTreeStrategyTest, EngineAnswersIndependentOfConstruction) {
        {Variant{false, RTreeSplitStrategy::kQuadratic},
         Variant{false, RTreeSplitStrategy::kLinear},
         Variant{true, RTreeSplitStrategy::kQuadratic}}) {
-    KspEngineOptions options;
+    KspOptions options;
     options.bulk_load_rtree = variant.bulk;
     options.rtree_options.split = variant.split;
-    KspEngine engine(kb->get(), options);
-    engine.PrepareAll(2);
+    KspDatabase db(kb->get(), options);
+    db.PrepareAll(2);
+    QueryExecutor executor(&db);
     std::vector<KspResult> results;
     for (const auto& q : queries) {
-      auto r = engine.ExecuteSp(q);
+      auto r = executor.ExecuteSp(q);
       ASSERT_TRUE(r.ok());
       results.push_back(std::move(*r));
     }

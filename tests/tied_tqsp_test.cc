@@ -3,7 +3,8 @@
 
 #include <gtest/gtest.h>
 
-#include "core/engine.h"
+#include "core/database.h"
+#include "core/executor.h"
 #include "datagen/fixtures.h"
 
 namespace ksp {
@@ -22,43 +23,48 @@ TEST(TiedTqspTest, EnumeratesAllMinimumDistanceMatches) {
   auto kb = builder.Finish();
   ASSERT_TRUE(kb.ok());
 
-  KspEngine engine(kb->get());
-  engine.BuildRTree();
+  KspDatabase db(kb->get());
+  db.BuildRTree();
+  QueryExecutor executor(&db);
   // "widget" occurs at distance 1 twice (a, b) and distance 2 once (c):
   // two tied TQSPs of looseness 2; c is not a minimum match.
-  KspQuery query = engine.MakeQuery(Point{0, 0}, {"widget"}, 1);
-  TiedSemanticPlace tied = engine.ComputeTqspAlternatives(0, query);
-  ASSERT_TRUE(tied.IsQualified());
-  EXPECT_DOUBLE_EQ(tied.looseness, 2.0);
-  ASSERT_EQ(tied.keywords.size(), 1u);
-  EXPECT_EQ(tied.keywords[0].distance, 1u);
-  EXPECT_EQ(tied.keywords[0].vertices.size(), 2u);
-  EXPECT_EQ(tied.NumDistinctTrees(), 2u);
+  KspQuery query = db.MakeQuery(Point{0, 0}, {"widget"}, 1);
+  auto tied = executor.ComputeTqspAlternatives(0, query);
+  ASSERT_TRUE(tied.ok()) << tied.status().ToString();
+  ASSERT_TRUE(tied->IsQualified());
+  EXPECT_DOUBLE_EQ(tied->looseness, 2.0);
+  ASSERT_EQ(tied->keywords.size(), 1u);
+  EXPECT_EQ(tied->keywords[0].distance, 1u);
+  EXPECT_EQ(tied->keywords[0].vertices.size(), 2u);
+  EXPECT_EQ(tied->NumDistinctTrees(), 2u);
 
   // Two keywords -> product of alternatives.
-  KspQuery q2 = engine.MakeQuery(Point{0, 0}, {"widget", "alpha"}, 1);
-  TiedSemanticPlace tied2 = engine.ComputeTqspAlternatives(0, q2);
-  ASSERT_TRUE(tied2.IsQualified());
-  EXPECT_DOUBLE_EQ(tied2.looseness, 3.0);  // 1 + 1 + 1.
-  EXPECT_EQ(tied2.NumDistinctTrees(), 2u);  // {a,b} x {a}.
+  KspQuery q2 = db.MakeQuery(Point{0, 0}, {"widget", "alpha"}, 1);
+  auto tied2 = executor.ComputeTqspAlternatives(0, q2);
+  ASSERT_TRUE(tied2.ok());
+  ASSERT_TRUE(tied2->IsQualified());
+  EXPECT_DOUBLE_EQ(tied2->looseness, 3.0);  // 1 + 1 + 1.
+  EXPECT_EQ(tied2->NumDistinctTrees(), 2u);  // {a,b} x {a}.
 }
 
 TEST(TiedTqspTest, AgreesWithSingleTqspLooseness) {
   auto kb = BuildFigure1KnowledgeBase();
   ASSERT_TRUE(kb.ok());
-  KspEngine engine(kb->get());
-  engine.BuildRTree();
-  KspQuery query = engine.MakeQuery(kQ1, Figure1QueryKeywords(), 1);
+  KspDatabase db(kb->get());
+  db.BuildRTree();
+  QueryExecutor executor(&db);
+  KspQuery query = db.MakeQuery(kQ1, Figure1QueryKeywords(), 1);
   for (PlaceId p = 0; p < (*kb)->num_places(); ++p) {
-    SemanticPlaceTree single = engine.ComputeTqspForPlace(p, query);
-    TiedSemanticPlace tied = engine.ComputeTqspAlternatives(p, query);
-    ASSERT_EQ(single.IsQualified(), tied.IsQualified());
-    if (single.IsQualified()) {
-      EXPECT_DOUBLE_EQ(single.looseness, tied.looseness);
+    auto single = executor.ComputeTqspForPlace(p, query);
+    auto tied = executor.ComputeTqspAlternatives(p, query);
+    ASSERT_TRUE(single.ok() && tied.ok());
+    ASSERT_EQ(single->IsQualified(), tied->IsQualified());
+    if (single->IsQualified()) {
+      EXPECT_DOUBLE_EQ(single->looseness, tied->looseness);
       // The single tree's choice per keyword is among the alternatives.
-      for (const auto& match : single.matches) {
+      for (const auto& match : single->matches) {
         bool found = false;
-        for (const auto& kw : tied.keywords) {
+        for (const auto& kw : tied->keywords) {
           if (kw.term != match.term) continue;
           EXPECT_EQ(kw.distance, match.distance);
           for (VertexId v : kw.vertices) {
@@ -67,7 +73,7 @@ TEST(TiedTqspTest, AgreesWithSingleTqspLooseness) {
         }
         EXPECT_TRUE(found);
       }
-      EXPECT_GE(tied.NumDistinctTrees(), 1u);
+      EXPECT_GE(tied->NumDistinctTrees(), 1u);
     }
   }
 }
@@ -75,25 +81,29 @@ TEST(TiedTqspTest, AgreesWithSingleTqspLooseness) {
 TEST(TiedTqspTest, UnqualifiedPlace) {
   auto kb = BuildFigure1KnowledgeBase();
   ASSERT_TRUE(kb.ok());
-  KspEngine engine(kb->get());
-  engine.BuildRTree();
+  KspDatabase db(kb->get());
+  db.BuildRTree();
+  QueryExecutor executor(&db);
   // p1 (place 0) never reaches "church".
-  KspQuery query = engine.MakeQuery(kQ1, {"church"}, 1);
+  KspQuery query = db.MakeQuery(kQ1, {"church"}, 1);
   PlaceId p1 =
       (*kb)->place_of(*(*kb)->FindVertex("http://example.org/Montmajour_Abbey"));
-  TiedSemanticPlace tied = engine.ComputeTqspAlternatives(p1, query);
-  EXPECT_FALSE(tied.IsQualified());
-  EXPECT_EQ(tied.NumDistinctTrees(), 0u);
+  auto tied = executor.ComputeTqspAlternatives(p1, query);
+  ASSERT_TRUE(tied.ok());
+  EXPECT_FALSE(tied->IsQualified());
+  EXPECT_EQ(tied->NumDistinctTrees(), 0u);
 }
 
 TEST(TiedTqspTest, UnknownKeywordUnqualified) {
   auto kb = BuildFigure1KnowledgeBase();
   ASSERT_TRUE(kb.ok());
-  KspEngine engine(kb->get());
-  engine.BuildRTree();
-  KspQuery query = engine.MakeQuery(kQ1, {"nonexistentterm"}, 1);
-  TiedSemanticPlace tied = engine.ComputeTqspAlternatives(0, query);
-  EXPECT_FALSE(tied.IsQualified());
+  KspDatabase db(kb->get());
+  db.BuildRTree();
+  QueryExecutor executor(&db);
+  KspQuery query = db.MakeQuery(kQ1, {"nonexistentterm"}, 1);
+  auto tied = executor.ComputeTqspAlternatives(0, query);
+  ASSERT_TRUE(tied.ok());
+  EXPECT_FALSE(tied->IsQualified());
 }
 
 }  // namespace

@@ -3,7 +3,7 @@
 #include <limits>
 
 #include "common/rng.h"
-#include "core/engine.h"
+#include "core/executor.h"
 
 namespace ksp {
 namespace {
