@@ -164,7 +164,32 @@ namespace {
 constexpr uint32_t kAlphaMagic = 0x4B535041u;  // "KSPA"
 }  // namespace
 
-Status AlphaIndex::Save(const std::string& path) const {
+namespace {
+constexpr uint32_t kAlphaFormatVersion = 2;
+}  // namespace
+
+Status AlphaIndex::Save(const std::string& path, FileSystem* fs,
+                        ArtifactInfo* info) const {
+  if (fs == nullptr) fs = DefaultFileSystem();
+  return WriteArtifactAtomically(
+      fs, path, kAlphaMagic, kAlphaFormatVersion,
+      [this](ChecksummedWriter* w) -> Status {
+        std::string meta;
+        AppendPod(&meta, alpha_);
+        AppendPod(&meta, num_places_);
+        AppendPod(&meta, num_nodes_);
+        KSP_RETURN_NOT_OK(w->WriteSection(meta));
+        std::string buf;
+        AppendPodVector(&buf, offsets_);
+        KSP_RETURN_NOT_OK(w->WriteSection(buf));
+        buf.clear();
+        AppendPodVector(&buf, postings_);
+        return w->WriteSection(buf);
+      },
+      info);
+}
+
+Status AlphaIndex::SaveLegacyForTesting(const std::string& path) const {
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) return Status::IOError("cannot open: " + path);
   auto write_all = [&]() -> Status {
@@ -182,7 +207,7 @@ Status AlphaIndex::Save(const std::string& path) const {
   return st;
 }
 
-Result<AlphaIndex> AlphaIndex::Load(const std::string& path) {
+Result<AlphaIndex> AlphaIndex::LoadLegacy(const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) return Status::IOError("cannot open: " + path);
   AlphaIndex index;
@@ -206,6 +231,56 @@ Result<AlphaIndex> AlphaIndex::Load(const std::string& path) {
   Status st = read_all();
   std::fclose(f);
   if (!st.ok()) return st;
+  return index;
+}
+
+Result<AlphaIndex> AlphaIndex::Load(const std::string& path,
+                                    FileSystem* fs) {
+  if (fs == nullptr) fs = DefaultFileSystem();
+  auto file = fs->NewRandomAccessFile(path);
+  if (!file.ok()) return file.status();
+  auto checksummed = IsChecksummedFile(**file);
+  if (!checksummed.ok()) return checksummed.status();
+  if (!*checksummed) return LoadLegacy(path);
+
+  ChecksummedReader reader(file->get());
+  uint32_t version = 0;
+  KSP_RETURN_NOT_OK(reader.Open(kAlphaMagic, &version));
+  if (version != kAlphaFormatVersion) {
+    return CorruptionAt(path, 4, "unsupported alpha-index format version " +
+                                     std::to_string(version));
+  }
+  AlphaIndex index;
+  std::string meta;
+  const uint64_t meta_offset = reader.offset();
+  KSP_RETURN_NOT_OK(reader.ReadSection(&meta));
+  size_t pos = 0;
+  Status st = ParsePod(meta, &pos, &index.alpha_);
+  if (st.ok()) st = ParsePod(meta, &pos, &index.num_places_);
+  if (st.ok()) st = ParsePod(meta, &pos, &index.num_nodes_);
+  if (!st.ok() || pos != meta.size()) {
+    return CorruptionAt(path, meta_offset, "malformed meta section");
+  }
+  auto read_vec = [&](auto* vec) -> Status {
+    std::string section;
+    const uint64_t section_offset = reader.offset();
+    KSP_RETURN_NOT_OK(reader.ReadSection(&section));
+    size_t vpos = 0;
+    Status vst = ParsePodVector(section, &vpos, vec);
+    if (!vst.ok() || vpos != section.size()) {
+      return CorruptionAt(path, section_offset, "malformed vector section");
+    }
+    return Status::OK();
+  };
+  KSP_RETURN_NOT_OK(read_vec(&index.offsets_));
+  KSP_RETURN_NOT_OK(read_vec(&index.postings_));
+  KSP_RETURN_NOT_OK(reader.ExpectEnd());
+  // CSR sanity: every offset must stay inside the postings array.
+  for (uint64_t off : index.offsets_) {
+    if (off > index.postings_.size()) {
+      return CorruptionAt(path, meta_offset, "CSR offset out of range");
+    }
+  }
   return index;
 }
 

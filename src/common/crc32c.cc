@@ -1,0 +1,62 @@
+#include "common/crc32c.h"
+
+#include <bit>
+#include <cstring>
+
+namespace ksp {
+
+namespace {
+
+constexpr uint32_t kPolyReflected = 0x82F63B78u;
+
+struct Crc32cTables {
+  uint32_t t[8][256];
+
+  Crc32cTables() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? (kPolyReflected ^ (c >> 1)) : (c >> 1);
+      }
+      t[0][i] = c;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      for (int j = 1; j < 8; ++j) {
+        t[j][i] = (t[j - 1][i] >> 8) ^ t[0][t[j - 1][i] & 0xFF];
+      }
+    }
+  }
+};
+
+const Crc32cTables& Tables() {
+  static const Crc32cTables tables;
+  return tables;
+}
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n) {
+  const auto& tb = Tables().t;
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t c = crc ^ 0xFFFFFFFFu;
+  if constexpr (std::endian::native == std::endian::little) {
+    while (n >= 8) {
+      uint64_t w;
+      std::memcpy(&w, p, 8);
+      c ^= static_cast<uint32_t>(w);
+      const uint32_t hi = static_cast<uint32_t>(w >> 32);
+      c = tb[7][c & 0xFF] ^ tb[6][(c >> 8) & 0xFF] ^
+          tb[5][(c >> 16) & 0xFF] ^ tb[4][c >> 24] ^ tb[3][hi & 0xFF] ^
+          tb[2][(hi >> 8) & 0xFF] ^ tb[1][(hi >> 16) & 0xFF] ^
+          tb[0][hi >> 24];
+      p += 8;
+      n -= 8;
+    }
+  }
+  while (n-- != 0) {
+    c = tb[0][(c ^ *p++) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace ksp

@@ -1,0 +1,130 @@
+#include "common/fault_injection.h"
+
+#include <utility>
+
+namespace ksp {
+
+namespace {
+
+Status Injected(const std::string& op, const std::string& path) {
+  return Status::IOError("injected fault: " + op + ": " + path);
+}
+
+}  // namespace
+
+bool FaultInjectingFileSystem::CountAndCheck(FailureMode* mode) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t op = ops_++;
+  *mode = mode_;
+  if (fail_at_ >= 0 && op >= fail_at_) {
+    ++faults_;
+    return true;
+  }
+  return false;
+}
+
+/// Wraps a WritableFile; every Append/Sync/Close consults the owning
+/// filesystem's fault schedule. A triggered short write appends half the
+/// data before reporting the error, modeling a torn page.
+class FaultInjectingWritableFile : public WritableFile {
+ public:
+  FaultInjectingWritableFile(std::unique_ptr<WritableFile> base,
+                             FaultInjectingFileSystem* fs)
+      : base_(std::move(base)), fs_(fs) {}
+
+  Status Append(std::string_view data) override {
+    FaultInjectingFileSystem::FailureMode mode;
+    if (fs_->CountAndCheck(&mode)) {
+      if (mode == FaultInjectingFileSystem::FailureMode::kShortWrite &&
+          !data.empty()) {
+        base_->Append(data.substr(0, data.size() / 2));
+      }
+      return Injected("write", base_->path());
+    }
+    return base_->Append(data);
+  }
+
+  Status Sync() override {
+    FaultInjectingFileSystem::FailureMode mode;
+    if (fs_->CountAndCheck(&mode)) return Injected("fsync", base_->path());
+    return base_->Sync();
+  }
+
+  Status Close() override {
+    FaultInjectingFileSystem::FailureMode mode;
+    if (fs_->CountAndCheck(&mode)) return Injected("close", base_->path());
+    return base_->Close();
+  }
+
+  const std::string& path() const override { return base_->path(); }
+
+ private:
+  std::unique_ptr<WritableFile> base_;
+  FaultInjectingFileSystem* fs_;
+};
+
+class FaultInjectingRandomAccessFile : public RandomAccessFile {
+ public:
+  FaultInjectingRandomAccessFile(std::unique_ptr<RandomAccessFile> base,
+                                 FaultInjectingFileSystem* fs)
+      : base_(std::move(base)), fs_(fs) {}
+
+  Status Read(uint64_t offset, size_t n, std::string* out) const override {
+    FaultInjectingFileSystem::FailureMode mode;
+    if (fs_->CountAndCheck(&mode)) return Injected("read", base_->path());
+    return base_->Read(offset, n, out);
+  }
+
+  uint64_t Size() const override { return base_->Size(); }
+  const std::string& path() const override { return base_->path(); }
+
+ private:
+  std::unique_ptr<RandomAccessFile> base_;
+  FaultInjectingFileSystem* fs_;
+};
+
+Result<std::unique_ptr<WritableFile>>
+FaultInjectingFileSystem::NewWritableFile(const std::string& path) {
+  FailureMode mode;
+  if (CountAndCheck(&mode)) return Injected("open for write", path);
+  auto base = base_->NewWritableFile(path);
+  if (!base.ok()) return base.status();
+  return std::unique_ptr<WritableFile>(
+      new FaultInjectingWritableFile(std::move(*base), this));
+}
+
+Result<std::unique_ptr<RandomAccessFile>>
+FaultInjectingFileSystem::NewRandomAccessFile(const std::string& path) {
+  FailureMode mode;
+  if (CountAndCheck(&mode)) return Injected("open", path);
+  auto base = base_->NewRandomAccessFile(path);
+  if (!base.ok()) return base.status();
+  return std::unique_ptr<RandomAccessFile>(
+      new FaultInjectingRandomAccessFile(std::move(*base), this));
+}
+
+Status FaultInjectingFileSystem::RenameFile(const std::string& from,
+                                            const std::string& to) {
+  FailureMode mode;
+  if (CountAndCheck(&mode)) return Injected("rename", from);
+  return base_->RenameFile(from, to);
+}
+
+Status FaultInjectingFileSystem::RemoveFile(const std::string& path) {
+  FailureMode mode;
+  if (CountAndCheck(&mode)) return Injected("remove", path);
+  return base_->RemoveFile(path);
+}
+
+bool FaultInjectingFileSystem::FileExists(const std::string& path) {
+  // Existence probes are metadata-only; not a counted fault point.
+  return base_->FileExists(path);
+}
+
+Status FaultInjectingFileSystem::SyncDir(const std::string& dir) {
+  FailureMode mode;
+  if (CountAndCheck(&mode)) return Injected("fsync dir", dir);
+  return base_->SyncDir(dir);
+}
+
+}  // namespace ksp

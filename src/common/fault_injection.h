@@ -1,0 +1,93 @@
+#ifndef KSP_COMMON_FAULT_INJECTION_H_
+#define KSP_COMMON_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "common/file.h"
+
+namespace ksp {
+
+/// FileSystem decorator that injects I/O failures at a chosen operation
+/// index — the test double behind the crash-safety acceptance criteria:
+/// every save interrupted at any fault point must leave the previous
+/// on-disk index generation loadable, and every load hitting EIO must
+/// fail with a clean Status.
+///
+/// Usage: run the workload once disarmed to count its operations, then
+/// re-run with FailAfter(i) for each i. Once the fault point is reached,
+/// EVERY subsequent operation also fails — a crashed process performs no
+/// further I/O, so nothing after the fault (renames, cleanup) may be
+/// observed either.
+class FaultInjectingFileSystem : public FileSystem {
+ public:
+  enum class FailureMode {
+    /// The operation fails outright (EIO-style).
+    kEIO,
+    /// Appends write a prefix of the data before failing (torn write).
+    kShortWrite,
+  };
+
+  explicit FaultInjectingFileSystem(FileSystem* base) : base_(base) {}
+
+  /// Arms the injector: the `n`th counted operation (0-based) and every
+  /// later one fail.
+  void FailAfter(int64_t n, FailureMode mode = FailureMode::kEIO) {
+    std::lock_guard<std::mutex> lock(mu_);
+    fail_at_ = n;
+    mode_ = mode;
+  }
+
+  void Disarm() {
+    std::lock_guard<std::mutex> lock(mu_);
+    fail_at_ = -1;
+  }
+
+  /// Operations counted since the last ResetCounter().
+  int64_t ops_counted() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return ops_;
+  }
+
+  void ResetCounter() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ops_ = 0;
+  }
+
+  /// Injected failures so far (distinguishes "save failed at the fault"
+  /// from "fault point was past the save's last operation").
+  int64_t faults_injected() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return faults_;
+  }
+
+  // FileSystem:
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) override;
+  Result<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
+      const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status RemoveFile(const std::string& path) override;
+  bool FileExists(const std::string& path) override;
+  Status SyncDir(const std::string& dir) override;
+
+ private:
+  friend class FaultInjectingWritableFile;
+  friend class FaultInjectingRandomAccessFile;
+
+  /// Counts one operation; true when it must fail. `mode` receives the
+  /// configured failure mode.
+  bool CountAndCheck(FailureMode* mode);
+
+  FileSystem* base_;
+  mutable std::mutex mu_;
+  int64_t ops_ = 0;
+  int64_t fail_at_ = -1;
+  int64_t faults_ = 0;
+  FailureMode mode_ = FailureMode::kEIO;
+};
+
+}  // namespace ksp
+
+#endif  // KSP_COMMON_FAULT_INJECTION_H_

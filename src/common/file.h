@@ -1,0 +1,75 @@
+#ifndef KSP_COMMON_FILE_H_
+#define KSP_COMMON_FILE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace ksp {
+
+/// Minimal filesystem abstraction the persistence layer is written
+/// against. Production code uses the POSIX implementation returned by
+/// DefaultFileSystem(); tests substitute a FaultInjectingFileSystem to
+/// prove that every save/load path degrades to a clean Status (never a
+/// crash or a half-loaded index) when I/O fails mid-operation.
+
+/// Append-only output file. Append buffers; Sync() pushes library and OS
+/// buffers to stable storage (fflush + fsync) — the atomic-rename commit
+/// protocol requires a successful Sync before the rename.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  virtual Status Append(std::string_view data) = 0;
+  virtual Status Sync() = 0;
+  /// Closing twice is harmless; the destructor closes (discarding errors)
+  /// if the caller never did.
+  virtual Status Close() = 0;
+  virtual const std::string& path() const = 0;
+};
+
+/// Positioned (pread-style) input file, safe for concurrent readers.
+class RandomAccessFile {
+ public:
+  virtual ~RandomAccessFile() = default;
+
+  /// Reads up to `n` bytes at `offset` into `*out` (replacing its
+  /// contents). Short results at end-of-file are not an error — callers
+  /// that need exactly `n` bytes must check out->size().
+  virtual Status Read(uint64_t offset, size_t n, std::string* out) const = 0;
+  virtual uint64_t Size() const = 0;
+  virtual const std::string& path() const = 0;
+};
+
+class FileSystem {
+ public:
+  virtual ~FileSystem() = default;
+
+  /// Creates (truncating) `path` for writing.
+  virtual Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) = 0;
+  virtual Result<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
+      const std::string& path) = 0;
+  /// Atomically replaces `to` with `from` (POSIX rename semantics).
+  virtual Status RenameFile(const std::string& from,
+                            const std::string& to) = 0;
+  virtual Status RemoveFile(const std::string& path) = 0;
+  virtual bool FileExists(const std::string& path) = 0;
+  /// fsyncs the directory itself so a preceding RenameFile survives power
+  /// loss (the rename is not durable until its directory entry is).
+  virtual Status SyncDir(const std::string& dir) = 0;
+};
+
+/// Process-wide POSIX filesystem singleton.
+FileSystem* DefaultFileSystem();
+
+/// Directory part of `path` ("." when there is no separator) — the
+/// directory WriteArtifactAtomically must SyncDir after its rename.
+std::string DirName(const std::string& path);
+
+}  // namespace ksp
+
+#endif  // KSP_COMMON_FILE_H_

@@ -1,11 +1,113 @@
 #include "core/database.h"
 
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
 #include <utility>
 
+#include "common/io_util.h"
 #include "common/logging.h"
 #include "common/timer.h"
+#include "common/varint.h"
 
 namespace ksp {
+
+namespace {
+
+constexpr uint32_t kManifestMagic = 0x4B53504Du;  // "KSPM"
+constexpr uint32_t kManifestVersion = 1;
+constexpr char kManifestName[] = "MANIFEST";
+
+/// One saved artifact as recorded by the MANIFEST.
+struct ManifestEntry {
+  std::string name;      // Logical name: "rtree", "reach", "alpha".
+  std::string filename;  // Generation-numbered file inside the directory.
+  uint32_t format_version = 0;
+  uint64_t size_bytes = 0;
+  uint32_t crc32c = 0;
+};
+
+struct Manifest {
+  uint64_t generation = 0;
+  std::vector<ManifestEntry> entries;
+};
+
+std::string ArtifactFilename(const std::string& name, uint64_t generation) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "-%06llu.bin",
+                static_cast<unsigned long long>(generation));
+  return name + buf;
+}
+
+Status WriteManifest(FileSystem* fs, const std::string& path,
+                     const Manifest& manifest) {
+  return WriteArtifactAtomically(
+      fs, path, kManifestMagic, kManifestVersion,
+      [&manifest](ChecksummedWriter* w) {
+        std::string body;
+        PutVarint64(&body, manifest.generation);
+        PutVarint64(&body, manifest.entries.size());
+        for (const ManifestEntry& e : manifest.entries) {
+          PutLengthPrefixed(&body, e.name);
+          PutLengthPrefixed(&body, e.filename);
+          PutFixed32(&body, e.format_version);
+          PutFixed64(&body, e.size_bytes);
+          PutFixed32(&body, e.crc32c);
+        }
+        return w->WriteSection(body);
+      });
+}
+
+Result<Manifest> ReadManifest(FileSystem* fs, const std::string& path) {
+  auto file = fs->NewRandomAccessFile(path);
+  if (!file.ok()) return file.status();
+  ChecksummedReader reader(file->get());
+  uint32_t version = 0;
+  KSP_RETURN_NOT_OK(reader.Open(kManifestMagic, &version));
+  if (version != kManifestVersion) {
+    return CorruptionAt(path, 4, "unsupported manifest version " +
+                                     std::to_string(version));
+  }
+  std::string body;
+  const uint64_t body_offset = reader.offset();
+  KSP_RETURN_NOT_OK(reader.ReadSection(&body));
+  KSP_RETURN_NOT_OK(reader.ExpectEnd());
+
+  Manifest manifest;
+  size_t pos = 0;
+  auto parse = [&]() -> Status {
+    KSP_RETURN_NOT_OK(GetVarint64(body, &pos, &manifest.generation));
+    uint64_t num_entries = 0;
+    KSP_RETURN_NOT_OK(GetVarint64(body, &pos, &num_entries));
+    // Every entry needs several bytes; a corrupt count must not drive a
+    // huge reserve.
+    if (num_entries > body.size() - pos) {
+      return Status::Corruption("entry count exceeds manifest size");
+    }
+    manifest.entries.resize(num_entries);
+    for (ManifestEntry& e : manifest.entries) {
+      KSP_RETURN_NOT_OK(GetLengthPrefixed(body, &pos, &e.name));
+      KSP_RETURN_NOT_OK(GetLengthPrefixed(body, &pos, &e.filename));
+      KSP_RETURN_NOT_OK(GetFixed32(body, &pos, &e.format_version));
+      KSP_RETURN_NOT_OK(GetFixed64(body, &pos, &e.size_bytes));
+      KSP_RETURN_NOT_OK(GetFixed32(body, &pos, &e.crc32c));
+      // A filename with a path separator could escape the directory.
+      if (e.filename.empty() ||
+          e.filename.find('/') != std::string::npos) {
+        return Status::Corruption("invalid artifact filename");
+      }
+    }
+    if (pos != body.size()) {
+      return Status::Corruption("trailing bytes in manifest");
+    }
+    return Status::OK();
+  };
+  Status st = parse();
+  if (!st.ok()) return CorruptionAt(path, body_offset + pos, st.message());
+  return manifest;
+}
+
+}  // namespace
 
 KspDatabase::KspDatabase(const KnowledgeBase* kb, KspOptions options)
     : kb_(kb),
@@ -63,54 +165,196 @@ void KspDatabase::PrepareAll(uint32_t alpha) {
   BuildAlphaIndex(alpha);
 }
 
-Status KspDatabase::SaveIndexes(const std::string& directory) const {
+Status KspDatabase::SaveIndexes(const std::string& directory,
+                                FileSystem* fs) const {
+  if (fs == nullptr) fs = DefaultFileSystem();
+  // Best effort: if this fails, the first artifact write reports the real
+  // error (clean IOError with the full path) instead of a silent no-op.
+  std::error_code ec;
+  std::filesystem::create_directories(directory, ec);
+  const std::string manifest_path = directory + "/" + kManifestName;
+
+  // The next generation number comes from the live manifest. An existing
+  // but unreadable manifest refuses the save: guessing a generation could
+  // overwrite the files the unreadable manifest still points at.
+  uint64_t generation = 1;
+  std::vector<std::string> previous_files;
+  if (fs->FileExists(manifest_path)) {
+    auto previous = ReadManifest(fs, manifest_path);
+    if (!previous.ok()) return previous.status();
+    generation = previous->generation + 1;
+    for (const ManifestEntry& e : previous->entries) {
+      previous_files.push_back(e.filename);
+    }
+  }
+
+  Manifest manifest;
+  manifest.generation = generation;
+  auto save_one = [&](const char* name, auto&& save_fn) -> Status {
+    ManifestEntry entry;
+    entry.name = name;
+    entry.filename = ArtifactFilename(name, generation);
+    ArtifactInfo info;
+    KSP_RETURN_NOT_OK(save_fn(directory + "/" + entry.filename, &info));
+    entry.format_version = info.format_version;
+    entry.size_bytes = info.size_bytes;
+    entry.crc32c = info.crc32c;
+    manifest.entries.push_back(std::move(entry));
+    return Status::OK();
+  };
   if (rtree_ != nullptr) {
-    KSP_RETURN_NOT_OK(rtree_->Save(directory + "/rtree.bin"));
+    KSP_RETURN_NOT_OK(save_one("rtree", [&](const std::string& p,
+                                            ArtifactInfo* info) {
+      return rtree_->Save(p, fs, info);
+    }));
   }
   if (reach_ != nullptr) {
-    KSP_RETURN_NOT_OK(reach_->Save(directory + "/reach.bin"));
+    KSP_RETURN_NOT_OK(save_one("reach", [&](const std::string& p,
+                                            ArtifactInfo* info) {
+      return reach_->Save(p, fs, info);
+    }));
   }
   if (alpha_ != nullptr) {
-    KSP_RETURN_NOT_OK(alpha_->Save(directory + "/alpha.bin"));
+    KSP_RETURN_NOT_OK(save_one("alpha", [&](const std::string& p,
+                                            ArtifactInfo* info) {
+      return alpha_->Save(p, fs, info);
+    }));
+  }
+
+  // Publish: until this rename lands, readers still see the previous
+  // generation in full.
+  KSP_RETURN_NOT_OK(WriteManifest(fs, manifest_path, manifest));
+
+  // Garbage-collect the superseded generation (best effort — a leftover
+  // file is harmless, the manifest no longer references it).
+  for (const std::string& old_file : previous_files) {
+    fs->RemoveFile(directory + "/" + old_file);
   }
   return Status::OK();
 }
 
-Status KspDatabase::LoadIndexes(const std::string& directory) {
-  if (auto rtree = RTree::Load(directory + "/rtree.bin"); rtree.ok()) {
+Status KspDatabase::LoadIndexes(const std::string& directory,
+                                FileSystem* fs) {
+  if (fs == nullptr) fs = DefaultFileSystem();
+  // Any failure leaves the database fully unprepared: a half-loaded index
+  // set could silently mix generations.
+  auto fail = [this](Status st) {
+    rtree_.reset();
+    reach_.reset();
+    alpha_.reset();
+    return st;
+  };
+
+  const std::string manifest_path = directory + "/" + kManifestName;
+  if (!fs->FileExists(manifest_path)) {
+    return LoadLegacyLayout(directory, fs);
+  }
+  auto manifest = ReadManifest(fs, manifest_path);
+  if (!manifest.ok()) return fail(manifest.status());
+
+  // Verify every artifact against the manifest BEFORE loading any codec,
+  // so a partially written or stale directory is rejected atomically.
+  for (const ManifestEntry& e : manifest->entries) {
+    const std::string path = directory + "/" + e.filename;
+    if (!fs->FileExists(path)) {
+      return fail(Status::IOError(
+          "manifest references missing artifact: " + path));
+    }
+    ArtifactInfo info;
+    Status st = ChecksumWholeFile(fs, path, &info);
+    if (!st.ok()) return fail(st);
+    if (info.size_bytes != e.size_bytes || info.crc32c != e.crc32c) {
+      return fail(Status::Corruption(
+          "artifact does not match its manifest entry (stale manifest?): " +
+          path));
+    }
+  }
+
+  rtree_.reset();
+  reach_.reset();
+  alpha_.reset();
+  for (const ManifestEntry& e : manifest->entries) {
+    const std::string path = directory + "/" + e.filename;
+    if (e.name == "rtree") {
+      auto rtree = RTree::Load(path, fs);
+      if (!rtree.ok()) return fail(rtree.status());
+      if (rtree->size() != kb_->num_places()) {
+        return fail(Status::InvalidArgument(
+            "saved R-tree does not match the KB's place count"));
+      }
+      rtree_ = std::make_shared<const RTree>(std::move(*rtree));
+    } else if (e.name == "reach") {
+      auto reach = ReachabilityIndex::Load(path, fs);
+      if (!reach.ok()) return fail(reach.status());
+      if (reach->num_base_vertices() != kb_->num_vertices()) {
+        return fail(Status::InvalidArgument(
+            "saved reachability index does not match the KB"));
+      }
+      reach_ = std::make_shared<const ReachabilityIndex>(std::move(*reach));
+    } else if (e.name == "alpha") {
+      auto alpha = AlphaIndex::Load(path, fs);
+      if (!alpha.ok()) return fail(alpha.status());
+      // The α entries are keyed by R-tree node ids: the index is only
+      // valid together with the R-tree it was built against.
+      if (rtree_ == nullptr) {
+        return fail(Status::InvalidArgument(
+            "alpha index present without its matching R-tree"));
+      }
+      if (alpha->num_places() != kb_->num_places() ||
+          alpha->num_nodes() != rtree_->num_nodes()) {
+        return fail(Status::InvalidArgument(
+            "saved alpha index does not match the KB / R-tree"));
+      }
+      alpha_ = std::make_shared<const AlphaIndex>(std::move(*alpha));
+    } else {
+      return fail(Status::Corruption(
+          "manifest lists unknown artifact \"" + e.name + "\""));
+    }
+  }
+  return Status::OK();
+}
+
+Status KspDatabase::LoadLegacyLayout(const std::string& directory,
+                                     FileSystem* fs) {
+  auto fail = [this](Status st) {
+    rtree_.reset();
+    reach_.reset();
+    alpha_.reset();
+    return st;
+  };
+  // Pre-manifest layout: fixed filenames, no cross-file verification.
+  // Absent files leave the corresponding index unbuilt.
+  if (fs->FileExists(directory + "/rtree.bin")) {
+    auto rtree = RTree::Load(directory + "/rtree.bin", fs);
+    if (!rtree.ok()) return fail(rtree.status());
     if (rtree->size() != kb_->num_places()) {
-      return Status::InvalidArgument(
-          "saved R-tree does not match the KB's place count");
+      return fail(Status::InvalidArgument(
+          "saved R-tree does not match the KB's place count"));
     }
     rtree_ = std::make_shared<const RTree>(std::move(*rtree));
-  } else if (!rtree.status().IsIOError()) {
-    return rtree.status();  // Corruption is an error; absence is not.
   }
-  if (auto reach = ReachabilityIndex::Load(directory + "/reach.bin");
-      reach.ok()) {
+  if (fs->FileExists(directory + "/reach.bin")) {
+    auto reach = ReachabilityIndex::Load(directory + "/reach.bin", fs);
+    if (!reach.ok()) return fail(reach.status());
     if (reach->num_base_vertices() != kb_->num_vertices()) {
-      return Status::InvalidArgument(
-          "saved reachability index does not match the KB");
+      return fail(Status::InvalidArgument(
+          "saved reachability index does not match the KB"));
     }
     reach_ = std::make_shared<const ReachabilityIndex>(std::move(*reach));
-  } else if (!reach.status().IsIOError()) {
-    return reach.status();
   }
-  if (auto alpha = AlphaIndex::Load(directory + "/alpha.bin"); alpha.ok()) {
-    // The α entries are keyed by R-tree node ids: the index is only valid
-    // together with the R-tree it was built against.
+  if (fs->FileExists(directory + "/alpha.bin")) {
+    auto alpha = AlphaIndex::Load(directory + "/alpha.bin", fs);
+    if (!alpha.ok()) return fail(alpha.status());
     if (rtree_ == nullptr) {
-      return Status::InvalidArgument(
-          "alpha.bin present without its matching rtree.bin");
+      return fail(Status::InvalidArgument(
+          "alpha.bin present without its matching rtree.bin"));
     }
     if (alpha->num_places() != kb_->num_places() ||
         alpha->num_nodes() != rtree_->num_nodes()) {
-      return Status::InvalidArgument(
-          "saved alpha index does not match the KB / R-tree");
+      return fail(Status::InvalidArgument(
+          "saved alpha index does not match the KB / R-tree"));
     }
     alpha_ = std::make_shared<const AlphaIndex>(std::move(*alpha));
-  } else if (!alpha.status().IsIOError()) {
-    return alpha.status();
   }
   return Status::OK();
 }

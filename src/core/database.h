@@ -103,14 +103,35 @@ class KspDatabase {
   /// Convenience: all of the above.
   void PrepareAll(uint32_t alpha);
 
-  /// Persists every built index into `directory` (rtree.bin, reach.bin,
-  /// alpha.bin). Unbuilt indexes are skipped.
-  Status SaveIndexes(const std::string& directory) const;
+  /// Persists every built index into `directory` under a new generation:
+  /// each artifact is written atomically (temp file + fsync + rename) to a
+  /// generation-numbered name (`rtree-000002.bin`, ...), then a MANIFEST
+  /// recording every artifact's name, format version, byte size, and
+  /// whole-file crc32c is published — also atomically — as the last step.
+  /// A save interrupted at ANY point (crash, ENOSPC, I/O error) leaves the
+  /// previous generation's MANIFEST and files untouched and loadable;
+  /// only a completed save moves the directory forward, after which the
+  /// superseded generation's files are garbage-collected best-effort.
+  /// Unbuilt indexes are skipped (the manifest records what was saved).
+  /// If a MANIFEST exists but cannot be read, the save is refused rather
+  /// than risking the live generation. `fs` defaults to
+  /// DefaultFileSystem().
+  Status SaveIndexes(const std::string& directory,
+                     FileSystem* fs = nullptr) const;
 
-  /// Restores previously saved indexes, replacing any built ones. Files
-  /// absent from `directory` leave the corresponding index unbuilt; a
-  /// places-count mismatch with the KB is rejected.
-  Status LoadIndexes(const std::string& directory);
+  /// Restores previously saved indexes, replacing any built ones. With a
+  /// MANIFEST present, every listed artifact is verified against its
+  /// recorded size and whole-file crc32c BEFORE any index is loaded: a
+  /// missing artifact yields IOError, a size/checksum mismatch (stale or
+  /// tampered file) yields Corruption. Directories without a MANIFEST
+  /// fall back to the pre-manifest fixed names (rtree.bin, reach.bin,
+  /// alpha.bin), where absent files simply leave the corresponding index
+  /// unbuilt. An index that does not match the KB (or an alpha index
+  /// without its R-tree) is rejected with InvalidArgument. On ANY
+  /// failure the database is left fully unprepared — no index survives
+  /// half-loaded — so subsequent queries fail with InvalidArgument
+  /// instead of mixing index generations.
+  Status LoadIndexes(const std::string& directory, FileSystem* fs = nullptr);
 
   /// ---- Read-only access (thread-safe once prepared) ----
 
@@ -137,6 +158,10 @@ class KspDatabase {
                      uint32_t k) const;
 
  private:
+  /// Pre-manifest fallback for LoadIndexes (fixed filenames, no
+  /// cross-file verification).
+  Status LoadLegacyLayout(const std::string& directory, FileSystem* fs);
+
   const KnowledgeBase* kb_;
   KspOptions options_;
   const InvertedIndex* inverted_;

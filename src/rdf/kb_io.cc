@@ -11,7 +11,8 @@ namespace ksp {
 
 namespace {
 constexpr uint32_t kMagic = 0x4B53504Bu;  // "KSPK"
-constexpr uint32_t kVersion = 1;
+constexpr uint32_t kLegacyVersion = 1;
+constexpr uint32_t kSnapshotVersion = 2;
 
 Status WriteAll(std::FILE* f, std::string_view data) {
   if (std::fwrite(data.data(), 1, data.size(), f) != data.size()) {
@@ -24,13 +25,10 @@ Status WriteAll(std::FILE* f, std::string_view data) {
 /// Friend of KnowledgeBase: assembles a KB from deserialized state.
 class KnowledgeBaseSnapshotAccess {
  public:
-  static Status Save(const KnowledgeBase& kb, const std::string& path) {
-    std::FILE* f = std::fopen(path.c_str(), "wb");
-    if (f == nullptr) return Status::IOError("cannot open: " + path);
-
+  /// Varint-packed snapshot body — identical between v1 and v2; only the
+  /// outer framing differs.
+  static std::string SerializeBody(const KnowledgeBase& kb) {
     std::string buf;
-    PutFixed32(&buf, kMagic);
-    PutFixed32(&buf, kVersion);
 
     // Vocabulary and predicate dictionary, in id order.
     PutVarint64(&buf, kb.terms_.size());
@@ -85,87 +83,73 @@ class KnowledgeBaseSnapshotAccess {
       PutFixed64(&buf, x_bits);
       PutFixed64(&buf, y_bits);
     }
-
-    PutFixed32(&buf, kMagic);
-    Status st = WriteAll(f, buf);
-    if (std::fclose(f) != 0 && st.ok()) {
-      st = Status::IOError("close failed: " + path);
-    }
-    return st;
+    return buf;
   }
 
-  static Result<std::unique_ptr<KnowledgeBase>> Load(
-      const std::string& path) {
-    std::FILE* f = std::fopen(path.c_str(), "rb");
-    if (f == nullptr) return Status::IOError("cannot open: " + path);
-    std::string buf;
-    std::fseek(f, 0, SEEK_END);
-    long size = std::ftell(f);
-    std::fseek(f, 0, SEEK_SET);
-    buf.resize(static_cast<size_t>(size));
-    size_t got = std::fread(buf.data(), 1, buf.size(), f);
-    std::fclose(f);
-    if (got != buf.size()) return Status::IOError("short read: " + path);
-
-    size_t pos = 0;
-    uint32_t magic = 0;
-    uint32_t version = 0;
-    KSP_RETURN_NOT_OK(GetFixed32(buf, &pos, &magic));
-    KSP_RETURN_NOT_OK(GetFixed32(buf, &pos, &version));
-    if (magic != kMagic) return Status::Corruption("bad magic: " + path);
-    if (version != kVersion) {
-      return Status::Corruption("unsupported snapshot version");
-    }
-
+  /// Parses a snapshot body; `*pos` starts at the body's first byte and
+  /// must land exactly at `body.size()` for the caller's framing checks.
+  static Result<std::unique_ptr<KnowledgeBase>> ParseBody(
+      std::string_view buf, size_t* pos) {
     auto kb = std::unique_ptr<KnowledgeBase>(new KnowledgeBase());
 
     uint64_t num_terms = 0;
-    KSP_RETURN_NOT_OK(GetVarint64(buf, &pos, &num_terms));
+    KSP_RETURN_NOT_OK(GetVarint64(buf, pos, &num_terms));
     std::string term;
     for (uint64_t t = 0; t < num_terms; ++t) {
-      KSP_RETURN_NOT_OK(GetLengthPrefixed(buf, &pos, &term));
+      KSP_RETURN_NOT_OK(GetLengthPrefixed(buf, pos, &term));
       kb->terms_.Intern(term);
     }
     uint64_t num_predicates = 0;
-    KSP_RETURN_NOT_OK(GetVarint64(buf, &pos, &num_predicates));
+    KSP_RETURN_NOT_OK(GetVarint64(buf, pos, &num_predicates));
     for (uint64_t p = 0; p < num_predicates; ++p) {
-      KSP_RETURN_NOT_OK(GetLengthPrefixed(buf, &pos, &term));
+      KSP_RETURN_NOT_OK(GetLengthPrefixed(buf, pos, &term));
       kb->predicates_.Intern(term);
     }
 
     uint64_t n = 0;
-    KSP_RETURN_NOT_OK(GetVarint64(buf, &pos, &n));
+    KSP_RETURN_NOT_OK(GetVarint64(buf, pos, &n));
+    // Each IRI needs at least a one-byte length prefix; a corrupt vertex
+    // count must not drive a multi-GB resize.
+    if (n > buf.size() - *pos) {
+      return Status::Corruption("vertex count exceeds snapshot size");
+    }
     kb->iris_.resize(n);
     for (uint64_t v = 0; v < n; ++v) {
-      KSP_RETURN_NOT_OK(GetLengthPrefixed(buf, &pos, &kb->iris_[v]));
+      KSP_RETURN_NOT_OK(GetLengthPrefixed(buf, pos, &kb->iris_[v]));
       kb->iri_index_.emplace(kb->iris_[v], static_cast<VertexId>(v));
     }
 
     DocumentStoreBuilder docs;
     for (uint64_t v = 0; v < n; ++v) {
       uint64_t count = 0;
-      KSP_RETURN_NOT_OK(GetVarint64(buf, &pos, &count));
+      KSP_RETURN_NOT_OK(GetVarint64(buf, pos, &count));
       uint64_t prev = 0;
       for (uint64_t i = 0; i < count; ++i) {
         uint64_t delta = 0;
-        KSP_RETURN_NOT_OK(GetVarint64(buf, &pos, &delta));
+        KSP_RETURN_NOT_OK(GetVarint64(buf, pos, &delta));
         prev = (i == 0) ? delta : prev + delta;
+        if (prev >= num_terms) {
+          return Status::Corruption("document term id out of range");
+        }
         docs.AddTerm(static_cast<VertexId>(v), static_cast<TermId>(prev));
       }
     }
     kb->documents_ = docs.Finish(static_cast<VertexId>(n));
 
     uint64_t num_edges = 0;
-    KSP_RETURN_NOT_OK(GetVarint64(buf, &pos, &num_edges));
+    KSP_RETURN_NOT_OK(GetVarint64(buf, pos, &num_edges));
     GraphBuilder graph;
     for (uint64_t v = 0; v < n; ++v) {
       uint64_t degree = 0;
-      KSP_RETURN_NOT_OK(GetVarint64(buf, &pos, &degree));
+      KSP_RETURN_NOT_OK(GetVarint64(buf, pos, &degree));
       for (uint64_t i = 0; i < degree; ++i) {
         uint64_t target = 0;
         uint64_t predicate = 0;
-        KSP_RETURN_NOT_OK(GetVarint64(buf, &pos, &target));
-        KSP_RETURN_NOT_OK(GetVarint64(buf, &pos, &predicate));
+        KSP_RETURN_NOT_OK(GetVarint64(buf, pos, &target));
+        KSP_RETURN_NOT_OK(GetVarint64(buf, pos, &predicate));
+        if (target >= n || predicate >= num_predicates) {
+          return Status::Corruption("edge target or predicate out of range");
+        }
         graph.AddEdge(static_cast<VertexId>(v),
                       static_cast<VertexId>(target),
                       static_cast<PredicateId>(predicate));
@@ -177,15 +161,15 @@ class KnowledgeBaseSnapshotAccess {
     kb->graph_ = graph.Finish(static_cast<VertexId>(n));
 
     uint64_t num_places = 0;
-    KSP_RETURN_NOT_OK(GetVarint64(buf, &pos, &num_places));
+    KSP_RETURN_NOT_OK(GetVarint64(buf, pos, &num_places));
     kb->place_of_vertex_.assign(n, kInvalidPlace);
     for (uint64_t p = 0; p < num_places; ++p) {
       uint64_t vertex = 0;
-      KSP_RETURN_NOT_OK(GetVarint64(buf, &pos, &vertex));
+      KSP_RETURN_NOT_OK(GetVarint64(buf, pos, &vertex));
       uint64_t x_bits = 0;
       uint64_t y_bits = 0;
-      KSP_RETURN_NOT_OK(GetFixed64(buf, &pos, &x_bits));
-      KSP_RETURN_NOT_OK(GetFixed64(buf, &pos, &y_bits));
+      KSP_RETURN_NOT_OK(GetFixed64(buf, pos, &x_bits));
+      KSP_RETURN_NOT_OK(GetFixed64(buf, pos, &y_bits));
       Point location;
       std::memcpy(&location.x, &x_bits, 8);
       std::memcpy(&location.y, &y_bits, 8);
@@ -195,25 +179,110 @@ class KnowledgeBaseSnapshotAccess {
       kb->place_locations_.push_back(location);
     }
 
+    kb->inverted_index_ = MemoryInvertedIndex::Build(
+        kb->documents_, static_cast<TermId>(kb->terms_.size()));
+    return kb;
+  }
+
+  static Status Save(const KnowledgeBase& kb, const std::string& path,
+                     FileSystem* fs, ArtifactInfo* info) {
+    if (fs == nullptr) fs = DefaultFileSystem();
+    return WriteArtifactAtomically(
+        fs, path, kMagic, kSnapshotVersion,
+        [&kb](ChecksummedWriter* w) {
+          return w->WriteSection(SerializeBody(kb));
+        },
+        info);
+  }
+
+  static Status SaveLegacy(const KnowledgeBase& kb,
+                           const std::string& path) {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) return Status::IOError("cannot open: " + path);
+    std::string buf;
+    PutFixed32(&buf, kMagic);
+    PutFixed32(&buf, kLegacyVersion);
+    buf += SerializeBody(kb);
+    PutFixed32(&buf, kMagic);
+    Status st = WriteAll(f, buf);
+    if (std::fclose(f) != 0 && st.ok()) {
+      st = Status::IOError("close failed: " + path);
+    }
+    return st;
+  }
+
+  static Result<std::unique_ptr<KnowledgeBase>> Load(
+      const std::string& path, FileSystem* fs) {
+    if (fs == nullptr) fs = DefaultFileSystem();
+    auto file = fs->NewRandomAccessFile(path);
+    if (!file.ok()) return file.status();
+    auto checksummed = IsChecksummedFile(**file);
+    if (!checksummed.ok()) return checksummed.status();
+
+    if (*checksummed) {
+      ChecksummedReader reader(file->get());
+      uint32_t version = 0;
+      KSP_RETURN_NOT_OK(reader.Open(kMagic, &version));
+      if (version != kSnapshotVersion) {
+        return CorruptionAt(path, 4,
+                            "unsupported snapshot format version " +
+                                std::to_string(version));
+      }
+      std::string body;
+      const uint64_t body_offset = reader.offset();
+      KSP_RETURN_NOT_OK(reader.ReadSection(&body));
+      KSP_RETURN_NOT_OK(reader.ExpectEnd());
+      size_t pos = 0;
+      auto kb = ParseBody(body, &pos);
+      if (!kb.ok()) {
+        return CorruptionAt(path, body_offset, kb.status().message());
+      }
+      if (pos != body.size()) {
+        return CorruptionAt(path, body_offset + pos,
+                            "trailing bytes in snapshot body");
+      }
+      return kb;
+    }
+
+    // Legacy v1: magic u32, version u32, body, magic footer — no CRC.
+    std::string buf;
+    KSP_RETURN_NOT_OK((*file)->Read(0, (*file)->Size(), &buf));
+    if (buf.size() != (*file)->Size()) {
+      return Status::IOError("short read: " + path);
+    }
+    size_t pos = 0;
+    uint32_t magic = 0;
+    uint32_t version = 0;
+    KSP_RETURN_NOT_OK(GetFixed32(buf, &pos, &magic));
+    KSP_RETURN_NOT_OK(GetFixed32(buf, &pos, &version));
+    if (magic != kMagic) return Status::Corruption("bad magic: " + path);
+    if (version != kLegacyVersion) {
+      return Status::Corruption("unsupported snapshot version");
+    }
+    auto kb = ParseBody(buf, &pos);
+    if (!kb.ok()) return kb.status();
     uint32_t footer = 0;
     KSP_RETURN_NOT_OK(GetFixed32(buf, &pos, &footer));
     if (footer != kMagic || pos != buf.size()) {
       return Status::Corruption("bad snapshot footer");
     }
-
-    kb->inverted_index_ = MemoryInvertedIndex::Build(
-        kb->documents_, static_cast<TermId>(kb->terms_.size()));
     return kb;
   }
 };
 
-Status SaveKnowledgeBase(const KnowledgeBase& kb, const std::string& path) {
-  return KnowledgeBaseSnapshotAccess::Save(kb, path);
+Status SaveKnowledgeBase(const KnowledgeBase& kb, const std::string& path,
+                         FileSystem* fs, ArtifactInfo* info) {
+  return KnowledgeBaseSnapshotAccess::Save(kb, path, fs, info);
+}
+
+Status SaveKnowledgeBaseLegacyForTesting(const KnowledgeBase& kb,
+                                         const std::string& path) {
+  return KnowledgeBaseSnapshotAccess::SaveLegacy(kb, path);
 }
 
 Result<std::unique_ptr<KnowledgeBase>> LoadKnowledgeBaseSnapshot(
-    const std::string& path) {
-  return KnowledgeBaseSnapshotAccess::Load(path);
+    const std::string& path, FileSystem* fs) {
+  return KnowledgeBaseSnapshotAccess::Load(path, fs);
 }
 
 }  // namespace ksp

@@ -4,6 +4,7 @@
 #include <memory>
 #include <string>
 
+#include "common/io_util.h"
 #include "common/result.h"
 #include "rdf/knowledge_base.h"
 
@@ -15,19 +16,26 @@ namespace ksp {
 /// documents, edges (with predicates), and the place registry exactly,
 /// so indexes built on a loaded KB behave identically.
 ///
-/// Format (little-endian, varint-packed, CRC-free but magic-framed):
-///   header:  magic u32, version u32
-///   section: vocabulary (term strings)
-///   section: predicate dictionary
-///   section: vertex IRIs
-///   section: documents CSR
-///   section: out-edge CSR with predicate ids
-///   section: places (vertex id, lat, lon)
-///   footer:  magic u32
-Status SaveKnowledgeBase(const KnowledgeBase& kb, const std::string& path);
+/// Format v2 (little-endian, varint-packed body inside the checksummed
+/// container of common/io_util.h):
+///   container magic u32
+///   header section: snapshot magic u32, format version u32
+///   body section: vocabulary, predicate dictionary, vertex IRIs,
+///                 documents CSR, out-edge CSR with predicate ids,
+///                 places (vertex id, lat, lon)
+/// Saves go through temp-file + fsync + atomic rename; loads verify every
+/// section checksum and still read the CRC-free v1 layout for one
+/// release. `fs` defaults to DefaultFileSystem().
+Status SaveKnowledgeBase(const KnowledgeBase& kb, const std::string& path,
+                         FileSystem* fs = nullptr,
+                         ArtifactInfo* info = nullptr);
 
 Result<std::unique_ptr<KnowledgeBase>> LoadKnowledgeBaseSnapshot(
-    const std::string& path);
+    const std::string& path, FileSystem* fs = nullptr);
+
+/// v1 writer kept only for legacy-read-window tests.
+Status SaveKnowledgeBaseLegacyForTesting(const KnowledgeBase& kb,
+                                         const std::string& path);
 
 }  // namespace ksp
 

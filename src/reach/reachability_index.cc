@@ -161,7 +161,41 @@ namespace {
 constexpr uint32_t kReachMagic = 0x4B535052u;  // "KSPR"
 }  // namespace
 
-Status ReachabilityIndex::Save(const std::string& path) const {
+namespace {
+constexpr uint32_t kReachFormatVersion = 2;
+}  // namespace
+
+Status ReachabilityIndex::Save(const std::string& path, FileSystem* fs,
+                               ArtifactInfo* info) const {
+  if (fs == nullptr) fs = DefaultFileSystem();
+  return WriteArtifactAtomically(
+      fs, path, kReachMagic, kReachFormatVersion,
+      [this](ChecksummedWriter* w) -> Status {
+        std::string meta;
+        AppendPod(&meta, num_base_vertices_);
+        AppendPod(&meta, num_terms_);
+        KSP_RETURN_NOT_OK(w->WriteSection(meta));
+        // One section per CSR vector: each length prefix is validated
+        // against its own section payload on load.
+        std::string buf;
+        for (const auto* vec32 :
+             {&component_of_, &out_labels_, &in_labels_}) {
+          buf.clear();
+          AppendPodVector(&buf, *vec32);
+          KSP_RETURN_NOT_OK(w->WriteSection(buf));
+        }
+        for (const auto* vec64 : {&out_offsets_, &in_offsets_}) {
+          buf.clear();
+          AppendPodVector(&buf, *vec64);
+          KSP_RETURN_NOT_OK(w->WriteSection(buf));
+        }
+        return Status::OK();
+      },
+      info);
+}
+
+Status ReachabilityIndex::SaveLegacyForTesting(
+    const std::string& path) const {
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) return Status::IOError("cannot open: " + path);
   Status st;
@@ -182,7 +216,8 @@ Status ReachabilityIndex::Save(const std::string& path) const {
   return st;
 }
 
-Result<ReachabilityIndex> ReachabilityIndex::Load(const std::string& path) {
+Result<ReachabilityIndex> ReachabilityIndex::LoadLegacy(
+    const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) return Status::IOError("cannot open: " + path);
   ReachabilityIndex index;
@@ -208,6 +243,52 @@ Result<ReachabilityIndex> ReachabilityIndex::Load(const std::string& path) {
   Status st = read_all();
   std::fclose(f);
   if (!st.ok()) return st;
+  return index;
+}
+
+Result<ReachabilityIndex> ReachabilityIndex::Load(const std::string& path,
+                                                  FileSystem* fs) {
+  if (fs == nullptr) fs = DefaultFileSystem();
+  auto file = fs->NewRandomAccessFile(path);
+  if (!file.ok()) return file.status();
+  auto checksummed = IsChecksummedFile(**file);
+  if (!checksummed.ok()) return checksummed.status();
+  if (!*checksummed) return LoadLegacy(path);
+
+  ChecksummedReader reader(file->get());
+  uint32_t version = 0;
+  KSP_RETURN_NOT_OK(reader.Open(kReachMagic, &version));
+  if (version != kReachFormatVersion) {
+    return CorruptionAt(path, 4, "unsupported reachability format version " +
+                                     std::to_string(version));
+  }
+  ReachabilityIndex index;
+  std::string meta;
+  const uint64_t meta_offset = reader.offset();
+  KSP_RETURN_NOT_OK(reader.ReadSection(&meta));
+  size_t pos = 0;
+  Status st = ParsePod(meta, &pos, &index.num_base_vertices_);
+  if (st.ok()) st = ParsePod(meta, &pos, &index.num_terms_);
+  if (!st.ok() || pos != meta.size()) {
+    return CorruptionAt(path, meta_offset, "malformed meta section");
+  }
+  auto read_vec = [&](auto* vec) -> Status {
+    std::string section;
+    const uint64_t section_offset = reader.offset();
+    KSP_RETURN_NOT_OK(reader.ReadSection(&section));
+    size_t vpos = 0;
+    Status vst = ParsePodVector(section, &vpos, vec);
+    if (!vst.ok() || vpos != section.size()) {
+      return CorruptionAt(path, section_offset, "malformed vector section");
+    }
+    return Status::OK();
+  };
+  KSP_RETURN_NOT_OK(read_vec(&index.component_of_));
+  KSP_RETURN_NOT_OK(read_vec(&index.out_labels_));
+  KSP_RETURN_NOT_OK(read_vec(&index.in_labels_));
+  KSP_RETURN_NOT_OK(read_vec(&index.out_offsets_));
+  KSP_RETURN_NOT_OK(read_vec(&index.in_offsets_));
+  KSP_RETURN_NOT_OK(reader.ExpectEnd());
   return index;
 }
 

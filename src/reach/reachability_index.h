@@ -13,6 +13,9 @@
 
 namespace ksp {
 
+class FileSystem;
+struct ArtifactInfo;
+
 /// Reachability oracle for Pruning Rule 1 (§4.1): answers whether a vertex
 /// can reach *any* occurrence of a keyword by directed paths.
 ///
@@ -39,8 +42,15 @@ class ReachabilityIndex {
 
   /// Persists the labeling (the expensive preprocessing artifact —
   /// Table 5 charges TF-Label construction in the tens of minutes).
-  Status Save(const std::string& path) const;
-  static Result<ReachabilityIndex> Load(const std::string& path);
+  /// Save writes the checksummed v2 container atomically; Load verifies
+  /// every section CRC and still reads v1 legacy files for one release.
+  Status Save(const std::string& path, FileSystem* fs = nullptr,
+              ArtifactInfo* info = nullptr) const;
+  static Result<ReachabilityIndex> Load(const std::string& path,
+                                        FileSystem* fs = nullptr);
+
+  /// v1 writer kept only for legacy-read-window tests.
+  Status SaveLegacyForTesting(const std::string& path) const;
 
   /// Total number of hub-label entries (index size metric).
   uint64_t NumLabelEntries() const;
@@ -50,6 +60,8 @@ class ReachabilityIndex {
 
  private:
   ReachabilityIndex() = default;
+
+  static Result<ReachabilityIndex> LoadLegacy(const std::string& path);
 
   bool QueryComponents(uint32_t cu, uint32_t cv) const;
 

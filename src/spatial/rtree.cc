@@ -373,9 +373,36 @@ std::vector<std::pair<double, uint64_t>> RTree::KnnQuery(const Point& query,
 
 namespace {
 constexpr uint32_t kRTreeMagic = 0x4B535254u;  // "KSRT"
+constexpr uint32_t kRTreeFormatVersion = 2;
+/// Smallest serialized node: is_leaf u8 + parent u32 + entry count u64.
+constexpr uint64_t kMinNodeBytes = 13;
 }  // namespace
 
-Status RTree::Save(const std::string& path) const {
+Status RTree::Save(const std::string& path, FileSystem* fs,
+                   ArtifactInfo* info) const {
+  if (fs == nullptr) fs = DefaultFileSystem();
+  return WriteArtifactAtomically(
+      fs, path, kRTreeMagic, kRTreeFormatVersion,
+      [this](ChecksummedWriter* w) -> Status {
+        std::string meta;
+        AppendPod(&meta, options_.max_entries);
+        AppendPod(&meta, options_.min_entries);
+        AppendPod(&meta, root_);
+        AppendPod<uint64_t>(&meta, size_);
+        AppendPod<uint64_t>(&meta, nodes_.size());
+        KSP_RETURN_NOT_OK(w->WriteSection(meta));
+        std::string nodes;
+        for (const Node& node : nodes_) {
+          AppendPod<uint8_t>(&nodes, node.is_leaf ? 1 : 0);
+          AppendPod(&nodes, node.parent);
+          AppendPodVector(&nodes, node.entries);
+        }
+        return w->WriteSection(nodes);
+      },
+      info);
+}
+
+Status RTree::SaveLegacyForTesting(const std::string& path) const {
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) return Status::IOError("cannot open: " + path);
   auto write_all = [&]() -> Status {
@@ -398,7 +425,7 @@ Status RTree::Save(const std::string& path) const {
   return st;
 }
 
-Result<RTree> RTree::Load(const std::string& path) {
+Result<RTree> RTree::LoadLegacy(const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) return Status::IOError("cannot open: " + path);
   RTree tree;
@@ -415,6 +442,11 @@ Result<RTree> RTree::Load(const std::string& path) {
     uint64_t num_nodes = 0;
     KSP_RETURN_NOT_OK(ReadPod(f, &size));
     KSP_RETURN_NOT_OK(ReadPod(f, &num_nodes));
+    auto remaining = RemainingFileBytes(f);
+    if (!remaining.ok()) return remaining.status();
+    if (num_nodes > *remaining / kMinNodeBytes) {
+      return CorruptionAt(path, 0, "node count exceeds file size");
+    }
     tree.size_ = size;
     tree.nodes_.resize(num_nodes);
     for (Node& node : tree.nodes_) {
@@ -428,14 +460,88 @@ Result<RTree> RTree::Load(const std::string& path) {
     if (magic != kRTreeMagic) {
       return Status::Corruption("bad rtree footer: " + path);
     }
-    if (tree.root_ != kNoNode && tree.root_ >= tree.nodes_.size()) {
-      return Status::Corruption("rtree root out of range");
-    }
     return Status::OK();
   };
   Status st = read_all();
   std::fclose(f);
   if (!st.ok()) return st;
+  return tree;
+}
+
+Result<RTree> RTree::Load(const std::string& path, FileSystem* fs) {
+  if (fs == nullptr) fs = DefaultFileSystem();
+  auto file = fs->NewRandomAccessFile(path);
+  if (!file.ok()) return file.status();
+  auto checksummed = IsChecksummedFile(**file);
+  if (!checksummed.ok()) return checksummed.status();
+  RTree tree;
+  if (*checksummed) {
+    ChecksummedReader reader(file->get());
+    uint32_t version = 0;
+    KSP_RETURN_NOT_OK(reader.Open(kRTreeMagic, &version));
+    if (version != kRTreeFormatVersion) {
+      return CorruptionAt(path, 4, "unsupported rtree format version " +
+                                       std::to_string(version));
+    }
+    std::string meta;
+    const uint64_t meta_offset = reader.offset();
+    KSP_RETURN_NOT_OK(reader.ReadSection(&meta));
+    uint64_t num_nodes = 0;
+    size_t pos = 0;
+    auto parse_meta = [&]() -> Status {
+      uint64_t size = 0;
+      KSP_RETURN_NOT_OK(ParsePod(meta, &pos, &tree.options_.max_entries));
+      KSP_RETURN_NOT_OK(ParsePod(meta, &pos, &tree.options_.min_entries));
+      KSP_RETURN_NOT_OK(ParsePod(meta, &pos, &tree.root_));
+      KSP_RETURN_NOT_OK(ParsePod(meta, &pos, &size));
+      KSP_RETURN_NOT_OK(ParsePod(meta, &pos, &num_nodes));
+      if (pos != meta.size()) {
+        return Status::Corruption("meta section size mismatch");
+      }
+      tree.size_ = size;
+      return Status::OK();
+    };
+    if (Status st = parse_meta(); !st.ok()) {
+      return CorruptionAt(path, meta_offset, st.message());
+    }
+    std::string nodes;
+    const uint64_t nodes_offset = reader.offset();
+    KSP_RETURN_NOT_OK(reader.ReadSection(&nodes));
+    KSP_RETURN_NOT_OK(reader.ExpectEnd());
+    if (num_nodes > nodes.size() / kMinNodeBytes) {
+      return CorruptionAt(path, nodes_offset,
+                          "node count exceeds section size");
+    }
+    tree.nodes_.resize(num_nodes);
+    pos = 0;
+    auto parse_nodes = [&]() -> Status {
+      for (Node& node : tree.nodes_) {
+        uint8_t is_leaf = 0;
+        KSP_RETURN_NOT_OK(ParsePod(nodes, &pos, &is_leaf));
+        node.is_leaf = is_leaf != 0;
+        KSP_RETURN_NOT_OK(ParsePod(nodes, &pos, &node.parent));
+        KSP_RETURN_NOT_OK(ParsePodVector(nodes, &pos, &node.entries));
+      }
+      if (pos != nodes.size()) {
+        return Status::Corruption("node section size mismatch");
+      }
+      return Status::OK();
+    };
+    if (Status st = parse_nodes(); !st.ok()) {
+      return CorruptionAt(path, nodes_offset, st.message());
+    }
+  } else {
+    auto legacy = LoadLegacy(path);
+    if (!legacy.ok()) return legacy.status();
+    tree = std::move(*legacy);
+  }
+  if (tree.options_.max_entries < 4 || tree.options_.min_entries < 1 ||
+      tree.options_.min_entries > tree.options_.max_entries / 2) {
+    return CorruptionAt(path, 0, "rtree options out of range");
+  }
+  if (tree.root_ != kNoNode && tree.root_ >= tree.nodes_.size()) {
+    return CorruptionAt(path, 0, "rtree root out of range");
+  }
   return tree;
 }
 

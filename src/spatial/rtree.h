@@ -12,6 +12,9 @@
 
 namespace ksp {
 
+class FileSystem;
+struct ArtifactInfo;
+
 /// Node-splitting strategy for one-by-one insertion (Guttman §3.5).
 enum class RTreeSplitStrategy {
   /// Quadratic cost: PickSeeds maximizes wasted area (better trees).
@@ -103,11 +106,21 @@ class RTree {
                                                     size_t k) const;
 
   /// Persists / restores the exact tree structure (node ids included, so
-  /// an α-radius index built against this tree stays valid).
-  Status Save(const std::string& path) const;
-  static Result<RTree> Load(const std::string& path);
+  /// an α-radius index built against this tree stays valid). Save writes
+  /// the checksummed v2 container via temp-file + fsync + atomic rename;
+  /// Load verifies every section CRC (and still reads v1 legacy files for
+  /// one release). `fs` defaults to DefaultFileSystem().
+  Status Save(const std::string& path, FileSystem* fs = nullptr,
+              ArtifactInfo* info = nullptr) const;
+  static Result<RTree> Load(const std::string& path,
+                            FileSystem* fs = nullptr);
+
+  /// Writes the CRC-free v1 format — kept only so tests can exercise the
+  /// legacy-read window; removed once that window closes.
+  Status SaveLegacyForTesting(const std::string& path) const;
 
  private:
+  static Result<RTree> LoadLegacy(const std::string& path);
   uint32_t NewNode(bool is_leaf);
   uint32_t ChooseLeaf(const Rect& rect) const;
   /// PickSeeds for the configured strategy: indexes of the two entries

@@ -1,20 +1,35 @@
 #include "text/inverted_index.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstring>
+#include <span>
 
+#include "common/io_util.h"
 #include "common/varint.h"
 
 namespace ksp {
 
 namespace {
 constexpr uint32_t kMagic = 0x4B535049;  // "KSPI"
+constexpr uint32_t kFormatVersion = 2;
 
 Status WriteAll(std::FILE* f, std::string_view data) {
   if (std::fwrite(data.data(), 1, data.size(), f) != data.size()) {
     return Status::IOError("short write");
   }
   return Status::OK();
+}
+
+/// Varint-delta encodes one posting list onto `*buf`.
+void AppendPostingList(std::string* buf, std::span<const VertexId> postings) {
+  PutVarint64(buf, postings.size());
+  uint64_t prev = 0;
+  for (size_t i = 0; i < postings.size(); ++i) {
+    uint64_t value = postings[i];
+    PutVarint64(buf, i == 0 ? value : value - prev);
+    prev = value;
+  }
 }
 }  // namespace
 
@@ -63,12 +78,38 @@ uint64_t MemoryInvertedIndex::SizeBytes() const {
          postings_.capacity() * sizeof(VertexId);
 }
 
-DiskInvertedIndex::~DiskInvertedIndex() {
-  if (file_ != nullptr) std::fclose(file_);
+Status DiskInvertedIndex::Write(const MemoryInvertedIndex& index,
+                                const std::string& path, FileSystem* fs,
+                                ArtifactInfo* info) {
+  if (fs == nullptr) fs = DefaultFileSystem();
+  const TermId num_terms = index.TermCount();
+  return WriteArtifactAtomically(
+      fs, path, kMagic, kFormatVersion,
+      [&index, num_terms](ChecksummedWriter* w) -> Status {
+        std::string meta;
+        AppendPod(&meta, static_cast<uint32_t>(num_terms));
+        AppendPod(&meta, index.NumPostings());
+        KSP_RETURN_NOT_OK(w->WriteSection(meta));
+
+        // Postings blob with blob-relative offsets, then the table.
+        std::string blob;
+        std::vector<uint64_t> offsets(num_terms, 0);
+        for (TermId t = 0; t < num_terms; ++t) {
+          offsets[t] = blob.size();
+          AppendPostingList(&blob, index.Postings(t));
+        }
+        KSP_RETURN_NOT_OK(w->WriteSection(blob));
+
+        std::string table;
+        table.reserve(offsets.size() * 8);
+        for (uint64_t off : offsets) PutFixed64(&table, off);
+        return w->WriteSection(table);
+      },
+      info);
 }
 
-Status DiskInvertedIndex::Write(const MemoryInvertedIndex& index,
-                                const std::string& path) {
+Status DiskInvertedIndex::WriteLegacyForTesting(
+    const MemoryInvertedIndex& index, const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) {
     return Status::IOError("cannot open for write: " + path);
@@ -87,14 +128,7 @@ Status DiskInvertedIndex::Write(const MemoryInvertedIndex& index,
   for (TermId t = 0; t < num_terms && st.ok(); ++t) {
     offsets[t] = pos;
     buf.clear();
-    auto postings = index.Postings(t);
-    PutVarint64(&buf, postings.size());
-    uint64_t prev = 0;
-    for (size_t i = 0; i < postings.size(); ++i) {
-      uint64_t value = postings[i];
-      PutVarint64(&buf, i == 0 ? value : value - prev);
-      prev = value;
-    }
+    AppendPostingList(&buf, index.Postings(t));
     st = WriteAll(f, buf);
     pos += buf.size();
   }
@@ -114,27 +148,74 @@ Status DiskInvertedIndex::Write(const MemoryInvertedIndex& index,
 }
 
 Result<std::unique_ptr<DiskInvertedIndex>> DiskInvertedIndex::Open(
-    const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) {
-    return Status::IOError("cannot open: " + path);
-  }
-  auto index = std::unique_ptr<DiskInvertedIndex>(new DiskInvertedIndex());
-  index->file_ = f;
+    const std::string& path, FileSystem* fs) {
+  if (fs == nullptr) fs = DefaultFileSystem();
+  auto file = fs->NewRandomAccessFile(path);
+  if (!file.ok()) return file.status();
+  auto checksummed = IsChecksummedFile(**file);
+  if (!checksummed.ok()) return checksummed.status();
+  if (!*checksummed) return OpenLegacy(std::move(*file));
 
-  if (std::fseek(f, 0, SEEK_END) != 0) {
-    return Status::IOError("seek failed: " + path);
+  auto index = std::unique_ptr<DiskInvertedIndex>(new DiskInvertedIndex());
+  index->file_ = std::move(*file);
+  index->file_size_ = index->file_->Size();
+  ChecksummedReader reader(index->file_.get());
+  uint32_t version = 0;
+  KSP_RETURN_NOT_OK(reader.Open(kMagic, &version));
+  if (version != kFormatVersion) {
+    return CorruptionAt(path, 4,
+                        "unsupported inverted-index format version " +
+                            std::to_string(version));
   }
-  long end = std::ftell(f);
-  if (end < 20) return Status::Corruption("index file too small: " + path);
-  index->file_size_ = static_cast<uint64_t>(end);
+
+  std::string meta;
+  const uint64_t meta_offset = reader.offset();
+  KSP_RETURN_NOT_OK(reader.ReadSection(&meta));
+  size_t mpos = 0;
+  uint32_t num_terms = 0;
+  Status st = ParsePod(meta, &mpos, &num_terms);
+  if (st.ok()) st = ParsePod(meta, &mpos, &index->num_postings_);
+  if (!st.ok() || mpos != meta.size()) {
+    return CorruptionAt(path, meta_offset, "malformed meta section");
+  }
+
+  // The postings blob is CRC-verified in place (streamed, not held in
+  // memory) so per-query positioned reads hit validated bytes.
+  KSP_RETURN_NOT_OK(
+      reader.VerifySection(&index->blob_offset_, &index->blob_size_));
+
+  std::string table;
+  const uint64_t table_offset = reader.offset();
+  KSP_RETURN_NOT_OK(reader.ReadSection(&table));
+  KSP_RETURN_NOT_OK(reader.ExpectEnd());
+  if (table.size() != num_terms * 8ULL) {
+    return CorruptionAt(path, table_offset, "offset table size mismatch");
+  }
+  index->offsets_.resize(num_terms);
+  size_t tpos = 0;
+  for (uint32_t t = 0; t < num_terms; ++t) {
+    KSP_RETURN_NOT_OK(GetFixed64(table, &tpos, &index->offsets_[t]));
+    if (index->offsets_[t] > index->blob_size_) {
+      return CorruptionAt(path, table_offset + t * 8ULL,
+                          "posting offset beyond blob");
+    }
+  }
+  return index;
+}
+
+Result<std::unique_ptr<DiskInvertedIndex>> DiskInvertedIndex::OpenLegacy(
+    std::unique_ptr<RandomAccessFile> file) {
+  const std::string path = file->path();
+  auto index = std::unique_ptr<DiskInvertedIndex>(new DiskInvertedIndex());
+  index->file_ = std::move(file);
+  const uint64_t size = index->file_->Size();
+  if (size < 20) return Status::Corruption("index file too small: " + path);
+  index->file_size_ = size;
 
   // Footer: [table_offset fixed64][magic fixed32].
-  std::string footer(12, '\0');
-  if (std::fseek(f, end - 12, SEEK_SET) != 0 ||
-      std::fread(footer.data(), 1, 12, f) != 12) {
-    return Status::IOError("cannot read footer: " + path);
-  }
+  std::string footer;
+  KSP_RETURN_NOT_OK(index->file_->Read(size - 12, 12, &footer));
+  if (footer.size() != 12) return IOErrorAt(path, size - 12, "short read");
   size_t fpos = 0;
   uint64_t table_offset = 0;
   uint32_t magic = 0;
@@ -143,11 +224,9 @@ Result<std::unique_ptr<DiskInvertedIndex>> DiskInvertedIndex::Open(
   if (magic != kMagic) return Status::Corruption("bad footer magic: " + path);
 
   // Header: [magic fixed32][num_terms fixed32].
-  std::string header(8, '\0');
-  if (std::fseek(f, 0, SEEK_SET) != 0 ||
-      std::fread(header.data(), 1, 8, f) != 8) {
-    return Status::IOError("cannot read header: " + path);
-  }
+  std::string header;
+  KSP_RETURN_NOT_OK(index->file_->Read(0, 8, &header));
+  if (header.size() != 8) return IOErrorAt(path, 0, "short read");
   size_t hpos = 0;
   uint32_t hmagic = 0;
   uint32_t num_terms = 0;
@@ -155,15 +234,31 @@ Result<std::unique_ptr<DiskInvertedIndex>> DiskInvertedIndex::Open(
   KSP_RETURN_NOT_OK(GetFixed32(header, &hpos, &num_terms));
   if (hmagic != kMagic) return Status::Corruption("bad header magic: " + path);
 
-  std::string table(num_terms * 8ULL, '\0');
-  if (std::fseek(f, static_cast<long>(table_offset), SEEK_SET) != 0 ||
-      std::fread(table.data(), 1, table.size(), f) != table.size()) {
-    return Status::IOError("cannot read offset table: " + path);
+  // Lists occupy [8, table_offset); the table plus footer must fit in the
+  // rest of the file or the declared term count is corrupt.
+  if (table_offset < 8 || table_offset > size - 12 ||
+      num_terms > (size - 12 - table_offset) / 8) {
+    return CorruptionAt(path, size - 12,
+                        "offset table does not fit in file");
+  }
+  // v1 offsets are absolute file positions.
+  index->blob_offset_ = 0;
+  index->blob_size_ = table_offset;
+
+  std::string table;
+  KSP_RETURN_NOT_OK(
+      index->file_->Read(table_offset, num_terms * 8ULL, &table));
+  if (table.size() != num_terms * 8ULL) {
+    return IOErrorAt(path, table_offset, "cannot read offset table");
   }
   index->offsets_.resize(num_terms);
   size_t tpos = 0;
   for (uint32_t t = 0; t < num_terms; ++t) {
     KSP_RETURN_NOT_OK(GetFixed64(table, &tpos, &index->offsets_[t]));
+    if (index->offsets_[t] < 8 || index->offsets_[t] > table_offset) {
+      return CorruptionAt(path, table_offset + t * 8ULL,
+                          "posting offset out of range");
+    }
   }
 
   // Count postings once for stats (streaming pass over the lists).
@@ -181,23 +276,34 @@ Result<std::unique_ptr<DiskInvertedIndex>> DiskInvertedIndex::Open(
 Status DiskInvertedIndex::GetPostings(TermId term,
                                       std::vector<VertexId>* out) const {
   if (term >= offsets_.size()) return Status::OK();
-  if (std::fseek(file_, static_cast<long>(offsets_[term]), SEEK_SET) != 0) {
-    return Status::IOError("seek failed");
+  const uint64_t off = offsets_[term];
+  if (off > blob_size_) {
+    return CorruptionAt(file_->path(), blob_offset_ + off,
+                        "posting offset beyond blob");
   }
+  const uint64_t remaining = blob_size_ - off;
+
   // Read the count (at most 10 bytes), then exactly the remaining deltas.
-  std::string buf(10, '\0');
-  size_t got = std::fread(buf.data(), 1, buf.size(), file_);
-  buf.resize(got);
+  std::string buf;
+  KSP_RETURN_NOT_OK(
+      file_->Read(blob_offset_ + off, std::min<uint64_t>(10, remaining),
+                  &buf));
   size_t pos = 0;
   uint64_t count = 0;
   KSP_RETURN_NOT_OK(GetVarint64(buf, &pos, &count));
+  // Each delta takes at least one byte; a corrupt count must not drive a
+  // multi-GB reserve.
+  if (count > remaining - pos) {
+    return CorruptionAt(file_->path(), blob_offset_ + off,
+                        "posting count exceeds blob");
+  }
 
   std::string body;
-  body.resize(count * 5 + 16);  // Worst case 5 bytes per 32-bit delta.
-  size_t have = got - pos;
-  std::memcpy(body.data(), buf.data() + pos, have);
-  size_t more = std::fread(body.data() + have, 1, body.size() - have, file_);
-  body.resize(have + more);
+  // Worst case 10 bytes per varint delta, bounded by the blob itself.
+  const uint64_t want =
+      std::min<uint64_t>(count * 10 + 16, remaining - pos);
+  KSP_RETURN_NOT_OK(
+      file_->Read(blob_offset_ + off + pos, want, &body));
 
   size_t bpos = 0;
   uint64_t prev = 0;

@@ -1,17 +1,19 @@
 #ifndef KSP_TEXT_INVERTED_INDEX_H_
 #define KSP_TEXT_INVERTED_INDEX_H_
 
-#include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/file.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "text/document_store.h"
 
 namespace ksp {
+
+struct ArtifactInfo;
 
 /// Term -> sorted vertex posting list. The paper keeps this index
 /// disk-resident (only the query keywords' lists are loaded per query);
@@ -79,25 +81,37 @@ class MemoryInvertedIndex : public InvertedIndex {
 /// GetPostings() performs one positioned read — mirroring the paper's
 /// "commercial search engine" setting.
 ///
-/// File layout:
-///   [magic u32][num_terms u32]
-///   per term: varint count, then `count` varint deltas (first is absolute)
-///   offset table: num_terms fixed64 file offsets
-///   [table_offset fixed64][magic u32]
+/// v2 layout (inside the checksummed container of common/io_util.h):
+///   container magic u32
+///   header section:   artifact magic u32, format version u32
+///   meta section:     num_terms u32, num_postings u64
+///   postings section: per term varint count, then `count` varint deltas
+///                     (first is absolute); offsets are blob-relative
+///   table section:    num_terms fixed64 blob-relative offsets
+/// Write commits via temp-file + fsync + atomic rename; Open CRC-verifies
+/// every section (the postings blob is streamed) before any query runs,
+/// so positioned reads at query time stay checksum-covered. The CRC-free
+/// v1 layout ([magic][num_terms] lists, absolute-offset table,
+/// [table_offset][magic] footer) remains readable for one release.
 class DiskInvertedIndex : public InvertedIndex {
  public:
-  ~DiskInvertedIndex() override;
+  ~DiskInvertedIndex() override = default;
 
   DiskInvertedIndex(const DiskInvertedIndex&) = delete;
   DiskInvertedIndex& operator=(const DiskInvertedIndex&) = delete;
 
-  /// Serializes a memory index to `path`.
+  /// Serializes a memory index to `path` (atomic, checksummed).
   static Status Write(const MemoryInvertedIndex& index,
-                      const std::string& path);
+                      const std::string& path, FileSystem* fs = nullptr,
+                      ArtifactInfo* info = nullptr);
+
+  /// v1 writer kept only for legacy-read-window tests.
+  static Status WriteLegacyForTesting(const MemoryInvertedIndex& index,
+                                      const std::string& path);
 
   /// Opens an index previously produced by Write().
   static Result<std::unique_ptr<DiskInvertedIndex>> Open(
-      const std::string& path);
+      const std::string& path, FileSystem* fs = nullptr);
 
   Status GetPostings(TermId term, std::vector<VertexId>* out) const override;
   uint64_t NumTerms() const override { return offsets_.size(); }
@@ -107,8 +121,15 @@ class DiskInvertedIndex : public InvertedIndex {
  private:
   DiskInvertedIndex() = default;
 
-  std::FILE* file_ = nullptr;
+  static Result<std::unique_ptr<DiskInvertedIndex>> OpenLegacy(
+      std::unique_ptr<RandomAccessFile> file);
+
+  std::unique_ptr<RandomAccessFile> file_;
+  /// Blob-relative posting-list offsets (absolute == blob_offset_ + off).
   std::vector<uint64_t> offsets_;
+  /// File range of the varint posting blob.
+  uint64_t blob_offset_ = 0;
+  uint64_t blob_size_ = 0;
   uint64_t num_postings_ = 0;
   uint64_t file_size_ = 0;
 };

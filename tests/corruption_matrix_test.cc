@@ -1,0 +1,255 @@
+// Randomized corruption matrix: for every persisted artifact format, ≥64
+// deterministic bit-flip and truncation variants must each yield a clean
+// Status::Corruption / Status::IOError — never a crash, an unbounded
+// allocation, or a silently loaded index (the CI sanitizer job runs this
+// under ASan/UBSan to catch the "crash" half of that claim).
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <string>
+
+#include "alpha/alpha_index.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/database.h"
+#include "datagen/synthetic.h"
+#include "rdf/kb_io.h"
+#include "reach/reachability_index.h"
+#include "spatial/rtree.h"
+#include "text/inverted_index.h"
+
+namespace ksp {
+namespace {
+
+constexpr int kBitFlipVariants = 48;
+constexpr int kTruncationVariants = 16;
+
+class CorruptionMatrixTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto kb = GenerateKnowledgeBase(SyntheticProfile::DBpediaLike(400));
+    ASSERT_TRUE(kb.ok());
+    kb_ = std::move(*kb);
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("ksp_corrupt_" + std::string(info->name()) + "_" +
+             std::to_string(::getpid())))
+               .string();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+    db_ = std::make_unique<KspDatabase>(kb_.get());
+    db_->PrepareAll(2);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  static std::string ReadFileBytes(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in), {});
+  }
+
+  static void WriteFileBytes(const std::string& path,
+                             const std::string& bytes) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  /// Runs the ≥64-variant matrix over one saved artifact. `load` returns
+  /// the load status; `strict` demands that every variant FAILS (the
+  /// checksummed v2 format), while legacy files only guarantee that
+  /// failures are clean.
+  void RunMatrix(const std::string& path,
+                 const std::function<Status(const std::string&)>& load,
+                 uint64_t seed, bool strict) {
+    const std::string pristine = ReadFileBytes(path);
+    ASSERT_FALSE(pristine.empty());
+    ASSERT_TRUE(load(path).ok()) << "pristine file must load";
+    Rng rng(seed);
+    int failures = 0;
+
+    for (int i = 0; i < kBitFlipVariants; ++i) {
+      std::string copy = pristine;
+      const size_t byte = rng.NextBounded(copy.size());
+      const int bit = static_cast<int>(rng.NextBounded(8));
+      copy[byte] ^= static_cast<char>(1u << bit);
+      WriteFileBytes(path, copy);
+      Status st = load(path);
+      if (strict) {
+        EXPECT_FALSE(st.ok()) << path << ": flip byte " << byte << " bit "
+                              << bit << " was not detected";
+      }
+      if (!st.ok()) {
+        ++failures;
+        EXPECT_TRUE(st.IsCorruption() || st.IsIOError())
+            << path << ": flip byte " << byte << " bit " << bit
+            << " yielded unclean error: " << st.ToString();
+      }
+    }
+
+    for (int i = 0; i < kTruncationVariants; ++i) {
+      const size_t keep = rng.NextBounded(pristine.size());
+      WriteFileBytes(path, pristine.substr(0, keep));
+      Status st = load(path);
+      if (strict) {
+        EXPECT_FALSE(st.ok())
+            << path << ": truncation to " << keep << " was not detected";
+      }
+      if (!st.ok()) {
+        ++failures;
+        EXPECT_TRUE(st.IsCorruption() || st.IsIOError())
+            << path << ": truncation to " << keep
+            << " yielded unclean error: " << st.ToString();
+      }
+    }
+
+    if (strict) {
+      EXPECT_EQ(failures, kBitFlipVariants + kTruncationVariants);
+    }
+    WriteFileBytes(path, pristine);  // Restore for any later matrix.
+  }
+
+  std::unique_ptr<KnowledgeBase> kb_;
+  std::unique_ptr<KspDatabase> db_;
+  std::string dir_;
+};
+
+TEST_F(CorruptionMatrixTest, RTreeArtifact) {
+  const std::string path = dir_ + "/rtree.bin";
+  ASSERT_TRUE(db_->rtree().Save(path).ok());
+  RunMatrix(
+      path,
+      [](const std::string& p) { return RTree::Load(p).status(); },
+      /*seed=*/101, /*strict=*/true);
+}
+
+TEST_F(CorruptionMatrixTest, ReachabilityArtifact) {
+  const std::string path = dir_ + "/reach.bin";
+  ASSERT_TRUE(db_->reachability_index()->Save(path).ok());
+  RunMatrix(
+      path,
+      [](const std::string& p) {
+        return ReachabilityIndex::Load(p).status();
+      },
+      /*seed=*/202, /*strict=*/true);
+}
+
+TEST_F(CorruptionMatrixTest, AlphaArtifact) {
+  const std::string path = dir_ + "/alpha.bin";
+  ASSERT_TRUE(db_->alpha_index()->Save(path).ok());
+  RunMatrix(
+      path,
+      [](const std::string& p) { return AlphaIndex::Load(p).status(); },
+      /*seed=*/303, /*strict=*/true);
+}
+
+TEST_F(CorruptionMatrixTest, KnowledgeBaseSnapshot) {
+  const std::string path = dir_ + "/kb.bin";
+  ASSERT_TRUE(SaveKnowledgeBase(*kb_, path).ok());
+  RunMatrix(
+      path,
+      [](const std::string& p) {
+        return LoadKnowledgeBaseSnapshot(p).status();
+      },
+      /*seed=*/404, /*strict=*/true);
+}
+
+TEST_F(CorruptionMatrixTest, DiskInvertedIndex) {
+  const std::string path = dir_ + "/inverted.bin";
+  ASSERT_TRUE(
+      DiskInvertedIndex::Write(kb_->inverted_index(), path).ok());
+  RunMatrix(
+      path,
+      [](const std::string& p) {
+        auto index = DiskInvertedIndex::Open(p);
+        if (!index.ok()) return index.status();
+        // The blob was CRC-verified at Open; reads must stay in bounds
+        // regardless.
+        std::vector<VertexId> out;
+        for (TermId t = 0; t < (*index)->NumTerms(); ++t) {
+          out.clear();
+          KSP_RETURN_NOT_OK((*index)->GetPostings(t, &out));
+        }
+        return Status::OK();
+      },
+      /*seed=*/505, /*strict=*/true);
+}
+
+// Legacy (CRC-free) files cannot detect every flipped payload bit, but
+// the hardened v1 readers must never crash, over-allocate, or return an
+// unclean error on the same matrix.
+TEST_F(CorruptionMatrixTest, LegacyArtifactsFailCleanlyAtWorst) {
+  const std::string rtree_path = dir_ + "/rtree_v1.bin";
+  ASSERT_TRUE(db_->rtree().SaveLegacyForTesting(rtree_path).ok());
+  RunMatrix(
+      rtree_path,
+      [](const std::string& p) { return RTree::Load(p).status(); },
+      /*seed=*/606, /*strict=*/false);
+
+  const std::string reach_path = dir_ + "/reach_v1.bin";
+  ASSERT_TRUE(
+      db_->reachability_index()->SaveLegacyForTesting(reach_path).ok());
+  RunMatrix(
+      reach_path,
+      [](const std::string& p) {
+        return ReachabilityIndex::Load(p).status();
+      },
+      /*seed=*/707, /*strict=*/false);
+
+  const std::string alpha_path = dir_ + "/alpha_v1.bin";
+  ASSERT_TRUE(db_->alpha_index()->SaveLegacyForTesting(alpha_path).ok());
+  RunMatrix(
+      alpha_path,
+      [](const std::string& p) { return AlphaIndex::Load(p).status(); },
+      /*seed=*/808, /*strict=*/false);
+
+  const std::string kb_path = dir_ + "/kb_v1.bin";
+  ASSERT_TRUE(SaveKnowledgeBaseLegacyForTesting(*kb_, kb_path).ok());
+  RunMatrix(
+      kb_path,
+      [](const std::string& p) {
+        return LoadKnowledgeBaseSnapshot(p).status();
+      },
+      /*seed=*/909, /*strict=*/false);
+
+  const std::string inv_path = dir_ + "/inverted_v1.bin";
+  ASSERT_TRUE(DiskInvertedIndex::WriteLegacyForTesting(
+                  kb_->inverted_index(), inv_path)
+                  .ok());
+  RunMatrix(
+      inv_path,
+      [](const std::string& p) {
+        auto index = DiskInvertedIndex::Open(p);
+        if (!index.ok()) return index.status();
+        std::vector<VertexId> out;
+        for (TermId t = 0; t < (*index)->NumTerms(); ++t) {
+          out.clear();
+          KSP_RETURN_NOT_OK((*index)->GetPostings(t, &out));
+        }
+        return Status::OK();
+      },
+      /*seed=*/1010, /*strict=*/false);
+}
+
+// Legacy files must still round-trip bit-for-pristine: the one-release
+// read window.
+TEST_F(CorruptionMatrixTest, PristineLegacyFilesStillLoad) {
+  const std::string rtree_path = dir_ + "/rtree_v1.bin";
+  ASSERT_TRUE(db_->rtree().SaveLegacyForTesting(rtree_path).ok());
+  auto rtree = RTree::Load(rtree_path);
+  ASSERT_TRUE(rtree.ok()) << rtree.status().ToString();
+  EXPECT_EQ(rtree->size(), kb_->num_places());
+
+  const std::string kb_path = dir_ + "/kb_v1.bin";
+  ASSERT_TRUE(SaveKnowledgeBaseLegacyForTesting(*kb_, kb_path).ok());
+  auto loaded = LoadKnowledgeBaseSnapshot(kb_path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ((*loaded)->num_vertices(), kb_->num_vertices());
+  EXPECT_EQ((*loaded)->num_places(), kb_->num_places());
+}
+
+}  // namespace
+}  // namespace ksp

@@ -1,0 +1,73 @@
+// CRC32C against published vectors (RFC 3720 §B.4) plus the streaming
+// composition property the whole-file manifest checksum relies on.
+
+#include "common/crc32c.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/rng.h"
+
+namespace ksp {
+namespace {
+
+TEST(Crc32cTest, StandardVectors) {
+  // The canonical check value.
+  EXPECT_EQ(Crc32c("123456789"), 0xE3069283u);
+
+  std::string buf(32, '\0');
+  EXPECT_EQ(Crc32c(buf), 0x8A9136AAu);
+
+  buf.assign(32, '\xff');
+  EXPECT_EQ(Crc32c(buf), 0x62A8AB43u);
+
+  for (int i = 0; i < 32; ++i) buf[i] = static_cast<char>(i);
+  EXPECT_EQ(Crc32c(buf), 0x46DD794Eu);
+
+  for (int i = 0; i < 32; ++i) buf[i] = static_cast<char>(31 - i);
+  EXPECT_EQ(Crc32c(buf), 0x113FDB5Cu);
+}
+
+TEST(Crc32cTest, EmptyInput) {
+  EXPECT_EQ(Crc32c(std::string_view{}), 0u);
+  EXPECT_EQ(Crc32cExtend(0x12345678u, std::string_view{}), 0x12345678u);
+}
+
+TEST(Crc32cTest, ExtendComposesAcrossArbitrarySplits) {
+  Rng rng(42);
+  std::string data(4096, '\0');
+  for (char& c : data) c = static_cast<char>(rng.Next());
+  const uint32_t whole = Crc32c(data);
+  for (size_t split : {size_t{0}, size_t{1}, size_t{7}, size_t{8},
+                       size_t{63}, size_t{1024}, data.size()}) {
+    uint32_t crc = Crc32cExtend(0, data.data(), split);
+    crc = Crc32cExtend(crc, data.data() + split, data.size() - split);
+    EXPECT_EQ(crc, whole) << "split at " << split;
+  }
+  // Many-chunk streaming (the ChecksumWholeFile pattern).
+  uint32_t crc = 0;
+  for (size_t pos = 0; pos < data.size();) {
+    size_t n = 1 + rng.NextBounded(97);
+    n = std::min(n, data.size() - pos);
+    crc = Crc32cExtend(crc, data.data() + pos, n);
+    pos += n;
+  }
+  EXPECT_EQ(crc, whole);
+}
+
+TEST(Crc32cTest, DetectsSingleBitFlips) {
+  Rng rng(7);
+  std::string data(257, '\0');
+  for (char& c : data) c = static_cast<char>(rng.Next());
+  const uint32_t clean = Crc32c(data);
+  for (int trial = 0; trial < 128; ++trial) {
+    std::string copy = data;
+    size_t byte = rng.NextBounded(copy.size());
+    copy[byte] ^= static_cast<char>(1u << rng.NextBounded(8));
+    EXPECT_NE(Crc32c(copy), clean);
+  }
+}
+
+}  // namespace
+}  // namespace ksp

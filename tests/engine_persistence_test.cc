@@ -2,8 +2,10 @@
 // LoadIndexes must answer every query identically with no rebuild.
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <filesystem>
+#include <fstream>
 
 #include "core/database.h"
 #include "core/executor.h"
@@ -19,7 +21,10 @@ class EnginePersistenceTest : public ::testing::Test {
     auto kb = GenerateKnowledgeBase(SyntheticProfile::DBpediaLike(1500));
     ASSERT_TRUE(kb.ok());
     kb_ = std::move(*kb);
-    dir_ = (std::filesystem::temp_directory_path() / "ksp_engine_idx")
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("ksp_engine_idx_" + std::string(info->name()) + "_" +
+             std::to_string(::getpid())))
                .string();
     std::filesystem::create_directories(dir_);
   }
@@ -90,17 +95,100 @@ TEST_F(EnginePersistenceTest, PartialSaveLoads) {
   EXPECT_FALSE(executor.ExecuteSp(queries[0]).ok());
 }
 
-TEST_F(EnginePersistenceTest, AlphaWithoutItsRTreeRejected) {
-  // α entries are keyed by R-tree node ids; loading the α file without
-  // the tree it was built against must fail loudly, not misalign.
+TEST_F(EnginePersistenceTest, MissingArtifactFromManifestIsIOError) {
+  // A manifest whose artifact vanished (partially copied directory) must
+  // fail the whole load and leave the database fully unprepared.
   KspDatabase original(kb_.get());
   original.PrepareAll(2);
   ASSERT_TRUE(original.SaveIndexes(dir_).ok());
-  std::filesystem::remove(dir_ + "/rtree.bin");
+  std::filesystem::remove(dir_ + "/rtree-000001.bin");
+
   KspDatabase restored(kb_.get());
   auto status = restored.LoadIndexes(dir_);
-  EXPECT_FALSE(status.ok());
-  EXPECT_TRUE(status.IsInvalidArgument());
+  EXPECT_TRUE(status.IsIOError()) << status.ToString();
+  EXPECT_FALSE(restored.has_rtree());
+  EXPECT_EQ(restored.reachability_index(), nullptr);
+  EXPECT_EQ(restored.alpha_index(), nullptr);
+
+  // Queries on the unprepared database fail cleanly.
+  QueryGenOptions qopt;
+  qopt.num_keywords = 3;
+  auto queries = GenerateQueries(*kb_, QueryClass::kOriginal, qopt, 1);
+  ASSERT_FALSE(queries.empty());
+  QueryExecutor executor(&restored);
+  auto result = executor.ExecuteSp(queries[0]);
+  EXPECT_TRUE(result.status().IsInvalidArgument()) << result.status().ToString();
+}
+
+TEST_F(EnginePersistenceTest, StaleManifestIsCorruption) {
+  // An artifact swapped out from under its manifest (size/checksum
+  // mismatch) must be rejected before any index is loaded.
+  KspDatabase original(kb_.get());
+  original.PrepareAll(2);
+  ASSERT_TRUE(original.SaveIndexes(dir_).ok());
+  {
+    // Same size, different bytes: flip one payload byte in place.
+    std::fstream f(dir_ + "/reach-000001.bin",
+                   std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.is_open());
+    f.seekg(64);
+    char b = 0;
+    f.get(b);
+    f.seekp(64);
+    f.put(static_cast<char>(b ^ 0x01));
+  }
+
+  KspDatabase restored(kb_.get());
+  auto status = restored.LoadIndexes(dir_);
+  EXPECT_TRUE(status.IsCorruption()) << status.ToString();
+  EXPECT_FALSE(restored.has_rtree());
+  EXPECT_EQ(restored.reachability_index(), nullptr);
+  EXPECT_EQ(restored.alpha_index(), nullptr);
+}
+
+TEST_F(EnginePersistenceTest, SecondSaveAdvancesGenerationAndCollectsOld) {
+  KspDatabase db(kb_.get());
+  db.PrepareAll(2);
+  ASSERT_TRUE(db.SaveIndexes(dir_).ok());
+  ASSERT_TRUE(std::filesystem::exists(dir_ + "/rtree-000001.bin"));
+  ASSERT_TRUE(db.SaveIndexes(dir_).ok());
+  EXPECT_TRUE(std::filesystem::exists(dir_ + "/rtree-000002.bin"));
+  EXPECT_FALSE(std::filesystem::exists(dir_ + "/rtree-000001.bin"));
+
+  KspDatabase restored(kb_.get());
+  ASSERT_TRUE(restored.LoadIndexes(dir_).ok());
+  EXPECT_TRUE(restored.has_rtree());
+  EXPECT_NE(restored.alpha_index(), nullptr);
+}
+
+TEST_F(EnginePersistenceTest, LegacyLayoutStillLoads) {
+  // Pre-manifest directories (fixed filenames, no MANIFEST) stay
+  // readable for one release.
+  KspDatabase original(kb_.get());
+  original.PrepareAll(2);
+  ASSERT_TRUE(original.rtree().Save(dir_ + "/rtree.bin").ok());
+  ASSERT_TRUE(
+      original.reachability_index()->Save(dir_ + "/reach.bin").ok());
+  ASSERT_TRUE(original.alpha_index()->Save(dir_ + "/alpha.bin").ok());
+
+  KspDatabase restored(kb_.get());
+  ASSERT_TRUE(restored.LoadIndexes(dir_).ok());
+  EXPECT_TRUE(restored.has_rtree());
+  EXPECT_NE(restored.reachability_index(), nullptr);
+  EXPECT_NE(restored.alpha_index(), nullptr);
+}
+
+TEST_F(EnginePersistenceTest, AlphaWithoutItsRTreeRejected) {
+  // α entries are keyed by R-tree node ids; loading the α file without
+  // the tree it was built against (legacy layout) must fail loudly with
+  // InvalidArgument, not misalign.
+  KspDatabase original(kb_.get());
+  original.PrepareAll(2);
+  ASSERT_TRUE(original.alpha_index()->Save(dir_ + "/alpha.bin").ok());
+  KspDatabase restored(kb_.get());
+  auto status = restored.LoadIndexes(dir_);
+  EXPECT_TRUE(status.IsInvalidArgument()) << status.ToString();
+  EXPECT_EQ(restored.alpha_index(), nullptr);
 }
 
 TEST_F(EnginePersistenceTest, MismatchedKbRejected) {
