@@ -26,9 +26,9 @@ void RunConfig(const char* label, const ksp::KnowledgeBase& kb,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ksp::bench;
-  const BenchEnv env = BenchEnv::FromEnv();
+  const BenchEnv env = BenchEnv::FromArgs(argc, argv);
   std::printf("=== Ablation: pruning rules, ranking, edge mode ===\n");
 
   auto kb = MakeDataset(/*dbpedia_like=*/true,
@@ -97,5 +97,5 @@ int main() {
     o.undirected_edges = true;
     RunConfig("undirected-sp", *kb, env, o, Algo::kSp, 3, queries);
   }
-  return 0;
+  return ksp::bench::Finish();
 }

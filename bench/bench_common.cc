@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "common/logging.h"
 #include "rdf/kb_io.h"
@@ -14,6 +15,10 @@ double EnvDouble(const char* name, double fallback) {
   const char* value = std::getenv(name);
   return value == nullptr ? fallback : std::atof(value);
 }
+
+/// Set by FromArgs; nullptr keeps the query path metrics-free.
+MetricsRegistry* g_metrics = nullptr;
+std::string g_metrics_out;
 }  // namespace
 
 BenchEnv BenchEnv::FromEnv() {
@@ -24,6 +29,47 @@ BenchEnv BenchEnv::FromEnv() {
   if (env.scale <= 0) env.scale = 1.0;
   if (env.queries == 0) env.queries = 1;
   return env;
+}
+
+BenchEnv BenchEnv::FromArgs(int argc, char** argv) {
+  BenchEnv env = FromEnv();
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    constexpr const char kMetricsOut[] = "--metrics-out=";
+    if (std::strncmp(arg, kMetricsOut, sizeof(kMetricsOut) - 1) == 0) {
+      env.metrics_out = arg + sizeof(kMetricsOut) - 1;
+      KSP_CHECK(!env.metrics_out.empty())
+          << "--metrics-out requires a file path";
+      continue;
+    }
+    KSP_CHECK(false) << "unknown flag: " << arg
+                     << " (supported: --metrics-out=FILE)";
+  }
+  if (!env.metrics_out.empty()) {
+    static MetricsRegistry registry;
+    g_metrics = &registry;
+    g_metrics_out = env.metrics_out;
+  }
+  return env;
+}
+
+MetricsRegistry* BenchMetrics() { return g_metrics; }
+
+int Finish() {
+  if (g_metrics == nullptr) return 0;
+  const std::string json = g_metrics->Snapshot().ToJson();
+  std::FILE* f = std::fopen(g_metrics_out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open --metrics-out file %s\n",
+                 g_metrics_out.c_str());
+    return 1;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::fprintf(stderr, "metrics snapshot written to %s\n",
+               g_metrics_out.c_str());
+  return 0;
 }
 
 std::unique_ptr<KnowledgeBase> MakeDataset(bool dbpedia_like,
@@ -60,6 +106,7 @@ WorkloadStats RunWorkload(const KspDatabase& db, Algo algo,
                           const std::vector<KspQuery>& queries, uint32_t k) {
   WorkloadStats out;
   QueryExecutor executor(&db);
+  if (g_metrics != nullptr) executor.set_metrics(g_metrics);
   for (const KspQuery& query : queries) {
     KspQuery q = query;
     if (k > 0) q.k = k;
@@ -79,6 +126,7 @@ std::vector<KspResult> RunWorkloadCollect(
   std::vector<KspResult> results;
   results.reserve(queries.size());
   QueryExecutor executor(&db);
+  if (g_metrics != nullptr) executor.set_metrics(g_metrics);
   for (const KspQuery& query : queries) {
     KspQuery q = query;
     if (k > 0) q.k = k;

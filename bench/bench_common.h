@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "core/database.h"
 #include "core/executor.h"
 #include "core/parallel.h"
@@ -20,12 +21,20 @@ namespace bench {
 ///   KSP_QUERIES        queries per configuration (default 25; paper: 100)
 ///   KSP_TIME_LIMIT_MS  per-query abort limit (default 2000; paper: 120000
 ///                      for BSP)
+/// Command-line flags (FromArgs):
+///   --metrics-out=FILE write the bench-wide ksp_* metrics snapshot
+///                      (DESIGN.md §7) as JSON to FILE on exit
 struct BenchEnv {
   double scale = 1.0;
   size_t queries = 25;
   double time_limit_ms = 2000.0;
+  std::string metrics_out;  // empty: metrics collection off
 
   static BenchEnv FromEnv();
+  /// FromEnv() plus flag parsing; KSP_CHECK-fails on unknown flags. Also
+  /// enables the process-wide bench metrics registry when --metrics-out
+  /// is given (see BenchMetrics / Finish).
+  static BenchEnv FromArgs(int argc, char** argv);
 
   uint32_t Scaled(uint32_t base) const {
     return static_cast<uint32_t>(base * scale) < 100
@@ -95,6 +104,16 @@ void PrintStatsHeader();
 
 /// Prints the dataset summary line (§6.1-style statistics).
 void PrintDatasetSummary(const char* label, const KnowledgeBase& kb);
+
+/// The process-wide bench metrics registry, or nullptr until FromArgs
+/// sees --metrics-out. RunWorkload / RunWorkloadCollect attach it to
+/// their executors automatically.
+MetricsRegistry* BenchMetrics();
+
+/// Bench epilogue: writes the metrics snapshot to --metrics-out (if
+/// enabled) and returns the process exit code. Every bench main ends
+/// with `return ksp::bench::Finish();`.
+int Finish();
 
 }  // namespace bench
 }  // namespace ksp

@@ -7,9 +7,9 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ksp::bench;
-  const BenchEnv env = BenchEnv::FromEnv();
+  const BenchEnv env = BenchEnv::FromArgs(argc, argv);
   std::printf("=== Figure 3: varying k on DBpedia(-like) ===\n");
 
   auto kb = MakeDataset(/*dbpedia_like=*/true,
@@ -33,5 +33,5 @@ int main() {
       PrintStatsRow(config, algo, RunWorkload(*db, algo, queries, k));
     }
   }
-  return 0;
+  return ksp::bench::Finish();
 }

@@ -8,9 +8,9 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ksp::bench;
-  const BenchEnv env = BenchEnv::FromEnv();
+  const BenchEnv env = BenchEnv::FromArgs(argc, argv);
   std::printf("=== Figure 6: varying alpha (SP only) ===\n");
 
   for (bool dbpedia : {true, false}) {
@@ -42,5 +42,5 @@ int main() {
     }
     std::printf("\n");
   }
-  return 0;
+  return ksp::bench::Finish();
 }

@@ -10,9 +10,9 @@
 #include "bench_common.h"
 #include "datagen/sampler.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ksp::bench;
-  const BenchEnv env = BenchEnv::FromEnv();
+  const BenchEnv env = BenchEnv::FromArgs(argc, argv);
   std::printf("=== Table 7 + Figure 7: scalability (random jump, c=0.15) "
               "===\n");
 
@@ -70,5 +70,5 @@ int main() {
                     RunWorkload(*db, algo, queries, 5));
     }
   }
-  return 0;
+  return ksp::bench::Finish();
 }

@@ -8,9 +8,9 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ksp::bench;
-  const BenchEnv env = BenchEnv::FromEnv();
+  const BenchEnv env = BenchEnv::FromArgs(argc, argv);
   std::printf("=== Figure 9: large-looseness queries (DBpedia-like) ===\n");
 
   auto kb = MakeDataset(/*dbpedia_like=*/true,
@@ -38,5 +38,5 @@ int main() {
       }
     }
   }
-  return 0;
+  return ksp::bench::Finish();
 }

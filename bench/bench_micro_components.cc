@@ -163,6 +163,73 @@ void BM_QuerySpp(benchmark::State& state) {
 }
 BENCHMARK(BM_QuerySpp);
 
+/// Disabled tracing (null trace pointer): the acceptance bar is "a
+/// disabled TraceSpan compiles down to a branch", i.e. the cost per
+/// guard must be nanoseconds — compare against BM_TraceSpanEnabled.
+void BM_TraceSpanDisabled(benchmark::State& state) {
+  ksp::QueryTrace* trace = nullptr;
+  for (auto _ : state) {
+    ksp::TraceSpan span(trace, ksp::TracePhase::kTqspCompute);
+    span.AddItems(1);
+    benchmark::DoNotOptimize(trace);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceSpanDisabled);
+
+void BM_TraceSpanEnabled(benchmark::State& state) {
+  ksp::QueryTrace trace;
+  trace.set_record_spans(state.range(0) != 0);
+  for (auto _ : state) {
+    ksp::TraceSpan span(&trace, ksp::TracePhase::kTqspCompute);
+    span.AddItems(1);
+    benchmark::DoNotOptimize(trace);
+  }
+  if (state.range(0) != 0) trace.Clear();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceSpanEnabled)->Arg(0)->Arg(1);
+
+/// Whole-query overhead of the metrics pipeline (internal aggregate
+/// trace + counter flush) — compare against BM_QuerySp.
+void BM_QuerySpMetrics(benchmark::State& state) {
+  auto& shared = State();
+  static ksp::MetricsRegistry* registry = new ksp::MetricsRegistry();
+  ksp::QueryExecutor exec(shared.db.get());
+  exec.set_metrics(registry);
+  size_t i = 0;
+  for (auto _ : state) {
+    auto result = exec.ExecuteSp(shared.queries[i % shared.queries.size()]);
+    benchmark::DoNotOptimize(result);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_QuerySpMetrics);
+
+void BM_MetricsCounterIncrement(benchmark::State& state) {
+  static ksp::MetricsRegistry* registry = new ksp::MetricsRegistry();
+  ksp::Counter* counter = registry->GetCounter("bm_counter_total");
+  for (auto _ : state) {
+    counter->Increment();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MetricsCounterIncrement)->Threads(1)->Threads(8);
+
+void BM_MetricsHistogramObserve(benchmark::State& state) {
+  static ksp::MetricsRegistry* registry = new ksp::MetricsRegistry();
+  ksp::Histogram* histogram = registry->GetHistogram(
+      "bm_latency_ms", ksp::Histogram::DefaultLatencyBucketsMs());
+  double v = 0.0;
+  for (auto _ : state) {
+    histogram->Observe(v);
+    v = v > 1000 ? 0.0 : v + 0.37;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MetricsHistogramObserve)->Threads(1)->Threads(8);
+
 void BM_MemoryGraphBfs(benchmark::State& state) {
   auto& shared = State();
   const ksp::Graph& graph = shared.kb->graph();

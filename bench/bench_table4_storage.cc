@@ -16,9 +16,9 @@
 #include "common/timer.h"
 #include "text/inverted_index.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ksp::bench;
-  const BenchEnv env = BenchEnv::FromEnv();
+  const BenchEnv env = BenchEnv::FromArgs(argc, argv);
   std::printf("=== Table 4: storage cost ===\n");
   std::printf("%-14s %14s %14s %16s %16s\n", "dataset", "R-tree",
               "RDF graph", "inv-index(mem)", "inv-index(disk)");
@@ -111,5 +111,5 @@ int main() {
     std::remove(v2.c_str());
     std::remove(v1.c_str());
   }
-  return 0;
+  return ksp::bench::Finish();
 }

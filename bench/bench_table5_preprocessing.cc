@@ -11,9 +11,9 @@
 #include "common/timer.h"
 #include "text/inverted_index.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ksp::bench;
-  const BenchEnv env = BenchEnv::FromEnv();
+  const BenchEnv env = BenchEnv::FromArgs(argc, argv);
   std::printf("=== Table 5: preprocessing and indexing time (seconds) ===\n");
   std::printf("%-14s %10s %10s %10s %10s %10s\n", "dataset", "rtree-ins",
               "rtree-str", "inv-index", "reach-lbl", "alpha3");
@@ -60,5 +60,5 @@ int main() {
       "\npaper (minutes, full scale): DBpedia rtree 3.17 inv 4.61 "
       "tflabel 22.60 alpha3 1192.01; Yago rtree 31.90 inv 1.00 "
       "tflabel 6.09 alpha3 101.61\n");
-  return 0;
+  return ksp::bench::Finish();
 }

@@ -10,9 +10,9 @@
 #include "bench_common.h"
 #include "common/strings.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ksp::bench;
-  const BenchEnv env = BenchEnv::FromEnv();
+  const BenchEnv env = BenchEnv::FromArgs(argc, argv);
   std::printf("=== Table 6: alpha-radius word neighborhood size ===\n");
   std::printf("%-14s %12s %12s %16s\n", "dataset", "alpha", "entries",
               "size");
@@ -34,5 +34,5 @@ int main() {
   std::printf(
       "\npaper (full scale, GB): DBpedia 3.56 / 24.33 / 32.53 / 204.70; "
       "Yago 1.07 / 3.61 / 12.37 / 30.63 for alpha 1/2/3/5\n");
-  return 0;
+  return ksp::bench::Finish();
 }

@@ -46,18 +46,31 @@ Result<KspResult> QueryExecutor::ExecuteSpatialFirst(const KspQuery& query,
   QueryStats local_stats;
   QueryStats* st = stats != nullptr ? stats : &local_stats;
   *st = QueryStats();
+  QueryTrace* trace = BeginQueryTrace();
 
   QueryContext ctx;
-  KSP_RETURN_NOT_OK(PrepareContext(query, &ctx));
+  {
+    TraceSpan span(trace, TracePhase::kDocFetch);
+    KSP_RETURN_NOT_OK(PrepareContext(query, &ctx));
+  }
 
   double semantic_seconds = 0.0;
   TopKHeap heap(query.k);
   if (ctx.answerable) {
+    ExplainTermination("exhausted");
     NearestIterator iterator(db_->rtree_ptr(), query.location);
     NearestIterator::Item item;
-    while (iterator.Next(&item)) {
+    for (;;) {
+      bool has_item;
+      {
+        TraceSpan span(trace, TracePhase::kRtreeNn);
+        has_item = iterator.Next(&item);
+        span.AddItems(1);
+      }
+      if (!has_item) break;
       if (total_timer.ElapsedMillis() > options.time_limit_ms) {
         st->completed = false;
+        ExplainTermination("timeout");
         break;
       }
       const double theta = heap.Threshold();
@@ -65,6 +78,7 @@ Result<KspResult> QueryExecutor::ExecuteSpatialFirst(const KspQuery& query,
       // spatial distance and f(L, S) >= MinScore(S) for L >= 1.
       if (options.ranking.MinScoreGivenSpatialDistance(item.distance) >=
           theta) {
+        ExplainTermination("threshold");
         break;
       }
       if (item.is_node) continue;  // Children already enqueued.
@@ -73,9 +87,28 @@ Result<KspResult> QueryExecutor::ExecuteSpatialFirst(const KspQuery& query,
       const VertexId root = db_->kb().place_vertex(place);
       const double spatial = item.distance;
 
-      if (use_rule1 && IsUnqualifiedPlace(root, ctx, st)) {
-        ++st->pruned_unqualified;  // Pruning Rule 1.
-        continue;
+      ExplainCandidate row;
+      row.place = place;
+      row.spatial_distance = spatial;
+      row.threshold = theta;
+      row.score_bound =
+          options.ranking.MinScoreGivenSpatialDistance(spatial);
+
+      if (use_rule1) {
+        bool unqualified;
+        {
+          TraceSpan span(trace, TracePhase::kRule1Prune);
+          unqualified = IsUnqualifiedPlace(root, ctx, st);
+        }
+        if (unqualified) {
+          ++st->pruned_unqualified;  // Pruning Rule 1.
+          if (explain_on()) {
+            row.looseness = kInf;
+            row.outcome = CandidateOutcome::kPrunedRule1;
+            ExplainCandidateRow(row);
+          }
+          continue;
+        }
       }
 
       const double looseness_threshold =
@@ -83,29 +116,54 @@ Result<KspResult> QueryExecutor::ExecuteSpatialFirst(const KspQuery& query,
                     : kInf;
 
       ++st->tqsp_computations;
+      const uint64_t rule2_before = st->pruned_dynamic_bound;
+      const uint64_t visited_before = st->vertices_visited;
       SemanticPlaceTree tree;
       tree.place = place;
       double looseness;
       {
         ScopedTimer semantic_timer(&semantic_seconds);
+        TraceSpan span(trace, TracePhase::kTqspCompute);
         looseness = ComputeTqsp(root, ctx, looseness_threshold, use_rule2,
                                 &tree, st);
+        span.AddItems(st->vertices_visited - visited_before);
       }
-      if (looseness == kInf) continue;  // Unqualified or Rule-2 pruned.
+      if (looseness == kInf) {  // Unqualified or Rule-2 pruned.
+        const bool rule2 = st->pruned_dynamic_bound > rule2_before;
+        if (rule2 && trace != nullptr) {
+          trace->RecordEvent(TracePhase::kRule2Prune);
+        }
+        if (explain_on()) {
+          row.looseness = rule2 ? looseness_threshold : kInf;
+          row.outcome = rule2 ? CandidateOutcome::kPrunedRule2
+                              : CandidateOutcome::kUnqualified;
+          ExplainCandidateRow(row);
+        }
+        continue;
+      }
 
       KspResultEntry entry;
       entry.place = place;
       entry.looseness = looseness;
       entry.spatial_distance = spatial;
       entry.score = options.ranking.Score(looseness, spatial);
+      if (explain_on()) {
+        row.looseness = looseness;
+        row.score = entry.score;
+        row.outcome = CandidateOutcome::kComputed;
+        ExplainCandidateRow(row);
+      }
       entry.tree = std::move(tree);
       heap.Add(std::move(entry));
     }
     st->rtree_nodes_accessed = iterator.nodes_accessed();
+  } else {
+    ExplainTermination("unanswerable");
   }
 
   st->semantic_ms = semantic_seconds * 1e3;
   st->total_ms = total_timer.ElapsedMillis();
+  RecordQueryMetrics(*st);
   return std::move(heap).Finish();
 }
 

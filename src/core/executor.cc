@@ -63,6 +63,63 @@ QueryExecutor::QueryExecutor(const KspDatabase* db) : db_(db) {
   KSP_CHECK(db_ != nullptr);
   visit_epoch_.assign(db_->kb().num_vertices(), 0);
   bfs_parent_.assign(db_->kb().num_vertices(), kInvalidVertex);
+  // The internal trace only feeds per-phase totals; keeping the span list
+  // would grow unbounded with candidate count on the metrics-only path.
+  internal_trace_.set_record_spans(false);
+}
+
+void QueryExecutor::set_metrics(MetricsRegistry* registry) {
+  metrics_ = MetricsHandles{};
+  metrics_.registry = registry;
+  if (registry == nullptr) return;
+  metrics_.queries = registry->GetCounter("ksp_queries_total");
+  metrics_.timeouts = registry->GetCounter("ksp_query_timeouts_total");
+  metrics_.tqsp = registry->GetCounter("ksp_tqsp_computations_total");
+  metrics_.rtree_nodes =
+      registry->GetCounter("ksp_rtree_nodes_accessed_total");
+  metrics_.bfs_vertices =
+      registry->GetCounter("ksp_bfs_vertices_visited_total");
+  metrics_.reach_queries =
+      registry->GetCounter("ksp_reachability_queries_total");
+  for (int rule = 0; rule < 4; ++rule) {
+    metrics_.pruned_rule[rule] = registry->GetCounter(
+        "ksp_pruned_rule" + std::to_string(rule + 1) + "_total");
+  }
+  metrics_.wall_us = registry->GetCounter("ksp_query_wall_us_total");
+  metrics_.semantic_us =
+      registry->GetCounter("ksp_query_semantic_us_total");
+  for (size_t p = 0; p < kNumTracePhases; ++p) {
+    metrics_.phase_us[p] = registry->GetCounter(
+        std::string("ksp_phase_") +
+        TracePhaseName(static_cast<TracePhase>(p)) + "_us_total");
+  }
+  metrics_.latency_ms = registry->GetHistogram(
+      "ksp_query_latency_ms", Histogram::DefaultLatencyBucketsMs());
+}
+
+void QueryExecutor::RecordQueryMetrics(const QueryStats& stats) {
+  if (metrics_.registry == nullptr) return;
+  metrics_.queries->Increment();
+  if (!stats.completed) metrics_.timeouts->Increment();
+  metrics_.tqsp->Increment(stats.tqsp_computations);
+  metrics_.rtree_nodes->Increment(stats.rtree_nodes_accessed);
+  metrics_.bfs_vertices->Increment(stats.vertices_visited);
+  metrics_.reach_queries->Increment(stats.reachability_queries);
+  metrics_.pruned_rule[0]->Increment(stats.pruned_unqualified);
+  metrics_.pruned_rule[1]->Increment(stats.pruned_dynamic_bound);
+  metrics_.pruned_rule[2]->Increment(stats.pruned_alpha_place);
+  metrics_.pruned_rule[3]->Increment(stats.pruned_alpha_node);
+  metrics_.wall_us->Increment(
+      static_cast<uint64_t>(stats.total_ms * 1e3));
+  metrics_.semantic_us->Increment(
+      static_cast<uint64_t>(stats.semantic_ms * 1e3));
+  metrics_.latency_ms->Observe(stats.total_ms);
+  if (const QueryTrace* trace = active_trace(); trace != nullptr) {
+    for (size_t p = 0; p < kNumTracePhases; ++p) {
+      metrics_.phase_us[p]->Increment(static_cast<uint64_t>(
+          trace->PhaseExclusiveUs(static_cast<TracePhase>(p))));
+    }
+  }
 }
 
 Status QueryExecutor::CheckPrepared() const {

@@ -6,12 +6,15 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/result.h"
 #include "common/types.h"
 #include "core/database.h"
+#include "core/explain.h"
 #include "core/query.h"
 #include "core/semantic_place.h"
 #include "core/stats.h"
+#include "core/trace.h"
 
 namespace ksp {
 
@@ -99,6 +102,32 @@ class QueryExecutor {
   Result<TiedSemanticPlace> ComputeTqspAlternatives(PlaceId place,
                                                     const KspQuery& query);
 
+  /// ---- Observability ----
+
+  /// EXPLAIN: evaluates the query while recording every candidate the
+  /// search touches (visit order, θ and looseness at decision time, which
+  /// pruning rule killed it) plus the termination reason. Supported for
+  /// the place-at-a-time algorithms (BSP, SPP, SP); TA/keyword-only
+  /// return Unimplemented.
+  Result<ExplainReport> Explain(const KspQuery& query,
+                                KspAlgorithm algorithm = KspAlgorithm::kSp);
+
+  /// Attaches a per-query trace sink: every subsequent Execute* clears it
+  /// and records its phase spans into it. Pass nullptr to detach —
+  /// tracing then costs nothing on the query path (see TraceSpan).
+  /// The trace must outlive the executor or be detached first.
+  void set_trace(QueryTrace* trace) { trace_ = trace; }
+  QueryTrace* trace() const { return trace_; }
+
+  /// Attaches a metrics registry: every subsequent Execute* increments
+  /// the ksp_* query counters/histograms (DESIGN.md §7), including
+  /// per-phase exclusive time counters gathered through an internal
+  /// aggregate-only trace when no external trace is attached. Handles are
+  /// cached here, so registration cost is paid once. Pass nullptr to
+  /// detach. The registry must outlive the executor or be detached first.
+  void set_metrics(MetricsRegistry* registry);
+  MetricsRegistry* metrics() const { return metrics_.registry; }
+
   /// Forces the BFS epoch counter, so tests can exercise the uint32_t
   /// wraparound path without 2^32 warm-up queries.
   void set_bfs_epoch_for_testing(uint32_t epoch) { epoch_ = epoch; }
@@ -151,12 +180,71 @@ class QueryExecutor {
   /// epoch and corrupt TQSP construction).
   uint32_t BeginBfsEpoch();
 
+  /// ---- Observability internals ----
+
+  /// Cached metric handles (resolved once in set_metrics; the query path
+  /// never takes the registry mutex).
+  struct MetricsHandles {
+    MetricsRegistry* registry = nullptr;
+    Counter* queries = nullptr;
+    Counter* timeouts = nullptr;
+    Counter* tqsp = nullptr;
+    Counter* rtree_nodes = nullptr;
+    Counter* bfs_vertices = nullptr;
+    Counter* reach_queries = nullptr;
+    Counter* pruned_rule[4] = {};
+    Counter* wall_us = nullptr;
+    Counter* semantic_us = nullptr;
+    Counter* phase_us[kNumTracePhases] = {};
+    Histogram* latency_ms = nullptr;
+  };
+
+  /// The trace Execute* should write spans into: the attached trace if
+  /// any, the internal aggregate-only trace when only metrics are on,
+  /// else nullptr (spans then compile down to the null check).
+  QueryTrace* active_trace() {
+    if (trace_ != nullptr) return trace_;
+    return metrics_.registry != nullptr ? &internal_trace_ : nullptr;
+  }
+
+  /// Clears the active trace for a fresh query; every Execute* entry
+  /// point calls this once.
+  QueryTrace* BeginQueryTrace() {
+    QueryTrace* trace = active_trace();
+    if (trace != nullptr) trace->Clear();
+    return trace;
+  }
+
+  /// Flushes one finished query into the metrics registry: QueryStats
+  /// counters, wall/semantic time, the latency histogram, and the active
+  /// trace's per-phase exclusive times.
+  void RecordQueryMetrics(const QueryStats& stats);
+
+  /// Appends an EXPLAIN candidate row (no-op unless Explain() is live).
+  void ExplainCandidateRow(const ExplainCandidate& row) {
+    if (explain_ == nullptr) return;
+    explain_->candidates.push_back(row);
+    explain_->candidates.back().order = explain_order_++;
+  }
+  void ExplainTermination(const char* reason) {
+    if (explain_ != nullptr) explain_->termination = reason;
+  }
+  bool explain_on() const { return explain_ != nullptr; }
+
   const KspDatabase* db_;
 
   /// BFS scratch (epoch-tagged to avoid per-query clears).
   std::vector<uint32_t> visit_epoch_;
   std::vector<VertexId> bfs_parent_;
   uint32_t epoch_ = 0;
+
+  /// Observability state. The internal trace is aggregate-only scratch
+  /// (record_spans off) used when metrics are attached without a trace.
+  QueryTrace* trace_ = nullptr;
+  QueryTrace internal_trace_;
+  MetricsHandles metrics_;
+  ExplainReport* explain_ = nullptr;
+  uint32_t explain_order_ = 0;
 };
 
 }  // namespace ksp

@@ -1,0 +1,86 @@
+#ifndef KSP_CORE_EXPLAIN_H_
+#define KSP_CORE_EXPLAIN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "core/query.h"
+#include "core/semantic_place.h"
+#include "core/stats.h"
+
+namespace ksp {
+
+class KnowledgeBase;
+
+/// What ultimately happened to one candidate the search looked at.
+enum class CandidateOutcome : uint8_t {
+  /// TQSP computed; the place is in the final top-k.
+  kInTopK,
+  /// TQSP computed and qualified, but beaten by k better places.
+  kComputed,
+  /// TQSP BFS exhausted the component without covering every keyword.
+  kUnqualified,
+  /// Pruning Rule 1: some keyword unreachable (reachability oracle).
+  kPrunedRule1,
+  /// Pruning Rule 2: TQSP construction aborted by the dynamic bound.
+  kPrunedRule2,
+  /// Pruning Rule 3: leaf entry's α score bound ≥ θ (place never visited).
+  kPrunedRule3,
+  /// Pruning Rule 4: node entry's α score bound ≥ θ (subtree discarded).
+  kPrunedRule4,
+};
+
+/// Stable snake_case name ("in_topk", "pruned_rule1", ...).
+const char* CandidateOutcomeName(CandidateOutcome outcome);
+
+/// One row of an EXPLAIN report: a place (or, for Rule-4 prunes, an
+/// R-tree subtree) the search considered, in visit order, with the state
+/// of the search at the moment of the decision.
+struct ExplainCandidate {
+  /// 0-based position in the search's visit/decision sequence.
+  uint32_t order = 0;
+  /// True for R-tree node entries (only kPrunedRule4 rows).
+  bool is_node = false;
+  PlaceId place = kInvalidPlace;
+  uint32_t node_id = 0;
+  /// Exact spatial distance for places; MinDist lower bound for nodes.
+  double spatial_distance = 0.0;
+  /// θ (k-th best score) at decision time; +inf while the heap is short.
+  double threshold = 0.0;
+  /// SP: the α-bound f_B^α that ordered/pruned the entry; BSP/SPP: the
+  /// ranking lower bound at the place's spatial distance.
+  double score_bound = 0.0;
+  /// L(T_p) when computed; the Lw cutoff passed to TQSP construction for
+  /// kPrunedRule2; +inf for rule-1 prunes and unqualified places.
+  double looseness = 0.0;
+  /// Final f(L, S) for computed candidates.
+  double score = 0.0;
+  CandidateOutcome outcome = CandidateOutcome::kComputed;
+};
+
+/// Structured account of one query's evaluation: every candidate the
+/// search touched and why it survived or died, the final result, and the
+/// run's counters. Produced by QueryExecutor::Explain().
+struct ExplainReport {
+  KspAlgorithm algorithm = KspAlgorithm::kSp;
+  KspQuery query;
+  std::vector<ExplainCandidate> candidates;
+  /// Why the search stopped: "threshold" (no remaining candidate can beat
+  /// θ), "exhausted" (candidate stream drained), "timeout", or
+  /// "unanswerable" (a keyword has no postings / unknown keyword).
+  std::string termination;
+  KspResult result;
+  QueryStats stats;
+
+  /// Human-readable table. With a KnowledgeBase, place ids resolve to
+  /// their IRIs.
+  std::string ToText(const KnowledgeBase* kb = nullptr) const;
+  /// Machine-readable JSON with the same fields.
+  std::string ToJson() const;
+};
+
+}  // namespace ksp
+
+#endif  // KSP_CORE_EXPLAIN_H_

@@ -62,6 +62,8 @@ QueryExecutorPool::QueryExecutorPool(const KspDatabase* db,
     : db_(db), workers_(num_threads == 0 ? 1 : num_threads) {
   for (Worker& worker : workers_) {
     worker.executor = std::make_unique<QueryExecutor>(db_);
+    worker.registry = std::make_unique<MetricsRegistry>();
+    worker.executor->set_metrics(worker.registry.get());
   }
   for (Worker& worker : workers_) {
     worker.thread = std::thread(&QueryExecutorPool::WorkerLoop, this,
@@ -154,6 +156,7 @@ Result<std::vector<KspResult>> QueryExecutorPool::Run(
     for (const Worker& worker : workers_) {
       stats->totals.Accumulate(worker.sum);
       stats->worker_wall_ms.push_back(worker.wall_ms);
+      stats->metrics.MergeFrom(worker.registry->Snapshot());
     }
   }
   return results;
@@ -176,7 +179,9 @@ Result<std::vector<KspResult>> RunQueryBatch(
   if (options.num_threads <= 1) {
     Timer wall;
     wall.Start();
+    MetricsRegistry registry;
     QueryExecutor executor(&db);
+    executor.set_metrics(&registry);
     QueryStats sum;
     for (size_t i = 0; i < queries.size(); ++i) {
       QueryStats query_stats;
@@ -189,6 +194,7 @@ Result<std::vector<KspResult>> RunQueryBatch(
       *stats = BatchRunStats{};
       stats->totals = sum;
       stats->worker_wall_ms.push_back(wall.ElapsedMillis());
+      stats->metrics = registry.Snapshot();
     }
     return results;
   }

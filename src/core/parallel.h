@@ -9,17 +9,13 @@
 #include <thread>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/result.h"
 #include "core/database.h"
 #include "core/engine.h"
 #include "core/executor.h"
 
 namespace ksp {
-
-/// Which kSP algorithm a batch run uses.
-enum class KspAlgorithm { kBsp, kSpp, kSp, kTa, kKeywordOnly };
-
-const char* KspAlgorithmName(KspAlgorithm algorithm);
 
 /// Dispatches one query on one executor.
 Result<KspResult> ExecuteWith(QueryExecutor* executor,
@@ -48,6 +44,11 @@ struct BatchRunStats {
   /// Single-threaded runs report one entry. The spread between entries
   /// shows batch load imbalance.
   std::vector<double> worker_wall_ms;
+  /// ksp_* query metrics merged across the pool's per-worker registries
+  /// (DESIGN.md §7). Pool registries are cumulative over the pool's
+  /// lifetime, so counters cover every batch run so far, not just this
+  /// one; transient RunQueryBatch pools cover exactly one batch.
+  MetricsSnapshot metrics;
 };
 
 /// A persistent pool of worker threads, each owning one QueryExecutor
@@ -80,6 +81,9 @@ class QueryExecutorPool {
   struct Worker {
     std::thread thread;
     std::unique_ptr<QueryExecutor> executor;
+    /// Worker-local registry (unique_ptr: MetricsRegistry is pinned, and
+    /// Worker lives in a vector). Merged into BatchRunStats::metrics.
+    std::unique_ptr<MetricsRegistry> registry;
     QueryStats sum;          // Merged into the batch total by Run().
     double wall_ms = 0.0;    // Time inside this worker's query loop.
   };

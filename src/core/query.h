@@ -9,6 +9,14 @@
 
 namespace ksp {
 
+/// Which kSP algorithm evaluates a query (lives here rather than in
+/// parallel.h so per-query APIs like EXPLAIN can name it without pulling
+/// in the thread-pool machinery).
+enum class KspAlgorithm { kBsp, kSpp, kSp, kTa, kKeywordOnly };
+
+/// Short stable name: "BSP", "SPP", "SP", "TA", "KW".
+const char* KspAlgorithmName(KspAlgorithm algorithm);
+
 /// A top-k relevant Semantic Place query q = (q.λ, q.ψ, k) (Definition 3).
 struct KspQuery {
   /// q.λ — the query location.

@@ -58,9 +58,13 @@ Result<KspResult> QueryExecutor::ExecuteSp(const KspQuery& query,
   QueryStats local_stats;
   QueryStats* st = stats != nullptr ? stats : &local_stats;
   *st = QueryStats();
+  QueryTrace* trace = BeginQueryTrace();
 
   QueryContext ctx;
-  KSP_RETURN_NOT_OK(PrepareContext(query, &ctx));
+  {
+    TraceSpan span(trace, TracePhase::kDocFetch);
+    KSP_RETURN_NOT_OK(PrepareContext(query, &ctx));
+  }
 
   const RTree& rtree = db_->rtree();
   const AlphaIndex& alpha = *db_->alpha_index();
@@ -82,6 +86,7 @@ Result<KspResult> QueryExecutor::ExecuteSp(const KspQuery& query,
   TopKHeap heap(query.k);
 
   if (ctx.answerable && !rtree.empty()) {
+    ExplainTermination("exhausted");
     std::priority_queue<AlphaQueueItem, std::vector<AlphaQueueItem>,
                         AlphaQueueOrder>
         pq;
@@ -97,45 +102,88 @@ Result<KspResult> QueryExecutor::ExecuteSp(const KspQuery& query,
     while (!pq.empty()) {
       if (total_timer.ElapsedMillis() > options.time_limit_ms) {
         st->completed = false;
+        ExplainTermination("timeout");
         break;
       }
       AlphaQueueItem item = pq.top();
       pq.pop();
       const double theta = heap.Threshold();
       // Termination (Algorithm 4, line 9): bounds pop in ascending order.
-      if (item.score_bound >= theta) break;
+      if (item.score_bound >= theta) {
+        ExplainTermination("threshold");
+        break;
+      }
 
       if (!item.is_node) {
         const PlaceId place = static_cast<PlaceId>(item.id);
         const VertexId root = db_->kb().place_vertex(place);
         const double spatial = item.spatial_lb;  // Exact for places.
 
-        if (options.use_unqualified_pruning &&
-            IsUnqualifiedPlace(root, ctx, st)) {
-          ++st->pruned_unqualified;  // Pruning Rule 1.
-          continue;
+        ExplainCandidate row;
+        row.place = place;
+        row.spatial_distance = spatial;
+        row.threshold = theta;
+        row.score_bound = item.score_bound;
+
+        if (options.use_unqualified_pruning) {
+          bool unqualified;
+          {
+            TraceSpan span(trace, TracePhase::kRule1Prune);
+            unqualified = IsUnqualifiedPlace(root, ctx, st);
+          }
+          if (unqualified) {
+            ++st->pruned_unqualified;  // Pruning Rule 1.
+            if (explain_on()) {
+              row.looseness = kInf;
+              row.outcome = CandidateOutcome::kPrunedRule1;
+              ExplainCandidateRow(row);
+            }
+            continue;
+          }
         }
         const double looseness_threshold =
             options.use_dynamic_bound_pruning
                 ? options.ranking.LoosenessThreshold(theta, spatial)
                 : kInf;
         ++st->tqsp_computations;
+        const uint64_t rule2_before = st->pruned_dynamic_bound;
+        const uint64_t visited_before = st->vertices_visited;
         SemanticPlaceTree tree;
         tree.place = place;
         double looseness;
         {
           ScopedTimer semantic_timer(&semantic_seconds);
+          TraceSpan span(trace, TracePhase::kTqspCompute);
           looseness =
               ComputeTqsp(root, ctx, looseness_threshold,
                           options.use_dynamic_bound_pruning, &tree, st);
+          span.AddItems(st->vertices_visited - visited_before);
         }
-        if (looseness == kInf) continue;
+        if (looseness == kInf) {
+          const bool rule2 = st->pruned_dynamic_bound > rule2_before;
+          if (rule2 && trace != nullptr) {
+            trace->RecordEvent(TracePhase::kRule2Prune);
+          }
+          if (explain_on()) {
+            row.looseness = rule2 ? looseness_threshold : kInf;
+            row.outcome = rule2 ? CandidateOutcome::kPrunedRule2
+                                : CandidateOutcome::kUnqualified;
+            ExplainCandidateRow(row);
+          }
+          continue;
+        }
 
         KspResultEntry entry;
         entry.place = place;
         entry.looseness = looseness;
         entry.spatial_distance = spatial;
         entry.score = options.ranking.Score(looseness, spatial);
+        if (explain_on()) {
+          row.looseness = looseness;
+          row.score = entry.score;
+          row.outcome = CandidateOutcome::kComputed;
+          ExplainCandidateRow(row);
+        }
         entry.tree = std::move(tree);
         heap.Add(std::move(entry));
         continue;
@@ -143,8 +191,10 @@ Result<KspResult> QueryExecutor::ExecuteSp(const KspQuery& query,
 
       // Internal/leaf node: expand children with their α-bounds
       // (Pruning Rules 3 and 4 gate the push).
+      TraceSpan span(trace, TracePhase::kRtreeNn);
       ++st->rtree_nodes_accessed;
       const RTree::Node& node = rtree.node(static_cast<uint32_t>(item.id));
+      span.AddItems(node.entries.size());
       for (const RTree::Entry& e : node.entries) {
         const double s_lb = MinDist(query.location, e.rect);
         const uint32_t entry_id =
@@ -158,15 +208,35 @@ Result<KspResult> QueryExecutor::ExecuteSp(const KspQuery& query,
           } else {
             ++st->pruned_alpha_node;  // Pruning Rule 4.
           }
+          if (explain_on()) {
+            ExplainCandidate pruned_row;
+            pruned_row.is_node = !node.is_leaf;
+            if (node.is_leaf) {
+              pruned_row.place = static_cast<PlaceId>(e.id);
+            } else {
+              pruned_row.node_id = static_cast<uint32_t>(e.id);
+            }
+            pruned_row.spatial_distance = s_lb;
+            pruned_row.threshold = heap.Threshold();
+            pruned_row.score_bound = f_b;
+            pruned_row.looseness = l_b;
+            pruned_row.outcome = node.is_leaf
+                                     ? CandidateOutcome::kPrunedRule3
+                                     : CandidateOutcome::kPrunedRule4;
+            ExplainCandidateRow(pruned_row);
+          }
           continue;
         }
         pq.push(AlphaQueueItem{f_b, s_lb, !node.is_leaf, e.id});
       }
     }
+  } else if (!ctx.answerable) {
+    ExplainTermination("unanswerable");
   }
 
   st->semantic_ms = semantic_seconds * 1e3;
   st->total_ms = total_timer.ElapsedMillis();
+  RecordQueryMetrics(*st);
   return std::move(heap).Finish();
 }
 

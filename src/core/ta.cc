@@ -34,6 +34,7 @@ class TaSearch {
         db_(exec->db()),
         ctx_(ctx),
         stats_(stats),
+        trace_(exec->active_trace()),
         graph_(db_.kb().graph()),
         n_(graph_.num_vertices()),
         m_(ctx.terms.size()),
@@ -137,6 +138,7 @@ class TaSearch {
   const KspDatabase& db_;
   const QueryExecutor::QueryContext& ctx_;
   QueryStats* stats_;
+  QueryTrace* trace_;
   const Graph& graph_;
   const VertexId n_;
   const size_t m_;
@@ -178,6 +180,7 @@ Result<KspResult> TaSearch::Run(const KspQuery& query) {
       bool got;
       {
         ScopedTimer semantic_timer(&semantic_seconds);
+        TraceSpan span(trace_, TracePhase::kBfsExpand);
         got = NextByLooseness(&candidate);
       }
       if (!got) {
@@ -202,7 +205,13 @@ Result<KspResult> TaSearch::Run(const KspQuery& query) {
     // Pull from the spatial stream; random-access its looseness (TQSP).
     if (!spatial_done) {
       NearestIterator::Item item;
-      if (!spatial.NextData(&item)) {
+      bool got_spatial;
+      {
+        TraceSpan span(trace_, TracePhase::kRtreeNn);
+        got_spatial = spatial.NextData(&item);
+        span.AddItems(1);
+      }
+      if (!got_spatial) {
         spatial_done = true;  // Every place seen.
         break;
       }
@@ -214,6 +223,7 @@ Result<KspResult> TaSearch::Run(const KspQuery& query) {
         double looseness;
         {
           ScopedTimer semantic_timer(&semantic_seconds);
+          TraceSpan span(trace_, TracePhase::kTqspCompute);
           looseness = exec_->ComputeTqsp(kb.place_vertex(place), ctx_,
                                          kInf, /*use_dynamic_bound=*/false,
                                          nullptr, stats_);
@@ -239,6 +249,7 @@ Result<KspResult> TaSearch::Run(const KspQuery& query) {
   // Materialize the TQSP trees of the final answers only.
   for (KspResultEntry& entry : result.entries) {
     ScopedTimer semantic_timer(&semantic_seconds);
+    TraceSpan span(trace_, TracePhase::kTqspCompute);
     entry.tree.place = entry.place;
     exec_->ComputeTqsp(kb.place_vertex(entry.place), ctx_, kInf,
                        /*use_dynamic_bound=*/false, &entry.tree, nullptr);
@@ -264,6 +275,7 @@ Result<KspResult> TaSearch::RunKeywordOnly(const KspQuery& query) {
     bool got;
     {
       ScopedTimer semantic_timer(&semantic_seconds);
+      TraceSpan span(trace_, TracePhase::kBfsExpand);
       got = NextByLooseness(&candidate);
     }
     if (!got) break;  // All qualified places enumerated.
@@ -276,6 +288,7 @@ Result<KspResult> TaSearch::RunKeywordOnly(const KspQuery& query) {
     entry.tree.place = candidate.place;
     {
       ScopedTimer semantic_timer(&semantic_seconds);
+      TraceSpan span(trace_, TracePhase::kTqspCompute);
       exec_->ComputeTqsp(kb.place_vertex(candidate.place), ctx_, kInf,
                          /*use_dynamic_bound=*/false, &entry.tree,
                          nullptr);
@@ -293,13 +306,22 @@ Result<KspResult> QueryExecutor::ExecuteKeywordOnly(const KspQuery& query,
   QueryStats local_stats;
   QueryStats* st = stats != nullptr ? stats : &local_stats;
   *st = QueryStats();
+  QueryTrace* trace = BeginQueryTrace();
 
   QueryContext ctx;
-  KSP_RETURN_NOT_OK(PrepareContext(query, &ctx));
-  if (!ctx.answerable || ctx.terms.empty()) return KspResult{};
+  {
+    TraceSpan span(trace, TracePhase::kDocFetch);
+    KSP_RETURN_NOT_OK(PrepareContext(query, &ctx));
+  }
+  if (!ctx.answerable || ctx.terms.empty()) {
+    RecordQueryMetrics(*st);
+    return KspResult{};
+  }
 
   TaSearch search(this, ctx, st);
-  return search.RunKeywordOnly(query);
+  auto result = search.RunKeywordOnly(query);
+  RecordQueryMetrics(*st);
+  return result;
 }
 
 Result<KspResult> QueryExecutor::ExecuteTa(const KspQuery& query,
@@ -308,18 +330,31 @@ Result<KspResult> QueryExecutor::ExecuteTa(const KspQuery& query,
   QueryStats local_stats;
   QueryStats* st = stats != nullptr ? stats : &local_stats;
   *st = QueryStats();
+  {
+    QueryContext probe;
+    KSP_RETURN_NOT_OK(PrepareContext(query, &probe));
+    if (probe.terms.empty() && probe.answerable) {
+      // No keywords: TA's looseness stream is degenerate; fall back to
+      // the spatial-first algorithm (every place qualifies with L = 1).
+      return ExecuteSpatialFirst(query, st, false, false);
+    }
+  }
+  QueryTrace* trace = BeginQueryTrace();
 
   QueryContext ctx;
-  KSP_RETURN_NOT_OK(PrepareContext(query, &ctx));
-  if (!ctx.answerable) return KspResult{};
-  if (ctx.terms.empty()) {
-    // No keywords: TA's looseness stream is degenerate; fall back to the
-    // spatial-first algorithm (every place qualifies with L = 1).
-    return ExecuteSpatialFirst(query, st, false, false);
+  {
+    TraceSpan span(trace, TracePhase::kDocFetch);
+    KSP_RETURN_NOT_OK(PrepareContext(query, &ctx));
+  }
+  if (!ctx.answerable) {
+    RecordQueryMetrics(*st);
+    return KspResult{};
   }
 
   TaSearch search(this, ctx, st);
-  return search.Run(query);
+  auto result = search.Run(query);
+  RecordQueryMetrics(*st);
+  return result;
 }
 
 }  // namespace ksp

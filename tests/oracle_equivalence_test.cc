@@ -1,0 +1,226 @@
+// Brute-force oracle equivalence: a naive O(|P| · BFS) reference
+// implementation of Definition 3 — one independent BFS per place, no
+// R-tree, no pruning rules, no shared code with the engine's TQSP
+// machinery — checked against BSP, SPP and SP on hundreds of seeded
+// random queries. Any divergence in the top-k set, order, or looseness
+// values is a correctness bug in one of the pruning rules.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "core/database.h"
+#include "core/executor.h"
+#include "datagen/query_gen.h"
+#include "datagen/synthetic.h"
+#include "rdf/knowledge_base.h"
+#include "spatial/geometry.h"
+
+namespace ksp {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct OracleEntry {
+  PlaceId place;
+  double looseness;
+  double spatial;
+  double score;
+};
+
+/// The reference evaluator: for every place, dg(p, t_i) by plain BFS
+/// from the place vertex over out-edges (the engine's default edge
+/// direction), L(T_p) = 1 + Σ dg, f from the database's ranking function
+/// on the exact point-to-point distance. Places missing any keyword are
+/// unqualified and dropped (Definition 1).
+class BruteForceOracle {
+ public:
+  explicit BruteForceOracle(const KspDatabase* db)
+      : db_(db),
+        kb_(db->kb()),
+        seen_(kb_.num_vertices(), 0),
+        dist_(kb_.num_vertices(), 0) {}
+
+  /// All qualified places in ascending (score, place) order — the
+  /// engine's TopKHeap tiebreak.
+  std::vector<OracleEntry> RankAll(const KspQuery& query) {
+    std::vector<TermId> terms;
+    for (TermId t : query.keywords) {
+      if (t == kInvalidTerm) return {};  // Unanswerable query.
+      if (std::find(terms.begin(), terms.end(), t) == terms.end()) {
+        terms.push_back(t);
+      }
+    }
+    std::vector<OracleEntry> entries;
+    for (PlaceId p = 0; p < kb_.num_places(); ++p) {
+      const double looseness = Looseness(kb_.place_vertex(p), terms);
+      if (looseness == kInf) continue;
+      OracleEntry entry;
+      entry.place = p;
+      entry.looseness = looseness;
+      entry.spatial = Distance(query.location, kb_.place_location(p));
+      entry.score = db_->options().ranking.Score(looseness, entry.spatial);
+      entries.push_back(entry);
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const OracleEntry& a, const OracleEntry& b) {
+                return a.score != b.score ? a.score < b.score
+                                          : a.place < b.place;
+              });
+    return entries;
+  }
+
+ private:
+  /// 1 + Σ_i min-hops from root to a vertex whose document contains
+  /// t_i, or +inf if some keyword is unreachable.
+  double Looseness(VertexId root, const std::vector<TermId>& terms) {
+    const Graph& graph = kb_.graph();
+    const DocumentStore& docs = kb_.documents();
+    std::vector<uint32_t> best(terms.size(),
+                               std::numeric_limits<uint32_t>::max());
+    size_t found = 0;
+
+    ++epoch_;
+    queue_.clear();
+    queue_.push_back(root);
+    seen_[root] = epoch_;
+    dist_[root] = 0;
+    for (size_t qi = 0; qi < queue_.size() && found < terms.size(); ++qi) {
+      const VertexId v = queue_[qi];
+      for (size_t i = 0; i < terms.size(); ++i) {
+        if (best[i] == std::numeric_limits<uint32_t>::max() &&
+            docs.Contains(v, terms[i])) {
+          best[i] = dist_[v];
+          ++found;
+        }
+      }
+      if (found == terms.size()) break;
+      for (VertexId w : graph.OutNeighbors(v)) {
+        if (seen_[w] != epoch_) {
+          seen_[w] = epoch_;
+          dist_[w] = dist_[v] + 1;
+          queue_.push_back(w);
+        }
+      }
+    }
+    if (found < terms.size()) return kInf;
+    double looseness = 1.0;
+    for (uint32_t d : best) looseness += d;
+    return looseness;
+  }
+
+  const KspDatabase* db_;
+  const KnowledgeBase& kb_;
+  std::vector<uint32_t> seen_;
+  std::vector<uint32_t> dist_;
+  std::vector<VertexId> queue_;
+  uint32_t epoch_ = 0;
+};
+
+class OracleEquivalenceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto kb = GenerateKnowledgeBase(SyntheticProfile::DBpediaLike(1500));
+    ASSERT_TRUE(kb.ok()) << kb.status().ToString();
+    kb_ = kb->release();
+    db_ = new KspDatabase(kb_);
+    db_->PrepareAll(/*alpha=*/3);
+
+    // ≥200 seeded queries spanning keyword counts and query classes.
+    struct Config {
+      uint32_t num_keywords;
+      QueryClass query_class;
+      uint64_t seed;
+      size_t count;
+    };
+    for (const Config& config : std::vector<Config>{
+             {2, QueryClass::kOriginal, 11, 70},
+             {3, QueryClass::kOriginal, 22, 70},
+             {5, QueryClass::kOriginal, 33, 50},
+             {3, QueryClass::kSDLL, 44, 20},
+         }) {
+      QueryGenOptions options;
+      options.num_keywords = config.num_keywords;
+      options.seed = config.seed;
+      auto batch = GenerateQueries(*kb_, config.query_class, options,
+                                   config.count);
+      queries_->insert(queries_->end(), batch.begin(), batch.end());
+    }
+    ASSERT_GE(queries_->size(), 200u);
+  }
+
+  static void TearDownTestSuite() {
+    delete db_;
+    db_ = nullptr;
+    delete kb_;
+    kb_ = nullptr;
+    queries_->clear();
+  }
+
+  using Execute = Result<KspResult> (QueryExecutor::*)(const KspQuery&,
+                                                       QueryStats*);
+
+  /// Runs every seeded query at every k and diffs against the oracle.
+  void CheckAlgorithm(Execute execute, const char* name) {
+    QueryExecutor executor(db_);
+    BruteForceOracle oracle(db_);
+    size_t nonempty = 0;
+    for (size_t qi = 0; qi < queries_->size(); ++qi) {
+      KspQuery query = (*queries_)[qi];
+      const std::vector<OracleEntry> ranked = oracle.RankAll(query);
+      for (uint32_t k : {1u, 5u, 10u}) {
+        query.k = k;
+        auto result = (executor.*execute)(query, nullptr);
+        ASSERT_TRUE(result.ok())
+            << name << " query " << qi << " k=" << k << ": "
+            << result.status().ToString();
+        const size_t expected = std::min<size_t>(k, ranked.size());
+        ASSERT_EQ(result->entries.size(), expected)
+            << name << " query " << qi << " k=" << k;
+        for (size_t i = 0; i < expected; ++i) {
+          const KspResultEntry& got = result->entries[i];
+          const OracleEntry& want = ranked[i];
+          ASSERT_EQ(got.place, want.place)
+              << name << " query " << qi << " k=" << k << " rank " << i;
+          ASSERT_DOUBLE_EQ(got.looseness, want.looseness)
+              << name << " query " << qi << " k=" << k << " rank " << i;
+          ASSERT_DOUBLE_EQ(got.spatial_distance, want.spatial)
+              << name << " query " << qi << " k=" << k << " rank " << i;
+          ASSERT_DOUBLE_EQ(got.score, want.score)
+              << name << " query " << qi << " k=" << k << " rank " << i;
+        }
+        if (expected > 0) ++nonempty;
+      }
+    }
+    // The workload must actually exercise the engine, not vacuously pass
+    // on empty results.
+    EXPECT_GT(nonempty, queries_->size());
+  }
+
+  static KnowledgeBase* kb_;
+  static KspDatabase* db_;
+  static std::vector<KspQuery>* queries_;
+};
+
+KnowledgeBase* OracleEquivalenceTest::kb_ = nullptr;
+KspDatabase* OracleEquivalenceTest::db_ = nullptr;
+std::vector<KspQuery>* OracleEquivalenceTest::queries_ =
+    new std::vector<KspQuery>();
+
+TEST_F(OracleEquivalenceTest, BspMatchesOracle) {
+  CheckAlgorithm(&QueryExecutor::ExecuteBsp, "BSP");
+}
+
+TEST_F(OracleEquivalenceTest, SppMatchesOracle) {
+  CheckAlgorithm(&QueryExecutor::ExecuteSpp, "SPP");
+}
+
+TEST_F(OracleEquivalenceTest, SpMatchesOracle) {
+  CheckAlgorithm(&QueryExecutor::ExecuteSp, "SP");
+}
+
+}  // namespace
+}  // namespace ksp

@@ -1,0 +1,311 @@
+// QueryTrace span semantics (nesting, early-return closing, aggregate
+// mode), executor-level tracing and metrics recording, and the EXPLAIN
+// report on the paper's Figure 1 knowledge base.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <thread>
+
+#include "common/status.h"
+#include "core/database.h"
+#include "core/executor.h"
+#include "core/trace.h"
+#include "datagen/fixtures.h"
+
+namespace ksp {
+namespace {
+
+void SpinFor(std::chrono::microseconds duration) {
+  const auto until = std::chrono::steady_clock::now() + duration;
+  while (std::chrono::steady_clock::now() < until) {
+  }
+}
+
+TEST(QueryTraceTest, RecordsSpanWithDurationAndItems) {
+  QueryTrace trace;
+  {
+    TraceSpan span(&trace, TracePhase::kTqspCompute);
+    span.AddItems(17);
+    SpinFor(std::chrono::microseconds(200));
+  }
+  EXPECT_FALSE(trace.HasOpenSpans());
+  ASSERT_EQ(trace.spans().size(), 1u);
+  const QueryTrace::Span& span = trace.spans()[0];
+  EXPECT_EQ(span.phase, TracePhase::kTqspCompute);
+  EXPECT_EQ(span.depth, 0u);
+  EXPECT_EQ(span.items, 17u);
+  EXPECT_GT(span.duration_us, 0);
+  EXPECT_EQ(trace.PhaseCount(TracePhase::kTqspCompute), 1u);
+  EXPECT_EQ(trace.PhaseItems(TracePhase::kTqspCompute), 17u);
+  EXPECT_EQ(trace.PhaseInclusiveUs(TracePhase::kTqspCompute),
+            span.duration_us);
+}
+
+TEST(QueryTraceTest, NestedSpansPartitionExclusiveTime) {
+  QueryTrace trace;
+  {
+    TraceSpan outer(&trace, TracePhase::kTqspCompute);
+    SpinFor(std::chrono::microseconds(300));
+    {
+      TraceSpan inner(&trace, TracePhase::kRtreeNn);
+      SpinFor(std::chrono::microseconds(300));
+    }
+    SpinFor(std::chrono::microseconds(300));
+  }
+  ASSERT_EQ(trace.spans().size(), 2u);
+  // Spans are recorded at close time: inner first, depth 1.
+  EXPECT_EQ(trace.spans()[0].phase, TracePhase::kRtreeNn);
+  EXPECT_EQ(trace.spans()[0].depth, 1u);
+  EXPECT_EQ(trace.spans()[1].phase, TracePhase::kTqspCompute);
+  EXPECT_EQ(trace.spans()[1].depth, 0u);
+
+  // Exclusive time excludes the child exactly: outer_inclusive ==
+  // outer_exclusive + inner_inclusive, so summing exclusive times over
+  // phases never double-counts an instant.
+  const int64_t outer_inc = trace.PhaseInclusiveUs(TracePhase::kTqspCompute);
+  const int64_t outer_exc = trace.PhaseExclusiveUs(TracePhase::kTqspCompute);
+  const int64_t inner_inc = trace.PhaseInclusiveUs(TracePhase::kRtreeNn);
+  EXPECT_EQ(outer_inc, outer_exc + inner_inc);
+  EXPECT_GT(outer_exc, 0);
+  EXPECT_EQ(trace.PhaseExclusiveUs(TracePhase::kRtreeNn), inner_inc);
+}
+
+Status ReturnsEarly(QueryTrace* trace) {
+  TraceSpan span(trace, TracePhase::kDocFetch);
+  return Status::InvalidArgument("early exit");  // Span must still close.
+}
+
+TEST(QueryTraceTest, SpanClosesOnEarlyStatusReturn) {
+  QueryTrace trace;
+  EXPECT_FALSE(ReturnsEarly(&trace).ok());
+  EXPECT_FALSE(trace.HasOpenSpans());
+  EXPECT_EQ(trace.PhaseCount(TracePhase::kDocFetch), 1u);
+  ASSERT_EQ(trace.spans().size(), 1u);
+}
+
+TEST(QueryTraceTest, RecordEventIsZeroDuration) {
+  QueryTrace trace;
+  trace.RecordEvent(TracePhase::kRule2Prune);
+  trace.RecordEvent(TracePhase::kRule2Prune, 3);
+  EXPECT_EQ(trace.PhaseCount(TracePhase::kRule2Prune), 2u);
+  EXPECT_EQ(trace.PhaseItems(TracePhase::kRule2Prune), 4u);
+  EXPECT_EQ(trace.PhaseInclusiveUs(TracePhase::kRule2Prune), 0);
+  ASSERT_EQ(trace.spans().size(), 2u);
+  EXPECT_EQ(trace.spans()[0].duration_us, 0);
+}
+
+TEST(QueryTraceTest, AggregateOnlyModeKeepsNoSpanList) {
+  QueryTrace trace;
+  trace.set_record_spans(false);
+  {
+    TraceSpan span(&trace, TracePhase::kBfsExpand);
+    span.AddItems(5);
+  }
+  trace.RecordEvent(TracePhase::kRule2Prune);
+  EXPECT_TRUE(trace.spans().empty());  // No unbounded growth...
+  EXPECT_EQ(trace.PhaseCount(TracePhase::kBfsExpand), 1u);  // ...but
+  EXPECT_EQ(trace.PhaseItems(TracePhase::kBfsExpand), 5u);  // aggregates
+  EXPECT_EQ(trace.PhaseCount(TracePhase::kRule2Prune), 1u);  // survive.
+}
+
+TEST(QueryTraceTest, ClearResetsEverything) {
+  QueryTrace trace;
+  { TraceSpan span(&trace, TracePhase::kRtreeNn); }
+  trace.Clear();
+  EXPECT_TRUE(trace.spans().empty());
+  for (size_t p = 0; p < kNumTracePhases; ++p) {
+    const TracePhase phase = static_cast<TracePhase>(p);
+    EXPECT_EQ(trace.PhaseCount(phase), 0u);
+    EXPECT_EQ(trace.PhaseInclusiveUs(phase), 0);
+  }
+}
+
+TEST(QueryTraceTest, NullTraceRecordsNothing) {
+  // The disabled path: spans over a null trace never touch a trace, so
+  // there is nothing to assert beyond "does not crash" here — the <2%
+  // overhead bound is benchmarked in bench_micro_components
+  // (BM_TraceSpanDisabled) and the compile-time variant is NullTraceSpan,
+  // whose static_asserts pin zero state.
+  QueryTrace* trace = nullptr;
+  TraceSpan span(trace, TracePhase::kTqspCompute);
+  span.AddItems(100);
+  NullTraceSpan null_span(nullptr, TracePhase::kTqspCompute);
+  null_span.AddItems(100);
+}
+
+TEST(QueryTraceTest, ToJsonShape) {
+  QueryTrace trace;
+  {
+    TraceSpan span(&trace, TracePhase::kDocFetch);
+    span.AddItems(2);
+  }
+  const std::string json = trace.ToJson();
+  EXPECT_NE(json.find("\"spans\": [{\"phase\": \"doc_fetch\""),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"phase_totals_us\": {\"doc_fetch\""),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"items\": 2"), std::string::npos) << json;
+}
+
+/// Executor-level tracing on the paper's running example.
+class ExecutorTraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto kb = BuildFigure1KnowledgeBase();
+    ASSERT_TRUE(kb.ok()) << kb.status().ToString();
+    kb_ = std::move(kb).value();
+    db_ = std::make_unique<KspDatabase>(kb_.get());
+    db_->PrepareAll(/*alpha=*/3);
+    exec_ = std::make_unique<QueryExecutor>(db_.get());
+  }
+
+  std::unique_ptr<KnowledgeBase> kb_;
+  std::unique_ptr<KspDatabase> db_;
+  std::unique_ptr<QueryExecutor> exec_;
+};
+
+TEST_F(ExecutorTraceTest, AttachedTraceSeesEveryPhaseOfSpp) {
+  QueryTrace trace;
+  exec_->set_trace(&trace);
+  KspQuery query = db_->MakeQuery(kQ1, Figure1QueryKeywords(), 2);
+  QueryStats stats;
+  ASSERT_TRUE(exec_->ExecuteSpp(query, &stats).ok());
+  EXPECT_FALSE(trace.HasOpenSpans());
+  EXPECT_EQ(trace.PhaseCount(TracePhase::kDocFetch), 1u);
+  EXPECT_EQ(trace.PhaseCount(TracePhase::kTqspCompute),
+            stats.tqsp_computations);
+  EXPECT_EQ(trace.PhaseItems(TracePhase::kTqspCompute),
+            stats.vertices_visited);
+  EXPECT_GT(trace.PhaseCount(TracePhase::kRtreeNn), 0u);
+  EXPECT_FALSE(trace.spans().empty());
+
+  // The trace is per-query: the next Execute* clears it first.
+  KspQuery q1 = db_->MakeQuery(kQ1, Figure1QueryKeywords(), 1);
+  ASSERT_TRUE(exec_->ExecuteSpp(q1, &stats).ok());
+  EXPECT_EQ(trace.PhaseCount(TracePhase::kDocFetch), 1u);
+}
+
+TEST_F(ExecutorTraceTest, Rule2AbortSurfacesAsTraceEvent) {
+  QueryTrace trace;
+  exec_->set_trace(&trace);
+  // Example 8: with k=1 at q1, SPP aborts p2's TQSP via the dynamic bound.
+  KspQuery query = db_->MakeQuery(kQ1, Figure1QueryKeywords(), 1);
+  QueryStats stats;
+  ASSERT_TRUE(exec_->ExecuteSpp(query, &stats).ok());
+  EXPECT_EQ(stats.pruned_dynamic_bound, 1u);
+  EXPECT_EQ(trace.PhaseCount(TracePhase::kRule2Prune), 1u);
+}
+
+TEST_F(ExecutorTraceTest, DetachedExecutorHasNoTrace) {
+  EXPECT_EQ(exec_->trace(), nullptr);
+  EXPECT_EQ(exec_->metrics(), nullptr);
+  KspQuery query = db_->MakeQuery(kQ1, Figure1QueryKeywords(), 2);
+  ASSERT_TRUE(exec_->ExecuteSp(query).ok());  // Untraced path still works.
+}
+
+TEST_F(ExecutorTraceTest, MetricsRecordQueryCountersAndPhases) {
+  MetricsRegistry registry;
+  exec_->set_metrics(&registry);
+  KspQuery query = db_->MakeQuery(kQ1, Figure1QueryKeywords(), 2);
+  QueryStats stats;
+  ASSERT_TRUE(exec_->ExecuteSpp(query, &stats).ok());
+  ASSERT_TRUE(exec_->ExecuteSp(query, &stats).ok());
+
+  MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.counters["ksp_queries_total"], 2u);
+  EXPECT_EQ(snapshot.counters["ksp_query_timeouts_total"], 0u);
+  EXPECT_GT(snapshot.counters["ksp_tqsp_computations_total"], 0u);
+  EXPECT_GT(snapshot.counters["ksp_bfs_vertices_visited_total"], 0u);
+  EXPECT_EQ(snapshot.histograms["ksp_query_latency_ms"].count, 2u);
+  // Per-phase exclusive-time counters exist (values may round to 0 µs on
+  // this tiny KB, so assert presence, not magnitude).
+  EXPECT_NE(snapshot.counters.find("ksp_phase_tqsp_compute_us_total"),
+            snapshot.counters.end());
+  EXPECT_NE(snapshot.counters.find("ksp_phase_rtree_nn_us_total"),
+            snapshot.counters.end());
+}
+
+TEST_F(ExecutorTraceTest, ExplainBspFigure1Golden) {
+  KspQuery query = db_->MakeQuery(kQ1, Figure1QueryKeywords(), 2);
+  auto report = exec_->Explain(query, KspAlgorithm::kBsp);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  // BSP visits both places in spatial order, computes both TQSPs, and
+  // both land in the top-2 (Examples 4-5: L=6 and L=4).
+  ASSERT_EQ(report->candidates.size(), 2u);
+  EXPECT_EQ(report->candidates[0].outcome, CandidateOutcome::kInTopK);
+  EXPECT_EQ(report->candidates[1].outcome, CandidateOutcome::kInTopK);
+  EXPECT_DOUBLE_EQ(report->candidates[0].looseness, 6.0);
+  EXPECT_DOUBLE_EQ(report->candidates[1].looseness, 4.0);
+  EXPECT_EQ(report->termination, "exhausted");
+  ASSERT_EQ(report->result.entries.size(), 2u);
+
+  EXPECT_EQ(report->ToText(kb_.get()),
+            "EXPLAIN BSP k=2 location=(43.51, 4.75) keywords=4\n"
+            "order  kind  id        spatial      theta  looseness      "
+            "score  outcome\n"
+            "    0  place 0        0.219317        inf          6     "
+            "1.3159  in_topk\n"
+            "    1  place 1         1.27781        inf          4    "
+            "5.11124  in_topk\n"
+            "terminated: exhausted\n"
+            "counters: tqsp=2 rtree_nodes=1 reach=0 pruned r1=0 r2=0 r3=0 "
+            "r4=0\n"
+            "result:\n"
+            "  1. place 0 http://example.org/Montmajour_Abbey L=6 "
+            "S=0.219317 f=1.3159\n"
+            "  2. place 1 "
+            "http://example.org/Roman_Catholic_Diocese_of_Frejus_Toulon "
+            "L=4 S=1.27781 f=5.11124\n");
+}
+
+TEST_F(ExecutorTraceTest, ExplainSppRecordsPruneOutcomes) {
+  // {church, architecture}: Rule 1 discards both places (§4.1).
+  KspQuery query = db_->MakeQuery(kQ2, {"church", "architecture"}, 2);
+  auto report = exec_->Explain(query, KspAlgorithm::kSpp);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_EQ(report->candidates.size(), 2u);
+  EXPECT_EQ(report->candidates[0].outcome, CandidateOutcome::kPrunedRule1);
+  EXPECT_EQ(report->candidates[1].outcome, CandidateOutcome::kPrunedRule1);
+  EXPECT_TRUE(report->result.entries.empty());
+  EXPECT_EQ(report->stats.pruned_unqualified, 2u);
+
+  // Example 8: the dynamic bound kills p2 when k=1.
+  KspQuery q1 = db_->MakeQuery(kQ1, Figure1QueryKeywords(), 1);
+  auto r2 = exec_->Explain(q1, KspAlgorithm::kSpp);
+  ASSERT_TRUE(r2.ok());
+  ASSERT_EQ(r2->candidates.size(), 2u);
+  EXPECT_EQ(r2->candidates[0].outcome, CandidateOutcome::kInTopK);
+  EXPECT_EQ(r2->candidates[1].outcome, CandidateOutcome::kPrunedRule2);
+}
+
+TEST_F(ExecutorTraceTest, ExplainSpReportsAlphaPrunes) {
+  KspQuery query = db_->MakeQuery(kQ1, Figure1QueryKeywords(), 1);
+  auto report = exec_->Explain(query, KspAlgorithm::kSp);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_EQ(report->result.entries.size(), 1u);
+  EXPECT_DOUBLE_EQ(report->result.entries[0].looseness, 6.0);
+  // Every candidate row carries a consistent outcome; SP may kill the
+  // runner-up with Rule 2/3 depending on bound tightness.
+  for (const ExplainCandidate& c : report->candidates) {
+    EXPECT_NE(CandidateOutcomeName(c.outcome), std::string("?"));
+  }
+  const std::string json = report->ToJson();
+  EXPECT_NE(json.find("\"algorithm\": \"SP\""), std::string::npos);
+  EXPECT_NE(json.find("\"termination\": \""), std::string::npos);
+}
+
+TEST_F(ExecutorTraceTest, ExplainTaIsUnimplemented) {
+  KspQuery query = db_->MakeQuery(kQ1, Figure1QueryKeywords(), 1);
+  auto report = exec_->Explain(query, KspAlgorithm::kTa);
+  EXPECT_FALSE(report.ok());
+  auto kw = exec_->Explain(query, KspAlgorithm::kKeywordOnly);
+  EXPECT_FALSE(kw.ok());
+}
+
+}  // namespace
+}  // namespace ksp
