@@ -1,5 +1,7 @@
 #include "bench_common.h"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -19,6 +21,30 @@ double EnvDouble(const char* name, double fallback) {
 /// Set by FromArgs; nullptr keeps the query path metrics-free.
 MetricsRegistry* g_metrics = nullptr;
 std::string g_metrics_out;
+/// Execution shape shared by every RunWorkload call in the process
+/// (intra_threads / warmup / repeat), set once by FromArgs.
+BenchEnv g_env;
+/// --json-out capture: bench id from argv[0], pre-rendered row objects.
+std::string g_json_out;
+std::string g_bench_id = "bench";
+std::vector<std::string> g_json_rows;
+
+uint64_t ParseCount(const char* value, const char* flag) {
+  char* end = nullptr;
+  const unsigned long long n = std::strtoull(value, &end, 10);
+  KSP_CHECK(end != value && *end == '\0')
+      << flag << " requires an unsigned integer, got: " << value;
+  return n;
+}
+
+std::string JsonEscape(const char* s) {
+  std::string out;
+  for (; *s != '\0'; ++s) {
+    if (*s == '"' || *s == '\\') out.push_back('\\');
+    out.push_back(*s);
+  }
+  return out;
+}
 }  // namespace
 
 BenchEnv BenchEnv::FromEnv() {
@@ -33,43 +59,101 @@ BenchEnv BenchEnv::FromEnv() {
 
 BenchEnv BenchEnv::FromArgs(int argc, char** argv) {
   BenchEnv env = FromEnv();
+  if (argc > 0 && argv[0] != nullptr) {
+    const char* slash = std::strrchr(argv[0], '/');
+    g_bench_id = slash != nullptr ? slash + 1 : argv[0];
+  }
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     constexpr const char kMetricsOut[] = "--metrics-out=";
+    constexpr const char kJsonOut[] = "--json-out=";
+    constexpr const char kIntraThreads[] = "--intra-threads=";
+    constexpr const char kWarmup[] = "--warmup=";
+    constexpr const char kRepeat[] = "--repeat=";
     if (std::strncmp(arg, kMetricsOut, sizeof(kMetricsOut) - 1) == 0) {
       env.metrics_out = arg + sizeof(kMetricsOut) - 1;
       KSP_CHECK(!env.metrics_out.empty())
           << "--metrics-out requires a file path";
       continue;
     }
+    if (std::strncmp(arg, kJsonOut, sizeof(kJsonOut) - 1) == 0) {
+      env.json_out = arg + sizeof(kJsonOut) - 1;
+      KSP_CHECK(!env.json_out.empty()) << "--json-out requires a file path";
+      continue;
+    }
+    if (std::strncmp(arg, kIntraThreads, sizeof(kIntraThreads) - 1) == 0) {
+      env.intra_threads = static_cast<uint32_t>(
+          ParseCount(arg + sizeof(kIntraThreads) - 1, "--intra-threads"));
+      if (env.intra_threads == 0) env.intra_threads = 1;
+      continue;
+    }
+    if (std::strncmp(arg, kWarmup, sizeof(kWarmup) - 1) == 0) {
+      env.warmup = ParseCount(arg + sizeof(kWarmup) - 1, "--warmup");
+      continue;
+    }
+    if (std::strncmp(arg, kRepeat, sizeof(kRepeat) - 1) == 0) {
+      env.repeat = ParseCount(arg + sizeof(kRepeat) - 1, "--repeat");
+      if (env.repeat == 0) env.repeat = 1;
+      continue;
+    }
     KSP_CHECK(false) << "unknown flag: " << arg
-                     << " (supported: --metrics-out=FILE)";
+                     << " (supported: --metrics-out=FILE --json-out=FILE "
+                        "--intra-threads=N --warmup=N --repeat=N)";
   }
   if (!env.metrics_out.empty()) {
     static MetricsRegistry registry;
     g_metrics = &registry;
     g_metrics_out = env.metrics_out;
   }
+  g_json_out = env.json_out;
+  g_env = env;
   return env;
 }
 
 MetricsRegistry* BenchMetrics() { return g_metrics; }
 
-int Finish() {
-  if (g_metrics == nullptr) return 0;
-  const std::string json = g_metrics->Snapshot().ToJson();
-  std::FILE* f = std::fopen(g_metrics_out.c_str(), "w");
+namespace {
+int WriteFile(const std::string& path, const std::string& content,
+              const char* what) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
-    std::fprintf(stderr, "cannot open --metrics-out file %s\n",
-                 g_metrics_out.c_str());
+    std::fprintf(stderr, "cannot open %s file %s\n", what, path.c_str());
     return 1;
   }
-  std::fwrite(json.data(), 1, json.size(), f);
+  std::fwrite(content.data(), 1, content.size(), f);
   std::fputc('\n', f);
   std::fclose(f);
-  std::fprintf(stderr, "metrics snapshot written to %s\n",
-               g_metrics_out.c_str());
+  std::fprintf(stderr, "%s written to %s\n", what, path.c_str());
   return 0;
+}
+}  // namespace
+
+int Finish() {
+  int rc = 0;
+  if (g_metrics != nullptr) {
+    rc |= WriteFile(g_metrics_out, g_metrics->Snapshot().ToJson(),
+                    "metrics snapshot");
+  }
+  if (!g_json_out.empty()) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "{\n  \"schema_version\": 1,\n  \"bench\": \"%s\",\n"
+                  "  \"env\": {\"scale\": %g, \"queries\": %zu,"
+                  " \"time_limit_ms\": %g, \"intra_threads\": %u,"
+                  " \"warmup\": %zu, \"repeat\": %zu},\n  \"rows\": [\n",
+                  JsonEscape(g_bench_id.c_str()).c_str(), g_env.scale,
+                  g_env.queries, g_env.time_limit_ms, g_env.intra_threads,
+                  g_env.warmup, g_env.repeat);
+    std::string doc = buf;
+    for (size_t i = 0; i < g_json_rows.size(); ++i) {
+      doc += g_json_rows[i];
+      if (i + 1 < g_json_rows.size()) doc += ",";
+      doc += "\n";
+    }
+    doc += "  ]\n}";
+    rc |= WriteFile(g_json_out, doc, "bench JSON");
+  }
+  return rc;
 }
 
 std::unique_ptr<KnowledgeBase> MakeDataset(bool dbpedia_like,
@@ -102,22 +186,66 @@ std::unique_ptr<KspDatabase> MakeDatabase(const KnowledgeBase* kb,
   return db;
 }
 
+double WorkloadStats::PercentileWallUs(double q) const {
+  if (wall_us.empty()) return 0.0;
+  std::vector<double> sorted = wall_us;
+  std::sort(sorted.begin(), sorted.end());
+  // Nearest-rank: the smallest sample with cumulative frequency >= q.
+  size_t rank = static_cast<size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  if (rank == 0) rank = 1;
+  if (rank > sorted.size()) rank = sorted.size();
+  return sorted[rank - 1];
+}
+
 WorkloadStats RunWorkload(const KspDatabase& db, Algo algo,
                           const std::vector<KspQuery>& queries, uint32_t k) {
-  WorkloadStats out;
   QueryExecutor executor(&db);
+  executor.set_intra_query_threads(g_env.intra_threads);
   if (g_metrics != nullptr) executor.set_metrics(g_metrics);
-  for (const KspQuery& query : queries) {
-    KspQuery q = query;
-    if (k > 0) q.k = k;
-    QueryStats stats;
-    auto result = ExecuteWith(&executor, algo, q, &stats);
-    KSP_CHECK(result.ok()) << result.status().ToString();
-    out.sum.Accumulate(stats);
-    if (!stats.completed) ++out.timed_out;
-    ++out.num_queries;
+  // Phase breakdown needs the (cheap, aggregate-only) trace on the query
+  // path; keep the path trace-free unless an output asked for it.
+  QueryTrace trace;
+  trace.set_record_spans(false);
+  if (!g_json_out.empty() || g_metrics != nullptr) {
+    executor.set_trace(&trace);
   }
-  return out;
+
+  auto run_pass = [&]() {
+    WorkloadStats out;
+    out.wall_us.reserve(queries.size());
+    for (const KspQuery& query : queries) {
+      KspQuery q = query;
+      if (k > 0) q.k = k;
+      QueryStats stats;
+      auto result = ExecuteWith(&executor, algo, q, &stats);
+      KSP_CHECK(result.ok()) << result.status().ToString();
+      out.sum.Accumulate(stats);
+      out.wall_us.push_back(stats.total_ms * 1000.0);
+      if (executor.trace() != nullptr) {
+        // The executor clears the trace per query, so fold now.
+        for (size_t p = 0; p < kNumTracePhases; ++p) {
+          out.phase_exclusive_us[p] += static_cast<double>(
+              trace.PhaseExclusiveUs(static_cast<TracePhase>(p)));
+        }
+      }
+      if (!stats.completed) ++out.timed_out;
+      ++out.num_queries;
+    }
+    return out;
+  };
+
+  for (size_t w = 0; w < g_env.warmup; ++w) run_pass();
+  std::vector<WorkloadStats> passes;
+  passes.reserve(g_env.repeat);
+  for (size_t r = 0; r < g_env.repeat; ++r) passes.push_back(run_pass());
+  // Median-of-repeats by total wall time: robust against one-off stalls
+  // without averaging away the distribution shape within the pass.
+  std::sort(passes.begin(), passes.end(),
+            [](const WorkloadStats& a, const WorkloadStats& b) {
+              return a.sum.total_ms < b.sum.total_ms;
+            });
+  return std::move(passes[(passes.size() - 1) / 2]);
 }
 
 std::vector<KspResult> RunWorkloadCollect(
@@ -126,6 +254,7 @@ std::vector<KspResult> RunWorkloadCollect(
   std::vector<KspResult> results;
   results.reserve(queries.size());
   QueryExecutor executor(&db);
+  executor.set_intra_query_threads(g_env.intra_threads);
   if (g_metrics != nullptr) executor.set_metrics(g_metrics);
   for (const KspQuery& query : queries) {
     KspQuery q = query;
@@ -144,12 +273,50 @@ void PrintStatsHeader() {
       "timeout");
 }
 
+namespace {
+void AppendJsonRow(const char* config, Algo algo,
+                   const WorkloadStats& stats) {
+  char buf[256];
+  std::string row = "    {\"config\": \"" + JsonEscape(config) +
+                    "\", \"algo\": \"" + AlgoName(algo) + "\",";
+  std::snprintf(buf, sizeof(buf),
+                " \"queries\": %zu, \"timed_out\": %zu,"
+                " \"mean_wall_us\": %.1f, \"median_wall_us\": %.1f,"
+                " \"p95_wall_us\": %.1f,",
+                stats.num_queries, stats.timed_out,
+                stats.AvgTotalMs() * 1000.0, stats.MedianWallUs(),
+                stats.P95WallUs());
+  row += buf;
+  row += " \"phase_exclusive_us\": {";
+  for (size_t p = 0; p < kNumTracePhases; ++p) {
+    std::snprintf(buf, sizeof(buf), "%s\"%s\": %.0f", p == 0 ? "" : ", ",
+                  TracePhaseName(static_cast<TracePhase>(p)),
+                  stats.phase_exclusive_us[p]);
+    row += buf;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "}, \"counters\": {\"tqsp_computations\": %llu,"
+                " \"rtree_nodes_accessed\": %llu,"
+                " \"vertices_visited\": %llu,"
+                " \"speculative_wasted_tqsp\": %llu}}",
+                static_cast<unsigned long long>(stats.sum.tqsp_computations),
+                static_cast<unsigned long long>(
+                    stats.sum.rtree_nodes_accessed),
+                static_cast<unsigned long long>(stats.sum.vertices_visited),
+                static_cast<unsigned long long>(
+                    stats.sum.speculative_wasted_tqsp));
+  row += buf;
+  g_json_rows.push_back(std::move(row));
+}
+}  // namespace
+
 void PrintStatsRow(const char* config, Algo algo,
                    const WorkloadStats& stats) {
   std::printf("%-18s %-4s %12.3f %12.3f %12.3f %10.1f %10.1f %5zu/%zu\n",
               config, AlgoName(algo), stats.AvgTotalMs(),
               stats.AvgSemanticMs(), stats.AvgOtherMs(), stats.AvgTqsp(),
               stats.AvgRtreeNodes(), stats.timed_out, stats.num_queries);
+  if (!g_json_out.empty()) AppendJsonRow(config, algo, stats);
 }
 
 void PrintDatasetSummary(const char* label, const KnowledgeBase& kb) {

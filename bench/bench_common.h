@@ -9,6 +9,7 @@
 #include "core/database.h"
 #include "core/executor.h"
 #include "core/parallel.h"
+#include "core/trace.h"
 #include "datagen/query_gen.h"
 #include "datagen/synthetic.h"
 #include "rdf/knowledge_base.h"
@@ -22,13 +23,24 @@ namespace bench {
 ///   KSP_TIME_LIMIT_MS  per-query abort limit (default 2000; paper: 120000
 ///                      for BSP)
 /// Command-line flags (FromArgs):
-///   --metrics-out=FILE write the bench-wide ksp_* metrics snapshot
-///                      (DESIGN.md §7) as JSON to FILE on exit
+///   --metrics-out=FILE  write the bench-wide ksp_* metrics snapshot
+///                       (DESIGN.md §7) as JSON to FILE on exit
+///   --json-out=FILE     write every PrintStatsRow row as a machine-readable
+///                       JSON document (schema below) to FILE on exit
+///   --intra-threads=N   answer each query with N intra-query pipeline
+///                       threads (DESIGN.md §8); default 1 = sequential
+///   --warmup=N          run each workload N untimed passes first
+///   --repeat=N          run each workload N timed passes and report the
+///                       median pass (by total wall time); default 1
 struct BenchEnv {
   double scale = 1.0;
   size_t queries = 25;
   double time_limit_ms = 2000.0;
   std::string metrics_out;  // empty: metrics collection off
+  uint32_t intra_threads = 1;
+  size_t warmup = 0;
+  size_t repeat = 1;
+  std::string json_out;  // empty: JSON row capture off
 
   static BenchEnv FromEnv();
   /// FromEnv() plus flag parsing; KSP_CHECK-fails on unknown flags. Also
@@ -61,10 +73,16 @@ using Algo = KspAlgorithm;
 inline const char* AlgoName(Algo algo) { return KspAlgorithmName(algo); }
 
 /// Aggregated workload metrics (averages over queries, like §6 reports).
+/// With --repeat=N this is the median timed pass; wall_us holds that
+/// pass's per-query wall times and phase_exclusive_us its summed per-phase
+/// exclusive trace time (populated only when --json-out or --metrics-out
+/// keeps tracing on).
 struct WorkloadStats {
   QueryStats sum;
   size_t num_queries = 0;
   size_t timed_out = 0;
+  std::vector<double> wall_us;  // per-query wall time, microseconds
+  double phase_exclusive_us[kNumTracePhases] = {};
 
   double AvgTotalMs() const { return Avg(sum.total_ms); }
   double AvgSemanticMs() const { return Avg(sum.semantic_ms); }
@@ -75,6 +93,10 @@ struct WorkloadStats {
   double AvgRtreeNodes() const {
     return Avg(static_cast<double>(sum.rtree_nodes_accessed));
   }
+  /// Nearest-rank percentiles over wall_us (0 when empty).
+  double MedianWallUs() const { return PercentileWallUs(0.50); }
+  double P95WallUs() const { return PercentileWallUs(0.95); }
+  double PercentileWallUs(double q) const;
 
  private:
   double Avg(double total) const {
@@ -85,7 +107,9 @@ struct WorkloadStats {
 
 /// Runs `queries` through one algorithm on a fresh QueryExecutor, with
 /// `k` overriding each query's requested result size (pass 0 to keep the
-/// generated k).
+/// generated k). Honors the FromArgs execution flags: --intra-threads
+/// configures the executor's pipeline, --warmup adds untimed passes, and
+/// --repeat returns the median timed pass.
 WorkloadStats RunWorkload(const KspDatabase& db, Algo algo,
                           const std::vector<KspQuery>& queries, uint32_t k);
 
@@ -95,7 +119,17 @@ std::vector<KspResult> RunWorkloadCollect(const KspDatabase& db, Algo algo,
                                           const std::vector<KspQuery>& queries,
                                           uint32_t k);
 
-/// Prints the standard per-row metrics line.
+/// Prints the standard per-row metrics line. With --json-out, the row is
+/// also captured for the JSON document Finish() writes:
+///   {"schema_version": 1, "bench": "<argv0 basename>",
+///    "env": {scale, queries, time_limit_ms, intra_threads, warmup,
+///            repeat},
+///    "rows": [{config, algo, queries, timed_out, mean_wall_us,
+///              median_wall_us, p95_wall_us, phase_exclusive_us: {<phase>:
+///              µs, ...}, counters: {tqsp_computations,
+///              rtree_nodes_accessed, vertices_visited,
+///              speculative_wasted_tqsp}}]}
+/// The schema is stable: fields are only added, never renamed or removed.
 void PrintStatsRow(const char* config, Algo algo,
                    const WorkloadStats& stats);
 
@@ -110,9 +144,9 @@ void PrintDatasetSummary(const char* label, const KnowledgeBase& kb);
 /// their executors automatically.
 MetricsRegistry* BenchMetrics();
 
-/// Bench epilogue: writes the metrics snapshot to --metrics-out (if
-/// enabled) and returns the process exit code. Every bench main ends
-/// with `return ksp::bench::Finish();`.
+/// Bench epilogue: writes the metrics snapshot to --metrics-out and the
+/// captured rows to --json-out (each if enabled) and returns the process
+/// exit code. Every bench main ends with `return ksp::bench::Finish();`.
 int Finish();
 
 }  // namespace bench

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Smoke-runs one figure bench at reduced scale and emits the stable
+# machine-readable bench artifact (BENCH_seed.json by default). CI uploads
+# the artifact so perf regressions can be diffed across commits; the JSON
+# schema is documented on ksp::bench::PrintStatsRow in
+# bench/bench_common.h.
+#
+# Usage: scripts/bench_smoke.sh [out.json]
+# Env:   BUILD_DIR (default: build), KSP_SCALE, KSP_QUERIES,
+#        KSP_INTRA_THREADS, KSP_BENCH (default: bench_fig9_large_looseness)
+set -euo pipefail
+
+BUILD_DIR="${BUILD_DIR:-build}"
+OUT="${1:-BENCH_seed.json}"
+BENCH="${KSP_BENCH:-bench_fig9_large_looseness}"
+
+if [[ ! -x "${BUILD_DIR}/bench/${BENCH}" ]]; then
+  echo "error: ${BUILD_DIR}/bench/${BENCH} not built" >&2
+  echo "build first: cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} -j" >&2
+  exit 1
+fi
+
+KSP_SCALE="${KSP_SCALE:-0.1}" KSP_QUERIES="${KSP_QUERIES:-5}" \
+  "${BUILD_DIR}/bench/${BENCH}" \
+  --warmup=1 --repeat=3 \
+  --intra-threads="${KSP_INTRA_THREADS:-1}" \
+  --json-out="${OUT}"
+
+# The artifact must parse and carry at least one row.
+python3 - "${OUT}" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema_version"] == 1, doc
+assert doc["rows"], "bench emitted no rows"
+print(f"bench smoke OK: {doc['bench']}, {len(doc['rows'])} rows")
+EOF

@@ -7,6 +7,7 @@
 
 #include "common/timer.h"
 #include "core/executor.h"
+#include "core/parallel_query.h"
 
 namespace ksp {
 
@@ -56,7 +57,11 @@ Result<KspResult> QueryExecutor::ExecuteSpatialFirst(const KspQuery& query,
 
   double semantic_seconds = 0.0;
   TopKHeap heap(query.k);
-  if (ctx.answerable) {
+  if (ctx.answerable && UsePipeline()) {
+    EnsurePipeline()->RunSpatialFirst(query, ctx, use_rule1, use_rule2,
+                                      total_timer, &heap, st,
+                                      &semantic_seconds, trace);
+  } else if (ctx.answerable) {
     ExplainTermination("exhausted");
     NearestIterator iterator(db_->rtree_ptr(), query.location);
     NearestIterator::Item item;

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/logging.h"
+#include "core/parallel_query.h"
 
 namespace ksp {
 
@@ -68,6 +69,18 @@ QueryExecutor::QueryExecutor(const KspDatabase* db) : db_(db) {
   internal_trace_.set_record_spans(false);
 }
 
+// Out of line: ~unique_ptr<IntraQueryPipeline> needs the complete type.
+QueryExecutor::~QueryExecutor() = default;
+
+IntraQueryPipeline* QueryExecutor::EnsurePipeline() {
+  if (pipeline_ == nullptr ||
+      pipeline_->num_workers() != intra_query_threads_) {
+    pipeline_ =
+        std::make_unique<IntraQueryPipeline>(db_, intra_query_threads_);
+  }
+  return pipeline_.get();
+}
+
 void QueryExecutor::set_metrics(MetricsRegistry* registry) {
   metrics_ = MetricsHandles{};
   metrics_.registry = registry;
@@ -85,6 +98,8 @@ void QueryExecutor::set_metrics(MetricsRegistry* registry) {
     metrics_.pruned_rule[rule] = registry->GetCounter(
         "ksp_pruned_rule" + std::to_string(rule + 1) + "_total");
   }
+  metrics_.wasted_tqsp =
+      registry->GetCounter("ksp_speculative_wasted_tqsp_total");
   metrics_.wall_us = registry->GetCounter("ksp_query_wall_us_total");
   metrics_.semantic_us =
       registry->GetCounter("ksp_query_semantic_us_total");
@@ -109,6 +124,7 @@ void QueryExecutor::RecordQueryMetrics(const QueryStats& stats) {
   metrics_.pruned_rule[1]->Increment(stats.pruned_dynamic_bound);
   metrics_.pruned_rule[2]->Increment(stats.pruned_alpha_place);
   metrics_.pruned_rule[3]->Increment(stats.pruned_alpha_node);
+  metrics_.wasted_tqsp->Increment(stats.speculative_wasted_tqsp);
   metrics_.wall_us->Increment(
       static_cast<uint64_t>(stats.total_ms * 1e3));
   metrics_.semantic_us->Increment(
@@ -147,6 +163,7 @@ Status QueryExecutor::PrepareContext(const KspQuery& query,
   ctx->terms.clear();
   ctx->vertex_mask.clear();
   ctx->postings.clear();
+  ctx->owned_postings.clear();
   ctx->rarest_first.clear();
   ctx->answerable = true;
 
@@ -169,11 +186,20 @@ Status QueryExecutor::PrepareContext(const KspQuery& query,
   ctx->full_mask = (m == 64) ? ~uint64_t{0} : ((uint64_t{1} << m) - 1);
 
   // Load posting lists and build M_q.ψ (vertex -> covered-keyword mask).
+  // Memory-resident indexes hand out zero-copy views; only the disk index
+  // pays for a per-query copy (into owned_postings, whose inner buffers
+  // stay put when the outer vector grows).
   const InvertedIndex& inverted = db_->inverted_index();
   ctx->postings.resize(m);
   for (size_t i = 0; i < m; ++i) {
-    KSP_RETURN_NOT_OK(inverted.GetPostings(ctx->terms[i],
-                                           &ctx->postings[i]));
+    if (auto view = inverted.PostingsSpan(ctx->terms[i]); view.has_value()) {
+      ctx->postings[i] = *view;
+    } else {
+      ctx->owned_postings.emplace_back();
+      KSP_RETURN_NOT_OK(inverted.GetPostings(ctx->terms[i],
+                                             &ctx->owned_postings.back()));
+      ctx->postings[i] = ctx->owned_postings.back();
+    }
     if (ctx->postings[i].empty()) ctx->answerable = false;
     for (VertexId v : ctx->postings[i]) {
       ctx->vertex_mask[v] |= uint64_t{1} << i;
@@ -192,8 +218,8 @@ Status QueryExecutor::PrepareContext(const KspQuery& query,
 double QueryExecutor::ComputeTqsp(VertexId root, const QueryContext& ctx,
                                   double looseness_threshold,
                                   bool use_dynamic_bound,
-                                  SemanticPlaceTree* tree,
-                                  QueryStats* stats) {
+                                  SemanticPlaceTree* tree, QueryStats* stats,
+                                  const TqspSpeculation* spec) {
   const uint32_t num_keywords =
       static_cast<uint32_t>(std::popcount(ctx.full_mask));
   uint64_t remaining = ctx.full_mask;
@@ -224,11 +250,29 @@ double QueryExecutor::ComputeTqsp(VertexId root, const QueryContext& ctx,
     if (stats != nullptr) ++stats->vertices_visited;
 
     if (use_dynamic_bound) {
+      if (spec != nullptr && spec->live_theta != nullptr) {
+        // Speculative run: re-derive the Rule-2 threshold from the latest
+        // committed θ. θ only decreases over the commit sequence, so the
+        // threshold tightens monotonically and never drops below the exact
+        // commit-time value — a speculative abort implies the sequential
+        // run aborts too (the commit stage replays where).
+        const double live = spec->ranking->LoosenessThreshold(
+            spec->live_theta->load(std::memory_order_relaxed),
+            spec->spatial_distance);
+        if (live < looseness_threshold) looseness_threshold = live;
+      }
       // Lemma 1: every undiscovered keyword lies at distance >= dist.
       double lower_bound =
           1.0 + covered_sum +
           static_cast<double>(dist) *
               static_cast<double>(std::popcount(remaining));
+      if (spec != nullptr && spec->bound_log != nullptr) {
+        std::vector<TqspBoundStep>& log = *spec->bound_log;
+        if (log.empty() || lower_bound > log.back().bound) {
+          log.push_back(
+              TqspBoundStep{static_cast<uint64_t>(qi), lower_bound});
+        }
+      }
       if (lower_bound >= looseness_threshold) {
         pruned = true;  // Pruning Rule 2.
         break;

@@ -1,7 +1,10 @@
 #ifndef KSP_CORE_EXECUTOR_H_
 #define KSP_CORE_EXECUTOR_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -17,6 +20,36 @@
 #include "core/trace.h"
 
 namespace ksp {
+
+class IntraQueryPipeline;
+
+/// One step of the monotone dynamic-bound trajectory recorded during a
+/// speculative TQSP construction (intra-query pipeline, DESIGN.md §8):
+/// from BFS pop `pop_index` onward the Lemma-1 lower bound equals
+/// `bound`, until the next step. The bound is evaluated exactly where the
+/// sequential Rule-2 abort check reads it (pop top, pre-coverage), so the
+/// ordered-commit stage can replay the trajectory against the exact
+/// commit-time threshold and reconstruct the abort pop — and hence the
+/// prune decision and visited-vertex count — the sequential algorithm
+/// would have produced.
+struct TqspBoundStep {
+  uint64_t pop_index = 0;
+  double bound = 0.0;
+};
+
+/// Speculation hooks threaded into ComputeTqsp by pipeline workers:
+/// `live_theta` is the shared atomic θ (k-th best committed score) the
+/// worker re-reads each pop to keep its speculative dynamic bound as
+/// tight as the commits so far allow — θ only decreases, so every
+/// re-derived threshold stays ≥ the exact commit-time threshold and a
+/// speculative abort implies a sequential abort. `bound_log` receives the
+/// TqspBoundStep trajectory for the commit-time replay.
+struct TqspSpeculation {
+  const std::atomic<double>* live_theta = nullptr;
+  const RankingFunction* ranking = nullptr;
+  double spatial_distance = 0.0;
+  std::vector<TqspBoundStep>* bound_log = nullptr;
+};
 
 /// Bounded top-k accumulator ordered by (score, place) with the threshold
 /// θ used by all algorithms' pruning rules.
@@ -132,8 +165,24 @@ class QueryExecutor {
   /// wraparound path without 2^32 warm-up queries.
   void set_bfs_epoch_for_testing(uint32_t epoch) { epoch_ = epoch; }
 
+  /// Intra-query parallelism degree (DESIGN.md §8). With n >= 2, BSP, SPP
+  /// and SP run as a producer/worker/ordered-commit pipeline with n
+  /// speculative TQSP workers; results — the top-k, completion flag, and
+  /// every committed QueryStats prune/visit counter — are bit-identical
+  /// to the sequential path at every n. With n <= 1 (the default) the
+  /// sequential code runs untouched. Explain(), TA and keyword-only are
+  /// always sequential. The pipeline's threads are created lazily on the
+  /// first parallel query and live until the executor is destroyed.
+  void set_intra_query_threads(uint32_t n) {
+    intra_query_threads_ = n == 0 ? 1 : n;
+  }
+  uint32_t intra_query_threads() const { return intra_query_threads_; }
+
+  ~QueryExecutor();
+
  private:
   friend class TaSearch;
+  friend class IntraQueryPipeline;
 
   /// Per-query derived state: deduplicated keywords, their posting lists,
   /// and the vertex -> keyword-bitmask map M_q.ψ of §3.
@@ -143,7 +192,11 @@ class QueryExecutor {
     uint64_t full_mask = 0;
     bool answerable = true;
     std::unordered_map<VertexId, uint64_t> vertex_mask;  // M_q.ψ
-    std::vector<std::vector<VertexId>> postings;  // aligned with terms
+    /// Posting-list views aligned with `terms`: zero-copy spans into the
+    /// inverted index when it is memory-resident, else views into
+    /// `owned_postings` (the disk index's per-query copies).
+    std::vector<std::span<const VertexId>> postings;
+    std::vector<std::vector<VertexId>> owned_postings;
     std::vector<uint32_t> rarest_first;  // keyword idxs by posting length
 
     uint64_t MaskOf(VertexId v) const {
@@ -167,9 +220,13 @@ class QueryExecutor {
   /// L(T_p) or +inf (unqualified, or aborted by the dynamic bound when
   /// `looseness_threshold` < +inf and dynamic pruning is on). If `tree` is
   /// non-null, matches and root paths are materialized on success.
+  /// `spec` (pipeline workers only) supplies the live-θ re-read and the
+  /// bound-trajectory log; the sequential path passes nullptr and is
+  /// byte-for-byte unaffected.
   double ComputeTqsp(VertexId root, const QueryContext& ctx,
                      double looseness_threshold, bool use_dynamic_bound,
-                     SemanticPlaceTree* tree, QueryStats* stats);
+                     SemanticPlaceTree* tree, QueryStats* stats,
+                     const TqspSpeculation* spec = nullptr);
 
   /// Pruning Rule 1: true if some query keyword is unreachable from root.
   bool IsUnqualifiedPlace(VertexId root, const QueryContext& ctx,
@@ -193,6 +250,7 @@ class QueryExecutor {
     Counter* bfs_vertices = nullptr;
     Counter* reach_queries = nullptr;
     Counter* pruned_rule[4] = {};
+    Counter* wasted_tqsp = nullptr;
     Counter* wall_us = nullptr;
     Counter* semantic_us = nullptr;
     Counter* phase_us[kNumTracePhases] = {};
@@ -231,6 +289,16 @@ class QueryExecutor {
   }
   bool explain_on() const { return explain_ != nullptr; }
 
+  /// True when the next spatial-first / α-ordered query should run on the
+  /// intra-query pipeline (threads >= 2 and no EXPLAIN capture, which
+  /// needs the sequential candidate walk).
+  bool UsePipeline() const {
+    return intra_query_threads_ >= 2 && explain_ == nullptr;
+  }
+
+  /// Lazily (re)builds the pipeline to match intra_query_threads_.
+  IntraQueryPipeline* EnsurePipeline();
+
   const KspDatabase* db_;
 
   /// BFS scratch (epoch-tagged to avoid per-query clears).
@@ -245,6 +313,10 @@ class QueryExecutor {
   MetricsHandles metrics_;
   ExplainReport* explain_ = nullptr;
   uint32_t explain_order_ = 0;
+
+  /// Intra-query parallelism (lazy; see set_intra_query_threads).
+  uint32_t intra_query_threads_ = 1;
+  std::unique_ptr<IntraQueryPipeline> pipeline_;
 };
 
 }  // namespace ksp

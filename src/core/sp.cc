@@ -10,6 +10,7 @@
 
 #include "common/timer.h"
 #include "core/executor.h"
+#include "core/parallel_query.h"
 
 namespace ksp {
 
@@ -85,7 +86,13 @@ Result<KspResult> QueryExecutor::ExecuteSp(const KspQuery& query,
   double semantic_seconds = 0.0;
   TopKHeap heap(query.k);
 
-  if (ctx.answerable && !rtree.empty()) {
+  if (ctx.answerable && !rtree.empty() && UsePipeline()) {
+    EnsurePipeline()->RunAlphaOrdered(query, ctx,
+                                      options.use_unqualified_pruning,
+                                      options.use_dynamic_bound_pruning,
+                                      total_timer, &heap, st,
+                                      &semantic_seconds, trace);
+  } else if (ctx.answerable && !rtree.empty()) {
     ExplainTermination("exhausted");
     std::priority_queue<AlphaQueueItem, std::vector<AlphaQueueItem>,
                         AlphaQueueOrder>

@@ -29,6 +29,12 @@ struct QueryStats {
   uint64_t pruned_alpha_place = 0;
   /// R-tree subtrees discarded by Pruning Rule 4 (α node bound).
   uint64_t pruned_alpha_node = 0;
+  /// TQSP constructions the intra-query pipeline ran speculatively that
+  /// the ordered commit then discarded (candidates past the exact
+  /// termination point): work the sequential algorithm never does.
+  /// Always 0 on the sequential path; excluded from the determinism
+  /// contract, which covers the committed counters above.
+  uint64_t speculative_wasted_tqsp = 0;
 
   /// False when the run hit the configured time limit (the paper aborts
   /// BSP queries at 120 s).
@@ -45,6 +51,7 @@ struct QueryStats {
     pruned_dynamic_bound += other.pruned_dynamic_bound;
     pruned_alpha_place += other.pruned_alpha_place;
     pruned_alpha_node += other.pruned_alpha_node;
+    speculative_wasted_tqsp += other.speculative_wasted_tqsp;
     completed = completed && other.completed;
   }
 };

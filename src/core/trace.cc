@@ -65,6 +65,15 @@ void QueryTrace::EndSpan(TracePhase phase, uint64_t items) {
   }
 }
 
+void QueryTrace::MergeAggregates(const QueryTrace& other) {
+  for (size_t p = 0; p < kNumTracePhases; ++p) {
+    inclusive_us_[p] += other.inclusive_us_[p];
+    exclusive_us_[p] += other.exclusive_us_[p];
+    count_[p] += other.count_[p];
+    items_[p] += other.items_[p];
+  }
+}
+
 void QueryTrace::RecordEvent(TracePhase phase, uint64_t items) {
   const size_t p = static_cast<size_t>(phase);
   ++count_[p];

@@ -86,6 +86,14 @@ class QueryTrace {
   /// Rule-2 abort.
   void RecordEvent(TracePhase phase, uint64_t items = 1);
 
+  /// Folds another trace's per-phase aggregates (inclusive/exclusive
+  /// time, counts, items) into this one without touching the span list.
+  /// Used by the intra-query pipeline to merge producer/worker traces —
+  /// which ran on other threads — into the query's main trace; the merged
+  /// exclusive totals then measure summed CPU work, which may exceed the
+  /// query's wall time.
+  void MergeAggregates(const QueryTrace& other);
+
   /// JSON: {"spans": [{"phase", "start_us", "duration_us", "depth",
   /// "items"}], "phase_totals_us": {...}} with spans in start order.
   std::string ToJson() const;

@@ -2,6 +2,8 @@
 #define KSP_TEXT_INVERTED_INDEX_H_
 
 #include <memory>
+#include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -26,6 +28,16 @@ class InvertedIndex {
   /// Appends the (sorted ascending) posting list of `term` to `*out`.
   /// Unknown terms yield an empty list and OK status.
   virtual Status GetPostings(TermId term, std::vector<VertexId>* out) const = 0;
+
+  /// Zero-copy view of `term`'s posting list when the implementation
+  /// keeps it memory-resident (valid for the index's lifetime); nullopt
+  /// when the caller must materialize a copy via GetPostings (disk
+  /// index). Unknown terms yield an empty span, not nullopt.
+  virtual std::optional<std::span<const VertexId>> PostingsSpan(
+      TermId term) const {
+    (void)term;
+    return std::nullopt;
+  }
 
   /// Number of distinct terms with at least one posting.
   virtual uint64_t NumTerms() const = 0;
@@ -62,6 +74,11 @@ class MemoryInvertedIndex : public InvertedIndex {
   /// included).
   TermId TermCount() const {
     return static_cast<TermId>(offsets_.empty() ? 0 : offsets_.size() - 1);
+  }
+
+  std::optional<std::span<const VertexId>> PostingsSpan(
+      TermId term) const override {
+    return Postings(term);
   }
 
   /// Zero-copy view (memory index only).

@@ -17,10 +17,10 @@
 namespace ksp {
 namespace {
 
-// 2 doubles + 8 uint64 counters + bool (padded) on LP64. If this fires,
+// 2 doubles + 9 uint64 counters + bool (padded) on LP64. If this fires,
 // a field was added or removed: update Accumulate, the field checks
 // below, and RecordQueryMetrics in executor.cc, then re-pin the size.
-static_assert(sizeof(QueryStats) == 88,
+static_assert(sizeof(QueryStats) == 96,
               "QueryStats layout changed — audit Accumulate() and every "
               "consumer before re-pinning this size");
 
@@ -36,6 +36,7 @@ QueryStats MakeDistinct(int base) {
   s.pruned_dynamic_bound = base + 6;
   s.pruned_alpha_place = base + 7;
   s.pruned_alpha_node = base + 8;
+  s.speculative_wasted_tqsp = base + 9;
   s.completed = true;
   return s;
 }
@@ -54,6 +55,7 @@ TEST(QueryStatsTest, AccumulateMergesEveryField) {
   EXPECT_EQ(a.pruned_dynamic_bound, 106u + 1006u);
   EXPECT_EQ(a.pruned_alpha_place, 107u + 1007u);
   EXPECT_EQ(a.pruned_alpha_node, 108u + 1008u);
+  EXPECT_EQ(a.speculative_wasted_tqsp, 109u + 1009u);
   EXPECT_TRUE(a.completed);
 }
 
