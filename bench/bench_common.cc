@@ -70,6 +70,7 @@ BenchEnv BenchEnv::FromArgs(int argc, char** argv) {
     constexpr const char kIntraThreads[] = "--intra-threads=";
     constexpr const char kWarmup[] = "--warmup=";
     constexpr const char kRepeat[] = "--repeat=";
+    constexpr const char kCacheBudget[] = "--cache-budget=";
     if (std::strncmp(arg, kMetricsOut, sizeof(kMetricsOut) - 1) == 0) {
       env.metrics_out = arg + sizeof(kMetricsOut) - 1;
       KSP_CHECK(!env.metrics_out.empty())
@@ -96,9 +97,17 @@ BenchEnv BenchEnv::FromArgs(int argc, char** argv) {
       if (env.repeat == 0) env.repeat = 1;
       continue;
     }
+    if (std::strncmp(arg, kCacheBudget, sizeof(kCacheBudget) - 1) == 0) {
+      const char* value = arg + sizeof(kCacheBudget) - 1;
+      env.cache_budget = std::strcmp(value, "unlimited") == 0
+                             ? kCacheUnlimited
+                             : ParseCount(value, "--cache-budget");
+      continue;
+    }
     KSP_CHECK(false) << "unknown flag: " << arg
                      << " (supported: --metrics-out=FILE --json-out=FILE "
-                        "--intra-threads=N --warmup=N --repeat=N)";
+                        "--intra-threads=N --warmup=N --repeat=N "
+                        "--cache-budget=BYTES|unlimited)";
   }
   if (!env.metrics_out.empty()) {
     static MetricsRegistry registry;
@@ -135,15 +144,17 @@ int Finish() {
                     "metrics snapshot");
   }
   if (!g_json_out.empty()) {
-    char buf[256];
+    char buf[384];
     std::snprintf(buf, sizeof(buf),
                   "{\n  \"schema_version\": 1,\n  \"bench\": \"%s\",\n"
                   "  \"env\": {\"scale\": %g, \"queries\": %zu,"
                   " \"time_limit_ms\": %g, \"intra_threads\": %u,"
-                  " \"warmup\": %zu, \"repeat\": %zu},\n  \"rows\": [\n",
+                  " \"warmup\": %zu, \"repeat\": %zu,"
+                  " \"cache_budget\": %llu},\n  \"rows\": [\n",
                   JsonEscape(g_bench_id.c_str()).c_str(), g_env.scale,
                   g_env.queries, g_env.time_limit_ms, g_env.intra_threads,
-                  g_env.warmup, g_env.repeat);
+                  g_env.warmup, g_env.repeat,
+                  static_cast<unsigned long long>(g_env.cache_budget));
     std::string doc = buf;
     for (size_t i = 0; i < g_json_rows.size(); ++i) {
       doc += g_json_rows[i];
@@ -181,6 +192,8 @@ std::unique_ptr<KspDatabase> MakeDatabase(const KnowledgeBase* kb,
                                           const BenchEnv& env, uint32_t alpha,
                                           KspOptions options) {
   options.time_limit_ms = env.time_limit_ms;
+  // Flag wins only when given, so benches hard-coding a budget keep it.
+  if (env.cache_budget != 0) options.cache_budget_bytes = env.cache_budget;
   auto db = std::make_unique<KspDatabase>(kb, options);
   db->PrepareAll(alpha);
   return db;
@@ -298,13 +311,33 @@ void AppendJsonRow(const char* config, Algo algo,
                 "}, \"counters\": {\"tqsp_computations\": %llu,"
                 " \"rtree_nodes_accessed\": %llu,"
                 " \"vertices_visited\": %llu,"
-                " \"speculative_wasted_tqsp\": %llu}}",
+                " \"speculative_wasted_tqsp\": %llu},",
                 static_cast<unsigned long long>(stats.sum.tqsp_computations),
                 static_cast<unsigned long long>(
                     stats.sum.rtree_nodes_accessed),
                 static_cast<unsigned long long>(stats.sum.vertices_visited),
                 static_cast<unsigned long long>(
                     stats.sum.speculative_wasted_tqsp));
+  row += buf;
+  const auto rate = [](uint64_t hits, uint64_t misses) {
+    const uint64_t total = hits + misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits) /
+                            static_cast<double>(total);
+  };
+  std::snprintf(
+      buf, sizeof(buf),
+      " \"cache\": {\"dg_hits\": %llu, \"dg_misses\": %llu,"
+      " \"dg_hit_rate\": %.4f, \"result_hits\": %llu,"
+      " \"result_misses\": %llu, \"result_hit_rate\": %.4f,"
+      " \"evictions\": %llu}}",
+      static_cast<unsigned long long>(stats.sum.dg_cache_hits),
+      static_cast<unsigned long long>(stats.sum.dg_cache_misses),
+      rate(stats.sum.dg_cache_hits, stats.sum.dg_cache_misses),
+      static_cast<unsigned long long>(stats.sum.result_cache_hits),
+      static_cast<unsigned long long>(stats.sum.result_cache_misses),
+      rate(stats.sum.result_cache_hits, stats.sum.result_cache_misses),
+      static_cast<unsigned long long>(stats.sum.cache_evictions));
   row += buf;
   g_json_rows.push_back(std::move(row));
 }

@@ -32,6 +32,10 @@ namespace bench {
 ///   --warmup=N          run each workload N untimed passes first
 ///   --repeat=N          run each workload N timed passes and report the
 ///                       median pass (by total wall time); default 1
+///   --cache-budget=N    semantic-cache byte budget (DESIGN.md §9) applied
+///                       to every MakeDatabase; 0 (default) disables the
+///                       cache, "unlimited" never evicts. Combine with
+///                       --warmup/--repeat to measure warm-cache passes.
 struct BenchEnv {
   double scale = 1.0;
   size_t queries = 25;
@@ -40,6 +44,7 @@ struct BenchEnv {
   uint32_t intra_threads = 1;
   size_t warmup = 0;
   size_t repeat = 1;
+  size_t cache_budget = 0;  // KspOptions::cache_budget_bytes for benches
   std::string json_out;  // empty: JSON row capture off
 
   static BenchEnv FromEnv();
@@ -123,13 +128,17 @@ std::vector<KspResult> RunWorkloadCollect(const KspDatabase& db, Algo algo,
 /// also captured for the JSON document Finish() writes:
 ///   {"schema_version": 1, "bench": "<argv0 basename>",
 ///    "env": {scale, queries, time_limit_ms, intra_threads, warmup,
-///            repeat},
+///            repeat, cache_budget},
 ///    "rows": [{config, algo, queries, timed_out, mean_wall_us,
 ///              median_wall_us, p95_wall_us, phase_exclusive_us: {<phase>:
 ///              µs, ...}, counters: {tqsp_computations,
 ///              rtree_nodes_accessed, vertices_visited,
-///              speculative_wasted_tqsp}}]}
-/// The schema is stable: fields are only added, never renamed or removed.
+///              speculative_wasted_tqsp},
+///              cache: {dg_hits, dg_misses, dg_hit_rate, result_hits,
+///                      result_misses, result_hit_rate, evictions}}]}
+/// The schema is stable: fields are only added, never renamed or removed
+/// (cache_budget and the cache object are additive; schema_version stays
+/// 1).
 void PrintStatsRow(const char* config, Algo algo,
                    const WorkloadStats& stats);
 

@@ -1,0 +1,191 @@
+#ifndef KSP_COMMON_CACHE_H_
+#define KSP_COMMON_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace ksp {
+
+/// Sharded LRU cache with a byte-accounted memory budget.
+///
+/// The budget is split evenly across `num_shards` shards (rounded up to a
+/// power of two); each shard is an independent mutex-protected LRU list +
+/// hash map, so concurrent readers/writers on different shards never
+/// contend. Every entry carries a caller-supplied `charge` in bytes — the
+/// cache itself has no idea how big a Value really is — and a shard evicts
+/// from its LRU tail whenever its charged bytes exceed its slice of the
+/// budget. Three budget regimes:
+///
+///   budget == 0           pass-through: Insert is a no-op, Lookup always
+///                         misses (still counted as a miss).
+///   budget == kUnbounded  never evicts.
+///   otherwise             per-shard budget = budget / num_shards; an
+///                         entry charged more than a whole shard's budget
+///                         evicts everything including itself.
+///
+/// Hit/miss/eviction counters and the charged-byte total are maintained
+/// per shard and summed by GetStats(); Clear() drops entries and bytes
+/// but keeps the cumulative counters (they feed monotone metrics).
+///
+/// Thread-safe. Values are copied out on Lookup, so Value should be
+/// cheaply copyable or the caller must tolerate the copy cost.
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class ShardedLruCache {
+ public:
+  static constexpr size_t kUnbounded =
+      std::numeric_limits<size_t>::max();
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    size_t bytes = 0;
+    size_t entries = 0;
+  };
+
+  explicit ShardedLruCache(size_t budget_bytes, size_t num_shards = 16)
+      : budget_(budget_bytes) {
+    size_t shards = 1;
+    while (shards < num_shards) shards <<= 1;
+    shard_mask_ = shards - 1;
+    shards_ = std::vector<Shard>(shards);
+    per_shard_budget_ = budget_ == kUnbounded ? kUnbounded
+                                              : budget_ / shards;
+  }
+
+  ShardedLruCache(const ShardedLruCache&) = delete;
+  ShardedLruCache& operator=(const ShardedLruCache&) = delete;
+
+  /// Inserts or updates `key` (updates refresh recency and re-charge the
+  /// entry). Returns the number of entries evicted to make room.
+  size_t Insert(const Key& key, Value value, size_t charge) {
+    if (!enabled()) return 0;
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      shard.bytes += charge;
+      shard.bytes -= it->second->charge;
+      it->second->value = std::move(value);
+      it->second->charge = charge;
+      shard.list.splice(shard.list.begin(), shard.list, it->second);
+    } else {
+      shard.list.push_front(Entry{key, std::move(value), charge});
+      shard.map.emplace(key, shard.list.begin());
+      shard.bytes += charge;
+    }
+    size_t evicted = 0;
+    while (shard.bytes > per_shard_budget_ && !shard.list.empty()) {
+      const Entry& victim = shard.list.back();
+      shard.bytes -= victim.charge;
+      shard.map.erase(victim.key);
+      shard.list.pop_back();
+      ++evicted;
+    }
+    shard.evictions += evicted;
+    return evicted;
+  }
+
+  /// True (and `*value` filled, recency refreshed) when `key` is cached.
+  bool Lookup(const Key& key, Value* value) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it == shard.map.end()) {
+      ++shard.misses;
+      return false;
+    }
+    ++shard.hits;
+    shard.list.splice(shard.list.begin(), shard.list, it->second);
+    *value = it->second->value;
+    return true;
+  }
+
+  /// Removes `key` if present; returns whether it was.
+  bool Erase(const Key& key) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it == shard.map.end()) return false;
+    shard.bytes -= it->second->charge;
+    shard.list.erase(it->second);
+    shard.map.erase(it);
+    return true;
+  }
+
+  /// Drops every entry (invalidation). Cumulative hit/miss/eviction
+  /// counters survive — a Clear is not an eviction.
+  void Clear() {
+    for (Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      shard.list.clear();
+      shard.map.clear();
+      shard.bytes = 0;
+    }
+  }
+
+  Stats GetStats() const {
+    Stats stats;
+    for (const Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      stats.hits += shard.hits;
+      stats.misses += shard.misses;
+      stats.evictions += shard.evictions;
+      stats.bytes += shard.bytes;
+      stats.entries += shard.list.size();
+    }
+    return stats;
+  }
+
+  size_t bytes() const { return GetStats().bytes; }
+  size_t entries() const { return GetStats().entries; }
+  size_t budget_bytes() const { return budget_; }
+  size_t num_shards() const { return shard_mask_ + 1; }
+  bool enabled() const { return budget_ != 0; }
+
+ private:
+  struct Entry {
+    Key key;
+    Value value;
+    size_t charge = 0;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> list;  // Front = most recently used.
+    std::unordered_map<Key, typename std::list<Entry>::iterator> map;
+    size_t bytes = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+  };
+
+  Shard& ShardFor(const Key& key) {
+    // splitmix64 finalizer: spreads clustered hash values (e.g. packed
+    // integer keys) across shards.
+    uint64_t h = static_cast<uint64_t>(Hash{}(key));
+    h ^= h >> 30;
+    h *= 0xbf58476d1ce4e5b9ull;
+    h ^= h >> 27;
+    h *= 0x94d049bb133111ebull;
+    h ^= h >> 31;
+    return shards_[h & shard_mask_];
+  }
+
+  size_t budget_;
+  size_t per_shard_budget_ = 0;
+  size_t shard_mask_ = 0;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace ksp
+
+#endif  // KSP_COMMON_CACHE_H_

@@ -49,6 +49,29 @@ Result<KspResult> QueryExecutor::ExecuteSpatialFirst(const KspQuery& query,
   *st = QueryStats();
   QueryTrace* trace = BeginQueryTrace();
 
+  // Full-query result cache (DESIGN.md §9). EXPLAIN always executes the
+  // uncached sequential path — a cached answer has no candidate rows.
+  SemanticQueryCache* cache = db_->semantic_cache();
+  std::string result_key;
+  if (cache != nullptr && !explain_on()) {
+    result_key = SemanticQueryCache::MakeResultKey(
+        query, /*path_tag=*/'S', use_rule1, use_rule2, /*alpha=*/0,
+        options.ranking);
+    KspResult cached;
+    bool hit;
+    {
+      TraceSpan span(trace, TracePhase::kCacheLookup);
+      hit = cache->LookupResult(result_key, &cached);
+    }
+    if (hit) {
+      ++st->result_cache_hits;
+      st->total_ms = total_timer.ElapsedMillis();
+      RecordQueryMetrics(*st);
+      return cached;
+    }
+    ++st->result_cache_misses;
+  }
+
   QueryContext ctx;
   {
     TraceSpan span(trace, TracePhase::kDocFetch);
@@ -120,6 +143,33 @@ Result<KspResult> QueryExecutor::ExecuteSpatialFirst(const KspQuery& query,
           use_rule2 ? options.ranking.LoosenessThreshold(theta, spatial)
                     : kInf;
 
+      // dg-cache fast path: when every keyword distance is cached, the
+      // prune/reject decision replays exactly and the BFS is skipped
+      // (kMiss covers would-be top-k entries, which need their tree).
+      // Disabled under EXPLAIN to keep candidate rows identical to the
+      // uncached walk.
+      if (cache != nullptr && !explain_on()) {
+        double cached_looseness = kInf;
+        CachedTqsp outcome;
+        {
+          TraceSpan span(trace, TracePhase::kCacheLookup);
+          outcome = TryCachedTqsp(root, place, ctx, looseness_threshold,
+                                  use_rule2, heap, spatial,
+                                  &cached_looseness);
+        }
+        if (outcome != CachedTqsp::kMiss) {
+          ++st->dg_cache_hits;
+          if (outcome == CachedTqsp::kPrunedRule2) {
+            ++st->pruned_dynamic_bound;
+            if (trace != nullptr) {
+              trace->RecordEvent(TracePhase::kRule2Prune);
+            }
+          }
+          continue;
+        }
+        ++st->dg_cache_misses;
+      }
+
       ++st->tqsp_computations;
       const uint64_t rule2_before = st->pruned_dynamic_bound;
       const uint64_t visited_before = st->vertices_visited;
@@ -168,8 +218,14 @@ Result<KspResult> QueryExecutor::ExecuteSpatialFirst(const KspQuery& query,
 
   st->semantic_ms = semantic_seconds * 1e3;
   st->total_ms = total_timer.ElapsedMillis();
+  KspResult result = std::move(heap).Finish();
+  // Only completed runs are cached: a timeout's partial top-k is not the
+  // answer. The pipeline path flows through here too.
+  if (cache != nullptr && !explain_on() && st->completed) {
+    st->cache_evictions += cache->InsertResult(result_key, result);
+  }
   RecordQueryMetrics(*st);
-  return std::move(heap).Finish();
+  return result;
 }
 
 }  // namespace ksp

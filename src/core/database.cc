@@ -116,9 +116,14 @@ KspDatabase::KspDatabase(const KnowledgeBase* kb, KspOptions options)
                     ? options.inverted_index
                     : &kb->inverted_index()) {
   KSP_CHECK(kb_ != nullptr);
+  if (options_.cache_budget_bytes != 0) {
+    cache_ =
+        std::make_unique<SemanticQueryCache>(options_.cache_budget_bytes);
+  }
 }
 
 void KspDatabase::BuildRTree() {
+  InvalidateCache();
   Timer timer;
   timer.Start();
   const uint32_t num_places = kb_->num_places();
@@ -141,6 +146,7 @@ void KspDatabase::BuildRTree() {
 }
 
 void KspDatabase::BuildReachabilityIndex() {
+  InvalidateCache();
   Timer timer;
   timer.Start();
   reach_ = std::make_shared<const ReachabilityIndex>(
@@ -152,6 +158,7 @@ void KspDatabase::BuildReachabilityIndex() {
 
 void KspDatabase::BuildAlphaIndex(uint32_t alpha) {
   BuildRTreeIfNeeded();
+  InvalidateCache();
   Timer timer;
   timer.Start();
   alpha_ = std::make_shared<const AlphaIndex>(
@@ -236,6 +243,10 @@ Status KspDatabase::SaveIndexes(const std::string& directory,
 Status KspDatabase::LoadIndexes(const std::string& directory,
                                 FileSystem* fs) {
   if (fs == nullptr) fs = DefaultFileSystem();
+  // Whatever happens next, the caches describe the OLD index generation:
+  // drop them before anything is replaced (on failure the DB ends up
+  // unprepared, so an empty cache is correct there too).
+  InvalidateCache();
   // Any failure leaves the database fully unprepared: a half-loaded index
   // set could silently mix generations.
   auto fail = [this](Status st) {

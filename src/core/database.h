@@ -10,6 +10,7 @@
 #include "common/types.h"
 #include "core/query.h"
 #include "core/ranking.h"
+#include "core/semantic_cache.h"
 #include "rdf/knowledge_base.h"
 #include "reach/reachability_index.h"
 #include "spatial/rtree.h"
@@ -50,10 +51,13 @@ struct KspOptions {
   /// the KB's in-memory index; point it at a DiskInvertedIndex to mirror
   /// the paper's disk-resident setting. Must outlive the database.
   const InvertedIndex* inverted_index = nullptr;
-};
 
-/// Deprecated name kept for the KspEngine facade era.
-using KspEngineOptions = KspOptions;
+  /// Byte budget of the cross-query semantic cache (DESIGN.md §9) shared
+  /// by every executor of this database. 0 (the default) disables caching
+  /// entirely — semantic_cache() is then nullptr and the query path is
+  /// byte-identical to the pre-cache code; kCacheUnlimited never evicts.
+  size_t cache_budget_bytes = 0;
+};
 
 /// Wall-clock cost of each preprocessing step (Table 5).
 struct PreprocessingTimes {
@@ -150,6 +154,11 @@ class KspDatabase {
   const KspOptions& options() const { return options_; }
   const InvertedIndex& inverted_index() const { return *inverted_; }
 
+  /// The shared cross-query semantic cache, or nullptr when
+  /// options().cache_budget_bytes == 0. Thread-safe; executors consult it
+  /// on the query path and every index (re)build invalidates it.
+  SemanticQueryCache* semantic_cache() const { return cache_.get(); }
+
   /// Resolves keyword strings against the KB vocabulary and builds a
   /// query. Unknown keywords map to kInvalidTerm (the query then has an
   /// empty result, matching Definition 1).
@@ -162,6 +171,12 @@ class KspDatabase {
   /// cross-file verification).
   Status LoadLegacyLayout(const std::string& directory, FileSystem* fs);
 
+  /// Drops every cached distance/result: index changes invalidate both
+  /// cache layers (stale distances would silently corrupt looseness).
+  void InvalidateCache() {
+    if (cache_ != nullptr) cache_->Invalidate();
+  }
+
   const KnowledgeBase* kb_;
   KspOptions options_;
   const InvertedIndex* inverted_;
@@ -169,6 +184,7 @@ class KspDatabase {
   std::shared_ptr<const RTree> rtree_;
   std::shared_ptr<const ReachabilityIndex> reach_;
   std::shared_ptr<const AlphaIndex> alpha_;
+  std::unique_ptr<SemanticQueryCache> cache_;
   PreprocessingTimes prep_times_;
 };
 

@@ -53,6 +53,15 @@ void TopKHeap::Add(KspResultEntry entry) {
   }
 }
 
+bool TopKHeap::WouldAdd(double score, PlaceId place) const {
+  if (k_ == 0) return false;
+  if (!Full()) return true;
+  KspResultEntry probe;
+  probe.place = place;
+  probe.score = score;
+  return EntryBetter(probe, entries_.front());
+}
+
 KspResult TopKHeap::Finish() && {
   KspResult result;
   result.entries = std::move(entries_);
@@ -100,6 +109,11 @@ void QueryExecutor::set_metrics(MetricsRegistry* registry) {
   }
   metrics_.wasted_tqsp =
       registry->GetCounter("ksp_speculative_wasted_tqsp_total");
+  metrics_.cache_hits = registry->GetCounter("ksp_cache_hits_total");
+  metrics_.cache_misses = registry->GetCounter("ksp_cache_misses_total");
+  metrics_.cache_evictions =
+      registry->GetCounter("ksp_cache_evictions_total");
+  metrics_.cache_bytes = registry->GetGauge("ksp_cache_bytes_total");
   metrics_.wall_us = registry->GetCounter("ksp_query_wall_us_total");
   metrics_.semantic_us =
       registry->GetCounter("ksp_query_semantic_us_total");
@@ -125,6 +139,15 @@ void QueryExecutor::RecordQueryMetrics(const QueryStats& stats) {
   metrics_.pruned_rule[2]->Increment(stats.pruned_alpha_place);
   metrics_.pruned_rule[3]->Increment(stats.pruned_alpha_node);
   metrics_.wasted_tqsp->Increment(stats.speculative_wasted_tqsp);
+  metrics_.cache_hits->Increment(stats.dg_cache_hits +
+                                 stats.result_cache_hits);
+  metrics_.cache_misses->Increment(stats.dg_cache_misses +
+                                   stats.result_cache_misses);
+  metrics_.cache_evictions->Increment(stats.cache_evictions);
+  if (const SemanticQueryCache* cache = db_->semantic_cache();
+      cache != nullptr) {
+    metrics_.cache_bytes->Set(static_cast<double>(cache->TotalBytes()));
+  }
   metrics_.wall_us->Increment(
       static_cast<uint64_t>(stats.total_ms * 1e3));
   metrics_.semantic_us->Increment(
@@ -313,6 +336,32 @@ double QueryExecutor::ComputeTqsp(VertexId root, const QueryContext& ctx,
   }
 
   if (pruned && stats != nullptr) ++stats->pruned_dynamic_bound;
+
+  // Feed the shared dg cache (DESIGN.md §9). Every recorded match is the
+  // exact minimal distance — BFS pops in non-decreasing distance and a
+  // keyword is recorded at its first covering pop — even when Rule 2 (or
+  // a speculative live-θ abort) stopped the search afterwards. An
+  // un-pruned exhaustion additionally proves the uncovered keywords
+  // unreachable, which is cached as kUnreachable (a negative answer).
+  if (SemanticQueryCache* cache = db_->semantic_cache();
+      cache != nullptr) {
+    size_t evicted = 0;
+    for (const Match& m : matches) {
+      evicted +=
+          cache->InsertDistance(root, ctx.terms[m.keyword_index],
+                                static_cast<HopDistance>(m.distance));
+    }
+    if (!pruned && remaining != 0) {
+      uint64_t bits = remaining;
+      while (bits != 0) {
+        const uint32_t i = static_cast<uint32_t>(std::countr_zero(bits));
+        bits &= bits - 1;
+        evicted += cache->InsertDistance(root, ctx.terms[i], kUnreachable);
+      }
+    }
+    if (stats != nullptr) stats->cache_evictions += evicted;
+  }
+
   if (remaining != 0) return kInf;  // Pruned or unqualified.
 
   const double looseness = 1.0 + covered_sum;
@@ -350,6 +399,37 @@ bool QueryExecutor::IsUnqualifiedPlace(VertexId root,
     if (!reach->Reaches(root, ctx.terms[i])) return true;
   }
   return false;
+}
+
+QueryExecutor::CachedTqsp QueryExecutor::TryCachedTqsp(
+    VertexId root, PlaceId place, const QueryContext& ctx,
+    double looseness_threshold, bool use_rule2, const TopKHeap& heap,
+    double spatial, double* looseness) const {
+  SemanticQueryCache* cache = db_->semantic_cache();
+  if (cache == nullptr) return CachedTqsp::kMiss;
+  double l = 1.0;
+  for (TermId t : ctx.terms) {
+    HopDistance d = 0;
+    if (!cache->LookupDistance(root, t, &d)) return CachedTqsp::kMiss;
+    if (d == kUnreachable) {
+      *looseness = kInf;
+      return CachedTqsp::kUnqualified;
+    }
+    l += static_cast<double>(d);
+  }
+  *looseness = l;
+  // Exactly the sequential Rule-2 outcome: the BFS aborts via the
+  // dynamic bound iff L >= the threshold (see DESIGN.md §9 — at the pop
+  // that would cover the last keyword, Lemma 1's bound equals L).
+  if (use_rule2 && l >= looseness_threshold) {
+    return CachedTqsp::kPrunedRule2;
+  }
+  if (heap.WouldAdd(db_->options().ranking.Score(l, spatial), place)) {
+    // The entry would enter the top-k, which needs the materialized
+    // tree — only the BFS can build it.
+    return CachedTqsp::kMiss;
+  }
+  return CachedTqsp::kRejected;
 }
 
 Result<TiedSemanticPlace> QueryExecutor::ComputeTqspAlternatives(

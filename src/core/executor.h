@@ -63,6 +63,12 @@ class TopKHeap {
   /// Inserts if the entry beats the current k-th candidate.
   void Add(KspResultEntry entry);
 
+  /// True iff Add would insert an entry with this (score, place) —
+  /// including the exact tie handling Add applies when the heap is full.
+  /// Lets the semantic-cache fast path decide "is the BFS-materialized
+  /// tree needed?" without mutating the heap.
+  bool WouldAdd(double score, PlaceId place) const;
+
   bool Full() const { return entries_.size() >= k_; }
 
   /// Entries in ascending (score, place) order.
@@ -232,6 +238,25 @@ class QueryExecutor {
   bool IsUnqualifiedPlace(VertexId root, const QueryContext& ctx,
                           QueryStats* stats) const;
 
+  /// Outcome of a dg-cache probe for one candidate (DESIGN.md §9).
+  /// Anything but kMiss means every keyword distance was cached and the
+  /// TQSP BFS can be skipped with a decision bit-identical to running it:
+  ///   kUnqualified  some keyword is cached-unreachable (looseness +inf).
+  ///   kPrunedRule2  L >= the Rule-2 threshold — exactly when the
+  ///                 sequential BFS would abort via the dynamic bound.
+  ///   kRejected     L is exact but TopKHeap::Add would ignore the entry.
+  /// A candidate that WOULD enter the top-k still returns kMiss: the BFS
+  /// must run to materialize its tree.
+  enum class CachedTqsp { kMiss, kUnqualified, kPrunedRule2, kRejected };
+
+  /// Probes the shared dg cache for every keyword of `ctx`. On kPrunedRule2
+  /// / kRejected, `*looseness` holds the exact L(T_p).
+  CachedTqsp TryCachedTqsp(VertexId root, PlaceId place,
+                           const QueryContext& ctx,
+                           double looseness_threshold, bool use_rule2,
+                           const TopKHeap& heap, double spatial,
+                           double* looseness) const;
+
   /// Advances the BFS epoch, zero-filling the visit array when the
   /// uint32_t counter wraps (stale marks would otherwise alias the fresh
   /// epoch and corrupt TQSP construction).
@@ -251,6 +276,10 @@ class QueryExecutor {
     Counter* reach_queries = nullptr;
     Counter* pruned_rule[4] = {};
     Counter* wasted_tqsp = nullptr;
+    Counter* cache_hits = nullptr;
+    Counter* cache_misses = nullptr;
+    Counter* cache_evictions = nullptr;
+    Gauge* cache_bytes = nullptr;
     Counter* wall_us = nullptr;
     Counter* semantic_us = nullptr;
     Counter* phase_us[kNumTracePhases] = {};

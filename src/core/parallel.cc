@@ -48,23 +48,6 @@ Result<KspResult> ExecuteWith(QueryExecutor* executor,
   return ExecuteWith(executor, algorithm, query, stats);
 }
 
-Result<KspResult> ExecuteWith(KspEngine* engine, KspAlgorithm algorithm,
-                              const KspQuery& query, QueryStats* stats) {
-  switch (algorithm) {
-    case KspAlgorithm::kBsp:
-      return engine->ExecuteBsp(query, stats);
-    case KspAlgorithm::kSpp:
-      return engine->ExecuteSpp(query, stats);
-    case KspAlgorithm::kSp:
-      return engine->ExecuteSp(query, stats);
-    case KspAlgorithm::kTa:
-      return engine->ExecuteTa(query, stats);
-    case KspAlgorithm::kKeywordOnly:
-      return engine->ExecuteKeywordOnly(query, stats);
-  }
-  return Status::InvalidArgument("unknown algorithm");
-}
-
 QueryExecutorPool::QueryExecutorPool(const KspDatabase* db,
                                      size_t num_threads)
     : db_(db), workers_(num_threads == 0 ? 1 : num_threads) {
@@ -219,20 +202,6 @@ Result<std::vector<KspResult>> RunQueryBatch(
 
   QueryExecutorPool pool(&db, options.num_threads);
   return pool.Run(queries, options.algorithm, options.execution, stats);
-}
-
-Result<std::vector<KspResult>> RunQueryBatch(
-    KspEngine* engine, const std::vector<KspQuery>& queries,
-    const BatchRunOptions& options, QueryStats* total_stats) {
-  // Execute* builds the R-tree lazily, which the database overload
-  // forbids: prepare up front instead.
-  engine->BuildRTreeIfNeeded();
-  BatchRunStats stats;
-  KSP_ASSIGN_OR_RETURN(auto results,
-                       RunQueryBatch(engine->database(), queries, options,
-                                     &stats));
-  if (total_stats != nullptr) *total_stats = stats.totals;
-  return results;
 }
 
 }  // namespace ksp

@@ -12,7 +12,6 @@
 #include "common/metrics.h"
 #include "common/result.h"
 #include "core/database.h"
-#include "core/engine.h"
 #include "core/executor.h"
 
 namespace ksp {
@@ -37,11 +36,6 @@ Result<KspResult> ExecuteWith(QueryExecutor* executor,
 Result<KspResult> ExecuteWith(QueryExecutor* executor,
                               KspAlgorithm algorithm, const KspQuery& query,
                               const QueryExecutionOptions& execution,
-                              QueryStats* stats = nullptr);
-
-/// DEPRECATED: dispatches through the KspEngine facade.
-Result<KspResult> ExecuteWith(KspEngine* engine, KspAlgorithm algorithm,
-                              const KspQuery& query,
                               QueryStats* stats = nullptr);
 
 struct BatchRunOptions {
@@ -145,12 +139,6 @@ class QueryExecutorPool {
 Result<std::vector<KspResult>> RunQueryBatch(
     const KspDatabase& db, const std::vector<KspQuery>& queries,
     const BatchRunOptions& options, BatchRunStats* stats = nullptr);
-
-/// DEPRECATED: engine-facade overload; prepares the R-tree lazily, then
-/// delegates to the database overload.
-Result<std::vector<KspResult>> RunQueryBatch(
-    KspEngine* engine, const std::vector<KspQuery>& queries,
-    const BatchRunOptions& options, QueryStats* total_stats = nullptr);
 
 }  // namespace ksp
 

@@ -319,6 +319,13 @@ void IntraQueryPipeline::ProcessCandidate(size_t worker_index, Slot* slot) {
     span.AddItems(local.vertices_visited);
   }
   r.visits = local.vertices_visited;
+  // Workers never consult the dg cache (the commit-time replay depends on
+  // the BFS having run), but their ComputeTqsp calls do insert into it;
+  // surface the evictions those inserts caused.
+  if (local.cache_evictions != 0) {
+    spec_cache_evictions_.fetch_add(local.cache_evictions,
+                                    std::memory_order_relaxed);
+  }
 }
 
 void IntraQueryPipeline::CommitCandidate(Slot* slot, TopKHeap* heap,
@@ -420,6 +427,7 @@ void IntraQueryPipeline::Run(Mode mode, const KspQuery& query,
   producer_rtree_nodes_ = producer_pruned_rule3_ = producer_pruned_rule4_ = 0;
   theta_.store(heap->Threshold(), std::memory_order_relaxed);
   spec_tqsp_runs_.store(0, std::memory_order_relaxed);
+  spec_cache_evictions_.store(0, std::memory_order_relaxed);
   producer_trace_.Clear();
   for (size_t i = 0; i < worker_traces_.size(); ++i) {
     worker_traces_[i]->Clear();
@@ -441,6 +449,8 @@ void IntraQueryPipeline::Run(Mode mode, const KspQuery& query,
   stats->speculative_wasted_tqsp +=
       spec_tqsp_runs_.load(std::memory_order_relaxed) -
       stats->tqsp_computations;
+  stats->cache_evictions +=
+      spec_cache_evictions_.load(std::memory_order_relaxed);
   for (double seconds : worker_semantic_s_) *semantic_seconds += seconds;
   if (trace != nullptr) {
     trace->MergeAggregates(producer_trace_);

@@ -193,6 +193,10 @@ class IntraQueryPipeline {
   /// TQSP constructions started by workers this run; minus the committed
   /// tqsp_computations this is the wasted speculation.
   std::atomic<uint64_t> spec_tqsp_runs_{0};
+  /// Cache evictions triggered by worker dg-cache inserts this run.
+  /// Like wasted speculation, interleaving-dependent — reported in
+  /// QueryStats::cache_evictions but outside the determinism contract.
+  std::atomic<uint64_t> spec_cache_evictions_{0};
 };
 
 }  // namespace ksp

@@ -1,0 +1,73 @@
+#include "core/semantic_cache.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace ksp {
+
+namespace {
+
+/// Budget split: the dg layer carries the per-candidate win and its
+/// entries are tiny, the result layer stores whole trees — 3:1 keeps a
+/// small budget useful for both.
+size_t DgBudget(size_t budget) {
+  if (budget == kCacheUnlimited) return kCacheUnlimited;
+  return budget - budget / 4;
+}
+
+size_t ResultBudget(size_t budget) {
+  if (budget == kCacheUnlimited) return kCacheUnlimited;
+  return budget / 4;
+}
+
+void AppendRaw(std::string* out, const void* data, size_t n) {
+  out->append(reinterpret_cast<const char*>(data), n);
+}
+
+template <typename T>
+void AppendValue(std::string* out, T value) {
+  AppendRaw(out, &value, sizeof(value));
+}
+
+}  // namespace
+
+SemanticQueryCache::SemanticQueryCache(size_t budget_bytes)
+    : budget_(budget_bytes),
+      dg_(DgBudget(budget_bytes), /*num_shards=*/16),
+      results_(ResultBudget(budget_bytes), /*num_shards=*/8) {}
+
+std::string SemanticQueryCache::MakeResultKey(
+    const KspQuery& query, char path_tag, bool use_rule1, bool use_rule2,
+    uint32_t alpha, const RankingFunction& ranking) {
+  std::string key;
+  key.reserve(32 + query.keywords.size() * sizeof(TermId));
+  key.push_back(path_tag);
+  key.push_back(use_rule1 ? 1 : 0);
+  key.push_back(use_rule2 ? 1 : 0);
+  key.push_back(ranking.is_product() ? 1 : 0);
+  AppendValue(&key, alpha);
+  AppendValue(&key, query.k);
+  AppendValue(&key, ranking.beta());
+  AppendValue(&key, query.location.x);
+  AppendValue(&key, query.location.y);
+  // Sorted + deduplicated keywords: kInvalidTerm (unanswerable marker)
+  // sorts last and is kept — it changes the answer.
+  std::vector<TermId> terms = query.keywords;
+  std::sort(terms.begin(), terms.end());
+  terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
+  for (TermId t : terms) AppendValue(&key, t);
+  return key;
+}
+
+size_t SemanticQueryCache::ApproxResultBytes(const KspResult& result) {
+  size_t bytes = sizeof(KspResult);
+  for (const KspResultEntry& entry : result.entries) {
+    bytes += sizeof(KspResultEntry);
+    for (const auto& match : entry.tree.matches) {
+      bytes += sizeof(match) + match.path.size() * sizeof(VertexId);
+    }
+  }
+  return bytes;
+}
+
+}  // namespace ksp

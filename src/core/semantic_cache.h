@@ -1,0 +1,125 @@
+#ifndef KSP_CORE_SEMANTIC_CACHE_H_
+#define KSP_CORE_SEMANTIC_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "common/cache.h"
+#include "common/types.h"
+#include "core/query.h"
+#include "core/ranking.h"
+#include "core/semantic_place.h"
+
+namespace ksp {
+
+/// "No byte limit" sentinel for KspOptions::cache_budget_bytes.
+inline constexpr size_t kCacheUnlimited =
+    std::numeric_limits<size_t>::max();
+
+/// Cross-query semantic cache shared by every QueryExecutor of one
+/// KspDatabase (DESIGN.md §9). Two layers, both exact:
+///
+///   dg layer      per-(place root, keyword) minimum hop distance
+///                 dg(p, t) — the quantity every TQSP BFS recomputes.
+///                 kUnreachable is cached too (a negative answer), so a
+///                 Rule-1-less algorithm can skip the exhaustive BFS that
+///                 proves a keyword unreachable.
+///   result layer  complete KspResults keyed by the normalized query
+///                 (location, sorted keywords, k, algorithm path, pruning
+///                 toggles, α, ranking). Only completed (non-timed-out)
+///                 results are admitted.
+///
+/// Cached dg distances are exact minimal distances (recorded at first BFS
+/// pop), so every decision replayed from them — looseness, Rule-2 prune,
+/// top-k admittance — is bit-identical to the uncached run; see DESIGN.md
+/// §9 for the argument. The budget is split 3:1 between the dg and result
+/// layers. Thread-safe; Invalidate() drops all entries (index reload).
+class SemanticQueryCache {
+ public:
+  explicit SemanticQueryCache(size_t budget_bytes);
+
+  SemanticQueryCache(const SemanticQueryCache&) = delete;
+  SemanticQueryCache& operator=(const SemanticQueryCache&) = delete;
+
+  /// ---- dg layer ----
+
+  /// True (and `*distance` filled, possibly with kUnreachable) when
+  /// dg(root, term) is cached.
+  bool LookupDistance(VertexId root, TermId term, HopDistance* distance) {
+    uint64_t packed = 0;
+    return dg_.Lookup(DistanceKey(root, term), &packed) &&
+           (*distance = static_cast<HopDistance>(packed), true);
+  }
+
+  /// Caches dg(root, term); returns the number of entries evicted.
+  size_t InsertDistance(VertexId root, TermId term, HopDistance distance) {
+    return dg_.Insert(DistanceKey(root, term), distance, kDistanceCharge);
+  }
+
+  /// ---- result layer ----
+
+  /// Normalized result-cache key. `path_tag` distinguishes the candidate
+  /// enumeration ('S' spatial-first for BSP/SPP, 'A' α-ordered for SP);
+  /// `use_rule1`/`use_rule2` are the pruning toggles the run used and
+  /// `alpha` the α-index radius (0 for spatial-first). Keywords are
+  /// sorted and deduplicated, so keyword-permuted queries share a key —
+  /// their top-k is identical (set semantics of Definition 3; only the
+  /// enumeration order of tree matches could differ, and those come from
+  /// one cached run).
+  static std::string MakeResultKey(const KspQuery& query, char path_tag,
+                                   bool use_rule1, bool use_rule2,
+                                   uint32_t alpha,
+                                   const RankingFunction& ranking);
+
+  bool LookupResult(const std::string& key, KspResult* result) {
+    return results_.Lookup(key, result);
+  }
+
+  /// Caches a completed result; returns the number of entries evicted.
+  size_t InsertResult(const std::string& key, const KspResult& result) {
+    return results_.Insert(key, result, key.size() + ApproxResultBytes(result));
+  }
+
+  /// ---- maintenance / introspection ----
+
+  /// Drops every entry in both layers. Called whenever the database's
+  /// indexes change (Build*, LoadIndexes); cumulative counters survive.
+  void Invalidate() {
+    dg_.Clear();
+    results_.Clear();
+  }
+
+  using CacheStats = ShardedLruCache<uint64_t, uint64_t>::Stats;
+
+  CacheStats dg_stats() const { return dg_.GetStats(); }
+  CacheStats result_stats() const {
+    const auto s = results_.GetStats();
+    return CacheStats{s.hits, s.misses, s.evictions, s.bytes, s.entries};
+  }
+
+  size_t TotalBytes() const { return dg_.bytes() + results_.bytes(); }
+  size_t budget_bytes() const { return budget_; }
+
+  /// Approximate heap charge of one cached result (entries, trees, match
+  /// paths, minus small-vector slack we cannot see).
+  static size_t ApproxResultBytes(const KspResult& result);
+
+ private:
+  static uint64_t DistanceKey(VertexId root, TermId term) {
+    return (static_cast<uint64_t>(root) << 32) | term;
+  }
+
+  /// Accounting charge of one dg entry: 8-byte key + 4-byte distance.
+  static constexpr size_t kDistanceCharge =
+      sizeof(uint64_t) + sizeof(HopDistance);
+
+  size_t budget_;
+  ShardedLruCache<uint64_t, uint64_t> dg_;
+  ShardedLruCache<std::string, KspResult> results_;
+};
+
+}  // namespace ksp
+
+#endif  // KSP_CORE_SEMANTIC_CACHE_H_

@@ -61,6 +61,31 @@ Result<KspResult> QueryExecutor::ExecuteSp(const KspQuery& query,
   *st = QueryStats();
   QueryTrace* trace = BeginQueryTrace();
 
+  // Full-query result cache (DESIGN.md §9); the α path gets its own key
+  // tag + the α radius, since Rules 3/4 change nothing about the answer
+  // but future-proofing the key against bound-dependent behavior is free.
+  SemanticQueryCache* cache = db_->semantic_cache();
+  std::string result_key;
+  if (cache != nullptr && !explain_on()) {
+    result_key = SemanticQueryCache::MakeResultKey(
+        query, /*path_tag=*/'A', options.use_unqualified_pruning,
+        options.use_dynamic_bound_pruning, db_->alpha_index()->alpha(),
+        options.ranking);
+    KspResult cached;
+    bool hit;
+    {
+      TraceSpan span(trace, TracePhase::kCacheLookup);
+      hit = cache->LookupResult(result_key, &cached);
+    }
+    if (hit) {
+      ++st->result_cache_hits;
+      st->total_ms = total_timer.ElapsedMillis();
+      RecordQueryMetrics(*st);
+      return cached;
+    }
+    ++st->result_cache_misses;
+  }
+
   QueryContext ctx;
   {
     TraceSpan span(trace, TracePhase::kDocFetch);
@@ -152,6 +177,31 @@ Result<KspResult> QueryExecutor::ExecuteSp(const KspQuery& query,
             options.use_dynamic_bound_pruning
                 ? options.ranking.LoosenessThreshold(theta, spatial)
                 : kInf;
+
+        // dg-cache fast path — identical contract to the spatial-first
+        // loop (bsp_spp.cc): a full hit replays the exact decision.
+        if (cache != nullptr && !explain_on()) {
+          double cached_looseness = kInf;
+          CachedTqsp outcome;
+          {
+            TraceSpan span(trace, TracePhase::kCacheLookup);
+            outcome = TryCachedTqsp(root, place, ctx, looseness_threshold,
+                                    options.use_dynamic_bound_pruning,
+                                    heap, spatial, &cached_looseness);
+          }
+          if (outcome != CachedTqsp::kMiss) {
+            ++st->dg_cache_hits;
+            if (outcome == CachedTqsp::kPrunedRule2) {
+              ++st->pruned_dynamic_bound;
+              if (trace != nullptr) {
+                trace->RecordEvent(TracePhase::kRule2Prune);
+              }
+            }
+            continue;
+          }
+          ++st->dg_cache_misses;
+        }
+
         ++st->tqsp_computations;
         const uint64_t rule2_before = st->pruned_dynamic_bound;
         const uint64_t visited_before = st->vertices_visited;
@@ -243,8 +293,12 @@ Result<KspResult> QueryExecutor::ExecuteSp(const KspQuery& query,
 
   st->semantic_ms = semantic_seconds * 1e3;
   st->total_ms = total_timer.ElapsedMillis();
+  KspResult result = std::move(heap).Finish();
+  if (cache != nullptr && !explain_on() && st->completed) {
+    st->cache_evictions += cache->InsertResult(result_key, result);
+  }
   RecordQueryMetrics(*st);
-  return std::move(heap).Finish();
+  return result;
 }
 
 }  // namespace ksp

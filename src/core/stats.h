@@ -36,6 +36,20 @@ struct QueryStats {
   /// contract, which covers the committed counters above.
   uint64_t speculative_wasted_tqsp = 0;
 
+  /// Semantic-cache activity (DESIGN.md §9). The dg counters are
+  /// per-candidate: a hit means every keyword distance came from cache
+  /// and the TQSP BFS was skipped entirely; a miss means the BFS ran
+  /// while the cache was enabled. All five are 0 when the cache is off
+  /// and, like speculative_wasted_tqsp, excluded from the sequential/
+  /// parallel determinism contract (they measure work avoided, which
+  /// depends on cache warmth).
+  uint64_t dg_cache_hits = 0;
+  uint64_t dg_cache_misses = 0;
+  uint64_t result_cache_hits = 0;
+  uint64_t result_cache_misses = 0;
+  /// Entries this query's inserts pushed out of the cache.
+  uint64_t cache_evictions = 0;
+
   /// False when the run hit the configured time limit (the paper aborts
   /// BSP queries at 120 s).
   bool completed = true;
@@ -52,6 +66,11 @@ struct QueryStats {
     pruned_alpha_place += other.pruned_alpha_place;
     pruned_alpha_node += other.pruned_alpha_node;
     speculative_wasted_tqsp += other.speculative_wasted_tqsp;
+    dg_cache_hits += other.dg_cache_hits;
+    dg_cache_misses += other.dg_cache_misses;
+    result_cache_hits += other.result_cache_hits;
+    result_cache_misses += other.result_cache_misses;
+    cache_evictions += other.cache_evictions;
     completed = completed && other.completed;
   }
 };

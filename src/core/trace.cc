@@ -18,6 +18,8 @@ const char* TracePhaseName(TracePhase phase) {
       return "rule2_prune";
     case TracePhase::kDocFetch:
       return "doc_fetch";
+    case TracePhase::kCacheLookup:
+      return "cache_lookup";
   }
   return "?";
 }

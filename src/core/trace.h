@@ -19,8 +19,9 @@ enum class TracePhase : uint8_t {
   kRule1Prune,       // Reachability probes of Pruning Rule 1.
   kRule2Prune,       // Dynamic-bound aborts (zero-duration events).
   kDocFetch,         // Posting-list fetch + M_q.ψ construction.
+  kCacheLookup,      // Semantic-cache probes (dg + result layers, §9).
 };
-inline constexpr size_t kNumTracePhases = 6;
+inline constexpr size_t kNumTracePhases = 7;
 
 /// Stable snake_case name ("rtree_nn", ...), used in metric names and
 /// trace exports.

@@ -1,0 +1,193 @@
+// Deterministic goldens for the ShardedLruCache primitive: eviction
+// order, byte accounting, and the three budget regimes (pass-through,
+// bounded, unbounded). Single-shard caches make LRU order observable;
+// the semantic layers on top (core/semantic_cache) are covered by
+// cache_equivalence_test and cache_stress_test.
+
+#include "common/cache.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace ksp {
+namespace {
+
+using IntCache = ShardedLruCache<uint64_t, uint64_t>;
+
+TEST(ShardedLruCacheTest, ShardCountRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(IntCache(1024, 1).num_shards(), 1u);
+  EXPECT_EQ(IntCache(1024, 2).num_shards(), 2u);
+  EXPECT_EQ(IntCache(1024, 3).num_shards(), 4u);
+  EXPECT_EQ(IntCache(1024, 16).num_shards(), 16u);
+  EXPECT_EQ(IntCache(1024, 17).num_shards(), 32u);
+}
+
+TEST(ShardedLruCacheTest, EvictsLeastRecentlyUsedFirst) {
+  // One shard, budget for exactly three 10-byte entries.
+  IntCache cache(30, 1);
+  EXPECT_EQ(cache.Insert(1, 100, 10), 0u);
+  EXPECT_EQ(cache.Insert(2, 200, 10), 0u);
+  EXPECT_EQ(cache.Insert(3, 300, 10), 0u);
+  EXPECT_EQ(cache.entries(), 3u);
+
+  // Touch 1 so it becomes MRU; 2 is now the LRU tail.
+  uint64_t v = 0;
+  ASSERT_TRUE(cache.Lookup(1, &v));
+  EXPECT_EQ(v, 100u);
+
+  // A fourth entry overflows the shard: exactly the tail (2) goes.
+  EXPECT_EQ(cache.Insert(4, 400, 10), 1u);
+  EXPECT_FALSE(cache.Lookup(2, &v));
+  EXPECT_TRUE(cache.Lookup(1, &v));
+  EXPECT_TRUE(cache.Lookup(3, &v));
+  EXPECT_TRUE(cache.Lookup(4, &v));
+  EXPECT_EQ(cache.bytes(), 30u);
+}
+
+TEST(ShardedLruCacheTest, UpdateRefreshesRecencyAndRecharges) {
+  IntCache cache(30, 1);
+  cache.Insert(1, 100, 10);
+  cache.Insert(2, 200, 10);
+  cache.Insert(3, 300, 10);
+  // Re-inserting 1 with a new charge moves it to MRU and re-accounts.
+  EXPECT_EQ(cache.Insert(1, 101, 5), 0u);
+  EXPECT_EQ(cache.bytes(), 25u);
+  // Overflow now evicts 2 (oldest untouched), not the refreshed 1.
+  cache.Insert(4, 400, 10);
+  uint64_t v = 0;
+  EXPECT_FALSE(cache.Lookup(2, &v));
+  ASSERT_TRUE(cache.Lookup(1, &v));
+  EXPECT_EQ(v, 101u);
+}
+
+TEST(ShardedLruCacheTest, OversizedEntryEvictsEverythingIncludingItself) {
+  // Pathological single-entry shard: a charge above the whole shard
+  // budget cannot be held, and it must not leave stale residents behind.
+  IntCache cache(10, 1);
+  cache.Insert(1, 100, 4);
+  cache.Insert(2, 200, 4);
+  // 50 > 10: evicts 1, 2, and the new entry itself.
+  EXPECT_EQ(cache.Insert(3, 300, 50), 3u);
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.bytes(), 0u);
+  uint64_t v = 0;
+  EXPECT_FALSE(cache.Lookup(3, &v));
+}
+
+TEST(ShardedLruCacheTest, ZeroBudgetIsPassThrough) {
+  IntCache cache(0, 4);
+  EXPECT_FALSE(cache.enabled());
+  EXPECT_EQ(cache.Insert(1, 100, 8), 0u);
+  uint64_t v = 0;
+  EXPECT_FALSE(cache.Lookup(1, &v));
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.bytes(), 0u);
+  // Misses are still counted — a disabled cache reports a 0% hit rate
+  // rather than vanishing from metrics.
+  EXPECT_EQ(cache.GetStats().misses, 1u);
+}
+
+TEST(ShardedLruCacheTest, UnboundedNeverEvicts) {
+  IntCache cache(IntCache::kUnbounded, 2);
+  for (uint64_t i = 0; i < 1000; ++i) {
+    EXPECT_EQ(cache.Insert(i, i, 1 << 20), 0u);  // 1 MiB each.
+  }
+  EXPECT_EQ(cache.entries(), 1000u);
+  EXPECT_EQ(cache.GetStats().evictions, 0u);
+}
+
+TEST(ShardedLruCacheTest, StatsCountHitsMissesBytes) {
+  IntCache cache(1024, 1);
+  cache.Insert(1, 100, 16);
+  cache.Insert(2, 200, 16);
+  uint64_t v = 0;
+  cache.Lookup(1, &v);
+  cache.Lookup(1, &v);
+  cache.Lookup(9, &v);
+  const auto stats = cache.GetStats();
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.bytes, 32u);
+  EXPECT_EQ(stats.entries, 2u);
+}
+
+TEST(ShardedLruCacheTest, ClearDropsEntriesButKeepsCounters) {
+  IntCache cache(100, 1);
+  cache.Insert(1, 100, 60);
+  cache.Insert(2, 200, 60);  // Evicts 1.
+  uint64_t v = 0;
+  cache.Lookup(2, &v);
+  cache.Lookup(3, &v);
+
+  cache.Clear();
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.bytes(), 0u);
+  const auto stats = cache.GetStats();
+  // Cumulative counters survive invalidation: they feed monotone
+  // Prometheus counters, which must never go backwards.
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.evictions, 1u);
+}
+
+TEST(ShardedLruCacheTest, EraseRefundsBytes) {
+  IntCache cache(100, 1);
+  cache.Insert(1, 100, 40);
+  cache.Insert(2, 200, 40);
+  EXPECT_TRUE(cache.Erase(1));
+  EXPECT_FALSE(cache.Erase(1));
+  EXPECT_EQ(cache.bytes(), 40u);
+  EXPECT_EQ(cache.entries(), 1u);
+}
+
+TEST(ShardedLruCacheTest, StringValuesCopyOut) {
+  ShardedLruCache<std::string, std::string> cache(1024, 2);
+  cache.Insert("key", "value", 8);
+  std::string out;
+  ASSERT_TRUE(cache.Lookup("key", &out));
+  EXPECT_EQ(out, "value");
+}
+
+TEST(ShardedLruCacheTest, ConcurrentMixedOpsStaySane) {
+  // Smoke test for the locking (TSan job runs this under -L cache):
+  // 8 threads hammer overlapping keys with inserts, lookups, erases,
+  // and clears. Invariant: accounting never underflows and the final
+  // byte total matches a full recount via GetStats().
+  IntCache cache(4096, 8);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&cache, t] {
+      uint64_t v = 0;
+      for (uint64_t i = 0; i < 2000; ++i) {
+        const uint64_t key = (i * 7 + t) % 257;
+        switch (i % 5) {
+          case 0:
+          case 1:
+            cache.Insert(key, i, 16 + key % 32);
+            break;
+          case 2:
+          case 3:
+            cache.Lookup(key, &v);
+            break;
+          default:
+            if (i % 100 == 0) {
+              cache.Clear();
+            } else {
+              cache.Erase(key);
+            }
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const auto stats = cache.GetStats();
+  EXPECT_LE(stats.bytes, cache.budget_bytes());
+  EXPECT_EQ(stats.hits + stats.misses, 8u * 2000u * 2 / 5);
+}
+
+}  // namespace
+}  // namespace ksp

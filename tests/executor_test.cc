@@ -85,6 +85,28 @@ TEST(ExecutorContractTest, TooManyDistinctKeywordsRejected) {
   EXPECT_TRUE(tied.status().IsInvalidArgument());
 }
 
+TEST(ExecutorContractTest, SharedDatabaseExecutorsAnswerIdentically) {
+  // Any number of executors over one prepared database answer alike —
+  // the sharing contract that replaced the old clone-an-engine pattern.
+  auto kb = BuildFigure1KnowledgeBase();
+  ASSERT_TRUE(kb.ok());
+  KspDatabase db(kb->get());
+  db.PrepareAll(3);
+  QueryExecutor first(&db);
+  QueryExecutor second(&db);
+  KspQuery query = db.MakeQuery(kQ1, Figure1QueryKeywords(), 2);
+  auto a = first.ExecuteSp(query);
+  auto b = second.ExecuteSp(query);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->entries.size(), 2u);
+  ASSERT_EQ(b->entries.size(), a->entries.size());
+  for (size_t i = 0; i < a->entries.size(); ++i) {
+    EXPECT_EQ(b->entries[i].place, a->entries[i].place);
+    EXPECT_DOUBLE_EQ(b->entries[i].score, a->entries[i].score);
+    EXPECT_DOUBLE_EQ(b->entries[i].looseness, a->entries[i].looseness);
+  }
+}
+
 class EpochWrapTest : public ::testing::Test {
  protected:
   void SetUp() override {

@@ -5,10 +5,14 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "common/metrics.h"
+#include "core/database.h"
+#include "core/executor.h"
+#include "datagen/fixtures.h"
 
 namespace ksp {
 namespace {
@@ -228,6 +232,62 @@ TEST(ExportTest, EmptyRegistryExports) {
             "  \"gauges\": {},\n"
             "  \"histograms\": {}\n"
             "}\n");
+}
+
+TEST(CacheMetricsTest, ExecutorExportsCacheCountersAndBytes) {
+  // A cache-enabled executor must surface the §9 cache series through
+  // the same registry as the query counters: warm repeats drive
+  // ksp_cache_hits_total up, and the bytes gauge tracks residency.
+  auto kb = BuildFigure1KnowledgeBase();
+  ASSERT_TRUE(kb.ok());
+  KspOptions options;
+  options.cache_budget_bytes = kCacheUnlimited;
+  KspDatabase db(kb->get(), options);
+  db.PrepareAll(3);
+
+  MetricsRegistry registry;
+  QueryExecutor executor(&db);
+  executor.set_metrics(&registry);
+  const KspQuery query = db.MakeQuery(kQ1, Figure1QueryKeywords(), 2);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(executor.ExecuteSpp(query).ok());
+  }
+
+  MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_GT(snapshot.counters["ksp_cache_hits_total"], 0u);
+  EXPECT_GT(snapshot.counters["ksp_cache_misses_total"], 0u);
+  EXPECT_EQ(snapshot.counters["ksp_cache_evictions_total"], 0u);
+  EXPECT_GT(snapshot.gauges["ksp_cache_bytes_total"], 0.0);
+  EXPECT_DOUBLE_EQ(snapshot.gauges["ksp_cache_bytes_total"],
+                   static_cast<double>(db.semantic_cache()->TotalBytes()));
+
+  // And they reach the Prometheus exposition format by name.
+  const std::string text = snapshot.ToPrometheusText();
+  EXPECT_NE(text.find("ksp_cache_hits_total"), std::string::npos);
+  EXPECT_NE(text.find("ksp_cache_misses_total"), std::string::npos);
+  EXPECT_NE(text.find("ksp_cache_evictions_total"), std::string::npos);
+  EXPECT_NE(text.find("ksp_cache_bytes_total"), std::string::npos);
+}
+
+TEST(CacheMetricsTest, CacheDisabledExportsZeroSeries) {
+  // Budget 0: the series still exist (dashboards see a flat zero, not a
+  // missing metric), but nothing ever hits and the gauge stays 0.
+  auto kb = BuildFigure1KnowledgeBase();
+  ASSERT_TRUE(kb.ok());
+  KspDatabase db(kb->get());
+  db.PrepareAll(3);
+  ASSERT_EQ(db.semantic_cache(), nullptr);
+
+  MetricsRegistry registry;
+  QueryExecutor executor(&db);
+  executor.set_metrics(&registry);
+  const KspQuery query = db.MakeQuery(kQ1, Figure1QueryKeywords(), 2);
+  ASSERT_TRUE(executor.ExecuteSpp(query).ok());
+
+  MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.counters["ksp_cache_hits_total"], 0u);
+  EXPECT_EQ(snapshot.counters["ksp_cache_misses_total"], 0u);
+  EXPECT_DOUBLE_EQ(snapshot.gauges["ksp_cache_bytes_total"], 0.0);
 }
 
 TEST(ExportTest, ConcurrentScrapeWhileWritingIsSafe) {

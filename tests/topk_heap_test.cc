@@ -65,6 +65,44 @@ TEST(TopKHeapTest, FewerEntriesThanK) {
   EXPECT_DOUBLE_EQ(result.entries[0].score, 1.0);
 }
 
+TEST(TopKHeapTest, WouldAddMirrorsAddExactly) {
+  TopKHeap heap(2);
+  EXPECT_TRUE(heap.WouldAdd(100.0, 0));  // Not full: everything enters.
+  heap.Add(Entry(5, 3.0));
+  heap.Add(Entry(6, 5.0));
+  // Full: strictly better score enters, worse does not.
+  EXPECT_TRUE(heap.WouldAdd(4.0, 9));
+  EXPECT_FALSE(heap.WouldAdd(6.0, 9));
+  // Exact tie on the k-th score: Add tie-breaks on place id.
+  EXPECT_TRUE(heap.WouldAdd(5.0, 2));   // 2 < 6: would replace.
+  EXPECT_FALSE(heap.WouldAdd(5.0, 6));  // Equal (score, place): no-op.
+  EXPECT_FALSE(heap.WouldAdd(5.0, 7));  // 7 > 6: worse tie.
+
+  TopKHeap empty(0);
+  EXPECT_FALSE(empty.WouldAdd(0.0, 0));  // k = 0 admits nothing.
+}
+
+TEST(TopKHeapTest, RandomizedWouldAddAgreesWithAdd) {
+  Rng rng(77);
+  for (int trial = 0; trial < 20; ++trial) {
+    TopKHeap heap(1 + static_cast<uint32_t>(rng.NextBounded(5)));
+    for (size_t i = 0; i < 60; ++i) {
+      const double score = rng.NextDouble(0, 4);
+      const PlaceId place = static_cast<PlaceId>(rng.NextBounded(30));
+      const bool predicted = heap.WouldAdd(score, place);
+      const double theta_before = heap.Threshold();
+      heap.Add(Entry(place, score));
+      // An admitted entry either fills the heap or tightens/keeps θ with
+      // the new entry inside; a rejected one leaves θ untouched.
+      if (!predicted) {
+        EXPECT_EQ(heap.Threshold(), theta_before);
+      } else {
+        EXPECT_LE(heap.Threshold(), theta_before);
+      }
+    }
+  }
+}
+
 TEST(TopKHeapTest, RandomizedMatchesSort) {
   Rng rng(55);
   for (int trial = 0; trial < 20; ++trial) {
