@@ -28,6 +28,15 @@ BenchEnv g_env;
 std::string g_json_out;
 std::string g_bench_id = "bench";
 std::vector<std::string> g_json_rows;
+/// Row-level storage annotation, refreshed by every MakeDatabase so the
+/// JSON rows name the backend/budget they actually ran against (the
+/// memory-budget sweep builds one database per budget).
+StorageBackend g_row_backend = StorageBackend::kMemory;
+uint64_t g_row_bufferpool_budget = 0;
+
+const char* BackendName(StorageBackend backend) {
+  return backend == StorageBackend::kDisk ? "disk" : "memory";
+}
 
 uint64_t ParseCount(const char* value, const char* flag) {
   char* end = nullptr;
@@ -104,10 +113,31 @@ BenchEnv BenchEnv::FromArgs(int argc, char** argv) {
                              : ParseCount(value, "--cache-budget");
       continue;
     }
+    constexpr const char kBackend[] = "--backend=";
+    constexpr const char kBufferPoolBudget[] = "--bufferpool-budget=";
+    if (std::strncmp(arg, kBackend, sizeof(kBackend) - 1) == 0) {
+      const char* value = arg + sizeof(kBackend) - 1;
+      if (std::strcmp(value, "memory") == 0) {
+        env.backend = StorageBackend::kMemory;
+      } else if (std::strcmp(value, "disk") == 0) {
+        env.backend = StorageBackend::kDisk;
+      } else {
+        KSP_CHECK(false) << "--backend must be memory or disk, got: "
+                         << value;
+      }
+      continue;
+    }
+    if (std::strncmp(arg, kBufferPoolBudget,
+                     sizeof(kBufferPoolBudget) - 1) == 0) {
+      env.bufferpool_budget = ParseCount(
+          arg + sizeof(kBufferPoolBudget) - 1, "--bufferpool-budget");
+      continue;
+    }
     KSP_CHECK(false) << "unknown flag: " << arg
                      << " (supported: --metrics-out=FILE --json-out=FILE "
                         "--intra-threads=N --warmup=N --repeat=N "
-                        "--cache-budget=BYTES|unlimited)";
+                        "--cache-budget=BYTES|unlimited "
+                        "--backend=memory|disk --bufferpool-budget=BYTES)";
   }
   if (!env.metrics_out.empty()) {
     static MetricsRegistry registry;
@@ -150,11 +180,14 @@ int Finish() {
                   "  \"env\": {\"scale\": %g, \"queries\": %zu,"
                   " \"time_limit_ms\": %g, \"intra_threads\": %u,"
                   " \"warmup\": %zu, \"repeat\": %zu,"
-                  " \"cache_budget\": %llu},\n  \"rows\": [\n",
+                  " \"cache_budget\": %llu, \"backend\": \"%s\","
+                  " \"bufferpool_budget\": %llu},\n  \"rows\": [\n",
                   JsonEscape(g_bench_id.c_str()).c_str(), g_env.scale,
                   g_env.queries, g_env.time_limit_ms, g_env.intra_threads,
                   g_env.warmup, g_env.repeat,
-                  static_cast<unsigned long long>(g_env.cache_budget));
+                  static_cast<unsigned long long>(g_env.cache_budget),
+                  BackendName(g_env.backend),
+                  static_cast<unsigned long long>(g_env.bufferpool_budget));
     std::string doc = buf;
     for (size_t i = 0; i < g_json_rows.size(); ++i) {
       doc += g_json_rows[i];
@@ -194,8 +227,20 @@ std::unique_ptr<KspDatabase> MakeDatabase(const KnowledgeBase* kb,
   options.time_limit_ms = env.time_limit_ms;
   // Flag wins only when given, so benches hard-coding a budget keep it.
   if (env.cache_budget != 0) options.cache_budget_bytes = env.cache_budget;
+  if (env.backend == StorageBackend::kDisk) {
+    options.backend = StorageBackend::kDisk;
+  }
+  if (env.bufferpool_budget != 0) {
+    options.buffer_pool_budget_bytes = env.bufferpool_budget;
+  }
   auto db = std::make_unique<KspDatabase>(kb, options);
   db->PrepareAll(alpha);
+  KSP_CHECK(db->storage_backend_status().ok())
+      << db->storage_backend_status().ToString();
+  g_row_backend = options.backend;
+  g_row_bufferpool_budget = options.backend == StorageBackend::kDisk
+                                ? options.buffer_pool_budget_bytes
+                                : 0;
   return db;
 }
 
@@ -330,7 +375,7 @@ void AppendJsonRow(const char* config, Algo algo,
       " \"cache\": {\"dg_hits\": %llu, \"dg_misses\": %llu,"
       " \"dg_hit_rate\": %.4f, \"result_hits\": %llu,"
       " \"result_misses\": %llu, \"result_hit_rate\": %.4f,"
-      " \"evictions\": %llu}}",
+      " \"evictions\": %llu},",
       static_cast<unsigned long long>(stats.sum.dg_cache_hits),
       static_cast<unsigned long long>(stats.sum.dg_cache_misses),
       rate(stats.sum.dg_cache_hits, stats.sum.dg_cache_misses),
@@ -338,6 +383,16 @@ void AppendJsonRow(const char* config, Algo algo,
       static_cast<unsigned long long>(stats.sum.result_cache_misses),
       rate(stats.sum.result_cache_hits, stats.sum.result_cache_misses),
       static_cast<unsigned long long>(stats.sum.cache_evictions));
+  row += buf;
+  std::snprintf(
+      buf, sizeof(buf),
+      " \"backend\": \"%s\", \"bufferpool\": {\"budget_bytes\": %llu,"
+      " \"hits\": %llu, \"misses\": %llu, \"evictions\": %llu}}",
+      BackendName(g_row_backend),
+      static_cast<unsigned long long>(g_row_bufferpool_budget),
+      static_cast<unsigned long long>(stats.sum.bufferpool_hits),
+      static_cast<unsigned long long>(stats.sum.bufferpool_misses),
+      static_cast<unsigned long long>(stats.sum.bufferpool_evictions));
   row += buf;
   g_json_rows.push_back(std::move(row));
 }

@@ -36,6 +36,13 @@ namespace bench {
 ///                       to every MakeDatabase; 0 (default) disables the
 ///                       cache, "unlimited" never evicts. Combine with
 ///                       --warmup/--repeat to measure warm-cache passes.
+///   --backend=memory|disk
+///                       storage backend (DESIGN.md §10) for every
+///                       MakeDatabase; disk spills the indexes and serves
+///                       queries through the shared buffer pool
+///   --bufferpool-budget=BYTES
+///                       buffer-pool byte budget for --backend=disk
+///                       (default: the KspOptions default)
 struct BenchEnv {
   double scale = 1.0;
   size_t queries = 25;
@@ -45,6 +52,8 @@ struct BenchEnv {
   size_t warmup = 0;
   size_t repeat = 1;
   size_t cache_budget = 0;  // KspOptions::cache_budget_bytes for benches
+  StorageBackend backend = StorageBackend::kMemory;
+  uint64_t bufferpool_budget = 0;  // 0: keep the KspOptions default
   std::string json_out;  // empty: JSON row capture off
 
   static BenchEnv FromEnv();
@@ -135,10 +144,13 @@ std::vector<KspResult> RunWorkloadCollect(const KspDatabase& db, Algo algo,
 ///              rtree_nodes_accessed, vertices_visited,
 ///              speculative_wasted_tqsp},
 ///              cache: {dg_hits, dg_misses, dg_hit_rate, result_hits,
-///                      result_misses, result_hit_rate, evictions}}]}
+///                      result_misses, result_hit_rate, evictions},
+///              backend: "memory"|"disk",
+///              bufferpool: {budget_bytes, hits, misses, evictions}}]}
 /// The schema is stable: fields are only added, never renamed or removed
-/// (cache_budget and the cache object are additive; schema_version stays
-/// 1).
+/// (cache_budget, the cache object, backend, and the bufferpool object
+/// are additive; schema_version stays 1). The row-level backend/
+/// bufferpool annotation reflects the most recent MakeDatabase.
 void PrintStatsRow(const char* config, Algo algo,
                    const WorkloadStats& stats);
 

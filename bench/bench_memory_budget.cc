@@ -1,0 +1,64 @@
+// Out-of-core sweep (DESIGN.md §10): latency of the disk backend as a
+// function of the shared buffer pool's byte budget, on the Figure 5
+// workload (|q.psi| = 3, k = 5), against the in-memory baseline and the
+// paged-index footprint. The interesting regime is budgets far below
+// the footprint: results stay exact (backend invariance) while the pool
+// eviction/miss counters in the JSON rows show the paging cost.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace ksp::bench;
+  const BenchEnv env = BenchEnv::FromArgs(argc, argv);
+  std::printf("=== Memory budget sweep: disk backend vs pool budget ===\n");
+
+  auto kb = MakeDataset(/*dbpedia_like=*/true,
+                        env.Scaled(kDBpediaBaseVertices));
+  PrintDatasetSummary("dbpedia-like", *kb);
+
+  ksp::QueryGenOptions qopt;
+  qopt.num_keywords = 3;
+  qopt.k = 5;
+  qopt.seed = 503;  // The Figure 5 |q.psi|=3 workload.
+  auto queries = ksp::GenerateQueries(*kb, ksp::QueryClass::kOriginal, qopt,
+                                      env.queries);
+
+  // In-memory baseline; its graph + R-tree resident size is the
+  // footprint the pool budgets are measured against (those are exactly
+  // the structures the disk backend pages).
+  BenchEnv mem_env = env;
+  mem_env.backend = ksp::StorageBackend::kMemory;
+  auto mem_db = MakeDatabase(kb.get(), mem_env, /*alpha=*/3);
+  const uint64_t footprint_bytes =
+      kb->GraphMemoryBytes() + mem_db->rtree().MemoryUsageBytes();
+  std::printf("paged-index in-memory footprint: %.1f MiB\n",
+              static_cast<double>(footprint_bytes) / (1 << 20));
+
+  PrintStatsHeader();
+  for (Algo algo : {Algo::kSpp, Algo::kSp}) {
+    PrintStatsRow("memory", algo, RunWorkload(*mem_db, algo, queries, 5));
+  }
+  mem_db.reset();
+
+  for (uint64_t budget : {256ULL << 10, 1ULL << 20, 4ULL << 20,
+                          16ULL << 20, 64ULL << 20}) {
+    BenchEnv disk_env = env;
+    disk_env.backend = ksp::StorageBackend::kDisk;
+    disk_env.bufferpool_budget = budget;
+    auto disk_db = MakeDatabase(kb.get(), disk_env, /*alpha=*/3);
+    char config[48];
+    if (budget < (1 << 20)) {
+      std::snprintf(config, sizeof(config), "disk-%lluKiB",
+                    static_cast<unsigned long long>(budget >> 10));
+    } else {
+      std::snprintf(config, sizeof(config), "disk-%lluMiB",
+                    static_cast<unsigned long long>(budget >> 20));
+    }
+    for (Algo algo : {Algo::kSpp, Algo::kSp}) {
+      PrintStatsRow(config, algo, RunWorkload(*disk_db, algo, queries, 5));
+    }
+  }
+  return ksp::bench::Finish();
+}

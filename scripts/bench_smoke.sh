@@ -34,3 +34,25 @@ assert doc["schema_version"] == 1, doc
 assert doc["rows"], "bench emitted no rows"
 print(f"bench smoke OK: {doc['bench']}, {len(doc['rows'])} rows")
 EOF
+
+# Disk-backend smoke: the same bench must also run out-of-core (DESIGN.md
+# §10) under a small buffer pool, and its rows must show page traffic.
+DISK_OUT="$(mktemp /tmp/ksp_bench_disk_smoke.XXXXXX.json)"
+trap 'rm -f "${DISK_OUT}"' EXIT
+KSP_SCALE="${KSP_SCALE:-0.1}" KSP_QUERIES="${KSP_QUERIES:-5}" \
+  "${BUILD_DIR}/bench/${BENCH}" \
+  --backend=disk --bufferpool-budget=1048576 \
+  --json-out="${DISK_OUT}"
+
+python3 - "${DISK_OUT}" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["env"]["backend"] == "disk", doc["env"]
+rows = doc["rows"]
+assert rows, "disk bench emitted no rows"
+assert all(r["backend"] == "disk" for r in rows), rows
+fetches = sum(r["bufferpool"]["hits"] + r["bufferpool"]["misses"]
+              for r in rows)
+assert fetches > 0, "disk backend reported no buffer-pool traffic"
+print(f"disk-backend smoke OK: {len(rows)} rows, {fetches} page fetches")
+EOF

@@ -48,6 +48,7 @@ Result<KspResult> QueryExecutor::ExecuteSpatialFirst(const KspQuery& query,
   QueryStats* st = stats != nullptr ? stats : &local_stats;
   *st = QueryStats();
   QueryTrace* trace = BeginQueryTrace();
+  graph_cursor_.ResetIo();
 
   // Full-query result cache (DESIGN.md §9). EXPLAIN always executes the
   // uncached sequential path — a cached answer has no candidate rows.
@@ -76,24 +77,27 @@ Result<KspResult> QueryExecutor::ExecuteSpatialFirst(const KspQuery& query,
   {
     TraceSpan span(trace, TracePhase::kDocFetch);
     KSP_RETURN_NOT_OK(PrepareContext(query, &ctx));
+    FoldIo(ctx.io, st);
   }
 
   double semantic_seconds = 0.0;
   TopKHeap heap(query.k);
   if (ctx.answerable && UsePipeline()) {
-    EnsurePipeline()->RunSpatialFirst(query, ctx, use_rule1, use_rule2,
-                                      total_timer, &heap, st,
-                                      &semantic_seconds, trace);
+    KSP_RETURN_NOT_OK(EnsurePipeline()->RunSpatialFirst(
+        query, ctx, use_rule1, use_rule2, total_timer, &heap, st,
+        &semantic_seconds, trace));
   } else if (ctx.answerable) {
     ExplainTermination("exhausted");
-    NearestIterator iterator(db_->rtree_ptr(), query.location);
+    NearestIterator iterator(db_->spatial_accessor(), query.location);
     NearestIterator::Item item;
+    PageIoCounters folded_nn_io;
     for (;;) {
       bool has_item;
       {
         TraceSpan span(trace, TracePhase::kRtreeNn);
         has_item = iterator.Next(&item);
         span.AddItems(1);
+        FoldIoDelta(iterator.io(), &folded_nn_io, st);
       }
       if (!has_item) break;
       if (total_timer.ElapsedMillis() > options.time_limit_ms) {
@@ -183,6 +187,7 @@ Result<KspResult> QueryExecutor::ExecuteSpatialFirst(const KspQuery& query,
                                 &tree, st);
         span.AddItems(st->vertices_visited - visited_before);
       }
+      KSP_RETURN_NOT_OK(graph_cursor_.status);
       if (looseness == kInf) {  // Unqualified or Rule-2 pruned.
         const bool rule2 = st->pruned_dynamic_bound > rule2_before;
         if (rule2 && trace != nullptr) {
@@ -211,6 +216,7 @@ Result<KspResult> QueryExecutor::ExecuteSpatialFirst(const KspQuery& query,
       entry.tree = std::move(tree);
       heap.Add(std::move(entry));
     }
+    KSP_RETURN_NOT_OK(iterator.status());
     st->rtree_nodes_accessed = iterator.nodes_accessed();
   } else {
     ExplainTermination("unanswerable");

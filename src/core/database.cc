@@ -1,6 +1,7 @@
 #include "core/database.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <system_error>
 #include <utility>
@@ -9,6 +10,7 @@
 #include "common/logging.h"
 #include "common/timer.h"
 #include "common/varint.h"
+#include "storage/disk_graph.h"
 
 namespace ksp {
 
@@ -114,12 +116,126 @@ KspDatabase::KspDatabase(const KnowledgeBase* kb, KspOptions options)
       options_(options),
       inverted_(options.inverted_index != nullptr
                     ? options.inverted_index
-                    : &kb->inverted_index()) {
+                    : &kb->inverted_index()),
+      mem_graph_(&kb->graph()),
+      mem_postings_(inverted_) {
   KSP_CHECK(kb_ != nullptr);
   if (options_.cache_budget_bytes != 0) {
     cache_ =
         std::make_unique<SemanticQueryCache>(options_.cache_budget_bytes);
   }
+  // Spill the KB-derived files (graph, postings) up front so their cost
+  // lands in construction, not in the first query; the paged R-tree
+  // follows each BuildRTree/LoadIndexes.
+  RefreshDiskBackend();
+}
+
+KspDatabase::~KspDatabase() {
+  std::string directory;
+  bool remove = false;
+  if (disk_ != nullptr) {
+    directory = disk_->directory;
+    remove = disk_->owns_directory;
+  }
+  // Accessors drop their pool registrations before the pool dies.
+  disk_.reset();
+  if (remove && !directory.empty()) {
+    std::error_code ec;
+    std::filesystem::remove_all(directory, ec);
+  }
+}
+
+void KspDatabase::RefreshSpatialAccessor() {
+  if (rtree_ != nullptr) {
+    mem_spatial_ = std::make_unique<MemorySpatialAccessor>(rtree_.get());
+  } else {
+    mem_spatial_.reset();
+  }
+}
+
+void KspDatabase::RefreshDiskBackend() {
+  if (options_.backend != StorageBackend::kDisk) return;
+  disk_status_ = BuildDiskBackendState();
+}
+
+Status KspDatabase::BuildDiskBackendState() {
+  if (disk_ == nullptr) {
+    auto state = std::make_unique<DiskBackendState>(options_);
+    if (options_.spill_directory.empty()) {
+      std::string templ =
+          (std::filesystem::temp_directory_path() / "ksp-spill-XXXXXX")
+              .string();
+      std::vector<char> buf(templ.begin(), templ.end());
+      buf.push_back('\0');
+      if (::mkdtemp(buf.data()) == nullptr) {
+        return Status::IOError("cannot create spill directory: " + templ);
+      }
+      state->directory = buf.data();
+      state->owns_directory = true;
+    } else {
+      state->directory = options_.spill_directory;
+      std::error_code ec;
+      std::filesystem::create_directories(state->directory, ec);
+    }
+    disk_ = std::move(state);
+  }
+  const std::string& dir = disk_->directory;
+  const uint32_t page_size = options_.buffer_pool_page_size;
+
+  // The adjacency files and postings describe the immutable KB: written
+  // once per database.
+  if (disk_->graph == nullptr) {
+    const std::string out_path = dir + "/graph-out.bin";
+    const std::string in_path = dir + "/graph-in.bin";
+    KSP_RETURN_NOT_OK(DiskGraph::Write(kb_->graph(), out_path, page_size));
+    KSP_RETURN_NOT_OK(
+        DiskGraph::WriteTranspose(kb_->graph(), in_path, page_size));
+    KSP_ASSIGN_OR_RETURN(
+        disk_->graph,
+        DiskGraphAccessor::Open(out_path, in_path, &disk_->pool));
+  }
+  // An externally supplied InvertedIndex (e.g. a caller-managed
+  // DiskInvertedIndex) cannot be re-serialized generically; it keeps
+  // serving through the memory accessor and does its own I/O.
+  if (disk_->postings == nullptr && inverted_ == &kb_->inverted_index()) {
+    const std::string path = dir + "/postings.bin";
+    KSP_RETURN_NOT_OK(DiskInvertedIndex::Write(kb_->inverted_index(), path));
+    KSP_ASSIGN_OR_RETURN(disk_->postings,
+                         DiskPostingsAccessor::Open(path, &disk_->pool));
+  }
+  // Node ids are specific to one R-tree build: rewrite on every change.
+  disk_->rtree.reset();
+  if (rtree_ != nullptr) {
+    const std::string path = dir + "/rtree.bin";
+    KSP_RETURN_NOT_OK(PagedRTree::Write(*rtree_, path, page_size));
+    KSP_ASSIGN_OR_RETURN(disk_->rtree,
+                         PagedRTree::Open(path, &disk_->pool));
+  }
+  return Status::OK();
+}
+
+const GraphAccessor& KspDatabase::graph_accessor() const {
+  if (options_.backend == StorageBackend::kDisk && disk_status_.ok() &&
+      disk_ != nullptr && disk_->graph != nullptr) {
+    return *disk_->graph;
+  }
+  return mem_graph_;
+}
+
+const SpatialAccessor* KspDatabase::spatial_accessor() const {
+  if (options_.backend == StorageBackend::kDisk && disk_status_.ok() &&
+      disk_ != nullptr && disk_->rtree != nullptr) {
+    return disk_->rtree.get();
+  }
+  return mem_spatial_.get();
+}
+
+const PostingsAccessor& KspDatabase::postings_accessor() const {
+  if (options_.backend == StorageBackend::kDisk && disk_status_.ok() &&
+      disk_ != nullptr && disk_->postings != nullptr) {
+    return *disk_->postings;
+  }
+  return mem_postings_;
 }
 
 void KspDatabase::BuildRTree() {
@@ -143,6 +259,8 @@ void KspDatabase::BuildRTree() {
     rtree_ = std::make_shared<const RTree>(std::move(tree));
   }
   prep_times_.rtree_s = timer.ElapsedSeconds();
+  RefreshSpatialAccessor();
+  RefreshDiskBackend();
 }
 
 void KspDatabase::BuildReachabilityIndex() {
@@ -253,6 +371,8 @@ Status KspDatabase::LoadIndexes(const std::string& directory,
     rtree_.reset();
     reach_.reset();
     alpha_.reset();
+    RefreshSpatialAccessor();
+    RefreshDiskBackend();
     return st;
   };
 
@@ -322,6 +442,8 @@ Status KspDatabase::LoadIndexes(const std::string& directory,
           "manifest lists unknown artifact \"" + e.name + "\""));
     }
   }
+  RefreshSpatialAccessor();
+  RefreshDiskBackend();
   return Status::OK();
 }
 
@@ -331,6 +453,8 @@ Status KspDatabase::LoadLegacyLayout(const std::string& directory,
     rtree_.reset();
     reach_.reset();
     alpha_.reset();
+    RefreshSpatialAccessor();
+    RefreshDiskBackend();
     return st;
   };
   // Pre-manifest layout: fixed filenames, no cross-file verification.
@@ -367,6 +491,8 @@ Status KspDatabase::LoadLegacyLayout(const std::string& directory,
     }
     alpha_ = std::make_shared<const AlphaIndex>(std::move(*alpha));
   }
+  RefreshSpatialAccessor();
+  RefreshDiskBackend();
   return Status::OK();
 }
 

@@ -8,15 +8,31 @@
 #include "alpha/alpha_index.h"
 #include "common/result.h"
 #include "common/types.h"
+#include "core/accessors.h"
 #include "core/query.h"
 #include "core/ranking.h"
 #include "core/semantic_cache.h"
 #include "rdf/knowledge_base.h"
 #include "reach/reachability_index.h"
+#include "spatial/paged_rtree.h"
 #include "spatial/rtree.h"
+#include "storage/shared_buffer_pool.h"
 #include "text/inverted_index.h"
 
 namespace ksp {
+
+/// Which physical representation the query algorithms read indexes
+/// from. Both run the exact same algorithm code through the accessor
+/// seams (GraphAccessor / SpatialAccessor / PostingsAccessor); results,
+/// prune decisions, and committed counters are backend-invariant.
+enum class StorageBackend {
+  /// Everything memory-resident (CSR graph, RTree, memory postings).
+  kMemory,
+  /// Graph adjacency, R-tree nodes, and postings are disk pages pulled
+  /// through one byte-budgeted SharedBufferPool; only offset tables
+  /// stay in memory. For datasets much larger than RAM.
+  kDisk,
+};
 
 /// Configuration shared by every query on one KspDatabase. The pruning
 /// toggles exist for the ablation study; the shipped defaults reproduce
@@ -57,6 +73,22 @@ struct KspOptions {
   /// entirely — semantic_cache() is then nullptr and the query path is
   /// byte-identical to the pre-cache code; kCacheUnlimited never evicts.
   size_t cache_budget_bytes = 0;
+
+  /// Storage backend the query algorithms read through (DESIGN.md §10).
+  /// kDisk spills the graph, R-tree, and postings to paged files under
+  /// `spill_directory` during preparation and serves queries from a
+  /// SharedBufferPool of `buffer_pool_budget_bytes`. Reachability labels
+  /// and the α-index stay memory-resident on both backends (they are
+  /// small bitset-style summaries, not data-proportional pages).
+  StorageBackend backend = StorageBackend::kMemory;
+  /// Byte budget of the shared page pool (disk backend only).
+  uint64_t buffer_pool_budget_bytes = 32ULL << 20;
+  /// Page size of the spill files and pool (disk backend only).
+  uint32_t buffer_pool_page_size = 4096;
+  /// Directory for the disk backend's spill files. Empty (default)
+  /// creates a private temp directory, removed when the database is
+  /// destroyed; a caller-provided directory is left in place.
+  std::string spill_directory;
 };
 
 /// Wall-clock cost of each preprocessing step (Table 5).
@@ -82,6 +114,7 @@ class KspDatabase {
   explicit KspDatabase(const KnowledgeBase* kb)
       : KspDatabase(kb, KspOptions()) {}
   KspDatabase(const KnowledgeBase* kb, KspOptions options);
+  ~KspDatabase();
 
   KspDatabase(const KspDatabase&) = delete;
   KspDatabase& operator=(const KspDatabase&) = delete;
@@ -154,6 +187,34 @@ class KspDatabase {
   const KspOptions& options() const { return options_; }
   const InvertedIndex& inverted_index() const { return *inverted_; }
 
+  /// ---- Storage-backend seams (DESIGN.md §10) ----
+  ///
+  /// Every query algorithm reads the graph, R-tree, and postings through
+  /// these accessors. On kMemory they are zero-copy views of the
+  /// in-memory indexes; on kDisk they resolve to the spill-file
+  /// implementations once preparation has written them (falling back to
+  /// the memory views if the disk backend failed to come up — queries
+  /// are then rejected via storage_backend_status()).
+
+  const GraphAccessor& graph_accessor() const;
+  /// Nullptr until the R-tree is built/loaded (same condition as
+  /// has_rtree()).
+  const SpatialAccessor* spatial_accessor() const;
+  const PostingsAccessor& postings_accessor() const;
+
+  /// The page pool the disk backend reads through, or nullptr on the
+  /// in-memory backend. Thread-safe; exposed for Stats() snapshots.
+  SharedBufferPool* buffer_pool() const {
+    return disk_ != nullptr ? &disk_->pool : nullptr;
+  }
+
+  /// OK when the configured backend can serve queries: always on
+  /// kMemory; on kDisk, once preparation has spilled the indexes and
+  /// opened the paged accessors. Executors surface this from
+  /// CheckPrepared so a failed spill is a clean query error rather than
+  /// a silent fallback to memory.
+  Status storage_backend_status() const { return disk_status_; }
+
   /// The shared cross-query semantic cache, or nullptr when
   /// options().cache_budget_bytes == 0. Thread-safe; executors consult it
   /// on the query path and every index (re)build invalidates it.
@@ -167,9 +228,39 @@ class KspDatabase {
                      uint32_t k) const;
 
  private:
+  /// Everything the disk backend owns. The pool is declared first so it
+  /// is destroyed last: the accessors deregister their files from it in
+  /// their destructors.
+  struct DiskBackendState {
+    explicit DiskBackendState(const KspOptions& options)
+        : pool(options.buffer_pool_budget_bytes,
+               options.buffer_pool_page_size) {}
+
+    SharedBufferPool pool;
+    /// Spill directory; owned (created + removed by the database) when
+    /// KspOptions::spill_directory was empty.
+    std::string directory;
+    bool owns_directory = false;
+    std::unique_ptr<DiskGraphAccessor> graph;
+    std::unique_ptr<DiskPostingsAccessor> postings;
+    std::unique_ptr<PagedRTree> rtree;
+  };
+
   /// Pre-manifest fallback for LoadIndexes (fixed filenames, no
   /// cross-file verification).
   Status LoadLegacyLayout(const std::string& directory, FileSystem* fs);
+
+  /// Rebinds mem_spatial_ to the current rtree_; call wherever rtree_
+  /// is (re)assigned or dropped.
+  void RefreshSpatialAccessor();
+
+  /// On kDisk: spills any not-yet-spilled index to the backend
+  /// directory, (re)opens the paged accessors, and records the outcome
+  /// in disk_status_. The graph and postings are written once; the
+  /// paged R-tree is rewritten whenever rtree_ changes (node ids are
+  /// generation-specific). No-op on kMemory.
+  void RefreshDiskBackend();
+  Status BuildDiskBackendState();
 
   /// Drops every cached distance/result: index changes invalidate both
   /// cache layers (stale distances would silently corrupt looseness).
@@ -186,6 +277,16 @@ class KspDatabase {
   std::shared_ptr<const AlphaIndex> alpha_;
   std::unique_ptr<SemanticQueryCache> cache_;
   PreprocessingTimes prep_times_;
+
+  /// Always-available zero-copy views of the in-memory indexes (the
+  /// kMemory backend, and the fallback while kDisk is not ready).
+  MemoryGraphAccessor mem_graph_;
+  MemoryPostingsAccessor mem_postings_;
+  std::unique_ptr<MemorySpatialAccessor> mem_spatial_;
+
+  std::unique_ptr<DiskBackendState> disk_;
+  /// Sticky result of the last RefreshDiskBackend(); OK on kMemory.
+  Status disk_status_;
 };
 
 }  // namespace ksp

@@ -114,6 +114,12 @@ void QueryExecutor::set_metrics(MetricsRegistry* registry) {
   metrics_.cache_evictions =
       registry->GetCounter("ksp_cache_evictions_total");
   metrics_.cache_bytes = registry->GetGauge("ksp_cache_bytes_total");
+  metrics_.bufferpool_hits =
+      registry->GetCounter("ksp_bufferpool_hits_total");
+  metrics_.bufferpool_misses =
+      registry->GetCounter("ksp_bufferpool_misses_total");
+  metrics_.bufferpool_evictions =
+      registry->GetCounter("ksp_bufferpool_evictions_total");
   metrics_.wall_us = registry->GetCounter("ksp_query_wall_us_total");
   metrics_.semantic_us =
       registry->GetCounter("ksp_query_semantic_us_total");
@@ -144,6 +150,9 @@ void QueryExecutor::RecordQueryMetrics(const QueryStats& stats) {
   metrics_.cache_misses->Increment(stats.dg_cache_misses +
                                    stats.result_cache_misses);
   metrics_.cache_evictions->Increment(stats.cache_evictions);
+  metrics_.bufferpool_hits->Increment(stats.bufferpool_hits);
+  metrics_.bufferpool_misses->Increment(stats.bufferpool_misses);
+  metrics_.bufferpool_evictions->Increment(stats.bufferpool_evictions);
   if (const SemanticQueryCache* cache = db_->semantic_cache();
       cache != nullptr) {
     metrics_.cache_bytes->Set(static_cast<double>(cache->TotalBytes()));
@@ -167,7 +176,28 @@ Status QueryExecutor::CheckPrepared() const {
         "database is not prepared: call KspDatabase::BuildRTree() / "
         "PrepareAll() / LoadIndexes() before executing queries");
   }
-  return Status::OK();
+  // A disk backend that failed to spill must reject queries rather than
+  // silently serving from memory.
+  return db_->storage_backend_status();
+}
+
+void QueryExecutor::FoldIo(const PageIoCounters& io, QueryStats* stats) {
+  if (io.IsZero()) return;
+  if (stats != nullptr) stats->AddPageIo(io);
+  if (QueryTrace* trace = active_trace(); trace != nullptr) {
+    trace->AddChildTime(TracePhase::kPageIo, io.micros, io.Fetches());
+  }
+}
+
+void QueryExecutor::FoldIoDelta(const PageIoCounters& cumulative,
+                                PageIoCounters* folded, QueryStats* stats) {
+  PageIoCounters delta;
+  delta.hits = cumulative.hits - folded->hits;
+  delta.misses = cumulative.misses - folded->misses;
+  delta.evictions = cumulative.evictions - folded->evictions;
+  delta.micros = cumulative.micros - folded->micros;
+  FoldIo(delta, stats);
+  *folded = cumulative;
 }
 
 uint32_t QueryExecutor::BeginBfsEpoch() {
@@ -189,6 +219,7 @@ Status QueryExecutor::PrepareContext(const KspQuery& query,
   ctx->owned_postings.clear();
   ctx->rarest_first.clear();
   ctx->answerable = true;
+  ctx->io = PageIoCounters();
 
   // Deduplicate keywords, preserving query order.
   for (TermId t : query.keywords) {
@@ -209,20 +240,18 @@ Status QueryExecutor::PrepareContext(const KspQuery& query,
   ctx->full_mask = (m == 64) ? ~uint64_t{0} : ((uint64_t{1} << m) - 1);
 
   // Load posting lists and build M_q.ψ (vertex -> covered-keyword mask).
-  // Memory-resident indexes hand out zero-copy views; only the disk index
-  // pays for a per-query copy (into owned_postings, whose inner buffers
-  // stay put when the outer vector grows).
-  const InvertedIndex& inverted = db_->inverted_index();
+  // The memory accessor hands out zero-copy views; disk accessors decode
+  // into owned_postings (whose inner buffers stay put when the outer
+  // vector grows) through the shared buffer pool.
+  const PostingsAccessor& postings = db_->postings_accessor();
   ctx->postings.resize(m);
   for (size_t i = 0; i < m; ++i) {
-    if (auto view = inverted.PostingsSpan(ctx->terms[i]); view.has_value()) {
-      ctx->postings[i] = *view;
-    } else {
-      ctx->owned_postings.emplace_back();
-      KSP_RETURN_NOT_OK(inverted.GetPostings(ctx->terms[i],
-                                             &ctx->owned_postings.back()));
-      ctx->postings[i] = ctx->owned_postings.back();
-    }
+    ctx->owned_postings.emplace_back();
+    std::span<const VertexId> view;
+    KSP_RETURN_NOT_OK(postings.Fetch(ctx->terms[i],
+                                     &ctx->owned_postings.back(), &view,
+                                     &ctx->io));
+    ctx->postings[i] = view;
     if (ctx->postings[i].empty()) ctx->answerable = false;
     for (VertexId v : ctx->postings[i]) {
       ctx->vertex_mask[v] |= uint64_t{1} << i;
@@ -264,7 +293,7 @@ double QueryExecutor::ComputeTqsp(VertexId root, const QueryContext& ctx,
   // Queue of (vertex, distance); BFS pops in non-decreasing distance.
   std::vector<std::pair<VertexId, uint32_t>> queue;
   queue.emplace_back(root, 0);
-  const Graph& graph = db_->kb().graph();
+  const GraphAccessor& graph = db_->graph_accessor();
   const bool undirected = db_->options().undirected_edges;
 
   bool pruned = false;
@@ -317,7 +346,7 @@ double QueryExecutor::ComputeTqsp(VertexId root, const QueryContext& ctx,
       if (remaining == 0) break;
     }
 
-    for (VertexId w : graph.OutNeighbors(v)) {
+    for (VertexId w : graph.OutNeighbors(v, &graph_cursor_)) {
       if (visit_epoch_[w] != epoch) {
         visit_epoch_[w] = epoch;
         bfs_parent_[w] = v;
@@ -325,7 +354,7 @@ double QueryExecutor::ComputeTqsp(VertexId root, const QueryContext& ctx,
       }
     }
     if (undirected) {
-      for (VertexId w : graph.InNeighbors(v)) {
+      for (VertexId w : graph.InNeighbors(v, &graph_cursor_)) {
         if (visit_epoch_[w] != epoch) {
           visit_epoch_[w] = epoch;
           bfs_parent_[w] = v;
@@ -336,6 +365,7 @@ double QueryExecutor::ComputeTqsp(VertexId root, const QueryContext& ctx,
   }
 
   if (pruned && stats != nullptr) ++stats->pruned_dynamic_bound;
+  FoldCursorIo(&graph_cursor_.io, stats);
 
   // Feed the shared dg cache (DESIGN.md §9). Every recorded match is the
   // exact minimal distance — BFS pops in non-decreasing distance and a
@@ -343,8 +373,10 @@ double QueryExecutor::ComputeTqsp(VertexId root, const QueryContext& ctx,
   // a speculative live-θ abort) stopped the search afterwards. An
   // un-pruned exhaustion additionally proves the uncovered keywords
   // unreachable, which is cached as kUnreachable (a negative answer).
+  // A page-read failure truncated the expansion: nothing this run
+  // recorded is trustworthy, and the query is about to fail anyway.
   if (SemanticQueryCache* cache = db_->semantic_cache();
-      cache != nullptr) {
+      cache != nullptr && graph_cursor_.status.ok()) {
     size_t evicted = 0;
     for (const Match& m : matches) {
       evicted +=
@@ -437,8 +469,11 @@ Result<TiedSemanticPlace> QueryExecutor::ComputeTqspAlternatives(
   TiedSemanticPlace out;
   out.place = place;
   out.root = db_->kb().place_vertex(place);
+  KSP_RETURN_NOT_OK(db_->storage_backend_status());
+  graph_cursor_.ResetIo();
   QueryContext ctx;
   KSP_RETURN_NOT_OK(PrepareContext(query, &ctx));
+  FoldIo(ctx.io, nullptr);
   if (!ctx.answerable) return out;
 
   const size_t m = ctx.terms.size();
@@ -451,7 +486,7 @@ Result<TiedSemanticPlace> QueryExecutor::ComputeTqspAlternatives(
   visit_epoch_[out.root] = epoch;
   std::vector<std::pair<VertexId, uint32_t>> queue;
   queue.emplace_back(out.root, 0);
-  const Graph& graph = db_->kb().graph();
+  const GraphAccessor& graph = db_->graph_accessor();
   const bool undirected = db_->options().undirected_edges;
 
   for (size_t qi = 0; qi < queue.size(); ++qi) {
@@ -473,14 +508,14 @@ Result<TiedSemanticPlace> QueryExecutor::ComputeTqspAlternatives(
       }
       if (dist == min_dist[i]) alternatives[i].push_back(v);
     }
-    for (VertexId w : graph.OutNeighbors(v)) {
+    for (VertexId w : graph.OutNeighbors(v, &graph_cursor_)) {
       if (visit_epoch_[w] != epoch) {
         visit_epoch_[w] = epoch;
         queue.emplace_back(w, dist + 1);
       }
     }
     if (undirected) {
-      for (VertexId w : graph.InNeighbors(v)) {
+      for (VertexId w : graph.InNeighbors(v, &graph_cursor_)) {
         if (visit_epoch_[w] != epoch) {
           visit_epoch_[w] = epoch;
           queue.emplace_back(w, dist + 1);
@@ -488,6 +523,8 @@ Result<TiedSemanticPlace> QueryExecutor::ComputeTqspAlternatives(
       }
     }
   }
+  FoldCursorIo(&graph_cursor_.io, nullptr);
+  KSP_RETURN_NOT_OK(graph_cursor_.status);
 
   if (found != m) return out;  // Unqualified.
   out.looseness = 1.0;
@@ -506,11 +543,15 @@ Result<SemanticPlaceTree> QueryExecutor::ComputeTqspForPlace(
   SemanticPlaceTree tree;
   tree.place = place;
   tree.root = db_->kb().place_vertex(place);
+  KSP_RETURN_NOT_OK(db_->storage_backend_status());
+  graph_cursor_.ResetIo();
   QueryContext ctx;
   KSP_RETURN_NOT_OK(PrepareContext(query, &ctx));
+  FoldIo(ctx.io, nullptr);
   if (!ctx.answerable) return tree;
   ComputeTqsp(tree.root, ctx, kInf, /*use_dynamic_bound=*/false, &tree,
               nullptr);
+  KSP_RETURN_NOT_OK(graph_cursor_.status);
   tree.place = place;
   return tree;
 }

@@ -204,6 +204,8 @@ class QueryExecutor {
     std::vector<std::span<const VertexId>> postings;
     std::vector<std::vector<VertexId>> owned_postings;
     std::vector<uint32_t> rarest_first;  // keyword idxs by posting length
+    /// Page I/O of the posting fetches (disk backend; zero on memory).
+    PageIoCounters io;
 
     uint64_t MaskOf(VertexId v) const {
       auto it = vertex_mask.find(v);
@@ -262,6 +264,24 @@ class QueryExecutor {
   /// epoch and corrupt TQSP construction).
   uint32_t BeginBfsEpoch();
 
+  /// ---- Page-I/O folding (disk backend; all no-ops when io is zero) ----
+
+  /// Folds externally measured page-I/O into the query's stats and the
+  /// active trace's `page_io` phase. Call while the trace span that
+  /// contained the I/O is still open, so the exclusive-time partition
+  /// stays intact (see QueryTrace::AddChildTime).
+  void FoldIo(const PageIoCounters& io, QueryStats* stats);
+  /// FoldIo for an owned cursor counter: folds, then zeroes it.
+  void FoldCursorIo(PageIoCounters* io, QueryStats* stats) {
+    FoldIo(*io, stats);
+    *io = PageIoCounters();
+  }
+  /// FoldIo for a cumulative counter read through a const ref (e.g.
+  /// NearestIterator::io()): folds only the growth since `*folded`, then
+  /// advances the snapshot.
+  void FoldIoDelta(const PageIoCounters& cumulative, PageIoCounters* folded,
+                   QueryStats* stats);
+
   /// ---- Observability internals ----
 
   /// Cached metric handles (resolved once in set_metrics; the query path
@@ -280,6 +300,9 @@ class QueryExecutor {
     Counter* cache_misses = nullptr;
     Counter* cache_evictions = nullptr;
     Gauge* cache_bytes = nullptr;
+    Counter* bufferpool_hits = nullptr;
+    Counter* bufferpool_misses = nullptr;
+    Counter* bufferpool_evictions = nullptr;
     Counter* wall_us = nullptr;
     Counter* semantic_us = nullptr;
     Counter* phase_us[kNumTracePhases] = {};
@@ -334,6 +357,13 @@ class QueryExecutor {
   std::vector<uint32_t> visit_epoch_;
   std::vector<VertexId> bfs_parent_;
   uint32_t epoch_ = 0;
+
+  /// Storage-accessor scratch (per-executor, like the BFS arrays). The
+  /// graph cursor's sticky status is reset at each Execute* entry and
+  /// checked after every BFS — a page-read failure surfaces as a query
+  /// error instead of a silently truncated expansion.
+  GraphCursor graph_cursor_;
+  SpatialCursor spatial_cursor_;
 
   /// Observability state. The internal trace is aggregate-only scratch
   /// (record_spans off) used when metrics are attached without a trace.

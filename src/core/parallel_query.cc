@@ -33,6 +33,20 @@ struct AlphaQueueOrder {
   }
 };
 
+/// Member-wise `cumulative - *snapshot`, advancing the snapshot — the
+/// producer folds cumulative iterator/cursor counters incrementally so
+/// each delta lands in the trace exactly once.
+PageIoCounters TakeIoDelta(const PageIoCounters& cumulative,
+                           PageIoCounters* snapshot) {
+  PageIoCounters delta;
+  delta.hits = cumulative.hits - snapshot->hits;
+  delta.misses = cumulative.misses - snapshot->misses;
+  delta.evictions = cumulative.evictions - snapshot->evictions;
+  delta.micros = cumulative.micros - snapshot->micros;
+  *snapshot = cumulative;
+  return delta;
+}
+
 }  // namespace
 
 IntraQueryPipeline::IntraQueryPipeline(const KspDatabase* db,
@@ -78,12 +92,12 @@ void IntraQueryPipeline::ProducerLoop() {
     seen_generation = generation_;
     const Mode mode = mode_;
     lock.unlock();
-    if (mode == Mode::kSpatialFirst) {
-      ProduceSpatialFirst();
-    } else {
-      ProduceAlphaOrdered();
-    }
+    const Status status = mode == Mode::kSpatialFirst ? ProduceSpatialFirst()
+                                                      : ProduceAlphaOrdered();
     lock.lock();
+    producer_page_io_.Add(producer_cursor_.io);
+    producer_cursor_.io = PageIoCounters();
+    if (!status.ok() && run_status_.ok()) run_status_ = status;
     producer_done_ = true;
     --active_;
     cv_.notify_all();
@@ -154,12 +168,13 @@ bool IntraQueryPipeline::EmitSlot(std::unique_lock<std::mutex>& lock,
   return true;
 }
 
-void IntraQueryPipeline::ProduceSpatialFirst() {
+Status IntraQueryPipeline::ProduceSpatialFirst() {
   const KspOptions& options = db_->options();
   QueryTrace* ptrace = tracing_ ? &producer_trace_ : nullptr;
-  BatchedNearestIterator iterator(db_->rtree_ptr(), query_->location);
+  BatchedNearestIterator iterator(db_->spatial_accessor(), query_->location);
   std::vector<BatchedNearestIterator::BatchItem> batch;
   batch.reserve(kProducerBatchSize);
+  PageIoCounters io_snapshot;
   bool stop_stream = false;
   while (!stop_stream) {
     batch.clear();
@@ -168,6 +183,12 @@ void IntraQueryPipeline::ProduceSpatialFirst() {
       TraceSpan span(ptrace, TracePhase::kRtreeNn);
       fetched = iterator.NextBatch(kProducerBatchSize, &batch);
       span.AddItems(fetched);
+      const PageIoCounters delta = TakeIoDelta(iterator.io(), &io_snapshot);
+      if (ptrace != nullptr && !delta.IsZero()) {
+        ptrace->AddChildTime(TracePhase::kPageIo, delta.micros,
+                             delta.Fetches());
+      }
+      producer_cursor_.io.Add(delta);
     }
     if (fetched == 0) break;
     std::unique_lock<std::mutex> lock(mu_);
@@ -176,7 +197,7 @@ void IntraQueryPipeline::ProduceSpatialFirst() {
           options.ranking.MinScoreGivenSpatialDistance(bi.item.distance);
       if (!EmitSlot(lock, bi.item.is_node, bi.item.id, bi.item.distance,
                     score_bound, bi.nodes_accessed)) {
-        return;  // Run stopped (commit terminated / timed out).
+        return Status::OK();  // Run stopped (commit terminated/timed out).
       }
       // Sound early stop: θ only decreases, so if this item's bound
       // already meets the current θ it meets the (no larger) exact
@@ -192,14 +213,27 @@ void IntraQueryPipeline::ProduceSpatialFirst() {
   // Exact "R-tree nodes accessed" for the stream-exhausted case (commit
   // uses per-item snapshots for every other termination).
   producer_rtree_nodes_ = iterator.nodes_accessed();
+  return iterator.status();
 }
 
-void IntraQueryPipeline::ProduceAlphaOrdered() {
+Status IntraQueryPipeline::ProduceAlphaOrdered() {
   const KspOptions& options = db_->options();
-  const RTree& rtree = db_->rtree();
+  const SpatialAccessor& rtree = *db_->spatial_accessor();
   const AlphaIndex& alpha = *db_->alpha_index();
   const double alpha_plus_one = static_cast<double>(alpha.alpha() + 1);
   QueryTrace* ptrace = tracing_ ? &producer_trace_ : nullptr;
+  // Snapshot of producer_cursor_.io already credited to ptrace — reads
+  // fold their delta into the trace right where they happen, while the
+  // cumulative counters ride in the cursor until the producer parks.
+  PageIoCounters io_snapshot;
+  auto fold_read_io = [&] {
+    const PageIoCounters delta = TakeIoDelta(producer_cursor_.io,
+                                             &io_snapshot);
+    if (ptrace != nullptr && !delta.IsZero()) {
+      ptrace->AddChildTime(TracePhase::kPageIo, delta.micros,
+                           delta.Fetches());
+    }
+  };
 
   // Keep in sync with the sequential bound in sp.cc (Lemmas 2 and 4).
   auto alpha_looseness_bound = [&](uint32_t entry_id) {
@@ -216,7 +250,11 @@ void IntraQueryPipeline::ProduceAlphaOrdered() {
       pq;
   {
     const uint32_t root = rtree.root();
-    const Rect root_rect = rtree.node(root).BoundingRect();
+    Rect root_rect;
+    const Status root_status =
+        rtree.NodeRect(root, &producer_cursor_, &root_rect);
+    fold_read_io();
+    KSP_RETURN_NOT_OK(root_status);
     const double s_lb = MinDist(query_->location, root_rect);
     const double l_b = alpha_looseness_bound(alpha.NodeEntry(root));
     pq.push(AlphaQueueItem{options.ranking.Score(l_b, s_lb), s_lb,
@@ -231,11 +269,11 @@ void IntraQueryPipeline::ProduceAlphaOrdered() {
       std::unique_lock<std::mutex> lock(mu_);
       if (!EmitSlot(lock, /*is_node=*/false, item.id, item.spatial_lb,
                     item.score_bound, 0)) {
-        return;
+        return Status::OK();
       }
       // Same sound early stop as the spatial producer.
       if (item.score_bound >= theta_.load(std::memory_order_relaxed)) {
-        return;
+        return Status::OK();
       }
       continue;
     }
@@ -248,19 +286,24 @@ void IntraQueryPipeline::ProduceAlphaOrdered() {
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [&] { return stop_ || committed_ == produced_; });
-      if (stop_) return;
+      if (stop_) return Status::OK();
       if (total_timer_->ElapsedMillis() > options.time_limit_ms) {
         producer_timeout_ = true;
-        return;
+        return Status::OK();
       }
       if (item.score_bound >= theta_.load(std::memory_order_relaxed)) {
-        return;  // Termination (Algorithm 4, line 9): node not counted.
+        // Termination (Algorithm 4, line 9): node not counted.
+        return Status::OK();
       }
       ++producer_rtree_nodes_;
     }
     const double theta = theta_.load(std::memory_order_relaxed);
     TraceSpan span(ptrace, TracePhase::kRtreeNn);
-    const RTree::Node& node = rtree.node(static_cast<uint32_t>(item.id));
+    SpatialNodeRef node;
+    const Status node_status = rtree.ReadNode(
+        static_cast<uint32_t>(item.id), &producer_cursor_, &node);
+    fold_read_io();
+    KSP_RETURN_NOT_OK(node_status);
     span.AddItems(node.entries.size());
     for (const RTree::Entry& e : node.entries) {
       const double s_lb = MinDist(query_->location, e.rect);
@@ -280,6 +323,7 @@ void IntraQueryPipeline::ProduceAlphaOrdered() {
       pq.push(AlphaQueueItem{f_b, s_lb, !node.is_leaf, e.id});
     }
   }
+  return Status::OK();
 }
 
 void IntraQueryPipeline::ProcessCandidate(size_t worker_index, Slot* slot) {
@@ -325,6 +369,18 @@ void IntraQueryPipeline::ProcessCandidate(size_t worker_index, Slot* slot) {
   if (local.cache_evictions != 0) {
     spec_cache_evictions_.fetch_add(local.cache_evictions,
                                     std::memory_order_relaxed);
+  }
+  // Disk backend: the worker's BFS page-I/O was folded into `local` by
+  // ComputeTqsp; surface it run-wide (interleaving-dependent, like the
+  // wasted-speculation count).
+  if (local.bufferpool_hits != 0 || local.bufferpool_misses != 0 ||
+      local.bufferpool_evictions != 0) {
+    spec_bufferpool_hits_.fetch_add(local.bufferpool_hits,
+                                    std::memory_order_relaxed);
+    spec_bufferpool_misses_.fetch_add(local.bufferpool_misses,
+                                      std::memory_order_relaxed);
+    spec_bufferpool_evictions_.fetch_add(local.bufferpool_evictions,
+                                         std::memory_order_relaxed);
   }
 }
 
@@ -408,12 +464,12 @@ void IntraQueryPipeline::CommitLoop(std::unique_lock<std::mutex>& lock,
   }
 }
 
-void IntraQueryPipeline::Run(Mode mode, const KspQuery& query,
-                             const QueryExecutor::QueryContext& ctx,
-                             bool use_rule1, bool use_rule2,
-                             const Timer& total_timer, TopKHeap* heap,
-                             QueryStats* stats, double* semantic_seconds,
-                             QueryTrace* trace) {
+Status IntraQueryPipeline::Run(Mode mode, const KspQuery& query,
+                               const QueryExecutor::QueryContext& ctx,
+                               bool use_rule1, bool use_rule2,
+                               const Timer& total_timer, TopKHeap* heap,
+                               QueryStats* stats, double* semantic_seconds,
+                               QueryTrace* trace) {
   std::unique_lock<std::mutex> lock(mu_);
   mode_ = mode;
   query_ = &query;
@@ -425,13 +481,24 @@ void IntraQueryPipeline::Run(Mode mode, const KspQuery& query,
   produced_ = committed_ = claim_cursor_ = 0;
   producer_done_ = producer_timeout_ = stop_ = false;
   producer_rtree_nodes_ = producer_pruned_rule3_ = producer_pruned_rule4_ = 0;
+  producer_cursor_.io = PageIoCounters();
+  producer_page_io_ = PageIoCounters();
+  run_status_ = Status::OK();
   theta_.store(heap->Threshold(), std::memory_order_relaxed);
   spec_tqsp_runs_.store(0, std::memory_order_relaxed);
   spec_cache_evictions_.store(0, std::memory_order_relaxed);
+  spec_bufferpool_hits_.store(0, std::memory_order_relaxed);
+  spec_bufferpool_misses_.store(0, std::memory_order_relaxed);
+  spec_bufferpool_evictions_.store(0, std::memory_order_relaxed);
   producer_trace_.Clear();
   for (size_t i = 0; i < worker_traces_.size(); ++i) {
     worker_traces_[i]->Clear();
     worker_semantic_s_[i] = 0.0;
+    // Workers fold their BFS page-I/O through their executor's active
+    // trace; point it at the per-worker aggregate (or detach when the
+    // run is untraced) and clear any sticky error from a prior run.
+    worker_execs_[i]->set_trace(tracing_ ? worker_traces_[i].get() : nullptr);
+    worker_execs_[i]->graph_cursor_.ResetIo();
   }
   active_ = worker_execs_.size() + 1;
   ++generation_;
@@ -451,7 +518,19 @@ void IntraQueryPipeline::Run(Mode mode, const KspQuery& query,
       stats->tqsp_computations;
   stats->cache_evictions +=
       spec_cache_evictions_.load(std::memory_order_relaxed);
+  stats->AddPageIo(producer_page_io_);
+  stats->bufferpool_hits +=
+      spec_bufferpool_hits_.load(std::memory_order_relaxed);
+  stats->bufferpool_misses +=
+      spec_bufferpool_misses_.load(std::memory_order_relaxed);
+  stats->bufferpool_evictions +=
+      spec_bufferpool_evictions_.load(std::memory_order_relaxed);
   for (double seconds : worker_semantic_s_) *semantic_seconds += seconds;
+  for (const auto& exec : worker_execs_) {
+    if (run_status_.ok() && !exec->graph_cursor_.status.ok()) {
+      run_status_ = exec->graph_cursor_.status;
+    }
+  }
   if (trace != nullptr) {
     trace->MergeAggregates(producer_trace_);
     for (const auto& wt : worker_traces_) trace->MergeAggregates(*wt);
@@ -459,22 +538,23 @@ void IntraQueryPipeline::Run(Mode mode, const KspQuery& query,
   query_ = nullptr;
   ctx_ = nullptr;
   total_timer_ = nullptr;
+  return run_status_;
 }
 
-void IntraQueryPipeline::RunSpatialFirst(
+Status IntraQueryPipeline::RunSpatialFirst(
     const KspQuery& query, const QueryExecutor::QueryContext& ctx,
     bool use_rule1, bool use_rule2, const Timer& total_timer, TopKHeap* heap,
     QueryStats* stats, double* semantic_seconds, QueryTrace* trace) {
-  Run(Mode::kSpatialFirst, query, ctx, use_rule1, use_rule2, total_timer,
-      heap, stats, semantic_seconds, trace);
+  return Run(Mode::kSpatialFirst, query, ctx, use_rule1, use_rule2,
+             total_timer, heap, stats, semantic_seconds, trace);
 }
 
-void IntraQueryPipeline::RunAlphaOrdered(
+Status IntraQueryPipeline::RunAlphaOrdered(
     const KspQuery& query, const QueryExecutor::QueryContext& ctx,
     bool use_rule1, bool use_rule2, const Timer& total_timer, TopKHeap* heap,
     QueryStats* stats, double* semantic_seconds, QueryTrace* trace) {
-  Run(Mode::kAlphaOrdered, query, ctx, use_rule1, use_rule2, total_timer,
-      heap, stats, semantic_seconds, trace);
+  return Run(Mode::kAlphaOrdered, query, ctx, use_rule1, use_rule2,
+             total_timer, heap, stats, semantic_seconds, trace);
 }
 
 }  // namespace ksp

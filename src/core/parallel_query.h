@@ -9,11 +9,14 @@
 #include <thread>
 #include <vector>
 
+#include "common/io_stats.h"
+#include "common/status.h"
 #include "core/executor.h"
 #include "core/query.h"
 #include "core/semantic_place.h"
 #include "core/stats.h"
 #include "core/trace.h"
+#include "spatial/rtree.h"
 
 namespace ksp {
 
@@ -64,25 +67,26 @@ class IntraQueryPipeline {
   /// `heap` carries the (empty) top-k accumulator; `semantic_seconds`
   /// accrues summed worker TQSP time (may exceed wall time); `trace`, if
   /// non-null, receives producer/worker phase aggregates via
-  /// MergeAggregates.
-  void RunSpatialFirst(const KspQuery& query,
-                       const QueryExecutor::QueryContext& ctx,
-                       bool use_rule1, bool use_rule2,
-                       const Timer& total_timer, TopKHeap* heap,
-                       QueryStats* stats, double* semantic_seconds,
-                       QueryTrace* trace);
+  /// MergeAggregates. Returns non-OK when a disk-backend read failed on
+  /// the producer or any worker (results are then meaningless).
+  Status RunSpatialFirst(const KspQuery& query,
+                         const QueryExecutor::QueryContext& ctx,
+                         bool use_rule1, bool use_rule2,
+                         const Timer& total_timer, TopKHeap* heap,
+                         QueryStats* stats, double* semantic_seconds,
+                         QueryTrace* trace);
 
   /// SP: replaces the sequential loop of ExecuteSp (α pruning on, R-tree
   /// non-empty). Node expansions — whose Rule-3/4 tests and termination
   /// check need the exact θ — run on the producer behind a barrier that
   /// waits for every emitted place to commit; place TQSPs (the dominant
   /// cost) overlap across workers.
-  void RunAlphaOrdered(const KspQuery& query,
-                       const QueryExecutor::QueryContext& ctx,
-                       bool use_rule1, bool use_rule2,
-                       const Timer& total_timer, TopKHeap* heap,
-                       QueryStats* stats, double* semantic_seconds,
-                       QueryTrace* trace);
+  Status RunAlphaOrdered(const KspQuery& query,
+                         const QueryExecutor::QueryContext& ctx,
+                         bool use_rule1, bool use_rule2,
+                         const Timer& total_timer, TopKHeap* heap,
+                         QueryStats* stats, double* semantic_seconds,
+                         QueryTrace* trace);
 
  private:
   enum class Mode { kSpatialFirst, kAlphaOrdered };
@@ -119,15 +123,15 @@ class IntraQueryPipeline {
   /// Shared run protocol: installs the run state, wakes the fleet, runs
   /// the ordered commit on the calling thread, quiesces, and folds
   /// producer/worker side effects into `stats`/`semantic_seconds`/`trace`.
-  void Run(Mode mode, const KspQuery& query,
-           const QueryExecutor::QueryContext& ctx, bool use_rule1,
-           bool use_rule2, const Timer& total_timer, TopKHeap* heap,
-           QueryStats* stats, double* semantic_seconds, QueryTrace* trace);
+  Status Run(Mode mode, const KspQuery& query,
+             const QueryExecutor::QueryContext& ctx, bool use_rule1,
+             bool use_rule2, const Timer& total_timer, TopKHeap* heap,
+             QueryStats* stats, double* semantic_seconds, QueryTrace* trace);
 
   void ProducerLoop();
   void WorkerLoop(size_t worker_index);
-  void ProduceSpatialFirst();
-  void ProduceAlphaOrdered();
+  Status ProduceSpatialFirst();
+  Status ProduceAlphaOrdered();
   /// Rule 1 + speculative TQSP for one claimed place (no lock held).
   void ProcessCandidate(size_t worker_index, Slot* slot);
   /// Runs one query's ordered-commit stage to termination (lock held).
@@ -185,6 +189,15 @@ class IntraQueryPipeline {
   uint64_t producer_rtree_nodes_ = 0;
   uint64_t producer_pruned_rule3_ = 0;
   uint64_t producer_pruned_rule4_ = 0;
+  /// Producer-side spatial reads go through this cursor; its accumulated
+  /// page-I/O is flushed into producer_page_io_ (under mu_) when the
+  /// producer parks, and folded into the run's QueryStats by Run().
+  SpatialCursor producer_cursor_;
+  PageIoCounters producer_page_io_;
+  /// First disk-backend read error of the run (producer or worker,
+  /// mu_-guarded). Run() returns it; on error the heap contents are
+  /// discarded by the caller.
+  Status run_status_;
 
   /// Latest committed θ. Workers/producer read it relaxed: any stale
   /// value is >= the exact commit-time θ (it only decreases), so every
@@ -197,6 +210,12 @@ class IntraQueryPipeline {
   /// Like wasted speculation, interleaving-dependent — reported in
   /// QueryStats::cache_evictions but outside the determinism contract.
   std::atomic<uint64_t> spec_cache_evictions_{0};
+  /// Buffer-pool counters accumulated by worker-side speculative BFS
+  /// expansions (disk backend). Interleaving-dependent, like the two
+  /// counters above — reported but outside the determinism contract.
+  std::atomic<uint64_t> spec_bufferpool_hits_{0};
+  std::atomic<uint64_t> spec_bufferpool_misses_{0};
+  std::atomic<uint64_t> spec_bufferpool_evictions_{0};
 };
 
 }  // namespace ksp

@@ -60,6 +60,7 @@ Result<KspResult> QueryExecutor::ExecuteSp(const KspQuery& query,
   QueryStats* st = stats != nullptr ? stats : &local_stats;
   *st = QueryStats();
   QueryTrace* trace = BeginQueryTrace();
+  graph_cursor_.ResetIo();
 
   // Full-query result cache (DESIGN.md §9); the α path gets its own key
   // tag + the α radius, since Rules 3/4 change nothing about the answer
@@ -90,9 +91,10 @@ Result<KspResult> QueryExecutor::ExecuteSp(const KspQuery& query,
   {
     TraceSpan span(trace, TracePhase::kDocFetch);
     KSP_RETURN_NOT_OK(PrepareContext(query, &ctx));
+    FoldIo(ctx.io, st);
   }
 
-  const RTree& rtree = db_->rtree();
+  const SpatialAccessor& rtree = *db_->spatial_accessor();
   const AlphaIndex& alpha = *db_->alpha_index();
   const double alpha_plus_one = static_cast<double>(alpha.alpha() + 1);
 
@@ -112,11 +114,10 @@ Result<KspResult> QueryExecutor::ExecuteSp(const KspQuery& query,
   TopKHeap heap(query.k);
 
   if (ctx.answerable && !rtree.empty() && UsePipeline()) {
-    EnsurePipeline()->RunAlphaOrdered(query, ctx,
-                                      options.use_unqualified_pruning,
-                                      options.use_dynamic_bound_pruning,
-                                      total_timer, &heap, st,
-                                      &semantic_seconds, trace);
+    KSP_RETURN_NOT_OK(EnsurePipeline()->RunAlphaOrdered(
+        query, ctx, options.use_unqualified_pruning,
+        options.use_dynamic_bound_pruning, total_timer, &heap, st,
+        &semantic_seconds, trace));
   } else if (ctx.answerable && !rtree.empty()) {
     ExplainTermination("exhausted");
     std::priority_queue<AlphaQueueItem, std::vector<AlphaQueueItem>,
@@ -124,7 +125,9 @@ Result<KspResult> QueryExecutor::ExecuteSp(const KspQuery& query,
         pq;
     {
       const uint32_t root = rtree.root();
-      const Rect root_rect = rtree.node(root).BoundingRect();
+      Rect root_rect;
+      KSP_RETURN_NOT_OK(rtree.NodeRect(root, &spatial_cursor_, &root_rect));
+      FoldCursorIo(&spatial_cursor_.io, st);
       const double s_lb = MinDist(query.location, root_rect);
       const double l_b = alpha_looseness_bound(alpha.NodeEntry(root));
       pq.push(AlphaQueueItem{options.ranking.Score(l_b, s_lb), s_lb,
@@ -216,6 +219,7 @@ Result<KspResult> QueryExecutor::ExecuteSp(const KspQuery& query,
                           options.use_dynamic_bound_pruning, &tree, st);
           span.AddItems(st->vertices_visited - visited_before);
         }
+        KSP_RETURN_NOT_OK(graph_cursor_.status);
         if (looseness == kInf) {
           const bool rule2 = st->pruned_dynamic_bound > rule2_before;
           if (rule2 && trace != nullptr) {
@@ -250,7 +254,11 @@ Result<KspResult> QueryExecutor::ExecuteSp(const KspQuery& query,
       // (Pruning Rules 3 and 4 gate the push).
       TraceSpan span(trace, TracePhase::kRtreeNn);
       ++st->rtree_nodes_accessed;
-      const RTree::Node& node = rtree.node(static_cast<uint32_t>(item.id));
+      SpatialNodeRef node;
+      KSP_RETURN_NOT_OK(
+          rtree.ReadNode(static_cast<uint32_t>(item.id), &spatial_cursor_,
+                         &node));
+      FoldCursorIo(&spatial_cursor_.io, st);
       span.AddItems(node.entries.size());
       for (const RTree::Entry& e : node.entries) {
         const double s_lb = MinDist(query.location, e.rect);

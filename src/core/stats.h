@@ -3,6 +3,8 @@
 
 #include <cstdint>
 
+#include "common/io_stats.h"
+
 namespace ksp {
 
 /// Per-query execution counters matching the metrics of §6: runtime split
@@ -50,9 +52,28 @@ struct QueryStats {
   /// Entries this query's inserts pushed out of the cache.
   uint64_t cache_evictions = 0;
 
+  /// Buffer-pool activity of the disk backend (DESIGN.md §10): page
+  /// fetches served from cache, fetches that read the file, and frames
+  /// evicted to stay under the byte budget. All zero on the in-memory
+  /// backend and, like the cache counters above, excluded from the
+  /// backend-invariance/determinism contract — they depend on pool
+  /// budget and warmth, not on the algorithm.
+  uint64_t bufferpool_hits = 0;
+  uint64_t bufferpool_misses = 0;
+  uint64_t bufferpool_evictions = 0;
+
   /// False when the run hit the configured time limit (the paper aborts
   /// BSP queries at 120 s).
   bool completed = true;
+
+  /// Folds one storage cursor's page-I/O counters into the query's
+  /// buffer-pool counters (the timing component goes to the `page_io`
+  /// trace phase, not here).
+  void AddPageIo(const PageIoCounters& io) {
+    bufferpool_hits += io.hits;
+    bufferpool_misses += io.misses;
+    bufferpool_evictions += io.evictions;
+  }
 
   void Accumulate(const QueryStats& other) {
     total_ms += other.total_ms;
@@ -71,6 +92,9 @@ struct QueryStats {
     result_cache_hits += other.result_cache_hits;
     result_cache_misses += other.result_cache_misses;
     cache_evictions += other.cache_evictions;
+    bufferpool_hits += other.bufferpool_hits;
+    bufferpool_misses += other.bufferpool_misses;
+    bufferpool_evictions += other.bufferpool_evictions;
     completed = completed && other.completed;
   }
 };

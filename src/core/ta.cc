@@ -35,7 +35,7 @@ class TaSearch {
         ctx_(ctx),
         stats_(stats),
         trace_(exec->active_trace()),
-        graph_(db_.kb().graph()),
+        graph_(db_.graph_accessor()),
         n_(graph_.num_vertices()),
         m_(ctx.terms.size()),
         dist_(static_cast<size_t>(n_) * m_, kUnknownDist),
@@ -96,16 +96,17 @@ class TaSearch {
   /// Expands every keyword frontier by one hop (round depth_ + 1).
   void ExpandRound() {
     const bool undirected = db_.options().undirected_edges;
+    GraphCursor* cursor = &exec_->graph_cursor_;
     for (size_t i = 0; i < m_; ++i) {
       std::vector<VertexId> current;
       current.swap(frontiers_[i]);
       const uint16_t next_d = static_cast<uint16_t>(depth_ + 1);
       for (VertexId v : current) {
-        for (VertexId w : graph_.InNeighbors(v)) {
+        for (VertexId w : graph_.InNeighbors(v, cursor)) {
           if (DistOf(i, w) == kUnknownDist) Discover(i, w, next_d);
         }
         if (undirected) {
-          for (VertexId w : graph_.OutNeighbors(v)) {
+          for (VertexId w : graph_.OutNeighbors(v, cursor)) {
             if (DistOf(i, w) == kUnknownDist) Discover(i, w, next_d);
           }
         }
@@ -139,7 +140,7 @@ class TaSearch {
   const QueryExecutor::QueryContext& ctx_;
   QueryStats* stats_;
   QueryTrace* trace_;
-  const Graph& graph_;
+  const GraphAccessor& graph_;
   const VertexId n_;
   const size_t m_;
   /// dist_[i*n + v] = dg(v, t_i) once discovered.
@@ -162,7 +163,8 @@ Result<KspResult> TaSearch::Run(const KspQuery& query) {
   TopKHeap topk(query.k);
   std::vector<bool> seen(kb.num_places(), false);
 
-  NearestIterator spatial(db_.rtree_ptr(), query.location);
+  NearestIterator spatial(db_.spatial_accessor(), query.location);
+  PageIoCounters folded_nn_io;
   bool spatial_done = false;
   bool loose_done = false;
   double last_looseness = 1.0;
@@ -182,7 +184,9 @@ Result<KspResult> TaSearch::Run(const KspQuery& query) {
         ScopedTimer semantic_timer(&semantic_seconds);
         TraceSpan span(trace_, TracePhase::kBfsExpand);
         got = NextByLooseness(&candidate);
+        exec_->FoldCursorIo(&exec_->graph_cursor_.io, stats_);
       }
+      KSP_RETURN_NOT_OK(exec_->graph_cursor_.status);
       if (!got) {
         // All qualified places enumerated: unseen places are unqualified.
         loose_done = true;
@@ -210,7 +214,9 @@ Result<KspResult> TaSearch::Run(const KspQuery& query) {
         TraceSpan span(trace_, TracePhase::kRtreeNn);
         got_spatial = spatial.NextData(&item);
         span.AddItems(1);
+        exec_->FoldIoDelta(spatial.io(), &folded_nn_io, stats_);
       }
+      KSP_RETURN_NOT_OK(spatial.status());
       if (!got_spatial) {
         spatial_done = true;  // Every place seen.
         break;
@@ -228,6 +234,7 @@ Result<KspResult> TaSearch::Run(const KspQuery& query) {
                                          kInf, /*use_dynamic_bound=*/false,
                                          nullptr, stats_);
         }
+        KSP_RETURN_NOT_OK(exec_->graph_cursor_.status);
         if (looseness != kInf) {
           KspResultEntry entry;
           entry.place = place;
@@ -244,15 +251,19 @@ Result<KspResult> TaSearch::Run(const KspQuery& query) {
     if (topk.Full() && topk.Threshold() <= tau) break;
   }
 
+  KSP_RETURN_NOT_OK(spatial.status());
   stats_->rtree_nodes_accessed = spatial.nodes_accessed();
   KspResult result = std::move(topk).Finish();
   // Materialize the TQSP trees of the final answers only.
   for (KspResultEntry& entry : result.entries) {
-    ScopedTimer semantic_timer(&semantic_seconds);
-    TraceSpan span(trace_, TracePhase::kTqspCompute);
-    entry.tree.place = entry.place;
-    exec_->ComputeTqsp(kb.place_vertex(entry.place), ctx_, kInf,
-                       /*use_dynamic_bound=*/false, &entry.tree, nullptr);
+    {
+      ScopedTimer semantic_timer(&semantic_seconds);
+      TraceSpan span(trace_, TracePhase::kTqspCompute);
+      entry.tree.place = entry.place;
+      exec_->ComputeTqsp(kb.place_vertex(entry.place), ctx_, kInf,
+                         /*use_dynamic_bound=*/false, &entry.tree, nullptr);
+    }
+    KSP_RETURN_NOT_OK(exec_->graph_cursor_.status);
   }
   stats_->semantic_ms = semantic_seconds * 1e3;
   stats_->total_ms = total_timer.ElapsedMillis();
@@ -277,7 +288,9 @@ Result<KspResult> TaSearch::RunKeywordOnly(const KspQuery& query) {
       ScopedTimer semantic_timer(&semantic_seconds);
       TraceSpan span(trace_, TracePhase::kBfsExpand);
       got = NextByLooseness(&candidate);
+      exec_->FoldCursorIo(&exec_->graph_cursor_.io, stats_);
     }
+    KSP_RETURN_NOT_OK(exec_->graph_cursor_.status);
     if (!got) break;  // All qualified places enumerated.
     KspResultEntry entry;
     entry.place = candidate.place;
@@ -293,6 +306,7 @@ Result<KspResult> TaSearch::RunKeywordOnly(const KspQuery& query) {
                          /*use_dynamic_bound=*/false, &entry.tree,
                          nullptr);
     }
+    KSP_RETURN_NOT_OK(exec_->graph_cursor_.status);
     result.entries.push_back(std::move(entry));
   }
   stats_->semantic_ms = semantic_seconds * 1e3;
@@ -307,11 +321,13 @@ Result<KspResult> QueryExecutor::ExecuteKeywordOnly(const KspQuery& query,
   QueryStats* st = stats != nullptr ? stats : &local_stats;
   *st = QueryStats();
   QueryTrace* trace = BeginQueryTrace();
+  graph_cursor_.ResetIo();
 
   QueryContext ctx;
   {
     TraceSpan span(trace, TracePhase::kDocFetch);
     KSP_RETURN_NOT_OK(PrepareContext(query, &ctx));
+    FoldIo(ctx.io, st);
   }
   if (!ctx.answerable || ctx.terms.empty()) {
     RecordQueryMetrics(*st);
@@ -340,11 +356,13 @@ Result<KspResult> QueryExecutor::ExecuteTa(const KspQuery& query,
     }
   }
   QueryTrace* trace = BeginQueryTrace();
+  graph_cursor_.ResetIo();
 
   QueryContext ctx;
   {
     TraceSpan span(trace, TracePhase::kDocFetch);
     KSP_RETURN_NOT_OK(PrepareContext(query, &ctx));
+    FoldIo(ctx.io, st);
   }
   if (!ctx.answerable) {
     RecordQueryMetrics(*st);

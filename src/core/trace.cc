@@ -20,6 +20,8 @@ const char* TracePhaseName(TracePhase phase) {
       return "doc_fetch";
     case TracePhase::kCacheLookup:
       return "cache_lookup";
+    case TracePhase::kPageIo:
+      return "page_io";
   }
   return "?";
 }
@@ -73,6 +75,25 @@ void QueryTrace::MergeAggregates(const QueryTrace& other) {
     exclusive_us_[p] += other.exclusive_us_[p];
     count_[p] += other.count_[p];
     items_[p] += other.items_[p];
+  }
+}
+
+void QueryTrace::AddChildTime(TracePhase phase, int64_t us,
+                              uint64_t items) {
+  if (us == 0 && items == 0) return;
+  const size_t p = static_cast<size_t>(phase);
+  inclusive_us_[p] += us;
+  exclusive_us_[p] += us;
+  ++count_[p];
+  items_[p] += items;
+  // Behave as a closed child of the innermost open span so its
+  // exclusive time sheds the externally measured interval.
+  if (!open_.empty()) open_.back().child_us += us;
+  if (record_spans_) {
+    // Synthesized after the fact: anchor at the current instant with the
+    // measured duration (start within the enclosing span, not exact).
+    spans_.push_back(Span{phase, NowUs(), us,
+                          static_cast<uint32_t>(open_.size()), items});
   }
 }
 

@@ -20,8 +20,9 @@ enum class TracePhase : uint8_t {
   kRule2Prune,       // Dynamic-bound aborts (zero-duration events).
   kDocFetch,         // Posting-list fetch + M_q.ψ construction.
   kCacheLookup,      // Semantic-cache probes (dg + result layers, §9).
+  kPageIo,           // Buffer-pool page fetches (disk backend only).
 };
-inline constexpr size_t kNumTracePhases = 7;
+inline constexpr size_t kNumTracePhases = 8;
 
 /// Stable snake_case name ("rtree_nn", ...), used in metric names and
 /// trace exports.
@@ -86,6 +87,16 @@ class QueryTrace {
   /// Records an instantaneous event (a zero-duration span), e.g. one
   /// Rule-2 abort.
   void RecordEvent(TracePhase phase, uint64_t items = 1);
+
+  /// Credits `us` of externally measured wall time to `phase` as if a
+  /// closed child span had run inside the innermost open span: the time
+  /// counts as inclusive AND exclusive for `phase`, and is subtracted
+  /// from the enclosing span's exclusive time, preserving the
+  /// partition invariant of PhaseExclusiveUs. Used for page-I/O time
+  /// measured by storage cursors (which cannot open spans themselves
+  /// without a layering inversion). Call while the span that contained
+  /// the I/O is still open. No-op when `us` and `items` are both 0.
+  void AddChildTime(TracePhase phase, int64_t us, uint64_t items);
 
   /// Folds another trace's per-phase aggregates (inclusive/exclusive
   /// time, counts, items) into this one without touching the span list.

@@ -1,0 +1,92 @@
+#ifndef KSP_SPATIAL_PAGED_RTREE_H_
+#define KSP_SPATIAL_PAGED_RTREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/file.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "spatial/rtree.h"
+#include "storage/shared_buffer_pool.h"
+
+namespace ksp {
+
+/// Disk-resident R-tree with a node-as-page layout: node `i` occupies a
+/// fixed `node_stride` byte slot starting at `pages_offset + i * stride`
+/// (stride is page_size, or the smallest multiple that fits a full
+/// node), so fetching one node touches exactly stride/page_size buffer
+/// pool pages and never straddles a page boundary. Node ids are those of
+/// the RTree it was written from — the α-radius index and every
+/// traversal-order-dependent counter stay valid across backends.
+///
+/// Serialized inside the PR 2 checksummed container (v2):
+///   header section: artifact magic "KPRT", format version
+///   meta section:   max_entries u32, min_entries u32, root u32,
+///                   size u64, num_nodes u64, page_size u32,
+///                   node_stride u32
+///   pad section:    zero bytes aligning the pages payload to page_size
+///   pages section:  num_nodes × node_stride slots; each slot holds
+///                   [is_leaf u8][pad u8×3][num_entries u32][parent u32]
+///                   [reserved u32] then num_entries × Entry
+///                   (Rect 4×f64 + id u64 = 40 bytes)
+/// Open() CRC-verifies every section (the pages section is streamed)
+/// before any query runs; query-time node reads go through the shared
+/// buffer pool without re-checksumming, like the disk inverted index.
+class PagedRTree : public SpatialAccessor {
+ public:
+  /// Bytes of the fixed per-node slot header.
+  static constexpr uint32_t kNodeHeaderBytes = 16;
+
+  /// Serializes `tree` (atomic temp-file + rename, checksummed).
+  static Status Write(const RTree& tree, const std::string& path,
+                      uint32_t page_size = 4096, FileSystem* fs = nullptr,
+                      ArtifactInfo* info = nullptr);
+
+  /// Opens a paged tree and registers its file with `pool`; `pool` must
+  /// outlive the returned tree. The file's page size must match the
+  /// pool's.
+  static Result<std::unique_ptr<PagedRTree>> Open(const std::string& path,
+                                                  SharedBufferPool* pool,
+                                                  FileSystem* fs = nullptr);
+
+  ~PagedRTree() override;
+
+  PagedRTree(const PagedRTree&) = delete;
+  PagedRTree& operator=(const PagedRTree&) = delete;
+
+  bool empty() const override { return size_ == 0; }
+  uint32_t root() const override { return root_; }
+  size_t num_nodes() const override { return num_nodes_; }
+  Status ReadNode(uint32_t id, SpatialCursor* cursor,
+                  SpatialNodeRef* out) const override;
+
+  size_t size() const { return size_; }
+  uint32_t page_size() const { return page_size_; }
+  uint32_t node_stride() const { return node_stride_; }
+  uint64_t file_size_bytes() const { return file_ ? file_->Size() : 0; }
+  uint32_t file_id() const { return file_id_; }
+
+ private:
+  PagedRTree() = default;
+
+  std::unique_ptr<RandomAccessFile> file_;
+  SharedBufferPool* pool_ = nullptr;
+  uint32_t file_id_ = 0;
+  uint32_t max_entries_ = 0;
+  uint32_t min_entries_ = 0;
+  uint32_t root_ = RTree::kNoNode;
+  uint64_t size_ = 0;
+  uint64_t num_nodes_ = 0;
+  uint32_t page_size_ = 0;
+  uint32_t node_stride_ = 0;
+  /// Absolute file offset of the pages-section payload (page-aligned).
+  uint64_t pages_offset_ = 0;
+  /// Byte length of the pages-section payload (num_nodes × stride).
+  uint64_t pages_size_check_ = 0;
+};
+
+}  // namespace ksp
+
+#endif  // KSP_SPATIAL_PAGED_RTREE_H_

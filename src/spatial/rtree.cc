@@ -546,10 +546,26 @@ Result<RTree> RTree::Load(const std::string& path, FileSystem* fs) {
 }
 
 NearestIterator::NearestIterator(const RTree* tree, const Point& query)
-    : tree_(tree), query_(query) {
-  if (!tree_->empty()) {
-    uint32_t root = tree_->root();
-    Rect rect = tree_->node(root).BoundingRect();
+    : owned_accessor_(std::make_unique<MemorySpatialAccessor>(tree)),
+      accessor_(owned_accessor_.get()),
+      query_(query) {
+  if (!accessor_->empty()) {
+    uint32_t root = accessor_->root();
+    Rect rect = Rect::Empty();
+    status_ = accessor_->NodeRect(root, &cursor_, &rect);
+    if (!status_.ok()) return;
+    Push(HeapItem{MinDist(query_, rect), /*is_node=*/true, root, rect});
+  }
+}
+
+NearestIterator::NearestIterator(const SpatialAccessor* accessor,
+                                 const Point& query)
+    : accessor_(accessor), query_(query) {
+  if (!accessor_->empty()) {
+    uint32_t root = accessor_->root();
+    Rect rect = Rect::Empty();
+    status_ = accessor_->NodeRect(root, &cursor_, &rect);
+    if (!status_.ok()) return;
     Push(HeapItem{MinDist(query_, rect), /*is_node=*/true, root, rect});
   }
 }
@@ -568,11 +584,15 @@ bool NearestIterator::Pop(HeapItem* out) {
 }
 
 bool NearestIterator::Next(Item* out) {
+  if (!status_.ok()) return false;
   HeapItem item;
   if (!Pop(&item)) return false;
   if (item.is_node) {
     ++nodes_accessed_;
-    const RTree::Node& node = tree_->node(static_cast<uint32_t>(item.id));
+    SpatialNodeRef node;
+    status_ = accessor_->ReadNode(static_cast<uint32_t>(item.id),
+                                  &cursor_, &node);
+    if (!status_.ok()) return false;
     for (const RTree::Entry& e : node.entries) {
       Push(HeapItem{MinDist(query_, e.rect), !node.is_leaf, e.id, e.rect});
     }

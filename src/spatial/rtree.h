@@ -2,10 +2,13 @@
 #define KSP_SPATIAL_RTREE_H_
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "common/io_stats.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "common/types.h"
@@ -140,6 +143,76 @@ class RTree {
   size_t size_ = 0;
 };
 
+/// View of one R-tree node obtained through a SpatialAccessor. The
+/// entries span stays valid until the next ReadNode() on the same
+/// cursor (memory accessor: for the tree's lifetime).
+struct SpatialNodeRef {
+  bool is_leaf = true;
+  std::span<const RTree::Entry> entries;
+};
+
+/// Per-traversal scratch for SpatialAccessor reads: the disk accessor
+/// decodes node pages into it (and accumulates page-I/O counters); the
+/// memory accessor leaves it untouched. One cursor per thread.
+class SpatialCursor {
+ public:
+  std::vector<RTree::Entry> entries;
+  std::string buf;
+  PageIoCounters io;
+};
+
+/// Narrow read seam the query algorithms traverse the R-tree through:
+/// an id-addressed node store with the same node ids as the in-memory
+/// RTree, so MINDIST traversal order — and therefore every prune
+/// decision and counter upstream — is backend-invariant by
+/// construction. Implementations: MemorySpatialAccessor (below) and the
+/// node-as-page PagedRTree (spatial/paged_rtree.h).
+class SpatialAccessor {
+ public:
+  virtual ~SpatialAccessor() = default;
+
+  virtual bool empty() const = 0;
+  virtual uint32_t root() const = 0;
+  virtual size_t num_nodes() const = 0;
+  /// Loads node `id` into `*out` (via `cursor` for disk backends).
+  virtual Status ReadNode(uint32_t id, SpatialCursor* cursor,
+                          SpatialNodeRef* out) const = 0;
+
+  /// MBR of node `id` (its entries' bounding rect), used to seed
+  /// best-first traversals.
+  Status NodeRect(uint32_t id, SpatialCursor* cursor, Rect* out) const {
+    SpatialNodeRef node;
+    KSP_RETURN_NOT_OK(ReadNode(id, cursor, &node));
+    *out = Rect::Empty();
+    for (const RTree::Entry& e : node.entries) out->ExpandToInclude(e.rect);
+    return Status::OK();
+  }
+};
+
+/// Zero-copy accessor over an in-memory RTree.
+class MemorySpatialAccessor : public SpatialAccessor {
+ public:
+  explicit MemorySpatialAccessor(const RTree* tree) : tree_(tree) {}
+
+  bool empty() const override { return tree_->empty(); }
+  uint32_t root() const override { return tree_->root(); }
+  size_t num_nodes() const override { return tree_->num_nodes(); }
+  Status ReadNode(uint32_t id, SpatialCursor* cursor,
+                  SpatialNodeRef* out) const override {
+    (void)cursor;
+    if (id >= tree_->num_nodes()) {
+      return Status::InvalidArgument("rtree node id out of range");
+    }
+    const RTree::Node& node = tree_->node(id);
+    out->is_leaf = node.is_leaf;
+    out->entries = node.entries;
+    return Status::OK();
+  }
+
+ private:
+  const RTree* tree_;
+};
+
 /// Best-first incremental nearest-neighbour iterator (Hjaltason & Samet
 /// [33]): pops R-tree entries in non-decreasing MINDIST order. Both node
 /// and data entries are reported, because BSP's termination test (line 7
@@ -156,10 +229,14 @@ class NearestIterator {
   };
 
   NearestIterator(const RTree* tree, const Point& query);
+  /// Traverses through `accessor` (any backend); the accessor must
+  /// outlive the iterator.
+  NearestIterator(const SpatialAccessor* accessor, const Point& query);
 
   /// Pops the next entry in distance order; node entries are expanded
   /// automatically (children pushed) before being returned. Returns false
-  /// when the tree is exhausted.
+  /// when the tree is exhausted — or on a node-read error, which parks
+  /// the sticky status() (callers must check it after the stream ends).
   bool Next(Item* out);
 
   /// Like Next() but skips node items, returning only data entries — the
@@ -170,6 +247,12 @@ class NearestIterator {
   /// accessed" metric).
   uint64_t nodes_accessed() const { return nodes_accessed_; }
 
+  /// OK unless a node read failed, after which the stream is over.
+  const Status& status() const { return status_; }
+
+  /// Page-I/O accumulated by this traversal (zero for memory backends).
+  const PageIoCounters& io() const { return cursor_.io; }
+
  private:
   struct HeapItem {
     double distance;
@@ -179,8 +262,13 @@ class NearestIterator {
     bool operator>(const HeapItem& o) const { return distance > o.distance; }
   };
 
-  const RTree* tree_;
+  /// Owns the implicit accessor of the (tree, query) constructor;
+  /// heap-allocated so moving the iterator keeps accessor_ valid.
+  std::unique_ptr<MemorySpatialAccessor> owned_accessor_;
+  const SpatialAccessor* accessor_;
   Point query_;
+  SpatialCursor cursor_;
+  Status status_;
   std::vector<HeapItem> heap_;  // min-heap via std::push_heap with greater
   uint64_t nodes_accessed_ = 0;
 
@@ -210,15 +298,27 @@ class BatchedNearestIterator {
 
   BatchedNearestIterator(const RTree* tree, const Point& query)
       : iterator_(tree, query) {}
+  BatchedNearestIterator(const SpatialAccessor* accessor, const Point& query)
+      : iterator_(accessor, query) {}
 
   /// Appends up to `max_items` next stream items to `*out` (which is not
   /// cleared). Returns the number appended; 0 means the stream is
-  /// exhausted.
+  /// exhausted (check status()).
   size_t NextBatch(size_t max_items, std::vector<BatchItem>* out);
 
   uint64_t nodes_accessed() const {
     std::lock_guard<std::mutex> lock(mu_);
     return iterator_.nodes_accessed();
+  }
+
+  Status status() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return iterator_.status();
+  }
+
+  PageIoCounters io() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return iterator_.io();
   }
 
  private:

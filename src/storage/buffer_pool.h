@@ -28,6 +28,18 @@ class BufferPool {
   /// Drops every cached page (simulates a cold cache).
   void Clear();
 
+  /// Cumulative-counter snapshot, cheap to copy into reports.
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t cached_pages = 0;
+    uint64_t capacity_pages = 0;
+  };
+  Stats GetStats() const {
+    return Stats{hits_, misses_, evictions_, frames_.size(), capacity_};
+  }
+
   size_t capacity() const { return capacity_; }
   size_t cached_pages() const { return frames_.size(); }
   uint64_t hits() const { return hits_; }

@@ -1,15 +1,22 @@
 #include "storage/disk_graph.h"
 
+#include <functional>
+#include <span>
+
 #include "common/varint.h"
 
 namespace ksp {
 
 namespace {
 constexpr uint32_t kMagic = 0x4B535047u;  // "KSPG"
-}  // namespace
 
-Status DiskGraph::Write(const Graph& graph, const std::string& path,
-                        uint32_t page_size) {
+/// Writes one adjacency file; `neighbors_of` selects the edge
+/// direction (out-adjacency or the transpose). Neighbour lists must be
+/// ascending (non-strict) for the delta encoding.
+Status WriteAdjacencyFile(
+    const Graph& graph, const std::string& path, uint32_t page_size,
+    const std::function<std::span<const VertexId>(VertexId)>&
+        neighbors_of) {
   KSP_ASSIGN_OR_RETURN(auto writer, PagedFileWriter::Create(path));
 
   const VertexId n = graph.num_vertices();
@@ -29,7 +36,7 @@ Status DiskGraph::Write(const Graph& graph, const std::string& path,
   uint64_t cursor = data_begin;
   for (VertexId v = 0; v < n; ++v) {
     PutFixed64(&table, cursor);
-    auto neighbors = graph.OutNeighbors(v);
+    auto neighbors = neighbors_of(v);
     std::string record;
     PutVarint64(&record, neighbors.size());
     VertexId prev = 0;
@@ -48,6 +55,23 @@ Status DiskGraph::Write(const Graph& graph, const std::string& path,
   PutFixed32(&footer, kMagic);
   KSP_RETURN_NOT_OK(writer->Append(footer));
   return writer->Close();
+}
+
+}  // namespace
+
+Status DiskGraph::Write(const Graph& graph, const std::string& path,
+                        uint32_t page_size) {
+  return WriteAdjacencyFile(
+      graph, path, page_size,
+      [&graph](VertexId v) { return graph.OutNeighbors(v); });
+}
+
+Status DiskGraph::WriteTranspose(const Graph& graph,
+                                 const std::string& path,
+                                 uint32_t page_size) {
+  return WriteAdjacencyFile(
+      graph, path, page_size,
+      [&graph](VertexId v) { return graph.InNeighbors(v); });
 }
 
 Result<std::unique_ptr<DiskGraph>> DiskGraph::Open(const std::string& path,

@@ -32,6 +32,14 @@ class DiskGraph {
   static Status Write(const Graph& graph, const std::string& path,
                       uint32_t page_size = PagedFile::kDefaultPageSize);
 
+  /// Serializes the in-adjacency (transpose) of `graph` to `path`, in
+  /// the same file format: record v holds InNeighbors(v). Backward
+  /// expansion (TA) and undirected BFS read this file so the disk
+  /// backend sees the exact neighbour order of the in-memory CSR.
+  static Status WriteTranspose(
+      const Graph& graph, const std::string& path,
+      uint32_t page_size = PagedFile::kDefaultPageSize);
+
   /// Opens a graph file with an LRU pool of `pool_pages` pages.
   static Result<std::unique_ptr<DiskGraph>> Open(
       const std::string& path, size_t pool_pages = kDefaultPoolPages,

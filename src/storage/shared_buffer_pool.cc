@@ -1,0 +1,205 @@
+#include "storage/shared_buffer_pool.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/logging.h"
+
+namespace ksp {
+
+namespace {
+/// Key marking a frame whose file was dropped while the frame was still
+/// pinned; the frame stays alive (off the index) until its last unpin.
+constexpr uint64_t kOrphanKey = ~0ULL;
+}  // namespace
+
+SharedBufferPool::SharedBufferPool(uint64_t budget_bytes,
+                                   uint32_t page_size)
+    : budget_bytes_(std::max<uint64_t>(budget_bytes, 1)),
+      page_size_(page_size) {
+  KSP_CHECK(page_size >= 1) << "page_size must be >= 1";
+}
+
+uint32_t SharedBufferPool::RegisterFile(const RandomAccessFile* file) {
+  std::lock_guard<std::mutex> lock(mu_);
+  files_.push_back(file);
+  return static_cast<uint32_t>(files_.size() - 1);
+}
+
+void SharedBufferPool::DropFile(uint32_t file_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_id < files_.size()) files_[file_id] = nullptr;
+  for (auto it = frames_.begin(); it != frames_.end();) {
+    if (it->key == kOrphanKey || (it->key >> 48) != file_id) {
+      ++it;
+      continue;
+    }
+    index_.erase(it->key);
+    cached_bytes_ -= it->data.size();
+    ++evictions_;
+    if (it->pins > 0) {
+      // Keep the node alive for outstanding PageRefs; Unpin() reclaims
+      // it once the last pin drops.
+      it->key = kOrphanKey;
+      ++it;
+    } else {
+      it = frames_.erase(it);
+    }
+  }
+}
+
+Status SharedBufferPool::Fetch(uint32_t file_id, uint64_t page_id,
+                               PageRef* out, PageIoCounters* io) {
+  const auto start = std::chrono::steady_clock::now();
+  out->Release();
+  const uint64_t key = KeyOf(file_id, page_id);
+
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    frames_.splice(frames_.begin(), frames_, it->second);
+    Frame* frame = &*it->second;
+    if (frame->pins++ == 0) ++pinned_pages_;
+    ++hits_;
+    if (io != nullptr) ++io->hits;
+    out->pool_ = this;
+    out->frame_ = frame;
+    if (io != nullptr) {
+      io->micros += std::chrono::duration_cast<std::chrono::microseconds>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+    }
+    return Status::OK();
+  }
+
+  if (file_id >= files_.size() || files_[file_id] == nullptr) {
+    return Status::InvalidArgument("unknown buffer-pool file id");
+  }
+  const RandomAccessFile* file = files_[file_id];
+
+  // Read outside the lock: concurrent fetchers of other pages proceed;
+  // a racing fetch of the same page at worst reads it twice and the
+  // second insert finds the frame already cached.
+  lock.unlock();
+  std::string data;
+  Status read_status =
+      file->Read(page_id * static_cast<uint64_t>(page_size_), page_size_,
+                 &data);
+  if (read_status.ok() && data.empty()) {
+    read_status =
+        Status::Corruption("page read past end of file: " + file->path());
+  }
+  if (!read_status.ok()) return read_status;
+
+  lock.lock();
+  const uint64_t evictions_before = evictions_;
+  Frame* frame = nullptr;
+  it = index_.find(key);
+  if (it != index_.end()) {
+    // Raced with another fetcher; use the cached frame.
+    frames_.splice(frames_.begin(), frames_, it->second);
+    frame = &*it->second;
+    ++hits_;
+    if (io != nullptr) ++io->hits;
+  } else {
+    frames_.push_front(Frame{key, std::move(data), 0});
+    index_[key] = frames_.begin();
+    frame = &frames_.front();
+    cached_bytes_ += frame->data.size();
+    ++misses_;
+    if (io != nullptr) ++io->misses;
+  }
+  if (frame->pins++ == 0) ++pinned_pages_;
+  EvictToBudgetLocked();
+  if (io != nullptr) io->evictions += evictions_ - evictions_before;
+  out->pool_ = this;
+  out->frame_ = frame;
+  if (io != nullptr) {
+    io->micros += std::chrono::duration_cast<std::chrono::microseconds>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+  }
+  return Status::OK();
+}
+
+Status SharedBufferPool::ReadRange(uint32_t file_id, uint64_t offset,
+                                   uint64_t length, std::string* out,
+                                   PageIoCounters* io) {
+  out->clear();
+  out->reserve(length);
+  uint64_t cursor = offset;
+  uint64_t remaining = length;
+  PageRef ref;
+  while (remaining > 0) {
+    const uint64_t page_id = cursor / page_size_;
+    const uint64_t page_offset = cursor % page_size_;
+    KSP_RETURN_NOT_OK(Fetch(file_id, page_id, &ref, io));
+    std::string_view page = ref.data();
+    if (page_offset >= page.size()) {
+      return Status::Corruption("read past end of page");
+    }
+    const uint64_t take =
+        std::min<uint64_t>(remaining, page.size() - page_offset);
+    out->append(page.substr(page_offset, take));
+    cursor += take;
+    remaining -= take;
+  }
+  return Status::OK();
+}
+
+void SharedBufferPool::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = frames_.begin(); it != frames_.end();) {
+    if (it->key != kOrphanKey && it->pins == 0) {
+      index_.erase(it->key);
+      cached_bytes_ -= it->data.size();
+      ++evictions_;
+      it = frames_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+SharedBufferPool::Stats SharedBufferPool::GetStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats stats;
+  stats.hits = hits_;
+  stats.misses = misses_;
+  stats.evictions = evictions_;
+  stats.cached_pages = frames_.size();
+  stats.cached_bytes = cached_bytes_;
+  stats.pinned_pages = pinned_pages_;
+  stats.budget_bytes = budget_bytes_;
+  return stats;
+}
+
+void SharedBufferPool::EvictToBudgetLocked() {
+  auto it = frames_.end();
+  while (cached_bytes_ > budget_bytes_ && it != frames_.begin()) {
+    --it;
+    if (it->pins > 0 || it->key == kOrphanKey) continue;
+    index_.erase(it->key);
+    cached_bytes_ -= it->data.size();
+    ++evictions_;
+    it = frames_.erase(it);
+  }
+}
+
+void SharedBufferPool::Unpin(Frame* frame) {
+  std::lock_guard<std::mutex> lock(mu_);
+  KSP_CHECK(frame->pins > 0) << "unbalanced buffer-pool unpin";
+  if (--frame->pins == 0) {
+    --pinned_pages_;
+    if (frame->key == kOrphanKey) {
+      for (auto it = frames_.begin(); it != frames_.end(); ++it) {
+        if (&*it == frame) {
+          frames_.erase(it);
+          break;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace ksp

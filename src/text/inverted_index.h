@@ -135,6 +135,28 @@ class DiskInvertedIndex : public InvertedIndex {
   uint64_t NumPostings() const override { return num_postings_; }
   uint64_t SizeBytes() const override { return file_size_; }
 
+  /// File range of the varint posting blob (CRC-verified at Open) —
+  /// exposed so a pooled reader can route posting decodes through a
+  /// shared buffer pool instead of this object's private pread path.
+  uint64_t blob_offset() const { return blob_offset_; }
+  uint64_t blob_size() const { return blob_size_; }
+  const std::string& path() const { return file_->path(); }
+
+  /// Blob-relative byte range [*begin, *end) of `term`'s encoded list.
+  /// Unknown terms yield the empty range [0, 0) and OK status.
+  Status PostingRange(TermId term, uint64_t* begin, uint64_t* end) const {
+    if (term >= offsets_.size()) {
+      *begin = *end = 0;
+      return Status::OK();
+    }
+    *begin = offsets_[term];
+    *end = term + 1 < offsets_.size() ? offsets_[term + 1] : blob_size_;
+    if (*end < *begin || *end > blob_size_) {
+      return Status::Corruption("posting offsets not monotonic");
+    }
+    return Status::OK();
+  }
+
  private:
   DiskInvertedIndex() = default;
 

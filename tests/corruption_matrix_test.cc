@@ -20,7 +20,9 @@
 #include "datagen/synthetic.h"
 #include "rdf/kb_io.h"
 #include "reach/reachability_index.h"
+#include "spatial/paged_rtree.h"
 #include "spatial/rtree.h"
+#include "storage/shared_buffer_pool.h"
 #include "text/inverted_index.h"
 
 namespace ksp {
@@ -176,6 +178,28 @@ TEST_F(CorruptionMatrixTest, DiskInvertedIndex) {
         return Status::OK();
       },
       /*seed=*/505, /*strict=*/true);
+}
+
+TEST_F(CorruptionMatrixTest, PagedRTreeArtifact) {
+  const std::string path = dir_ + "/paged_rtree.bin";
+  ASSERT_TRUE(PagedRTree::Write(db_->rtree(), path).ok());
+  RunMatrix(
+      path,
+      [](const std::string& p) {
+        // Open CRC-verifies every section; a clean open must then be able
+        // to sweep every node slot through the buffer pool.
+        SharedBufferPool pool(/*budget_bytes=*/4 << 20, /*page_size=*/4096);
+        auto tree = PagedRTree::Open(p, &pool);
+        if (!tree.ok()) return tree.status();
+        SpatialCursor cursor;
+        SpatialNodeRef node;
+        for (size_t id = 0; id < (*tree)->num_nodes(); ++id) {
+          KSP_RETURN_NOT_OK(
+              (*tree)->ReadNode(static_cast<uint32_t>(id), &cursor, &node));
+        }
+        return Status::OK();
+      },
+      /*seed=*/1111, /*strict=*/true);
 }
 
 // Legacy (CRC-free) files cannot detect every flipped payload bit, but

@@ -1,0 +1,170 @@
+// PagedRTree round-trip: the node-as-page file must reproduce the
+// in-memory RTree exactly — same node ids, same entry order, same root —
+// because the disk backend's backend-invariance contract (DESIGN.md §10)
+// rests on traversals seeing identical node contents in identical order.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "spatial/paged_rtree.h"
+#include "spatial/rtree.h"
+#include "storage/shared_buffer_pool.h"
+
+namespace ksp {
+namespace {
+
+class PagedRTreeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("ksp_paged_rtree_" + std::string(info->name()) + "_" +
+             std::to_string(::getpid())))
+               .string();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  static RTree MakeTree(size_t n, uint64_t seed) {
+    Rng rng(seed);
+    RTree tree;
+    for (size_t i = 0; i < n; ++i) {
+      tree.Insert(Point{static_cast<double>(rng.NextBounded(10000)) / 10.0,
+                        static_cast<double>(rng.NextBounded(10000)) / 10.0},
+                  /*data=*/i);
+    }
+    return tree;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(PagedRTreeTest, RoundTripMatchesEveryNode) {
+  const RTree tree = MakeTree(900, /*seed=*/42);
+  const std::string path = dir_ + "/tree.bin";
+  ASSERT_TRUE(PagedRTree::Write(tree, path).ok());
+
+  SharedBufferPool pool(/*budget_bytes=*/1 << 20, /*page_size=*/4096);
+  auto paged = PagedRTree::Open(path, &pool);
+  ASSERT_TRUE(paged.ok()) << paged.status().ToString();
+
+  EXPECT_EQ((*paged)->root(), tree.root());
+  EXPECT_EQ((*paged)->num_nodes(), tree.num_nodes());
+  EXPECT_EQ((*paged)->size(), tree.size());
+  EXPECT_EQ((*paged)->empty(), tree.empty());
+  EXPECT_EQ((*paged)->page_size(), 4096u);
+  // A 64-entry node is 16 + 64*40 = 2576 bytes: one page per node here.
+  EXPECT_EQ((*paged)->node_stride() % (*paged)->page_size(), 0u);
+
+  SpatialCursor cursor;
+  for (size_t id = 0; id < tree.num_nodes(); ++id) {
+    const RTree::Node& expected = tree.node(static_cast<uint32_t>(id));
+    SpatialNodeRef node;
+    ASSERT_TRUE(
+        (*paged)
+            ->ReadNode(static_cast<uint32_t>(id), &cursor, &node)
+            .ok())
+        << "node " << id;
+    ASSERT_EQ(node.is_leaf, expected.is_leaf) << "node " << id;
+    ASSERT_EQ(node.entries.size(), expected.entries.size()) << "node " << id;
+    for (size_t e = 0; e < expected.entries.size(); ++e) {
+      EXPECT_EQ(node.entries[e].id, expected.entries[e].id);
+      EXPECT_EQ(node.entries[e].rect.min_x, expected.entries[e].rect.min_x);
+      EXPECT_EQ(node.entries[e].rect.min_y, expected.entries[e].rect.min_y);
+      EXPECT_EQ(node.entries[e].rect.max_x, expected.entries[e].rect.max_x);
+      EXPECT_EQ(node.entries[e].rect.max_y, expected.entries[e].rect.max_y);
+    }
+  }
+  EXPECT_GT(cursor.io.Fetches(), 0u);
+}
+
+TEST_F(PagedRTreeTest, NearestStreamMatchesMemoryAccessor) {
+  const RTree tree = MakeTree(600, /*seed=*/7);
+  const std::string path = dir_ + "/tree.bin";
+  ASSERT_TRUE(PagedRTree::Write(tree, path).ok());
+  // A pool far smaller than the file forces eviction churn mid-traversal;
+  // the stream must still be identical.
+  SharedBufferPool pool(/*budget_bytes=*/16 << 10, /*page_size=*/4096);
+  auto paged = PagedRTree::Open(path, &pool);
+  ASSERT_TRUE(paged.ok()) << paged.status().ToString();
+  ASSERT_GT((*paged)->file_size_bytes(), 16u << 10);
+
+  const Point query{123.4, 567.8};
+  NearestIterator mem(&tree, query);
+  NearestIterator disk(paged->get(), query);
+  NearestIterator::Item a;
+  NearestIterator::Item b;
+  size_t popped = 0;
+  while (mem.Next(&a)) {
+    ASSERT_TRUE(disk.Next(&b)) << "disk stream ended early at " << popped;
+    ASSERT_EQ(a.is_node, b.is_node);
+    ASSERT_EQ(a.id, b.id);
+    ASSERT_DOUBLE_EQ(a.distance, b.distance);
+    ++popped;
+  }
+  EXPECT_FALSE(disk.Next(&b));
+  ASSERT_TRUE(mem.status().ok());
+  ASSERT_TRUE(disk.status().ok()) << disk.status().ToString();
+  EXPECT_EQ(mem.nodes_accessed(), disk.nodes_accessed());
+  EXPECT_GT(popped, 0u);
+  // The memory path reports no page I/O; the disk path must, and the
+  // under-budget pool must have evicted.
+  EXPECT_TRUE(mem.io().IsZero());
+  EXPECT_GT(disk.io().misses, 0u);
+  EXPECT_GT(disk.io().evictions, 0u);
+}
+
+TEST_F(PagedRTreeTest, OpenRejectsPageSizeMismatch) {
+  const RTree tree = MakeTree(100, /*seed=*/3);
+  const std::string path = dir_ + "/tree.bin";
+  ASSERT_TRUE(PagedRTree::Write(tree, path, /*page_size=*/4096).ok());
+  SharedBufferPool pool(/*budget_bytes=*/1 << 20, /*page_size=*/8192);
+  auto paged = PagedRTree::Open(path, &pool);
+  ASSERT_FALSE(paged.ok());
+  EXPECT_TRUE(paged.status().IsInvalidArgument())
+      << paged.status().ToString();
+}
+
+TEST_F(PagedRTreeTest, ReadNodeRejectsOutOfRangeId) {
+  const RTree tree = MakeTree(50, /*seed=*/9);
+  const std::string path = dir_ + "/tree.bin";
+  ASSERT_TRUE(PagedRTree::Write(tree, path).ok());
+  SharedBufferPool pool(/*budget_bytes=*/1 << 20, /*page_size=*/4096);
+  auto paged = PagedRTree::Open(path, &pool);
+  ASSERT_TRUE(paged.ok()) << paged.status().ToString();
+  SpatialCursor cursor;
+  SpatialNodeRef node;
+  const Status st = (*paged)->ReadNode(
+      static_cast<uint32_t>((*paged)->num_nodes()), &cursor, &node);
+  EXPECT_FALSE(st.ok());
+}
+
+TEST_F(PagedRTreeTest, NonDefaultPageSizeRoundTrips) {
+  const RTree tree = MakeTree(300, /*seed=*/11);
+  const std::string path = dir_ + "/tree.bin";
+  ASSERT_TRUE(PagedRTree::Write(tree, path, /*page_size=*/1024).ok());
+  SharedBufferPool pool(/*budget_bytes=*/1 << 20, /*page_size=*/1024);
+  auto paged = PagedRTree::Open(path, &pool);
+  ASSERT_TRUE(paged.ok()) << paged.status().ToString();
+  // A 64-entry node no longer fits one 1 KB page: the stride must be a
+  // page multiple and node reads must span pages transparently.
+  EXPECT_EQ((*paged)->node_stride() % 1024u, 0u);
+  EXPECT_GT((*paged)->node_stride(), 1024u);
+  SpatialCursor cursor;
+  SpatialNodeRef node;
+  ASSERT_TRUE((*paged)->ReadNode(tree.root(), &cursor, &node).ok());
+  EXPECT_EQ(node.entries.size(), tree.node(tree.root()).entries.size());
+}
+
+}  // namespace
+}  // namespace ksp

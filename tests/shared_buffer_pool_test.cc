@@ -1,0 +1,211 @@
+// SharedBufferPool unit tests: LRU eviction order under a byte budget,
+// pin refcounts blocking eviction, oversized-page admission, cumulative
+// counters, spanning-range reads, and per-file drop semantics. The pool
+// is the single byte-budget authority of the disk backend (DESIGN.md
+// §10), so its accounting must be exact.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/file.h"
+#include "common/io_stats.h"
+#include "storage/shared_buffer_pool.h"
+
+namespace ksp {
+namespace {
+
+class SharedBufferPoolTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("ksp_pool_" + std::string(info->name()) + "_" +
+             std::to_string(::getpid())))
+               .string();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  /// Writes `pages` pages of `page_size` bytes; page i is filled with the
+  /// byte 'A' + i so reads are content-checkable.
+  std::unique_ptr<RandomAccessFile> MakeFile(const std::string& name,
+                                             size_t pages,
+                                             uint32_t page_size,
+                                             size_t tail_bytes = 0) {
+    const std::string path = dir_ + "/" + name;
+    {
+      std::ofstream out(path, std::ios::binary);
+      for (size_t i = 0; i < pages; ++i) {
+        out << std::string(page_size, static_cast<char>('A' + (i % 26)));
+      }
+      if (tail_bytes > 0) out << std::string(tail_bytes, 'z');
+    }
+    auto file = DefaultFileSystem()->NewRandomAccessFile(path);
+    EXPECT_TRUE(file.ok()) << file.status().ToString();
+    return std::move(*file);
+  }
+
+  std::string dir_;
+};
+
+TEST_F(SharedBufferPoolTest, FetchReadsCorrectPageContents) {
+  SharedBufferPool pool(/*budget_bytes=*/1 << 20, /*page_size=*/256);
+  auto file = MakeFile("f.bin", 4, 256, /*tail_bytes=*/10);
+  const uint32_t id = pool.RegisterFile(file.get());
+  for (uint64_t page = 0; page < 4; ++page) {
+    SharedBufferPool::PageRef ref;
+    ASSERT_TRUE(pool.Fetch(id, page, &ref, nullptr).ok());
+    ASSERT_EQ(ref.data().size(), 256u);
+    EXPECT_EQ(ref.data()[0], static_cast<char>('A' + page));
+  }
+  // The short tail page is readable with its true length.
+  SharedBufferPool::PageRef tail;
+  ASSERT_TRUE(pool.Fetch(id, 4, &tail, nullptr).ok());
+  EXPECT_EQ(tail.data(), std::string(10, 'z'));
+  // Entirely past EOF: corruption (page ids come from validated tables).
+  SharedBufferPool::PageRef beyond;
+  EXPECT_TRUE(pool.Fetch(id, 5, &beyond, nullptr).IsCorruption());
+}
+
+TEST_F(SharedBufferPoolTest, CountersAccumulateAndStatsSnapshot) {
+  SharedBufferPool pool(/*budget_bytes=*/1 << 20, /*page_size=*/128);
+  auto file = MakeFile("f.bin", 8, 128);
+  const uint32_t id = pool.RegisterFile(file.get());
+  PageIoCounters io;
+  SharedBufferPool::PageRef ref;
+  ASSERT_TRUE(pool.Fetch(id, 0, &ref, &io).ok());
+  ref.Release();
+  ASSERT_TRUE(pool.Fetch(id, 0, &ref, &io).ok());
+  ref.Release();
+  EXPECT_EQ(io.misses, 1u);
+  EXPECT_EQ(io.hits, 1u);
+  EXPECT_GE(io.micros, 0);
+  EXPECT_EQ(io.Fetches(), 2u);
+
+  const SharedBufferPool::Stats stats = pool.GetStats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(stats.cached_pages, 1u);
+  EXPECT_EQ(stats.cached_bytes, 128u);
+  EXPECT_EQ(stats.pinned_pages, 0u);
+  EXPECT_EQ(stats.budget_bytes, 1u << 20);
+}
+
+TEST_F(SharedBufferPoolTest, EvictsLeastRecentlyUsedFirst) {
+  // Budget of exactly 2 pages.
+  SharedBufferPool pool(/*budget_bytes=*/256, /*page_size=*/128);
+  auto file = MakeFile("f.bin", 4, 128);
+  const uint32_t id = pool.RegisterFile(file.get());
+  PageIoCounters io;
+  auto touch = [&](uint64_t page) {
+    SharedBufferPool::PageRef ref;
+    ASSERT_TRUE(pool.Fetch(id, page, &ref, &io).ok());
+  };
+  touch(0);
+  touch(1);
+  touch(0);  // Page 0 is now MRU, page 1 LRU.
+  touch(2);  // Evicts page 1.
+  EXPECT_EQ(io.evictions, 1u);
+  const uint64_t misses_before = io.misses;
+  touch(0);  // Still cached: hit, no miss.
+  EXPECT_EQ(io.misses, misses_before);
+  touch(1);  // Was evicted: miss again.
+  EXPECT_EQ(io.misses, misses_before + 1);
+}
+
+TEST_F(SharedBufferPoolTest, PinnedPagesAreNeverEvicted) {
+  SharedBufferPool pool(/*budget_bytes=*/256, /*page_size=*/128);
+  auto file = MakeFile("f.bin", 6, 128);
+  const uint32_t id = pool.RegisterFile(file.get());
+  SharedBufferPool::PageRef pinned;
+  ASSERT_TRUE(pool.Fetch(id, 0, &pinned, nullptr).ok());
+  // Stream the rest of the file through the one unpinned frame: page 0
+  // must survive every eviction pass while its pin is held.
+  for (uint64_t page = 1; page < 6; ++page) {
+    SharedBufferPool::PageRef ref;
+    ASSERT_TRUE(pool.Fetch(id, page, &ref, nullptr).ok());
+  }
+  EXPECT_EQ(pinned.data()[0], 'A');
+  EXPECT_GE(pool.GetStats().pinned_pages, 1u);
+  PageIoCounters io;
+  SharedBufferPool::PageRef again;
+  ASSERT_TRUE(pool.Fetch(id, 0, &again, &io).ok());
+  EXPECT_EQ(io.hits, 1u);  // Survived as a cached frame.
+  EXPECT_EQ(io.misses, 0u);
+}
+
+TEST_F(SharedBufferPoolTest, OversizedPageIsAdmittedThenEvictedFirst) {
+  // Budget smaller than one page: the read must still succeed (the pool
+  // transiently exceeds its budget) and the frame must not stick.
+  SharedBufferPool pool(/*budget_bytes=*/64, /*page_size=*/256);
+  auto file = MakeFile("f.bin", 3, 256);
+  const uint32_t id = pool.RegisterFile(file.get());
+  PageIoCounters io;
+  {
+    SharedBufferPool::PageRef ref;
+    ASSERT_TRUE(pool.Fetch(id, 0, &ref, &io).ok());
+    ASSERT_EQ(ref.data().size(), 256u);
+  }
+  {
+    SharedBufferPool::PageRef ref;
+    ASSERT_TRUE(pool.Fetch(id, 1, &ref, &io).ok());
+  }
+  // The second over-budget fetch had to push the first frame out.
+  EXPECT_GE(io.evictions, 1u);
+  EXPECT_LE(pool.GetStats().cached_pages, 1u);
+}
+
+TEST_F(SharedBufferPoolTest, ReadRangeAssemblesSpanningPages) {
+  SharedBufferPool pool(/*budget_bytes=*/1 << 20, /*page_size=*/128);
+  auto file = MakeFile("f.bin", 4, 128);
+  const uint32_t id = pool.RegisterFile(file.get());
+  PageIoCounters io;
+  std::string out;
+  // 100 bytes starting 100 bytes in: spans pages 0 and 1.
+  ASSERT_TRUE(pool.ReadRange(id, 100, 100, &out, &io).ok());
+  ASSERT_EQ(out.size(), 100u);
+  EXPECT_EQ(out.substr(0, 28), std::string(28, 'A'));
+  EXPECT_EQ(out.substr(28), std::string(72, 'B'));
+  EXPECT_EQ(io.misses, 2u);
+  // Past-EOF range is corruption.
+  EXPECT_TRUE(pool.ReadRange(id, 4 * 128 - 10, 20, &out, &io)
+                  .IsCorruption());
+}
+
+TEST_F(SharedBufferPoolTest, DropFileForgetsPagesAndClearResets) {
+  SharedBufferPool pool(/*budget_bytes=*/1 << 20, /*page_size=*/128);
+  auto a = MakeFile("a.bin", 2, 128);
+  auto b = MakeFile("b.bin", 2, 128);
+  const uint32_t ida = pool.RegisterFile(a.get());
+  const uint32_t idb = pool.RegisterFile(b.get());
+  ASSERT_NE(ida, idb);
+  PageIoCounters io;
+  SharedBufferPool::PageRef ref;
+  ASSERT_TRUE(pool.Fetch(ida, 0, &ref, &io).ok());
+  ref.Release();
+  ASSERT_TRUE(pool.Fetch(idb, 0, &ref, &io).ok());
+  ref.Release();
+  EXPECT_EQ(pool.GetStats().cached_pages, 2u);
+  pool.DropFile(ida);
+  EXPECT_EQ(pool.GetStats().cached_pages, 1u);
+  // The other file's page is untouched.
+  ASSERT_TRUE(pool.Fetch(idb, 0, &ref, &io).ok());
+  ref.Release();
+  EXPECT_EQ(io.hits, 1u);
+  pool.Clear();
+  EXPECT_EQ(pool.GetStats().cached_pages, 0u);
+  EXPECT_EQ(pool.GetStats().cached_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace ksp

@@ -17,10 +17,10 @@
 namespace ksp {
 namespace {
 
-// 2 doubles + 14 uint64 counters + bool (padded) on LP64. If this fires,
+// 2 doubles + 17 uint64 counters + bool (padded) on LP64. If this fires,
 // a field was added or removed: update Accumulate, the field checks
 // below, and RecordQueryMetrics in executor.cc, then re-pin the size.
-static_assert(sizeof(QueryStats) == 136,
+static_assert(sizeof(QueryStats) == 160,
               "QueryStats layout changed — audit Accumulate() and every "
               "consumer before re-pinning this size");
 
@@ -42,6 +42,9 @@ QueryStats MakeDistinct(int base) {
   s.result_cache_hits = base + 12;
   s.result_cache_misses = base + 13;
   s.cache_evictions = base + 14;
+  s.bufferpool_hits = base + 15;
+  s.bufferpool_misses = base + 16;
+  s.bufferpool_evictions = base + 17;
   s.completed = true;
   return s;
 }
@@ -66,6 +69,9 @@ TEST(QueryStatsTest, AccumulateMergesEveryField) {
   EXPECT_EQ(a.result_cache_hits, 112u + 1012u);
   EXPECT_EQ(a.result_cache_misses, 113u + 1013u);
   EXPECT_EQ(a.cache_evictions, 114u + 1014u);
+  EXPECT_EQ(a.bufferpool_hits, 115u + 1015u);
+  EXPECT_EQ(a.bufferpool_misses, 116u + 1016u);
+  EXPECT_EQ(a.bufferpool_evictions, 117u + 1017u);
   EXPECT_TRUE(a.completed);
 }
 
