@@ -20,6 +20,15 @@ enum class StatusCode : int {
   kCorruption = 6,
   kUnimplemented = 7,
   kInternal = 8,
+  /// A per-request deadline elapsed before the operation finished; the
+  /// work done so far (e.g. partial QueryStats) may still be observable,
+  /// but no result is presented as complete.
+  kDeadlineExceeded = 9,
+  /// The operation was cooperatively cancelled via a CancellationToken.
+  kCancelled = 10,
+  /// The service cannot take the request right now (admission control /
+  /// load shedding / shutdown); the caller should back off and retry.
+  kUnavailable = 11,
 };
 
 /// Returns a stable human-readable name for a status code ("OK",
@@ -73,6 +82,15 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const {
@@ -91,6 +109,16 @@ class Status {
   bool IsIOError() const { return code() == StatusCode::kIOError; }
   bool IsCorruption() const { return code() == StatusCode::kCorruption; }
   bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
+  /// True for the two cooperative-interruption codes a query can end
+  /// with (deadline elapsed or explicit cancel).
+  bool IsInterruption() const {
+    return IsDeadlineExceeded() || IsCancelled();
+  }
 
   /// "OK" or "<Code>: <message>".
   std::string ToString() const;

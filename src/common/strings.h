@@ -27,6 +27,10 @@ std::string HumanBytes(uint64_t bytes);
 std::string Join(const std::vector<std::string>& pieces,
                  std::string_view sep);
 
+/// Escapes a string for embedding inside a JSON string literal
+/// (quotes, backslashes, and control characters; no surrounding quotes).
+std::string JsonEscape(std::string_view s);
+
 }  // namespace ksp
 
 #endif  // KSP_COMMON_STRINGS_H_

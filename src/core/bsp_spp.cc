@@ -47,7 +47,7 @@ Result<KspResult> QueryExecutor::ExecuteSpatialFirst(const KspQuery& query,
   QueryStats local_stats;
   QueryStats* st = stats != nullptr ? stats : &local_stats;
   *st = QueryStats();
-  QueryTrace* trace = BeginQueryTrace();
+  QueryTrace* trace = BeginQuery();
   graph_cursor_.ResetIo();
 
   // Full-query result cache (DESIGN.md §9). EXPLAIN always executes the
@@ -62,7 +62,7 @@ Result<KspResult> QueryExecutor::ExecuteSpatialFirst(const KspQuery& query,
     bool hit;
     {
       TraceSpan span(trace, TracePhase::kCacheLookup);
-      hit = cache->LookupResult(result_key, &cached);
+      hit = cache->LookupResult(result_key, cache_epoch_, &cached);
     }
     if (hit) {
       ++st->result_cache_hits;
@@ -83,9 +83,16 @@ Result<KspResult> QueryExecutor::ExecuteSpatialFirst(const KspQuery& query,
   double semantic_seconds = 0.0;
   TopKHeap heap(query.k);
   if (ctx.answerable && UsePipeline()) {
-    KSP_RETURN_NOT_OK(EnsurePipeline()->RunSpatialFirst(
+    // An interruption status from the pipeline flows into the shared
+    // interrupted-query epilogue below (partial stats + metrics); any
+    // other error (disk-backend read failure) propagates as-is.
+    const Status pipeline_status = EnsurePipeline()->RunSpatialFirst(
         query, ctx, use_rule1, use_rule2, total_timer, &heap, st,
-        &semantic_seconds, trace));
+        &semantic_seconds, trace, cancel_, cache_epoch_);
+    if (!pipeline_status.ok()) {
+      if (!pipeline_status.IsInterruption()) return pipeline_status;
+      interrupt_status_ = pipeline_status;
+    }
   } else if (ctx.answerable) {
     ExplainTermination("exhausted");
     NearestIterator iterator(db_->spatial_accessor(), query.location);
@@ -103,6 +110,10 @@ Result<KspResult> QueryExecutor::ExecuteSpatialFirst(const KspQuery& query,
       if (total_timer.ElapsedMillis() > options.time_limit_ms) {
         st->completed = false;
         ExplainTermination("timeout");
+        break;
+      }
+      if (CheckInterrupt()) {
+        ExplainTermination("cancelled");
         break;
       }
       const double theta = heap.Threshold();
@@ -188,6 +199,12 @@ Result<KspResult> QueryExecutor::ExecuteSpatialFirst(const KspQuery& query,
         span.AddItems(st->vertices_visited - visited_before);
       }
       KSP_RETURN_NOT_OK(graph_cursor_.status);
+      if (!interrupt_status_.ok()) {
+        // The BFS was cut short: its +inf looseness proves nothing, so
+        // no prune/unqualified accounting — unwind with partial stats.
+        ExplainTermination("cancelled");
+        break;
+      }
       if (looseness == kInf) {  // Unqualified or Rule-2 pruned.
         const bool rule2 = st->pruned_dynamic_bound > rule2_before;
         if (rule2 && trace != nullptr) {
@@ -224,11 +241,16 @@ Result<KspResult> QueryExecutor::ExecuteSpatialFirst(const KspQuery& query,
 
   st->semantic_ms = semantic_seconds * 1e3;
   st->total_ms = total_timer.ElapsedMillis();
+  // Interrupted (deadline/cancel): the error status carries the verdict,
+  // the partial QueryStats stay observable, and the partial top-k is
+  // never presented as a result.
+  if (!interrupt_status_.ok()) return FinishInterrupted(st);
   KspResult result = std::move(heap).Finish();
   // Only completed runs are cached: a timeout's partial top-k is not the
   // answer. The pipeline path flows through here too.
   if (cache != nullptr && !explain_on() && st->completed) {
-    st->cache_evictions += cache->InsertResult(result_key, result);
+    st->cache_evictions +=
+        cache->InsertResult(result_key, cache_epoch_, result);
   }
   RecordQueryMetrics(*st);
   return result;

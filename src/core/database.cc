@@ -240,6 +240,7 @@ const PostingsAccessor& KspDatabase::postings_accessor() const {
 
 void KspDatabase::BuildRTree() {
   InvalidateCache();
+  index_generation_ = 0;  // In-process builds supersede any loaded generation.
   Timer timer;
   timer.Start();
   const uint32_t num_places = kb_->num_places();
@@ -371,6 +372,7 @@ Status KspDatabase::LoadIndexes(const std::string& directory,
     rtree_.reset();
     reach_.reset();
     alpha_.reset();
+    index_generation_ = 0;
     RefreshSpatialAccessor();
     RefreshDiskBackend();
     return st;
@@ -442,6 +444,7 @@ Status KspDatabase::LoadIndexes(const std::string& directory,
           "manifest lists unknown artifact \"" + e.name + "\""));
     }
   }
+  index_generation_ = manifest->generation;
   RefreshSpatialAccessor();
   RefreshDiskBackend();
   return Status::OK();
@@ -449,6 +452,7 @@ Status KspDatabase::LoadIndexes(const std::string& directory,
 
 Status KspDatabase::LoadLegacyLayout(const std::string& directory,
                                      FileSystem* fs) {
+  index_generation_ = 0;  // Pre-manifest layouts carry no generation.
   auto fail = [this](Status st) {
     rtree_.reset();
     reach_.reset();

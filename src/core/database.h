@@ -185,6 +185,11 @@ class KspDatabase {
   PreprocessingTimes preprocessing_times() const { return prep_times_; }
   const KnowledgeBase& kb() const { return *kb_; }
   const KspOptions& options() const { return options_; }
+  /// Manifest generation of the last successful LoadIndexes, or 0 for
+  /// indexes built in-process / loaded from a pre-manifest directory.
+  /// The serving tier stamps this into responses so clients can tell
+  /// which index generation answered across a hot swap.
+  uint64_t index_generation() const { return index_generation_; }
   const InvertedIndex& inverted_index() const { return *inverted_; }
 
   /// ---- Storage-backend seams (DESIGN.md §10) ----
@@ -277,6 +282,7 @@ class KspDatabase {
   std::shared_ptr<const AlphaIndex> alpha_;
   std::unique_ptr<SemanticQueryCache> cache_;
   PreprocessingTimes prep_times_;
+  uint64_t index_generation_ = 0;
 
   /// Always-available zero-copy views of the in-memory indexes (the
   /// kMemory backend, and the fallback while kDisk is not ready).

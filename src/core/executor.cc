@@ -123,6 +123,8 @@ void QueryExecutor::set_metrics(MetricsRegistry* registry) {
   metrics_.wall_us = registry->GetCounter("ksp_query_wall_us_total");
   metrics_.semantic_us =
       registry->GetCounter("ksp_query_semantic_us_total");
+  metrics_.cancellations =
+      registry->GetCounter("ksp_query_cancellations_total");
   for (size_t p = 0; p < kNumTracePhases; ++p) {
     metrics_.phase_us[p] = registry->GetCounter(
         std::string("ksp_phase_") +
@@ -168,6 +170,13 @@ void QueryExecutor::RecordQueryMetrics(const QueryStats& stats) {
           trace->PhaseExclusiveUs(static_cast<TracePhase>(p))));
     }
   }
+}
+
+Status QueryExecutor::FinishInterrupted(QueryStats* st) {
+  st->completed = false;
+  if (metrics_.cancellations != nullptr) metrics_.cancellations->Increment();
+  RecordQueryMetrics(*st);
+  return interrupt_status_;
 }
 
 Status QueryExecutor::CheckPrepared() const {
@@ -297,7 +306,16 @@ double QueryExecutor::ComputeTqsp(VertexId root, const QueryContext& ctx,
   const bool undirected = db_->options().undirected_edges;
 
   bool pruned = false;
+  bool interrupted = false;
   for (size_t qi = 0; qi < queue.size() && remaining != 0; ++qi) {
+    // Cancellation poll every 64 pops: cheap enough to keep the BFS hot
+    // loop tight, frequent enough that a deadline is enforced within one
+    // phase-span granularity. An interrupted BFS proves nothing about
+    // the unvisited remainder — see the cache-feed guard below.
+    if ((qi & 0x3F) == 0 && CheckInterrupt()) {
+      interrupted = true;
+      break;
+    }
     auto [v, dist] = queue[qi];
     if (stats != nullptr) ++stats->vertices_visited;
 
@@ -370,25 +388,29 @@ double QueryExecutor::ComputeTqsp(VertexId root, const QueryContext& ctx,
   // Feed the shared dg cache (DESIGN.md §9). Every recorded match is the
   // exact minimal distance — BFS pops in non-decreasing distance and a
   // keyword is recorded at its first covering pop — even when Rule 2 (or
-  // a speculative live-θ abort) stopped the search afterwards. An
-  // un-pruned exhaustion additionally proves the uncovered keywords
-  // unreachable, which is cached as kUnreachable (a negative answer).
-  // A page-read failure truncated the expansion: nothing this run
-  // recorded is trustworthy, and the query is about to fail anyway.
+  // a speculative live-θ abort, or a cancellation) stopped the search
+  // afterwards. An un-pruned, un-interrupted exhaustion additionally
+  // proves the uncovered keywords unreachable, which is cached as
+  // kUnreachable (a negative answer); a cancelled BFS must NOT record
+  // that negative — its frontier simply never got there. A page-read
+  // failure truncated the expansion: nothing this run recorded is
+  // trustworthy, and the query is about to fail anyway.
   if (SemanticQueryCache* cache = db_->semantic_cache();
       cache != nullptr && graph_cursor_.status.ok()) {
     size_t evicted = 0;
     for (const Match& m : matches) {
       evicted +=
           cache->InsertDistance(root, ctx.terms[m.keyword_index],
+                                cache_epoch_,
                                 static_cast<HopDistance>(m.distance));
     }
-    if (!pruned && remaining != 0) {
+    if (!pruned && !interrupted && remaining != 0) {
       uint64_t bits = remaining;
       while (bits != 0) {
         const uint32_t i = static_cast<uint32_t>(std::countr_zero(bits));
         bits &= bits - 1;
-        evicted += cache->InsertDistance(root, ctx.terms[i], kUnreachable);
+        evicted += cache->InsertDistance(root, ctx.terms[i], cache_epoch_,
+                                         kUnreachable);
       }
     }
     if (stats != nullptr) stats->cache_evictions += evicted;
@@ -442,7 +464,9 @@ QueryExecutor::CachedTqsp QueryExecutor::TryCachedTqsp(
   double l = 1.0;
   for (TermId t : ctx.terms) {
     HopDistance d = 0;
-    if (!cache->LookupDistance(root, t, &d)) return CachedTqsp::kMiss;
+    if (!cache->LookupDistance(root, t, cache_epoch_, &d)) {
+      return CachedTqsp::kMiss;
+    }
     if (d == kUnreachable) {
       *looseness = kInf;
       return CachedTqsp::kUnqualified;
@@ -470,6 +494,7 @@ Result<TiedSemanticPlace> QueryExecutor::ComputeTqspAlternatives(
   out.place = place;
   out.root = db_->kb().place_vertex(place);
   KSP_RETURN_NOT_OK(db_->storage_backend_status());
+  interrupt_status_ = Status::OK();
   graph_cursor_.ResetIo();
   QueryContext ctx;
   KSP_RETURN_NOT_OK(PrepareContext(query, &ctx));
@@ -490,6 +515,7 @@ Result<TiedSemanticPlace> QueryExecutor::ComputeTqspAlternatives(
   const bool undirected = db_->options().undirected_edges;
 
   for (size_t qi = 0; qi < queue.size(); ++qi) {
+    if ((qi & 0x3F) == 0 && CheckInterrupt()) break;
     auto [v, dist] = queue[qi];
     // Stop once all keywords are found and BFS has moved past the last
     // minimum distance (no further ties possible).
@@ -525,6 +551,7 @@ Result<TiedSemanticPlace> QueryExecutor::ComputeTqspAlternatives(
   }
   FoldCursorIo(&graph_cursor_.io, nullptr);
   KSP_RETURN_NOT_OK(graph_cursor_.status);
+  KSP_RETURN_NOT_OK(interrupt_status_);
 
   if (found != m) return out;  // Unqualified.
   out.looseness = 1.0;
@@ -544,6 +571,9 @@ Result<SemanticPlaceTree> QueryExecutor::ComputeTqspForPlace(
   tree.place = place;
   tree.root = db_->kb().place_vertex(place);
   KSP_RETURN_NOT_OK(db_->storage_backend_status());
+  interrupt_status_ = Status::OK();
+  const SemanticQueryCache* cache = db_->semantic_cache();
+  cache_epoch_ = cache != nullptr ? cache->epoch() : 0;
   graph_cursor_.ResetIo();
   QueryContext ctx;
   KSP_RETURN_NOT_OK(PrepareContext(query, &ctx));
@@ -552,6 +582,7 @@ Result<SemanticPlaceTree> QueryExecutor::ComputeTqspForPlace(
   ComputeTqsp(tree.root, ctx, kInf, /*use_dynamic_bound=*/false, &tree,
               nullptr);
   KSP_RETURN_NOT_OK(graph_cursor_.status);
+  KSP_RETURN_NOT_OK(interrupt_status_);
   tree.place = place;
   return tree;
 }

@@ -9,6 +9,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/metrics.h"
 #include "common/result.h"
 #include "common/types.h"
@@ -167,6 +168,21 @@ class QueryExecutor {
   void set_metrics(MetricsRegistry* registry);
   MetricsRegistry* metrics() const { return metrics_.registry; }
 
+  /// Attaches a cancellation/deadline token polled cooperatively at phase
+  /// boundaries (per candidate place, every few dozen BFS pops, per
+  /// pipeline commit). When the token trips, the running Execute* unwinds
+  /// promptly and returns Status::Cancelled / Status::DeadlineExceeded
+  /// with the partial QueryStats stamped (stats.completed == false) —
+  /// never a partial top-k presented as complete. Executor scratch stays
+  /// consistent: re-running the same query after a cancellation produces
+  /// results byte-identical to an uncancelled run. Pass nullptr to
+  /// detach; the token must outlive every Execute* that can observe it.
+  void set_cancellation(CancellationToken* token) {
+    cancel_ = token;
+    interrupt_status_ = Status::OK();
+  }
+  CancellationToken* cancellation() const { return cancel_; }
+
   /// Forces the BFS epoch counter, so tests can exercise the uint32_t
   /// wraparound path without 2^32 warm-up queries.
   void set_bfs_epoch_for_testing(uint32_t epoch) { epoch_ = epoch; }
@@ -305,6 +321,7 @@ class QueryExecutor {
     Counter* bufferpool_evictions = nullptr;
     Counter* wall_us = nullptr;
     Counter* semantic_us = nullptr;
+    Counter* cancellations = nullptr;
     Counter* phase_us[kNumTracePhases] = {};
     Histogram* latency_ms = nullptr;
   };
@@ -324,6 +341,36 @@ class QueryExecutor {
     if (trace != nullptr) trace->Clear();
     return trace;
   }
+
+  /// Per-query entry bookkeeping shared by every Execute*: clears the
+  /// sticky interrupt status from a previous (cancelled) run and
+  /// snapshots the semantic-cache invalidation epoch every cache
+  /// operation of this query is tagged with (see SemanticQueryCache).
+  QueryTrace* BeginQuery() {
+    interrupt_status_ = Status::OK();
+    const SemanticQueryCache* cache = db_->semantic_cache();
+    cache_epoch_ = cache != nullptr ? cache->epoch() : 0;
+    return BeginQueryTrace();
+  }
+
+  /// Polls the attached cancellation token (no token: always false). The
+  /// first trip sticks in interrupt_status_ until the next Execute*, so
+  /// every later poll of the same query is a cheap branch and the
+  /// algorithm loops unwind deterministically.
+  bool CheckInterrupt() {
+    if (cancel_ == nullptr) return false;
+    if (interrupt_status_.ok()) {
+      Status st = cancel_->Check();
+      if (!st.ok()) interrupt_status_ = std::move(st);
+    }
+    return !interrupt_status_.ok();
+  }
+
+  /// Interrupted-query epilogue: marks the stats incomplete, bumps the
+  /// cancellations counter, flushes metrics, and returns the interrupt
+  /// status. Callers stamp total_ms/semantic_ms first — the partial
+  /// stats stay observable on the caller-provided QueryStats.
+  Status FinishInterrupted(QueryStats* st);
 
   /// Flushes one finished query into the metrics registry: QueryStats
   /// counters, wall/semantic time, the latency histogram, and the active
@@ -364,6 +411,18 @@ class QueryExecutor {
   /// error instead of a silently truncated expansion.
   GraphCursor graph_cursor_;
   SpatialCursor spatial_cursor_;
+
+  /// Cooperative cancellation (see set_cancellation). interrupt_status_
+  /// is the sticky first trip of the current query; cleared by
+  /// BeginQuery()/set_cancellation.
+  CancellationToken* cancel_ = nullptr;
+  Status interrupt_status_;
+
+  /// Semantic-cache epoch snapshot of the current query (BeginQuery);
+  /// tags every cache lookup/insert so an index reload mid-query can
+  /// never mix cached data across generations. The pipeline copies the
+  /// driving executor's snapshot onto its workers.
+  uint64_t cache_epoch_ = 0;
 
   /// Observability state. The internal trace is aggregate-only scratch
   /// (record_spans off) used when metrics are attached without a trace.

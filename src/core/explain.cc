@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "common/strings.h"
 #include "core/executor.h"
 #include "rdf/knowledge_base.h"
 
@@ -76,6 +77,9 @@ std::string ExplainReport::ToText(const KnowledgeBase* kb) const {
     out += line;
   }
   out += "terminated: " + termination + "\n";
+  if (!storage_backend.ok()) {
+    out += "storage backend: " + storage_backend.ToString() + "\n";
+  }
   std::snprintf(line, sizeof(line),
                 "counters: tqsp=%" PRIu64 " rtree_nodes=%" PRIu64
                 " reach=%" PRIu64 " pruned r1=%" PRIu64 " r2=%" PRIu64
@@ -129,6 +133,9 @@ std::string ExplainReport::ToJson() const {
     out += "\"}";
   }
   out += "], \"termination\": \"" + termination + "\"";
+  out += ", \"storage_backend\": \"" +
+         JsonEscape(storage_backend.ok() ? "ok" : storage_backend.ToString()) +
+         "\"";
   out += ", \"result\": [";
   for (size_t i = 0; i < result.entries.size(); ++i) {
     const KspResultEntry& entry = result.entries[i];
@@ -155,6 +162,13 @@ Result<ExplainReport> QueryExecutor::Explain(const KspQuery& query,
   report.algorithm = algorithm;
   report.query = query;
   report.termination = "exhausted";
+  report.storage_backend = db_->storage_backend_status();
+  if (!report.storage_backend.ok()) {
+    // The query would be rejected by CheckPrepared; report the backend
+    // error as the (only) finding instead of failing the EXPLAIN itself.
+    report.termination = "storage_backend_error";
+    return report;
+  }
 
   // The report doubles as the collector: the Execute* loops append
   // candidate rows while explain_ is set.

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "common/types.h"
 #include "core/query.h"
 #include "core/semantic_place.h"
@@ -68,9 +69,14 @@ struct ExplainReport {
   KspQuery query;
   std::vector<ExplainCandidate> candidates;
   /// Why the search stopped: "threshold" (no remaining candidate can beat
-  /// θ), "exhausted" (candidate stream drained), "timeout", or
-  /// "unanswerable" (a keyword has no postings / unknown keyword).
+  /// θ), "exhausted" (candidate stream drained), "timeout", "cancelled"
+  /// (deadline/cancellation token tripped), "unanswerable" (a keyword has
+  /// no postings / unknown keyword), or "storage_backend_error" (the
+  /// configured backend cannot serve queries — see storage_backend).
   std::string termination;
+  /// KspDatabase::storage_backend_status() at explain time. Non-OK means
+  /// the query never ran: the report carries the error instead of rows.
+  Status storage_backend = Status::OK();
   KspResult result;
   QueryStats stats;
 

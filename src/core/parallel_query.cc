@@ -429,6 +429,23 @@ void IntraQueryPipeline::CommitLoop(std::unique_lock<std::mutex>& lock,
                                     const Timer& total_timer, TopKHeap* heap,
                                     QueryStats* st, QueryTrace* trace) {
   const KspOptions& options = db_->options();
+  // Sole interruption authority of the run. A worker whose BFS was cut
+  // short reports +inf looseness, which would commit as "unqualified" —
+  // a wrong answer, not just a slow one. The token is sticky, so a trip
+  // any worker observed before marking its slot kDone is visible here
+  // (slot-done is published under mu_), and checking before every commit
+  // keeps cut-short speculation out of the heap. A trip first observed
+  // *after* the stream already committed to completion changes nothing:
+  // the result is complete and is returned as such.
+  auto interrupted = [&]() -> bool {
+    if (run_cancel_ == nullptr) return false;
+    Status s = run_cancel_->Check();
+    if (!s.ok()) {
+      if (run_status_.ok()) run_status_ = std::move(s);
+      return true;
+    }
+    return false;
+  };
   for (;;) {
     cv_.wait(lock, [&] { return committed_ < produced_ || producer_done_; });
     if (committed_ == produced_) {
@@ -436,12 +453,20 @@ void IntraQueryPipeline::CommitLoop(std::unique_lock<std::mutex>& lock,
       // (SP node pops — exact behind the barrier).
       st->rtree_nodes_accessed = producer_rtree_nodes_;
       if (producer_timeout_) st->completed = false;
+      if (interrupted()) st->completed = false;
       return;
     }
     Slot& slot = ring_[committed_ % ring_.size()];
     // Same per-item order as the sequential loops: timeout first, then
     // the ascending-bound termination test, then the candidate itself.
     if (total_timer.ElapsedMillis() > options.time_limit_ms) {
+      st->completed = false;
+      st->rtree_nodes_accessed = mode_ == Mode::kSpatialFirst
+                                     ? slot.rtree_nodes
+                                     : producer_rtree_nodes_;
+      return;
+    }
+    if (interrupted()) {
       st->completed = false;
       st->rtree_nodes_accessed = mode_ == Mode::kSpatialFirst
                                      ? slot.rtree_nodes
@@ -456,6 +481,13 @@ void IntraQueryPipeline::CommitLoop(std::unique_lock<std::mutex>& lock,
     }
     if (!slot.is_node) {
       cv_.wait(lock, [&] { return slot.state == SlotState::kDone; });
+      if (interrupted()) {
+        st->completed = false;
+        st->rtree_nodes_accessed = mode_ == Mode::kSpatialFirst
+                                       ? slot.rtree_nodes
+                                       : producer_rtree_nodes_;
+        return;
+      }
       CommitCandidate(&slot, heap, st, trace);
       theta_.store(heap->Threshold(), std::memory_order_relaxed);
     }
@@ -469,7 +501,8 @@ Status IntraQueryPipeline::Run(Mode mode, const KspQuery& query,
                                bool use_rule1, bool use_rule2,
                                const Timer& total_timer, TopKHeap* heap,
                                QueryStats* stats, double* semantic_seconds,
-                               QueryTrace* trace) {
+                               QueryTrace* trace, CancellationToken* cancel,
+                               uint64_t cache_epoch) {
   std::unique_lock<std::mutex> lock(mu_);
   mode_ = mode;
   query_ = &query;
@@ -477,6 +510,7 @@ Status IntraQueryPipeline::Run(Mode mode, const KspQuery& query,
   use_rule1_ = use_rule1;
   use_rule2_ = use_rule2;
   total_timer_ = &total_timer;
+  run_cancel_ = cancel;
   tracing_ = trace != nullptr;
   produced_ = committed_ = claim_cursor_ = 0;
   producer_done_ = producer_timeout_ = stop_ = false;
@@ -499,6 +533,12 @@ Status IntraQueryPipeline::Run(Mode mode, const KspQuery& query,
     // run is untraced) and clear any sticky error from a prior run.
     worker_execs_[i]->set_trace(tracing_ ? worker_traces_[i].get() : nullptr);
     worker_execs_[i]->graph_cursor_.ResetIo();
+    // Share the run's token so worker BFS loops stop early on a trip
+    // (set_cancellation also clears the sticky interrupt of a prior run)
+    // and pin the workers' dg-cache inserts to the driving executor's
+    // epoch snapshot.
+    worker_execs_[i]->set_cancellation(run_cancel_);
+    worker_execs_[i]->cache_epoch_ = cache_epoch;
   }
   active_ = worker_execs_.size() + 1;
   ++generation_;
@@ -510,6 +550,11 @@ Status IntraQueryPipeline::Run(Mode mode, const KspQuery& query,
   stop_ = true;
   cv_.notify_all();
   cv_.wait(lock, [&] { return active_ == 0; });
+
+  // Detach the caller-owned token before Run returns — it must not
+  // dangle into the next run (which may carry no token at all).
+  for (const auto& exec : worker_execs_) exec->set_cancellation(nullptr);
+  run_cancel_ = nullptr;
 
   stats->pruned_alpha_place += producer_pruned_rule3_;
   stats->pruned_alpha_node += producer_pruned_rule4_;
@@ -544,17 +589,21 @@ Status IntraQueryPipeline::Run(Mode mode, const KspQuery& query,
 Status IntraQueryPipeline::RunSpatialFirst(
     const KspQuery& query, const QueryExecutor::QueryContext& ctx,
     bool use_rule1, bool use_rule2, const Timer& total_timer, TopKHeap* heap,
-    QueryStats* stats, double* semantic_seconds, QueryTrace* trace) {
+    QueryStats* stats, double* semantic_seconds, QueryTrace* trace,
+    CancellationToken* cancel, uint64_t cache_epoch) {
   return Run(Mode::kSpatialFirst, query, ctx, use_rule1, use_rule2,
-             total_timer, heap, stats, semantic_seconds, trace);
+             total_timer, heap, stats, semantic_seconds, trace, cancel,
+             cache_epoch);
 }
 
 Status IntraQueryPipeline::RunAlphaOrdered(
     const KspQuery& query, const QueryExecutor::QueryContext& ctx,
     bool use_rule1, bool use_rule2, const Timer& total_timer, TopKHeap* heap,
-    QueryStats* stats, double* semantic_seconds, QueryTrace* trace) {
+    QueryStats* stats, double* semantic_seconds, QueryTrace* trace,
+    CancellationToken* cancel, uint64_t cache_epoch) {
   return Run(Mode::kAlphaOrdered, query, ctx, use_rule1, use_rule2,
-             total_timer, heap, stats, semantic_seconds, trace);
+             total_timer, heap, stats, semantic_seconds, trace, cancel,
+             cache_epoch);
 }
 
 }  // namespace ksp

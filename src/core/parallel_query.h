@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/io_stats.h"
 #include "common/status.h"
 #include "core/executor.h"
@@ -68,13 +69,20 @@ class IntraQueryPipeline {
   /// accrues summed worker TQSP time (may exceed wall time); `trace`, if
   /// non-null, receives producer/worker phase aggregates via
   /// MergeAggregates. Returns non-OK when a disk-backend read failed on
-  /// the producer or any worker (results are then meaningless).
+  /// the producer or any worker (results are then meaningless), or with
+  /// kCancelled/kDeadlineExceeded when `cancel` (optional; shared with
+  /// every worker for the run) tripped — the ordered commit is the sole
+  /// authority on that verdict, so a completed commit never turns into
+  /// an interruption retroactively. `cache_epoch` is the driving
+  /// executor's semantic-cache epoch snapshot, copied onto the workers
+  /// so speculative inserts stay in the query's cache generation.
   Status RunSpatialFirst(const KspQuery& query,
                          const QueryExecutor::QueryContext& ctx,
                          bool use_rule1, bool use_rule2,
                          const Timer& total_timer, TopKHeap* heap,
                          QueryStats* stats, double* semantic_seconds,
-                         QueryTrace* trace);
+                         QueryTrace* trace, CancellationToken* cancel,
+                         uint64_t cache_epoch);
 
   /// SP: replaces the sequential loop of ExecuteSp (α pruning on, R-tree
   /// non-empty). Node expansions — whose Rule-3/4 tests and termination
@@ -86,7 +94,8 @@ class IntraQueryPipeline {
                          bool use_rule1, bool use_rule2,
                          const Timer& total_timer, TopKHeap* heap,
                          QueryStats* stats, double* semantic_seconds,
-                         QueryTrace* trace);
+                         QueryTrace* trace, CancellationToken* cancel,
+                         uint64_t cache_epoch);
 
  private:
   enum class Mode { kSpatialFirst, kAlphaOrdered };
@@ -126,7 +135,8 @@ class IntraQueryPipeline {
   Status Run(Mode mode, const KspQuery& query,
              const QueryExecutor::QueryContext& ctx, bool use_rule1,
              bool use_rule2, const Timer& total_timer, TopKHeap* heap,
-             QueryStats* stats, double* semantic_seconds, QueryTrace* trace);
+             QueryStats* stats, double* semantic_seconds, QueryTrace* trace,
+             CancellationToken* cancel, uint64_t cache_epoch);
 
   void ProducerLoop();
   void WorkerLoop(size_t worker_index);
@@ -176,6 +186,12 @@ class IntraQueryPipeline {
   bool use_rule2_ = false;
   bool tracing_ = false;
   const Timer* total_timer_ = nullptr;
+  /// Cancellation token of the current run (nullptr: none). Shared with
+  /// every worker executor; the CommitLoop polls it and is the only
+  /// stage allowed to fold a trip into run_status_ — workers and
+  /// producer just stop early, so a query that commits to completion
+  /// before the trip is observed still returns its complete result.
+  CancellationToken* run_cancel_ = nullptr;
   std::vector<Slot> ring_;
   uint64_t produced_ = 0;
   uint64_t committed_ = 0;

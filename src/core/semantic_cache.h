@@ -1,10 +1,12 @@
 #ifndef KSP_CORE_SEMANTIC_CACHE_H_
 #define KSP_CORE_SEMANTIC_CACHE_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <limits>
 #include <string>
+#include <utility>
 
 #include "common/cache.h"
 #include "common/types.h"
@@ -36,6 +38,16 @@ inline constexpr size_t kCacheUnlimited =
 /// top-k admittance — is bit-identical to the uncached run; see DESIGN.md
 /// §9 for the argument. The budget is split 3:1 between the dg and result
 /// layers. Thread-safe; Invalidate() drops all entries (index reload).
+///
+/// Invalidation is an epoch-tagged atomic transition. Every executor
+/// snapshots epoch() once at query start, tags its inserts with that
+/// snapshot, and passes it to every lookup; a lookup only hits when the
+/// entry's recorded epoch equals the caller's snapshot. Invalidate()
+/// bumps the epoch BEFORE clearing, so an insert racing the clear —
+/// computed against the old indexes, landing after Clear() — carries the
+/// old epoch and is invisible to every query that starts after
+/// Invalidate() returns. There is no window in which a query can mix
+/// generation-N cached distances with generation-N+1 indexes.
 class SemanticQueryCache {
  public:
   explicit SemanticQueryCache(size_t budget_bytes);
@@ -43,19 +55,33 @@ class SemanticQueryCache {
   SemanticQueryCache(const SemanticQueryCache&) = delete;
   SemanticQueryCache& operator=(const SemanticQueryCache&) = delete;
 
+  /// Current invalidation epoch. Executors snapshot this once per query
+  /// and thread the snapshot through every Lookup*/Insert* below.
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
   /// ---- dg layer ----
 
   /// True (and `*distance` filled, possibly with kUnreachable) when
-  /// dg(root, term) is cached.
-  bool LookupDistance(VertexId root, TermId term, HopDistance* distance) {
-    uint64_t packed = 0;
-    return dg_.Lookup(DistanceKey(root, term), &packed) &&
-           (*distance = static_cast<HopDistance>(packed), true);
+  /// dg(root, term) is cached under the caller's epoch snapshot. An
+  /// entry from another epoch is a miss — never served across an
+  /// invalidation boundary.
+  bool LookupDistance(VertexId root, TermId term, uint64_t epoch,
+                      HopDistance* distance) {
+    DgEntry entry;
+    if (!dg_.Lookup(DistanceKey(root, term), &entry) ||
+        entry.epoch != epoch) {
+      return false;
+    }
+    *distance = entry.distance;
+    return true;
   }
 
-  /// Caches dg(root, term); returns the number of entries evicted.
-  size_t InsertDistance(VertexId root, TermId term, HopDistance distance) {
-    return dg_.Insert(DistanceKey(root, term), distance, kDistanceCharge);
+  /// Caches dg(root, term) tagged with the inserting query's epoch
+  /// snapshot; returns the number of entries evicted.
+  size_t InsertDistance(VertexId root, TermId term, uint64_t epoch,
+                        HopDistance distance) {
+    return dg_.Insert(DistanceKey(root, term), DgEntry{epoch, distance},
+                      kDistanceCharge);
   }
 
   /// ---- result layer ----
@@ -73,27 +99,44 @@ class SemanticQueryCache {
                                    uint32_t alpha,
                                    const RankingFunction& ranking);
 
-  bool LookupResult(const std::string& key, KspResult* result) {
-    return results_.Lookup(key, result);
+  /// Epoch contract identical to LookupDistance.
+  bool LookupResult(const std::string& key, uint64_t epoch,
+                    KspResult* result) {
+    ResultEntry entry;
+    if (!results_.Lookup(key, &entry) || entry.epoch != epoch) {
+      return false;
+    }
+    *result = std::move(entry.result);
+    return true;
   }
 
-  /// Caches a completed result; returns the number of entries evicted.
-  size_t InsertResult(const std::string& key, const KspResult& result) {
-    return results_.Insert(key, result, key.size() + ApproxResultBytes(result));
+  /// Caches a completed result tagged with the inserting query's epoch
+  /// snapshot; returns the number of entries evicted.
+  size_t InsertResult(const std::string& key, uint64_t epoch,
+                      const KspResult& result) {
+    return results_.Insert(key, ResultEntry{epoch, result},
+                           key.size() + ApproxResultBytes(result));
   }
 
   /// ---- maintenance / introspection ----
 
   /// Drops every entry in both layers. Called whenever the database's
   /// indexes change (Build*, LoadIndexes); cumulative counters survive.
+  /// The epoch bump happens first (see the class comment): a racing
+  /// insert tagged with the old epoch that lands after the Clear() is
+  /// dead on arrival for every post-invalidation query.
   void Invalidate() {
+    epoch_.fetch_add(1, std::memory_order_acq_rel);
     dg_.Clear();
     results_.Clear();
   }
 
   using CacheStats = ShardedLruCache<uint64_t, uint64_t>::Stats;
 
-  CacheStats dg_stats() const { return dg_.GetStats(); }
+  CacheStats dg_stats() const {
+    const auto s = dg_.GetStats();
+    return CacheStats{s.hits, s.misses, s.evictions, s.bytes, s.entries};
+  }
   CacheStats result_stats() const {
     const auto s = results_.GetStats();
     return CacheStats{s.hits, s.misses, s.evictions, s.bytes, s.entries};
@@ -107,17 +150,32 @@ class SemanticQueryCache {
   static size_t ApproxResultBytes(const KspResult& result);
 
  private:
+  /// Cached dg(root, term) plus the invalidation epoch it was computed
+  /// under — a lookup from any other epoch treats it as absent.
+  struct DgEntry {
+    uint64_t epoch = 0;
+    HopDistance distance = 0;
+  };
+  /// Cached full result plus its insertion epoch (same contract).
+  struct ResultEntry {
+    uint64_t epoch = 0;
+    KspResult result;
+  };
+
   static uint64_t DistanceKey(VertexId root, TermId term) {
     return (static_cast<uint64_t>(root) << 32) | term;
   }
 
-  /// Accounting charge of one dg entry: 8-byte key + 4-byte distance.
+  /// Accounting charge of one dg entry: 8-byte key + epoch + distance.
   static constexpr size_t kDistanceCharge =
-      sizeof(uint64_t) + sizeof(HopDistance);
+      sizeof(uint64_t) + sizeof(uint64_t) + sizeof(HopDistance);
 
   size_t budget_;
-  ShardedLruCache<uint64_t, uint64_t> dg_;
-  ShardedLruCache<std::string, KspResult> results_;
+  /// Starts at 1 so an executor's "no cache" epoch sentinel of 0 can
+  /// never match a real entry.
+  std::atomic<uint64_t> epoch_{1};
+  ShardedLruCache<uint64_t, DgEntry> dg_;
+  ShardedLruCache<std::string, ResultEntry> results_;
 };
 
 }  // namespace ksp

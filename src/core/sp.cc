@@ -59,7 +59,7 @@ Result<KspResult> QueryExecutor::ExecuteSp(const KspQuery& query,
   QueryStats local_stats;
   QueryStats* st = stats != nullptr ? stats : &local_stats;
   *st = QueryStats();
-  QueryTrace* trace = BeginQueryTrace();
+  QueryTrace* trace = BeginQuery();
   graph_cursor_.ResetIo();
 
   // Full-query result cache (DESIGN.md §9); the α path gets its own key
@@ -76,7 +76,7 @@ Result<KspResult> QueryExecutor::ExecuteSp(const KspQuery& query,
     bool hit;
     {
       TraceSpan span(trace, TracePhase::kCacheLookup);
-      hit = cache->LookupResult(result_key, &cached);
+      hit = cache->LookupResult(result_key, cache_epoch_, &cached);
     }
     if (hit) {
       ++st->result_cache_hits;
@@ -114,10 +114,16 @@ Result<KspResult> QueryExecutor::ExecuteSp(const KspQuery& query,
   TopKHeap heap(query.k);
 
   if (ctx.answerable && !rtree.empty() && UsePipeline()) {
-    KSP_RETURN_NOT_OK(EnsurePipeline()->RunAlphaOrdered(
+    // Same contract as the spatial-first pipeline call (bsp_spp.cc):
+    // interruption flows into the shared epilogue, other errors return.
+    const Status pipeline_status = EnsurePipeline()->RunAlphaOrdered(
         query, ctx, options.use_unqualified_pruning,
         options.use_dynamic_bound_pruning, total_timer, &heap, st,
-        &semantic_seconds, trace));
+        &semantic_seconds, trace, cancel_, cache_epoch_);
+    if (!pipeline_status.ok()) {
+      if (!pipeline_status.IsInterruption()) return pipeline_status;
+      interrupt_status_ = pipeline_status;
+    }
   } else if (ctx.answerable && !rtree.empty()) {
     ExplainTermination("exhausted");
     std::priority_queue<AlphaQueueItem, std::vector<AlphaQueueItem>,
@@ -138,6 +144,10 @@ Result<KspResult> QueryExecutor::ExecuteSp(const KspQuery& query,
       if (total_timer.ElapsedMillis() > options.time_limit_ms) {
         st->completed = false;
         ExplainTermination("timeout");
+        break;
+      }
+      if (CheckInterrupt()) {
+        ExplainTermination("cancelled");
         break;
       }
       AlphaQueueItem item = pq.top();
@@ -220,6 +230,11 @@ Result<KspResult> QueryExecutor::ExecuteSp(const KspQuery& query,
           span.AddItems(st->vertices_visited - visited_before);
         }
         KSP_RETURN_NOT_OK(graph_cursor_.status);
+        if (!interrupt_status_.ok()) {
+          // Interrupted mid-BFS: +inf proves nothing; unwind now.
+          ExplainTermination("cancelled");
+          break;
+        }
         if (looseness == kInf) {
           const bool rule2 = st->pruned_dynamic_bound > rule2_before;
           if (rule2 && trace != nullptr) {
@@ -301,9 +316,11 @@ Result<KspResult> QueryExecutor::ExecuteSp(const KspQuery& query,
 
   st->semantic_ms = semantic_seconds * 1e3;
   st->total_ms = total_timer.ElapsedMillis();
+  if (!interrupt_status_.ok()) return FinishInterrupted(st);
   KspResult result = std::move(heap).Finish();
   if (cache != nullptr && !explain_on() && st->completed) {
-    st->cache_evictions += cache->InsertResult(result_key, result);
+    st->cache_evictions +=
+        cache->InsertResult(result_key, cache_epoch_, result);
   }
   RecordQueryMetrics(*st);
   return result;

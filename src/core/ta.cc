@@ -122,6 +122,11 @@ class TaSearch {
       seeded_ = true;
     }
     while (true) {
+      // Expansion rounds sweep whole keyword frontiers; poll between
+      // them so a deadline lands within one round. A false return here
+      // looks like stream exhaustion to the caller — the caller's own
+      // interrupt check turns it into an error before any result ships.
+      if (exec_->CheckInterrupt()) return false;
       const bool exhausted = FrontiersExhausted();
       const double emit_bound =
           exhausted ? kInf : static_cast<double>(depth_) + 2.0;
@@ -175,6 +180,7 @@ Result<KspResult> TaSearch::Run(const KspQuery& query) {
       stats_->completed = false;
       break;
     }
+    if (exec_->CheckInterrupt()) break;
 
     // Pull from the looseness stream; random-access its spatial distance.
     if (!loose_done) {
@@ -253,6 +259,13 @@ Result<KspResult> TaSearch::Run(const KspQuery& query) {
 
   KSP_RETURN_NOT_OK(spatial.status());
   stats_->rtree_nodes_accessed = spatial.nodes_accessed();
+  if (!exec_->interrupt_status_.ok()) {
+    // Interrupted: stamp the partial timing and surface the error —
+    // the partial top-k is never presented as an answer.
+    stats_->semantic_ms = semantic_seconds * 1e3;
+    stats_->total_ms = total_timer.ElapsedMillis();
+    return exec_->interrupt_status_;
+  }
   KspResult result = std::move(topk).Finish();
   // Materialize the TQSP trees of the final answers only.
   for (KspResultEntry& entry : result.entries) {
@@ -264,6 +277,13 @@ Result<KspResult> TaSearch::Run(const KspQuery& query) {
                          /*use_dynamic_bound=*/false, &entry.tree, nullptr);
     }
     KSP_RETURN_NOT_OK(exec_->graph_cursor_.status);
+    // A deadline can also land during tree materialization; a truncated
+    // tree must not ship inside a "complete" result.
+    if (!exec_->interrupt_status_.ok()) {
+      stats_->semantic_ms = semantic_seconds * 1e3;
+      stats_->total_ms = total_timer.ElapsedMillis();
+      return exec_->interrupt_status_;
+    }
   }
   stats_->semantic_ms = semantic_seconds * 1e3;
   stats_->total_ms = total_timer.ElapsedMillis();
@@ -283,6 +303,7 @@ Result<KspResult> TaSearch::RunKeywordOnly(const KspQuery& query) {
       stats_->completed = false;
       break;
     }
+    if (exec_->CheckInterrupt()) break;
     bool got;
     {
       ScopedTimer semantic_timer(&semantic_seconds);
@@ -311,6 +332,7 @@ Result<KspResult> TaSearch::RunKeywordOnly(const KspQuery& query) {
   }
   stats_->semantic_ms = semantic_seconds * 1e3;
   stats_->total_ms = total_timer.ElapsedMillis();
+  if (!exec_->interrupt_status_.ok()) return exec_->interrupt_status_;
   return result;
 }
 
@@ -320,7 +342,7 @@ Result<KspResult> QueryExecutor::ExecuteKeywordOnly(const KspQuery& query,
   QueryStats local_stats;
   QueryStats* st = stats != nullptr ? stats : &local_stats;
   *st = QueryStats();
-  QueryTrace* trace = BeginQueryTrace();
+  QueryTrace* trace = BeginQuery();
   graph_cursor_.ResetIo();
 
   QueryContext ctx;
@@ -336,6 +358,12 @@ Result<KspResult> QueryExecutor::ExecuteKeywordOnly(const KspQuery& query,
 
   TaSearch search(this, ctx, st);
   auto result = search.RunKeywordOnly(query);
+  if (!result.ok() && result.status().IsInterruption()) {
+    st->completed = false;
+    if (metrics_.cancellations != nullptr) {
+      metrics_.cancellations->Increment();
+    }
+  }
   RecordQueryMetrics(*st);
   return result;
 }
@@ -355,7 +383,7 @@ Result<KspResult> QueryExecutor::ExecuteTa(const KspQuery& query,
       return ExecuteSpatialFirst(query, st, false, false);
     }
   }
-  QueryTrace* trace = BeginQueryTrace();
+  QueryTrace* trace = BeginQuery();
   graph_cursor_.ResetIo();
 
   QueryContext ctx;
@@ -371,6 +399,12 @@ Result<KspResult> QueryExecutor::ExecuteTa(const KspQuery& query,
 
   TaSearch search(this, ctx, st);
   auto result = search.Run(query);
+  if (!result.ok() && result.status().IsInterruption()) {
+    st->completed = false;
+    if (metrics_.cancellations != nullptr) {
+      metrics_.cancellations->Increment();
+    }
+  }
   RecordQueryMetrics(*st);
   return result;
 }

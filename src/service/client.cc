@@ -1,0 +1,125 @@
+#include "service/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace ksp {
+
+namespace {
+/// Responses are server-composed; a generous fixed bound keeps a
+/// misbehaving server from ballooning client memory.
+constexpr uint32_t kMaxResponseBytes = 64u << 20;
+}  // namespace
+
+KspClient::~KspClient() { Close(); }
+
+KspClient::KspClient(KspClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)) {}
+
+KspClient& KspClient::operator=(KspClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+void KspClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<KspClient> KspClient::Connect(const std::string& host,
+                                     uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket failed: ") +
+                           std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("unparseable host: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const Status st = Status::IOError(std::string("connect failed: ") +
+                                      std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  return KspClient(fd);
+}
+
+Result<ServiceResponse> KspClient::Call(const ServiceRequest& request) {
+  if (fd_ < 0) return Status::InvalidArgument("client not connected");
+  std::string payload;
+  EncodeRequest(request, &payload);
+  KSP_RETURN_NOT_OK(WriteFrame(fd_, payload));
+  bool clean_eof = false;
+  KSP_RETURN_NOT_OK(ReadFrame(fd_, kMaxResponseBytes, &payload, &clean_eof));
+  if (clean_eof) {
+    return Status::IOError("server closed the connection");
+  }
+  ServiceResponse response;
+  KSP_RETURN_NOT_OK(DecodeResponse(payload, &response));
+  return response;
+}
+
+Result<ServiceResponse> KspClient::Query(
+    KspAlgorithm algorithm, const Point& location,
+    const std::vector<std::string>& keywords, uint32_t k,
+    uint64_t deadline_ms) {
+  ServiceRequest request;
+  request.type = MessageType::kQuery;
+  request.query.algorithm = algorithm;
+  request.query.location = location;
+  request.query.keywords = keywords;
+  request.query.k = k;
+  request.query.deadline_ms = deadline_ms;
+  return Call(request);
+}
+
+Result<ServiceResponse> KspClient::Explain(
+    KspAlgorithm algorithm, const Point& location,
+    const std::vector<std::string>& keywords, uint32_t k,
+    uint64_t deadline_ms) {
+  ServiceRequest request;
+  request.type = MessageType::kExplain;
+  request.query.algorithm = algorithm;
+  request.query.location = location;
+  request.query.keywords = keywords;
+  request.query.k = k;
+  request.query.deadline_ms = deadline_ms;
+  return Call(request);
+}
+
+Result<ServiceResponse> KspClient::Health() {
+  ServiceRequest request;
+  request.type = MessageType::kHealth;
+  return Call(request);
+}
+
+Result<ServiceResponse> KspClient::Metrics() {
+  ServiceRequest request;
+  request.type = MessageType::kMetrics;
+  return Call(request);
+}
+
+Result<ServiceResponse> KspClient::Swap(const std::string& directory) {
+  ServiceRequest request;
+  request.type = MessageType::kSwap;
+  request.directory = directory;
+  return Call(request);
+}
+
+}  // namespace ksp

@@ -1,0 +1,61 @@
+#ifndef KSP_SERVICE_CLIENT_H_
+#define KSP_SERVICE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/query.h"
+#include "service/protocol.h"
+#include "spatial/geometry.h"
+
+namespace ksp {
+
+/// Blocking client for the serving tier: one connection, one outstanding
+/// request at a time. Call() returns the decoded response whatever its
+/// code — application-level rejections (kUnavailable, kDeadlineExceeded,
+/// kInvalidArgument, ...) live in ServiceResponse::code; only transport
+/// and codec failures surface as a non-OK Result. Not thread-safe; use
+/// one client per thread (the load generator does exactly that).
+class KspClient {
+ public:
+  KspClient() = default;
+  ~KspClient();
+
+  KspClient(const KspClient&) = delete;
+  KspClient& operator=(const KspClient&) = delete;
+  KspClient(KspClient&& other) noexcept;
+  KspClient& operator=(KspClient&& other) noexcept;
+
+  static Result<KspClient> Connect(const std::string& host, uint16_t port);
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  Result<ServiceResponse> Call(const ServiceRequest& request);
+
+  /// ---- Conveniences over Call() ----
+
+  Result<ServiceResponse> Query(KspAlgorithm algorithm,
+                                const Point& location,
+                                const std::vector<std::string>& keywords,
+                                uint32_t k, uint64_t deadline_ms = 0);
+  Result<ServiceResponse> Explain(KspAlgorithm algorithm,
+                                  const Point& location,
+                                  const std::vector<std::string>& keywords,
+                                  uint32_t k, uint64_t deadline_ms = 0);
+  Result<ServiceResponse> Health();
+  Result<ServiceResponse> Metrics();
+  Result<ServiceResponse> Swap(const std::string& directory);
+
+ private:
+  explicit KspClient(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+};
+
+}  // namespace ksp
+
+#endif  // KSP_SERVICE_CLIENT_H_

@@ -1,0 +1,245 @@
+#include "service/protocol.h"
+
+#include <sys/socket.h>
+#include <sys/types.h>
+
+#include <bit>
+#include <cerrno>
+#include <cstring>
+
+#include "common/varint.h"
+
+namespace ksp {
+
+namespace {
+
+void PutDouble(std::string* dst, double value) {
+  PutFixed64(dst, std::bit_cast<uint64_t>(value));
+}
+
+Status GetDouble(std::string_view src, size_t* offset, double* value) {
+  uint64_t bits;
+  KSP_RETURN_NOT_OK(GetFixed64(src, offset, &bits));
+  *value = std::bit_cast<double>(bits);
+  return Status::OK();
+}
+
+Status GetByte(std::string_view src, size_t* offset, uint8_t* value) {
+  if (*offset >= src.size()) {
+    return Status::Corruption("truncated service frame");
+  }
+  *value = static_cast<uint8_t>(src[(*offset)++]);
+  return Status::OK();
+}
+
+bool IsQueryType(MessageType type) {
+  return type == MessageType::kQuery || type == MessageType::kExplain;
+}
+
+}  // namespace
+
+void EncodeRequest(const ServiceRequest& request, std::string* out) {
+  out->push_back(static_cast<char>(request.type));
+  if (IsQueryType(request.type)) {
+    out->push_back(static_cast<char>(request.query.algorithm));
+    PutVarint64(out, request.query.k);
+    PutDouble(out, request.query.location.x);
+    PutDouble(out, request.query.location.y);
+    PutVarint64(out, request.query.deadline_ms);
+    PutVarint64(out, request.query.keywords.size());
+    for (const std::string& kw : request.query.keywords) {
+      PutLengthPrefixed(out, kw);
+    }
+  } else if (request.type == MessageType::kSwap) {
+    PutLengthPrefixed(out, request.directory);
+  }
+}
+
+Status DecodeRequest(std::string_view payload, ServiceRequest* request) {
+  *request = ServiceRequest();
+  size_t offset = 0;
+  uint8_t type;
+  KSP_RETURN_NOT_OK(GetByte(payload, &offset, &type));
+  if (type < static_cast<uint8_t>(MessageType::kQuery) ||
+      type > static_cast<uint8_t>(MessageType::kExplain)) {
+    return Status::InvalidArgument("unknown service message type " +
+                                   std::to_string(type));
+  }
+  request->type = static_cast<MessageType>(type);
+  if (IsQueryType(request->type)) {
+    uint8_t algorithm;
+    KSP_RETURN_NOT_OK(GetByte(payload, &offset, &algorithm));
+    if (algorithm > static_cast<uint8_t>(KspAlgorithm::kKeywordOnly)) {
+      return Status::InvalidArgument("unknown algorithm " +
+                                     std::to_string(algorithm));
+    }
+    request->query.algorithm = static_cast<KspAlgorithm>(algorithm);
+    uint64_t k;
+    KSP_RETURN_NOT_OK(GetVarint64(payload, &offset, &k));
+    if (k == 0 || k > UINT32_MAX) {
+      return Status::InvalidArgument("k must be in [1, 2^32)");
+    }
+    request->query.k = static_cast<uint32_t>(k);
+    KSP_RETURN_NOT_OK(
+        GetDouble(payload, &offset, &request->query.location.x));
+    KSP_RETURN_NOT_OK(
+        GetDouble(payload, &offset, &request->query.location.y));
+    KSP_RETURN_NOT_OK(
+        GetVarint64(payload, &offset, &request->query.deadline_ms));
+    uint64_t num_keywords;
+    KSP_RETURN_NOT_OK(GetVarint64(payload, &offset, &num_keywords));
+    // Belt-and-suspenders against a hostile count: the frame already fits
+    // max_payload_bytes, but each keyword costs at least one byte, so the
+    // count can never exceed what remains.
+    if (num_keywords > payload.size() - offset) {
+      return Status::Corruption("keyword count exceeds frame size");
+    }
+    request->query.keywords.reserve(num_keywords);
+    for (uint64_t i = 0; i < num_keywords; ++i) {
+      std::string kw;
+      KSP_RETURN_NOT_OK(GetLengthPrefixed(payload, &offset, &kw));
+      request->query.keywords.push_back(std::move(kw));
+    }
+  } else if (request->type == MessageType::kSwap) {
+    KSP_RETURN_NOT_OK(
+        GetLengthPrefixed(payload, &offset, &request->directory));
+  }
+  if (offset != payload.size()) {
+    return Status::Corruption("trailing bytes after service request");
+  }
+  return Status::OK();
+}
+
+void EncodeResponse(const ServiceResponse& response, std::string* out) {
+  out->push_back(static_cast<char>(response.code));
+  if (response.code != StatusCode::kOk) {
+    PutLengthPrefixed(out, response.message);
+    PutVarint64(out, response.retry_after_ms);
+    return;
+  }
+  PutVarint64(out, response.generation);
+  PutVarint64(out, response.entries.size());
+  for (const WireResultEntry& e : response.entries) {
+    PutVarint64(out, e.place);
+    PutDouble(out, e.looseness);
+    PutDouble(out, e.spatial_distance);
+    PutDouble(out, e.score);
+  }
+  PutDouble(out, response.total_ms);
+  PutLengthPrefixed(out, response.body);
+}
+
+Status DecodeResponse(std::string_view payload, ServiceResponse* response) {
+  *response = ServiceResponse();
+  size_t offset = 0;
+  uint8_t code;
+  KSP_RETURN_NOT_OK(GetByte(payload, &offset, &code));
+  if (code > static_cast<uint8_t>(StatusCode::kUnavailable)) {
+    return Status::Corruption("unknown status code in service response");
+  }
+  response->code = static_cast<StatusCode>(code);
+  if (response->code != StatusCode::kOk) {
+    KSP_RETURN_NOT_OK(
+        GetLengthPrefixed(payload, &offset, &response->message));
+    KSP_RETURN_NOT_OK(
+        GetVarint64(payload, &offset, &response->retry_after_ms));
+  } else {
+    KSP_RETURN_NOT_OK(GetVarint64(payload, &offset, &response->generation));
+    uint64_t num_entries;
+    KSP_RETURN_NOT_OK(GetVarint64(payload, &offset, &num_entries));
+    if (num_entries > payload.size() - offset) {
+      return Status::Corruption("entry count exceeds frame size");
+    }
+    response->entries.reserve(num_entries);
+    for (uint64_t i = 0; i < num_entries; ++i) {
+      WireResultEntry e;
+      uint64_t place;
+      KSP_RETURN_NOT_OK(GetVarint64(payload, &offset, &place));
+      e.place = static_cast<PlaceId>(place);
+      KSP_RETURN_NOT_OK(GetDouble(payload, &offset, &e.looseness));
+      KSP_RETURN_NOT_OK(GetDouble(payload, &offset, &e.spatial_distance));
+      KSP_RETURN_NOT_OK(GetDouble(payload, &offset, &e.score));
+      response->entries.push_back(e);
+    }
+    KSP_RETURN_NOT_OK(GetDouble(payload, &offset, &response->total_ms));
+    KSP_RETURN_NOT_OK(GetLengthPrefixed(payload, &offset, &response->body));
+  }
+  if (offset != payload.size()) {
+    return Status::Corruption("trailing bytes after service response");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// Reads exactly `n` bytes. `*clean_eof` is set only when the connection
+/// closes before the first byte.
+Status ReadFull(int fd, char* buf, size_t n, bool* clean_eof) {
+  size_t done = 0;
+  while (done < n) {
+    const ssize_t r = ::recv(fd, buf + done, n - done, 0);
+    if (r > 0) {
+      done += static_cast<size_t>(r);
+      continue;
+    }
+    if (r == 0) {
+      if (done == 0 && clean_eof != nullptr) {
+        *clean_eof = true;
+        return Status::OK();
+      }
+      return Status::IOError("connection closed mid-frame");
+    }
+    if (errno == EINTR) continue;
+    return Status::IOError(std::string("recv failed: ") +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ReadFrame(int fd, uint32_t max_payload_bytes, std::string* payload,
+                 bool* clean_eof) {
+  payload->clear();
+  if (clean_eof != nullptr) *clean_eof = false;
+  char header[kFrameHeaderBytes];
+  bool eof = false;
+  KSP_RETURN_NOT_OK(ReadFull(fd, header, sizeof(header), &eof));
+  if (eof) {
+    if (clean_eof != nullptr) *clean_eof = true;
+    return Status::OK();
+  }
+  uint32_t size;
+  std::memcpy(&size, header, sizeof(size));
+  if (size > max_payload_bytes) {
+    return Status::InvalidArgument(
+        "frame of " + std::to_string(size) + " bytes exceeds the " +
+        std::to_string(max_payload_bytes) + "-byte limit");
+  }
+  payload->resize(size);
+  if (size == 0) return Status::OK();
+  return ReadFull(fd, payload->data(), size, nullptr);
+}
+
+Status WriteFrame(int fd, std::string_view payload) {
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  const uint32_t size = static_cast<uint32_t>(payload.size());
+  frame.append(reinterpret_cast<const char*>(&size), sizeof(size));
+  frame.append(payload);
+  size_t done = 0;
+  while (done < frame.size()) {
+    const ssize_t w =
+        ::send(fd, frame.data() + done, frame.size() - done, MSG_NOSIGNAL);
+    if (w >= 0) {
+      done += static_cast<size_t>(w);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return Status::IOError(std::string("send failed: ") +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace ksp

@@ -1,0 +1,108 @@
+#ifndef KSP_SERVICE_PROTOCOL_H_
+#define KSP_SERVICE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "core/query.h"
+#include "spatial/geometry.h"
+
+namespace ksp {
+
+/// Wire protocol of the query serving tier (DESIGN.md §11): every message
+/// is one length-prefixed frame — a fixed32 little-endian payload size
+/// followed by that many payload bytes — over a stream socket, strictly
+/// request/response per connection. The payload reuses the varint /
+/// fixed-width codec of the on-disk indexes (common/varint.h); doubles
+/// travel as their IEEE-754 bit pattern in a fixed64.
+///
+/// Requests carry keyword *strings*; the server resolves them against the
+/// vocabulary of whichever index generation answers, so a client never
+/// holds TermIds that a hot swap could invalidate.
+
+/// Frame size prefix width.
+inline constexpr size_t kFrameHeaderBytes = 4;
+
+enum class MessageType : uint8_t {
+  kQuery = 1,    // Top-k retrieval; runs on a pool worker.
+  kHealth = 2,   // Liveness + backend/queue snapshot; served inline.
+  kMetrics = 3,  // Registry snapshot (Prometheus text); served inline.
+  kSwap = 4,     // Hot index swap to a saved directory; served inline.
+  kExplain = 5,  // EXPLAIN report (JSON body); runs on a pool worker.
+};
+
+/// A kQuery / kExplain payload.
+struct QueryRequest {
+  KspAlgorithm algorithm = KspAlgorithm::kSp;
+  uint32_t k = 1;
+  Point location;
+  /// Per-request deadline measured from admission, 0 = server default.
+  /// The clock covers queue wait: a request that waits out its deadline
+  /// is answered kDeadlineExceeded without ever running.
+  uint64_t deadline_ms = 0;
+  std::vector<std::string> keywords;
+};
+
+/// One decoded request frame. `query` is meaningful for kQuery/kExplain,
+/// `directory` for kSwap.
+struct ServiceRequest {
+  MessageType type = MessageType::kQuery;
+  QueryRequest query;
+  std::string directory;
+};
+
+/// One top-k entry on the wire (the semantic-place tree stays server-side;
+/// clients that need matched vertices use kExplain).
+struct WireResultEntry {
+  PlaceId place = kInvalidPlace;
+  double looseness = 0.0;
+  double spatial_distance = 0.0;
+  double score = 0.0;
+};
+
+/// One decoded response frame. `code != kOk` carries `message` and, for
+/// kUnavailable (admission rejection / draining), a `retry_after_ms`
+/// backoff hint. Successful responses carry the serving generation that
+/// answered plus the type-specific payload: `entries`/`total_ms` for
+/// kQuery, `body` for kHealth/kMetrics/kExplain.
+struct ServiceResponse {
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+  uint64_t retry_after_ms = 0;
+  uint64_t generation = 0;
+  std::vector<WireResultEntry> entries;
+  double total_ms = 0.0;
+  std::string body;
+
+  bool ok() const { return code == StatusCode::kOk; }
+};
+
+/// ---- Payload codec (no I/O) ----
+
+void EncodeRequest(const ServiceRequest& request, std::string* out);
+Status DecodeRequest(std::string_view payload, ServiceRequest* request);
+
+void EncodeResponse(const ServiceResponse& response, std::string* out);
+Status DecodeResponse(std::string_view payload, ServiceResponse* response);
+
+/// ---- Frame I/O over a connected stream socket ----
+
+/// Reads one frame into `payload`. A connection closed cleanly between
+/// frames sets `*clean_eof` and returns OK with an empty payload; a close
+/// or error mid-frame is an IOError. A frame announcing more than
+/// `max_payload_bytes` fails with InvalidArgument *before* reading the
+/// payload — the caller should answer and drop the connection, since the
+/// unread bytes make the stream unframeable.
+Status ReadFrame(int fd, uint32_t max_payload_bytes, std::string* payload,
+                 bool* clean_eof);
+
+/// Writes one frame (size prefix + payload). Suppresses SIGPIPE.
+Status WriteFrame(int fd, std::string_view payload);
+
+}  // namespace ksp
+
+#endif  // KSP_SERVICE_PROTOCOL_H_

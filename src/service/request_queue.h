@@ -1,0 +1,73 @@
+#ifndef KSP_SERVICE_REQUEST_QUEUE_H_
+#define KSP_SERVICE_REQUEST_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace ksp {
+
+/// Bounded MPMC admission queue of the serving tier. Producers never
+/// block: TryPush refuses immediately when the queue is at capacity (the
+/// caller answers kUnavailable with a retry hint — backpressure is a
+/// typed rejection, not an unbounded wait). Consumers block in Pop until
+/// an item or Close() arrives; after Close the queue drains — Pop keeps
+/// returning queued items so every admitted request gets a response, and
+/// returns false only once closed AND empty.
+template <typename T>
+class BoundedRequestQueue {
+ public:
+  explicit BoundedRequestQueue(size_t capacity) : capacity_(capacity) {}
+
+  BoundedRequestQueue(const BoundedRequestQueue&) = delete;
+  BoundedRequestQueue& operator=(const BoundedRequestQueue&) = delete;
+
+  /// Non-blocking admission; false when full or closed.
+  bool TryPush(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocks for the next item; false once closed and drained.
+  bool Pop(T* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;
+    *out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace ksp
+
+#endif  // KSP_SERVICE_REQUEST_QUEUE_H_

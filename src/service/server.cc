@@ -1,0 +1,437 @@
+#include "service/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/strings.h"
+#include "common/timer.h"
+#include "core/parallel.h"
+#include "rdf/knowledge_base.h"
+#include "service/protocol.h"
+
+namespace ksp {
+
+namespace {
+
+ServiceResponse ErrorResponse(const Status& status,
+                              uint64_t retry_after_ms = 0) {
+  ServiceResponse response;
+  response.code = status.code();
+  response.message = status.message();
+  response.retry_after_ms = retry_after_ms;
+  return response;
+}
+
+}  // namespace
+
+void KspServer::PendingRequest::Complete(std::string payload) {
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    response_payload = std::move(payload);
+    done = true;
+  }
+  cv.notify_one();
+}
+
+void KspServer::PendingRequest::Wait() {
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return done; });
+}
+
+KspServer::KspServer(const KnowledgeBase* kb, KspOptions db_options,
+                     ServerOptions options)
+    : kb_(kb),
+      db_options_(std::move(db_options)),
+      options_(std::move(options)),
+      queue_(options_.queue_capacity) {
+  server_metrics_.requests = registry_.GetCounter("ksp_server_requests_total");
+  server_metrics_.overload_rejections =
+      registry_.GetCounter("ksp_server_overload_rejections_total");
+  server_metrics_.malformed_rejections =
+      registry_.GetCounter("ksp_server_malformed_rejections_total");
+  server_metrics_.deadline_exceeded =
+      registry_.GetCounter("ksp_server_deadline_exceeded_total");
+  server_metrics_.swaps = registry_.GetCounter("ksp_server_swaps_total");
+  server_metrics_.queue_depth = registry_.GetGauge("ksp_server_queue_depth");
+  server_metrics_.request_ms =
+      registry_.GetHistogram("ksp_server_request_ms");
+}
+
+KspServer::~KspServer() { Stop(); }
+
+Status KspServer::ServeDatabase(std::shared_ptr<KspDatabase> db) {
+  if (db == nullptr) {
+    return Status::InvalidArgument("ServeDatabase requires a database");
+  }
+  if (!db->has_rtree()) {
+    return Status::InvalidArgument(
+        "serving database has no R-tree: prepare or load indexes first");
+  }
+  std::lock_guard<std::mutex> lock(state_mu_);
+  auto state = std::make_shared<ServingState>();
+  state->db = std::move(db);
+  state->generation = ++installs_;
+  // The one-pointer flip IS the swap: workers snapshot `serving_` per
+  // request, in-flight queries keep their generation pinned through the
+  // shared_ptr, and the incoming database carries its own (empty)
+  // semantic cache — flip and cache invalidation are one atomic step.
+  serving_ = std::move(state);
+  return Status::OK();
+}
+
+Status KspServer::ServeDirectory(const std::string& directory) {
+  // Load off to the side first; the live generation keeps serving and is
+  // untouched by a failed load.
+  auto fresh = std::make_shared<KspDatabase>(kb_, db_options_);
+  KSP_RETURN_NOT_OK(fresh->LoadIndexes(directory));
+  KSP_RETURN_NOT_OK(fresh->storage_backend_status());
+  return ServeDatabase(std::move(fresh));
+}
+
+uint64_t KspServer::serving_generation() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return serving_ != nullptr ? serving_->generation : 0;
+}
+
+std::shared_ptr<KspServer::ServingState> KspServer::CurrentState() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return serving_;
+}
+
+Status KspServer::Start() {
+  if (started_.exchange(true)) {
+    return Status::InvalidArgument("server already started");
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IOError(std::string("socket failed: ") +
+                           std::strerror(errno));
+  }
+  const int enable = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable,
+               sizeof(enable));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("unparseable listen host: " +
+                                   options_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const Status st = Status::IOError(std::string("bind failed: ") +
+                                      std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  socklen_t addr_len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+  bound_port_ = ntohs(addr.sin_port);
+  if (::listen(listen_fd_, 128) < 0) {
+    const Status st = Status::IOError(std::string("listen failed: ") +
+                                      std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  workers_.reserve(options_.num_workers);
+  for (size_t i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void KspServer::Stop() {
+  if (!started_.load() || stopping_.exchange(true)) return;
+  // 1. Stop accepting: a shutdown unblocks the acceptor's accept().
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (acceptor_.joinable()) acceptor_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  // 2. Drain the queue: workers answer every admitted request (stopping_
+  //    turns them into kUnavailable without executing), which unblocks
+  //    the connection threads waiting in PendingRequest::Wait.
+  queue_.Close();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  // 3. Unblock connection reads and join the connection threads (each
+  //    closes its own fd on the way out).
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (const auto& [id, fd] : live_connections_) {
+      ::shutdown(fd, SHUT_RDWR);
+    }
+  }
+  for (std::thread& t : connection_threads_) {
+    if (t.joinable()) t.join();
+  }
+  connection_threads_.clear();
+}
+
+void KspServer::AcceptLoop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // Listener shut down (or unrecoverable): stop accepting.
+    }
+    if (stopping_.load()) {
+      ::close(fd);
+      return;
+    }
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    const uint64_t conn_id = next_conn_id_++;
+    live_connections_[conn_id] = fd;
+    connection_threads_.emplace_back(
+        [this, fd, conn_id] { ConnectionLoop(fd, conn_id); });
+  }
+}
+
+Status KspServer::ValidateRequest(const ServiceRequest& request) const {
+  if (request.type == MessageType::kQuery ||
+      request.type == MessageType::kExplain) {
+    if (request.query.keywords.size() > options_.max_keywords) {
+      return Status::InvalidArgument(
+          "query carries " + std::to_string(request.query.keywords.size()) +
+          " keywords; the server accepts at most " +
+          std::to_string(options_.max_keywords));
+    }
+  }
+  if (request.type == MessageType::kSwap && request.directory.empty()) {
+    return Status::InvalidArgument("swap request carries no directory");
+  }
+  return Status::OK();
+}
+
+void KspServer::ConnectionLoop(int fd, uint64_t conn_id) {
+  std::string payload;
+  for (;;) {
+    bool clean_eof = false;
+    const Status frame_status =
+        ReadFrame(fd, options_.max_frame_bytes, &payload, &clean_eof);
+    if (clean_eof) break;
+    if (!frame_status.ok()) {
+      // An oversized announcement is answerable (the payload was never
+      // read, so nothing desynchronized yet) but the connection must
+      // drop — the unread bytes make further framing impossible.
+      if (frame_status.IsInvalidArgument()) {
+        server_metrics_.malformed_rejections->Increment();
+        std::string out;
+        EncodeResponse(ErrorResponse(frame_status), &out);
+        WriteFrame(fd, out);
+      }
+      break;
+    }
+    server_metrics_.requests->Increment();
+    ServiceRequest request;
+    Status status = DecodeRequest(payload, &request);
+    if (status.ok()) status = ValidateRequest(request);
+    if (!status.ok()) {
+      // Fast reject before any executor involvement; the stream is still
+      // framed, so the connection survives.
+      server_metrics_.malformed_rejections->Increment();
+      std::string out;
+      EncodeResponse(ErrorResponse(status), &out);
+      if (!WriteFrame(fd, out).ok()) break;
+      continue;
+    }
+
+    std::string out;
+    if (request.type == MessageType::kQuery ||
+        request.type == MessageType::kExplain) {
+      PendingRequest pending;
+      pending.request = std::move(request);
+      uint64_t deadline_ms = pending.request.query.deadline_ms;
+      if (deadline_ms == 0) deadline_ms = options_.default_deadline_ms;
+      // Armed at admission: the deadline covers queue wait, so a request
+      // that ages out while queued never reaches the engine.
+      if (deadline_ms != 0) {
+        pending.token.set_deadline_after_ms(
+            static_cast<int64_t>(deadline_ms));
+      }
+      if (!queue_.TryPush(&pending)) {
+        server_metrics_.overload_rejections->Increment();
+        EncodeResponse(
+            ErrorResponse(
+                Status::Unavailable(
+                    "admission queue full (" +
+                    std::to_string(queue_.capacity()) + " requests)"),
+                options_.overload_retry_after_ms),
+            &out);
+      } else {
+        server_metrics_.queue_depth->Set(
+            static_cast<double>(queue_.size()));
+        pending.Wait();
+        out = std::move(pending.response_payload);
+      }
+    } else {
+      ServiceResponse response;
+      switch (request.type) {
+        case MessageType::kHealth:
+          response = HandleHealth();
+          break;
+        case MessageType::kMetrics:
+          response = HandleMetrics();
+          break;
+        default:
+          response = HandleSwap(request);
+          break;
+      }
+      EncodeResponse(response, &out);
+    }
+    if (!WriteFrame(fd, out).ok()) break;
+  }
+  ::close(fd);
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  live_connections_.erase(conn_id);
+}
+
+void KspServer::WorkerLoop() {
+  // Per-worker executor, rebuilt when the serving generation changes. The
+  // cached shared_ptr pins the old database until the rebuild, and the
+  // per-request snapshot pins it for the query's duration.
+  std::shared_ptr<ServingState> cached_state;
+  std::unique_ptr<QueryExecutor> executor;
+  PendingRequest* request = nullptr;
+  while (queue_.Pop(&request)) {
+    server_metrics_.queue_depth->Set(static_cast<double>(queue_.size()));
+    std::string out;
+    if (stopping_.load()) {
+      EncodeResponse(
+          ErrorResponse(Status::Unavailable("server shutting down"),
+                        options_.overload_retry_after_ms),
+          &out);
+      request->Complete(std::move(out));
+      continue;
+    }
+    const std::shared_ptr<ServingState> state = CurrentState();
+    if (state == nullptr) {
+      EncodeResponse(
+          ErrorResponse(Status::Unavailable("no index generation installed"),
+                        options_.overload_retry_after_ms),
+          &out);
+      request->Complete(std::move(out));
+      continue;
+    }
+    if (state != cached_state) {
+      executor = std::make_unique<QueryExecutor>(state->db.get());
+      executor->set_metrics(&registry_);
+      executor->set_intra_query_threads(options_.intra_query_threads);
+      cached_state = state;
+    }
+    HandleQuery(request, executor.get(), *state);
+  }
+}
+
+void KspServer::HandleQuery(PendingRequest* request, QueryExecutor* executor,
+                            const ServingState& state) {
+  Timer timer;
+  timer.Start();
+  ServiceResponse response;
+  response.generation = state.generation;
+  const QueryRequest& qr = request->request.query;
+
+  // A request whose deadline elapsed in the queue fails here, before any
+  // engine work; a trip mid-query unwinds cooperatively below.
+  Status status = request->token.Check();
+  if (status.ok()) {
+    const KspQuery query =
+        state.db->MakeQuery(qr.location, qr.keywords, qr.k);
+    executor->set_cancellation(&request->token);
+    if (request->request.type == MessageType::kExplain) {
+      Result<ExplainReport> report = executor->Explain(query, qr.algorithm);
+      if (report.ok()) {
+        response.body = report->ToJson();
+      } else {
+        status = report.status();
+      }
+    } else {
+      QueryStats stats;
+      Result<KspResult> result =
+          ExecuteWith(executor, qr.algorithm, query, &stats);
+      if (result.ok()) {
+        response.entries.reserve(result->entries.size());
+        for (const KspResultEntry& e : result->entries) {
+          WireResultEntry wire;
+          wire.place = e.place;
+          wire.looseness = e.looseness;
+          wire.spatial_distance = e.spatial_distance;
+          wire.score = e.score;
+          response.entries.push_back(wire);
+        }
+        response.total_ms = stats.total_ms;
+      } else {
+        status = result.status();
+      }
+    }
+    executor->set_cancellation(nullptr);
+  }
+  if (!status.ok()) {
+    if (status.IsInterruption()) {
+      server_metrics_.deadline_exceeded->Increment();
+    }
+    response = ErrorResponse(status);
+    response.generation = state.generation;
+  }
+  server_metrics_.request_ms->Observe(timer.ElapsedMillis());
+  std::string out;
+  EncodeResponse(response, &out);
+  request->Complete(std::move(out));
+}
+
+ServiceResponse KspServer::HandleHealth() {
+  ServiceResponse response;
+  const std::shared_ptr<ServingState> state = CurrentState();
+  const Status backend = state != nullptr
+                             ? state->db->storage_backend_status()
+                             : Status::OK();
+  std::string body = "{\"status\": \"";
+  if (state == nullptr) {
+    body += "no_database";
+  } else {
+    body += backend.ok() ? "serving" : "degraded";
+  }
+  body += "\", \"serving_generation\": ";
+  body += std::to_string(state != nullptr ? state->generation : 0);
+  body += ", \"index_generation\": ";
+  body += std::to_string(state != nullptr ? state->db->index_generation()
+                                          : 0);
+  body += ", \"storage_backend\": \"";
+  body += JsonEscape(backend.ok() ? "ok" : backend.ToString());
+  body += "\", \"queue_depth\": " + std::to_string(queue_.size());
+  body += ", \"queue_capacity\": " + std::to_string(queue_.capacity());
+  body += ", \"workers\": " + std::to_string(options_.num_workers);
+  body += "}";
+  response.generation = state != nullptr ? state->generation : 0;
+  response.body = std::move(body);
+  return response;
+}
+
+ServiceResponse KspServer::HandleMetrics() {
+  ServiceResponse response;
+  response.generation = serving_generation();
+  response.body = registry_.Snapshot().ToPrometheusText();
+  return response;
+}
+
+ServiceResponse KspServer::HandleSwap(const ServiceRequest& request) {
+  const Status status = ServeDirectory(request.directory);
+  if (!status.ok()) return ErrorResponse(status);
+  server_metrics_.swaps->Increment();
+  ServiceResponse response;
+  response.generation = serving_generation();
+  return response;
+}
+
+}  // namespace ksp

@@ -188,5 +188,72 @@ TEST(CacheStressTest, ManyExecutorsWarmOneCacheConcurrently) {
   EXPECT_GT(result_stats.hits, 0u);
 }
 
+TEST(CacheStressTest, EpochGuardsInvalidationWindow) {
+  // Raw-layer race check for the atomic-invalidation contract (DESIGN.md
+  // §9/§11): an insert tagged with epoch e must never be visible to a
+  // reader whose snapshot is e' != e, no matter how inserts interleave
+  // with Invalidate(). Distances are a function of the epoch they were
+  // inserted under, so a single stale entry crossing the boundary is
+  // detected at the reader as a wrong value.
+  SemanticQueryCache cache(kCacheUnlimited);
+  const auto distance_for = [](uint64_t epoch) {
+    return static_cast<HopDistance>(epoch % 1000);
+  };
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> stale_hits{0};
+  std::atomic<uint64_t> hits{0};
+
+  constexpr uint32_t kRoots = 64;
+  constexpr uint32_t kTerms = 16;
+
+  std::vector<std::thread> threads;
+  // Writers: snapshot the epoch, insert f(epoch) — exactly the executor
+  // protocol (snapshot once, tag every insert with it).
+  for (int w = 0; w < 3; ++w) {
+    threads.emplace_back([&, w] {
+      Rng rng(500 + w);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const uint64_t epoch = cache.epoch();
+        const VertexId root = static_cast<VertexId>(rng.NextBounded(kRoots));
+        const TermId term = static_cast<TermId>(rng.NextBounded(kTerms));
+        cache.InsertDistance(root, term, epoch, distance_for(epoch));
+      }
+    });
+  }
+  // Readers: snapshot the epoch, and any hit under that snapshot must
+  // carry that snapshot's value — never a neighbour epoch's.
+  for (int r = 0; r < 3; ++r) {
+    threads.emplace_back([&, r] {
+      Rng rng(900 + r);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const uint64_t epoch = cache.epoch();
+        const VertexId root = static_cast<VertexId>(rng.NextBounded(kRoots));
+        const TermId term = static_cast<TermId>(rng.NextBounded(kTerms));
+        HopDistance distance = 0;
+        if (cache.LookupDistance(root, term, epoch, &distance)) {
+          ++hits;
+          if (distance != distance_for(epoch)) ++stale_hits;
+        }
+      }
+    });
+  }
+  // Invalidator: constant epoch churn.
+  std::thread invalidator([&] {
+    for (int i = 0; i < 2000; ++i) {
+      cache.Invalidate();
+      std::this_thread::yield();
+    }
+    stop.store(true, std::memory_order_relaxed);
+  });
+
+  invalidator.join();
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(stale_hits.load(), 0u)
+      << "an entry from another epoch was served across Invalidate()";
+  EXPECT_GT(hits.load(), 0u) << "the race never exercised a cache hit";
+}
+
 }  // namespace
 }  // namespace ksp

@@ -1,0 +1,182 @@
+// Admission control and backpressure: a full bounded queue answers a
+// typed kUnavailable with a retry hint — it never blocks the connection
+// and never drops it — and under sustained concurrent overload every
+// request resolves to either a correct answer or that typed rejection.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/database.h"
+#include "core/executor.h"
+#include "datagen/query_gen.h"
+#include "datagen/synthetic.h"
+#include "service/client.h"
+#include "service/request_queue.h"
+#include "service/server.h"
+
+namespace ksp {
+namespace {
+
+std::unique_ptr<KnowledgeBase> MakeKb(uint32_t places) {
+  auto kb = GenerateKnowledgeBase(SyntheticProfile::DBpediaLike(places));
+  EXPECT_TRUE(kb.ok()) << kb.status().ToString();
+  return std::move(*kb);
+}
+
+std::vector<std::string> KeywordStrings(const KnowledgeBase& kb,
+                                        const KspQuery& query) {
+  std::vector<std::string> out;
+  out.reserve(query.keywords.size());
+  for (TermId t : query.keywords) out.push_back(kb.vocabulary().Term(t));
+  return out;
+}
+
+TEST(BoundedRequestQueueTest, TryPushNeverBlocksAndPopDrainsAfterClose) {
+  BoundedRequestQueue<int> queue(2);
+  EXPECT_TRUE(queue.TryPush(1));
+  EXPECT_TRUE(queue.TryPush(2));
+  EXPECT_FALSE(queue.TryPush(3));  // Full: immediate refusal, no wait.
+  queue.Close();
+  EXPECT_FALSE(queue.TryPush(4));  // Closed: refused too.
+  int value = 0;
+  EXPECT_TRUE(queue.Pop(&value));
+  EXPECT_EQ(value, 1);
+  EXPECT_TRUE(queue.Pop(&value));
+  EXPECT_EQ(value, 2);
+  EXPECT_FALSE(queue.Pop(&value));  // Closed and empty.
+}
+
+TEST(ServiceOverloadTest, ZeroCapacityQueueRejectsDeterministically) {
+  auto kb = MakeKb(300);
+  auto db = std::make_shared<KspDatabase>(kb.get());
+  db->PrepareAll(3);
+
+  ServerOptions options;
+  options.num_workers = 1;
+  options.queue_capacity = 0;  // Every admission attempt must bounce.
+  options.overload_retry_after_ms = 40;
+  KspServer server(kb.get(), KspOptions(), options);
+  ASSERT_TRUE(server.ServeDatabase(db).ok());
+  ASSERT_TRUE(server.Start().ok());
+
+  auto client = KspClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  for (int i = 0; i < 5; ++i) {
+    auto response = client->Query(KspAlgorithm::kSp, {0, 0}, {"a"}, 2);
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_EQ(response->code, StatusCode::kUnavailable) << response->message;
+    EXPECT_EQ(response->retry_after_ms, 40u);
+  }
+  // The connection is still healthy after repeated rejections.
+  auto health = client->Health();
+  ASSERT_TRUE(health.ok());
+  EXPECT_TRUE(health->ok());
+
+  const auto snapshot = server.metrics()->Snapshot();
+  const auto it =
+      snapshot.counters.find("ksp_server_overload_rejections_total");
+  ASSERT_NE(it, snapshot.counters.end());
+  EXPECT_EQ(it->second, 5u);
+  server.Stop();
+}
+
+TEST(ServiceOverloadTest, ConcurrentOverloadNeverHangsOrCorrupts) {
+  auto kb = MakeKb(500);
+  auto db = std::make_shared<KspDatabase>(kb.get());
+  db->PrepareAll(3);
+
+  QueryGenOptions qopt;
+  qopt.num_keywords = 3;
+  qopt.k = 4;
+  qopt.seed = 31;
+  const auto queries = GenerateQueries(*kb, QueryClass::kOriginal, qopt, 4);
+  ASSERT_FALSE(queries.empty());
+
+  // Oracle answers computed directly, before any load.
+  KspDatabase oracle_db(kb.get());
+  oracle_db.PrepareAll(3);
+  QueryExecutor oracle(&oracle_db);
+  std::vector<KspResult> expected;
+  for (const KspQuery& query : queries) {
+    auto result = oracle.ExecuteSp(query, nullptr);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    expected.push_back(*result);
+  }
+
+  ServerOptions options;
+  options.num_workers = 1;       // Deliberately starved...
+  options.queue_capacity = 2;    // ...with almost no headroom.
+  KspServer server(kb.get(), KspOptions(), options);
+  ASSERT_TRUE(server.ServeDatabase(db).ok());
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr int kClients = 8;
+  constexpr int kRequestsPerClient = 25;
+  std::atomic<uint64_t> oks{0};
+  std::atomic<uint64_t> rejections{0};
+  std::atomic<uint64_t> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c]() {
+      auto client = KspClient::Connect("127.0.0.1", server.port());
+      if (!client.ok()) {
+        failures.fetch_add(kRequestsPerClient);
+        return;
+      }
+      for (int r = 0; r < kRequestsPerClient; ++r) {
+        const size_t qi = static_cast<size_t>(c + r) % queries.size();
+        auto response =
+            client->Query(KspAlgorithm::kSp, queries[qi].location,
+                          KeywordStrings(*kb, queries[qi]), queries[qi].k);
+        if (!response.ok()) {
+          ++failures;
+          continue;
+        }
+        if (response->code == StatusCode::kUnavailable) {
+          ++rejections;
+          continue;
+        }
+        if (!response->ok()) {
+          ++failures;
+          continue;
+        }
+        // Every accepted answer must match the oracle exactly.
+        const KspResult& want = expected[qi];
+        if (response->entries.size() != want.entries.size()) {
+          ++failures;
+          continue;
+        }
+        bool same = true;
+        for (size_t i = 0; i < want.entries.size(); ++i) {
+          same = same &&
+                 response->entries[i].place == want.entries[i].place &&
+                 response->entries[i].looseness ==
+                     want.entries[i].looseness &&
+                 response->entries[i].score == want.entries[i].score;
+        }
+        if (same) {
+          ++oks;
+        } else {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  server.Stop();
+
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_EQ(oks.load() + rejections.load(),
+            static_cast<uint64_t>(kClients) * kRequestsPerClient);
+  // The starved server must still have answered some queries correctly.
+  EXPECT_GT(oks.load(), 0u);
+}
+
+}  // namespace
+}  // namespace ksp
