@@ -33,6 +33,8 @@ std::vector<std::string> g_json_rows;
 /// memory-budget sweep builds one database per budget).
 StorageBackend g_row_backend = StorageBackend::kMemory;
 uint64_t g_row_bufferpool_budget = 0;
+/// Sharded-row annotation (SetShardRowAnnotation): 0 = unsharded rows.
+uint32_t g_row_shard_count = 0;
 
 const char* BackendName(StorageBackend backend) {
   return backend == StorageBackend::kDisk ? "disk" : "memory";
@@ -241,7 +243,12 @@ std::unique_ptr<KspDatabase> MakeDatabase(const KnowledgeBase* kb,
   g_row_bufferpool_budget = options.backend == StorageBackend::kDisk
                                 ? options.buffer_pool_budget_bytes
                                 : 0;
+  g_row_shard_count = 0;  // A fresh unsharded database ends sharded rows.
   return db;
+}
+
+void SetShardRowAnnotation(uint32_t shard_count) {
+  g_row_shard_count = shard_count;
 }
 
 double WorkloadStats::PercentileWallUs(double q) const {
@@ -387,13 +394,29 @@ void AppendJsonRow(const char* config, Algo algo,
   std::snprintf(
       buf, sizeof(buf),
       " \"backend\": \"%s\", \"bufferpool\": {\"budget_bytes\": %llu,"
-      " \"hits\": %llu, \"misses\": %llu, \"evictions\": %llu}}",
+      " \"hits\": %llu, \"misses\": %llu, \"evictions\": %llu}",
       BackendName(g_row_backend),
       static_cast<unsigned long long>(g_row_bufferpool_budget),
       static_cast<unsigned long long>(stats.sum.bufferpool_hits),
       static_cast<unsigned long long>(stats.sum.bufferpool_misses),
       static_cast<unsigned long long>(stats.sum.bufferpool_evictions));
   row += buf;
+  if (g_row_shard_count != 0) {
+    const uint64_t dispatched =
+        stats.sum.shards_visited + stats.sum.shards_pruned;
+    std::snprintf(
+        buf, sizeof(buf),
+        ", \"shard\": {\"count\": %u, \"shards_visited\": %llu,"
+        " \"shards_pruned\": %llu, \"prune_rate\": %.4f}",
+        g_row_shard_count,
+        static_cast<unsigned long long>(stats.sum.shards_visited),
+        static_cast<unsigned long long>(stats.sum.shards_pruned),
+        dispatched == 0 ? 0.0
+                        : static_cast<double>(stats.sum.shards_pruned) /
+                              static_cast<double>(dispatched));
+    row += buf;
+  }
+  row += "}";
   g_json_rows.push_back(std::move(row));
 }
 }  // namespace

@@ -146,13 +146,23 @@ std::vector<KspResult> RunWorkloadCollect(const KspDatabase& db, Algo algo,
 ///              cache: {dg_hits, dg_misses, dg_hit_rate, result_hits,
 ///                      result_misses, result_hit_rate, evictions},
 ///              backend: "memory"|"disk",
-///              bufferpool: {budget_bytes, hits, misses, evictions}}]}
+///              bufferpool: {budget_bytes, hits, misses, evictions},
+///              shard: {count, shards_visited, shards_pruned,
+///                      prune_rate}}]}
 /// The schema is stable: fields are only added, never renamed or removed
-/// (cache_budget, the cache object, backend, and the bufferpool object
-/// are additive; schema_version stays 1). The row-level backend/
-/// bufferpool annotation reflects the most recent MakeDatabase.
+/// (cache_budget, the cache object, backend, the bufferpool object, and
+/// the shard object are additive; schema_version stays 1). The row-level
+/// backend/bufferpool annotation reflects the most recent MakeDatabase;
+/// the shard object appears only while SetShardRowAnnotation is active.
 void PrintStatsRow(const char* config, Algo algo,
                    const WorkloadStats& stats);
+
+/// Marks subsequent PrintStatsRow rows as answered by a sharded
+/// scatter-gather executor over `shard_count` shards (DESIGN.md §12):
+/// each JSON row gains a `shard` object with the count, total shards
+/// visited/pruned (from QueryStats), and the prune rate. Pass 0 to
+/// return to unsharded rows (also reset by MakeDatabase).
+void SetShardRowAnnotation(uint32_t shard_count);
 
 /// Prints the standard header for PrintStatsRow tables.
 void PrintStatsHeader();

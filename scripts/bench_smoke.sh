@@ -57,11 +57,34 @@ assert fetches > 0, "disk backend reported no buffer-pool traffic"
 print(f"disk-backend smoke OK: {len(rows)} rows, {fetches} page fetches")
 EOF
 
+# Sharded scatter-gather smoke (DESIGN.md §12): the fig5-style workload
+# over K ∈ {1,2,4,8} STR shards. The K=4 rows must show shard-level
+# pruning actually firing — the whole point of mindist-ordered dispatch
+# under the shared θ.
+SHARD_OUT="$(mktemp /tmp/ksp_bench_shard_smoke.XXXXXX.json)"
+trap 'rm -f "${DISK_OUT}" "${SHARD_OUT}"' EXIT
+KSP_SCALE="${KSP_SCALE:-0.1}" KSP_QUERIES="${KSP_QUERIES:-5}" \
+  "${BUILD_DIR}/bench/bench_sharded_scatter_gather" \
+  --json-out="${SHARD_OUT}"
+
+python3 - "${SHARD_OUT}" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+rows = doc["rows"]
+assert rows, "sharded bench emitted no rows"
+assert all("shard" in r for r in rows), rows
+k4 = [r for r in rows if r["shard"]["count"] == 4]
+assert k4, "no K=4 rows"
+pruned = sum(r["shard"]["shards_pruned"] for r in k4)
+assert pruned >= 1, f"K=4 pruned no shards: {k4}"
+print(f"sharded smoke OK: {len(rows)} rows, K=4 pruned {pruned} shards")
+EOF
+
 # Serving-tier smoke (DESIGN.md §11): start a real server on loopback,
 # drive it with the closed- and open-loop load generator, and require
 # nonzero sustained QPS with zero protocol errors in both loops.
 SERVE_OUT="$(mktemp /tmp/ksp_bench_serving_smoke.XXXXXX.json)"
-trap 'rm -f "${DISK_OUT}" "${SERVE_OUT}"' EXIT
+trap 'rm -f "${DISK_OUT}" "${SHARD_OUT}" "${SERVE_OUT}"' EXIT
 KSP_SCALE="${KSP_SCALE:-0.1}" \
   "${BUILD_DIR}/bench/bench_serving_load" \
   --clients=4 --seconds=1 --rate=100 \

@@ -52,9 +52,15 @@ Result<KspResult> QueryExecutor::ExecuteSpatialFirst(const KspQuery& query,
 
   // Full-query result cache (DESIGN.md §9). EXPLAIN always executes the
   // uncached sequential path — a cached answer has no candidate rows.
+  // Under a shared scatter-gather θ (§12) the result layer is bypassed
+  // both ways: the key has no θ component, so a θ-truncated shard answer
+  // could neither be stored nor served exactly. The per-keyword dg layer
+  // below stays on — distances are exact regardless of θ.
   SemanticQueryCache* cache = db_->semantic_cache();
+  const bool result_layer_on =
+      cache != nullptr && !explain_on() && shared_theta_ == nullptr;
   std::string result_key;
-  if (cache != nullptr && !explain_on()) {
+  if (result_layer_on) {
     result_key = SemanticQueryCache::MakeResultKey(
         query, /*path_tag=*/'S', use_rule1, use_rule2, /*alpha=*/0,
         options.ranking);
@@ -116,7 +122,7 @@ Result<KspResult> QueryExecutor::ExecuteSpatialFirst(const KspQuery& query,
         ExplainTermination("cancelled");
         break;
       }
-      const double theta = heap.Threshold();
+      const double theta = EffectiveThreshold(heap);
       // Termination (Algorithm 1, line 7): entries arrive in ascending
       // spatial distance and f(L, S) >= MinScore(S) for L >= 1.
       if (options.ranking.MinScoreGivenSpatialDistance(item.distance) >=
@@ -248,7 +254,7 @@ Result<KspResult> QueryExecutor::ExecuteSpatialFirst(const KspQuery& query,
   KspResult result = std::move(heap).Finish();
   // Only completed runs are cached: a timeout's partial top-k is not the
   // answer. The pipeline path flows through here too.
-  if (cache != nullptr && !explain_on() && st->completed) {
+  if (result_layer_on && st->completed) {
     st->cache_evictions +=
         cache->InsertResult(result_key, cache_epoch_, result);
   }

@@ -1,5 +1,6 @@
 #include "core/database.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -120,6 +121,18 @@ KspDatabase::KspDatabase(const KnowledgeBase* kb, KspOptions options)
       mem_graph_(&kb->graph()),
       mem_postings_(inverted_) {
   KSP_CHECK(kb_ != nullptr);
+  if (!options_.place_subset.empty()) {
+    // Canonicalize the shard tile: sorted + deduplicated + in-range, so
+    // IndexedPlaceCount() and the R-tree insert loop can trust it.
+    std::sort(options_.place_subset.begin(), options_.place_subset.end());
+    options_.place_subset.erase(std::unique(options_.place_subset.begin(),
+                                            options_.place_subset.end()),
+                                options_.place_subset.end());
+    while (!options_.place_subset.empty() &&
+           options_.place_subset.back() >= kb_->num_places()) {
+      options_.place_subset.pop_back();
+    }
+  }
   if (options_.cache_budget_bytes != 0) {
     cache_ =
         std::make_unique<SemanticQueryCache>(options_.cache_budget_bytes);
@@ -243,18 +256,28 @@ void KspDatabase::BuildRTree() {
   index_generation_ = 0;  // In-process builds supersede any loaded generation.
   Timer timer;
   timer.Start();
-  const uint32_t num_places = kb_->num_places();
+  // With a place subset (shard tile, §12) only those places are indexed;
+  // the loop shape is otherwise identical to the full build.
+  const std::vector<PlaceId>& subset = options_.place_subset;
+  const uint32_t num_places =
+      subset.empty() ? kb_->num_places()
+                     : static_cast<uint32_t>(subset.size());
+  auto place_at = [&](uint32_t i) {
+    return subset.empty() ? static_cast<PlaceId>(i) : subset[i];
+  };
   if (options_.bulk_load_rtree) {
     std::vector<std::pair<Point, uint64_t>> points;
     points.reserve(num_places);
-    for (PlaceId p = 0; p < num_places; ++p) {
+    for (uint32_t i = 0; i < num_places; ++i) {
+      const PlaceId p = place_at(i);
       points.emplace_back(kb_->place_location(p), p);
     }
     rtree_ = std::make_shared<const RTree>(
         RTree::BulkLoadStr(std::move(points), options_.rtree_options));
   } else {
     RTree tree(options_.rtree_options);
-    for (PlaceId p = 0; p < num_places; ++p) {
+    for (uint32_t i = 0; i < num_places; ++i) {
+      const PlaceId p = place_at(i);
       tree.Insert(kb_->place_location(p), p);
     }
     rtree_ = std::make_shared<const RTree>(std::move(tree));
@@ -275,6 +298,14 @@ void KspDatabase::BuildReachabilityIndex() {
   prep_times_.reachability_s = timer.ElapsedSeconds();
 }
 
+void KspDatabase::AdoptReachabilityIndex(
+    std::shared_ptr<const ReachabilityIndex> reach) {
+  KSP_CHECK(reach == nullptr ||
+            reach->num_base_vertices() == kb_->num_vertices());
+  InvalidateCache();
+  reach_ = std::move(reach);
+}
+
 void KspDatabase::BuildAlphaIndex(uint32_t alpha) {
   BuildRTreeIfNeeded();
   InvalidateCache();
@@ -291,8 +322,9 @@ void KspDatabase::PrepareAll(uint32_t alpha) {
   BuildAlphaIndex(alpha);
 }
 
-Status KspDatabase::SaveIndexes(const std::string& directory,
-                                FileSystem* fs) const {
+Status KspDatabase::SaveIndexes(const std::string& directory, FileSystem* fs,
+                                uint64_t min_generation,
+                                uint64_t* saved_generation) const {
   if (fs == nullptr) fs = DefaultFileSystem();
   // Best effort: if this fails, the first artifact write reports the real
   // error (clean IOError with the full path) instead of a silent no-op.
@@ -313,6 +345,9 @@ Status KspDatabase::SaveIndexes(const std::string& directory,
       previous_files.push_back(e.filename);
     }
   }
+  // A caller-imposed floor (sharded save alignment) can only move the
+  // generation forward, never reuse a published number.
+  if (generation < min_generation) generation = min_generation;
 
   Manifest manifest;
   manifest.generation = generation;
@@ -356,6 +391,7 @@ Status KspDatabase::SaveIndexes(const std::string& directory,
   for (const std::string& old_file : previous_files) {
     fs->RemoveFile(directory + "/" + old_file);
   }
+  if (saved_generation != nullptr) *saved_generation = generation;
   return Status::OK();
 }
 
@@ -411,9 +447,9 @@ Status KspDatabase::LoadIndexes(const std::string& directory,
     if (e.name == "rtree") {
       auto rtree = RTree::Load(path, fs);
       if (!rtree.ok()) return fail(rtree.status());
-      if (rtree->size() != kb_->num_places()) {
+      if (rtree->size() != IndexedPlaceCount()) {
         return fail(Status::InvalidArgument(
-            "saved R-tree does not match the KB's place count"));
+            "saved R-tree does not match the indexed place count"));
       }
       rtree_ = std::make_shared<const RTree>(std::move(*rtree));
     } else if (e.name == "reach") {
@@ -466,9 +502,9 @@ Status KspDatabase::LoadLegacyLayout(const std::string& directory,
   if (fs->FileExists(directory + "/rtree.bin")) {
     auto rtree = RTree::Load(directory + "/rtree.bin", fs);
     if (!rtree.ok()) return fail(rtree.status());
-    if (rtree->size() != kb_->num_places()) {
+    if (rtree->size() != IndexedPlaceCount()) {
       return fail(Status::InvalidArgument(
-          "saved R-tree does not match the KB's place count"));
+          "saved R-tree does not match the indexed place count"));
     }
     rtree_ = std::make_shared<const RTree>(std::move(*rtree));
   }

@@ -89,6 +89,15 @@ struct KspOptions {
   /// creates a private temp directory, removed when the database is
   /// destroyed; a caller-provided directory is left in place.
   std::string spill_directory;
+
+  /// Restricts the spatial indexes (R-tree, and hence the α-index built
+  /// over it) to this set of places — the shard tile of DESIGN.md §12.
+  /// Empty (the default) means every KB place. The list is canonicalized
+  /// (sorted, deduplicated, out-of-range ids dropped) at construction.
+  /// Queries then only ever see the subset's places; the graph, postings
+  /// and reachability labels still cover the whole KB (semantics are
+  /// per-vertex and unaffected by which places are indexed).
+  std::vector<PlaceId> place_subset;
 };
 
 /// Wall-clock cost of each preprocessing step (Table 5).
@@ -133,6 +142,20 @@ class KspDatabase {
   /// Builds the keyword-reachability oracle (Pruning Rule 1).
   void BuildReachabilityIndex();
 
+  /// Shares an already-built reachability oracle instead of building one.
+  /// The labels are keyed by KB vertex, not by place subset, so every
+  /// shard of one KB can adopt the same index — built (or loaded) once —
+  /// rather than paying the label construction K times. The index must
+  /// have been built over this KB with the same undirected_edges setting.
+  void AdoptReachabilityIndex(
+      std::shared_ptr<const ReachabilityIndex> reach);
+
+  /// The shared_ptr behind reachability_index(), for adoption by other
+  /// databases over the same KB (nullptr when unbuilt).
+  std::shared_ptr<const ReachabilityIndex> reachability_shared() const {
+    return reach_;
+  }
+
   /// Builds the α-radius word neighborhoods and their inverted file.
   /// Requires the R-tree (builds it first if absent).
   void BuildAlphaIndex(uint32_t alpha);
@@ -153,8 +176,14 @@ class KspDatabase {
   /// If a MANIFEST exists but cannot be read, the save is refused rather
   /// than risking the live generation. `fs` defaults to
   /// DefaultFileSystem().
-  Status SaveIndexes(const std::string& directory,
-                     FileSystem* fs = nullptr) const;
+  /// `min_generation` forces the new generation to be at least that
+  /// number (still always > the directory's current generation) — the
+  /// sharded save uses it to keep all shard directories on one aligned
+  /// generation; `saved_generation`, when non-null, receives the
+  /// generation the save published.
+  Status SaveIndexes(const std::string& directory, FileSystem* fs = nullptr,
+                     uint64_t min_generation = 0,
+                     uint64_t* saved_generation = nullptr) const;
 
   /// Restores previously saved indexes, replacing any built ones. With a
   /// MANIFEST present, every listed artifact is verified against its
@@ -254,6 +283,14 @@ class KspDatabase {
   /// Pre-manifest fallback for LoadIndexes (fixed filenames, no
   /// cross-file verification).
   Status LoadLegacyLayout(const std::string& directory, FileSystem* fs);
+
+  /// Number of places the spatial indexes cover: the place subset when
+  /// one is configured, else every KB place.
+  uint32_t IndexedPlaceCount() const {
+    return options_.place_subset.empty()
+               ? kb_->num_places()
+               : static_cast<uint32_t>(options_.place_subset.size());
+  }
 
   /// Rebinds mem_spatial_ to the current rtree_; call wherever rtree_
   /// is (re)assigned or dropped.

@@ -200,6 +200,23 @@ class QueryExecutor {
   }
   uint32_t intra_query_threads() const { return intra_query_threads_; }
 
+  /// Attaches a shared global θ (DESIGN.md §12): every θ read of the
+  /// pruning rules and heap-admission checks becomes
+  /// min(local heap θ, *theta). The atomic only ever decreases during a
+  /// scatter-gather query, so the effective threshold stays ≥ the final
+  /// global θ and every prune a shard takes is one the merged execution
+  /// would also take — exactness is preserved while shards tighten each
+  /// other. Side effects while attached: the result-cache layer is
+  /// bypassed (a θ-truncated shard result must never be cached under a
+  /// θ-free key; the dg layer stays on — distances are exact regardless
+  /// of θ) and the intra-query pipeline is disabled (its workers own the
+  /// atomic-θ plumbing). Pass nullptr to detach; the atomic must outlive
+  /// every Execute* that can observe it.
+  void set_shared_theta(const std::atomic<double>* theta) {
+    shared_theta_ = theta;
+  }
+  const std::atomic<double>* shared_theta() const { return shared_theta_; }
+
   ~QueryExecutor();
 
  private:
@@ -392,7 +409,18 @@ class QueryExecutor {
   /// intra-query pipeline (threads >= 2 and no EXPLAIN capture, which
   /// needs the sequential candidate walk).
   bool UsePipeline() const {
-    return intra_query_threads_ >= 2 && explain_ == nullptr;
+    return intra_query_threads_ >= 2 && explain_ == nullptr &&
+           shared_theta_ == nullptr;
+  }
+
+  /// θ as the pruning rules must see it: the local heap threshold,
+  /// tightened by the shared global θ when one is attached (§12). Both
+  /// only decrease within a query, so the min is monotone too.
+  double EffectiveThreshold(const TopKHeap& heap) const {
+    const double local = heap.Threshold();
+    if (shared_theta_ == nullptr) return local;
+    const double global = shared_theta_->load(std::memory_order_acquire);
+    return global < local ? global : local;
   }
 
   /// Lazily (re)builds the pipeline to match intra_query_threads_.
@@ -435,6 +463,9 @@ class QueryExecutor {
   /// Intra-query parallelism (lazy; see set_intra_query_threads).
   uint32_t intra_query_threads_ = 1;
   std::unique_ptr<IntraQueryPipeline> pipeline_;
+
+  /// Shared scatter-gather θ (see set_shared_theta); null = unsharded.
+  const std::atomic<double>* shared_theta_ = nullptr;
 };
 
 }  // namespace ksp

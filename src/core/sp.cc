@@ -65,9 +65,13 @@ Result<KspResult> QueryExecutor::ExecuteSp(const KspQuery& query,
   // Full-query result cache (DESIGN.md §9); the α path gets its own key
   // tag + the α radius, since Rules 3/4 change nothing about the answer
   // but future-proofing the key against bound-dependent behavior is free.
+  // As in bsp_spp.cc, the result layer is bypassed under a shared
+  // scatter-gather θ (§12): the key has no θ component.
   SemanticQueryCache* cache = db_->semantic_cache();
+  const bool result_layer_on =
+      cache != nullptr && !explain_on() && shared_theta_ == nullptr;
   std::string result_key;
-  if (cache != nullptr && !explain_on()) {
+  if (result_layer_on) {
     result_key = SemanticQueryCache::MakeResultKey(
         query, /*path_tag=*/'A', options.use_unqualified_pruning,
         options.use_dynamic_bound_pruning, db_->alpha_index()->alpha(),
@@ -152,7 +156,7 @@ Result<KspResult> QueryExecutor::ExecuteSp(const KspQuery& query,
       }
       AlphaQueueItem item = pq.top();
       pq.pop();
-      const double theta = heap.Threshold();
+      const double theta = EffectiveThreshold(heap);
       // Termination (Algorithm 4, line 9): bounds pop in ascending order.
       if (item.score_bound >= theta) {
         ExplainTermination("threshold");
@@ -275,6 +279,7 @@ Result<KspResult> QueryExecutor::ExecuteSp(const KspQuery& query,
                          &node));
       FoldCursorIo(&spatial_cursor_.io, st);
       span.AddItems(node.entries.size());
+      const double gate_theta = EffectiveThreshold(heap);
       for (const RTree::Entry& e : node.entries) {
         const double s_lb = MinDist(query.location, e.rect);
         const uint32_t entry_id =
@@ -282,7 +287,7 @@ Result<KspResult> QueryExecutor::ExecuteSp(const KspQuery& query,
                          : alpha.NodeEntry(static_cast<uint32_t>(e.id));
         const double l_b = alpha_looseness_bound(entry_id);
         const double f_b = options.ranking.Score(l_b, s_lb);
-        if (f_b >= heap.Threshold()) {
+        if (f_b >= gate_theta) {
           if (node.is_leaf) {
             ++st->pruned_alpha_place;  // Pruning Rule 3.
           } else {
@@ -297,7 +302,7 @@ Result<KspResult> QueryExecutor::ExecuteSp(const KspQuery& query,
               pruned_row.node_id = static_cast<uint32_t>(e.id);
             }
             pruned_row.spatial_distance = s_lb;
-            pruned_row.threshold = heap.Threshold();
+            pruned_row.threshold = gate_theta;
             pruned_row.score_bound = f_b;
             pruned_row.looseness = l_b;
             pruned_row.outcome = node.is_leaf
@@ -318,7 +323,7 @@ Result<KspResult> QueryExecutor::ExecuteSp(const KspQuery& query,
   st->total_ms = total_timer.ElapsedMillis();
   if (!interrupt_status_.ok()) return FinishInterrupted(st);
   KspResult result = std::move(heap).Finish();
-  if (cache != nullptr && !explain_on() && st->completed) {
+  if (result_layer_on && st->completed) {
     st->cache_evictions +=
         cache->InsertResult(result_key, cache_epoch_, result);
   }

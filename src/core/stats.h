@@ -62,6 +62,15 @@ struct QueryStats {
   uint64_t bufferpool_misses = 0;
   uint64_t bufferpool_evictions = 0;
 
+  /// Scatter-gather activity of the sharded executor (DESIGN.md §12):
+  /// shards whose query actually ran versus shards skipped because the
+  /// MBR-derived lower bound on f met the running global θ. Both zero on
+  /// unsharded execution and, like the cache/buffer-pool counters,
+  /// excluded from the determinism contract — the prune count depends on
+  /// shard visit timing, only the merged top-k is pinned.
+  uint64_t shards_visited = 0;
+  uint64_t shards_pruned = 0;
+
   /// False when the run hit the configured time limit (the paper aborts
   /// BSP queries at 120 s).
   bool completed = true;
@@ -95,6 +104,8 @@ struct QueryStats {
     bufferpool_hits += other.bufferpool_hits;
     bufferpool_misses += other.bufferpool_misses;
     bufferpool_evictions += other.bufferpool_evictions;
+    shards_visited += other.shards_visited;
+    shards_pruned += other.shards_pruned;
     completed = completed && other.completed;
   }
 };

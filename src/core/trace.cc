@@ -22,6 +22,8 @@ const char* TracePhaseName(TracePhase phase) {
       return "cache_lookup";
     case TracePhase::kPageIo:
       return "page_io";
+    case TracePhase::kShardDispatch:
+      return "shard_dispatch";
   }
   return "?";
 }

@@ -21,8 +21,9 @@ enum class TracePhase : uint8_t {
   kDocFetch,         // Posting-list fetch + M_q.ψ construction.
   kCacheLookup,      // Semantic-cache probes (dg + result layers, §9).
   kPageIo,           // Buffer-pool page fetches (disk backend only).
+  kShardDispatch,    // Scatter-gather shard visits (§12; sharded only).
 };
-inline constexpr size_t kNumTracePhases = 8;
+inline constexpr size_t kNumTracePhases = 9;
 
 /// Stable snake_case name ("rtree_nn", ...), used in metric names and
 /// trace exports.

@@ -65,6 +65,18 @@ KspServer::KspServer(const KnowledgeBase* kb, KspOptions db_options,
 
 KspServer::~KspServer() { Stop(); }
 
+Status KspServer::InstallState(std::shared_ptr<ServingState> state) {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  state->generation = ++installs_;
+  // The one-pointer flip IS the swap: workers snapshot `serving_` per
+  // request, in-flight queries keep their generation — for a sharded
+  // install, the entire shard ensemble — pinned through the shared_ptr,
+  // and the incoming database carries its own (empty) semantic cache —
+  // flip and cache invalidation are one atomic step.
+  serving_ = std::move(state);
+  return Status::OK();
+}
+
 Status KspServer::ServeDatabase(std::shared_ptr<KspDatabase> db) {
   if (db == nullptr) {
     return Status::InvalidArgument("ServeDatabase requires a database");
@@ -73,21 +85,31 @@ Status KspServer::ServeDatabase(std::shared_ptr<KspDatabase> db) {
     return Status::InvalidArgument(
         "serving database has no R-tree: prepare or load indexes first");
   }
-  std::lock_guard<std::mutex> lock(state_mu_);
   auto state = std::make_shared<ServingState>();
   state->db = std::move(db);
-  state->generation = ++installs_;
-  // The one-pointer flip IS the swap: workers snapshot `serving_` per
-  // request, in-flight queries keep their generation pinned through the
-  // shared_ptr, and the incoming database carries its own (empty)
-  // semantic cache — flip and cache invalidation are one atomic step.
-  serving_ = std::move(state);
-  return Status::OK();
+  return InstallState(std::move(state));
+}
+
+Status KspServer::ServeShardedDatabase(
+    std::shared_ptr<ShardedKspDatabase> db) {
+  if (db == nullptr) {
+    return Status::InvalidArgument(
+        "ServeShardedDatabase requires a database");
+  }
+  KSP_RETURN_NOT_OK(db->storage_backend_status());
+  auto state = std::make_shared<ServingState>();
+  state->sharded = std::move(db);
+  return InstallState(std::move(state));
 }
 
 Status KspServer::ServeDirectory(const std::string& directory) {
   // Load off to the side first; the live generation keeps serving and is
   // untouched by a failed load.
+  if (IsShardedDirectory(directory)) {
+    KSP_ASSIGN_OR_RETURN(
+        auto fresh, ShardedKspDatabase::Load(kb_, db_options_, directory));
+    return ServeShardedDatabase(std::move(fresh));
+  }
   auto fresh = std::make_shared<KspDatabase>(kb_, db_options_);
   KSP_RETURN_NOT_OK(fresh->LoadIndexes(directory));
   KSP_RETURN_NOT_OK(fresh->storage_backend_status());
@@ -303,6 +325,7 @@ void KspServer::WorkerLoop() {
   // per-request snapshot pins it for the query's duration.
   std::shared_ptr<ServingState> cached_state;
   std::unique_ptr<QueryExecutor> executor;
+  std::unique_ptr<ShardedExecutor> sharded_executor;
   PendingRequest* request = nullptr;
   while (queue_.Pop(&request)) {
     server_metrics_.queue_depth->Set(static_cast<double>(queue_.size()));
@@ -325,16 +348,25 @@ void KspServer::WorkerLoop() {
       continue;
     }
     if (state != cached_state) {
-      executor = std::make_unique<QueryExecutor>(state->db.get());
-      executor->set_metrics(&registry_);
-      executor->set_intra_query_threads(options_.intra_query_threads);
+      executor.reset();
+      sharded_executor.reset();
+      if (state->sharded != nullptr) {
+        sharded_executor =
+            std::make_unique<ShardedExecutor>(state->sharded.get());
+        sharded_executor->set_metrics(&registry_);
+      } else {
+        executor = std::make_unique<QueryExecutor>(state->db.get());
+        executor->set_metrics(&registry_);
+        executor->set_intra_query_threads(options_.intra_query_threads);
+      }
       cached_state = state;
     }
-    HandleQuery(request, executor.get(), *state);
+    HandleQuery(request, executor.get(), sharded_executor.get(), *state);
   }
 }
 
 void KspServer::HandleQuery(PendingRequest* request, QueryExecutor* executor,
+                            ShardedExecutor* sharded,
                             const ServingState& state) {
   Timer timer;
   timer.Start();
@@ -345,21 +377,40 @@ void KspServer::HandleQuery(PendingRequest* request, QueryExecutor* executor,
   // A request whose deadline elapsed in the queue fails here, before any
   // engine work; a trip mid-query unwinds cooperatively below.
   Status status = request->token.Check();
+  if (status.ok() && request->request.type == MessageType::kExplain &&
+      sharded != nullptr) {
+    // Explain reports are single-executor introspection; a sharded
+    // report would have to stitch per-shard traces and is not built yet.
+    status = Status::Unimplemented(
+        "explain is not supported on a sharded serving generation");
+  }
   if (status.ok()) {
-    const KspQuery query =
-        state.db->MakeQuery(qr.location, qr.keywords, qr.k);
-    executor->set_cancellation(&request->token);
+    Result<KspResult> result = KspResult();
+    QueryStats stats;
     if (request->request.type == MessageType::kExplain) {
+      const KspQuery query =
+          state.db->MakeQuery(qr.location, qr.keywords, qr.k);
+      executor->set_cancellation(&request->token);
       Result<ExplainReport> report = executor->Explain(query, qr.algorithm);
+      executor->set_cancellation(nullptr);
       if (report.ok()) {
         response.body = report->ToJson();
       } else {
         status = report.status();
       }
+    } else if (sharded != nullptr) {
+      sharded->set_cancellation(&request->token);
+      result = sharded->Execute(qr.algorithm, qr.location, qr.keywords,
+                                qr.k, &stats);
+      sharded->set_cancellation(nullptr);
     } else {
-      QueryStats stats;
-      Result<KspResult> result =
-          ExecuteWith(executor, qr.algorithm, query, &stats);
+      const KspQuery query =
+          state.db->MakeQuery(qr.location, qr.keywords, qr.k);
+      executor->set_cancellation(&request->token);
+      result = ExecuteWith(executor, qr.algorithm, query, &stats);
+      executor->set_cancellation(nullptr);
+    }
+    if (request->request.type != MessageType::kExplain) {
       if (result.ok()) {
         response.entries.reserve(result->entries.size());
         for (const KspResultEntry& e : result->entries) {
@@ -375,7 +426,6 @@ void KspServer::HandleQuery(PendingRequest* request, QueryExecutor* executor,
         status = result.status();
       }
     }
-    executor->set_cancellation(nullptr);
   }
   if (!status.ok()) {
     if (status.IsInterruption()) {
@@ -393,9 +443,19 @@ void KspServer::HandleQuery(PendingRequest* request, QueryExecutor* executor,
 ServiceResponse KspServer::HandleHealth() {
   ServiceResponse response;
   const std::shared_ptr<ServingState> state = CurrentState();
-  const Status backend = state != nullptr
-                             ? state->db->storage_backend_status()
-                             : Status::OK();
+  Status backend = Status::OK();
+  uint64_t index_generation = 0;
+  uint32_t num_shards = 0;
+  if (state != nullptr) {
+    if (state->sharded != nullptr) {
+      backend = state->sharded->storage_backend_status();
+      index_generation = state->sharded->index_generation();
+      num_shards = state->sharded->num_shards();
+    } else {
+      backend = state->db->storage_backend_status();
+      index_generation = state->db->index_generation();
+    }
+  }
   std::string body = "{\"status\": \"";
   if (state == nullptr) {
     body += "no_database";
@@ -405,8 +465,8 @@ ServiceResponse KspServer::HandleHealth() {
   body += "\", \"serving_generation\": ";
   body += std::to_string(state != nullptr ? state->generation : 0);
   body += ", \"index_generation\": ";
-  body += std::to_string(state != nullptr ? state->db->index_generation()
-                                          : 0);
+  body += std::to_string(index_generation);
+  body += ", \"num_shards\": " + std::to_string(num_shards);
   body += ", \"storage_backend\": \"";
   body += JsonEscape(backend.ok() ? "ok" : backend.ToString());
   body += "\", \"queue_depth\": " + std::to_string(queue_.size());

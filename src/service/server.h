@@ -17,6 +17,8 @@
 #include "core/database.h"
 #include "service/protocol.h"
 #include "service/request_queue.h"
+#include "shard/sharded_database.h"
+#include "shard/sharded_executor.h"
 
 namespace ksp {
 
@@ -79,10 +81,20 @@ class KspServer {
   /// serving.
   Status ServeDatabase(std::shared_ptr<KspDatabase> db);
 
+  /// Installs an already-built sharded database as the next serving
+  /// generation. One install flips every shard at once: the ensemble
+  /// lives behind the same single ServingState pointer as an unsharded
+  /// database, so in-flight queries keep their whole shard set pinned
+  /// and no query ever observes a mix of shard generations.
+  Status ServeShardedDatabase(std::shared_ptr<ShardedKspDatabase> db);
+
   /// Loads saved indexes from `directory` into a fresh database and
   /// installs it — the hot-swap path (also reachable over the wire via
-  /// MessageType::kSwap). On failure the current generation keeps
-  /// serving untouched.
+  /// MessageType::kSwap). A directory carrying a SHARDS manifest loads
+  /// as a sharded database (every shard verified to be on one common
+  /// generation before anything is served); otherwise as a single
+  /// database. On failure the current generation keeps serving
+  /// untouched.
   Status ServeDirectory(const std::string& directory);
 
   /// Binds, listens, and starts the acceptor + worker threads. A server
@@ -105,11 +117,13 @@ class KspServer {
   MetricsRegistry* metrics() { return &registry_; }
 
  private:
-  /// One installed generation. Workers and in-flight requests hold the
-  /// shared_ptr, so a superseded database dies only after its last query
+  /// One installed generation — exactly one of `db` / `sharded` is set.
+  /// Workers and in-flight requests hold the shared_ptr, so a superseded
+  /// database (or whole shard ensemble) dies only after its last query
   /// finishes.
   struct ServingState {
     std::shared_ptr<KspDatabase> db;
+    std::shared_ptr<ShardedKspDatabase> sharded;
     uint64_t generation = 0;
   };
 
@@ -133,8 +147,11 @@ class KspServer {
   void WorkerLoop();
 
   std::shared_ptr<ServingState> CurrentState() const;
+  Status InstallState(std::shared_ptr<ServingState> state);
+  /// Exactly one of `executor` / `sharded` is non-null, matching the
+  /// serving state the worker cached.
   void HandleQuery(PendingRequest* request, QueryExecutor* executor,
-                   const ServingState& state);
+                   ShardedExecutor* sharded, const ServingState& state);
   ServiceResponse HandleHealth();
   ServiceResponse HandleMetrics();
   ServiceResponse HandleSwap(const ServiceRequest& request);

@@ -1,0 +1,101 @@
+#include "shard/partition.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace ksp {
+
+Rect TileMbr(const KnowledgeBase& kb, const std::vector<PlaceId>& tile) {
+  Rect mbr = Rect::Empty();
+  for (PlaceId p : tile) mbr.ExpandToInclude(kb.place_location(p));
+  return mbr;
+}
+
+ShardPartition StrPartition(const KnowledgeBase& kb, uint32_t num_tiles) {
+  if (num_tiles == 0) num_tiles = 1;
+  const uint32_t num_places = kb.num_places();
+
+  std::vector<PlaceId> order(num_places);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](PlaceId a, PlaceId b) {
+    const Point pa = kb.place_location(a);
+    const Point pb = kb.place_location(b);
+    if (pa.x != pb.x) return pa.x < pb.x;
+    if (pa.y != pb.y) return pa.y < pb.y;
+    return a < b;
+  });
+
+  // ⌈√K⌉ vertical slices; slice s owns base + (s < extra) tiles so the
+  // tile counts sum to exactly K.
+  const uint32_t num_slices = static_cast<uint32_t>(
+      std::ceil(std::sqrt(static_cast<double>(num_tiles))));
+  const uint32_t base_tiles = num_tiles / num_slices;
+  const uint32_t extra_tiles = num_tiles % num_slices;
+
+  ShardPartition partition;
+  partition.tiles.reserve(num_tiles);
+  size_t slice_begin = 0;
+  for (uint32_t s = 0; s < num_slices; ++s) {
+    // Near-equal population per slice (remainder spread over the first
+    // slices), matching the classic STR slice cut.
+    const size_t slice_count =
+        num_places / num_slices + (s < num_places % num_slices ? 1 : 0);
+    const size_t slice_end = slice_begin + slice_count;
+    std::vector<PlaceId> slice(order.begin() + slice_begin,
+                               order.begin() + slice_end);
+    std::sort(slice.begin(), slice.end(), [&](PlaceId a, PlaceId b) {
+      const Point pa = kb.place_location(a);
+      const Point pb = kb.place_location(b);
+      if (pa.y != pb.y) return pa.y < pb.y;
+      if (pa.x != pb.x) return pa.x < pb.x;
+      return a < b;
+    });
+
+    const uint32_t slice_tiles = base_tiles + (s < extra_tiles ? 1 : 0);
+    size_t tile_begin = 0;
+    for (uint32_t t = 0; t < slice_tiles; ++t) {
+      const size_t tile_count =
+          slice.size() / slice_tiles +
+          (t < slice.size() % slice_tiles ? 1 : 0);
+      partition.tiles.emplace_back(slice.begin() + tile_begin,
+                                   slice.begin() + tile_begin + tile_count);
+      tile_begin += tile_count;
+    }
+    slice_begin = slice_end;
+  }
+  return partition;
+}
+
+Status ValidatePartition(const KnowledgeBase& kb,
+                         const ShardPartition& partition) {
+  if (partition.tiles.empty()) {
+    return Status::InvalidArgument("partition has no tiles");
+  }
+  const uint32_t num_places = kb.num_places();
+  std::vector<bool> seen(num_places, false);
+  uint64_t covered = 0;
+  for (const std::vector<PlaceId>& tile : partition.tiles) {
+    for (PlaceId p : tile) {
+      if (p >= num_places) {
+        return Status::InvalidArgument(
+            "partition references place " + std::to_string(p) +
+            " beyond the KB's " + std::to_string(num_places) + " places");
+      }
+      if (seen[p]) {
+        return Status::InvalidArgument(
+            "place " + std::to_string(p) + " appears in two tiles");
+      }
+      seen[p] = true;
+      ++covered;
+    }
+  }
+  if (covered != num_places) {
+    return Status::InvalidArgument(
+        "partition covers " + std::to_string(covered) + " of " +
+        std::to_string(num_places) + " places");
+  }
+  return Status::OK();
+}
+
+}  // namespace ksp

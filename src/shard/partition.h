@@ -1,0 +1,49 @@
+#ifndef KSP_SHARD_PARTITION_H_
+#define KSP_SHARD_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "rdf/knowledge_base.h"
+#include "spatial/geometry.h"
+
+namespace ksp {
+
+/// A spatial partition of a KB's places into shard tiles (DESIGN.md §12).
+/// Every KB place appears in exactly one tile; tiles may be empty (a
+/// fixed shard count over a sparse region). The tile index IS the shard
+/// id, so the partition must be identical between the process that saved
+/// a sharded directory and the one loading it — StrPartition below is
+/// deterministic for that reason, and ShardedKspDatabase persists the
+/// tile lists alongside the shard directories.
+struct ShardPartition {
+  std::vector<std::vector<PlaceId>> tiles;
+
+  uint32_t num_tiles() const { return static_cast<uint32_t>(tiles.size()); }
+};
+
+/// MBR of one tile's place locations (Rect::Empty() for an empty tile).
+/// MinDist(q, mbr) lower-bounds S(q, p) for every place p of the tile —
+/// the bound the scatter-gather shard pruning rests on.
+Rect TileMbr(const KnowledgeBase& kb, const std::vector<PlaceId>& tile);
+
+/// Sort-Tile-Recursive partitioning into exactly `num_tiles` tiles:
+/// places are sorted by x into ⌈√num_tiles⌉ vertical slices of near-equal
+/// population, then each slice is sorted by y and cut into its share of
+/// tiles. Deterministic (ties broken by place id) and total — every place
+/// lands in exactly one tile; trailing tiles are empty when there are
+/// fewer places than tiles. num_tiles == 0 is treated as 1.
+ShardPartition StrPartition(const KnowledgeBase& kb, uint32_t num_tiles);
+
+/// Validates an arbitrary partition against a KB: every place id in
+/// range, no duplicates across tiles, and the union covering all places.
+/// Used by ShardedKspDatabase::Build on caller-supplied partitions (the
+/// randomized property suite feeds deliberately weird ones).
+Status ValidatePartition(const KnowledgeBase& kb,
+                         const ShardPartition& partition);
+
+}  // namespace ksp
+
+#endif  // KSP_SHARD_PARTITION_H_

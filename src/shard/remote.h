@@ -1,0 +1,127 @@
+#ifndef KSP_SHARD_REMOTE_H_
+#define KSP_SHARD_REMOTE_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/executor.h"
+#include "core/query.h"
+#include "core/semantic_place.h"
+#include "core/stats.h"
+#include "shard/sharded_database.h"
+
+namespace ksp {
+
+/// The shard boundary of DESIGN.md §12: a narrow request/response message
+/// pair plus a transport interface. The scatter-gather executor speaks
+/// ONLY this vocabulary to its shards, so moving a shard out of process
+/// is a transport swap — implement ShardChannel over a socket using the
+/// src/service frame convention (fixed32 length prefix + the payloads
+/// encoded below) and nothing above this seam changes.
+
+/// One shard's slice of a scatter-gather query. Keywords travel as
+/// strings and are resolved against the vocabulary of whichever index
+/// generation answers — the same contract as the serving protocol's
+/// QueryRequest, and the property that makes hot swap safe under
+/// sharding.
+struct ShardQueryRequest {
+  KspAlgorithm algorithm = KspAlgorithm::kSp;
+  Point location;
+  std::vector<std::string> keywords;
+  uint32_t k = 1;
+  /// Global θ at dispatch time (+inf before the merge heap fills). A
+  /// remote shard can only prune against this snapshot; the in-process
+  /// transport additionally re-reads the live θ (see ShardChannel).
+  double theta_seed = std::numeric_limits<double>::infinity();
+};
+
+/// A shard's answer: its local top-k (full result entries, trees
+/// included, bit-exact doubles) plus the stats of the shard-local run.
+struct ShardQueryResponse {
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+  /// Index generation that answered (0 for in-process builds).
+  uint64_t generation = 0;
+  KspResult result;
+  QueryStats stats;
+};
+
+/// ---- Wire codec (payloads; transports add their own frame header) ----
+///
+/// Varint ints, length-prefixed strings, fixed64 IEEE-754 doubles —
+/// decode(encode(x)) == x bit-for-bit, which the loopback channel (and
+/// its test) pin. Decode never trusts a length before bounds-checking it.
+
+void EncodeShardQueryRequest(const ShardQueryRequest& request,
+                             std::string* payload);
+Status DecodeShardQueryRequest(std::string_view payload,
+                               ShardQueryRequest* request);
+void EncodeShardQueryResponse(const ShardQueryResponse& response,
+                              std::string* payload);
+Status DecodeShardQueryResponse(std::string_view payload,
+                                ShardQueryResponse* response);
+
+/// Transport seam: one channel per shard. Query() is synchronous and a
+/// channel serves one in-flight query at a time (the scatter-gather
+/// executor owns its channels; give each thread its own executor, as
+/// with QueryExecutor).
+class ShardChannel {
+ public:
+  virtual ~ShardChannel() = default;
+
+  /// `live_theta`, when non-null, is the scatter-gather merge's shared
+  /// atomic θ; a co-located shard reads it throughout execution (the PR 4
+  /// plumbing) for tighter pruning. Transports that cannot share memory
+  /// pass the request's theta_seed instead — both are ≥ the final global
+  /// θ at all times, so either choice is exact and only prune counts
+  /// differ.
+  virtual Status Query(const ShardQueryRequest& request,
+                       const std::atomic<double>* live_theta,
+                       ShardQueryResponse* response) = 0;
+};
+
+/// Shard = thread: executes against a shard KspDatabase in this process,
+/// reading the live shared θ.
+class InProcessShardChannel : public ShardChannel {
+ public:
+  explicit InProcessShardChannel(const KspDatabase* db);
+
+  Status Query(const ShardQueryRequest& request,
+               const std::atomic<double>* live_theta,
+               ShardQueryResponse* response) override;
+
+ private:
+  const KspDatabase* db_;
+  QueryExecutor executor_;
+  std::atomic<double> seed_theta_;
+};
+
+/// In-process channel that round-trips both messages through the wire
+/// codec and drops the live-θ shortcut — exactly what a remote shard
+/// would see. Exists to prove, in the equivalence suite, that the codec
+/// loses nothing: scatter-gather over loopback channels returns the
+/// byte-identical top-k.
+class LoopbackShardChannel : public ShardChannel {
+ public:
+  explicit LoopbackShardChannel(const KspDatabase* db) : inner_(db) {}
+
+  Status Query(const ShardQueryRequest& request,
+               const std::atomic<double>* live_theta,
+               ShardQueryResponse* response) override;
+
+ private:
+  InProcessShardChannel inner_;
+};
+
+/// One channel per shard slot of `db` (nullptr for empty tiles).
+std::vector<std::unique_ptr<ShardChannel>> MakeInProcessChannels(
+    const ShardedKspDatabase& db);
+std::vector<std::unique_ptr<ShardChannel>> MakeLoopbackChannels(
+    const ShardedKspDatabase& db);
+
+}  // namespace ksp
+
+#endif  // KSP_SHARD_REMOTE_H_

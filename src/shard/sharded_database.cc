@@ -1,0 +1,250 @@
+#include "shard/sharded_database.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+#include <utility>
+
+#include "common/io_util.h"
+#include "common/varint.h"
+
+namespace ksp {
+
+namespace {
+
+constexpr uint32_t kShardsMagic = 0x4B535348u;  // "KSSH"
+constexpr uint32_t kShardsVersion = 1;
+constexpr char kShardsName[] = "SHARDS";
+
+std::string ShardDirName(uint32_t shard) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "shard-%06u", shard);
+  return buf;
+}
+
+Status WriteShardsManifest(FileSystem* fs, const std::string& path,
+                           const ShardPartition& partition) {
+  return WriteArtifactAtomically(
+      fs, path, kShardsMagic, kShardsVersion,
+      [&partition](ChecksummedWriter* w) {
+        std::string body;
+        PutVarint64(&body, partition.tiles.size());
+        for (const std::vector<PlaceId>& tile : partition.tiles) {
+          PutVarint64(&body, tile.size());
+          // Tiles are sorted place-id lists (KspOptions::place_subset
+          // canonicalization), so deltas stay small under varint.
+          PlaceId previous = 0;
+          for (PlaceId p : tile) {
+            PutVarint64(&body, p - previous);
+            previous = p;
+          }
+        }
+        return w->WriteSection(body);
+      });
+}
+
+Result<ShardPartition> ReadShardsManifest(FileSystem* fs,
+                                          const std::string& path) {
+  auto file = fs->NewRandomAccessFile(path);
+  if (!file.ok()) return file.status();
+  ChecksummedReader reader(file->get());
+  uint32_t version = 0;
+  KSP_RETURN_NOT_OK(reader.Open(kShardsMagic, &version));
+  if (version != kShardsVersion) {
+    return CorruptionAt(path, 4, "unsupported SHARDS version " +
+                                     std::to_string(version));
+  }
+  std::string body;
+  const uint64_t body_offset = reader.offset();
+  KSP_RETURN_NOT_OK(reader.ReadSection(&body));
+  KSP_RETURN_NOT_OK(reader.ExpectEnd());
+
+  ShardPartition partition;
+  size_t pos = 0;
+  auto parse = [&]() -> Status {
+    uint64_t num_tiles = 0;
+    KSP_RETURN_NOT_OK(GetVarint64(body, &pos, &num_tiles));
+    if (num_tiles > body.size() - pos + 1) {
+      return Status::Corruption("tile count exceeds manifest size");
+    }
+    partition.tiles.resize(num_tiles);
+    for (std::vector<PlaceId>& tile : partition.tiles) {
+      uint64_t count = 0;
+      KSP_RETURN_NOT_OK(GetVarint64(body, &pos, &count));
+      if (count > body.size() - pos + 1) {
+        return Status::Corruption("tile size exceeds manifest size");
+      }
+      tile.reserve(count);
+      uint64_t previous = 0;
+      for (uint64_t i = 0; i < count; ++i) {
+        uint64_t delta = 0;
+        KSP_RETURN_NOT_OK(GetVarint64(body, &pos, &delta));
+        previous += delta;
+        if (previous > kInvalidPlace) {
+          return Status::Corruption("tile place id overflows PlaceId");
+        }
+        tile.push_back(static_cast<PlaceId>(previous));
+      }
+    }
+    if (pos != body.size()) {
+      return Status::Corruption("trailing bytes in SHARDS manifest");
+    }
+    return Status::OK();
+  };
+  Status st = parse();
+  if (!st.ok()) return CorruptionAt(path, body_offset + pos, st.message());
+  return partition;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<ShardedKspDatabase>> ShardedKspDatabase::MakeShells(
+    const KnowledgeBase* kb, const KspOptions& base,
+    ShardPartition partition) {
+  if (kb == nullptr) {
+    return Status::InvalidArgument("sharded database requires a KB");
+  }
+  KSP_RETURN_NOT_OK(ValidatePartition(*kb, partition));
+  // Tiles are sets; store them in ascending place-id order so
+  // shard_places, the SHARDS manifest's delta encoding, and the shards'
+  // place_subset all share one canonical form.
+  for (std::vector<PlaceId>& tile : partition.tiles) {
+    std::sort(tile.begin(), tile.end());
+  }
+
+  auto db = std::unique_ptr<ShardedKspDatabase>(new ShardedKspDatabase());
+  db->kb_ = kb;
+  db->base_options_ = base;
+  db->base_options_.place_subset.clear();
+  db->partition_ = std::move(partition);
+  db->mbrs_.reserve(db->partition_.tiles.size());
+  db->shards_.resize(db->partition_.tiles.size());
+  for (uint32_t i = 0; i < db->partition_.num_tiles(); ++i) {
+    const std::vector<PlaceId>& tile = db->partition_.tiles[i];
+    db->mbrs_.push_back(TileMbr(*kb, tile));
+    if (tile.empty()) continue;  // Empty tile: no shard database.
+    KspOptions options = base;
+    options.place_subset = tile;
+    // Shard spill files must not collide in a caller-provided directory.
+    if (!options.spill_directory.empty()) {
+      options.spill_directory += "/" + ShardDirName(i);
+    }
+    db->shards_[i] = std::make_unique<KspDatabase>(kb, options);
+  }
+  return db;
+}
+
+Result<std::unique_ptr<ShardedKspDatabase>> ShardedKspDatabase::Build(
+    const KnowledgeBase* kb, const KspOptions& base,
+    const ShardPartition& partition, uint32_t alpha) {
+  KSP_ASSIGN_OR_RETURN(auto db, MakeShells(kb, base, partition));
+
+  // Reachability labels are vertex-keyed and identical for every shard:
+  // build them once and let each shard adopt the shared instance.
+  std::shared_ptr<const ReachabilityIndex> reach;
+  if (base.use_unqualified_pruning) {
+    reach = std::make_shared<const ReachabilityIndex>(
+        ReachabilityIndex::Build(kb->graph(), kb->documents(),
+                                 kb->num_terms(), base.undirected_edges));
+  }
+  for (std::unique_ptr<KspDatabase>& shard : db->shards_) {
+    if (shard == nullptr) continue;
+    shard->BuildRTree();
+    if (reach != nullptr) shard->AdoptReachabilityIndex(reach);
+    if (alpha > 0) shard->BuildAlphaIndex(alpha);
+    KSP_RETURN_NOT_OK(shard->storage_backend_status());
+  }
+  return db;
+}
+
+Result<std::unique_ptr<ShardedKspDatabase>> ShardedKspDatabase::Load(
+    const KnowledgeBase* kb, const KspOptions& base,
+    const std::string& directory, FileSystem* fs) {
+  if (fs == nullptr) fs = DefaultFileSystem();
+  KSP_ASSIGN_OR_RETURN(
+      auto partition,
+      ReadShardsManifest(fs, directory + "/" + kShardsName));
+  KSP_ASSIGN_OR_RETURN(auto db,
+                       MakeShells(kb, base, std::move(partition)));
+
+  // Load every shard, then require one common generation: a torn save
+  // (aligned prefix at generation g+1, suffix still at g) must never be
+  // served as a mixed index set.
+  uint64_t generation = 0;
+  bool first = true;
+  std::shared_ptr<const ReachabilityIndex> shared_reach;
+  for (uint32_t i = 0; i < db->num_shards(); ++i) {
+    KspDatabase* shard = db->shards_[i].get();
+    if (shard == nullptr) continue;
+    KSP_RETURN_NOT_OK(
+        shard->LoadIndexes(directory + "/" + ShardDirName(i), fs));
+    if (first) {
+      generation = shard->index_generation();
+      shared_reach = shard->reachability_shared();
+      first = false;
+    } else if (shard->index_generation() != generation) {
+      return Status::Corruption(
+          "shard generations diverge (torn save?): shard " +
+          ShardDirName(i) + " is at generation " +
+          std::to_string(shard->index_generation()) + ", expected " +
+          std::to_string(generation));
+    } else if (shared_reach != nullptr) {
+      // Drop this shard's duplicate labels for the shared copy.
+      shard->AdoptReachabilityIndex(shared_reach);
+    }
+  }
+  db->index_generation_ = generation;
+  return db;
+}
+
+Status ShardedKspDatabase::Save(const std::string& directory,
+                                FileSystem* fs) const {
+  if (fs == nullptr) fs = DefaultFileSystem();
+  std::error_code ec;
+  std::filesystem::create_directories(directory, ec);
+
+  // Ascending shard order with the generation floor carried forward:
+  // SaveIndexes returns the generation it published and every later
+  // shard is forced to at least that number. Combined with the read-back
+  // this keeps a completed save perfectly aligned, and an interrupted
+  // one leaves an aligned prefix — which Load detects and refuses.
+  uint64_t generation_floor = 0;
+  for (uint32_t i = 0; i < num_shards(); ++i) {
+    if (shards_[i] == nullptr) continue;
+    uint64_t published = 0;
+    KSP_RETURN_NOT_OK(
+        shards_[i]->SaveIndexes(directory + "/" + ShardDirName(i), fs,
+                                generation_floor, &published));
+    generation_floor = published;
+  }
+  // SHARDS last: a directory is a loadable sharded database only once
+  // the partition is durably recorded.
+  return WriteShardsManifest(fs, directory + "/" + kShardsName,
+                             partition_);
+}
+
+Status ShardedKspDatabase::storage_backend_status() const {
+  for (const std::unique_ptr<KspDatabase>& shard : shards_) {
+    if (shard == nullptr) continue;
+    KSP_RETURN_NOT_OK(shard->storage_backend_status());
+  }
+  return Status::OK();
+}
+
+bool IsShardedDirectory(const std::string& directory, FileSystem* fs) {
+  if (fs == nullptr) fs = DefaultFileSystem();
+  return fs->FileExists(directory + "/" + kShardsName);
+}
+
+KspQuery ShardedKspDatabase::MakeQuery(
+    const Point& location, const std::vector<std::string>& keywords,
+    uint32_t k) const {
+  KspQuery query;
+  query.location = location;
+  query.keywords = kb_->LookupTerms(keywords);
+  query.k = k;
+  return query;
+}
+
+}  // namespace ksp

@@ -1,0 +1,113 @@
+#ifndef KSP_SHARD_SHARDED_DATABASE_H_
+#define KSP_SHARD_SHARDED_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/file.h"
+#include "common/result.h"
+#include "core/database.h"
+#include "shard/partition.h"
+
+namespace ksp {
+
+/// A spatially-sharded KspDatabase (DESIGN.md §12): one independent
+/// KspDatabase per non-empty partition tile, each built over the shared
+/// KnowledgeBase with KspOptions::place_subset restricted to its tile.
+/// Shard-local indexes (R-tree, α) cover only the tile; the
+/// keyword-reachability oracle is vertex-keyed and therefore built once
+/// and adopted by every shard. The whole ensemble is immutable once
+/// built/loaded and safe to share across threads, exactly like a single
+/// KspDatabase.
+///
+/// Persistence reuses the per-database generation machinery: shard i
+/// saves into `<dir>/shard-00000i/` via KspDatabase::SaveIndexes, always
+/// in ascending shard order with a generation floor carried forward, so
+/// an interrupted save leaves a generation-aligned PREFIX updated and
+/// shard 0 always carries the directory's maximum generation; Load
+/// refuses any directory whose shards disagree on generation (a torn
+/// save can therefore never serve a mixed index set). The SHARDS
+/// manifest (partition tile lists) is written last on the first save.
+class ShardedKspDatabase {
+ public:
+  /// Builds every shard in-process: reachability once (when
+  /// base.use_unqualified_pruning), then per non-empty tile an R-tree
+  /// and, when alpha > 0, an α-index over it. Empty tiles get a null
+  /// shard slot. Fails on an invalid partition.
+  static Result<std::unique_ptr<ShardedKspDatabase>> Build(
+      const KnowledgeBase* kb, const KspOptions& base,
+      const ShardPartition& partition, uint32_t alpha);
+
+  /// Restores a sharded directory previously written by Save: reads the
+  /// SHARDS manifest, rebuilds the shard skeletons with the persisted
+  /// partition, loads each shard's indexes on the options' backend, and
+  /// verifies every shard landed on one common generation — mixed
+  /// generations (torn save, tampering) are Corruption and nothing is
+  /// served. Each shard directory carries its own copy of the
+  /// (vertex-keyed, shard-invariant) reachability labels; after loading,
+  /// the first copy is adopted by every other shard so memory holds one.
+  static Result<std::unique_ptr<ShardedKspDatabase>> Load(
+      const KnowledgeBase* kb, const KspOptions& base,
+      const std::string& directory, FileSystem* fs = nullptr);
+
+  /// Saves every non-empty shard (ascending shard order, aligned
+  /// generation — see class comment), then the SHARDS manifest.
+  Status Save(const std::string& directory, FileSystem* fs = nullptr) const;
+
+  uint32_t num_shards() const {
+    return static_cast<uint32_t>(shards_.size());
+  }
+  /// Null for an empty tile.
+  const KspDatabase* shard(uint32_t i) const { return shards_[i].get(); }
+  const std::vector<PlaceId>& shard_places(uint32_t i) const {
+    return partition_.tiles[i];
+  }
+  /// MBR of the shard's place locations; Rect::Empty() for empty tiles.
+  const Rect& shard_mbr(uint32_t i) const { return mbrs_[i]; }
+
+  const KnowledgeBase& kb() const { return *kb_; }
+  const ShardPartition& partition() const { return partition_; }
+  /// The base options every shard was configured from (place_subset
+  /// empty — each shard holds its own tile-restricted copy).
+  const KspOptions& options() const { return base_options_; }
+  /// The common shard generation: LoadIndexes' manifest generation after
+  /// Load, 0 for in-process builds.
+  uint64_t index_generation() const { return index_generation_; }
+
+  /// First failed shard backend status, OK otherwise (mirrors
+  /// KspDatabase::storage_backend_status for the serving tier).
+  Status storage_backend_status() const;
+
+  /// Resolves keyword strings against the shared KB vocabulary (same
+  /// contract as KspDatabase::MakeQuery).
+  KspQuery MakeQuery(const Point& location,
+                     const std::vector<std::string>& keywords,
+                     uint32_t k) const;
+
+ private:
+  ShardedKspDatabase() = default;
+
+  /// Shared skeleton of Build/Load: validates the partition and creates
+  /// the per-tile KspDatabase shells (place_subset set, nothing built).
+  static Result<std::unique_ptr<ShardedKspDatabase>> MakeShells(
+      const KnowledgeBase* kb, const KspOptions& base,
+      ShardPartition partition);
+
+  const KnowledgeBase* kb_ = nullptr;
+  KspOptions base_options_;
+  ShardPartition partition_;
+  std::vector<Rect> mbrs_;
+  std::vector<std::unique_ptr<KspDatabase>> shards_;
+  uint64_t index_generation_ = 0;
+};
+
+/// True iff `directory` holds a sharded database (a SHARDS manifest).
+/// The serving tier uses this to route ServeDirectory between the single
+/// and sharded load paths.
+bool IsShardedDirectory(const std::string& directory,
+                        FileSystem* fs = nullptr);
+
+}  // namespace ksp
+
+#endif  // KSP_SHARD_SHARDED_DATABASE_H_

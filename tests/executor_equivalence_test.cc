@@ -1,7 +1,9 @@
-// Cross-algorithm correctness: on random synthetic KBs and random queries,
-// BSP, SPP, SP and TA must return exactly the scores of a brute-force
-// oracle that evaluates every place. Pruning may only reduce work, never
-// change answers. Parameterized over dataset profile, |q.ψ|, k and α.
+// Cross-algorithm QueryExecutor correctness: on random synthetic KBs and
+// random queries, BSP, SPP, SP and TA must return exactly the scores of
+// a brute-force oracle that evaluates every place. Pruning may only
+// reduce work, never change answers. Parameterized over dataset profile,
+// |q.ψ|, k and α. (The sharded executor's equivalence claim lives in
+// shard_equivalence_test.cc.)
 
 #include <gtest/gtest.h>
 

@@ -1,0 +1,156 @@
+// Randomized shard-partition property test: for ANY partition of the
+// place set — not just the STR tiling — the sharded scatter-gather must
+// equal the unsharded top-k exactly. 200 seeded rounds draw random tile
+// boundaries (including degenerate single-place and empty tiles) and a
+// random query, and additionally pin the no-false-prune property: when k
+// covers every matching place, no shard may be pruned, because pruning
+// would have to discard a place that belongs to the result.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/database.h"
+#include "core/executor.h"
+#include "core/parallel.h"
+#include "datagen/query_gen.h"
+#include "datagen/synthetic.h"
+#include "rdf/knowledge_base.h"
+#include "shard/partition.h"
+#include "shard/sharded_database.h"
+#include "shard/sharded_executor.h"
+
+namespace ksp {
+namespace {
+
+/// A uniformly random partition of [0, num_places) into `num_tiles`
+/// tiles: each place independently picks a tile, so small tile counts
+/// regularly produce empty and single-place tiles — exactly the
+/// degenerate shapes the sharding layer has to survive.
+ShardPartition RandomPartition(uint32_t num_places, uint32_t num_tiles,
+                               Rng* rng) {
+  ShardPartition partition;
+  partition.tiles.resize(num_tiles);
+  for (PlaceId p = 0; p < num_places; ++p) {
+    partition.tiles[rng->NextBounded(num_tiles)].push_back(p);
+  }
+  return partition;
+}
+
+class ShardPropertyTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto kb = GenerateKnowledgeBase(SyntheticProfile::DBpediaLike(400));
+    ASSERT_TRUE(kb.ok()) << kb.status().ToString();
+    kb_ = kb->release();
+    reference_ = new KspDatabase(kb_);
+    reference_->PrepareAll(/*alpha=*/3);
+  }
+
+  static void TearDownTestSuite() {
+    delete reference_;
+    reference_ = nullptr;
+    delete kb_;
+    kb_ = nullptr;
+  }
+
+  static KnowledgeBase* kb_;
+  static KspDatabase* reference_;
+};
+
+KnowledgeBase* ShardPropertyTest::kb_ = nullptr;
+KspDatabase* ShardPropertyTest::reference_ = nullptr;
+
+TEST_F(ShardPropertyTest, RandomPartitionsMatchUnsharded) {
+  QueryExecutor unsharded(reference_);
+  for (uint64_t seed = 1; seed <= 200; ++seed) {
+    Rng rng(seed);
+    const uint32_t num_tiles = 1 + rng.NextBounded(6);
+    auto partition = RandomPartition(kb_->num_places(), num_tiles, &rng);
+    auto sharded = ShardedKspDatabase::Build(kb_, KspOptions(), partition,
+                                             /*alpha=*/3);
+    ASSERT_TRUE(sharded.ok())
+        << "seed " << seed << ": " << sharded.status().ToString();
+    ShardedExecutor executor(sharded->get());
+
+    QueryGenOptions options;
+    options.num_keywords = 2 + rng.NextBounded(3);
+    options.seed = seed * 977;
+    auto queries =
+        GenerateQueries(*kb_, QueryClass::kOriginal, options, 1);
+    ASSERT_EQ(queries.size(), 1u);
+    KspQuery query = queries[0];
+    query.k = 1 + rng.NextBounded(10);
+    const KspAlgorithm algorithm =
+        rng.NextBounded(2) == 0 ? KspAlgorithm::kBsp : KspAlgorithm::kSpp;
+
+    auto want = ExecuteWith(&unsharded, algorithm, query, nullptr);
+    ASSERT_TRUE(want.ok()) << "seed " << seed;
+    QueryStats stats;
+    auto got = executor.Execute(algorithm, query, &stats);
+    ASSERT_TRUE(got.ok())
+        << "seed " << seed << ": " << got.status().ToString();
+
+    ASSERT_EQ(want->entries.size(), got->entries.size())
+        << "seed " << seed;
+    for (size_t i = 0; i < want->entries.size(); ++i) {
+      ASSERT_EQ(want->entries[i].place, got->entries[i].place)
+          << "seed " << seed << " rank " << i;
+      ASSERT_EQ(want->entries[i].looseness, got->entries[i].looseness)
+          << "seed " << seed << " rank " << i;
+      ASSERT_EQ(want->entries[i].spatial_distance,
+                got->entries[i].spatial_distance)
+          << "seed " << seed << " rank " << i;
+      ASSERT_EQ(want->entries[i].score, got->entries[i].score)
+          << "seed " << seed << " rank " << i;
+    }
+  }
+}
+
+// When k is at least the number of matching places, the global heap
+// never fills, θ stays +inf, and no shard-level prune may ever fire —
+// every prune at an infinite threshold would discard result entries.
+TEST_F(ShardPropertyTest, NoPruningWhenKCoversAllMatches) {
+  QueryExecutor unsharded(reference_);
+  for (uint64_t seed = 1; seed <= 50; ++seed) {
+    Rng rng(seed * 31);
+    const uint32_t num_tiles = 2 + rng.NextBounded(5);
+    auto partition = RandomPartition(kb_->num_places(), num_tiles, &rng);
+    auto sharded = ShardedKspDatabase::Build(kb_, KspOptions(), partition,
+                                             /*alpha=*/3);
+    ASSERT_TRUE(sharded.ok()) << "seed " << seed;
+    ShardedExecutor executor(sharded->get());
+
+    QueryGenOptions options;
+    options.num_keywords = 2;
+    options.seed = seed * 1301;
+    auto queries =
+        GenerateQueries(*kb_, QueryClass::kOriginal, options, 1);
+    ASSERT_EQ(queries.size(), 1u);
+    KspQuery query = queries[0];
+    // k ≥ total matching places: ask for every place in the KB.
+    query.k = kb_->num_places();
+
+    auto want = ExecuteWith(&unsharded, KspAlgorithm::kBsp, query, nullptr);
+    ASSERT_TRUE(want.ok()) << "seed " << seed;
+    QueryStats stats;
+    auto got = executor.Execute(KspAlgorithm::kBsp, query, &stats);
+    ASSERT_TRUE(got.ok()) << "seed " << seed;
+
+    EXPECT_EQ(stats.shards_pruned, 0u) << "seed " << seed;
+    ASSERT_EQ(want->entries.size(), got->entries.size())
+        << "seed " << seed;
+    for (size_t i = 0; i < want->entries.size(); ++i) {
+      ASSERT_EQ(want->entries[i].place, got->entries[i].place)
+          << "seed " << seed << " rank " << i;
+      ASSERT_EQ(want->entries[i].score, got->entries[i].score)
+          << "seed " << seed << " rank " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ksp

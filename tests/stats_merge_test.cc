@@ -17,10 +17,10 @@
 namespace ksp {
 namespace {
 
-// 2 doubles + 17 uint64 counters + bool (padded) on LP64. If this fires,
+// 2 doubles + 19 uint64 counters + bool (padded) on LP64. If this fires,
 // a field was added or removed: update Accumulate, the field checks
 // below, and RecordQueryMetrics in executor.cc, then re-pin the size.
-static_assert(sizeof(QueryStats) == 160,
+static_assert(sizeof(QueryStats) == 176,
               "QueryStats layout changed — audit Accumulate() and every "
               "consumer before re-pinning this size");
 
@@ -45,6 +45,8 @@ QueryStats MakeDistinct(int base) {
   s.bufferpool_hits = base + 15;
   s.bufferpool_misses = base + 16;
   s.bufferpool_evictions = base + 17;
+  s.shards_visited = base + 18;
+  s.shards_pruned = base + 19;
   s.completed = true;
   return s;
 }
@@ -72,6 +74,8 @@ TEST(QueryStatsTest, AccumulateMergesEveryField) {
   EXPECT_EQ(a.bufferpool_hits, 115u + 1015u);
   EXPECT_EQ(a.bufferpool_misses, 116u + 1016u);
   EXPECT_EQ(a.bufferpool_evictions, 117u + 1017u);
+  EXPECT_EQ(a.shards_visited, 118u + 1018u);
+  EXPECT_EQ(a.shards_pruned, 119u + 1019u);
   EXPECT_TRUE(a.completed);
 }
 
