@@ -43,6 +43,11 @@ namespace bench {
 ///   --bufferpool-budget=BYTES
 ///                       buffer-pool byte budget for --backend=disk
 ///                       (default: the KspOptions default)
+///   --bfs-frontier=flat|legacy
+///                       TQSP BFS frontier driver (DESIGN.md §13) for
+///                       every MakeDatabase. Temporary A/B knob for the
+///                       raw-speed pass; goes away with
+///                       BfsFrontier::kLegacy once flat has soaked.
 struct BenchEnv {
   double scale = 1.0;
   size_t queries = 25;
@@ -54,6 +59,7 @@ struct BenchEnv {
   size_t cache_budget = 0;  // KspOptions::cache_budget_bytes for benches
   StorageBackend backend = StorageBackend::kMemory;
   uint64_t bufferpool_budget = 0;  // 0: keep the KspOptions default
+  BfsFrontier bfs_frontier = BfsFrontier::kFlat;
   std::string json_out;  // empty: JSON row capture off
 
   static BenchEnv FromEnv();

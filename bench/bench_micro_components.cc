@@ -1,333 +1,148 @@
-// Component micro-benchmarks (google-benchmark): per-operation costs of
-// the substrates the kSP engine is built on. These quantify the paper's
-// §6.2.6 observation that spatial operations are orders of magnitude
-// cheaper than graph-browsing operations.
+// Component micro-benchmark: phase-exclusive cost of the two dominant
+// engine phases (tqsp_compute + bfs_expand, which the trace layer shows
+// dominating every Figure-5/9 workload) on the Figure-5 keyword sweep,
+// plus per-operation substrate costs (posting fetch, bounded BFS). This
+// is the measurement harness for the raw-speed pass (DESIGN.md §13):
+// run twice with --bfs-frontier=legacy and --bfs-frontier=flat and diff
+// the phase_exclusive_us totals in the JSON rows (methodology:
+// docs/BENCHMARKS.md).
+//
+// Unlike its previous google-benchmark incarnation this bench goes
+// through ksp::bench::RunWorkload, so --warmup/--repeat give it the
+// same untimed-warmup + median-of-passes treatment as every figure
+// bench, and --json-out emits the stable schema_version-1 document
+// (rows gain nothing new; the env object already carries the
+// bfs_frontier annotation — purely additive).
 
-#include <benchmark/benchmark.h>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <vector>
 
-#include <memory>
-
-#include "alpha/alpha_index.h"
 #include "bench_common.h"
 #include "common/rng.h"
-#include "core/database.h"
-#include "core/executor.h"
-#include "datagen/query_gen.h"
-#include "common/logging.h"
-#include "reach/reachability_index.h"
 #include "spatial/rtree.h"
-#include "storage/disk_graph.h"
-#include "text/tokenizer.h"
 
 namespace {
 
-using ksp::bench::MakeDataset;
+using namespace ksp::bench;
 
-/// Shared fixture state, built once (dataset generation is expensive).
-struct SharedState {
-  std::unique_ptr<ksp::KnowledgeBase> kb;
-  std::unique_ptr<ksp::KspDatabase> db;
-  std::unique_ptr<ksp::QueryExecutor> exec;
-  std::vector<ksp::KspQuery> queries;
-
-  SharedState() {
-    kb = MakeDataset(/*dbpedia_like=*/true, 10000);
-    db = std::make_unique<ksp::KspDatabase>(kb.get());
-    db->PrepareAll(3);
-    exec = std::make_unique<ksp::QueryExecutor>(db.get());
-    ksp::QueryGenOptions qopt;
-    qopt.num_keywords = 5;
-    qopt.k = 5;
-    queries = GenerateQueries(*kb, ksp::QueryClass::kOriginal, qopt, 8);
-  }
-};
-
-SharedState& State() {
-  static SharedState* state = new SharedState();
-  return *state;
+/// Substrate micro-rows: per-operation costs reported through the same
+/// stats pipeline (wall_us carries one sample per timed op batch). These
+/// quantify the paper's §6.2.6 observation that spatial operations are
+/// orders of magnitude cheaper than graph-browsing operations.
+double TimeUs(const std::function<void()>& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - start)
+      .count();
 }
 
-void BM_RTreeInsert(benchmark::State& state) {
-  ksp::Rng rng(1);
-  for (auto _ : state) {
-    state.PauseTiming();
-    ksp::RTree tree;
-    state.ResumeTiming();
-    for (int i = 0; i < state.range(0); ++i) {
-      tree.Insert(ksp::Point{rng.NextDouble(0, 100), rng.NextDouble(0, 100)},
-                  i);
-    }
-  }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
-}
-BENCHMARK(BM_RTreeInsert)->Arg(1000)->Arg(10000);
+void RunSubstrateRows(const ksp::KnowledgeBase& kb,
+                      const ksp::KspDatabase& db) {
+  constexpr int kOps = 20000;
 
-void BM_RTreeBulkLoad(benchmark::State& state) {
-  ksp::Rng rng(2);
-  std::vector<std::pair<ksp::Point, uint64_t>> points;
-  for (int i = 0; i < state.range(0); ++i) {
-    points.emplace_back(
-        ksp::Point{rng.NextDouble(0, 100), rng.NextDouble(0, 100)}, i);
+  // Posting-list fetch through the (memory) inverted index.
+  {
+    ksp::Rng rng(8);
+    const uint32_t terms = kb.num_terms();
+    std::vector<ksp::VertexId> out;
+    const double us = TimeUs([&] {
+      for (int i = 0; i < kOps; ++i) {
+        out.clear();
+        (void)kb.inverted_index().GetPostings(
+            static_cast<ksp::TermId>(rng.NextBounded(terms)), &out);
+      }
+    });
+    std::printf("%-24s %12.1f us / %d ops (%.3f us/op)\n",
+                "postings_fetch", us, kOps, us / kOps);
   }
-  for (auto _ : state) {
-    auto tree = ksp::RTree::BulkLoadStr(points);
-    benchmark::DoNotOptimize(tree);
-  }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
-}
-BENCHMARK(BM_RTreeBulkLoad)->Arg(10000)->Arg(100000);
 
-void BM_RTreeNearestNeighbor(benchmark::State& state) {
-  auto& shared = State();
-  ksp::Rng rng(3);
-  for (auto _ : state) {
-    ksp::Point q{rng.NextDouble(35, 60), rng.NextDouble(-10, 30)};
-    ksp::NearestIterator it(&shared.db->rtree(), q);
-    ksp::NearestIterator::Item item;
-    for (int i = 0; i < state.range(0) && it.NextData(&item); ++i) {
-      benchmark::DoNotOptimize(item);
-    }
-  }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
-}
-BENCHMARK(BM_RTreeNearestNeighbor)->Arg(1)->Arg(10)->Arg(100);
-
-void BM_ReachabilityQuery(benchmark::State& state) {
-  auto& shared = State();
-  const auto* reach = shared.db->reachability_index();
-  ksp::Rng rng(4);
-  const uint32_t n = shared.kb->num_vertices();
-  const uint32_t terms = shared.kb->num_terms();
-  for (auto _ : state) {
-    bool r = reach->Reaches(static_cast<ksp::VertexId>(rng.NextBounded(n)),
-                            static_cast<ksp::TermId>(rng.NextBounded(terms)));
-    benchmark::DoNotOptimize(r);
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_ReachabilityQuery);
-
-void BM_AlphaBoundLookup(benchmark::State& state) {
-  auto& shared = State();
-  const auto* alpha = shared.db->alpha_index();
-  ksp::Rng rng(5);
-  const uint32_t entries = alpha->num_places() + alpha->num_nodes();
-  const uint32_t terms = shared.kb->num_terms();
-  for (auto _ : state) {
-    auto d = alpha->EntryTermDistance(
-        static_cast<uint32_t>(rng.NextBounded(entries)),
-        static_cast<ksp::TermId>(rng.NextBounded(terms)));
-    benchmark::DoNotOptimize(d);
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_AlphaBoundLookup);
-
-void BM_TqspConstruction(benchmark::State& state) {
-  auto& shared = State();
-  ksp::Rng rng(6);
-  const auto& query = shared.queries.front();
-  const uint32_t places = shared.kb->num_places();
-  for (auto _ : state) {
-    auto tree = shared.exec->ComputeTqspForPlace(
-        static_cast<ksp::PlaceId>(rng.NextBounded(places)), query);
-    benchmark::DoNotOptimize(tree);
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_TqspConstruction);
-
-void BM_QuerySp(benchmark::State& state) {
-  auto& shared = State();
-  size_t i = 0;
-  for (auto _ : state) {
-    auto result =
-        shared.exec->ExecuteSp(shared.queries[i % shared.queries.size()]);
-    benchmark::DoNotOptimize(result);
-    ++i;
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_QuerySp);
-
-void BM_QuerySpp(benchmark::State& state) {
-  auto& shared = State();
-  size_t i = 0;
-  for (auto _ : state) {
-    auto result = shared.exec->ExecuteSpp(
-        shared.queries[i % shared.queries.size()]);
-    benchmark::DoNotOptimize(result);
-    ++i;
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_QuerySpp);
-
-/// Disabled tracing (null trace pointer): the acceptance bar is "a
-/// disabled TraceSpan compiles down to a branch", i.e. the cost per
-/// guard must be nanoseconds — compare against BM_TraceSpanEnabled.
-void BM_TraceSpanDisabled(benchmark::State& state) {
-  ksp::QueryTrace* trace = nullptr;
-  for (auto _ : state) {
-    ksp::TraceSpan span(trace, ksp::TracePhase::kTqspCompute);
-    span.AddItems(1);
-    benchmark::DoNotOptimize(trace);
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_TraceSpanDisabled);
-
-void BM_TraceSpanEnabled(benchmark::State& state) {
-  ksp::QueryTrace trace;
-  trace.set_record_spans(state.range(0) != 0);
-  for (auto _ : state) {
-    ksp::TraceSpan span(&trace, ksp::TracePhase::kTqspCompute);
-    span.AddItems(1);
-    benchmark::DoNotOptimize(trace);
-  }
-  if (state.range(0) != 0) trace.Clear();
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_TraceSpanEnabled)->Arg(0)->Arg(1);
-
-/// Whole-query overhead of the metrics pipeline (internal aggregate
-/// trace + counter flush) — compare against BM_QuerySp.
-void BM_QuerySpMetrics(benchmark::State& state) {
-  auto& shared = State();
-  static ksp::MetricsRegistry* registry = new ksp::MetricsRegistry();
-  ksp::QueryExecutor exec(shared.db.get());
-  exec.set_metrics(registry);
-  size_t i = 0;
-  for (auto _ : state) {
-    auto result = exec.ExecuteSp(shared.queries[i % shared.queries.size()]);
-    benchmark::DoNotOptimize(result);
-    ++i;
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_QuerySpMetrics);
-
-void BM_MetricsCounterIncrement(benchmark::State& state) {
-  static ksp::MetricsRegistry* registry = new ksp::MetricsRegistry();
-  ksp::Counter* counter = registry->GetCounter("bm_counter_total");
-  for (auto _ : state) {
-    counter->Increment();
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_MetricsCounterIncrement)->Threads(1)->Threads(8);
-
-void BM_MetricsHistogramObserve(benchmark::State& state) {
-  static ksp::MetricsRegistry* registry = new ksp::MetricsRegistry();
-  ksp::Histogram* histogram = registry->GetHistogram(
-      "bm_latency_ms", ksp::Histogram::DefaultLatencyBucketsMs());
-  double v = 0.0;
-  for (auto _ : state) {
-    histogram->Observe(v);
-    v = v > 1000 ? 0.0 : v + 0.37;
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_MetricsHistogramObserve)->Threads(1)->Threads(8);
-
-void BM_MemoryGraphBfs(benchmark::State& state) {
-  auto& shared = State();
-  const ksp::Graph& graph = shared.kb->graph();
-  ksp::Rng rng(7);
-  const uint32_t n = graph.num_vertices();
-  std::vector<uint32_t> seen(n, 0);
-  uint32_t epoch = 0;
-  std::vector<ksp::VertexId> queue;
-  for (auto _ : state) {
-    ++epoch;
-    queue.clear();
-    ksp::VertexId root = static_cast<ksp::VertexId>(rng.NextBounded(n));
-    queue.push_back(root);
-    seen[root] = epoch;
-    size_t visited = 0;
-    for (size_t qi = 0; qi < queue.size() && visited < 2000; ++qi) {
-      ++visited;
-      for (ksp::VertexId w : graph.OutNeighbors(queue[qi])) {
-        if (seen[w] != epoch) {
-          seen[w] = epoch;
-          queue.push_back(w);
+  // Bounded CSR BFS (2000 pops), the graph-browsing primitive.
+  {
+    const ksp::Graph& graph = kb.graph();
+    ksp::Rng rng(7);
+    const uint32_t n = graph.num_vertices();
+    std::vector<uint32_t> seen(n, 0);
+    uint32_t epoch = 0;
+    std::vector<ksp::VertexId> queue;
+    constexpr int kRuns = 200;
+    const double us = TimeUs([&] {
+      for (int r = 0; r < kRuns; ++r) {
+        ++epoch;
+        queue.clear();
+        ksp::VertexId root =
+            static_cast<ksp::VertexId>(rng.NextBounded(n));
+        queue.push_back(root);
+        seen[root] = epoch;
+        size_t visited = 0;
+        for (size_t qi = 0; qi < queue.size() && visited < 2000; ++qi) {
+          ++visited;
+          for (ksp::VertexId w : graph.OutNeighbors(queue[qi])) {
+            if (seen[w] != epoch) {
+              seen[w] = epoch;
+              queue.push_back(w);
+            }
+          }
         }
       }
-    }
-    benchmark::DoNotOptimize(visited);
+    });
+    std::printf("%-24s %12.1f us / %d runs (%.1f us/run)\n",
+                "memory_graph_bfs", us, kRuns, us / kRuns);
   }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_MemoryGraphBfs);
 
-void BM_DiskGraphBfs(benchmark::State& state) {
-  // Same bounded BFS through the disk-resident graph (4 KB pages, LRU
-  // pool sized by the benchmark argument, in pages).
-  static std::string path = [] {
-    std::string p = "/tmp/ksp_micro_disk_graph.bin";
-    KSP_CHECK(ksp::DiskGraph::Write(State().kb->graph(), p).ok());
-    return p;
-  }();
-  auto disk = ksp::DiskGraph::Open(path, state.range(0));
-  KSP_CHECK(disk.ok());
-  ksp::Rng rng(7);
-  const uint32_t n = (*disk)->num_vertices();
-  std::vector<uint32_t> seen(n, 0);
-  uint32_t epoch = 0;
-  std::vector<ksp::VertexId> queue;
-  std::vector<ksp::VertexId> neighbors;
-  for (auto _ : state) {
-    ++epoch;
-    queue.clear();
-    ksp::VertexId root = static_cast<ksp::VertexId>(rng.NextBounded(n));
-    queue.push_back(root);
-    seen[root] = epoch;
-    size_t visited = 0;
-    for (size_t qi = 0; qi < queue.size() && visited < 2000; ++qi) {
-      ++visited;
-      neighbors.clear();
-      KSP_CHECK((*disk)->OutNeighbors(queue[qi], &neighbors).ok());
-      for (ksp::VertexId w : neighbors) {
-        if (seen[w] != epoch) {
-          seen[w] = epoch;
-          queue.push_back(w);
+  // R-tree incremental nearest-neighbor (spatial side of the paper's
+  // comparison).
+  {
+    ksp::Rng rng(3);
+    constexpr int kRuns = 2000;
+    const double us = TimeUs([&] {
+      for (int r = 0; r < kRuns; ++r) {
+        ksp::Point q{rng.NextDouble(35, 60), rng.NextDouble(-10, 30)};
+        ksp::NearestIterator it(&db.rtree(), q);
+        ksp::NearestIterator::Item item;
+        for (int i = 0; i < 10 && it.NextData(&item); ++i) {
         }
       }
-    }
-    benchmark::DoNotOptimize(visited);
+    });
+    std::printf("%-24s %12.1f us / %d runs (%.3f us/run)\n",
+                "rtree_nn10", us, kRuns, us / kRuns);
   }
-  state.SetItemsProcessed(state.iterations());
-  state.counters["pool_hit_rate"] = (*disk)->buffer_pool().HitRate();
 }
-BENCHMARK(BM_DiskGraphBfs)->Arg(16)->Arg(1024);
-
-void BM_Tokenizer(benchmark::State& state) {
-  ksp::Tokenizer tokenizer;
-  const std::string text =
-      "Roman_Catholic_Diocese_of_Frejus_Toulon birthPlace "
-      "AncientHistoryOfTheMediterraneanWorld 1968";
-  for (auto _ : state) {
-    auto tokens = tokenizer.Tokenize(text);
-    benchmark::DoNotOptimize(tokens);
-  }
-  state.SetBytesProcessed(state.iterations() * text.size());
-}
-BENCHMARK(BM_Tokenizer);
-
-void BM_PostingsFetch(benchmark::State& state) {
-  auto& shared = State();
-  const auto& index = shared.kb->inverted_index();
-  ksp::Rng rng(8);
-  const uint32_t terms = shared.kb->num_terms();
-  std::vector<ksp::VertexId> out;
-  for (auto _ : state) {
-    out.clear();
-    (void)index.GetPostings(
-        static_cast<ksp::TermId>(rng.NextBounded(terms)), &out);
-    benchmark::DoNotOptimize(out);
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_PostingsFetch);
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  const BenchEnv env = BenchEnv::FromArgs(argc, argv);
+  std::printf("=== Micro components: phase-exclusive hot-path costs ===\n");
+
+  auto kb = MakeDataset(/*dbpedia_like=*/true,
+                        env.Scaled(kDBpediaBaseVertices));
+  PrintDatasetSummary("dbpedia-like", *kb);
+  auto db = MakeDatabase(kb.get(), env, /*alpha=*/3);
+
+  RunSubstrateRows(*kb, *db);
+  std::printf("\n");
+
+  // The Figure-5 keyword sweep (|q.psi| ∈ {1,3,5,8,10}, k = 5, same
+  // seeds as bench_fig5) — the workload the tentpole's ≥2x target on
+  // tqsp_compute + bfs_expand is measured against. RunWorkload applies
+  // --warmup untimed passes and reports the --repeat median pass; with
+  // --json-out each row carries the per-phase exclusive totals.
+  PrintStatsHeader();
+  for (uint32_t m : {1u, 3u, 5u, 8u, 10u}) {
+    ksp::QueryGenOptions qopt;
+    qopt.num_keywords = m;
+    qopt.k = 5;
+    qopt.seed = 500 + m;
+    auto queries = ksp::GenerateQueries(*kb, ksp::QueryClass::kOriginal,
+                                        qopt, env.queries);
+    char config[32];
+    std::snprintf(config, sizeof(config), "|q.psi|=%u", m);
+    for (Algo algo : {Algo::kBsp, Algo::kSpp, Algo::kSp}) {
+      PrintStatsRow(config, algo, RunWorkload(*db, algo, queries, 5));
+    }
+  }
+  return ksp::bench::Finish();
+}

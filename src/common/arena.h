@@ -1,0 +1,179 @@
+#ifndef KSP_COMMON_ARENA_H_
+#define KSP_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace ksp {
+
+/// Bump-pointer arena for short-lived scratch (DESIGN.md §13). One owner,
+/// no per-object destruction: Allocate() hands out raw aligned storage
+/// from a chain of blocks and Reset() recycles every byte at once, so a
+/// loop that resets per iteration (the TQSP per-candidate scratch) does
+/// exactly zero heap traffic after its first, largest iteration.
+///
+/// Lifetime rules:
+///  - Allocations are valid until the next Reset() (or destruction).
+///  - Reset() keeps the single largest block and frees the rest, so the
+///    footprint converges to one block sized for the worst iteration.
+///  - Requests larger than the block size get a dedicated block (the
+///    large-allocation fallback); they are serviced, not rejected.
+///  - Not thread-safe: one arena per executor/worker, like the BFS
+///    scratch arrays.
+class Arena {
+ public:
+  static constexpr size_t kDefaultBlockBytes = 64 * 1024;
+
+  explicit Arena(size_t block_bytes = kDefaultBlockBytes)
+      : block_bytes_(block_bytes == 0 ? kDefaultBlockBytes : block_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns `bytes` of storage aligned to `align` (a power of two).
+  /// Never returns nullptr; bytes == 0 yields a unique aligned pointer
+  /// into the current block.
+  void* Allocate(size_t bytes, size_t align = alignof(std::max_align_t)) {
+    KSP_DCHECK(align != 0 && (align & (align - 1)) == 0);
+    if (current_ != nullptr) {
+      uintptr_t p = reinterpret_cast<uintptr_t>(current_->data.get()) + used_;
+      const uintptr_t aligned = (p + (align - 1)) & ~(uintptr_t{align} - 1);
+      const size_t padded = used_ + (aligned - p) + bytes;
+      if (padded <= current_->size) {
+        used_ = padded;
+        allocated_ += bytes;
+        return reinterpret_cast<void*>(aligned);
+      }
+    }
+    return AllocateSlow(bytes, align);
+  }
+
+  /// Typed array allocation for trivially-destructible T (the arena never
+  /// runs destructors). The storage is uninitialized.
+  template <typename T>
+  T* AllocateArray(size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena does not run destructors");
+    return static_cast<T*>(Allocate(n * sizeof(T), alignof(T)));
+  }
+
+  /// Recycles every allocation. The largest block is kept for reuse
+  /// (bump pointer rewinds to its start); all other blocks are freed.
+  void Reset() {
+    if (blocks_.empty()) return;
+    size_t keep = 0;
+    for (size_t i = 1; i < blocks_.size(); ++i) {
+      if (blocks_[i].size > blocks_[keep].size) keep = i;
+    }
+    if (keep != 0) blocks_[0] = std::move(blocks_[keep]);
+    blocks_.resize(1);
+    current_ = &blocks_[0];
+    used_ = 0;
+    allocated_ = 0;
+  }
+
+  /// Bytes handed out since the last Reset (excludes alignment padding).
+  size_t bytes_allocated() const { return allocated_; }
+
+  /// Total block footprint currently held (survives Reset for the
+  /// retained block).
+  size_t bytes_reserved() const {
+    size_t total = 0;
+    for (const Block& b : blocks_) total += b.size;
+    return total;
+  }
+
+  size_t num_blocks() const { return blocks_.size(); }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    size_t size = 0;
+  };
+
+  void* AllocateSlow(size_t bytes, size_t align) {
+    // A fresh block is alignof(max_align_t)-aligned by operator new;
+    // over-aligned requests pad the block so the bump below succeeds.
+    const size_t slack = align > alignof(std::max_align_t) ? align : 0;
+    const size_t want = bytes + slack;
+    const size_t size = want > block_bytes_ ? want : block_bytes_;
+    Block block;
+    block.data = std::make_unique<std::byte[]>(size);
+    block.size = size;
+    blocks_.push_back(std::move(block));
+    current_ = &blocks_.back();
+    const uintptr_t p = reinterpret_cast<uintptr_t>(current_->data.get());
+    const uintptr_t aligned = (p + (align - 1)) & ~(uintptr_t{align} - 1);
+    used_ = (aligned - p) + bytes;
+    allocated_ += bytes;
+    return reinterpret_cast<void*>(aligned);
+  }
+
+  const size_t block_bytes_;
+  std::vector<Block> blocks_;
+  Block* current_ = nullptr;  // &blocks_.back() when non-null
+  size_t used_ = 0;           // bump offset within *current_
+  size_t allocated_ = 0;
+};
+
+/// Minimal growable array over an Arena for trivially-copyable T. Growth
+/// allocates a doubled span from the arena and memcpys; the old span is
+/// simply abandoned until the owning arena resets. clear() keeps the
+/// current span, so per-candidate reuse within one arena epoch is free.
+template <typename T>
+class ArenaVec {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "ArenaVec elements are moved with memcpy");
+
+ public:
+  explicit ArenaVec(Arena* arena) : arena_(arena) {}
+
+  void push_back(const T& value) {
+    if (size_ == capacity_) Grow();
+    data_[size_++] = value;
+  }
+
+  T& operator[](size_t i) { return data_[i]; }
+  const T& operator[](size_t i) const { return data_[i]; }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  void clear() { size_ = 0; }
+
+  void reserve(size_t n) {
+    if (n > capacity_) Reallocate(n);
+  }
+
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+ private:
+  void Grow() { Reallocate(capacity_ == 0 ? 16 : capacity_ * 2); }
+
+  void Reallocate(size_t n) {
+    T* fresh = arena_->AllocateArray<T>(n);
+    if (size_ != 0) std::memcpy(fresh, data_, size_ * sizeof(T));
+    data_ = fresh;
+    capacity_ = n;
+  }
+
+  Arena* arena_;
+  T* data_ = nullptr;
+  size_t size_ = 0;
+  size_t capacity_ = 0;
+};
+
+}  // namespace ksp
+
+#endif  // KSP_COMMON_ARENA_H_

@@ -1,0 +1,263 @@
+#include "common/simd_varint.h"
+
+#include <atomic>
+#include <cstring>
+
+#include "common/logging.h"
+#include "common/varint.h"
+
+#if (defined(__x86_64__) || defined(_M_X64)) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define KSP_SIMD_VARINT_X86 1
+#include <immintrin.h>
+#endif
+
+namespace ksp {
+
+namespace {
+
+/// The reference implementation: the historic per-value GetVarint64 loop
+/// every accelerated level must match byte-for-byte, including partial
+/// output and status on corrupt input. `*prev` carries the running sum
+/// and `*i` the value index so the vector levels can delegate their
+/// remainders and fallbacks to the exact reference step.
+Status DecodeScalarFrom(std::string_view src, size_t* pos, uint64_t count,
+                        uint64_t limit, const char* range_error,
+                        uint64_t* prev, uint64_t* i,
+                        std::vector<VertexId>* out) {
+  for (; *i < count; ++*i) {
+    uint64_t delta = 0;
+    KSP_RETURN_NOT_OK(GetVarint64(src, pos, &delta));
+    *prev += delta;
+    if (limit != kVarintNoLimit && *prev >= limit) {
+      return Status::Corruption(range_error);
+    }
+    out->push_back(static_cast<VertexId>(*prev));
+  }
+  return Status::OK();
+}
+
+Status DecodeScalar(std::string_view src, size_t* pos, uint64_t count,
+                    uint64_t limit, const char* range_error,
+                    std::vector<VertexId>* out) {
+  uint64_t prev = 0;
+  uint64_t i = 0;
+  return DecodeScalarFrom(src, pos, count, limit, range_error, &prev, &i,
+                          out);
+}
+
+/// One scalar reference step (shared by the vector levels' slow paths).
+Status DecodeOneScalar(std::string_view src, size_t* pos, uint64_t limit,
+                       const char* range_error, uint64_t* prev,
+                       std::vector<VertexId>* out) {
+  uint64_t delta = 0;
+  KSP_RETURN_NOT_OK(GetVarint64(src, pos, &delta));
+  *prev += delta;
+  if (limit != kVarintNoLimit && *prev >= limit) {
+    return Status::Corruption(range_error);
+  }
+  out->push_back(static_cast<VertexId>(*prev));
+  return Status::OK();
+}
+
+#if defined(KSP_SIMD_VARINT_X86)
+
+/// All-continuation-bits-clear blocks are runs of one-byte varints: the
+/// movemask test classifies 16/32 bytes at once, a psadbw computes the
+/// exact u64 block sum (for the inter-block carry and the bounds gate),
+/// and a widening prefix sum materializes the running ids. Mixed blocks,
+/// tails, and anything that would trip the bound fall back to the scalar
+/// reference step, so every error path IS the reference error path.
+__attribute__((target("sse4.1"))) Status DecodeSse41(
+    std::string_view src, size_t* pos, uint64_t count, uint64_t limit,
+    const char* range_error, std::vector<VertexId>* out) {
+  const uint8_t* base = reinterpret_cast<const uint8_t*>(src.data());
+  uint64_t prev = 0;
+  uint64_t i = 0;
+  while (i < count) {
+    if (count - i >= 16 && src.size() - *pos >= 16) {
+      const __m128i chunk =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(base + *pos));
+      if (_mm_movemask_epi8(chunk) == 0) {
+        const __m128i sad = _mm_sad_epu8(chunk, _mm_setzero_si128());
+        const uint64_t block_sum =
+            static_cast<uint64_t>(_mm_extract_epi64(sad, 0)) +
+            static_cast<uint64_t>(_mm_extract_epi64(sad, 1));
+        // The gate also rejects blocks whose intermediate sums could
+        // wrap the 32-bit lanes: under a limit (< 2^32) a passing block
+        // stays below it everywhere, because deltas are non-negative.
+        if (limit == kVarintNoLimit || prev + block_sum < limit) {
+          const size_t n = out->size();
+          out->resize(n + 16);
+          VertexId* dst = out->data() + n;
+          uint32_t carry = static_cast<uint32_t>(prev);
+          for (int q = 0; q < 4; ++q) {
+            uint32_t quad = 0;
+            std::memcpy(&quad, base + *pos + 4 * q, 4);
+            __m128i v = _mm_cvtepu8_epi32(
+                _mm_cvtsi32_si128(static_cast<int>(quad)));
+            v = _mm_add_epi32(v, _mm_slli_si128(v, 4));
+            v = _mm_add_epi32(v, _mm_slli_si128(v, 8));
+            v = _mm_add_epi32(v, _mm_set1_epi32(static_cast<int>(carry)));
+            _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + 4 * q), v);
+            carry = static_cast<uint32_t>(_mm_extract_epi32(v, 3));
+          }
+          prev += block_sum;
+          *pos += 16;
+          i += 16;
+          continue;
+        }
+      }
+    }
+    KSP_RETURN_NOT_OK(
+        DecodeOneScalar(src, pos, limit, range_error, &prev, out));
+    ++i;
+  }
+  return Status::OK();
+}
+
+__attribute__((target("avx2"))) Status DecodeAvx2(
+    std::string_view src, size_t* pos, uint64_t count, uint64_t limit,
+    const char* range_error, std::vector<VertexId>* out) {
+  const uint8_t* base = reinterpret_cast<const uint8_t*>(src.data());
+  const __m256i lane3 = _mm256_set1_epi32(3);
+  uint64_t prev = 0;
+  uint64_t i = 0;
+  while (i < count) {
+    if (count - i >= 32 && src.size() - *pos >= 32) {
+      const __m256i chunk = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(base + *pos));
+      if (_mm256_movemask_epi8(chunk) == 0) {
+        const __m256i sad = _mm256_sad_epu8(chunk, _mm256_setzero_si256());
+        const uint64_t block_sum =
+            static_cast<uint64_t>(_mm256_extract_epi64(sad, 0)) +
+            static_cast<uint64_t>(_mm256_extract_epi64(sad, 1)) +
+            static_cast<uint64_t>(_mm256_extract_epi64(sad, 2)) +
+            static_cast<uint64_t>(_mm256_extract_epi64(sad, 3));
+        if (limit == kVarintNoLimit || prev + block_sum < limit) {
+          const size_t n = out->size();
+          out->resize(n + 32);
+          VertexId* dst = out->data() + n;
+          uint32_t carry = static_cast<uint32_t>(prev);
+          for (int q = 0; q < 4; ++q) {
+            __m256i v = _mm256_cvtepu8_epi32(_mm_loadl_epi64(
+                reinterpret_cast<const __m128i*>(base + *pos + 8 * q)));
+            v = _mm256_add_epi32(v, _mm256_slli_si256(v, 4));
+            v = _mm256_add_epi32(v, _mm256_slli_si256(v, 8));
+            // Carry the low 128-lane's total into the high lane.
+            __m256i low_total = _mm256_permutevar8x32_epi32(v, lane3);
+            low_total = _mm256_blend_epi32(_mm256_setzero_si256(),
+                                           low_total, 0xF0);
+            v = _mm256_add_epi32(v, low_total);
+            v = _mm256_add_epi32(
+                v, _mm256_set1_epi32(static_cast<int>(carry)));
+            _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + 8 * q), v);
+            carry = static_cast<uint32_t>(_mm256_extract_epi32(v, 7));
+          }
+          prev += block_sum;
+          *pos += 32;
+          i += 32;
+          continue;
+        }
+      }
+    }
+    KSP_RETURN_NOT_OK(
+        DecodeOneScalar(src, pos, limit, range_error, &prev, out));
+    ++i;
+  }
+  return Status::OK();
+}
+
+#endif  // KSP_SIMD_VARINT_X86
+
+using DecodeFn = Status (*)(std::string_view, size_t*, uint64_t, uint64_t,
+                            const char*, std::vector<VertexId>*);
+
+DecodeFn FnFor(VarintIsa isa) {
+  switch (isa) {
+#if defined(KSP_SIMD_VARINT_X86)
+    case VarintIsa::kSse41:
+      return &DecodeSse41;
+    case VarintIsa::kAvx2:
+      return &DecodeAvx2;
+#endif
+    default:
+      return &DecodeScalar;
+  }
+}
+
+VarintIsa DetectBestIsa() {
+#if defined(KSP_SIMD_VARINT_X86)
+  if (__builtin_cpu_supports("avx2")) return VarintIsa::kAvx2;
+  if (__builtin_cpu_supports("sse4.1")) return VarintIsa::kSse41;
+#endif
+  return VarintIsa::kScalar;
+}
+
+VarintIsa BestIsa() {
+  static const VarintIsa best = DetectBestIsa();
+  return best;
+}
+
+/// Testing override + resolved dispatch target. The pointer is atomic so
+/// a (test-only) override never races the hot-path load into UB.
+std::atomic<DecodeFn> g_decode{nullptr};
+std::atomic<int> g_active_isa{-1};
+
+DecodeFn ActiveFn() {
+  DecodeFn fn = g_decode.load(std::memory_order_acquire);
+  if (fn != nullptr) return fn;
+  const VarintIsa best = BestIsa();
+  g_active_isa.store(static_cast<int>(best), std::memory_order_relaxed);
+  fn = FnFor(best);
+  g_decode.store(fn, std::memory_order_release);
+  return fn;
+}
+
+}  // namespace
+
+const char* VarintIsaName(VarintIsa isa) {
+  switch (isa) {
+    case VarintIsa::kScalar:
+      return "scalar";
+    case VarintIsa::kSse41:
+      return "sse4.1";
+    case VarintIsa::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+std::vector<VarintIsa> SupportedVarintIsas() {
+  std::vector<VarintIsa> levels = {VarintIsa::kScalar};
+  const VarintIsa best = BestIsa();
+  if (best >= VarintIsa::kSse41) levels.push_back(VarintIsa::kSse41);
+  if (best >= VarintIsa::kAvx2) levels.push_back(VarintIsa::kAvx2);
+  return levels;
+}
+
+VarintIsa ActiveVarintIsa() {
+  ActiveFn();  // Resolve if not yet resolved.
+  return static_cast<VarintIsa>(
+      g_active_isa.load(std::memory_order_relaxed));
+}
+
+void SetVarintIsaForTesting(VarintIsa isa) {
+  KSP_CHECK(isa <= BestIsa()) << "unsupported varint ISA level";
+  g_active_isa.store(static_cast<int>(isa), std::memory_order_relaxed);
+  g_decode.store(FnFor(isa), std::memory_order_release);
+}
+
+void ResetVarintIsaForTesting() {
+  g_active_isa.store(static_cast<int>(BestIsa()),
+                     std::memory_order_relaxed);
+  g_decode.store(FnFor(BestIsa()), std::memory_order_release);
+}
+
+Status DecodeVarintDeltas(std::string_view src, size_t* pos, uint64_t count,
+                          uint64_t limit, const char* range_error,
+                          std::vector<VertexId>* out) {
+  return ActiveFn()(src, pos, count, limit, range_error, out);
+}
+
+}  // namespace ksp

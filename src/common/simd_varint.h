@@ -1,0 +1,60 @@
+#ifndef KSP_COMMON_SIMD_VARINT_H_
+#define KSP_COMMON_SIMD_VARINT_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace ksp {
+
+/// ISA levels of the varint-delta postings decoder (DESIGN.md §13).
+/// kScalar is the reference implementation — byte-for-byte the historic
+/// GetVarint64 loop; the vector levels are bit-identical accelerations
+/// that fast-path runs of one-byte varints (the common case for
+/// delta-encoded sorted id lists) and fall back to the scalar step for
+/// multi-byte encodings, truncation, and corruption.
+enum class VarintIsa : int {
+  kScalar = 0,
+  kSse41 = 1,
+  kAvx2 = 2,
+};
+
+const char* VarintIsaName(VarintIsa isa);
+
+/// ISA levels usable on this machine, ascending, always starting with
+/// kScalar. Runtime dispatch picks the last entry; tests iterate all of
+/// them for differential coverage.
+std::vector<VarintIsa> SupportedVarintIsas();
+
+/// The level DecodeVarintDeltas currently dispatches to (the best
+/// supported one unless overridden).
+VarintIsa ActiveVarintIsa();
+
+/// Forces dispatch to `isa` (which must be supported) until reset with
+/// ResetVarintIsaForTesting. Test-only: not synchronized with concurrent
+/// decodes.
+void SetVarintIsaForTesting(VarintIsa isa);
+void ResetVarintIsaForTesting();
+
+/// No bound: decoded ids are appended unchecked (mod 2^32, like the
+/// scalar cast) — the disk-postings contract.
+inline constexpr uint64_t kVarintNoLimit = ~uint64_t{0};
+
+/// Decodes `count` delta-encoded varints from `src` starting at `*pos`,
+/// appending the running sums to `*out` as VertexId: the first varint is
+/// the absolute id, each later one the gap to its predecessor. With
+/// `limit != kVarintNoLimit`, any running sum >= limit fails with
+/// Status::Corruption(range_error); truncated or over-long varints fail
+/// like GetVarint64. On failure *out may hold a prefix and *pos is
+/// unspecified — callers discard both. All ISA levels produce identical
+/// bytes and identical statuses for every input.
+Status DecodeVarintDeltas(std::string_view src, size_t* pos, uint64_t count,
+                          uint64_t limit, const char* range_error,
+                          std::vector<VertexId>* out);
+
+}  // namespace ksp
+
+#endif  // KSP_COMMON_SIMD_VARINT_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/io_util.h"
+#include "common/simd_varint.h"
 #include "common/varint.h"
 
 namespace ksp {
@@ -128,16 +129,8 @@ std::span<const VertexId> DiskGraphAccessor::Decode(
     }
     if (st.ok()) {
       scratch->reserve(count);
-      uint64_t prev = 0;
-      for (uint64_t i = 0; i < count && st.ok(); ++i) {
-        uint64_t delta = 0;
-        st = GetVarint64(c->buf, &pos, &delta);
-        prev = (i == 0) ? delta : prev + delta;
-        if (prev >= num_vertices_) {
-          st = Status::Corruption("neighbour id out of range");
-        }
-        scratch->push_back(static_cast<VertexId>(prev));
-      }
+      st = DecodeVarintDeltas(c->buf, &pos, count, num_vertices_,
+                              "neighbour id out of range", scratch);
     }
   }
   if (!st.ok()) {
@@ -213,13 +206,8 @@ Status DiskPostingsAccessor::Fetch(TermId term,
     return Status::Corruption("posting count exceeds record");
   }
   backing->reserve(count);
-  uint64_t prev = 0;
-  for (uint64_t i = 0; i < count; ++i) {
-    uint64_t delta = 0;
-    KSP_RETURN_NOT_OK(GetVarint64(buf, &pos, &delta));
-    prev = (i == 0) ? delta : prev + delta;
-    backing->push_back(static_cast<VertexId>(prev));
-  }
+  KSP_RETURN_NOT_OK(DecodeVarintDeltas(buf, &pos, count, kVarintNoLimit,
+                                       nullptr, backing));
   *view = {backing->data(), backing->size()};
   return Status::OK();
 }

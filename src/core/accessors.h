@@ -53,6 +53,21 @@ class GraphAccessor {
                                                  GraphCursor* c) const = 0;
   virtual std::span<const VertexId> InNeighbors(VertexId v,
                                                 GraphCursor* c) const = 0;
+
+  /// Hints that v's adjacency will be expanded a few pops from now (the
+  /// flat BFS frontier's look-ahead). Default no-op: for the disk
+  /// accessors a page fetch is not a cache-line hint. Never changes the
+  /// cursor's observable state.
+  virtual void Prefetch(VertexId v, GraphCursor* c) const {
+    (void)v;
+    (void)c;
+  }
+
+  /// The in-memory CSR when this accessor is a zero-copy view over one,
+  /// else nullptr. Lets the BFS hot loop bypass two virtual calls per
+  /// pop on the memory backend; the spans returned are the ones
+  /// Out/InNeighbors would return, so visit order is unchanged.
+  virtual const Graph* memory_graph() const { return nullptr; }
 };
 
 /// Zero-copy accessor over the in-memory CSR.
@@ -70,6 +85,10 @@ class MemoryGraphAccessor final : public GraphAccessor {
                                         GraphCursor*) const override {
     return graph_->InNeighbors(v);
   }
+  void Prefetch(VertexId v, GraphCursor*) const override {
+    graph_->PrefetchOut(v);
+  }
+  const Graph* memory_graph() const override { return graph_; }
 
  private:
   const Graph* graph_;

@@ -34,6 +34,18 @@ enum class StorageBackend {
   kDisk,
 };
 
+/// BFS frontier representation of the TQSP construction. TEMPORARY A/B
+/// knob for the raw-speed pass (DESIGN.md §13): kFlat is the
+/// level-synchronous flat-array frontier with neighbor-span prefetch,
+/// kLegacy the previous single growing (vertex, distance) queue. Pop
+/// order, counters, prune decisions, and results are bit-identical
+/// between the two; the knob exists only so bench_smoke.sh can assert
+/// flat is not slower, and goes away once flat has baked in.
+enum class BfsFrontier {
+  kFlat,
+  kLegacy,
+};
+
 /// Configuration shared by every query on one KspDatabase. The pruning
 /// toggles exist for the ablation study; the shipped defaults reproduce
 /// the paper's SP setup.
@@ -89,6 +101,10 @@ struct KspOptions {
   /// creates a private temp directory, removed when the database is
   /// destroyed; a caller-provided directory is left in place.
   std::string spill_directory;
+
+  /// See BfsFrontier above. Flat is the default; legacy exists for the
+  /// bench A/B only.
+  BfsFrontier bfs_frontier = BfsFrontier::kFlat;
 
   /// Restricts the spatial indexes (R-tree, and hence the α-index built
   /// over it) to this set of places — the shard tile of DESIGN.md §12.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <iterator>
 #include <limits>
 
 #include "common/logging.h"
@@ -11,6 +12,20 @@ namespace ksp {
 
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// (parent, vertex) fused in one u64 frontier entry of the flat BFS
+/// driver: the discovering edge carries its parent with it, so the edge
+/// scan never touches the bfs_parent_ array and the pop writes the
+/// parent exactly once per vertex.
+constexpr uint64_t Entry(VertexId parent, VertexId vertex) {
+  return (static_cast<uint64_t>(parent) << 32) | vertex;
+}
+constexpr VertexId EntryVertex(uint64_t e) {
+  return static_cast<VertexId>(e);
+}
+constexpr VertexId EntryParent(uint64_t e) {
+  return static_cast<VertexId>(e >> 32);
+}
 
 /// Ordering used by the top-k heap: ascending (score, place).
 bool EntryBetter(const KspResultEntry& a, const KspResultEntry& b) {
@@ -209,11 +224,11 @@ void QueryExecutor::FoldIoDelta(const PageIoCounters& cumulative,
   *folded = cumulative;
 }
 
-uint32_t QueryExecutor::BeginBfsEpoch() {
+uint16_t QueryExecutor::BeginBfsEpoch() {
   if (++epoch_ == 0) {
-    // uint32_t wraparound: every stored mark now collides with some future
+    // uint16_t wraparound: every stored mark now collides with some future
     // epoch. Reset to a clean slate (0 is never handed out as an epoch).
-    std::fill(visit_epoch_.begin(), visit_epoch_.end(), 0u);
+    std::fill(visit_epoch_.begin(), visit_epoch_.end(), uint16_t{0});
     epoch_ = 1;
   }
   return epoch_;
@@ -223,7 +238,7 @@ Status QueryExecutor::PrepareContext(const KspQuery& query,
                                      QueryContext* ctx) const {
   ctx->query = &query;
   ctx->terms.clear();
-  ctx->vertex_mask.clear();
+  ctx->vertex_mask.Clear();
   ctx->postings.clear();
   ctx->owned_postings.clear();
   ctx->rarest_first.clear();
@@ -254,6 +269,7 @@ Status QueryExecutor::PrepareContext(const KspQuery& query,
   // vector grows) through the shared buffer pool.
   const PostingsAccessor& postings = db_->postings_accessor();
   ctx->postings.resize(m);
+  size_t total_entries = 0;
   for (size_t i = 0; i < m; ++i) {
     ctx->owned_postings.emplace_back();
     std::span<const VertexId> view;
@@ -262,8 +278,16 @@ Status QueryExecutor::PrepareContext(const KspQuery& query,
                                      &ctx->io));
     ctx->postings[i] = view;
     if (ctx->postings[i].empty()) ctx->answerable = false;
+    total_entries += ctx->postings[i].size();
+  }
+  // Pre-size for the posting-entry total (an upper bound on distinct
+  // vertices), so the fill below never rehashes. Vertex ids are the
+  // dense universe, so the table also builds its presence filter and
+  // the BFS answers the common no-keyword pop with one bit test.
+  ctx->vertex_mask.Reset(total_entries, db_->kb().num_vertices());
+  for (size_t i = 0; i < m; ++i) {
     for (VertexId v : ctx->postings[i]) {
-      ctx->vertex_mask[v] |= uint64_t{1} << i;
+      ctx->vertex_mask.OrInsert(v, uint64_t{1} << i);
     }
   }
 
@@ -291,33 +315,42 @@ double QueryExecutor::ComputeTqsp(VertexId root, const QueryContext& ctx,
     VertexId vertex;
     uint32_t distance;
   };
-  std::vector<Match> matches;
+  // Per-candidate scratch lives in the arena: after the first (largest)
+  // candidate the whole TQSP construction does zero heap traffic.
+  tqsp_arena_.Reset();
+  ArenaVec<Match> matches(&tqsp_arena_);
   matches.reserve(num_keywords);
 
   // Epoch-tagged BFS with parent tracking for path reconstruction.
-  const uint32_t epoch = BeginBfsEpoch();
+  const uint16_t epoch = BeginBfsEpoch();
   visit_epoch_[root] = epoch;
   bfs_parent_[root] = kInvalidVertex;
 
-  // Queue of (vertex, distance); BFS pops in non-decreasing distance.
-  std::vector<std::pair<VertexId, uint32_t>> queue;
-  queue.emplace_back(root, 0);
   const GraphAccessor& graph = db_->graph_accessor();
   const bool undirected = db_->options().undirected_edges;
 
   bool pruned = false;
   bool interrupted = false;
-  for (size_t qi = 0; qi < queue.size() && remaining != 0; ++qi) {
+  // Pops accumulate in a register and fold into the stats once after the
+  // loop — the committed vertices_visited is identical, without a
+  // read-modify-write against the heap-resident stats on every pop.
+  uint64_t pops = 0;
+
+  // Per-pop body shared by both frontier drivers below; false means stop
+  // (the flags and `remaining` say why). `qi` is the global pop index —
+  // both drivers produce the identical pop sequence (FIFO within a BFS
+  // level), so the cancellation cadence, stats counters, bound-log steps
+  // and prune decisions are bit-identical across drivers.
+  auto process_pop = [&](VertexId v, uint32_t dist, uint64_t qi) -> bool {
     // Cancellation poll every 64 pops: cheap enough to keep the BFS hot
     // loop tight, frequent enough that a deadline is enforced within one
     // phase-span granularity. An interrupted BFS proves nothing about
     // the unvisited remainder — see the cache-feed guard below.
     if ((qi & 0x3F) == 0 && CheckInterrupt()) {
       interrupted = true;
-      break;
+      return false;
     }
-    auto [v, dist] = queue[qi];
-    if (stats != nullptr) ++stats->vertices_visited;
+    ++pops;
 
     if (use_dynamic_bound) {
       if (spec != nullptr && spec->live_theta != nullptr) {
@@ -339,13 +372,12 @@ double QueryExecutor::ComputeTqsp(VertexId root, const QueryContext& ctx,
       if (spec != nullptr && spec->bound_log != nullptr) {
         std::vector<TqspBoundStep>& log = *spec->bound_log;
         if (log.empty() || lower_bound > log.back().bound) {
-          log.push_back(
-              TqspBoundStep{static_cast<uint64_t>(qi), lower_bound});
+          log.push_back(TqspBoundStep{qi, lower_bound});
         }
       }
       if (lower_bound >= looseness_threshold) {
         pruned = true;  // Pruning Rule 2.
-        break;
+        return false;
       }
     }
 
@@ -361,27 +393,131 @@ double QueryExecutor::ComputeTqsp(VertexId root, const QueryContext& ctx,
         matches.push_back(Match{i, v, dist});
       }
       remaining &= ~mask;
-      if (remaining == 0) break;
+      if (remaining == 0) return false;
     }
+    return true;
+  };
 
-    for (VertexId w : graph.OutNeighbors(v, &graph_cursor_)) {
-      if (visit_epoch_[w] != epoch) {
-        visit_epoch_[w] = epoch;
-        bfs_parent_[w] = v;
-        queue.emplace_back(w, dist + 1);
-      }
-    }
-    if (undirected) {
-      for (VertexId w : graph.InNeighbors(v, &graph_cursor_)) {
+  if (db_->options().bfs_frontier == BfsFrontier::kLegacy) {
+    // Legacy driver (the A/B baseline): one growing (vertex, distance)
+    // queue popped by index.
+    std::vector<std::pair<VertexId, uint32_t>> queue;
+    queue.emplace_back(root, 0);
+    for (size_t qi = 0; qi < queue.size() && remaining != 0; ++qi) {
+      auto [v, dist] = queue[qi];
+      if (!process_pop(v, dist, qi)) break;
+      for (VertexId w : graph.OutNeighbors(v, &graph_cursor_)) {
         if (visit_epoch_[w] != epoch) {
           visit_epoch_[w] = epoch;
           bfs_parent_[w] = v;
           queue.emplace_back(w, dist + 1);
         }
       }
+      if (undirected) {
+        for (VertexId w : graph.InNeighbors(v, &graph_cursor_)) {
+          if (visit_epoch_[w] != epoch) {
+            visit_epoch_[w] = epoch;
+            bfs_parent_[w] = v;
+            queue.emplace_back(w, dist + 1);
+          }
+        }
+      }
+    }
+  } else {
+    // Flat driver: level-synchronous frontiers of bare vertex ids (the
+    // level counter is the distance), with a neighbor-span prefetch a
+    // few pops ahead in the current frontier. Capacity persists across
+    // candidates in the executor scratch. On the memory backend the CSR
+    // is read directly, skipping the per-pop virtual dispatch.
+    //
+    // Both buffers are sized to the vertex count up front: a vertex is
+    // discovered at most once per epoch, so the raw `nxt[nxt_n] = ...`
+    // writes below can never overflow, and the hot loop carries neither
+    // push_back's capacity branch nor any reload of the vectors' members
+    // (base pointers and sizes live in locals the stores cannot alias —
+    // with member access the compiler must assume every push invalidates
+    // frontier_.data()/size() and re-read them each edge).
+    //
+    // The edge scan is deliberately branchless. The classic
+    //   if (epochs[w] != epoch) { mark; record parent; push }
+    // stalls on one unpredictable branch per edge whose outcome depends
+    // on a random L1-missing load — the mispredicts serialize what are
+    // otherwise ~degree independent cache misses, and they bound the
+    // whole TQSP construction (measured: the executor runs at the raw
+    // BFS substrate's ns/pop, so only this pattern can be the limiter).
+    // Instead every edge does an idempotent `epochs[w] = epoch` store
+    // and a conditionally-advanced append `nxt_n += fresh`, so the loop
+    // has no data-dependent control flow and the out-of-order window
+    // overlaps the misses. The parent does not go to a second random
+    // array touch per edge: frontier entries are (parent, vertex) fused
+    // in a u64, and the pop writes bfs_parent_ once per vertex. The
+    // first discoverer still wins — later edges to the same vertex see
+    // fresh == false and never advance the cursor — so pop order,
+    // parents, and every counter stay bit-identical to the legacy
+    // driver.
+    const Graph* csr = graph.memory_graph();
+    const size_t total_vertices = visit_epoch_.size();
+    if (frontier_.size() < total_vertices) {
+      frontier_.resize(total_vertices);
+      next_frontier_.resize(total_vertices);
+    }
+    uint64_t* cur = frontier_.data();
+    uint64_t* nxt = next_frontier_.data();
+    uint16_t* const epochs = visit_epoch_.data();
+    VertexId* const parents = bfs_parent_.data();
+    cur[0] = Entry(kInvalidVertex, root);
+    size_t cur_n = 1;
+    size_t nxt_n = 0;
+    constexpr size_t kPrefetchAhead = 8;
+    uint64_t qi = 0;
+    uint32_t dist = 0;
+    bool stop = remaining == 0;
+    while (!stop && cur_n > 0) {
+      for (size_t j = 0; j < cur_n; ++j, ++qi) {
+        if (j + kPrefetchAhead < cur_n) {
+          const VertexId ahead = EntryVertex(cur[j + kPrefetchAhead]);
+          if (csr != nullptr) {
+            csr->PrefetchOut(ahead);
+          } else {
+            graph.Prefetch(ahead, &graph_cursor_);
+          }
+        }
+        const VertexId v = EntryVertex(cur[j]);
+        parents[v] = EntryParent(cur[j]);
+        if (!process_pop(v, dist, qi)) {
+          stop = true;
+          break;
+        }
+        const uint64_t tagged = Entry(v, 0);
+        const std::span<const VertexId> out =
+            csr != nullptr ? csr->OutNeighbors(v)
+                           : graph.OutNeighbors(v, &graph_cursor_);
+        for (VertexId w : out) {
+          const bool fresh = epochs[w] != epoch;
+          epochs[w] = epoch;
+          nxt[nxt_n] = tagged | w;
+          nxt_n += fresh;
+        }
+        if (undirected) {
+          const std::span<const VertexId> in =
+              csr != nullptr ? csr->InNeighbors(v)
+                             : graph.InNeighbors(v, &graph_cursor_);
+          for (VertexId w : in) {
+            const bool fresh = epochs[w] != epoch;
+            epochs[w] = epoch;
+            nxt[nxt_n] = tagged | w;
+            nxt_n += fresh;
+          }
+        }
+      }
+      std::swap(cur, nxt);
+      cur_n = nxt_n;
+      nxt_n = 0;
+      ++dist;
     }
   }
 
+  if (stats != nullptr) stats->vertices_visited += pops;
   if (pruned && stats != nullptr) ++stats->pruned_dynamic_bound;
   FoldCursorIo(&graph_cursor_.io, stats);
 
@@ -424,18 +560,20 @@ double QueryExecutor::ComputeTqsp(VertexId root, const QueryContext& ctx,
     tree->looseness = looseness;
     tree->matches.clear();
     tree->matches.reserve(matches.size());
+    ArenaVec<VertexId> reversed(&tqsp_arena_);
     for (const Match& m : matches) {
       SemanticPlaceTree::KeywordMatch km;
       km.term = ctx.terms[m.keyword_index];
       km.vertex = m.vertex;
       km.distance = m.distance;
       // Reconstruct the root-to-vertex path via BFS parents.
-      std::vector<VertexId> reversed;
+      reversed.clear();
       for (VertexId v = m.vertex; v != kInvalidVertex; v = bfs_parent_[v]) {
         reversed.push_back(v);
         if (v == root) break;
       }
-      km.path.assign(reversed.rbegin(), reversed.rend());
+      km.path.assign(std::make_reverse_iterator(reversed.end()),
+                     std::make_reverse_iterator(reversed.begin()));
       tree->matches.push_back(std::move(km));
     }
   }
@@ -507,7 +645,7 @@ Result<TiedSemanticPlace> QueryExecutor::ComputeTqspAlternatives(
   std::vector<std::vector<VertexId>> alternatives(m);
   size_t found = 0;
 
-  const uint32_t epoch = BeginBfsEpoch();
+  const uint16_t epoch = BeginBfsEpoch();
   visit_epoch_[out.root] = epoch;
   std::vector<std::pair<VertexId, uint32_t>> queue;
   queue.emplace_back(out.root, 0);

@@ -6,9 +6,9 @@
 #include <memory>
 #include <span>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/cancellation.h"
 #include "common/metrics.h"
 #include "common/result.h"
@@ -19,6 +19,7 @@
 #include "core/semantic_place.h"
 #include "core/stats.h"
 #include "core/trace.h"
+#include "core/vertex_mask_table.h"
 
 namespace ksp {
 
@@ -185,7 +186,7 @@ class QueryExecutor {
 
   /// Forces the BFS epoch counter, so tests can exercise the uint32_t
   /// wraparound path without 2^32 warm-up queries.
-  void set_bfs_epoch_for_testing(uint32_t epoch) { epoch_ = epoch; }
+  void set_bfs_epoch_for_testing(uint16_t epoch) { epoch_ = epoch; }
 
   /// Intra-query parallelism degree (DESIGN.md §8). With n >= 2, BSP, SPP
   /// and SP run as a producer/worker/ordered-commit pipeline with n
@@ -230,7 +231,10 @@ class QueryExecutor {
     std::vector<TermId> terms;  // deduplicated, query order
     uint64_t full_mask = 0;
     bool answerable = true;
-    std::unordered_map<VertexId, uint64_t> vertex_mask;  // M_q.ψ
+    /// M_q.ψ as a flat open-addressed table (DESIGN.md §13): read-only
+    /// after PrepareContext, so pipeline workers share it like every
+    /// other QueryContext field.
+    VertexMaskTable vertex_mask;
     /// Posting-list views aligned with `terms`: zero-copy spans into the
     /// inverted index when it is memory-resident, else views into
     /// `owned_postings` (the disk index's per-query copies).
@@ -240,10 +244,7 @@ class QueryExecutor {
     /// Page I/O of the posting fetches (disk backend; zero on memory).
     PageIoCounters io;
 
-    uint64_t MaskOf(VertexId v) const {
-      auto it = vertex_mask.find(v);
-      return it == vertex_mask.end() ? 0 : it->second;
-    }
+    uint64_t MaskOf(VertexId v) const { return vertex_mask.Find(v); }
   };
 
   Status PrepareContext(const KspQuery& query, QueryContext* ctx) const;
@@ -295,7 +296,7 @@ class QueryExecutor {
   /// Advances the BFS epoch, zero-filling the visit array when the
   /// uint32_t counter wraps (stale marks would otherwise alias the fresh
   /// epoch and corrupt TQSP construction).
-  uint32_t BeginBfsEpoch();
+  uint16_t BeginBfsEpoch();
 
   /// ---- Page-I/O folding (disk backend; all no-ops when io is zero) ----
 
@@ -428,10 +429,28 @@ class QueryExecutor {
 
   const KspDatabase* db_;
 
-  /// BFS scratch (epoch-tagged to avoid per-query clears).
-  std::vector<uint32_t> visit_epoch_;
+  /// BFS scratch (epoch-tagged to avoid per-query clears). Epochs are
+  /// deliberately 16-bit: the visit array is the single hottest
+  /// randomly-accessed structure of the whole engine (~degree touches
+  /// per BFS pop), and halving it doubles how much of it the L1 cache
+  /// holds. The wrap refill in BeginBfsEpoch fires every 65535 epochs —
+  /// one memset amortized over 65k TQSP constructions.
+  std::vector<uint16_t> visit_epoch_;
   std::vector<VertexId> bfs_parent_;
-  uint32_t epoch_ = 0;
+  uint16_t epoch_ = 0;
+
+  /// Flat frontier scratch of the level-synchronous BFS (DESIGN.md §13),
+  /// holding (parent, vertex) pairs fused in a u64 per entry. Sized to
+  /// the vertex count on first use and retained across candidates and
+  /// queries, so the steady state allocates nothing. Only ComputeTqsp
+  /// touches these.
+  std::vector<uint64_t> frontier_;
+  std::vector<uint64_t> next_frontier_;
+
+  /// TQSP per-candidate tree scratch (match records, path reversal).
+  /// Reset at each ComputeTqsp entry — allocations never outlive the
+  /// candidate; see common/arena.h for the lifetime rules.
+  Arena tqsp_arena_;
 
   /// Storage-accessor scratch (per-executor, like the BFS arrays). The
   /// graph cursor's sticky status is reset at each Execute* entry and

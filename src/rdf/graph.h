@@ -60,6 +60,24 @@ class Graph {
             in_sources_.data() + in_offsets_[v + 1]};
   }
 
+  /// Software-prefetches v's adjacency metadata and the head of its
+  /// target span — the BFS frontier look-ahead hook (no-op without GCC/
+  /// Clang builtins). The offset load the target prefetch depends on is
+  /// issued several pops before the span is consumed, so out-of-order
+  /// execution overlaps both misses with useful work.
+  void PrefetchOut(VertexId v) const {
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(out_offsets_.data() + v, 0, 3);
+    __builtin_prefetch(out_targets_.data() + out_offsets_[v], 0, 1);
+#endif
+  }
+  void PrefetchIn(VertexId v) const {
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(in_offsets_.data() + v, 0, 3);
+    __builtin_prefetch(in_sources_.data() + in_offsets_[v], 0, 1);
+#endif
+  }
+
   uint32_t OutDegree(VertexId v) const {
     return static_cast<uint32_t>(out_offsets_[v + 1] - out_offsets_[v]);
   }

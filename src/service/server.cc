@@ -31,11 +31,14 @@ ServiceResponse ErrorResponse(const Status& status,
 }  // namespace
 
 void KspServer::PendingRequest::Complete(std::string payload) {
-  {
-    std::lock_guard<std::mutex> lock(mu);
-    response_payload = std::move(payload);
-    done = true;
-  }
+  // Notify while still holding the mutex: the owning connection thread
+  // destroys this stack-allocated request as soon as Wait() returns, so
+  // signalling after unlock races the signal against the destructor.
+  // Holding the lock pins the waiter in its mutex re-acquire until the
+  // signal call has fully returned.
+  std::lock_guard<std::mutex> lock(mu);
+  response_payload = std::move(payload);
+  done = true;
   cv.notify_one();
 }
 

@@ -17,6 +17,7 @@
 #include "core/executor.h"
 #include "datagen/query_gen.h"
 #include "datagen/synthetic.h"
+#include "query_corpus.h"
 #include "rdf/knowledge_base.h"
 
 namespace ksp {
@@ -79,27 +80,8 @@ class BackendInvarianceTest : public ::testing::Test {
         << disk_db_->storage_backend_status().ToString();
     ASSERT_NE(disk_db_->buffer_pool(), nullptr);
 
-    // Same seeded workload as the oracle suite: 210 queries spanning
-    // keyword counts and query classes.
-    struct Config {
-      uint32_t num_keywords;
-      QueryClass query_class;
-      uint64_t seed;
-      size_t count;
-    };
-    for (const Config& config : std::vector<Config>{
-             {2, QueryClass::kOriginal, 11, 70},
-             {3, QueryClass::kOriginal, 22, 70},
-             {5, QueryClass::kOriginal, 33, 50},
-             {3, QueryClass::kSDLL, 44, 20},
-         }) {
-      QueryGenOptions options;
-      options.num_keywords = config.num_keywords;
-      options.seed = config.seed;
-      auto batch = GenerateQueries(*kb_, config.query_class, options,
-                                   config.count);
-      queries_->insert(queries_->end(), batch.begin(), batch.end());
-    }
+    // Same seeded workload as the oracle suite (tests/query_corpus.h).
+    *queries_ = testing::MakeEquivalenceCorpus(*kb_);
     ASSERT_GE(queries_->size(), 200u);
   }
 

@@ -21,6 +21,7 @@
 #include "core/semantic_cache.h"
 #include "datagen/query_gen.h"
 #include "datagen/synthetic.h"
+#include "query_corpus.h"
 
 namespace ksp {
 namespace {
@@ -69,30 +70,10 @@ class CacheEquivalenceTest : public ::testing::Test {
     ASSERT_TRUE(kb.ok()) << kb.status().ToString();
     kb_ = kb->release();
 
-    // 210 queries: three kOriginal mixes plus a high-looseness kSDLL
-    // tail, alternating k between 1 and 10.
-    struct Config {
-      uint32_t num_keywords;
-      uint64_t seed;
-      size_t count;
-      QueryClass query_class;
-    };
-    constexpr Config kConfigs[] = {
-        {2, 11, 70, QueryClass::kOriginal},
-        {3, 22, 70, QueryClass::kOriginal},
-        {5, 33, 50, QueryClass::kOriginal},
-        {3, 44, 20, QueryClass::kSDLL},
-    };
+    // The shared 210-query seeded workload (tests/query_corpus.h),
+    // alternating k between 1 and 10.
     queries_ = new std::vector<KspQuery>();
-    for (const Config& config : kConfigs) {
-      QueryGenOptions qopt;
-      qopt.num_keywords = config.num_keywords;
-      qopt.seed = config.seed;
-      qopt.k = 5;  // Overwritten below.
-      auto batch = GenerateQueries(*kb_, config.query_class, qopt,
-                                   config.count);
-      queries_->insert(queries_->end(), batch.begin(), batch.end());
-    }
+    *queries_ = testing::MakeEquivalenceCorpus(*kb_);
     ASSERT_EQ(queries_->size(), 210u);
     for (size_t i = 0; i < queries_->size(); ++i) {
       (*queries_)[i].k = (i % 2 == 0) ? 1 : 10;

@@ -132,15 +132,15 @@ TEST_F(EpochWrapTest, ResultsUnchangedAcrossCounterWraparound) {
   // Reference: a fresh executor far away from the wrap.
   QueryExecutor reference(db_.get());
   // Victim: dirty its visit array with normal queries first so stale marks
-  // exist, then park the epoch counter right below UINT32_MAX. The batch
-  // below crosses the wrap (each TQSP computation advances the epoch);
-  // without the zero-fill on wrap, stale marks alias the restarted epochs
-  // and corrupt BFS visitation.
+  // exist, then park the epoch counter right below the 16-bit maximum. The
+  // batch below crosses the wrap (each TQSP computation advances the
+  // epoch); without the zero-fill on wrap, stale marks alias the restarted
+  // epochs and corrupt BFS visitation.
   QueryExecutor victim(db_.get());
   for (const KspQuery& q : queries_) {
     ASSERT_TRUE(victim.ExecuteBsp(q).ok());
   }
-  victim.set_bfs_epoch_for_testing(std::numeric_limits<uint32_t>::max() - 2);
+  victim.set_bfs_epoch_for_testing(std::numeric_limits<uint16_t>::max() - 2);
 
   for (const KspQuery& q : queries_) {
     auto expected = reference.ExecuteBsp(q);
@@ -161,7 +161,7 @@ TEST_F(EpochWrapTest, TqspIdenticalRightAtTheWrapBoundary) {
   QueryExecutor victim(db_.get());
   const KspQuery& q = queries_.front();
   // Pin the counter so the very next BFS triggers the wrap.
-  victim.set_bfs_epoch_for_testing(std::numeric_limits<uint32_t>::max());
+  victim.set_bfs_epoch_for_testing(std::numeric_limits<uint16_t>::max());
   const uint32_t places = std::min<uint32_t>(kb_->num_places(), 50);
   for (PlaceId p = 0; p < places; ++p) {
     auto expected = reference.ComputeTqspForPlace(p, q);

@@ -17,6 +17,7 @@
 #include "core/parallel.h"
 #include "datagen/query_gen.h"
 #include "datagen/synthetic.h"
+#include "query_corpus.h"
 #include "rdf/knowledge_base.h"
 
 namespace ksp {
@@ -76,27 +77,9 @@ class IntraQueryParallelTest : public ::testing::Test {
     db_ = new KspDatabase(kb_);
     db_->PrepareAll(/*alpha=*/3);
 
-    // The oracle suite's seeded workload: 210 queries across keyword
-    // counts and query classes, with k cycling {1, 5, 10}.
-    struct Config {
-      uint32_t num_keywords;
-      QueryClass query_class;
-      uint64_t seed;
-      size_t count;
-    };
-    for (const Config& config : std::vector<Config>{
-             {2, QueryClass::kOriginal, 11, 70},
-             {3, QueryClass::kOriginal, 22, 70},
-             {5, QueryClass::kOriginal, 33, 50},
-             {3, QueryClass::kSDLL, 44, 20},
-         }) {
-      QueryGenOptions options;
-      options.num_keywords = config.num_keywords;
-      options.seed = config.seed;
-      auto batch = GenerateQueries(*kb_, config.query_class, options,
-                                   config.count);
-      queries_->insert(queries_->end(), batch.begin(), batch.end());
-    }
+    // The oracle suite's seeded workload (tests/query_corpus.h), with k
+    // cycling {1, 5, 10}.
+    *queries_ = testing::MakeEquivalenceCorpus(*kb_);
     ASSERT_GE(queries_->size(), 210u);
     const uint32_t ks[3] = {1, 5, 10};
     for (size_t qi = 0; qi < queries_->size(); ++qi) {

@@ -19,6 +19,7 @@
 #include "core/parallel.h"
 #include "datagen/query_gen.h"
 #include "datagen/synthetic.h"
+#include "query_corpus.h"
 #include "rdf/knowledge_base.h"
 #include "shard/partition.h"
 #include "shard/remote.h"
@@ -67,26 +68,8 @@ class ShardEquivalenceTest : public ::testing::Test {
     reference_->PrepareAll(/*alpha=*/3);
     ASSERT_TRUE(reference_->storage_backend_status().ok());
 
-    // The canonical 210-query seeded workload (oracle suite).
-    struct Config {
-      uint32_t num_keywords;
-      QueryClass query_class;
-      uint64_t seed;
-      size_t count;
-    };
-    for (const Config& config : std::vector<Config>{
-             {2, QueryClass::kOriginal, 11, 70},
-             {3, QueryClass::kOriginal, 22, 70},
-             {5, QueryClass::kOriginal, 33, 50},
-             {3, QueryClass::kSDLL, 44, 20},
-         }) {
-      QueryGenOptions options;
-      options.num_keywords = config.num_keywords;
-      options.seed = config.seed;
-      auto batch = GenerateQueries(*kb_, config.query_class, options,
-                                   config.count);
-      queries_->insert(queries_->end(), batch.begin(), batch.end());
-    }
+    // The canonical 210-query seeded workload (tests/query_corpus.h).
+    *queries_ = testing::MakeEquivalenceCorpus(*kb_);
     ASSERT_GE(queries_->size(), 200u);
   }
 
